@@ -1,0 +1,101 @@
+// Extension bench: TestDFSIO, the classic Hadoop storage benchmark, against
+// the simulated testbed — raw HDFS write/read throughput as a function of
+// concurrency and replication. Useful for separating what the cluster's
+// storage layer *can* do from what the paper's workloads *make* it do.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "hdfs/hdfs.h"
+#include "sim/simulator.h"
+#include "workloads/dfsio.h"
+
+namespace {
+
+using namespace bdio;
+
+workloads::DfsioResult Run(const core::BenchOptions& options,
+                           uint32_t files, uint64_t file_bytes,
+                           uint32_t replication) {
+  Rng rng(options.seed);
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = options.num_workers;
+  cp.node.memory_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(16)) * options.scale);
+  cp.node.daemon_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(2)) * options.scale);
+  cp.node.per_slot_heap_bytes =
+      static_cast<uint64_t>(static_cast<double>(MiB(200)) * options.scale);
+  cp.node.min_cache_bytes = MiB(16);
+  cluster::Cluster cluster(&sim, cp, 16, rng.Fork());
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
+
+  workloads::DfsioSpec spec;
+  spec.num_files = files;
+  spec.file_bytes = file_bytes;
+  spec.replication = replication;
+  Result<workloads::DfsioResult> result = Status::Internal("not run");
+  workloads::RunDfsio(&cluster, &dfs, spec,
+                      [&](Result<workloads::DfsioResult> r) {
+                        result = std::move(r);
+                      });
+  sim.Run();
+  BDIO_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(
+      "Extension", "TestDFSIO: raw HDFS throughput on the testbed", options);
+
+  struct Config {
+    uint32_t files;
+    uint64_t bytes;
+    uint32_t replication;
+  };
+  const Config configs[] = {
+      {1, MiB(256), 3},  {10, MiB(128), 3}, {30, MiB(64), 3},
+      {10, MiB(128), 1}, {30, MiB(64), 1},
+  };
+
+  TextTable table;
+  table.SetHeader({"files", "MB/file", "repl", "write MB/s", "read MB/s"});
+  std::vector<workloads::DfsioResult> results;
+  std::vector<Config> cfgs;
+  for (const Config& c : configs) {
+    results.push_back(Run(options, c.files, c.bytes, c.replication));
+    cfgs.push_back(c);
+    const auto& r = results.back();
+    table.AddRow({std::to_string(c.files),
+                  TextTable::Num(static_cast<double>(c.bytes) / 1e6, 0),
+                  std::to_string(c.replication),
+                  TextTable::Num(r.write_mb_s, 1),
+                  TextTable::Num(r.read_mb_s, 1)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::vector<core::ShapeCheck> checks;
+  // A single writer is NIC-bound (~118 MB/s payload); ten writers spread
+  // over ten NICs but share them with 2x replication traffic and pay the
+  // durability flush, so the scaling is sublinear.
+  checks.push_back(core::ShapeCheck{
+      "parallel writers scale aggregate write throughput",
+      results[1].write_mb_s > 2.5 * results[0].write_mb_s});
+  checks.push_back(core::ShapeCheck{
+      "replication 1 writes faster than replication 3",
+      results[3].write_mb_s > results[1].write_mb_s});
+  checks.push_back(core::ShapeCheck{
+      "reads beat triple-replicated writes",
+      results[1].read_mb_s > results[1].write_mb_s});
+  checks.push_back(core::ShapeCheck{
+      "30 local readers approach the spindle aggregate",
+      results[2].read_mb_s > 500.0});  // 30 disks x >= ~17 MB/s effective
+  return core::PrintShapeChecks(checks);
+}

@@ -1,0 +1,121 @@
+// Extension bench: fault tolerance. Hadoop's answer to a TaskTracker death
+// is re-execution — lost map outputs are recomputed and in-flight reducers
+// restart elsewhere. This bench quantifies the extra I/O and runtime a
+// mid-job node failure costs TeraSort on the simulated testbed.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+#include "workloads/profile.h"
+
+namespace {
+
+using namespace bdio;
+
+struct RunResult {
+  double duration_s = 0;
+  mapreduce::JobCounters counters;
+};
+
+RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
+                      double failure_fraction) {
+  Rng rng(options.seed);
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = options.num_workers;
+  cp.node.memory_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(16)) * options.scale);
+  cp.node.daemon_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(2)) * options.scale);
+  cp.node.per_slot_heap_bytes =
+      static_cast<uint64_t>(static_cast<double>(MiB(200)) * options.scale);
+  cp.node.min_cache_bytes = MiB(16);
+  cluster::Cluster cluster(&sim, cp, 16, rng.Fork());
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
+
+  workloads::PlanOptions plan_options;
+  plan_options.scale = options.scale;
+  plan_options.compress_intermediate = true;
+  const auto plan =
+      workloads::BuildPlan(workloads::WorkloadKind::kTeraSort, plan_options);
+  BDIO_CHECK_OK(dfs.Preload(plan.dataset_path, plan.dataset_bytes));
+
+  mapreduce::MrEngine engine(&cluster, &dfs,
+                             mapreduce::SlotConfig::Paper_1_8(), rng.Fork());
+  RunResult result;
+  bool done = false;
+  engine.RunJob(plan.jobs[0].spec,
+                [&](Status s, const mapreduce::JobCounters& c) {
+                  BDIO_CHECK_OK(s);
+                  result.counters = c;
+                  done = true;
+                });
+  if (inject) {
+    // Estimate the healthy duration once (memoized by the caller) and fail
+    // a node at the requested fraction of it.
+    const SimDuration when =
+        FromSeconds(failure_fraction);  // caller passes absolute seconds
+    sim.ScheduleAt(when, [&] { engine.InjectNodeFailure(3); });
+  }
+  sim.Run();
+  BDIO_CHECK(done);
+  result.duration_s = result.counters.DurationSeconds();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(
+      "Extension", "Node-failure recovery cost under TeraSort", options);
+
+  const RunResult healthy = RunTeraSort(options, false, 0);
+  const RunResult early =
+      RunTeraSort(options, true, healthy.duration_s * 0.25);
+  const RunResult late =
+      RunTeraSort(options, true, healthy.duration_s * 0.75);
+
+  TextTable table;
+  table.SetHeader({"scenario", "duration_s", "maps launched",
+                   "hdfs read MB", "intermediate written MB"});
+  auto row = [&](const char* name, const RunResult& r) {
+    table.AddRow({name, TextTable::Num(r.duration_s, 1),
+                  std::to_string(r.counters.maps_launched),
+                  TextTable::Num(
+                      static_cast<double>(r.counters.hdfs_read_bytes) / 1e6,
+                      0),
+                  TextTable::Num(
+                      static_cast<double>(
+                          r.counters.intermediate_write_bytes) /
+                          1e6,
+                      0)});
+  };
+  row("healthy (10 nodes)", healthy);
+  row("node fails at 25%", early);
+  row("node fails at 75%", late);
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back(core::ShapeCheck{
+      "failure slows the job down", early.duration_s > healthy.duration_s &&
+                                        late.duration_s >
+                                            healthy.duration_s});
+  checks.push_back(core::ShapeCheck{
+      "failure causes map re-execution",
+      early.counters.maps_launched > healthy.counters.maps_launched ||
+          late.counters.maps_launched > healthy.counters.maps_launched});
+  checks.push_back(core::ShapeCheck{
+      "late failure wastes more finished work than an early one",
+      late.counters.maps_launched >= early.counters.maps_launched});
+  checks.push_back(core::ShapeCheck{
+      "re-execution re-reads input",
+      late.counters.hdfs_read_bytes > healthy.counters.hdfs_read_bytes});
+  return core::PrintShapeChecks(checks);
+}

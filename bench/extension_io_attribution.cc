@@ -1,0 +1,69 @@
+// Extension bench: the paper's stated future work — "combine a low-level
+// description of physical resources and the high-level functional
+// composition of big data workloads to reveal the major source of I/O
+// demand". Every file in the stack is tagged with its role; the page cache
+// attributes each physical byte to a source; this bench prints the
+// breakdown per workload.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(
+      "Extension", "Sources of physical I/O demand per workload", options);
+
+  core::GridRunner grid(options);
+  const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+
+  TextTable table;
+  table.SetHeader({"workload", "source", "read MB", "written MB",
+                   "share of demand"});
+  std::map<workloads::WorkloadKind, std::map<std::string, double>> share;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    uint64_t total = 0;
+    for (const auto& [src, v] : res.io_sources) total += v.total();
+    for (const auto& [src, v] : res.io_sources) {
+      if (v.total() == 0) continue;
+      const double frac =
+          static_cast<double>(v.total()) / static_cast<double>(total);
+      share[w][src] = frac;
+      table.AddRow({workloads::WorkloadShortName(w), src,
+                    TextTable::Num(static_cast<double>(v.disk_read_bytes) /
+                                       1e6,
+                                   0),
+                    TextTable::Num(static_cast<double>(v.disk_write_bytes) /
+                                       1e6,
+                                   0),
+                    TextTable::Percent(frac)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  using workloads::WorkloadKind;
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back(core::ShapeCheck{
+      "AGG demand is almost entirely input scanning",
+      share[WorkloadKind::kAggregation]["hdfs-input"] > 0.9});
+  const double ts_intermediate =
+      share[WorkloadKind::kTeraSort]["map-spill"] +
+      share[WorkloadKind::kTeraSort]["map-output"] +
+      share[WorkloadKind::kTeraSort]["shuffle-run"];
+  checks.push_back(core::ShapeCheck{
+      "TS demand is dominated by intermediate data (spill+output+runs)",
+      ts_intermediate > 0.4});
+  checks.push_back(core::ShapeCheck{
+      "TS output replication shows up as hdfs-output demand",
+      share[WorkloadKind::kTeraSort]["hdfs-output"] > 0.05});
+  checks.push_back(core::ShapeCheck{
+      "KM demand is input re-scanning (iterations)",
+      share[WorkloadKind::kKMeans]["hdfs-input"] > 0.8});
+  checks.push_back(core::ShapeCheck{
+      "PR shows all source classes (state + contributions)",
+      share[WorkloadKind::kPageRank].size() >= 3});
+  return core::PrintShapeChecks(checks);
+}

@@ -1,0 +1,46 @@
+// Figure 1: effect of the number of task slots on disk read/write bandwidth
+// in HDFS and MapReduce. Paper finding: changing slots from 1_8 to 2_16
+// barely moves the bandwidth of any workload on either disk class.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& a = grid.Get(w, lv[0]);
+    const auto& b = grid.Get(w, lv[1]);
+    for (const char* group : {"hdfs", "mr"}) {
+      for (iostat::Metric m :
+           {iostat::Metric::kReadMBps, iostat::Metric::kWriteMBps}) {
+        const double va = core::Summarize(a.group(group), m);
+        const double vb = core::Summarize(b.group(group), m);
+        checks.push_back(core::ShapeCheck{
+            std::string(workloads::WorkloadShortName(w)) + " " + group +
+                " " + iostat::MetricName(m) +
+                " unchanged across slot configs",
+            core::RoughlyEqual(va, vb, 0.40, 2.0)});
+      }
+    }
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 1";
+  def.caption =
+      "Disk read/write bandwidth vs task slots (HDFS and MapReduce disks)";
+  def.context = bdio::bench::FactorContext::kSlots;
+  def.metrics = {bdio::iostat::Metric::kReadMBps,
+                 bdio::iostat::Metric::kWriteMBps};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

@@ -1,0 +1,68 @@
+// Figure 2: effect of node memory (16G vs 32G) on disk read/write bandwidth.
+// Paper findings: HDFS read bandwidth grows with memory for the large-input
+// workloads; where the final output is small (K-means) the write bandwidth
+// does not change.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  // (a) Large-input, write-pressured workloads read HDFS faster with 32G.
+  for (WorkloadKind w : {WorkloadKind::kTeraSort}) {
+    const double r16 =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kReadMBps);
+    const double r32 =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kReadMBps);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS read bandwidth grows (or holds) with more memory",
+        r32 >= r16 * 0.95});
+  }
+  // (b) K-means writes almost nothing: HDFS write bandwidth unchanged.
+  {
+    const double w16 = core::Summarize(
+        grid.Get(WorkloadKind::kKMeans, lv[0]).hdfs,
+        iostat::Metric::kWriteMBps);
+    const double w32 = core::Summarize(
+        grid.Get(WorkloadKind::kKMeans, lv[1]).hdfs,
+        iostat::Metric::kWriteMBps);
+    checks.push_back(core::ShapeCheck{
+        "KM HDFS write bandwidth unchanged (tiny final output)",
+        core::RoughlyEqual(w16, w32, 0.3, 1.0)});
+  }
+  // (c) CPU-bound scans are memory-insensitive on the read side.
+  {
+    const double r16 = core::Summarize(
+        grid.Get(WorkloadKind::kAggregation, lv[0]).hdfs,
+        iostat::Metric::kReadMBps);
+    const double r32 = core::Summarize(
+        grid.Get(WorkloadKind::kAggregation, lv[1]).hdfs,
+        iostat::Metric::kReadMBps);
+    checks.push_back(core::ShapeCheck{
+        "AGG HDFS read bandwidth roughly unchanged (CPU bound)",
+        core::RoughlyEqual(r16, r32, 0.25, 2.0)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 2";
+  def.caption =
+      "Disk read/write bandwidth vs node memory (HDFS and MapReduce disks)";
+  def.context = bdio::bench::FactorContext::kMemory;
+  def.metrics = {bdio::iostat::Metric::kReadMBps,
+                 bdio::iostat::Metric::kWriteMBps};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

@@ -1,0 +1,62 @@
+// Figure 3: effect of intermediate-data compression on the MapReduce disks'
+// read/write bandwidth. Paper findings: with compression the intermediate
+// volume shrinks and the job speeds up; compression has little impact on
+// HDFS bandwidth (not plotted in the paper; checked here).
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : {WorkloadKind::kTeraSort, WorkloadKind::kPageRank}) {
+    const auto& off = grid.Get(w, lv[0]);
+    const auto& on = grid.Get(w, lv[1]);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " runs faster with compressed intermediate data",
+        on.duration_s < off.duration_s});
+    // The volume written to the MR disks shrinks by roughly the codec ratio.
+    uint64_t im_off = 0, im_on = 0;
+    for (const auto& j : off.jobs) im_off += j.intermediate_write_bytes;
+    for (const auto& j : on.jobs) im_on += j.intermediate_write_bytes;
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " intermediate volume shrinks with compression",
+        im_on < im_off * 8 / 10});
+  }
+  // HDFS read bandwidth unaffected by intermediate compression (AGG is a
+  // pure scan, the cleanest probe).
+  {
+    const double off = core::Summarize(
+        grid.Get(WorkloadKind::kAggregation, lv[0]).hdfs,
+        iostat::Metric::kReadMBps);
+    const double on = core::Summarize(
+        grid.Get(WorkloadKind::kAggregation, lv[1]).hdfs,
+        iostat::Metric::kReadMBps);
+    checks.push_back(core::ShapeCheck{
+        "AGG HDFS read bandwidth unchanged by compression",
+        core::RoughlyEqual(off, on, 0.2, 2.0)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 3";
+  def.caption =
+      "MapReduce-disk read/write bandwidth vs intermediate-data compression";
+  def.context = bdio::bench::FactorContext::kCompression;
+  def.metrics = {bdio::iostat::Metric::kReadMBps,
+                 bdio::iostat::Metric::kWriteMBps};
+  def.groups = {"mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

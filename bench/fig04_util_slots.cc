@@ -1,0 +1,52 @@
+// Figure 4: effect of the number of task slots on disk utilization. Paper
+// findings: slot count has little impact on utilization; TeraSort is the
+// only workload that keeps the MapReduce disks busy.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : workloads::AllWorkloads()) {
+    const double ua =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kUtil);
+    const double ub =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kUtil);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS util unchanged across slot configs",
+        core::RoughlyEqual(ua, ub, 0.45, 3.0)});
+  }
+  // TeraSort dominates MR-disk utilization; the other workloads' MR disks
+  // are mostly idle.
+  const double ts_mr = core::Summarize(
+      grid.Get(WorkloadKind::kTeraSort, lv[0]).mr, iostat::Metric::kUtil);
+  for (WorkloadKind w : {WorkloadKind::kAggregation, WorkloadKind::kKMeans}) {
+    const double u =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kUtil);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR disks mostly idle (well below TeraSort's)",
+        u < ts_mr / 4 && u < 10.0});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 4";
+  def.caption = "Disk utilization vs task slots (HDFS and MapReduce disks)";
+  def.context = bdio::bench::FactorContext::kSlots;
+  def.metrics = {bdio::iostat::Metric::kUtil};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

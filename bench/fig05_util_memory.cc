@@ -1,0 +1,67 @@
+// Figure 5: effect of node memory on disk utilization. Paper findings:
+// memory does not move HDFS utilization; on the MapReduce disks more memory
+// reduces utilization for TeraSort and PageRank (their intermediate data is
+// large) while Aggregation and K-means stay flat (their MR disks were never
+// busy).
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : workloads::AllWorkloads()) {
+    const double ua =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kUtil);
+    const double ub =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kUtil);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS util unchanged by memory",
+        core::RoughlyEqual(ua, ub, 0.45, 3.0)});
+  }
+  for (WorkloadKind w : {WorkloadKind::kTeraSort, WorkloadKind::kPageRank}) {
+    // More memory absorbs intermediate I/O. The run may also *shorten*
+    // (raising the mean %util of the shorter window), so the robust
+    // quantity is disk busy-time: mean util x duration.
+    const auto& r16 = grid.Get(w, lv[0]);
+    const auto& r32 = grid.Get(w, lv[1]);
+    const double busy16 =
+        core::Summarize(r16.mr, iostat::Metric::kUtil) * r16.duration_s;
+    const double busy32 =
+        core::Summarize(r32.mr, iostat::Metric::kUtil) * r32.duration_s;
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR disk busy-time reduced (or held) by more memory",
+        busy32 <= busy16 * 1.05});
+  }
+  for (WorkloadKind w : {WorkloadKind::kAggregation, WorkloadKind::kKMeans}) {
+    const double u16 =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kUtil);
+    const double u32 =
+        core::Summarize(grid.Get(w, lv[1]).mr, iostat::Metric::kUtil);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR util flat (disks not busy before the change)",
+        core::RoughlyEqual(u16, u32, 0.5, 2.0)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 5";
+  def.caption = "Disk utilization vs node memory (HDFS and MapReduce disks)";
+  def.context = bdio::bench::FactorContext::kMemory;
+  def.metrics = {bdio::iostat::Metric::kUtil};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

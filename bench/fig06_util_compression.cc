@@ -1,0 +1,56 @@
+// Figure 6: effect of intermediate-data compression on disk utilization.
+// Paper findings: with compression on, TeraSort and Aggregation still keep
+// the HDFS disks comparatively busy; on the MR disks compression leaves
+// TS/AGG/KM utilization roughly unchanged while PageRank's changes.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  // HDFS utilization under compression: TS and AGG above KM and PR.
+  const double agg = core::Summarize(
+      grid.Get(WorkloadKind::kAggregation, lv[1]).hdfs,
+      iostat::Metric::kUtil);
+  const double ts = core::Summarize(
+      grid.Get(WorkloadKind::kTeraSort, lv[1]).hdfs, iostat::Metric::kUtil);
+  const double km = core::Summarize(
+      grid.Get(WorkloadKind::kKMeans, lv[1]).hdfs, iostat::Metric::kUtil);
+  const double pr = core::Summarize(
+      grid.Get(WorkloadKind::kPageRank, lv[1]).hdfs, iostat::Metric::kUtil);
+  checks.push_back(core::ShapeCheck{
+      "HDFS util (compressed): AGG and TS above KM and PR",
+      agg > km && agg > pr && ts > km});
+  // MR utilization unchanged for the small-intermediate workloads.
+  for (WorkloadKind w : {WorkloadKind::kAggregation, WorkloadKind::kKMeans}) {
+    const double off =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kUtil);
+    const double on =
+        core::Summarize(grid.Get(w, lv[1]).mr, iostat::Metric::kUtil);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR util unchanged by compression (little intermediate data)",
+        core::RoughlyEqual(off, on, 0.5, 2.0)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 6";
+  def.caption =
+      "Disk utilization vs intermediate-data compression (HDFS and MR)";
+  def.context = bdio::bench::FactorContext::kCompression;
+  def.metrics = {bdio::iostat::Metric::kUtil};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

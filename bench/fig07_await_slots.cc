@@ -1,0 +1,48 @@
+// Figure 7: effect of task slots on the average waiting time of I/O
+// requests (await - svctm). Paper finding: slot count does not move the
+// waiting time.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const double wa =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kWait);
+    const double wb =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kWait);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS wait unchanged across slot configs",
+        core::RoughlyEqual(wa, wb, 0.5, 2.0)});
+  }
+  // TeraSort: queueing on the MR disks dwarfs the HDFS side.
+  {
+    const auto& ts = grid.Get(workloads::WorkloadKind::kTeraSort, lv[0]);
+    checks.push_back(core::ShapeCheck{
+        "TS MR wait exceeds HDFS wait (different access patterns)",
+        core::Summarize(ts.mr, iostat::Metric::kWait) >
+            core::Summarize(ts.hdfs, iostat::Metric::kWait)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 7";
+  def.caption =
+      "Average waiting time of I/O requests vs task slots (await - svctm)";
+  def.context = bdio::bench::FactorContext::kSlots;
+  def.metrics = {bdio::iostat::Metric::kWait, bdio::iostat::Metric::kAwait,
+                 bdio::iostat::Metric::kSvctm};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

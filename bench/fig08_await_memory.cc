@@ -1,0 +1,45 @@
+// Figure 8: effect of node memory on the average waiting time of I/O
+// requests. Paper findings: waiting time varies with memory, and the
+// MapReduce disks' waiting time is larger than the HDFS disks'.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : {WorkloadKind::kTeraSort, WorkloadKind::kPageRank}) {
+    const auto& r16 = grid.Get(w, lv[0]);
+    const auto& r32 = grid.Get(w, lv[1]);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR wait exceeds HDFS wait",
+        core::Summarize(r16.mr, iostat::Metric::kWait) >
+            core::Summarize(r16.hdfs, iostat::Metric::kWait)});
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR wait shrinks (or holds) with more memory",
+        core::Summarize(r32.mr, iostat::Metric::kWait) <=
+            core::Summarize(r16.mr, iostat::Metric::kWait) * 1.1});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 8";
+  def.caption = "Average waiting time of I/O requests vs node memory";
+  def.context = bdio::bench::FactorContext::kMemory;
+  def.metrics = {bdio::iostat::Metric::kWait, bdio::iostat::Metric::kAwait,
+                 bdio::iostat::Metric::kSvctm};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

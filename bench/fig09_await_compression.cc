@@ -1,0 +1,54 @@
+// Figure 9: effect of intermediate-data compression on the average waiting
+// time of I/O requests. Paper findings: HDFS waiting time is unchanged
+// (HDFS data is not compressed); MapReduce waiting time drops with the
+// reduced intermediate volume; MR wait stays above HDFS wait because of the
+// access-pattern difference.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : {WorkloadKind::kTeraSort, WorkloadKind::kPageRank}) {
+    const auto& off = grid.Get(w, lv[0]);
+    const auto& on = grid.Get(w, lv[1]);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS wait unchanged by compression",
+        core::RoughlyEqual(core::Summarize(off.hdfs, iostat::Metric::kWait),
+                           core::Summarize(on.hdfs, iostat::Metric::kWait),
+                           0.5, 2.0)});
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR wait drops (or holds) with compression",
+        core::Summarize(on.mr, iostat::Metric::kWait) <=
+            core::Summarize(off.mr, iostat::Metric::kWait) * 1.05});
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR wait exceeds HDFS wait",
+        core::Summarize(off.mr, iostat::Metric::kWait) >
+            core::Summarize(off.hdfs, iostat::Metric::kWait)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 9";
+  def.caption =
+      "Average waiting time of I/O requests vs intermediate compression";
+  def.context = bdio::bench::FactorContext::kCompression;
+  def.metrics = {bdio::iostat::Metric::kWait, bdio::iostat::Metric::kAwait,
+                 bdio::iostat::Metric::kSvctm};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

@@ -1,0 +1,47 @@
+// Figure 10: effect of task slots on the average size of I/O requests
+// (avgrq-sz, sectors). Paper findings: slot count has little impact, and
+// HDFS requests are larger than MapReduce requests (I/O granularity).
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const double sa =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kAvgRqSz);
+    const double sb =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kAvgRqSz);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS avgrq-sz unchanged across slot configs",
+        core::RoughlyEqual(sa, sb, 0.30, 16.0)});
+    // HDFS granularity above MR granularity wherever MR disks are active.
+    const double mr =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kAvgRqSz);
+    if (mr > 0) {
+      checks.push_back(core::ShapeCheck{
+          std::string(workloads::WorkloadShortName(w)) +
+              " HDFS requests larger than MR requests",
+          sa > mr});
+    }
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 10";
+  def.caption = "Average I/O request size (sectors) vs task slots";
+  def.context = bdio::bench::FactorContext::kSlots;
+  def.metrics = {bdio::iostat::Metric::kAvgRqSz};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

@@ -1,0 +1,46 @@
+// Figure 11: effect of node memory on the average size of I/O requests.
+// Paper findings: memory has little impact on request size; HDFS
+// granularity stays above MapReduce granularity.
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const double s16 =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kAvgRqSz);
+    const double s32 =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kAvgRqSz);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS avgrq-sz unchanged by memory",
+        core::RoughlyEqual(s16, s32, 0.30, 16.0)});
+    const double mr =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kAvgRqSz);
+    if (mr > 0) {
+      checks.push_back(core::ShapeCheck{
+          std::string(workloads::WorkloadShortName(w)) +
+              " HDFS requests larger than MR requests",
+          s16 > mr});
+    }
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 11";
+  def.caption = "Average I/O request size (sectors) vs node memory";
+  def.context = bdio::bench::FactorContext::kMemory;
+  def.metrics = {bdio::iostat::Metric::kAvgRqSz};
+  def.groups = {"hdfs", "mr"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

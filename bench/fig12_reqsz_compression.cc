@@ -1,0 +1,54 @@
+// Figure 12: effect of intermediate-data compression on the MapReduce
+// disks' average request size. Paper findings: compression shrinks the
+// requests, most for the workloads with large intermediate data (TeraSort,
+// PageRank) and barely for Aggregation and K-means; HDFS request sizes are
+// untouched (their data is not compressed).
+
+#include "bench/figure_common.h"
+
+namespace bdio::bench {
+namespace {
+
+using workloads::WorkloadKind;
+
+std::vector<core::ShapeCheck> Checks(core::GridRunner& grid,
+                                     const std::vector<core::Factors>& lv) {
+  std::vector<core::ShapeCheck> checks;
+  for (WorkloadKind w : {WorkloadKind::kTeraSort, WorkloadKind::kPageRank}) {
+    const double off =
+        core::Summarize(grid.Get(w, lv[0]).mr, iostat::Metric::kAvgRqSz);
+    const double on =
+        core::Summarize(grid.Get(w, lv[1]).mr, iostat::Metric::kAvgRqSz);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " MR avgrq-sz shrinks (or holds) with compression",
+        on <= off * 1.05});
+  }
+  // HDFS request size untouched by intermediate compression.
+  for (WorkloadKind w : {WorkloadKind::kTeraSort}) {
+    const double off =
+        core::Summarize(grid.Get(w, lv[0]).hdfs, iostat::Metric::kAvgRqSz);
+    const double on =
+        core::Summarize(grid.Get(w, lv[1]).hdfs, iostat::Metric::kAvgRqSz);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " HDFS avgrq-sz unchanged by compression",
+        core::RoughlyEqual(off, on, 0.3, 16.0)});
+  }
+  return checks;
+}
+
+}  // namespace
+}  // namespace bdio::bench
+
+int main(int argc, char** argv) {
+  bdio::bench::FigureDef def;
+  def.id = "Figure 12";
+  def.caption =
+      "MapReduce-disk average request size vs intermediate compression";
+  def.context = bdio::bench::FactorContext::kCompression;
+  def.metrics = {bdio::iostat::Metric::kAvgRqSz};
+  def.groups = {"mr", "hdfs"};
+  def.checks = bdio::bench::Checks;
+  return bdio::bench::RunFigure(argc, argv, def);
+}

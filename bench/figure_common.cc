@@ -1,0 +1,114 @@
+#include "bench/figure_common.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/profile.h"
+
+namespace bdio::bench {
+
+using core::Factors;
+using core::GridRunner;
+
+std::vector<Factors> LevelsFor(FactorContext context) {
+  switch (context) {
+    case FactorContext::kSlots:
+      return core::SlotsLevels();
+    case FactorContext::kMemory:
+      return core::MemoryLevels();
+    case FactorContext::kCompression:
+      return core::CompressionLevels();
+  }
+  return {};
+}
+
+std::string LevelLabel(FactorContext context, const Factors& f) {
+  switch (context) {
+    case FactorContext::kSlots:
+      return f.slots.label;
+    case FactorContext::kMemory:
+      return f.MemoryLabel();
+    case FactorContext::kCompression:
+      return f.CompressionLabel();
+  }
+  return "?";
+}
+
+int RunFigure(int argc, char** argv, const FigureDef& def) {
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(def.id, def.caption, options);
+
+  const std::vector<Factors> levels = LevelsFor(def.context);
+  GridRunner grid(options);
+
+  TextTable table;
+  std::vector<std::string> header{"config", "duration_s"};
+  for (const std::string& group : def.groups) {
+    for (iostat::Metric m : def.metrics) {
+      header.push_back(group + " " + iostat::MetricName(m));
+    }
+  }
+  table.SetHeader(std::move(header));
+
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    for (const Factors& f : levels) {
+      const core::ExperimentResult& res = grid.Get(w, f);
+      std::vector<std::string> row;
+      row.push_back(std::string(workloads::WorkloadShortName(w)) + "_" +
+                    LevelLabel(def.context, f));
+      row.push_back(TextTable::Num(res.duration_s, 1));
+      for (const std::string& group : def.groups) {
+        for (iostat::Metric m : def.metrics) {
+          row.push_back(TextTable::Num(
+              core::Summarize(res.group(group), m), 2));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  if (options.csv) {
+    std::printf("\nPer-second series (CSV):\n");
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      for (const Factors& f : levels) {
+        const core::ExperimentResult& res = grid.Get(w, f);
+        for (const std::string& group : def.groups) {
+          for (iostat::Metric m : def.metrics) {
+            core::PrintSeriesCsv(
+                res.label + " " + group + " " + iostat::MetricName(m),
+                core::SeriesOf(res.group(group), m));
+          }
+        }
+      }
+    }
+  }
+  if (!options.outdir.empty()) {
+    std::string prefix = def.id;
+    for (char& c : prefix) {
+      if (c == ' ') c = '_';
+    }
+    size_t written = 0;
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      for (const Factors& f : levels) {
+        const core::ExperimentResult& res = grid.Get(w, f);
+        for (const std::string& group : def.groups) {
+          for (iostat::Metric m : def.metrics) {
+            core::WriteSeriesCsv(options.outdir,
+                                 prefix + "_" + res.label + "_" + group +
+                                     "_" + iostat::MetricName(m),
+                                 core::SeriesOf(res.group(group), m));
+            ++written;
+          }
+        }
+      }
+    }
+    std::printf("\nwrote %zu series CSV files to %s/\n", written,
+                options.outdir.c_str());
+  }
+
+  if (!def.checks) return 0;
+  return core::PrintShapeChecks(def.checks(grid, levels));
+}
+
+}  // namespace bdio::bench

@@ -1,0 +1,162 @@
+// Substrate microbenchmarks (google-benchmark): throughput of the building
+// blocks the experiment harness is made of. These are sanity/perf
+// regressions, not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cpu.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "compress/codec.h"
+#include "mrfunc/local_runner.h"
+#include "net/network.h"
+#include "os/file_system.h"
+#include "os/page_cache.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+#include "workloads/datagen.h"
+#include "workloads/terasort.h"
+
+namespace bdio {
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAfter(static_cast<SimDuration>(i), [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  uint64_t sink = 0;
+  for (auto _ : state) sink ^= rng.Next();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(2);
+  for (auto _ : state) h.Add(rng.UniformDouble(0, 1e9));
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_DiskRandomReads(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{}, Rng(3));
+    Rng rng(4);
+    for (int i = 0; i < 256; ++i) {
+      dev.Submit(storage::IoType::kRead, rng.Uniform(1000000) * 8, 8,
+                 nullptr);
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DiskRandomReads);
+
+void BM_PageCacheStreamWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{}, Rng(5));
+    os::PageCacheParams p;
+    p.capacity_bytes = MiB(64);
+    os::PageCache cache(&sim, p);
+    os::FileSystem fs(&sim, &dev, &cache);
+    auto file = fs.Create("f").value();
+    for (int i = 0; i < 64; ++i) fs.Append(file, MiB(1), nullptr);
+    sim.Run();
+  }
+  state.SetBytesProcessed(state.iterations() * MiB(64));
+}
+BENCHMARK(BM_PageCacheStreamWrite);
+
+void BM_CodecCompressText(benchmark::State& state) {
+  Rng rng(6);
+  auto records = workloads::GenTeraSortRecords(&rng, 5000);
+  const std::string blob = mrfunc::SerializeRecords(records);
+  compress::FastLzCodec codec;
+  std::string out;
+  for (auto _ : state) {
+    BDIO_CHECK_OK(codec.Compress(blob, &out));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_CodecCompressText);
+
+void BM_CodecDecompressText(benchmark::State& state) {
+  Rng rng(7);
+  auto records = workloads::GenTeraSortRecords(&rng, 5000);
+  const std::string blob = mrfunc::SerializeRecords(records);
+  compress::FastLzCodec codec;
+  std::string compressed, out;
+  BDIO_CHECK_OK(codec.Compress(blob, &compressed));
+  for (auto _ : state) {
+    BDIO_CHECK_OK(codec.Decompress(compressed, &out));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_CodecDecompressText);
+
+void BM_NetworkFanIn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(&sim, 8);
+    int done = 0;
+    for (uint32_t s = 1; s < 8; ++s) {
+      net.Transfer(s, 0, MiB(4), [&done] { ++done; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 7);
+}
+BENCHMARK(BM_NetworkFanIn);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    cluster::CpuScheduler cpu(&sim, 12);
+    int done = 0;
+    for (int i = 0; i < 64; ++i) cpu.Run(Millis(50), [&done] { ++done; });
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CpuProcessorSharing);
+
+void BM_FunctionalTeraSort(benchmark::State& state) {
+  Rng rng(8);
+  auto input = workloads::GenTeraSortRecords(&rng, 2000);
+  for (auto _ : state) {
+    mrfunc::JobConfig config;
+    config.num_reduce_tasks = 4;
+    auto result = workloads::RunTeraSort(input, config);
+    BDIO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->output.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FunctionalTeraSort);
+
+}  // namespace
+}  // namespace bdio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 6: the fraction of per-disk iostat samples with HDFS-disk
+// utilization above 90/95/99%. Paper values (percent):
+//   AGG 22.6/16.4/9.8, TS 5.2/3.8/2.4, KM 0.4/0.3/0.2, PR 0.5/0.3/0.2.
+// The shape to reproduce: AGG > TS >> KM ~ PR, monotone in the threshold.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader("Table 6",
+                          "HDFS disks: fraction of samples above x% util",
+                          options);
+
+  core::GridRunner grid(options);
+  const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+
+  TextTable table;
+  table.SetHeader({"workload", ">90%util", ">95%util", ">99%util",
+                   "paper >90%"});
+  const char* paper[] = {"22.6%", "5.2%", "0.4%", "0.5%"};
+  std::map<workloads::WorkloadKind, double> above90;
+  int i = 0;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    above90[w] = res.hdfs.util_above_90;
+    table.AddRow({workloads::WorkloadShortName(w),
+                  TextTable::Percent(res.hdfs.util_above_90),
+                  TextTable::Percent(res.hdfs.util_above_95),
+                  TextTable::Percent(res.hdfs.util_above_99), paper[i++]});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  using workloads::WorkloadKind;
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back(core::ShapeCheck{
+      "AGG busiest HDFS disks",
+      above90[WorkloadKind::kAggregation] > above90[WorkloadKind::kTeraSort]});
+  checks.push_back(core::ShapeCheck{
+      "TS above the iterative workloads",
+      above90[WorkloadKind::kTeraSort] >= above90[WorkloadKind::kKMeans] &&
+          above90[WorkloadKind::kTeraSort] >=
+              above90[WorkloadKind::kPageRank]});
+  checks.push_back(core::ShapeCheck{
+      "KM and PR near zero",
+      above90[WorkloadKind::kKMeans] < 0.05 &&
+          above90[WorkloadKind::kPageRank] < 0.05});
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " tail monotone in threshold",
+        res.hdfs.util_above_90 >= res.hdfs.util_above_95 &&
+            res.hdfs.util_above_95 >= res.hdfs.util_above_99});
+  }
+  return core::PrintShapeChecks(checks);
+}

@@ -1,0 +1,58 @@
+// Table 7: the fraction of per-disk iostat samples with MapReduce-disk
+// utilization above 90/95/99%. Paper values (percent):
+//   TS 27.2/15.6/5.5; AGG, KM, PR all ~0.1 or below.
+// The shape to reproduce: TeraSort dominates; everything else is near zero.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(
+      "Table 7", "MapReduce disks: fraction of samples above x% util",
+      options);
+
+  core::GridRunner grid(options);
+  const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+
+  TextTable table;
+  table.SetHeader({"workload", ">90%util", ">95%util", ">99%util",
+                   "paper >90%"});
+  const char* paper[] = {"~0.1%", "27.2%", "~0.1%", "0.1%"};
+  std::map<workloads::WorkloadKind, double> above90;
+  int i = 0;
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    above90[w] = res.mr.util_above_90;
+    table.AddRow({workloads::WorkloadShortName(w),
+                  TextTable::Percent(res.mr.util_above_90),
+                  TextTable::Percent(res.mr.util_above_95),
+                  TextTable::Percent(res.mr.util_above_99), paper[i++]});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  using workloads::WorkloadKind;
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back(core::ShapeCheck{
+      "TS dominates MR-disk saturation",
+      above90[WorkloadKind::kTeraSort] >
+          4 * std::max({above90[WorkloadKind::kAggregation],
+                        above90[WorkloadKind::kKMeans],
+                        above90[WorkloadKind::kPageRank]})});
+  checks.push_back(core::ShapeCheck{
+      "AGG and KM MR disks never saturated",
+      above90[WorkloadKind::kAggregation] < 0.02 &&
+          above90[WorkloadKind::kKMeans] < 0.02});
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    checks.push_back(core::ShapeCheck{
+        std::string(workloads::WorkloadShortName(w)) +
+            " tail monotone in threshold",
+        res.mr.util_above_90 >= res.mr.util_above_95 &&
+            res.mr.util_above_95 >= res.mr.util_above_99});
+  }
+  return core::PrintShapeChecks(checks);
+}

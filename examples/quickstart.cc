@@ -1,0 +1,83 @@
+// Quickstart: characterize one workload's disk I/O on the simulated
+// testbed, the way the paper does — run TeraSort under a chosen factor
+// configuration, sample iostat on both disk classes, and print the
+// headline metrics.
+//
+//   $ ./quickstart
+//
+// See storage_planning.cc and custom_workload.cc for deeper API usage.
+
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  using namespace bdio;
+
+  // Pick the workload and the paper's factor setting.
+  core::ExperimentSpec spec;
+  spec.workload = workloads::WorkloadKind::kTeraSort;
+  spec.factors.slots = mapreduce::SlotConfig::Paper_1_8();
+  spec.factors.memory_bytes = GiB(16);
+  spec.factors.compress_intermediate = true;
+  // Scale the 1 TB run down so this example finishes in a few seconds.
+  spec.scale = 1.0 / 256;
+
+  auto result = core::RunExperiment(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("configuration: %s\n", result->label.c_str());
+  std::printf("job wall time: %.1f simulated seconds\n\n",
+              result->duration_s);
+
+  auto show = [](const char* name, const core::GroupObservation& obs) {
+    std::printf("%s disks:\n", name);
+    std::printf("  read bandwidth   mean %6.1f MB/s   peak %6.1f MB/s\n",
+                obs.read_mbps.Mean(), obs.read_mbps.Peak());
+    std::printf("  write bandwidth  mean %6.1f MB/s\n",
+                obs.write_mbps.Mean());
+    std::printf("  utilization      mean %6.1f %%     >90%% in %4.1f%% of "
+                "samples\n",
+                obs.util.Mean(), obs.util_above_90 * 100);
+    std::printf("  await            %6.1f ms (service %0.1f ms + queue "
+                "%0.1f ms)\n",
+                obs.await_ms.ActiveMean(), obs.svctm_ms.ActiveMean(),
+                obs.wait_ms.ActiveMean());
+    std::printf("  avg request size %6.0f sectors (%.0f KiB)\n\n",
+                obs.avgrq_sz.ActiveMean(),
+                obs.avgrq_sz.ActiveMean() * 512 / 1024);
+  };
+  show("HDFS", result->hdfs);
+  show("MapReduce intermediate", result->mr);
+
+  std::printf("execution timeline: peak %d maps / %d reduces running, "
+              "mean CPU %.0f%% of %u cores\n",
+              static_cast<int>(result->maps_running.Peak()),
+              static_cast<int>(result->reduces_running.Peak()),
+              result->cpu_util.Mean() * 100, 12 * 10);
+
+  std::printf("\nwhere the physical I/O came from:\n");
+  for (const auto& [source, v] : result->io_sources) {
+    std::printf("  %-12s read %6.0f MB   written %6.0f MB\n",
+                source.c_str(),
+                static_cast<double>(v.disk_read_bytes) / 1e6,
+                static_cast<double>(v.disk_write_bytes) / 1e6);
+  }
+
+  std::printf("\nHadoop counters:\n");
+  for (const auto& job : result->jobs) {
+    std::printf(
+        "  maps %u (%u node-local), reduces %u, HDFS read %.0f MB, "
+        "HDFS written %.0f MB, intermediate %.0f MB, shuffled %.0f MB\n",
+        job.maps_launched, job.maps_local, job.reduces_launched,
+        static_cast<double>(job.hdfs_read_bytes) / 1e6,
+        static_cast<double>(job.hdfs_write_bytes) / 1e6,
+        static_cast<double>(job.intermediate_write_bytes) / 1e6,
+        static_cast<double>(job.shuffle_network_bytes) / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "cluster/cluster.h"
+
+#include "common/logging.h"
+
+namespace bdio::cluster {
+
+Cluster::Cluster(sim::Simulator* sim, const ClusterParams& params,
+                 uint32_t total_slots, Rng rng)
+    : sim_(sim), params_(params) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(params.num_workers > 0);
+  network_ = std::make_unique<net::Network>(sim, params.num_workers,
+                                            params.link_bytes_per_sec);
+  for (uint32_t i = 0; i < params.num_workers; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim, i, params.node, total_slots,
+                                            rng.Fork()));
+  }
+}
+
+}  // namespace bdio::cluster

@@ -1,0 +1,50 @@
+#ifndef BDIO_CLUSTER_CLUSTER_H_
+#define BDIO_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/random.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace bdio::cluster {
+
+/// Cluster-level configuration, defaulting to the paper's testbed: one
+/// master plus ten worker nodes on 1 GbE. Only workers are modelled as
+/// Nodes; the master's coordination traffic is negligible at disk level.
+struct ClusterParams {
+  uint32_t num_workers = 10;
+  NodeParams node;
+  double link_bytes_per_sec = net::Network::kGigabitPayloadBytesPerSec;
+};
+
+/// A set of worker nodes joined by a fair-share network.
+class Cluster {
+ public:
+  /// `total_slots` is the per-node slot count (map + reduce), needed to
+  /// size each node's page cache.
+  Cluster(sim::Simulator* sim, const ClusterParams& params,
+          uint32_t total_slots, Rng rng);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  uint32_t num_workers() const { return params_.num_workers; }
+  Node* node(uint32_t i) { return nodes_[i].get(); }
+  net::Network* network() { return network_.get(); }
+  sim::Simulator* sim() { return sim_; }
+  const ClusterParams& params() const { return params_; }
+
+ private:
+  sim::Simulator* sim_;
+  ClusterParams params_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace bdio::cluster
+
+#endif  // BDIO_CLUSTER_CLUSTER_H_

@@ -1,0 +1,86 @@
+#include "cluster/cpu.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bdio::cluster {
+
+CpuScheduler::CpuScheduler(sim::Simulator* sim, uint32_t cores)
+    : sim_(sim), cores_(cores) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(cores > 0);
+}
+
+double CpuScheduler::RatePerJob() const {
+  if (jobs_.empty()) return 0;
+  return std::min(1.0, static_cast<double>(cores_) /
+                           static_cast<double>(jobs_.size()));
+}
+
+void CpuScheduler::Run(SimDuration cpu_time, std::function<void()> cb) {
+  if (cpu_time == 0) {
+    sim_->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  AdvanceTo(sim_->Now());
+  Job job;
+  job.remaining = ToSeconds(cpu_time);
+  job.cb = std::move(cb);
+  jobs_.emplace(next_id_++, std::move(job));
+  Reschedule();
+}
+
+void CpuScheduler::AdvanceTo(SimTime now) {
+  BDIO_CHECK(now >= last_advance_);
+  const double dt = ToSeconds(now - last_advance_);
+  if (dt > 0 && !jobs_.empty()) {
+    const double rate = RatePerJob();
+    for (auto& [id, j] : jobs_) {
+      const double work = rate * dt;
+      j.remaining = std::max(0.0, j.remaining - work);
+    }
+    used_seconds_ +=
+        rate * dt * static_cast<double>(jobs_.size());
+  }
+  last_advance_ = now;
+}
+
+void CpuScheduler::Reschedule() {
+  // Retire finished jobs.
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= 1e-12) {
+      done.push_back(std::move(it->second.cb));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& cb : done) {
+    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+  }
+  if (jobs_.empty()) return;
+  const double rate = RatePerJob();
+  double min_t = std::numeric_limits<double>::infinity();
+  for (auto& [id, j] : jobs_) {
+    min_t = std::min(min_t, j.remaining / rate);
+  }
+  const uint64_t gen = ++generation_;
+  sim_->ScheduleAfter(FromSeconds(min_t) + 1, [this, gen] {
+    if (gen != generation_) return;
+    AdvanceTo(sim_->Now());
+    Reschedule();
+  });
+}
+
+double CpuScheduler::Utilization() const {
+  const double elapsed = ToSeconds(sim_->Now());
+  if (elapsed <= 0) return 0;
+  return used_seconds_ / (static_cast<double>(cores_) * elapsed);
+}
+
+}  // namespace bdio::cluster

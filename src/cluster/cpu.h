@@ -1,0 +1,58 @@
+#ifndef BDIO_CLUSTER_CPU_H_
+#define BDIO_CLUSTER_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace bdio::cluster {
+
+/// Processor-sharing CPU model: a node has `cores` cores; each runnable job
+/// receives rate min(1, cores / runnable) cores. Completion events are
+/// recomputed whenever the runnable set changes — the same fluid technique
+/// as net::Network. This is what stretches CPU-bound workloads when slots
+/// exceed cores, and what lets extra slots shorten runtime when cores are
+/// idle.
+class CpuScheduler {
+ public:
+  CpuScheduler(sim::Simulator* sim, uint32_t cores);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Runs `cpu_time` of single-core work; `cb` fires when it has received
+  /// that much CPU service.
+  void Run(SimDuration cpu_time, std::function<void()> cb);
+
+  uint32_t cores() const { return cores_; }
+  size_t runnable() const { return jobs_.size(); }
+  /// Total CPU-seconds delivered so far.
+  double cpu_seconds_used() const { return used_seconds_; }
+  /// Utilization over [0, now]: used / (cores * elapsed).
+  double Utilization() const;
+
+ private:
+  struct Job {
+    double remaining;  ///< Single-core seconds of work left.
+    std::function<void()> cb;
+  };
+
+  void AdvanceTo(SimTime now);
+  void Reschedule();
+  double RatePerJob() const;
+
+  sim::Simulator* sim_;
+  uint32_t cores_;
+  std::unordered_map<uint64_t, Job> jobs_;
+  uint64_t next_id_ = 1;
+  uint64_t generation_ = 0;
+  SimTime last_advance_ = 0;
+  double used_seconds_ = 0;
+};
+
+}  // namespace bdio::cluster
+
+#endif  // BDIO_CLUSTER_CPU_H_

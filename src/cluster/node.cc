@@ -1,0 +1,50 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bdio::cluster {
+
+uint64_t NodeParams::CacheBytes(uint32_t slots) const {
+  const uint64_t reserved =
+      daemon_bytes + static_cast<uint64_t>(slots) * per_slot_heap_bytes;
+  if (memory_bytes <= reserved + min_cache_bytes) return min_cache_bytes;
+  return memory_bytes - reserved;
+}
+
+Node::Node(sim::Simulator* sim, uint32_t id, const NodeParams& params,
+           uint32_t total_slots, Rng rng)
+    : sim_(sim), id_(id), params_(params) {
+  BDIO_CHECK(sim != nullptr);
+  cpu_ = std::make_unique<CpuScheduler>(sim, params.cores);
+
+  os::PageCacheParams cache_params = params.cache;
+  cache_params.capacity_bytes = params.CacheBytes(total_slots);
+  cache_ = std::make_unique<os::PageCache>(sim, cache_params);
+
+  os::FileSystemParams hdfs_fs_params;
+  hdfs_fs_params.extent_bytes = params.hdfs_extent_bytes;
+  os::FileSystemParams mr_fs_params;
+  mr_fs_params.extent_bytes = params.mr_extent_bytes;
+  mr_fs_params.scatter_allocation = true;
+  mr_fs_params.scatter_seed = 0x5EED0000ULL + id;
+  for (uint32_t i = 0; i < params.num_hdfs_disks; ++i) {
+    hdfs_disks_.push_back(std::make_unique<storage::BlockDevice>(
+        sim, "n" + std::to_string(id) + "-hdfs" + std::to_string(i),
+        params.disk, rng.Fork(), params.io_scheduler));
+    hdfs_fs_.push_back(std::make_unique<os::FileSystem>(
+        sim, hdfs_disks_.back().get(), cache_.get(), hdfs_fs_params));
+  }
+  const storage::DiskParameters& mr_disk_params =
+      params.mr_disk ? *params.mr_disk : params.disk;
+  for (uint32_t i = 0; i < params.num_mr_disks; ++i) {
+    mr_disks_.push_back(std::make_unique<storage::BlockDevice>(
+        sim, "n" + std::to_string(id) + "-mr" + std::to_string(i),
+        mr_disk_params, rng.Fork(), params.io_scheduler));
+    mr_fs_.push_back(std::make_unique<os::FileSystem>(
+        sim, mr_disks_.back().get(), cache_.get(), mr_fs_params));
+  }
+}
+
+}  // namespace bdio::cluster

@@ -1,0 +1,104 @@
+#ifndef BDIO_CLUSTER_NODE_H_
+#define BDIO_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cpu.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "os/file_system.h"
+#include "os/page_cache.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+#include "storage/disk_parameters.h"
+
+namespace bdio::cluster {
+
+/// Hardware/software configuration of a worker node, defaulting to the
+/// paper's testbed (Table 1): 2x Xeon E5645 = 12 cores, 16/32 GB DDR3,
+/// 7 disks of which 3 hold HDFS data and 3 hold MapReduce intermediate data
+/// (the 7th is the system disk, which the paper does not report).
+struct NodeParams {
+  uint32_t cores = 12;
+  uint64_t memory_bytes = GiB(16);
+  uint32_t num_hdfs_disks = 3;
+  uint32_t num_mr_disks = 3;
+  storage::DiskParameters disk = storage::DiskParameters::Seagate1TB7200();
+  /// Intermediate-data disks may differ from the HDFS ones (e.g. flash for
+  /// the shuffle — the per-I/O-mode provisioning the paper implies).
+  std::optional<storage::DiskParameters> mr_disk;
+  std::string io_scheduler = "deadline";
+
+  /// Memory not available to the page cache: OS + Hadoop daemons, and one
+  /// JVM heap per configured task slot.
+  uint64_t daemon_bytes = GiB(2);
+  uint64_t per_slot_heap_bytes = MiB(200);
+  /// Lower bound on the page cache (scaled experiments shrink memory).
+  uint64_t min_cache_bytes = MiB(256);
+
+  /// Allocation granularity per disk class. HDFS block files are large and
+  /// long-lived (near-contiguous on disk); intermediate-data dirs hold many
+  /// small short-lived files and fragment — this is what makes the MR disks'
+  /// requests small and seeky, per the paper's Observation 4.
+  uint64_t hdfs_extent_bytes = MiB(4);
+  uint64_t mr_extent_bytes = MiB(1);
+
+  os::PageCacheParams cache;  ///< capacity_bytes is overwritten.
+
+  /// Page-cache capacity implied by this configuration with `slots` task
+  /// slots (never below 256 MiB).
+  uint64_t CacheBytes(uint32_t slots) const;
+};
+
+/// A simulated worker node: CPU scheduler, unified page cache, and two
+/// groups of data disks with one local filesystem each — the HDFS data
+/// directories and the MapReduce intermediate-data (mapred.local) dirs.
+class Node {
+ public:
+  Node(sim::Simulator* sim, uint32_t id, const NodeParams& params,
+       uint32_t total_slots, Rng rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t id() const { return id_; }
+  const NodeParams& params() const { return params_; }
+
+  CpuScheduler* cpu() { return cpu_.get(); }
+  os::PageCache* cache() { return cache_.get(); }
+
+  uint32_t num_hdfs_disks() const { return params_.num_hdfs_disks; }
+  uint32_t num_mr_disks() const { return params_.num_mr_disks; }
+  storage::BlockDevice* hdfs_disk(uint32_t i) { return hdfs_disks_[i].get(); }
+  storage::BlockDevice* mr_disk(uint32_t i) { return mr_disks_[i].get(); }
+  os::FileSystem* hdfs_fs(uint32_t i) { return hdfs_fs_[i].get(); }
+  os::FileSystem* mr_fs(uint32_t i) { return mr_fs_[i].get(); }
+
+  /// Round-robin placement over the HDFS dirs (DataNode volume choosing
+  /// policy) and the MR local dirs (LocalDirAllocator).
+  os::FileSystem* NextHdfsFs() {
+    return hdfs_fs_[hdfs_rr_++ % hdfs_fs_.size()].get();
+  }
+  os::FileSystem* NextMrFs() { return mr_fs_[mr_rr_++ % mr_fs_.size()].get(); }
+
+ private:
+  sim::Simulator* sim_;
+  uint32_t id_;
+  NodeParams params_;
+  std::unique_ptr<CpuScheduler> cpu_;
+  std::unique_ptr<os::PageCache> cache_;
+  std::vector<std::unique_ptr<storage::BlockDevice>> hdfs_disks_;
+  std::vector<std::unique_ptr<storage::BlockDevice>> mr_disks_;
+  std::vector<std::unique_ptr<os::FileSystem>> hdfs_fs_;
+  std::vector<std::unique_ptr<os::FileSystem>> mr_fs_;
+  uint64_t hdfs_rr_ = 0;
+  uint64_t mr_rr_ = 0;
+};
+
+}  // namespace bdio::cluster
+
+#endif  // BDIO_CLUSTER_NODE_H_

@@ -1,0 +1,4 @@
+namespace bdio::cluster {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "cluster"; }
+}  // namespace bdio::cluster

@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio {
+
+Histogram::Histogram() {
+  // Geometric bucket limits: 1, 2, 3, 4, 5, 6, 8, 10, ... growing ~1.25x,
+  // covering up to ~1e19.
+  double limit = 1;
+  while (limit < 2e19) {
+    bucket_limits_.push_back(limit);
+    double next = limit * 1.25;
+    // Keep limits integral below 1e15 for exactness on small counts.
+    if (next < 1e15) next = std::max(std::floor(next), limit + 1);
+    limit = next;
+  }
+  buckets_.assign(bucket_limits_.size() + 1, 0);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  auto it = std::lower_bound(bucket_limits_.begin(), bucket_limits_.end(),
+                             value);
+  return static_cast<size_t>(it - bucket_limits_.begin());
+}
+
+void Histogram::Add(double value) {
+  BDIO_CHECK(value >= 0) << "Histogram only stores non-negative values";
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+double Histogram::min() const { return count_ ? min_ : 0; }
+double Histogram::max() const { return count_ ? max_ : 0; }
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double Histogram::ValueAtPercentile(double p) const {
+  BDIO_CHECK(p >= 0 && p <= 100);
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0 : bucket_limits_[i - 1];
+      const double hi =
+          i < bucket_limits_.size() ? bucket_limits_[i] : max_;
+      const double frac =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " min=" << min()
+     << " max=" << max() << " p50=" << ValueAtPercentile(50)
+     << " p95=" << ValueAtPercentile(95) << " p99=" << ValueAtPercentile(99);
+  return os.str();
+}
+
+}  // namespace bdio

@@ -1,0 +1,47 @@
+#ifndef BDIO_COMMON_HISTOGRAM_H_
+#define BDIO_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bdio {
+
+/// Log-bucketed histogram of non-negative values (latencies in ns, request
+/// sizes in bytes, ...). Buckets grow geometrically, giving ~2% relative
+/// error on percentile estimates — the RocksDB HistogramImpl approach.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Percentile estimate via linear interpolation inside the bucket.
+  double ValueAtPercentile(double p) const;
+  double Median() const { return ValueAtPercentile(50); }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::vector<double> bucket_limits_;  // upper bounds, ascending
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_HISTOGRAM_H_

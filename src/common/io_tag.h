@@ -1,0 +1,48 @@
+#ifndef BDIO_COMMON_IO_TAG_H_
+#define BDIO_COMMON_IO_TAG_H_
+
+#include <cstdint>
+
+namespace bdio {
+
+/// High-level source of a file's I/O demand. The paper's conclusion calls
+/// for combining "a low-level description of physical resources ... and the
+/// high-level functional composition of big data workloads to reveal the
+/// major source of I/O demand" — files are tagged with their role so the
+/// page cache can attribute every physical byte to one of these sources.
+enum class IoTag : uint32_t {
+  kUnknown = 0,
+  kHdfsInput,    ///< Pre-existing input dataset blocks.
+  kHdfsOutput,   ///< Job output blocks, including replication copies.
+  kMapSpill,     ///< Map-side sort-buffer spill files.
+  kMapOutput,    ///< Merged map output files served to the shuffle.
+  kShuffleRun,   ///< Reduce-side shuffle merge runs.
+  kNumTags,
+};
+
+inline const char* IoTagName(IoTag tag) {
+  switch (tag) {
+    case IoTag::kUnknown:
+      return "unknown";
+    case IoTag::kHdfsInput:
+      return "hdfs-input";
+    case IoTag::kHdfsOutput:
+      return "hdfs-output";
+    case IoTag::kMapSpill:
+      return "map-spill";
+    case IoTag::kMapOutput:
+      return "map-output";
+    case IoTag::kShuffleRun:
+      return "shuffle-run";
+    case IoTag::kNumTags:
+      break;
+  }
+  return "?";
+}
+
+inline constexpr uint32_t kNumIoTags =
+    static_cast<uint32_t>(IoTag::kNumTags);
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_IO_TAG_H_

@@ -1,0 +1,80 @@
+#ifndef BDIO_COMMON_LOGGING_H_
+#define BDIO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bdio {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global log threshold; messages below it are discarded. Defaults to
+/// kWarning so library users aren't spammed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for compiled-out levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace bdio
+
+#define BDIO_LOG(level)                                              \
+  ::bdio::internal::LogMessage(::bdio::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+/// Fatal assertion: evaluates `cond`; on failure logs the streamed message
+/// and aborts. Active in all build types (database-style defensive checks).
+#define BDIO_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::bdio::internal::LogMessageVoidify() &                  \
+               ::bdio::internal::LogMessage(::bdio::LogLevel::kFatal, \
+                                            __FILE__, __LINE__)     \
+                   << "Check failed: " #cond " "
+
+#define BDIO_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::bdio::Status _bdio_check_status = (expr);               \
+    BDIO_CHECK(_bdio_check_status.ok())                       \
+        << "status = " << _bdio_check_status.ToString();      \
+  } while (false)
+
+namespace bdio::internal {
+/// Allows BDIO_CHECK to be used in expression position by giving the
+/// ternary's branches a common (void) type.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace bdio::internal
+
+#endif  // BDIO_COMMON_LOGGING_H_

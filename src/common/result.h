@@ -1,0 +1,89 @@
+#ifndef BDIO_COMMON_RESULT_H_
+#define BDIO_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace bdio {
+
+/// Result<T> holds either a value of type T or a non-OK Status explaining why
+/// the value is absent (the Arrow `Result` / abseil `StatusOr` idiom).
+///
+/// Typical use:
+///
+///   Result<File> f = fs.Open("path");
+///   if (!f.ok()) return f.status();
+///   f->Read(...);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    BDIO_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the contained status: OK if a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; it is a fatal error to access the value of a failed
+  /// Result.
+  T& value() & {
+    BDIO_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  const T& value() const& {
+    BDIO_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    BDIO_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace bdio
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define BDIO_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  BDIO_ASSIGN_OR_RETURN_IMPL_(                         \
+      BDIO_CONCAT_(_bdio_result_, __LINE__), lhs, rexpr)
+
+#define BDIO_CONCAT_INNER_(a, b) a##b
+#define BDIO_CONCAT_(a, b) BDIO_CONCAT_INNER_(a, b)
+#define BDIO_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#endif  // BDIO_COMMON_RESULT_H_

@@ -1,0 +1,48 @@
+#ifndef BDIO_COMMON_STATS_H_
+#define BDIO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bdio {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `values` using linear
+/// interpolation between closest ranks. Returns 0 for an empty vector.
+/// The input is copied; prefer Percentiles() for multiple cut points.
+double Percentile(std::vector<double> values, double p);
+
+/// Percentiles for several cut points with one sort.
+std::vector<double> Percentiles(std::vector<double> values,
+                                const std::vector<double>& ps);
+
+/// Fraction of values strictly greater than `threshold` (0 if empty).
+double FractionAbove(const std::vector<double>& values, double threshold);
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_STATS_H_

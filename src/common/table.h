@@ -1,0 +1,38 @@
+#ifndef BDIO_COMMON_TABLE_H_
+#define BDIO_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace bdio {
+
+/// Column-aligned text table used by the bench harnesses to print the
+/// paper's tables. Cells are strings; numeric helpers format with fixed
+/// precision.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+  /// Appends a data row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string ToString() const;
+  /// Renders as CSV.
+  std::string ToCsv() const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 1);
+  /// Formats a fraction as a percentage string, e.g. 0.226 -> "22.6%".
+  static std::string Percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_TABLE_H_

@@ -1,0 +1,86 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio {
+
+double TimeSeries::Mean() const {
+  if (samples_.empty()) return 0;
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::Peak() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double TimeSeries::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double TimeSeries::FractionAbove(double threshold) const {
+  return ::bdio::FractionAbove(samples_, threshold);
+}
+
+double TimeSeries::ActiveMean() const {
+  double s = 0;
+  size_t n = 0;
+  for (double v : samples_) {
+    if (v != 0) {
+      s += v;
+      ++n;
+    }
+  }
+  return n ? s / static_cast<double>(n) : 0;
+}
+
+RunningStats TimeSeries::Stats() const {
+  RunningStats st;
+  for (double v : samples_) st.Add(v);
+  return st;
+}
+
+TimeSeries TimeSeries::Sum(const std::vector<const TimeSeries*>& series) {
+  BDIO_CHECK(!series.empty());
+  TimeSeries out(series[0]->interval());
+  size_t n = 0;
+  for (const TimeSeries* s : series) {
+    BDIO_CHECK(s->interval() == out.interval())
+        << "cannot sum series with different intervals";
+    n = std::max(n, s->size());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double v = 0;
+    for (const TimeSeries* s : series) {
+      if (i < s->size()) v += s->at(i);
+    }
+    out.Append(v);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::Average(const std::vector<const TimeSeries*>& series) {
+  TimeSeries sum = Sum(series);
+  TimeSeries out(sum.interval());
+  for (size_t i = 0; i < sum.size(); ++i) {
+    out.Append(sum.at(i) / static_cast<double>(series.size()));
+  }
+  return out;
+}
+
+std::string TimeSeries::ToCsv(const std::string& name) const {
+  std::ostringstream os;
+  os << "time_s," << name << "\n";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    os << TimeAt(i) << "," << samples_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bdio

@@ -1,0 +1,61 @@
+#ifndef BDIO_COMMON_TIME_SERIES_H_
+#define BDIO_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace bdio {
+
+/// A fixed-interval time series of doubles — one sample per iostat interval.
+/// This is the data behind every figure in the paper: a metric sampled once
+/// per simulated second over the execution of a workload.
+class TimeSeries {
+ public:
+  /// `interval` is the sampling period (default 1 simulated second).
+  explicit TimeSeries(SimDuration interval = Seconds(1))
+      : interval_(interval) {}
+
+  void Append(double value) { samples_.push_back(value); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double at(size_t i) const { return samples_[i]; }
+  const std::vector<double>& samples() const { return samples_; }
+  SimDuration interval() const { return interval_; }
+
+  /// Timestamp (seconds) of sample i — the end of its interval.
+  double TimeAt(size_t i) const {
+    return ToSeconds(interval_) * static_cast<double>(i + 1);
+  }
+
+  double Mean() const;
+  double Peak() const;
+  double Min() const;
+  /// Fraction of samples strictly above `threshold` — the Table 6/7 metric.
+  double FractionAbove(double threshold) const;
+  /// Mean over only the non-zero samples (active-phase average).
+  double ActiveMean() const;
+
+  RunningStats Stats() const;
+
+  /// Element-wise sum of series (they must have equal intervals; the shorter
+  /// one is zero-extended).
+  static TimeSeries Sum(const std::vector<const TimeSeries*>& series);
+  /// Element-wise mean across series.
+  static TimeSeries Average(const std::vector<const TimeSeries*>& series);
+
+  /// Renders "t,v" CSV lines with the given column header.
+  std::string ToCsv(const std::string& name) const;
+
+ private:
+  SimDuration interval_;
+  std::vector<double> samples_;
+};
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_TIME_SERIES_H_

@@ -1,0 +1,67 @@
+#ifndef BDIO_COMMON_UNITS_H_
+#define BDIO_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace bdio {
+
+// ---------------------------------------------------------------------------
+// Byte quantities.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+/// Disk sector size assumed throughout (iostat's avgrq-sz unit).
+inline constexpr uint64_t kSectorSize = 512ULL;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+constexpr uint64_t TiB(uint64_t n) { return n * kTiB; }
+
+constexpr double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+constexpr uint64_t BytesToSectors(uint64_t bytes) {
+  return (bytes + kSectorSize - 1) / kSectorSize;
+}
+
+// ---------------------------------------------------------------------------
+// Simulated time: unsigned 64-bit nanoseconds since simulation start.
+// ---------------------------------------------------------------------------
+
+using SimTime = uint64_t;      ///< Absolute simulated time, ns.
+using SimDuration = uint64_t;  ///< Simulated duration, ns.
+
+inline constexpr SimDuration kNanosecond = 1ULL;
+inline constexpr SimDuration kMicrosecond = 1000ULL;
+inline constexpr SimDuration kMillisecond = 1000ULL * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000ULL * kMillisecond;
+
+constexpr SimDuration Micros(uint64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(uint64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+/// Converts fractional seconds to a SimDuration, rounding to nearest ns.
+constexpr SimDuration FromSeconds(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond) +
+                                  0.5);
+}
+
+/// Duration to move `bytes` at `bytes_per_second`.
+constexpr SimDuration TransferTime(uint64_t bytes, double bytes_per_second) {
+  return FromSeconds(static_cast<double>(bytes) / bytes_per_second);
+}
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_UNITS_H_

@@ -1,0 +1,226 @@
+#include "compress/codec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bdio::compress {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+
+uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash(uint32_t v) {
+  return (v * 2654435761U) >> (32 - kHashBits);
+}
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*p < end && shift <= 63) {
+    const uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Emits an LZ4-style extended length: nibble already holds min(v, 15);
+/// if v >= 15 the remainder follows as 255-saturated bytes.
+void PutExtLength(std::string* out, size_t v) {
+  if (v < 15) return;
+  v -= 15;
+  while (v >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    v -= 255;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetExtLength(const char** p, const char* end, size_t nibble,
+                  size_t* v) {
+  *v = nibble;
+  if (nibble != 15) return true;
+  while (*p < end) {
+    const uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    *v += byte;
+    if (byte != 255) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status FastLzCodec::Compress(std::string_view input,
+                             std::string* output) const {
+  output->clear();
+  PutVarint(output, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n == 0) return Status::OK();
+
+  std::vector<uint32_t> table(kHashSize, 0xFFFFFFFFu);
+  size_t i = 0;
+  size_t anchor = 0;
+
+  auto emit_sequence = [&](size_t lit_end, size_t match_len,
+                           size_t match_offset) {
+    const size_t lit_len = lit_end - anchor;
+    const uint8_t lit_nibble = static_cast<uint8_t>(std::min<size_t>(
+        lit_len, 15));
+    uint8_t match_nibble = 0;
+    if (match_len > 0) {
+      BDIO_CHECK(match_len >= kMinMatch);
+      match_nibble =
+          static_cast<uint8_t>(std::min<size_t>(match_len - kMinMatch, 15));
+    }
+    output->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+    PutExtLength(output, lit_len);
+    output->append(base + anchor, lit_len);
+    if (match_len > 0) {
+      output->push_back(static_cast<char>(match_offset & 0xFF));
+      output->push_back(static_cast<char>((match_offset >> 8) & 0xFF));
+      PutExtLength(output, match_len - kMinMatch);
+    }
+  };
+
+  while (i + kMinMatch <= n) {
+    const uint32_t v = Read32(base + i);
+    const uint32_t h = Hash(v);
+    const uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (cand != 0xFFFFFFFFu && i - cand <= kMaxOffset &&
+        Read32(base + cand) == v) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      while (i + len < n && base[cand + len] == base[i + len]) ++len;
+      emit_sequence(i, len, i - cand);
+      // Index a couple of positions inside the match to help later matches.
+      const size_t step = len > 32 ? len / 8 : 1;
+      for (size_t k = i + 1; k + kMinMatch <= i + len && k + kMinMatch <= n;
+           k += step) {
+        table[Hash(Read32(base + k))] = static_cast<uint32_t>(k);
+      }
+      i += len;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  // Trailing literals (possibly the whole input).
+  if (anchor < n || n == 0) {
+    emit_sequence(n, 0, 0);
+  } else if (anchor == n) {
+    // Input ended exactly on a match: emit an empty final literal run so the
+    // decoder's "last sequence has no match" rule still terminates cleanly.
+    emit_sequence(n, 0, 0);
+  }
+  return Status::OK();
+}
+
+Status FastLzCodec::Decompress(std::string_view input,
+                               std::string* output) const {
+  output->clear();
+  const char* p = input.data();
+  const char* end = p + input.size();
+  uint64_t expected = 0;
+  if (!GetVarint(&p, end, &expected)) {
+    return Status::Corruption("fastlz: bad size header");
+  }
+  output->reserve(expected);
+  while (output->size() < expected || p < end) {
+    if (p >= end) return Status::Corruption("fastlz: truncated stream");
+    const uint8_t token = static_cast<uint8_t>(*p++);
+    size_t lit_len = 0;
+    if (!GetExtLength(&p, end, token >> 4, &lit_len)) {
+      return Status::Corruption("fastlz: bad literal length");
+    }
+    if (p + lit_len > end) {
+      return Status::Corruption("fastlz: literals beyond input");
+    }
+    output->append(p, lit_len);
+    p += lit_len;
+    if (output->size() >= expected) {
+      // Final sequence carries no match.
+      if (output->size() != expected) {
+        return Status::Corruption("fastlz: output overrun");
+      }
+      if (p != end) return Status::Corruption("fastlz: trailing garbage");
+      break;
+    }
+    if (p + 2 > end) return Status::Corruption("fastlz: truncated offset");
+    const size_t offset = static_cast<uint8_t>(p[0]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(p[1]))
+                           << 8);
+    p += 2;
+    size_t match_len = 0;
+    if (!GetExtLength(&p, end, token & 0x0F, &match_len)) {
+      return Status::Corruption("fastlz: bad match length");
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > output->size()) {
+      return Status::Corruption("fastlz: bad match offset");
+    }
+    if (output->size() + match_len > expected) {
+      return Status::Corruption("fastlz: match overruns output");
+    }
+    // Byte-by-byte copy: offsets smaller than the match length replicate
+    // (RLE-style), matching the encoder's semantics.
+    size_t src = output->size() - offset;
+    for (size_t k = 0; k < match_len; ++k) {
+      output->push_back((*output)[src + k]);
+    }
+    if (output->size() == expected) {
+      // A valid stream always terminates with a (possibly empty) literal-only
+      // sequence; reaching the expected size on a match means truncation.
+      if (p == end) return Status::Corruption("fastlz: missing final run");
+    }
+  }
+  if (output->size() != expected) {
+    return Status::Corruption("fastlz: short output");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Codec> MakeCodec(const std::string& name) {
+  if (name == "null") return std::make_unique<NullCodec>();
+  if (name == "fastlz") return std::make_unique<FastLzCodec>();
+  BDIO_LOG(Fatal) << "unknown codec: " << name;
+  return nullptr;
+}
+
+double CompressedFraction(const Codec& codec, std::string_view sample) {
+  if (sample.empty()) return 1.0;
+  std::string compressed;
+  BDIO_CHECK_OK(codec.Compress(sample, &compressed));
+  return static_cast<double>(compressed.size()) /
+         static_cast<double>(sample.size());
+}
+
+}  // namespace bdio::compress

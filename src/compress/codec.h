@@ -1,0 +1,66 @@
+#ifndef BDIO_COMPRESS_CODEC_H_
+#define BDIO_COMPRESS_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace bdio::compress {
+
+/// Byte-stream compression codec interface. Implementations must be
+/// deterministic and round-trip exact.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+
+  /// Compresses `input`, replacing `*output`.
+  virtual Status Compress(std::string_view input,
+                          std::string* output) const = 0;
+
+  /// Decompresses `input` (previously produced by Compress), replacing
+  /// `*output`. Returns Corruption on malformed input.
+  virtual Status Decompress(std::string_view input,
+                            std::string* output) const = 0;
+};
+
+/// Identity codec (compression disabled).
+class NullCodec : public Codec {
+ public:
+  std::string name() const override { return "null"; }
+  Status Compress(std::string_view input, std::string* output) const override {
+    output->assign(input);
+    return Status::OK();
+  }
+  Status Decompress(std::string_view input,
+                    std::string* output) const override {
+    output->assign(input);
+    return Status::OK();
+  }
+};
+
+/// LZ77 byte codec in the LZ4 block format family: greedy hash-chain
+/// matching over a 64 KiB window; sequences of (literal run, match) tokens
+/// with nibble-packed lengths and 16-bit offsets. This is the codec Hadoop's
+/// intermediate-data compression is modelled with; its measured ratio on the
+/// generated datasets calibrates the simulator.
+class FastLzCodec : public Codec {
+ public:
+  std::string name() const override { return "fastlz"; }
+  Status Compress(std::string_view input, std::string* output) const override;
+  Status Decompress(std::string_view input,
+                    std::string* output) const override;
+};
+
+/// Factory: "null" or "fastlz".
+std::unique_ptr<Codec> MakeCodec(const std::string& name);
+
+/// Compressed-size / original-size for `sample` under `codec` (1.0 for empty
+/// input). Used to calibrate simulated data volumes.
+double CompressedFraction(const Codec& codec, std::string_view sample);
+
+}  // namespace bdio::compress
+
+#endif  // BDIO_COMPRESS_CODEC_H_

@@ -1,0 +1,4 @@
+namespace bdio::compress {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "compress"; }
+}  // namespace bdio::compress

@@ -1,0 +1,208 @@
+#include "core/experiment.h"
+
+#include <memory>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "common/io_tag.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/latch.h"
+#include "sim/simulator.h"
+
+namespace bdio::core {
+
+std::string Factors::MemoryLabel() const {
+  return std::to_string(memory_bytes / kGiB) + "G";
+}
+
+std::string Factors::Label(workloads::WorkloadKind workload) const {
+  return std::string(workloads::WorkloadShortName(workload)) + "_" +
+         slots.label + "_" + MemoryLabel() + "_" + CompressionLabel();
+}
+
+namespace {
+
+GroupObservation ObserveGroup(const iostat::Monitor& monitor,
+                              const std::string& group) {
+  GroupObservation obs;
+  obs.read_mbps = monitor.GroupMean(group, iostat::Metric::kReadMBps);
+  obs.write_mbps = monitor.GroupMean(group, iostat::Metric::kWriteMBps);
+  obs.util = monitor.GroupMean(group, iostat::Metric::kUtil);
+  obs.await_ms = monitor.GroupActiveMean(group, iostat::Metric::kAwait);
+  obs.svctm_ms = monitor.GroupActiveMean(group, iostat::Metric::kSvctm);
+  obs.wait_ms = monitor.GroupActiveMean(group, iostat::Metric::kWait);
+  obs.avgrq_sz = monitor.GroupActiveMean(group, iostat::Metric::kAvgRqSz);
+  obs.util_above_90 = monitor.GroupUtilFractionAbove(group, 90.0);
+  obs.util_above_95 = monitor.GroupUtilFractionAbove(group, 95.0);
+  obs.util_above_99 = monitor.GroupUtilFractionAbove(group, 99.0);
+  obs.peak_read_mbps = obs.read_mbps.Peak();
+  return obs;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
+  if (spec.scale <= 0 || spec.scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  Rng rng(spec.seed);
+  sim::Simulator sim;
+
+  // ---- Testbed (Tables 1 and 2), scaled. -------------------------------
+  cluster::ClusterParams cp;
+  cp.num_workers = spec.num_workers;
+  cp.node.memory_bytes = static_cast<uint64_t>(
+      static_cast<double>(spec.factors.memory_bytes) * spec.scale);
+  cp.node.daemon_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(2)) * spec.scale);
+  cp.node.per_slot_heap_bytes =
+      static_cast<uint64_t>(static_cast<double>(MiB(200)) * spec.scale);
+  cp.node.min_cache_bytes = MiB(16);
+  cp.node.io_scheduler = spec.io_scheduler;
+  cp.node.num_hdfs_disks = spec.num_hdfs_disks;
+  cp.node.num_mr_disks = spec.num_mr_disks;
+  cp.node.cache.readahead_max_bytes = spec.readahead_max_bytes;
+  cp.node.cache.writeback_period = spec.writeback_period;
+  cp.node.disk.ncq_depth = spec.ncq_depth;
+  if (spec.ssd_intermediate) {
+    cp.node.mr_disk = storage::DiskParameters::SataSsd2013();
+  }
+  cluster::Cluster cluster(&sim, cp, spec.factors.slots.total(), rng.Fork());
+
+  hdfs::HdfsParams hp;
+  hdfs::Hdfs dfs(&cluster, hp, rng.Fork());
+
+  // ---- Workload plan and dataset. ---------------------------------------
+  workloads::PlanOptions options;
+  options.compress_intermediate = spec.factors.compress_intermediate;
+  options.scale = spec.scale;
+  options.kmeans_iterations = spec.kmeans_iterations;
+  options.pagerank_iterations = spec.pagerank_iterations;
+  workloads::Calibration calibration;
+  if (spec.calibrate) {
+    calibration = workloads::CalibrateWorkload(spec.workload, spec.seed);
+    options.calibration = &calibration;
+  }
+  workloads::WorkloadPlan plan = workloads::BuildPlan(spec.workload, options);
+  for (workloads::PlannedJob& job : plan.jobs) {
+    if (spec.sort_buffer_bytes > 0) {
+      job.spec.sort_buffer_bytes = spec.sort_buffer_bytes;
+    }
+    if (spec.parallel_copies > 0) {
+      job.spec.parallel_copies = spec.parallel_copies;
+    }
+    if (spec.reduce_slowstart >= 0) {
+      job.spec.reduce_slowstart = spec.reduce_slowstart;
+    }
+  }
+  BDIO_RETURN_IF_ERROR(dfs.Preload(plan.dataset_path, plan.dataset_bytes));
+
+  // ---- Monitoring: iostat -x 1 on every data disk of every worker. ------
+  iostat::Monitor monitor(&sim, spec.iostat_interval);
+  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+    for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
+      monitor.AddDevice(cluster.node(n)->hdfs_disk(d), "hdfs");
+    }
+    for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
+      monitor.AddDevice(cluster.node(n)->mr_disk(d), "mr");
+    }
+  }
+  monitor.Start();
+  mapreduce::MrEngine engine(&cluster, &dfs, spec.factors.slots, rng.Fork());
+
+  // CPU + task-concurrency sampler: per interval, the fraction of all cores
+  // in use and the executing task counts. Stops rescheduling once the
+  // workload (and trailing writeback) finish; the self-referencing closure
+  // is cleared after sim.Run() below.
+  bool all_done = false;
+  TimeSeries cpu_series(spec.iostat_interval);
+  TimeSeries maps_series(spec.iostat_interval);
+  TimeSeries reduces_series(spec.iostat_interval);
+  auto sample_cpu = std::make_shared<std::function<void()>>();
+  {
+    auto last_used = std::make_shared<double>(0.0);
+    const double total_cores =
+        static_cast<double>(cp.node.cores) * cluster.num_workers();
+    const double interval_s = ToSeconds(spec.iostat_interval);
+    *sample_cpu = [&sim, &cluster, &engine, &cpu_series, &maps_series,
+                   &reduces_series, &all_done, last_used, sample_cpu,
+                   total_cores, interval_s] {
+      if (all_done) return;
+      double used = 0;
+      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+        used += cluster.node(n)->cpu()->cpu_seconds_used();
+      }
+      cpu_series.Append((used - *last_used) / (total_cores * interval_s));
+      *last_used = used;
+      maps_series.Append(engine.running_maps());
+      reduces_series.Append(engine.running_reduces());
+      sim.ScheduleAfter(cpu_series.interval(), [sample_cpu] {
+        if (*sample_cpu) (*sample_cpu)();
+      });
+    };
+    sim.ScheduleAfter(spec.iostat_interval, [sample_cpu] {
+      if (*sample_cpu) (*sample_cpu)();
+    });
+  }
+
+  // ---- Execute the chained jobs. ----------------------------------------
+  ExperimentResult result;
+  result.label = spec.factors.Label(spec.workload);
+
+  Status job_status = Status::OK();
+  size_t next_job = 0;
+  std::function<void()> run_next = [&] {
+    if (next_job >= plan.jobs.size()) {
+      // Flush trailing writeback so the tail of the workload's writes is
+      // charged to the measurement window, then stop sampling.
+      auto flushed = sim::Latch::Create(cluster.num_workers(), [&] {
+        monitor.Stop();
+        all_done = true;
+      });
+      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+        cluster.node(n)->cache()->SyncAll(flushed->Arm());
+      }
+      return;
+    }
+    const mapreduce::SimJobSpec& job = plan.jobs[next_job].spec;
+    ++next_job;
+    engine.RunJob(job, [&](Status s, const mapreduce::JobCounters& counters) {
+      result.jobs.push_back(counters);
+      if (!s.ok()) {
+        job_status = s;
+        monitor.Stop();
+        all_done = true;
+        return;
+      }
+      run_next();
+    });
+  };
+  run_next();
+  sim.Run();
+  *sample_cpu = nullptr;  // break the sampler's self-reference
+
+  if (!job_status.ok()) return job_status;
+  BDIO_CHECK(all_done) << "simulation drained before the workload finished";
+
+  result.duration_s = ToSeconds(sim.Now());
+  result.hdfs = ObserveGroup(monitor, "hdfs");
+  result.mr = ObserveGroup(monitor, "mr");
+  result.cpu_util = std::move(cpu_series);
+  result.maps_running = std::move(maps_series);
+  result.reduces_running = std::move(reduces_series);
+  // Attribute physical bytes to their high-level sources.
+  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+    for (const auto& [tag, volumes] : cluster.node(n)->cache()->tag_volumes()) {
+      IoSourceVolumes& dst =
+          result.io_sources[IoTagName(static_cast<IoTag>(tag))];
+      dst.disk_read_bytes += volumes.disk_read_bytes;
+      dst.disk_write_bytes += volumes.disk_write_bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace bdio::core

@@ -1,0 +1,188 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.h"
+
+namespace bdio::core {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      const double v = std::atof(arg.c_str() + 8);
+      // Accept either a fraction (0.01) or a denominator (128).
+      options.scale = v > 1.0 ? 1.0 / v : v;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.num_workers =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg.rfind("--outdir=", 0) == 0) {
+      options.outdir = arg.substr(9);
+    } else if (arg == "--calibrate") {
+      options.calibrate = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=<denominator|fraction>] [--seed=N]\n"
+                   "          [--workers=N] [--csv] [--calibrate]\n",
+                   argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+ExperimentSpec BenchOptions::MakeSpec(workloads::WorkloadKind workload,
+                                      const Factors& factors) const {
+  ExperimentSpec spec;
+  spec.workload = workload;
+  spec.factors = factors;
+  spec.scale = scale;
+  spec.seed = seed;
+  spec.num_workers = num_workers;
+  spec.calibrate = calibrate;
+  return spec;
+}
+
+std::vector<Factors> SlotsLevels() {
+  Factors base;
+  base.memory_bytes = GiB(16);
+  base.compress_intermediate = true;
+  Factors small = base;
+  small.slots = mapreduce::SlotConfig::Paper_1_8();
+  Factors large = base;
+  large.slots = mapreduce::SlotConfig::Paper_2_16();
+  return {small, large};
+}
+
+std::vector<Factors> MemoryLevels() {
+  Factors base;
+  base.slots = mapreduce::SlotConfig::Paper_1_8();
+  base.compress_intermediate = false;
+  Factors mem16 = base;
+  mem16.memory_bytes = GiB(16);
+  Factors mem32 = base;
+  mem32.memory_bytes = GiB(32);
+  return {mem16, mem32};
+}
+
+std::vector<Factors> CompressionLevels() {
+  Factors base;
+  base.slots = mapreduce::SlotConfig::Paper_1_8();
+  base.memory_bytes = GiB(32);
+  Factors off = base;
+  off.compress_intermediate = false;
+  Factors on = base;
+  on.compress_intermediate = true;
+  return {off, on};
+}
+
+double Summarize(const GroupObservation& obs, iostat::Metric metric) {
+  switch (metric) {
+    case iostat::Metric::kAwait:
+    case iostat::Metric::kSvctm:
+    case iostat::Metric::kWait:
+    case iostat::Metric::kAvgRqSz:
+      return SeriesOf(obs, metric).ActiveMean();
+    default:
+      return SeriesOf(obs, metric).Mean();
+  }
+}
+
+const TimeSeries& SeriesOf(const GroupObservation& obs,
+                           iostat::Metric metric) {
+  switch (metric) {
+    case iostat::Metric::kReadMBps:
+      return obs.read_mbps;
+    case iostat::Metric::kWriteMBps:
+      return obs.write_mbps;
+    case iostat::Metric::kUtil:
+      return obs.util;
+    case iostat::Metric::kAwait:
+      return obs.await_ms;
+    case iostat::Metric::kSvctm:
+      return obs.svctm_ms;
+    case iostat::Metric::kWait:
+      return obs.wait_ms;
+    case iostat::Metric::kAvgRqSz:
+      return obs.avgrq_sz;
+    default:
+      BDIO_LOG(Fatal) << "metric has no stored series";
+      return obs.util;  // unreachable
+  }
+}
+
+const ExperimentResult& GridRunner::Get(workloads::WorkloadKind workload,
+                                        const Factors& factors) {
+  const std::string label = factors.Label(workload);
+  auto it = cache_.find(label);
+  if (it != cache_.end()) return it->second;
+  auto result = RunExperiment(options_.MakeSpec(workload, factors));
+  BDIO_CHECK(result.ok()) << label << ": " << result.status().ToString();
+  auto [ins, inserted] = cache_.emplace(label, std::move(result).value());
+  BDIO_CHECK(inserted);
+  return ins->second;
+}
+
+int PrintShapeChecks(const std::vector<ShapeCheck>& checks) {
+  int failed = 0;
+  std::printf("\nShape checks (paper-expected behaviour):\n");
+  for (const ShapeCheck& c : checks) {
+    std::printf("  [%s] %s\n", c.pass ? "ok" : "MISS", c.description.c_str());
+    if (!c.pass) ++failed;
+  }
+  std::printf("SHAPE: %zu/%zu checks hold\n", checks.size() - failed,
+              checks.size());
+  return failed;
+}
+
+bool RoughlyEqual(double a, double b, double rel_tol, double floor) {
+  const double scale = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+void PrintFigureHeader(const std::string& id, const std::string& caption,
+                       const BenchOptions& options) {
+  std::printf("==== %s — %s ====\n", id.c_str(), caption.c_str());
+  std::printf(
+      "testbed: %u workers, scale 1/%.0f of the paper's dataset sizes "
+      "(seed %llu)\n\n",
+      options.num_workers, 1.0 / options.scale,
+      static_cast<unsigned long long>(options.seed));
+}
+
+void PrintSeriesCsv(const std::string& label, const TimeSeries& series) {
+  std::printf("# %s\n", label.c_str());
+  std::fputs(series.ToCsv("value").c_str(), stdout);
+}
+
+std::string WriteSeriesCsv(const std::string& outdir, const std::string& name,
+                           const TimeSeries& series) {
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  std::string file = name;
+  for (char& c : file) {
+    if (c == '/' || c == ' ' || c == '%') c = '_';
+  }
+  const std::string path = outdir + "/" + file + ".csv";
+  std::ofstream out(path);
+  BDIO_CHECK(out.good()) << "cannot write " << path;
+  out << series.ToCsv("value");
+  return path;
+}
+
+}  // namespace bdio::core

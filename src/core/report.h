@@ -1,0 +1,91 @@
+#ifndef BDIO_CORE_REPORT_H_
+#define BDIO_CORE_REPORT_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "iostat/iostat.h"
+
+namespace bdio::core {
+
+/// Command-line options shared by every bench binary.
+struct BenchOptions {
+  double scale = 1.0 / 128;
+  uint64_t seed = 42;
+  uint32_t num_workers = 10;
+  bool csv = false;       ///< Also dump full per-second series as CSV.
+  bool calibrate = false; ///< Measure volume ratios with the real engine.
+  std::string outdir;     ///< If set, write per-series CSV files here.
+
+  /// Parses --scale=<den|frac>, --seed=, --workers=, --csv, --calibrate,
+  /// --outdir=<dir>. Unknown flags abort with a usage message.
+  static BenchOptions Parse(int argc, char** argv);
+
+  ExperimentSpec MakeSpec(workloads::WorkloadKind workload,
+                          const Factors& factors) const;
+};
+
+/// The three factor contexts the paper's figures use.
+/// Slots figures: 16 GB nodes, intermediate data compressed.
+std::vector<Factors> SlotsLevels();
+/// Memory figures: 1_8 slots, intermediate data NOT compressed.
+std::vector<Factors> MemoryLevels();
+/// Compression figures: 1_8 slots, 32 GB nodes.
+std::vector<Factors> CompressionLevels();
+
+/// How a metric's time series is summarized into one number for the
+/// comparison tables: bandwidth/util use the whole-run mean; ratio metrics
+/// (await, wait, avgrq-sz, svctm) use the mean over active samples.
+double Summarize(const GroupObservation& obs, iostat::Metric metric);
+const TimeSeries& SeriesOf(const GroupObservation& obs,
+                           iostat::Metric metric);
+
+/// Runs the grid workloads x levels with memoization.
+class GridRunner {
+ public:
+  explicit GridRunner(const BenchOptions& options) : options_(options) {}
+
+  /// Runs (or returns the cached) experiment.
+  const ExperimentResult& Get(workloads::WorkloadKind workload,
+                              const Factors& factors);
+
+ private:
+  BenchOptions options_;
+  std::map<std::string, ExperimentResult> cache_;
+};
+
+/// One shape expectation derived from the paper, checked against measured
+/// values. Benches print all checks and a final verdict line.
+struct ShapeCheck {
+  std::string description;
+  bool pass = false;
+};
+
+/// Prints the checks and a "SHAPE: k/n checks hold" footer; returns the
+/// number of failed checks.
+int PrintShapeChecks(const std::vector<ShapeCheck>& checks);
+
+/// True if |a-b| <= tol * max(|a|,|b|, floor) — "the factor has little
+/// effect on this metric".
+bool RoughlyEqual(double a, double b, double rel_tol, double floor = 1.0);
+
+/// Prints a figure header: id, paper caption, factor context, scale.
+void PrintFigureHeader(const std::string& id, const std::string& caption,
+                       const BenchOptions& options);
+
+/// Dumps one labeled series as CSV ("# <label>" then time,value lines).
+void PrintSeriesCsv(const std::string& label, const TimeSeries& series);
+
+/// Writes one series to `<outdir>/<name>.csv` (slashes and spaces in the
+/// name are sanitized). Creates the directory if missing. Returns the
+/// written path.
+std::string WriteSeriesCsv(const std::string& outdir, const std::string& name,
+                           const TimeSeries& series);
+
+}  // namespace bdio::core
+
+#endif  // BDIO_CORE_REPORT_H_

@@ -1,0 +1,4 @@
+namespace bdio::core {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "core"; }
+}  // namespace bdio::core

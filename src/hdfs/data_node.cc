@@ -1,0 +1,57 @@
+#include "hdfs/data_node.h"
+
+namespace bdio::hdfs {
+
+Result<os::File*> DataNode::CreateBlock(uint64_t block_id) {
+  if (blocks_.contains(block_id)) {
+    return Status::AlreadyExists("block already stored: " +
+                                 std::to_string(block_id));
+  }
+  os::FileSystem* fs = node_->NextHdfsFs();
+  BDIO_ASSIGN_OR_RETURN(os::File * file,
+                        fs->Create(BlockFileName(block_id)));
+  file->set_io_tag(static_cast<uint32_t>(IoTag::kHdfsOutput));
+  blocks_.emplace(block_id, Stored{fs, file});
+  return file;
+}
+
+Result<os::File*> DataNode::CreateExistingBlock(uint64_t block_id,
+                                                uint64_t bytes) {
+  if (blocks_.contains(block_id)) {
+    return Status::AlreadyExists("block already stored: " +
+                                 std::to_string(block_id));
+  }
+  os::FileSystem* fs = node_->NextHdfsFs();
+  BDIO_ASSIGN_OR_RETURN(
+      os::File * file, fs->CreateExtentsOnly(BlockFileName(block_id), bytes));
+  file->set_io_tag(static_cast<uint32_t>(IoTag::kHdfsInput));
+  blocks_.emplace(block_id, Stored{fs, file});
+  return file;
+}
+
+Result<os::File*> DataNode::GetBlock(uint64_t block_id) const {
+  auto it = blocks_.find(block_id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block not on this node: " +
+                            std::to_string(block_id));
+  }
+  return it->second.file;
+}
+
+os::FileSystem* DataNode::FsOf(uint64_t block_id) const {
+  auto it = blocks_.find(block_id);
+  return it == blocks_.end() ? nullptr : it->second.fs;
+}
+
+Status DataNode::DeleteBlock(uint64_t block_id) {
+  auto it = blocks_.find(block_id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block not on this node: " +
+                            std::to_string(block_id));
+  }
+  Status s = it->second.fs->Delete(BlockFileName(block_id));
+  blocks_.erase(it);
+  return s;
+}
+
+}  // namespace bdio::hdfs

@@ -1,0 +1,58 @@
+#ifndef BDIO_HDFS_DATA_NODE_H_
+#define BDIO_HDFS_DATA_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/node.h"
+#include "common/io_tag.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "os/file_system.h"
+
+namespace bdio::hdfs {
+
+/// Per-worker block store: maps HDFS block ids to local block files spread
+/// round-robin over the node's HDFS data directories (one per disk), the
+/// DataNode volume-choosing policy.
+class DataNode {
+ public:
+  explicit DataNode(cluster::Node* node) : node_(node) {}
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  /// Creates an empty local file for a block being written.
+  Result<os::File*> CreateBlock(uint64_t block_id);
+
+  /// Registers a block that already exists on disk (pre-populated input
+  /// data); no I/O is performed and the data is cold.
+  Result<os::File*> CreateExistingBlock(uint64_t block_id, uint64_t bytes);
+
+  bool HasBlock(uint64_t block_id) const {
+    return blocks_.contains(block_id);
+  }
+  Result<os::File*> GetBlock(uint64_t block_id) const;
+  os::FileSystem* FsOf(uint64_t block_id) const;
+  Status DeleteBlock(uint64_t block_id);
+
+  cluster::Node* node() const { return node_; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Stored {
+    os::FileSystem* fs;
+    os::File* file;
+  };
+  static std::string BlockFileName(uint64_t block_id) {
+    return "blk_" + std::to_string(block_id);
+  }
+
+  cluster::Node* node_;
+  std::unordered_map<uint64_t, Stored> blocks_;
+};
+
+}  // namespace bdio::hdfs
+
+#endif  // BDIO_HDFS_DATA_NODE_H_

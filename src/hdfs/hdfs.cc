@@ -1,0 +1,304 @@
+#include "hdfs/hdfs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/latch.h"
+
+namespace bdio::hdfs {
+
+Hdfs::Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng)
+    : cluster_(cluster), params_(params), rng_(rng) {
+  BDIO_CHECK(cluster != nullptr);
+  BDIO_CHECK(params.block_bytes > 0);
+  BDIO_CHECK(params.chunk_bytes > 0);
+  name_node_ = std::make_unique<NameNode>(cluster->num_workers(),
+                                          params.replication, rng_.Fork());
+  for (uint32_t i = 0; i < cluster->num_workers(); ++i) {
+    data_nodes_.push_back(std::make_unique<DataNode>(cluster->node(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+struct Hdfs::WriteOp {
+  std::string path;
+  uint64_t total_bytes;
+  uint32_t writer;
+  uint32_t replication;
+  DoneCallback done;
+  uint64_t written = 0;  ///< Bytes of completed blocks.
+};
+
+/// State of one replica leg of a block-write pipeline.
+struct Hdfs::ReplicaStream {
+  os::FileSystem* fs;
+  os::File* file;
+  uint32_t holder;
+  uint32_t upstream;
+  bool local;
+  uint64_t block_bytes;
+  std::function<void()> done;
+};
+
+/// State of one block's streaming read.
+struct Hdfs::BlockReadStream {
+  os::FileSystem* fs;
+  os::File* file;
+  uint32_t holder;
+  bool remote;
+  uint64_t in_end;
+};
+
+
+void Hdfs::Write(const std::string& path, uint64_t bytes, uint32_t writer,
+                 DoneCallback done) {
+  WriteReplicated(path, bytes, writer, params_.replication, std::move(done));
+}
+
+void Hdfs::WriteReplicated(const std::string& path, uint64_t bytes,
+                           uint32_t writer, uint32_t replication,
+                           DoneCallback done) {
+  BDIO_CHECK(writer < cluster_->num_workers());
+  BDIO_CHECK(replication >= 1);
+  auto entry = name_node_->CreateFile(path);
+  if (!entry.ok()) {
+    cluster_->sim()->ScheduleAfter(
+        0, [done = std::move(done), s = entry.status()] { done(s); });
+    return;
+  }
+  auto op = std::make_shared<WriteOp>();
+  op->path = path;
+  op->total_bytes = bytes;
+  op->writer = writer;
+  op->replication = replication;
+  op->done = std::move(done);
+  if (bytes == 0) {
+    name_node_->GetMutableFile(path).value()->complete = true;
+    cluster_->sim()->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    return;
+  }
+  WriteNextBlock(std::move(op));
+}
+
+void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
+  sim::Simulator* sim = cluster_->sim();
+  if (op->written >= op->total_bytes) {
+    FileEntry* entry = name_node_->GetMutableFile(op->path).value();
+    entry->complete = true;
+    sim->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    return;
+  }
+  const uint64_t block_bytes =
+      std::min(params_.block_bytes, op->total_bytes - op->written);
+  BlockLocation loc =
+      name_node_->AllocateBlock(op->writer, block_bytes, op->replication);
+  FileEntry* entry = name_node_->GetMutableFile(op->path).value();
+  entry->blocks.push_back(loc);
+  entry->bytes += block_bytes;
+  op->written += block_bytes;
+
+  // One latch arm per replica stream; the block is done when every replica
+  // has absorbed all chunks.
+  auto block_done = sim::Latch::Create(
+      loc.nodes.size(), [this, op] { WriteNextBlock(op); });
+
+  for (size_t r = 0; r < loc.nodes.size(); ++r) {
+    const uint32_t holder = loc.nodes[r];
+    auto file_or = data_nodes_[holder]->CreateBlock(loc.block_id);
+    BDIO_CHECK(file_or.ok()) << file_or.status().ToString();
+
+    auto st = std::make_shared<ReplicaStream>();
+    st->fs = data_nodes_[holder]->FsOf(loc.block_id);
+    st->file = file_or.value();
+    st->holder = holder;
+    // Upstream of replica r in the pipeline (the client for r == 0).
+    st->upstream = r == 0 ? op->writer : loc.nodes[r - 1];
+    st->local = r == 0 && st->upstream == holder;
+    st->block_bytes = block_bytes;
+    st->done = block_done->Arm();
+    WriteChunk(std::move(st), 0);
+  }
+}
+
+void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
+  if (offset >= st->block_bytes) {
+    st->done();
+    return;
+  }
+  const uint64_t n = std::min(params_.chunk_bytes, st->block_bytes - offset);
+  auto append = [this, st, offset, n] {
+    st->fs->Append(st->file, n, [this, st, offset, n] {
+      WriteChunk(st, offset + n);
+    });
+  };
+  if (st->local) {
+    append();
+  } else {
+    cluster_->network()->Transfer(st->upstream, st->holder, n,
+                                  std::move(append));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+struct Hdfs::ReadOp {
+  std::string path;
+  uint32_t reader;
+  DoneCallback done;
+  std::vector<BlockLocation> blocks;
+  std::vector<uint64_t> block_offsets;  ///< Start offset of each block.
+  uint64_t begin;                       ///< Remaining range to read.
+  uint64_t end;
+  size_t next_block = 0;
+};
+
+void Hdfs::Read(const std::string& path, uint64_t offset, uint64_t len,
+                uint32_t reader, DoneCallback done) {
+  BDIO_CHECK(reader < cluster_->num_workers());
+  auto entry = name_node_->GetFile(path);
+  if (!entry.ok()) {
+    cluster_->sim()->ScheduleAfter(
+        0, [done = std::move(done), s = entry.status()] { done(s); });
+    return;
+  }
+  const FileEntry* file = entry.value();
+  if (offset + len > file->bytes) {
+    cluster_->sim()->ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::OutOfRange("hdfs read past EOF"));
+    });
+    return;
+  }
+  auto op = std::make_shared<ReadOp>();
+  op->path = path;
+  op->reader = reader;
+  op->done = std::move(done);
+  op->begin = offset;
+  op->end = offset + len;
+  uint64_t off = 0;
+  for (const BlockLocation& b : file->blocks) {
+    op->blocks.push_back(b);
+    op->block_offsets.push_back(off);
+    off += b.bytes;
+  }
+  if (len == 0) {
+    cluster_->sim()->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    return;
+  }
+  ReadNextBlock(std::move(op));
+}
+
+void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
+  sim::Simulator* sim = cluster_->sim();
+  // Find the next block overlapping [begin, end).
+  while (op->next_block < op->blocks.size()) {
+    const BlockLocation& b = op->blocks[op->next_block];
+    const uint64_t b_start = op->block_offsets[op->next_block];
+    const uint64_t b_end = b_start + b.bytes;
+    if (b_end <= op->begin) {
+      ++op->next_block;
+      continue;
+    }
+    if (b_start >= op->end) break;
+    // Range within this block.
+    const uint64_t in_start = std::max(op->begin, b_start) - b_start;
+    const uint64_t in_end = std::min(op->end, b_end) - b_start;
+    ++op->next_block;
+
+    // Replica choice: local if present, else random.
+    uint32_t holder = b.nodes[rng_.Uniform(b.nodes.size())];
+    for (uint32_t n : b.nodes) {
+      if (n == op->reader) {
+        holder = n;
+        break;
+      }
+    }
+    auto file_or = data_nodes_[holder]->GetBlock(b.block_id);
+    BDIO_CHECK(file_or.ok()) << file_or.status().ToString();
+
+    auto st = std::make_shared<BlockReadStream>();
+    st->fs = data_nodes_[holder]->FsOf(b.block_id);
+    st->file = file_or.value();
+    st->holder = holder;
+    st->remote = holder != op->reader;
+    st->in_end = in_end;
+    ReadChunk(std::move(op), std::move(st), in_start);
+    return;  // continue from the stream's completion
+  }
+  sim->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+}
+
+void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
+                     std::shared_ptr<BlockReadStream> st, uint64_t pos) {
+  if (pos >= st->in_end) {
+    ReadNextBlock(std::move(op));
+    return;
+  }
+  const uint64_t n = std::min(params_.chunk_bytes, st->in_end - pos);
+  st->fs->Read(st->file, pos, n, [this, op, st, pos, n] {
+    auto next = [this, op, st, pos, n] { ReadChunk(op, st, pos + n); };
+    if (st->remote) {
+      cluster_->network()->Transfer(st->holder, op->reader, n,
+                                    std::move(next));
+    } else {
+      next();
+    }
+  });
+}
+
+void Hdfs::ReadAll(const std::string& path, uint32_t reader,
+                   DoneCallback done) {
+  auto entry = name_node_->GetFile(path);
+  if (!entry.ok()) {
+    cluster_->sim()->ScheduleAfter(
+        0, [done = std::move(done), s = entry.status()] { done(s); });
+    return;
+  }
+  Read(path, 0, entry.value()->bytes, reader, std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+
+Status Hdfs::Delete(const std::string& path) {
+  BDIO_ASSIGN_OR_RETURN(const FileEntry* entry, name_node_->GetFile(path));
+  for (const BlockLocation& b : entry->blocks) {
+    for (uint32_t n : b.nodes) {
+      BDIO_RETURN_IF_ERROR(data_nodes_[n]->DeleteBlock(b.block_id));
+    }
+  }
+  return name_node_->Remove(path);
+}
+
+Status Hdfs::Preload(const std::string& path, uint64_t bytes) {
+  BDIO_ASSIGN_OR_RETURN(FileEntry * entry, name_node_->CreateFile(path));
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t block_bytes = std::min(params_.block_bytes, remaining);
+    const uint32_t writer =
+        static_cast<uint32_t>(preload_rr_++ % cluster_->num_workers());
+    BlockLocation loc = name_node_->AllocateBlock(writer, block_bytes);
+    for (uint32_t n : loc.nodes) {
+      auto file = data_nodes_[n]->CreateExistingBlock(loc.block_id,
+                                                      block_bytes);
+      BDIO_RETURN_IF_ERROR(file.status());
+    }
+    entry->blocks.push_back(loc);
+    entry->bytes += block_bytes;
+    remaining -= block_bytes;
+  }
+  entry->complete = true;
+  return Status::OK();
+}
+
+Result<std::vector<BlockLocation>> Hdfs::Locations(
+    const std::string& path) const {
+  BDIO_ASSIGN_OR_RETURN(const FileEntry* entry, name_node_->GetFile(path));
+  return entry->blocks;
+}
+
+}  // namespace bdio::hdfs

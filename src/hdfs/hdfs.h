@@ -1,0 +1,102 @@
+#ifndef BDIO_HDFS_HDFS_H_
+#define BDIO_HDFS_HDFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "hdfs/data_node.h"
+#include "hdfs/name_node.h"
+
+namespace bdio::hdfs {
+
+/// HDFS configuration (Hadoop-1 defaults).
+struct HdfsParams {
+  uint64_t block_bytes = MiB(64);
+  uint32_t replication = 3;
+  /// Client streaming granularity. Real DFS packets are 64 KiB; 1 MiB keeps
+  /// event counts tractable without changing disk-visible sequentiality.
+  uint64_t chunk_bytes = MiB(1);
+};
+
+/// Completion callback carrying the operation outcome.
+using DoneCallback = std::function<void(Status)>;
+
+/// The distributed filesystem simulator: a NameNode plus one DataNode per
+/// worker. Client writes stream blocks through a replica pipeline (first
+/// replica local, others over the network); client reads prefer a local
+/// replica. The large sequential block I/O the paper observes on the "HDFS
+/// disks" is produced here.
+class Hdfs {
+ public:
+  Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng);
+
+  Hdfs(const Hdfs&) = delete;
+  Hdfs& operator=(const Hdfs&) = delete;
+
+  NameNode* name_node() { return name_node_.get(); }
+  DataNode* data_node(uint32_t i) { return data_nodes_[i].get(); }
+  const HdfsParams& params() const { return params_; }
+
+  /// Creates `path` and streams `bytes` into it from worker `writer`,
+  /// block by block through replica pipelines. `done` fires after the last
+  /// replica of the last block has been handed to the page caches (HDFS-1
+  /// close() semantics: no fsync).
+  void Write(const std::string& path, uint64_t bytes, uint32_t writer,
+             DoneCallback done);
+
+  /// Write with a per-file replication factor (e.g. TeraSort output uses 1).
+  void WriteReplicated(const std::string& path, uint64_t bytes,
+                       uint32_t writer, uint32_t replication,
+                       DoneCallback done);
+
+  /// Streams [offset, offset+len) of `path` into worker `reader`, using a
+  /// local replica when one exists.
+  void Read(const std::string& path, uint64_t offset, uint64_t len,
+            uint32_t reader, DoneCallback done);
+
+  /// Reads the whole file.
+  void ReadAll(const std::string& path, uint32_t reader, DoneCallback done);
+
+  /// Deletes the file and its block replicas.
+  Status Delete(const std::string& path);
+
+  /// Materializes `path` (size `bytes`) as cold on-disk data spread round-
+  /// robin across the cluster — the state an input dataset is in before an
+  /// experiment begins. No simulated I/O is performed.
+  Status Preload(const std::string& path, uint64_t bytes);
+
+  /// Block locations of a file (for locality-aware split scheduling).
+  Result<std::vector<BlockLocation>> Locations(const std::string& path) const;
+
+ private:
+  struct WriteOp;
+  struct ReadOp;
+  struct ReplicaStream;
+  struct BlockReadStream;
+  friend struct WriteOp;
+
+  void WriteNextBlock(std::shared_ptr<WriteOp> op);
+  void WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset);
+  void ReadNextBlock(std::shared_ptr<ReadOp> op);
+  void ReadChunk(std::shared_ptr<ReadOp> op,
+                 std::shared_ptr<BlockReadStream> st, uint64_t pos);
+
+  cluster::Cluster* cluster_;
+  HdfsParams params_;
+  Rng rng_;
+  std::unique_ptr<NameNode> name_node_;
+  std::vector<std::unique_ptr<DataNode>> data_nodes_;
+  uint64_t preload_rr_ = 0;
+};
+
+}  // namespace bdio::hdfs
+
+#endif  // BDIO_HDFS_HDFS_H_

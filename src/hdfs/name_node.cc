@@ -1,0 +1,83 @@
+#include "hdfs/name_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bdio::hdfs {
+
+Result<FileEntry*> NameNode::CreateFile(const std::string& path) {
+  if (files_.contains(path)) {
+    return Status::AlreadyExists("hdfs file exists: " + path);
+  }
+  FileEntry entry;
+  entry.path = path;
+  auto [it, inserted] = files_.emplace(path, std::move(entry));
+  BDIO_CHECK(inserted);
+  return &it->second;
+}
+
+Result<const FileEntry*> NameNode::GetFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such hdfs file: " + path);
+  }
+  return &it->second;
+}
+
+Result<FileEntry*> NameNode::GetMutableFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such hdfs file: " + path);
+  }
+  return &it->second;
+}
+
+Status NameNode::Remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such hdfs file: " + path);
+  }
+  return Status::OK();
+}
+
+BlockLocation NameNode::AllocateBlock(uint32_t writer, uint64_t bytes) {
+  return AllocateBlock(writer, bytes, replication_);
+}
+
+BlockLocation NameNode::AllocateBlock(uint32_t writer, uint64_t bytes,
+                                      uint32_t replication) {
+  BlockLocation loc;
+  loc.block_id = next_block_id_++;
+  loc.bytes = bytes;
+  const uint32_t replicas = std::min(replication, num_nodes_);
+  if (writer < num_nodes_) {
+    loc.nodes.push_back(writer);
+  }
+  while (loc.nodes.size() < replicas) {
+    const uint32_t candidate =
+        static_cast<uint32_t>(rng_.Uniform(num_nodes_));
+    if (std::find(loc.nodes.begin(), loc.nodes.end(), candidate) ==
+        loc.nodes.end()) {
+      loc.nodes.push_back(candidate);
+    }
+  }
+  return loc;
+}
+
+std::vector<const FileEntry*> NameNode::List(
+    const std::string& prefix) const {
+  std::vector<const FileEntry*> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.starts_with(prefix); ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+uint64_t NameNode::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [p, f] : files_) total += f.bytes;
+  return total;
+}
+
+}  // namespace bdio::hdfs

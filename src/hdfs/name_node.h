@@ -1,0 +1,73 @@
+#ifndef BDIO_HDFS_NAME_NODE_H_
+#define BDIO_HDFS_NAME_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bdio::hdfs {
+
+/// Where one block of a file lives.
+struct BlockLocation {
+  uint64_t block_id = 0;
+  uint64_t bytes = 0;
+  std::vector<uint32_t> nodes;  ///< Replica holders, pipeline order.
+};
+
+/// Namespace entry for one HDFS file.
+struct FileEntry {
+  std::string path;
+  uint64_t bytes = 0;
+  bool complete = false;  ///< Closed for writing.
+  std::vector<BlockLocation> blocks;
+};
+
+/// The HDFS master: filesystem namespace, block id allocation, and replica
+/// placement. Placement follows the Hadoop-1 default collapsed to a single
+/// rack: first replica on the writer, remaining replicas on distinct random
+/// other nodes.
+class NameNode {
+ public:
+  NameNode(uint32_t num_nodes, uint32_t replication, Rng rng)
+      : num_nodes_(num_nodes), replication_(replication), rng_(rng) {}
+
+  NameNode(const NameNode&) = delete;
+  NameNode& operator=(const NameNode&) = delete;
+
+  Result<FileEntry*> CreateFile(const std::string& path);
+  Result<const FileEntry*> GetFile(const std::string& path) const;
+  Result<FileEntry*> GetMutableFile(const std::string& path);
+  Status Remove(const std::string& path);
+  bool Exists(const std::string& path) const { return files_.contains(path); }
+
+  /// Allocates a block id and its replica pipeline for a block written from
+  /// `writer` (use num_nodes as writer for an off-cluster client: all
+  /// replicas are then random). The overload taking `replication` overrides
+  /// the filesystem default for this block.
+  BlockLocation AllocateBlock(uint32_t writer, uint64_t bytes);
+  BlockLocation AllocateBlock(uint32_t writer, uint64_t bytes,
+                              uint32_t replication);
+
+  /// All files whose path starts with `prefix` (directory listing).
+  std::vector<const FileEntry*> List(const std::string& prefix) const;
+
+  uint32_t replication() const { return replication_; }
+  uint64_t total_bytes() const;
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  uint32_t num_nodes_;
+  uint32_t replication_;
+  Rng rng_;
+  uint64_t next_block_id_ = 1;
+  std::map<std::string, FileEntry> files_;  ///< Ordered for List().
+};
+
+}  // namespace bdio::hdfs
+
+#endif  // BDIO_HDFS_NAME_NODE_H_

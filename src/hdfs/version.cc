@@ -1,0 +1,4 @@
+namespace bdio::hdfs {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "hdfs"; }
+}  // namespace bdio::hdfs

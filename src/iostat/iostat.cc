@@ -1,0 +1,256 @@
+#include "iostat/iostat.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio::iostat {
+
+double SampleMetric(const Sample& s, Metric m) {
+  switch (m) {
+    case Metric::kReadMBps:
+      return s.rmb_s;
+    case Metric::kWriteMBps:
+      return s.wmb_s;
+    case Metric::kUtil:
+      return s.util_pct;
+    case Metric::kAwait:
+      return s.await_ms;
+    case Metric::kSvctm:
+      return s.svctm_ms;
+    case Metric::kWait:
+      return s.wait_ms();
+    case Metric::kAvgRqSz:
+      return s.avgrq_sz;
+    case Metric::kAvgQuSz:
+      return s.avgqu_sz;
+    case Metric::kReadIops:
+      return s.r_s;
+    case Metric::kWriteIops:
+      return s.w_s;
+  }
+  return 0;
+}
+
+const char* MetricName(Metric m) {
+  switch (m) {
+    case Metric::kReadMBps:
+      return "rMB/s";
+    case Metric::kWriteMBps:
+      return "wMB/s";
+    case Metric::kUtil:
+      return "%util";
+    case Metric::kAwait:
+      return "await";
+    case Metric::kSvctm:
+      return "svctm";
+    case Metric::kWait:
+      return "wait";
+    case Metric::kAvgRqSz:
+      return "avgrq-sz";
+    case Metric::kAvgQuSz:
+      return "avgqu-sz";
+    case Metric::kReadIops:
+      return "r/s";
+    case Metric::kWriteIops:
+      return "w/s";
+  }
+  return "?";
+}
+
+Sample ComputeSample(const storage::DiskStatsSnapshot& prev,
+                     const storage::DiskStatsSnapshot& cur,
+                     SimDuration interval) {
+  BDIO_CHECK(interval > 0);
+  const double itv_s = ToSeconds(interval);
+
+  const double d_rios = static_cast<double>(cur.ios[0] - prev.ios[0]);
+  const double d_wios = static_cast<double>(cur.ios[1] - prev.ios[1]);
+  const double d_ios = d_rios + d_wios;
+  const double d_rsec = static_cast<double>(cur.sectors[0] -
+                                            prev.sectors[0]);
+  const double d_wsec = static_cast<double>(cur.sectors[1] -
+                                            prev.sectors[1]);
+  const double d_rticks_ms = ToMillis(cur.ticks[0] - prev.ticks[0]);
+  const double d_wticks_ms = ToMillis(cur.ticks[1] - prev.ticks[1]);
+  const double d_io_ticks_ms = ToMillis(cur.io_ticks - prev.io_ticks);
+  const double d_queue_ms =
+      ToMillis(cur.time_in_queue - prev.time_in_queue);
+
+  Sample s;
+  s.rrqm_s = static_cast<double>(cur.merges[0] - prev.merges[0]) / itv_s;
+  s.wrqm_s = static_cast<double>(cur.merges[1] - prev.merges[1]) / itv_s;
+  s.r_s = d_rios / itv_s;
+  s.w_s = d_wios / itv_s;
+  s.rmb_s = d_rsec * static_cast<double>(kSectorSize) / 1e6 / itv_s;
+  s.wmb_s = d_wsec * static_cast<double>(kSectorSize) / 1e6 / itv_s;
+  if (d_ios > 0) {
+    s.avgrq_sz = (d_rsec + d_wsec) / d_ios;
+    s.await_ms = (d_rticks_ms + d_wticks_ms) / d_ios;
+    s.svctm_ms = d_io_ticks_ms / d_ios;
+  }
+  s.avgqu_sz = d_queue_ms / (itv_s * 1000.0);
+  s.util_pct = 100.0 * d_io_ticks_ms / (itv_s * 1000.0);
+  if (s.util_pct > 100.0) s.util_pct = 100.0;
+  return s;
+}
+
+Monitor::Monitor(sim::Simulator* sim, SimDuration interval)
+    : sim_(sim), interval_(interval) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(interval > 0);
+}
+
+void Monitor::AddDevice(storage::BlockDevice* device,
+                        const std::string& group) {
+  BDIO_CHECK(!running_) << "add devices before Start()";
+  BDIO_CHECK(device != nullptr);
+  Tracked t;
+  t.device = device;
+  t.group = group;
+  const size_t idx = devices_.size();
+  devices_.push_back(std::move(t));
+  by_group_[group].push_back(idx);
+  by_name_[device->name()] = idx;
+}
+
+void Monitor::Start() {
+  BDIO_CHECK(!running_);
+  running_ = true;
+  stop_requested_ = false;
+  for (Tracked& t : devices_) {
+    t.prev = t.device->Stats();
+  }
+  sim_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+void Monitor::Stop() { stop_requested_ = true; }
+
+void Monitor::Tick() {
+  if (stop_requested_) {
+    running_ = false;
+    return;
+  }
+  for (Tracked& t : devices_) {
+    const storage::DiskStatsSnapshot cur = t.device->Stats();
+    t.samples.push_back(ComputeSample(t.prev, cur, interval_));
+    t.prev = cur;
+  }
+  ++num_samples_;
+  sim_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+const std::vector<Sample>& Monitor::DeviceSamples(
+    const std::string& device_name) const {
+  auto it = by_name_.find(device_name);
+  BDIO_CHECK(it != by_name_.end()) << "unknown device " << device_name;
+  return devices_[it->second].samples;
+}
+
+TimeSeries Monitor::GroupMean(const std::string& group, Metric metric) const {
+  auto it = by_group_.find(group);
+  BDIO_CHECK(it != by_group_.end()) << "unknown group " << group;
+  TimeSeries out(interval_);
+  for (size_t i = 0; i < num_samples_; ++i) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t d : it->second) {
+      if (i < devices_[d].samples.size()) {
+        sum += SampleMetric(devices_[d].samples[i], metric);
+        ++n;
+      }
+    }
+    out.Append(n ? sum / static_cast<double>(n) : 0);
+  }
+  return out;
+}
+
+TimeSeries Monitor::GroupSum(const std::string& group, Metric metric) const {
+  auto it = by_group_.find(group);
+  BDIO_CHECK(it != by_group_.end()) << "unknown group " << group;
+  TimeSeries out(interval_);
+  for (size_t i = 0; i < num_samples_; ++i) {
+    double sum = 0;
+    for (size_t d : it->second) {
+      if (i < devices_[d].samples.size()) {
+        sum += SampleMetric(devices_[d].samples[i], metric);
+      }
+    }
+    out.Append(sum);
+  }
+  return out;
+}
+
+TimeSeries Monitor::GroupActiveMean(const std::string& group,
+                                    Metric metric) const {
+  auto it = by_group_.find(group);
+  BDIO_CHECK(it != by_group_.end()) << "unknown group " << group;
+  TimeSeries out(interval_);
+  for (size_t i = 0; i < num_samples_; ++i) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t d : it->second) {
+      if (i < devices_[d].samples.size()) {
+        const Sample& s = devices_[d].samples[i];
+        if (s.r_s + s.w_s > 0) {
+          sum += SampleMetric(s, metric);
+          ++n;
+        }
+      }
+    }
+    out.Append(n ? sum / static_cast<double>(n) : 0);
+  }
+  return out;
+}
+
+double Monitor::GroupUtilFractionAbove(const std::string& group,
+                                       double pct) const {
+  const std::vector<double> values = GroupMetricValues(group, Metric::kUtil);
+  if (values.empty()) return 0;
+  size_t above = 0;
+  for (double v : values) {
+    if (v > pct) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(values.size());
+}
+
+std::vector<double> Monitor::GroupMetricValues(const std::string& group,
+                                               Metric metric) const {
+  auto it = by_group_.find(group);
+  BDIO_CHECK(it != by_group_.end()) << "unknown group " << group;
+  std::vector<double> out;
+  for (size_t d : it->second) {
+    for (const Sample& s : devices_[d].samples) {
+      out.push_back(SampleMetric(s, metric));
+    }
+  }
+  return out;
+}
+
+std::string Monitor::LatestReport() const {
+  std::ostringstream os;
+  os << "Device:          rrqm/s   wrqm/s     r/s     w/s    rMB/s    wMB/s "
+        "avgrq-sz avgqu-sz   await   svctm  %util\n";
+  char line[256];
+  for (const Tracked& t : devices_) {
+    if (t.samples.empty()) continue;
+    const Sample& s = t.samples.back();
+    std::snprintf(line, sizeof(line),
+                  "%-15s %8.2f %8.2f %7.2f %7.2f %8.2f %8.2f %8.2f %8.2f "
+                  "%7.2f %7.2f %6.2f\n",
+                  t.device->name().c_str(), s.rrqm_s, s.wrqm_s, s.r_s, s.w_s,
+                  s.rmb_s, s.wmb_s, s.avgrq_sz, s.avgqu_sz, s.await_ms,
+                  s.svctm_ms, s.util_pct);
+    os << line;
+  }
+  return os.str();
+}
+
+std::vector<std::string> Monitor::groups() const {
+  std::vector<std::string> out;
+  for (const auto& [g, v] : by_group_) out.push_back(g);
+  return out;
+}
+
+}  // namespace bdio::iostat

@@ -1,0 +1,132 @@
+#ifndef BDIO_IOSTAT_IOSTAT_H_
+#define BDIO_IOSTAT_IOSTAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time_series.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace bdio::iostat {
+
+/// One `iostat -x` row: the extended statistics for one device over one
+/// sampling interval, derived from /proc/diskstats deltas with exactly
+/// sysstat's formulas.
+struct Sample {
+  double rrqm_s = 0;   ///< Read merges/s.
+  double wrqm_s = 0;   ///< Write merges/s.
+  double r_s = 0;      ///< Read requests completed/s.
+  double w_s = 0;      ///< Write requests completed/s.
+  double rmb_s = 0;    ///< MB read/s (the paper's rMB/s).
+  double wmb_s = 0;    ///< MB written/s.
+  double avgrq_sz = 0; ///< Average request size, sectors.
+  double avgqu_sz = 0; ///< Average queue length.
+  double await_ms = 0; ///< Avg request latency incl. queueing, ms.
+  double svctm_ms = 0; ///< Avg device service time, ms.
+  double util_pct = 0; ///< %util: fraction of time the device was busy.
+
+  /// Average time spent waiting in queue (the paper's "average waiting
+  /// time of I/O requests" = await - svctm).
+  double wait_ms() const { return await_ms - svctm_ms; }
+};
+
+/// Metrics selectable from a sample (for building figure series).
+enum class Metric {
+  kReadMBps,
+  kWriteMBps,
+  kUtil,
+  kAwait,
+  kSvctm,
+  kWait,      ///< await - svctm
+  kAvgRqSz,
+  kAvgQuSz,
+  kReadIops,
+  kWriteIops,
+};
+
+double SampleMetric(const Sample& s, Metric m);
+const char* MetricName(Metric m);
+
+/// Computes one Sample from two diskstats snapshots `interval` apart.
+Sample ComputeSample(const storage::DiskStatsSnapshot& prev,
+                     const storage::DiskStatsSnapshot& cur,
+                     SimDuration interval);
+
+/// Periodic collector over a set of devices, grouped by device class
+/// ("hdfs" and "mr" in the experiments). Equivalent to running
+/// `iostat -x <interval>` on every node for the duration of a workload.
+class Monitor {
+ public:
+  Monitor(sim::Simulator* sim, SimDuration interval = Seconds(1));
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Registers a device under a group label. Must be called before Start().
+  void AddDevice(storage::BlockDevice* device, const std::string& group);
+
+  /// Begins sampling (the first interval ends one period from now).
+  void Start();
+  /// Stops sampling after the current interval.
+  void Stop();
+
+  size_t num_samples() const { return num_samples_; }
+  SimDuration interval() const { return interval_; }
+
+  /// Per-device sample log.
+  const std::vector<Sample>& DeviceSamples(
+      const std::string& device_name) const;
+
+  /// Group-level time series of one metric: per interval, the mean of the
+  /// metric over the group's devices (how the paper plots per-disk-class
+  /// behaviour of its 30 HDFS / 30 MR disks).
+  TimeSeries GroupMean(const std::string& group, Metric metric) const;
+  /// Per interval, the sum over the group's devices (aggregate bandwidth).
+  TimeSeries GroupSum(const std::string& group, Metric metric) const;
+
+  /// Per interval, the mean over only the group's devices that serviced at
+  /// least one request. Use for ratio metrics (avgrq-sz, await, svctm) which
+  /// are undefined (reported as 0) on an idle device — plain means would be
+  /// dragged toward zero by idle disks.
+  TimeSeries GroupActiveMean(const std::string& group, Metric metric) const;
+
+  /// Fraction of all (device, interval) samples in the group with
+  /// utilization strictly above `pct` — the Table 6/7 statistic.
+  double GroupUtilFractionAbove(const std::string& group, double pct) const;
+
+  /// All samples of a group flattened (device-major).
+  std::vector<double> GroupMetricValues(const std::string& group,
+                                        Metric metric) const;
+
+  /// iostat-style text report of the latest interval.
+  std::string LatestReport() const;
+
+  std::vector<std::string> groups() const;
+
+ private:
+  struct Tracked {
+    storage::BlockDevice* device;
+    std::string group;
+    storage::DiskStatsSnapshot prev;
+    std::vector<Sample> samples;
+  };
+
+  void Tick();
+
+  sim::Simulator* sim_;
+  SimDuration interval_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  size_t num_samples_ = 0;
+  std::vector<Tracked> devices_;
+  std::map<std::string, std::vector<size_t>> by_group_;
+  std::map<std::string, size_t> by_name_;
+};
+
+}  // namespace bdio::iostat
+
+#endif  // BDIO_IOSTAT_IOSTAT_H_

@@ -1,0 +1,4 @@
+namespace bdio::iostat {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "iostat"; }
+}  // namespace bdio::iostat

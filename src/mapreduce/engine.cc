@@ -1,0 +1,840 @@
+#include "mapreduce/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/io_tag.h"
+#include "common/logging.h"
+#include "sim/latch.h"
+
+namespace bdio::mapreduce {
+
+namespace {
+
+/// Streaming granularity of task-side I/O (the DFS client / spill writer
+/// works in buffers of this order).
+constexpr uint64_t kTaskChunk = MiB(1);
+/// Shuffle segment fetches use small buffers (the mapred-era fetcher reads
+/// 64 KiB at a time) — one source of the MR disks' small-request pattern.
+constexpr uint64_t kShuffleChunk = KiB(64);
+
+struct StreamState {
+  os::FileSystem* fs;
+  os::File* file;
+  uint64_t offset;
+  uint64_t total;
+  uint64_t chunk;
+  uint64_t pos = 0;
+  std::function<void()> cb;
+};
+
+void AppendStep(std::shared_ptr<StreamState> st) {
+  if (st->pos >= st->total) {
+    st->cb();
+    return;
+  }
+  const uint64_t n = std::min(st->chunk, st->total - st->pos);
+  st->fs->Append(st->file, n, [st, n] {
+    st->pos += n;
+    AppendStep(st);
+  });
+}
+
+void ReadStep(std::shared_ptr<StreamState> st) {
+  if (st->pos >= st->total) {
+    st->cb();
+    return;
+  }
+  const uint64_t n = std::min(st->chunk, st->total - st->pos);
+  st->fs->Read(st->file, st->offset + st->pos, n, [st, n] {
+    st->pos += n;
+    ReadStep(st);
+  });
+}
+
+}  // namespace
+
+void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
+                  uint64_t total, uint64_t chunk, std::function<void()> cb) {
+  if (total == 0) {
+    sim->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  auto st = std::make_shared<StreamState>();
+  st->fs = fs;
+  st->file = file;
+  st->offset = 0;
+  st->total = total;
+  st->chunk = chunk;
+  st->cb = std::move(cb);
+  AppendStep(std::move(st));
+}
+
+void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
+                uint64_t offset, uint64_t total, uint64_t chunk,
+                std::function<void()> cb) {
+  if (total == 0) {
+    sim->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  auto st = std::make_shared<StreamState>();
+  st->fs = fs;
+  st->file = file;
+  st->offset = offset;
+  st->total = total;
+  st->chunk = chunk;
+  st->cb = std::move(cb);
+  ReadStep(std::move(st));
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+struct MrEngine::MapTask {
+  size_t split_idx = 0;
+  uint32_t node = 0;
+  uint64_t epoch = 0;  ///< Node epoch at launch; stale after a failure.
+  bool local = false;
+  std::string input_path;
+  uint64_t split_bytes = 0;
+  uint64_t split_offset = 0;
+  uint64_t pos = 0;           ///< Input bytes consumed.
+  uint64_t buffer_bytes = 0;  ///< Pre-codec intermediate in the sort buffer.
+  std::vector<RunFile> spills;
+};
+
+struct MrEngine::ReduceTask {
+  uint32_t idx = 0;
+  uint32_t node = 0;
+  bool dead = false;  ///< Host failed; continuations must abandon.
+  bool done = false;
+  size_t next_output = 0;   ///< Next map output to fetch.
+  uint32_t inflight = 0;    ///< Concurrent fetches.
+  uint64_t mem_bytes = 0;   ///< Shuffled bytes held in memory.
+  uint64_t fetched_bytes = 0;
+  std::vector<RunFile> runs;
+  bool merging = false;
+  bool spilling = false;
+};
+
+struct MrEngine::Job {
+  SimJobSpec spec;
+  JobCallback done;
+  JobCounters counters;
+
+  std::vector<Split> splits;
+  std::vector<std::deque<size_t>> node_local;  ///< May hold started entries.
+  std::deque<size_t> pending;                  ///< Global FIFO.
+  std::vector<bool> started;
+
+  uint32_t maps_done = 0;
+  std::vector<MapOutput> map_outputs;
+
+  uint32_t num_reducers = 0;
+  bool reducers_created = false;
+  std::deque<std::shared_ptr<ReduceTask>> reduce_queue;  ///< Awaiting slots.
+  std::vector<std::shared_ptr<ReduceTask>> reducers;     ///< Running/done.
+  uint32_t reduces_done = 0;
+  uint32_t map_outputs_written = 0;  ///< Map-only HDFS outputs completed.
+  uint32_t next_reduce_node = 0;
+  bool finished = false;
+
+  bool map_only() const { return spec.num_reduce_tasks == 0; }
+};
+
+MrEngine::MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
+                   const SlotConfig& slots, Rng rng)
+    : cluster_(cluster), hdfs_(hdfs), slots_(slots), rng_(rng) {
+  BDIO_CHECK(cluster != nullptr);
+  BDIO_CHECK(hdfs != nullptr);
+  free_map_slots_.assign(cluster->num_workers(), slots.map_slots);
+  free_reduce_slots_.assign(cluster->num_workers(), slots.reduce_slots);
+  node_dead_.assign(cluster->num_workers(), false);
+  node_epoch_.assign(cluster->num_workers(), 0);
+}
+
+void MrEngine::InjectNodeFailure(uint32_t node) {
+  BDIO_CHECK(node < cluster_->num_workers());
+  if (node_dead_[node]) return;
+  node_dead_[node] = true;
+  ++node_epoch_[node];
+  free_map_slots_[node] = 0;
+  free_reduce_slots_[node] = 0;
+
+  auto job = active_job_.lock();
+  if (!job || job->finished) return;
+
+  // Completed map outputs on the dead node are gone: re-execute their maps.
+  for (MapOutput& mo : job->map_outputs) {
+    if (mo.node == node && mo.file != nullptr) {
+      mo.file = nullptr;
+      mo.fs = nullptr;
+      mo.bytes = 0;
+      BDIO_CHECK(job->maps_done > 0);
+      --job->maps_done;
+      job->started[mo.split_idx] = false;
+      job->pending.push_back(mo.split_idx);
+    }
+  }
+  // Running reducers on the node restart elsewhere.
+  for (auto& rt : job->reducers) {
+    if (rt->node == node && !rt->done && !rt->dead) {
+      rt->dead = true;
+      BDIO_CHECK(running_reduces_ > 0);
+      --running_reduces_;
+      auto replacement = std::make_shared<ReduceTask>();
+      replacement->idx = rt->idx;
+      job->reduce_queue.push_back(std::move(replacement));
+    }
+  }
+  // (Running maps on the node are discarded when they report in: their
+  // epoch no longer matches.)
+  DispatchMaps(job);
+  MaybeStartReducers(job);
+}
+
+void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
+  auto job = std::make_shared<Job>();
+  job->spec = spec;
+  job->done = std::move(done);
+  job->counters.start_time = cluster_->sim()->Now();
+
+  // `input_path` is a prefix: all HDFS files under it contribute splits
+  // (FileInputFormat over a directory). One split per block.
+  const std::vector<const hdfs::FileEntry*> files =
+      hdfs_->name_node()->List(spec.input_path);
+  if (files.empty()) {
+    cluster_->sim()->ScheduleAfter(0, [job] {
+      job->done(Status::NotFound("no input files under " +
+                                 job->spec.input_path),
+                job->counters);
+    });
+    return;
+  }
+  job->node_local.resize(cluster_->num_workers());
+  for (const hdfs::FileEntry* file : files) {
+    uint64_t offset = 0;
+    for (const hdfs::BlockLocation& b : file->blocks) {
+      Split split;
+      split.path = file->path;
+      split.offset = offset;
+      split.bytes = b.bytes;
+      split.hosts = b.nodes;
+      offset += b.bytes;
+      const size_t idx = job->splits.size();
+      job->splits.push_back(std::move(split));
+      job->pending.push_back(idx);
+      for (uint32_t h : job->splits[idx].hosts) {
+        job->node_local[h].push_back(idx);
+      }
+    }
+  }
+  job->started.assign(job->splits.size(), false);
+
+  if (spec.num_reduce_tasks == SimJobSpec::kOneWave) {
+    job->num_reducers = slots_.reduce_slots * cluster_->num_workers();
+  } else {
+    job->num_reducers = spec.num_reduce_tasks;
+  }
+
+  if (job->splits.empty()) {
+    cluster_->sim()->ScheduleAfter(0, [job] {
+      job->counters.end_time = 0;
+      job->done(Status::InvalidArgument("empty input"), job->counters);
+    });
+    return;
+  }
+  active_job_ = job;
+  DispatchMaps(std::move(job));
+}
+
+void MrEngine::DispatchMaps(std::shared_ptr<Job> job) {
+  if (job->finished) return;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t node = 0; node < cluster_->num_workers(); ++node) {
+      if (node_dead_[node] || free_map_slots_[node] == 0) continue;
+      // Node-local split first.
+      size_t idx = SIZE_MAX;
+      bool local = false;
+      auto& local_q = job->node_local[node];
+      while (!local_q.empty()) {
+        const size_t cand = local_q.front();
+        local_q.pop_front();
+        if (!job->started[cand]) {
+          idx = cand;
+          local = true;
+          break;
+        }
+      }
+      if (idx == SIZE_MAX) {
+        while (!job->pending.empty()) {
+          const size_t cand = job->pending.front();
+          job->pending.pop_front();
+          if (!job->started[cand]) {
+            idx = cand;
+            break;
+          }
+        }
+      }
+      if (idx == SIZE_MAX) return;  // nothing left to schedule
+      job->started[idx] = true;
+      --free_map_slots_[node];
+      ++job->counters.maps_launched;
+      if (local) ++job->counters.maps_local;
+      StartMapTask(job, node, idx);
+      progress = true;
+    }
+  }
+}
+
+void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
+                            size_t split_idx) {
+  auto mt = std::make_shared<MapTask>();
+  mt->split_idx = split_idx;
+  mt->node = node;
+  mt->epoch = node_epoch_[node];
+  ++running_maps_;
+  mt->input_path = job->splits[split_idx].path;
+  mt->split_bytes = job->splits[split_idx].bytes;
+  mt->split_offset = job->splits[split_idx].offset;
+  cluster_->sim()->ScheduleAfter(job->spec.task_start_latency,
+                                 [this, job, mt] { MapReadLoop(job, mt); });
+}
+
+void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
+                           std::shared_ptr<MapTask> mt) {
+  // Pipeline prologue: fetch the first chunk, then enter the steady state
+  // where chunk k's CPU work overlaps chunk k+1's read (the record reader
+  // runs ahead of the map function, as in real Hadoop).
+  if (mt->pos >= mt->split_bytes) {
+    MapSpill(job, mt, [this, job, mt] { MapFinish(job, mt); });
+    return;
+  }
+  const uint64_t n = std::min(kTaskChunk, mt->split_bytes - mt->pos);
+  hdfs_->Read(mt->input_path, mt->split_offset + mt->pos, n, mt->node,
+              [this, job, mt, n](Status s) {
+                BDIO_CHECK_OK(s);
+                job->counters.hdfs_read_bytes += n;
+                MapProcessChunk(job, mt, n);
+              });
+}
+
+void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
+                               std::shared_ptr<MapTask> mt,
+                               uint64_t chunk_bytes) {
+  // Invariant: the chunk at mt->pos (of chunk_bytes) has been read.
+  const uint64_t next_pos = mt->pos + chunk_bytes;
+  const uint64_t next_n =
+      next_pos < mt->split_bytes
+          ? std::min(kTaskChunk, mt->split_bytes - next_pos)
+          : 0;
+
+  auto cont = sim::Latch::Create(2, [this, job, mt, chunk_bytes, next_n] {
+    mt->pos += chunk_bytes;
+    const double out_pre =
+        static_cast<double>(chunk_bytes) * job->spec.map_output_ratio;
+    auto proceed = [this, job, mt, next_n] {
+      if (next_n == 0) {
+        MapSpill(job, mt, [this, job, mt] { MapFinish(job, mt); });
+      } else {
+        MapProcessChunk(job, mt, next_n);
+      }
+    };
+    if (!job->map_only()) {
+      mt->buffer_bytes += static_cast<uint64_t>(out_pre);
+      if (mt->buffer_bytes >= job->spec.sort_buffer_bytes) {
+        MapSpill(job, mt, std::move(proceed));
+        return;
+      }
+    }
+    proceed();
+  });
+
+  // Arm 1: prefetch the next chunk while this one is processed.
+  if (next_n > 0) {
+    job->counters.hdfs_read_bytes += next_n;
+    hdfs_->Read(mt->input_path, mt->split_offset + next_pos, next_n,
+                mt->node, [arm = cont->Arm()](Status s) {
+                  BDIO_CHECK_OK(s);
+                  arm();
+                });
+  } else {
+    cont->Arrive();
+  }
+
+  // Arm 2: CPU for the current chunk.
+  const double out_pre =
+      static_cast<double>(chunk_bytes) * job->spec.map_output_ratio;
+  double cpu_ns =
+      static_cast<double>(chunk_bytes) * job->spec.map_cpu_ns_per_byte;
+  if (job->spec.compress_intermediate && !job->map_only()) {
+    cpu_ns += out_pre * job->spec.compress_cpu_ns_per_byte;
+  }
+  cluster_->node(mt->node)->cpu()->Run(static_cast<SimDuration>(cpu_ns),
+                                       cont->Arm());
+}
+
+void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
+                        std::function<void()> then) {
+  const uint64_t pre = mt->buffer_bytes;
+  mt->buffer_bytes = 0;
+  if (pre == 0 || job->map_only()) {
+    cluster_->sim()->ScheduleAfter(0, std::move(then));
+    return;
+  }
+  double post_d = static_cast<double>(pre) * job->spec.combine_ratio;
+  if (job->spec.compress_intermediate) post_d *= job->spec.compress_ratio;
+  // Even a fully-combined spill writes at least a few KB of framing.
+  const uint64_t post =
+      std::max<uint64_t>(static_cast<uint64_t>(post_d), 4096);
+  os::FileSystem* fs = cluster_->node(mt->node)->NextMrFs();
+  auto file = fs->Create("spill_" + std::to_string(file_seq_++));
+  BDIO_CHECK(file.ok()) << file.status().ToString();
+  file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapSpill));
+  ++job->counters.spills;
+  job->counters.intermediate_write_bytes += post;
+  AppendStream(cluster_->sim(), fs, file.value(), post, kTaskChunk,
+               [mt, fs, f = file.value(), post, then = std::move(then)] {
+                 mt->spills.push_back(RunFile{fs, f, post});
+                 then();
+               });
+}
+
+void MrEngine::MapFinish(std::shared_ptr<Job> job,
+                         std::shared_ptr<MapTask> mt) {
+  if (mt->epoch != node_epoch_[mt->node]) {
+    // The host failed while this task ran: discard its work.
+    OnMapDone(job, mt);
+    return;
+  }
+  if (job->map_only()) {
+    // Map-only jobs write their output slice straight to HDFS.
+    const uint64_t out = static_cast<uint64_t>(
+        static_cast<double>(mt->split_bytes) * job->spec.output_ratio);
+    if (out == 0) {
+      OnMapDone(job, mt);
+      return;
+    }
+    const std::string path = job->spec.output_path + "/part-m-" +
+                             std::to_string(mt->split_idx);
+    hdfs_->WriteReplicated(
+        path, out, mt->node, job->spec.output_replication,
+        [this, job, mt, out, path](Status s) {
+          BDIO_CHECK_OK(s);
+          if (mt->epoch != node_epoch_[mt->node]) {
+            // Host failed during the write: withdraw the attempt's output
+            // so the re-execution can commit its own.
+            BDIO_CHECK_OK(hdfs_->Delete(path));
+            OnMapDone(job, mt);
+            return;
+          }
+          job->counters.hdfs_write_bytes += out;
+          ++job->map_outputs_written;
+          OnMapDone(job, mt);
+        });
+    return;
+  }
+
+  if (mt->spills.size() <= 1) {
+    MapOutput mo;
+    mo.node = mt->node;
+    mo.split_idx = mt->split_idx;
+    if (!mt->spills.empty()) {
+      mo.fs = mt->spills[0].fs;
+      mo.file = mt->spills[0].file;
+      mo.bytes = mt->spills[0].bytes;
+    }
+    job->map_outputs.push_back(mo);
+    OnMapDone(job, mt);
+    return;
+  }
+
+  // Multi-spill merge: interleaved chunk reads across the spill files,
+  // streaming into a single merged map-output file.
+  uint64_t total = 0;
+  for (const RunFile& r : mt->spills) total += r.bytes;
+  os::FileSystem* out_fs = cluster_->node(mt->node)->NextMrFs();
+  auto out_file = out_fs->Create("map_out_" + std::to_string(file_seq_++));
+  BDIO_CHECK(out_file.ok()) << out_file.status().ToString();
+  out_file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapOutput));
+
+  struct MergeState {
+    std::vector<RunFile> inputs;
+    std::vector<uint64_t> pos;
+    size_t cursor = 0;
+  };
+  auto ms = std::make_shared<MergeState>();
+  ms->inputs = mt->spills;
+  ms->pos.assign(mt->spills.size(), 0);
+
+  auto step = std::make_shared<std::function<void()>>();
+  auto finish = [this, job, mt, out_fs, out = out_file.value(), total,
+                 step] {
+    *step = nullptr;  // break the cycle (safe: invoked via event queue)
+    if (mt->epoch != node_epoch_[mt->node]) {
+      OnMapDone(job, mt);  // host failed mid-merge: discard
+      return;
+    }
+    for (const RunFile& r : mt->spills) {
+      BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
+    }
+    MapOutput mo;
+    mo.node = mt->node;
+    mo.split_idx = mt->split_idx;
+    mo.fs = out_fs;
+    mo.file = out;
+    mo.bytes = total;
+    job->map_outputs.push_back(mo);
+    OnMapDone(job, mt);
+  };
+  *step = [this, job, ms, out_fs, out = out_file.value(), step, finish] {
+    // Pick the next input with data remaining, round-robin.
+    size_t picked = SIZE_MAX;
+    for (size_t k = 0; k < ms->inputs.size(); ++k) {
+      const size_t i = (ms->cursor + k) % ms->inputs.size();
+      if (ms->pos[i] < ms->inputs[i].bytes) {
+        picked = i;
+        break;
+      }
+    }
+    if (picked == SIZE_MAX) {
+      cluster_->sim()->ScheduleAfter(0, finish);
+      return;
+    }
+    ms->cursor = picked + 1;
+    const RunFile& in = ms->inputs[picked];
+    const uint64_t n = std::min(kTaskChunk, in.bytes - ms->pos[picked]);
+    job->counters.intermediate_read_bytes += n;
+    in.fs->Read(in.file, ms->pos[picked], n,
+                [this, job, ms, picked, n, out_fs, out, step] {
+                  ms->pos[picked] += n;
+                  job->counters.intermediate_write_bytes += n;
+                  out_fs->Append(out, n, [step] {
+                    if (*step) (*step)();
+                  });
+                });
+  };
+  (*step)();
+}
+
+void MrEngine::OnMapDone(std::shared_ptr<Job> job,
+                         std::shared_ptr<MapTask> mt) {
+  BDIO_CHECK(running_maps_ > 0);
+  --running_maps_;
+  if (mt->epoch != node_epoch_[mt->node]) {
+    // Discarded attempt: put the split back and try elsewhere. The dead
+    // node's slot is not returned.
+    job->started[mt->split_idx] = false;
+    job->pending.push_back(mt->split_idx);
+    DispatchMaps(job);
+    return;
+  }
+  ++free_map_slots_[mt->node];
+  ++job->maps_done;
+  MaybeStartReducers(job);
+  for (auto& rt : job->reducers) {
+    PumpShuffle(job, rt);
+    MaybeFinishShuffle(job, rt);
+  }
+  DispatchMaps(job);
+  MaybeFinishJob(job);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce side
+// ---------------------------------------------------------------------------
+
+void MrEngine::MaybeStartReducers(std::shared_ptr<Job> job) {
+  if (job->map_only() || job->num_reducers == 0) return;
+  if (!job->reducers_created) {
+    const uint32_t threshold = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::ceil(job->spec.reduce_slowstart *
+                                           job->splits.size())));
+    if (job->maps_done < threshold) return;
+    job->reducers_created = true;
+    for (uint32_t r = 0; r < job->num_reducers; ++r) {
+      auto rt = std::make_shared<ReduceTask>();
+      rt->idx = r;
+      job->reduce_queue.push_back(std::move(rt));
+    }
+  }
+  // Assign queued reducers to free reduce slots, round-robin over nodes.
+  while (!job->reduce_queue.empty()) {
+    uint32_t node = UINT32_MAX;
+    for (uint32_t k = 0; k < cluster_->num_workers(); ++k) {
+      const uint32_t cand =
+          (job->next_reduce_node + k) % cluster_->num_workers();
+      if (free_reduce_slots_[cand] > 0) {
+        node = cand;
+        break;
+      }
+    }
+    if (node == UINT32_MAX) return;  // all slots busy
+    job->next_reduce_node = node + 1;
+    --free_reduce_slots_[node];
+    auto rt = std::move(job->reduce_queue.front());
+    job->reduce_queue.pop_front();
+    rt->node = node;
+    ++job->counters.reduces_launched;
+    ++running_reduces_;
+    job->reducers.push_back(rt);
+    cluster_->sim()->ScheduleAfter(
+        job->spec.task_start_latency, [this, job, rt] {
+          PumpShuffle(job, rt);
+          MaybeFinishShuffle(job, rt);
+        });
+  }
+}
+
+void MrEngine::PumpShuffle(std::shared_ptr<Job> job,
+                           std::shared_ptr<ReduceTask> rt) {
+  if (rt->dead || rt->merging || rt->spilling) return;
+  while (rt->inflight < job->spec.parallel_copies &&
+         rt->next_output < job->map_outputs.size()) {
+    const MapOutput& mo = job->map_outputs[rt->next_output++];
+    const uint64_t seg = mo.bytes / job->num_reducers;
+    if (seg == 0 || mo.file == nullptr) continue;
+    ++rt->inflight;
+    const uint64_t offset = seg * rt->idx;
+    job->counters.intermediate_read_bytes += seg;
+    ReadStream(
+        cluster_->sim(), mo.fs, mo.file, offset, seg, kShuffleChunk,
+        [this, job, rt, seg, src = mo.node] {
+          job->counters.shuffle_network_bytes += seg;
+          cluster_->network()->Transfer(
+              src, rt->node, seg, [this, job, rt, seg] {
+                --rt->inflight;
+                rt->mem_bytes += seg;
+                rt->fetched_bytes += seg;
+                if (rt->mem_bytes >= job->spec.shuffle_buffer_bytes) {
+                  ReduceSpill(job, rt, [this, job, rt] {
+                    PumpShuffle(job, rt);
+                    MaybeFinishShuffle(job, rt);
+                  });
+                } else {
+                  PumpShuffle(job, rt);
+                  MaybeFinishShuffle(job, rt);
+                }
+              });
+        });
+  }
+}
+
+void MrEngine::ReduceSpill(std::shared_ptr<Job> job,
+                           std::shared_ptr<ReduceTask> rt,
+                           std::function<void()> then) {
+  const uint64_t bytes = rt->mem_bytes;
+  rt->mem_bytes = 0;
+  if (bytes == 0) {
+    cluster_->sim()->ScheduleAfter(0, std::move(then));
+    return;
+  }
+  rt->spilling = true;
+  os::FileSystem* fs = cluster_->node(rt->node)->NextMrFs();
+  auto file = fs->Create("shuffle_run_" + std::to_string(file_seq_++));
+  BDIO_CHECK(file.ok()) << file.status().ToString();
+  file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kShuffleRun));
+  job->counters.intermediate_write_bytes += bytes;
+  AppendStream(cluster_->sim(), fs, file.value(), bytes, kTaskChunk,
+               [rt, fs, f = file.value(), bytes, then = std::move(then)] {
+                 rt->runs.push_back(RunFile{fs, f, bytes});
+                 rt->spilling = false;
+                 then();
+               });
+}
+
+void MrEngine::MaybeFinishShuffle(std::shared_ptr<Job> job,
+                                  std::shared_ptr<ReduceTask> rt) {
+  if (rt->dead || rt->merging || rt->spilling) return;
+  if (job->maps_done < job->splits.size()) return;
+  if (rt->next_output < job->map_outputs.size()) return;
+  if (rt->inflight > 0) return;
+  rt->merging = true;
+  ReduceMergeAndRun(job, rt);
+}
+
+void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
+                                 std::shared_ptr<ReduceTask> rt) {
+  // Interleaved reads across the on-disk runs feed the reducer; in-memory
+  // segments need no I/O. CPU is charged per byte as data streams through.
+  double cpu_per_byte = job->spec.reduce_cpu_ns_per_byte;
+  if (job->spec.compress_intermediate) {
+    cpu_per_byte += 0.5 * job->spec.compress_cpu_ns_per_byte;
+  }
+
+  struct MergeState {
+    std::vector<RunFile> inputs;
+    std::vector<uint64_t> pos;
+    size_t cursor = 0;
+    uint64_t mem_left = 0;
+    uint64_t pending_n = 0;  ///< Bytes of the chunk currently in hand.
+    bool drained = false;    ///< All run data has been read.
+  };
+  auto ms = std::make_shared<MergeState>();
+  ms->inputs = rt->runs;
+  ms->pos.assign(rt->runs.size(), 0);
+  ms->mem_left = rt->mem_bytes;
+
+  auto step = std::make_shared<std::function<void()>>();
+  auto finish = [this, job, rt, step] {
+    *step = nullptr;
+    // Write the reduce output slice to HDFS.
+    const uint64_t job_input = [&] {
+      uint64_t total = 0;
+      for (const Split& s : job->splits) total += s.bytes;
+      return total;
+    }();
+    const uint64_t out = static_cast<uint64_t>(
+        static_cast<double>(job_input) * job->spec.output_ratio /
+        static_cast<double>(job->num_reducers));
+    if (out == 0) {
+      OnReduceDone(job, rt);
+      return;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "/part-r-%05u", rt->idx);
+    const std::string path = job->spec.output_path + name;
+    hdfs_->WriteReplicated(path, out, rt->node,
+                           job->spec.output_replication,
+                           [this, job, rt, out, path](Status s) {
+                             BDIO_CHECK_OK(s);
+                             if (rt->dead) {
+                               // Host failed during the write: withdraw it.
+                               BDIO_CHECK_OK(hdfs_->Delete(path));
+                               return;
+                             }
+                             job->counters.hdfs_write_bytes += out;
+                             OnReduceDone(job, rt);
+                           });
+  };
+  // Picks the next on-disk chunk (round-robin over the runs) and starts its
+  // read; returns false when all runs are drained.
+  auto read_next = [this, job, ms](std::function<void()> on_ready) -> bool {
+    size_t picked = SIZE_MAX;
+    for (size_t k = 0; k < ms->inputs.size(); ++k) {
+      const size_t i = (ms->cursor + k) % ms->inputs.size();
+      if (ms->pos[i] < ms->inputs[i].bytes) {
+        picked = i;
+        break;
+      }
+    }
+    if (picked == SIZE_MAX) return false;
+    ms->cursor = picked + 1;
+    const RunFile& in = ms->inputs[picked];
+    const uint64_t n = std::min(kTaskChunk, in.bytes - ms->pos[picked]);
+    ms->pos[picked] += n;
+    ms->pending_n = n;
+    job->counters.intermediate_read_bytes += n;
+    in.fs->Read(in.file, ms->pos[picked] - n, n, std::move(on_ready));
+    return true;
+  };
+
+  // Steady state: CPU for the chunk in hand overlaps the next chunk's read.
+  *step = [this, job, rt, ms, cpu_per_byte, read_next, step, finish] {
+    // Memory-resident bytes cost only CPU; burn them first.
+    if (ms->mem_left > 0) {
+      const uint64_t n = std::min(kTaskChunk, ms->mem_left);
+      ms->mem_left -= n;
+      cluster_->node(rt->node)->cpu()->Run(
+          static_cast<SimDuration>(static_cast<double>(n) * cpu_per_byte),
+          [step] {
+            if (*step) (*step)();
+          });
+      return;
+    }
+    const uint64_t current_n = ms->pending_n;
+    if (current_n == 0) {
+      // Pipeline prologue: fetch the first disk chunk (or finish).
+      if (!read_next([step] {
+            if (*step) (*step)();
+          })) {
+        cluster_->sim()->ScheduleAfter(0, finish);
+      }
+      return;
+    }
+    // Current chunk's data is in hand.
+    auto cont = sim::Latch::Create(2, [step] {
+      if (*step) (*step)();
+    });
+    ms->pending_n = 0;
+    if (!read_next(cont->Arm())) {
+      // Nothing left to read: finish once the last CPU slice completes.
+      ms->drained = true;
+      cont->Arrive();
+    }
+    cluster_->node(rt->node)->cpu()->Run(
+        static_cast<SimDuration>(static_cast<double>(current_n) *
+                                 cpu_per_byte),
+        cont->Arm());
+  };
+  // Route the step chain through a drain check so the last CPU slice's
+  // completion finishes the task.
+  auto inner = *step;
+  *step = [rt, step, inner, ms, finish] {
+    if (rt->dead) {
+      // Host failed: abandon the merge (copy-to-local before clearing the
+      // closure we are executing).
+      auto keep = step;
+      *keep = nullptr;
+      return;
+    }
+    if (ms->drained && ms->pending_n == 0 && ms->mem_left == 0) {
+      // finish() clears *step, destroying this very closure — call a stack
+      // copy so its captures outlive the destruction.
+      auto finish_local = finish;
+      finish_local();
+      return;
+    }
+    inner();
+  };
+  (*step)();
+}
+
+void MrEngine::OnReduceDone(std::shared_ptr<Job> job,
+                            std::shared_ptr<ReduceTask> rt) {
+  if (rt->dead) return;  // a replacement owns this partition now
+  rt->done = true;
+  BDIO_CHECK(running_reduces_ > 0);
+  --running_reduces_;
+  // Drop this reducer's shuffle runs.
+  for (const RunFile& r : rt->runs) {
+    BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
+  }
+  rt->runs.clear();
+  ++free_reduce_slots_[rt->node];
+  ++job->reduces_done;
+  MaybeStartReducers(job);  // queued reducers may now get the slot
+  MaybeFinishJob(job);
+}
+
+void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
+  if (job->finished) return;
+  if (job->maps_done < job->splits.size()) return;
+  if (job->map_only()) {
+    // All maps done; their HDFS writes complete inside OnMapDone's chain,
+    // so maps_done implies outputs written.
+  } else {
+    if (!job->reducers_created) {
+      // Degenerate: no reducers ever started (zero splits handled earlier).
+      MaybeStartReducers(job);
+    }
+    if (job->reduces_done < job->num_reducers) return;
+  }
+  job->finished = true;
+  // Job cleanup: delete map output files (the TaskTracker's job-end purge).
+  for (const MapOutput& mo : job->map_outputs) {
+    if (mo.file != nullptr) {
+      BDIO_CHECK_OK(mo.fs->Delete(mo.file->name()));
+    }
+  }
+  job->counters.end_time = cluster_->sim()->Now();
+  cluster_->sim()->ScheduleAfter(
+      0, [job] { job->done(Status::OK(), job->counters); });
+}
+
+}  // namespace bdio::mapreduce

@@ -1,0 +1,131 @@
+#ifndef BDIO_MAPREDUCE_ENGINE_H_
+#define BDIO_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/job.h"
+
+namespace bdio::mapreduce {
+
+/// Result callback of a simulated job.
+using JobCallback = std::function<void(Status, const JobCounters&)>;
+
+/// The Hadoop-1 execution engine simulator: a JobTracker with per-node
+/// map/reduce slots, locality-aware split scheduling, map-side sort/spill/
+/// merge on the intermediate-data disks, slow-start shuffle with bounded
+/// parallel copies, reduce-side merge runs, and HDFS output writes.
+///
+/// All volumes are modelled (no real keys move); the *I/O structure* — which
+/// files, which disks, which sizes, which order — follows Hadoop 1.0.4.
+class MrEngine {
+ public:
+  MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
+           const SlotConfig& slots, Rng rng);
+
+  MrEngine(const MrEngine&) = delete;
+  MrEngine& operator=(const MrEngine&) = delete;
+
+  /// Runs one job; jobs may be chained from the callback (iterative
+  /// workloads). Concurrent jobs are not supported (the paper runs one
+  /// workload at a time).
+  void RunJob(const SimJobSpec& spec, JobCallback done);
+
+  /// Simulates a TaskTracker failure at the current instant (Hadoop-1 fault
+  /// handling): the node receives no further tasks, its in-flight tasks'
+  /// results are discarded on completion and rescheduled elsewhere, its
+  /// completed map outputs become unavailable and their maps re-execute,
+  /// and its running reducers restart on other nodes. Approximations: I/O
+  /// already queued on the dead node still drains (wasted work), and
+  /// reducers that already copied segments of a lost output re-fetch the
+  /// re-executed one.
+  void InjectNodeFailure(uint32_t node);
+  bool node_failed(uint32_t node) const { return node_dead_[node]; }
+
+  /// Cluster-wide tasks currently executing (for timeline sampling).
+  uint32_t running_maps() const { return running_maps_; }
+  uint32_t running_reduces() const { return running_reduces_; }
+
+  const SlotConfig& slots() const { return slots_; }
+
+ private:
+  struct Split {
+    std::string path;  ///< HDFS file this split belongs to.
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    std::vector<uint32_t> hosts;
+  };
+  struct MapOutput {
+    uint32_t node = 0;
+    os::FileSystem* fs = nullptr;
+    os::File* file = nullptr;
+    uint64_t bytes = 0;
+    size_t split_idx = 0;  ///< Split this output came from (re-execution).
+  };
+  struct RunFile {
+    os::FileSystem* fs = nullptr;
+    os::File* file = nullptr;
+    uint64_t bytes = 0;
+  };
+  struct ReduceTask;
+  struct MapTask;
+  struct Job;
+
+  void DispatchMaps(std::shared_ptr<Job> job);
+  void StartMapTask(std::shared_ptr<Job> job, uint32_t node,
+                    size_t split_idx);
+  void MapReadLoop(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+  void MapProcessChunk(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
+                       uint64_t chunk_bytes);
+  void MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
+                std::function<void()> then);
+  void MapFinish(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+  void OnMapDone(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+
+  void MaybeStartReducers(std::shared_ptr<Job> job);
+  void PumpShuffle(std::shared_ptr<Job> job, std::shared_ptr<ReduceTask> rt);
+  void ReduceSpill(std::shared_ptr<Job> job, std::shared_ptr<ReduceTask> rt,
+                   std::function<void()> then);
+  void MaybeFinishShuffle(std::shared_ptr<Job> job,
+                          std::shared_ptr<ReduceTask> rt);
+  void ReduceMergeAndRun(std::shared_ptr<Job> job,
+                         std::shared_ptr<ReduceTask> rt);
+  void OnReduceDone(std::shared_ptr<Job> job,
+                    std::shared_ptr<ReduceTask> rt);
+  void MaybeFinishJob(std::shared_ptr<Job> job);
+
+  cluster::Cluster* cluster_;
+  hdfs::Hdfs* hdfs_;
+  SlotConfig slots_;
+  Rng rng_;
+  std::vector<uint32_t> free_map_slots_;
+  std::vector<uint32_t> free_reduce_slots_;
+  std::vector<bool> node_dead_;
+  std::vector<uint64_t> node_epoch_;  ///< Bumped per failure.
+  std::weak_ptr<Job> active_job_;
+  uint32_t running_maps_ = 0;
+  uint32_t running_reduces_ = 0;
+  uint64_t file_seq_ = 0;  ///< Unique local-file naming across jobs.
+};
+
+/// Streams `total` bytes into `file` in `chunk`-sized appends; `cb` fires
+/// when the last append is accepted.
+void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
+                  uint64_t total, uint64_t chunk, std::function<void()> cb);
+
+/// Streams a read of [offset, offset+total) in `chunk`-sized requests.
+void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
+                uint64_t offset, uint64_t total, uint64_t chunk,
+                std::function<void()> cb);
+
+}  // namespace bdio::mapreduce
+
+#endif  // BDIO_MAPREDUCE_ENGINE_H_

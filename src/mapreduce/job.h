@@ -1,0 +1,87 @@
+#ifndef BDIO_MAPREDUCE_JOB_H_
+#define BDIO_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace bdio::mapreduce {
+
+/// Per-node task slot configuration — the paper's first experimental factor.
+/// The paper's labels ("1_8", "2_16") are kept: the second configuration
+/// doubles both slot kinds.
+struct SlotConfig {
+  uint32_t map_slots = 8;
+  uint32_t reduce_slots = 8;
+  std::string label = "1_8";
+
+  uint32_t total() const { return map_slots + reduce_slots; }
+
+  static SlotConfig Paper_1_8() { return SlotConfig{8, 8, "1_8"}; }
+  static SlotConfig Paper_2_16() { return SlotConfig{16, 16, "2_16"}; }
+};
+
+/// One simulated MapReduce job: volume ratios and CPU costs calibrated from
+/// the functional engine (mrfunc) running the real workload code on
+/// generated data.
+struct SimJobSpec {
+  std::string name;
+  std::string input_path;   ///< Pre-existing HDFS file.
+  std::string output_path;  ///< HDFS file the job creates.
+
+  /// Intermediate (serialized map output) bytes per input byte, before
+  /// combining and compression. This is the rate at which the map-side sort
+  /// buffer fills.
+  double map_output_ratio = 1.0;
+  /// Fraction of buffered intermediate data that survives the spill-time
+  /// combiner (1.0 = no combiner; algebraic aggregates shrink to ~0).
+  double combine_ratio = 1.0;
+  /// Job output bytes per input byte.
+  double output_ratio = 1.0;
+
+  /// CPU cost of map/reduce logic per byte processed.
+  double map_cpu_ns_per_byte = 2.0;
+  double reduce_cpu_ns_per_byte = 2.0;
+
+  /// mapred.compress.map.output and the codec behaviour measured on real
+  /// generated data.
+  bool compress_intermediate = false;
+  double compress_ratio = 0.45;          ///< compressed/original size.
+  double compress_cpu_ns_per_byte = 1.5; ///< Extra CPU per intermediate byte.
+
+  /// Sentinel for num_reduce_tasks: one reducer per configured reduce slot
+  /// (a single wave), the common Hadoop sizing rule.
+  static constexpr uint32_t kOneWave = 0xFFFFFFFFu;
+
+  uint32_t num_reduce_tasks = kOneWave;  ///< 0 = map-only job.
+  uint32_t output_replication = 3;
+
+  uint64_t split_bytes = MiB(64);        ///< One map task per split.
+  uint64_t sort_buffer_bytes = MiB(100); ///< io.sort.mb.
+  uint64_t shuffle_buffer_bytes = MiB(140);  ///< Reduce in-memory merge space.
+  uint32_t parallel_copies = 5;          ///< Concurrent shuffle fetches.
+  double reduce_slowstart = 0.05;        ///< Maps done before reducers start.
+  SimDuration task_start_latency = Millis(200);  ///< JVM/task setup.
+};
+
+/// Aggregate volume counters of a finished job.
+struct JobCounters {
+  uint64_t hdfs_read_bytes = 0;
+  uint64_t hdfs_write_bytes = 0;  ///< Logical (before replication).
+  uint64_t intermediate_write_bytes = 0;
+  uint64_t intermediate_read_bytes = 0;
+  uint64_t shuffle_network_bytes = 0;
+  uint32_t maps_launched = 0;
+  uint32_t maps_local = 0;
+  uint32_t reduces_launched = 0;
+  uint64_t spills = 0;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+
+  double DurationSeconds() const { return ToSeconds(end_time - start_time); }
+};
+
+}  // namespace bdio::mapreduce
+
+#endif  // BDIO_MAPREDUCE_JOB_H_

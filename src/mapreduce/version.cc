@@ -1,0 +1,4 @@
+namespace bdio::mapreduce {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "mapreduce"; }
+}  // namespace bdio::mapreduce

@@ -1,0 +1,47 @@
+#include "mrfunc/api.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bdio::mrfunc {
+
+uint32_t Partitioner::Partition(const std::string& key,
+                                uint32_t num_partitions) const {
+  return HashPartitioner().Partition(key, num_partitions);
+}
+
+uint32_t HashPartitioner::Partition(const std::string& key,
+                                    uint32_t num_partitions) const {
+  BDIO_CHECK(num_partitions > 0);
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<uint32_t>(h % num_partitions);
+}
+
+uint32_t TotalOrderPartitioner::Partition(const std::string& key,
+                                          uint32_t num_partitions) const {
+  BDIO_CHECK(num_partitions > 0);
+  auto it =
+      std::upper_bound(split_points_.begin(), split_points_.end(), key);
+  const uint32_t p = static_cast<uint32_t>(it - split_points_.begin());
+  return std::min(p, num_partitions - 1);
+}
+
+std::vector<std::string> TotalOrderPartitioner::SampleSplits(
+    std::vector<std::string> sample, uint32_t num_partitions) {
+  BDIO_CHECK(num_partitions > 0);
+  std::sort(sample.begin(), sample.end());
+  std::vector<std::string> splits;
+  if (sample.empty()) return splits;
+  for (uint32_t i = 1; i < num_partitions; ++i) {
+    const size_t idx = i * sample.size() / num_partitions;
+    splits.push_back(sample[std::min(idx, sample.size() - 1)]);
+  }
+  return splits;
+}
+
+}  // namespace bdio::mrfunc

@@ -1,0 +1,84 @@
+#ifndef BDIO_MRFUNC_API_H_
+#define BDIO_MRFUNC_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bdio::mrfunc {
+
+/// A record flowing through a MapReduce job.
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KeyValue& other) const = default;
+};
+
+/// Output collector handed to Mappers/Reducers.
+class Emitter {
+ public:
+  explicit Emitter(std::vector<KeyValue>* sink) : sink_(sink) {}
+  void Emit(std::string key, std::string value) {
+    sink_->push_back(KeyValue{std::move(key), std::move(value)});
+  }
+
+ private:
+  std::vector<KeyValue>* sink_;
+};
+
+/// User map function: input record -> zero or more intermediate records.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Map(const KeyValue& record, Emitter* out) = 0;
+};
+
+/// User reduce function: one key and all its values -> output records.
+/// Also used as the combiner when JobConfig::use_combiner is set (the
+/// Hadoop convention for algebraic aggregates).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      Emitter* out) = 0;
+};
+
+/// Assigns intermediate keys to reduce partitions.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual uint32_t Partition(const std::string& key,
+                             uint32_t num_partitions) const;
+};
+
+/// Default partitioner: FNV-1a hash of the key (HashPartitioner).
+class HashPartitioner : public Partitioner {
+ public:
+  uint32_t Partition(const std::string& key,
+                     uint32_t num_partitions) const override;
+};
+
+/// Total-order partitioner over sampled split points (TeraSort's
+/// partitioner): keys < split[0] go to partition 0, etc.
+class TotalOrderPartitioner : public Partitioner {
+ public:
+  explicit TotalOrderPartitioner(std::vector<std::string> split_points)
+      : split_points_(std::move(split_points)) {}
+  uint32_t Partition(const std::string& key,
+                     uint32_t num_partitions) const override;
+
+  /// Builds split points by sampling `sample` keys for `num_partitions`
+  /// partitions.
+  static std::vector<std::string> SampleSplits(
+      std::vector<std::string> sample, uint32_t num_partitions);
+
+ private:
+  std::vector<std::string> split_points_;
+};
+
+}  // namespace bdio::mrfunc
+
+#endif  // BDIO_MRFUNC_API_H_

@@ -1,0 +1,226 @@
+#include "mrfunc/local_runner.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::mrfunc {
+
+namespace {
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+uint64_t VarintSize(uint64_t v) {
+  uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// One sorted run spilled from the map sort buffer.
+struct Spill {
+  /// Records sorted by (partition, key).
+  std::vector<std::pair<uint32_t, KeyValue>> records;
+};
+
+/// Applies the combiner to a (partition, key)-sorted record run.
+std::vector<std::pair<uint32_t, KeyValue>> Combine(
+    Reducer* combiner,
+    const std::vector<std::pair<uint32_t, KeyValue>>& sorted) {
+  std::vector<std::pair<uint32_t, KeyValue>> out;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    std::vector<std::string> values;
+    while (j < sorted.size() && sorted[j].first == sorted[i].first &&
+           sorted[j].second.key == sorted[i].second.key) {
+      values.push_back(sorted[j].second.value);
+      ++j;
+    }
+    std::vector<KeyValue> combined;
+    Emitter em(&combined);
+    combiner->Reduce(sorted[i].second.key, values, &em);
+    for (auto& kv : combined) {
+      out.emplace_back(sorted[i].first, std::move(kv));
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t SerializedSize(const KeyValue& kv) {
+  return VarintSize(kv.key.size()) + kv.key.size() +
+         VarintSize(kv.value.size()) + kv.value.size();
+}
+
+std::string SerializeRecords(const std::vector<KeyValue>& records) {
+  std::string out;
+  for (const KeyValue& kv : records) {
+    AppendVarint(&out, kv.key.size());
+    out += kv.key;
+    AppendVarint(&out, kv.value.size());
+    out += kv.value;
+  }
+  return out;
+}
+
+Result<JobStats> LocalJobRunner::Run(const std::vector<KeyValue>& input,
+                                     Mapper* mapper, Reducer* reducer,
+                                     const JobConfig& config,
+                                     std::vector<KeyValue>* output) {
+  HashPartitioner hash;
+  return Run(input, mapper, reducer, /*combiner=*/nullptr, hash, config,
+             output);
+}
+
+Result<JobStats> LocalJobRunner::Run(const std::vector<KeyValue>& input,
+                                     Mapper* mapper, Reducer* reducer,
+                                     Reducer* combiner,
+                                     const Partitioner& partitioner,
+                                     const JobConfig& config,
+                                     std::vector<KeyValue>* output) {
+  if (mapper == nullptr || reducer == nullptr || output == nullptr) {
+    return Status::InvalidArgument("mapper/reducer/output must be non-null");
+  }
+  if (config.num_map_tasks == 0 || config.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("task counts must be positive");
+  }
+  JobStats stats;
+  Reducer* effective_combiner =
+      config.use_combiner ? (combiner ? combiner : reducer) : combiner;
+
+  std::unique_ptr<compress::Codec> codec;
+  if (config.compress_map_output) codec = compress::MakeCodec(config.codec);
+
+  // Reduce-side inputs: per partition, the collected shuffled records.
+  std::vector<std::vector<KeyValue>> reduce_inputs(config.num_reduce_tasks);
+  uint64_t pre_codec_bytes = 0;
+  uint64_t post_codec_bytes = 0;
+
+  // -------------------------------------------------------------------
+  // Map phase: each map task owns a contiguous slice of the input.
+  // -------------------------------------------------------------------
+  for (uint32_t task = 0; task < config.num_map_tasks; ++task) {
+    const size_t begin = input.size() * task / config.num_map_tasks;
+    const size_t end = input.size() * (task + 1) / config.num_map_tasks;
+
+    std::vector<Spill> spills;
+    std::vector<std::pair<uint32_t, KeyValue>> buffer;
+    uint64_t buffer_bytes = 0;
+
+    auto flush_buffer = [&] {
+      if (buffer.empty()) return;
+      std::stable_sort(buffer.begin(), buffer.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first < b.first;
+                         return a.second.key < b.second.key;
+                       });
+      if (effective_combiner != nullptr) {
+        buffer = Combine(effective_combiner, buffer);
+      }
+      // Account spill volume (per partition, as Hadoop writes one
+      // partition-segmented spill file).
+      std::vector<KeyValue> flat;
+      flat.reserve(buffer.size());
+      for (auto& [p, kv] : buffer) flat.push_back(kv);
+      const std::string serialized = SerializeRecords(flat);
+      pre_codec_bytes += serialized.size();
+      if (codec) {
+        std::string compressed;
+        BDIO_CHECK_OK(codec->Compress(serialized, &compressed));
+        post_codec_bytes += compressed.size();
+        stats.spilled_bytes += compressed.size();
+      } else {
+        post_codec_bytes += serialized.size();
+        stats.spilled_bytes += serialized.size();
+      }
+      ++stats.spill_count;
+      spills.push_back(Spill{std::move(buffer)});
+      buffer.clear();
+      buffer_bytes = 0;
+    };
+
+    for (size_t i = begin; i < end; ++i) {
+      ++stats.map_input_records;
+      stats.map_input_bytes += SerializedSize(input[i]);
+      std::vector<KeyValue> mapped;
+      Emitter em(&mapped);
+      mapper->Map(input[i], &em);
+      for (auto& kv : mapped) {
+        ++stats.map_output_records;
+        const uint64_t sz = SerializedSize(kv);
+        stats.map_output_bytes += sz;
+        buffer_bytes += sz;
+        buffer.emplace_back(
+            partitioner.Partition(kv.key, config.num_reduce_tasks),
+            std::move(kv));
+        if (buffer_bytes >= config.sort_buffer_bytes) flush_buffer();
+      }
+    }
+    flush_buffer();
+
+    // Merge this task's spills into the reduce inputs (the shuffle).
+    for (Spill& spill : spills) {
+      for (auto& [p, kv] : spill.records) {
+        stats.shuffle_bytes += SerializedSize(kv);
+        reduce_inputs[p].push_back(std::move(kv));
+      }
+    }
+  }
+  if (codec && pre_codec_bytes > 0) {
+    stats.intermediate_compression_ratio =
+        static_cast<double>(post_codec_bytes) /
+        static_cast<double>(pre_codec_bytes);
+    // Shuffle moves compressed data.
+    stats.shuffle_bytes = static_cast<uint64_t>(
+        static_cast<double>(stats.shuffle_bytes) *
+        stats.intermediate_compression_ratio);
+  }
+
+  // -------------------------------------------------------------------
+  // Reduce phase: merge-sort each partition, group by key, reduce.
+  // -------------------------------------------------------------------
+  output->clear();
+  for (uint32_t p = 0; p < config.num_reduce_tasks; ++p) {
+    auto& part = reduce_inputs[p];
+    std::stable_sort(part.begin(), part.end(),
+                     [](const KeyValue& a, const KeyValue& b) {
+                       return a.key < b.key;
+                     });
+    size_t i = 0;
+    while (i < part.size()) {
+      size_t j = i;
+      std::vector<std::string> values;
+      while (j < part.size() && part[j].key == part[i].key) {
+        values.push_back(part[j].value);
+        ++j;
+      }
+      ++stats.reduce_input_groups;
+      stats.reduce_input_records += values.size();
+      std::vector<KeyValue> reduced;
+      Emitter em(&reduced);
+      reducer->Reduce(part[i].key, values, &em);
+      for (auto& kv : reduced) {
+        ++stats.reduce_output_records;
+        stats.reduce_output_bytes += SerializedSize(kv);
+        output->push_back(std::move(kv));
+      }
+      i = j;
+    }
+  }
+  return stats;
+}
+
+}  // namespace bdio::mrfunc

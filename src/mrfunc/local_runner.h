@@ -1,0 +1,82 @@
+#ifndef BDIO_MRFUNC_LOCAL_RUNNER_H_
+#define BDIO_MRFUNC_LOCAL_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "compress/codec.h"
+#include "mrfunc/api.h"
+
+namespace bdio::mrfunc {
+
+/// Job configuration mirroring the Hadoop-1 knobs the paper varies.
+struct JobConfig {
+  uint32_t num_map_tasks = 4;
+  uint32_t num_reduce_tasks = 2;
+  /// io.sort.mb: map-side sort buffer; map output spills when it fills.
+  uint64_t sort_buffer_bytes = MiB(8);
+  /// Run the reducer as a map-side combiner on every spill.
+  bool use_combiner = false;
+  /// mapred.compress.map.output: compress spill/shuffle data (measured with
+  /// the real codec so the simulator's ratios are honest).
+  bool compress_map_output = false;
+  std::string codec = "fastlz";
+};
+
+/// Volume accounting of one executed job — the Hadoop counters the
+/// simulation profiles are calibrated from.
+struct JobStats {
+  uint64_t map_input_records = 0;
+  uint64_t map_input_bytes = 0;
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;  ///< Serialized, pre-compression.
+  uint64_t spill_count = 0;
+  uint64_t spilled_bytes = 0;          ///< Written to "local disk", post-codec.
+  uint64_t shuffle_bytes = 0;          ///< Moved map->reduce, post-codec.
+  uint64_t reduce_input_groups = 0;
+  uint64_t reduce_input_records = 0;
+  uint64_t reduce_output_records = 0;
+  uint64_t reduce_output_bytes = 0;
+
+  /// Post-codec / pre-codec size of intermediate data (1.0 if uncompressed).
+  double intermediate_compression_ratio = 1.0;
+};
+
+/// In-process MapReduce execution engine with real semantics: map tasks over
+/// input splits, a sort-buffer that spills sorted runs, per-spill combining,
+/// partitioned shuffle, merge-sorted reduce input, and grouped reduce calls.
+/// Used for workload correctness tests and for calibrating the cluster
+/// simulator's volume model.
+class LocalJobRunner {
+ public:
+  LocalJobRunner() = default;
+
+  /// Runs a job over `input`. `output` receives reduce output in partition-
+  /// then-key order. `combiner` may be null; when JobConfig::use_combiner is
+  /// set and `combiner` is null, `reducer` is used as the combiner.
+  Result<JobStats> Run(const std::vector<KeyValue>& input, Mapper* mapper,
+                       Reducer* reducer, Reducer* combiner,
+                       const Partitioner& partitioner, const JobConfig& config,
+                       std::vector<KeyValue>* output);
+
+  /// Convenience overload with the default hash partitioner and no combiner
+  /// unless config.use_combiner.
+  Result<JobStats> Run(const std::vector<KeyValue>& input, Mapper* mapper,
+                       Reducer* reducer, const JobConfig& config,
+                       std::vector<KeyValue>* output);
+};
+
+/// Serialized size of a record in the spill format (varint lengths + bytes).
+uint64_t SerializedSize(const KeyValue& kv);
+
+/// Serializes records into the spill wire format (used to measure honest
+/// byte volumes and as codec input).
+std::string SerializeRecords(const std::vector<KeyValue>& records);
+
+}  // namespace bdio::mrfunc
+
+#endif  // BDIO_MRFUNC_LOCAL_RUNNER_H_

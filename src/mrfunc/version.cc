@@ -1,0 +1,4 @@
+namespace bdio::mrfunc {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "mrfunc"; }
+}  // namespace bdio::mrfunc

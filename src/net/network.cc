@@ -1,0 +1,142 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::net {
+
+namespace {
+/// Loopback copies don't touch the NIC; they complete after a token delay.
+constexpr SimDuration kLoopbackLatency = Micros(50);
+/// Small per-transfer setup latency (connection + protocol overhead).
+constexpr SimDuration kFlowSetupLatency = Micros(200);
+}  // namespace
+
+Network::Network(sim::Simulator* sim, uint32_t num_nodes,
+                 double link_bytes_per_sec)
+    : sim_(sim),
+      num_nodes_(num_nodes),
+      link_rate_(link_bytes_per_sec),
+      node_stats_(num_nodes) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(num_nodes > 0);
+  BDIO_CHECK(link_bytes_per_sec > 0);
+}
+
+void Network::Transfer(uint32_t src, uint32_t dst, uint64_t bytes,
+                       std::function<void()> cb) {
+  BDIO_CHECK(src < num_nodes_ && dst < num_nodes_);
+  node_stats_[src].bytes_sent += bytes;
+  node_stats_[dst].bytes_received += bytes;
+  total_bytes_ += bytes;
+  if (src == dst || bytes == 0) {
+    sim_->ScheduleAfter(kLoopbackLatency, std::move(cb));
+    return;
+  }
+  AdvanceTo(sim_->Now());
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = static_cast<double>(bytes);
+  flow.cb = std::move(cb);
+  flows_.emplace(next_flow_id_++, std::move(flow));
+  Reschedule();
+}
+
+void Network::AdvanceTo(SimTime now) {
+  BDIO_CHECK(now >= last_advance_);
+  const double dt = ToSeconds(now - last_advance_);
+  if (dt > 0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  }
+  last_advance_ = now;
+}
+
+void Network::ComputeRates() {
+  // Max-min fair water-filling over per-node egress/ingress capacities.
+  std::vector<double> egress(num_nodes_, link_rate_);
+  std::vector<double> ingress(num_nodes_, link_rate_);
+  std::vector<uint32_t> egress_count(num_nodes_, 0);
+  std::vector<uint32_t> ingress_count(num_nodes_, 0);
+  for (auto& [id, f] : flows_) {
+    f.rate = -1;  // unfixed
+    ++egress_count[f.src];
+    ++ingress_count[f.dst];
+  }
+  size_t unfixed = flows_.size();
+  while (unfixed > 0) {
+    // Find the tightest constraint among nodes with unfixed flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (uint32_t n = 0; n < num_nodes_; ++n) {
+      if (egress_count[n] > 0) {
+        best_share = std::min(best_share, egress[n] / egress_count[n]);
+      }
+      if (ingress_count[n] > 0) {
+        best_share = std::min(best_share, ingress[n] / ingress_count[n]);
+      }
+    }
+    BDIO_CHECK(std::isfinite(best_share));
+    // Fix every unfixed flow passing through a bottleneck at best_share.
+    bool fixed_any = false;
+    for (auto& [id, f] : flows_) {
+      if (f.rate >= 0) continue;
+      const bool src_bottleneck =
+          egress_count[f.src] > 0 &&
+          egress[f.src] / egress_count[f.src] <= best_share * (1 + 1e-9);
+      const bool dst_bottleneck =
+          ingress_count[f.dst] > 0 &&
+          ingress[f.dst] / ingress_count[f.dst] <= best_share * (1 + 1e-9);
+      if (!src_bottleneck && !dst_bottleneck) continue;
+      f.rate = best_share;
+      egress[f.src] -= best_share;
+      ingress[f.dst] -= best_share;
+      --egress_count[f.src];
+      --ingress_count[f.dst];
+      --unfixed;
+      fixed_any = true;
+    }
+    BDIO_CHECK(fixed_any) << "water-filling failed to make progress";
+  }
+}
+
+void Network::Reschedule() {
+  ComputeRates();
+  // Retire flows that are already done.
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= 0.5) {  // sub-byte residue => done
+      done.push_back(std::move(it->second.cb));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!done.empty()) {
+    for (auto& cb : done) {
+      if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    }
+    if (!flows_.empty()) ComputeRates();  // allocation changed
+  }
+  if (flows_.empty()) return;
+  // Next completion.
+  double min_time = std::numeric_limits<double>::infinity();
+  for (auto& [id, f] : flows_) {
+    BDIO_CHECK(f.rate > 0);
+    min_time = std::min(min_time, f.remaining / f.rate);
+  }
+  const uint64_t gen = ++generation_;
+  const SimDuration dt = FromSeconds(min_time) + kFlowSetupLatency;
+  sim_->ScheduleAfter(dt, [this, gen] {
+    if (gen != generation_) return;  // superseded by a newer event
+    AdvanceTo(sim_->Now());
+    Reschedule();
+  });
+}
+
+}  // namespace bdio::net

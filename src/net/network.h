@@ -1,0 +1,77 @@
+#ifndef BDIO_NET_NETWORK_H_
+#define BDIO_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace bdio::net {
+
+/// Per-node traffic counters.
+struct NodeNetStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// Fluid-flow model of a non-blocking switched fabric (the paper's 1 GbE):
+/// every node has a full-duplex NIC of `link_bytes_per_sec`; concurrent
+/// flows receive the max-min fair allocation subject to the egress capacity
+/// of the sender and ingress capacity of the receiver. Rates are
+/// recomputed whenever a flow starts or finishes.
+class Network {
+ public:
+  /// 1 GbE at protocol efficiency ~0.95 => ~118 MB/s of payload.
+  static constexpr double kGigabitPayloadBytesPerSec = 118.0e6;
+
+  Network(sim::Simulator* sim, uint32_t num_nodes,
+          double link_bytes_per_sec = kGigabitPayloadBytesPerSec);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Moves `bytes` from node `src` to node `dst`; `cb` fires at completion.
+  /// A src==dst transfer completes after a fixed small loopback latency
+  /// without consuming NIC capacity.
+  void Transfer(uint32_t src, uint32_t dst, uint64_t bytes,
+                std::function<void()> cb);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  size_t active_flows() const { return flows_.size(); }
+  const NodeNetStats& node_stats(uint32_t node) const {
+    return node_stats_[node];
+  }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Flow {
+    uint32_t src;
+    uint32_t dst;
+    double remaining;  ///< Bytes left.
+    double rate = 0;   ///< Bytes/sec under the current allocation.
+    std::function<void()> cb;
+  };
+
+  /// Advances all flows to `Now()`, retires finished ones, recomputes the
+  /// max-min allocation and schedules the next completion event.
+  void Reschedule();
+  void AdvanceTo(SimTime now);
+  void ComputeRates();
+
+  sim::Simulator* sim_;
+  uint32_t num_nodes_;
+  double link_rate_;
+  std::unordered_map<uint64_t, Flow> flows_;
+  uint64_t next_flow_id_ = 1;
+  uint64_t generation_ = 0;  ///< Invalidates stale completion events.
+  SimTime last_advance_ = 0;
+  std::vector<NodeNetStats> node_stats_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace bdio::net
+
+#endif  // BDIO_NET_NETWORK_H_

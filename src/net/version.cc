@@ -1,0 +1,4 @@
+namespace bdio::net {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "net"; }
+}  // namespace bdio::net

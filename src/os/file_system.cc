@@ -1,0 +1,148 @@
+#include "os/file_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::os {
+
+uint64_t File::SectorFor(uint64_t byte_offset) const {
+  const uint64_t extent_idx = byte_offset / extent_bytes_;
+  BDIO_CHECK(extent_idx < extent_start_sectors_.size())
+      << name_ << ": offset " << byte_offset << " beyond allocation";
+  const uint64_t within = byte_offset % extent_bytes_;
+  return extent_start_sectors_[extent_idx] + within / kSectorSize;
+}
+
+FileSystem::FileSystem(sim::Simulator* sim, storage::BlockDevice* device,
+                       PageCache* cache, const FileSystemParams& params)
+    : sim_(sim),
+      device_(device),
+      cache_(cache),
+      params_(params),
+      scatter_rng_(params.scatter_seed) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(device != nullptr);
+  BDIO_CHECK(cache != nullptr);
+  BDIO_CHECK(params_.extent_bytes % cache->params().unit_bytes == 0)
+      << "extent size must be a multiple of the cache unit size";
+}
+
+Result<File*> FileSystem::Create(const std::string& name) {
+  if (files_.contains(name)) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  auto file = std::unique_ptr<File>(new File(
+      cache_->AllocateFileId(), name, device_, params_.extent_bytes));
+  File* ptr = file.get();
+  files_.emplace(name, std::move(file));
+  return ptr;
+}
+
+Result<File*> FileSystem::CreateExtentsOnly(const std::string& name,
+                                            uint64_t size) {
+  BDIO_ASSIGN_OR_RETURN(File * file, Create(name));
+  while (file->extent_start_sectors_.size() * params_.extent_bytes < size) {
+    auto extent = AllocateExtent();
+    if (!extent.ok()) return extent.status();
+    file->extent_start_sectors_.push_back(extent.value());
+  }
+  file->size_ = size;
+  return file;
+}
+
+Result<File*> FileSystem::Open(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return it->second.get();
+}
+
+Status FileSystem::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  File* file = it->second.get();
+  cache_->Drop(file->file_id());
+  const uint64_t extent_sectors = params_.extent_bytes / kSectorSize;
+  for (uint64_t start : file->extent_start_sectors_) {
+    if (params_.scatter_allocation) {
+      used_slots_.erase(start / extent_sectors);
+    } else {
+      free_extents_.emplace(start, extent_sectors);
+    }
+  }
+  used_bytes_ -= file->extent_start_sectors_.size() * params_.extent_bytes;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<uint64_t> FileSystem::AllocateExtent() {
+  const uint64_t extent_sectors = params_.extent_bytes / kSectorSize;
+  if (params_.scatter_allocation) {
+    // Aged-filesystem model: place each extent at a random slot (linear
+    // probing on collision), so files are never physically contiguous
+    // beyond one extent.
+    uint64_t total_slots = static_cast<uint64_t>(
+        static_cast<double>(device_->params().capacity_bytes /
+                            params_.extent_bytes) *
+        params_.scatter_region);
+    total_slots = std::max<uint64_t>(total_slots, 1);
+    if (used_slots_.size() >= total_slots) {
+      return Status::ResourceExhausted("disk full: " + device_->name());
+    }
+    uint64_t slot = scatter_rng_.Uniform(total_slots);
+    while (used_slots_.contains(slot)) slot = (slot + 1) % total_slots;
+    used_slots_.emplace(slot, true);
+    used_bytes_ += params_.extent_bytes;
+    return slot * extent_sectors;
+  }
+  if (!free_extents_.empty()) {
+    auto it = free_extents_.begin();
+    const uint64_t start = it->first;
+    free_extents_.erase(it);
+    used_bytes_ += params_.extent_bytes;
+    return start;
+  }
+  if ((next_sector_ + extent_sectors) * kSectorSize >
+      device_->params().capacity_bytes) {
+    return Status::ResourceExhausted("disk full: " + device_->name());
+  }
+  const uint64_t start = next_sector_;
+  next_sector_ += extent_sectors;
+  used_bytes_ += params_.extent_bytes;
+  return start;
+}
+
+uint64_t FileSystem::free_bytes() const {
+  const uint64_t bump_free =
+      device_->params().capacity_bytes - next_sector_ * kSectorSize;
+  return bump_free + free_extents_.size() * params_.extent_bytes;
+}
+
+void FileSystem::Append(File* file, uint64_t len, std::function<void()> cb) {
+  BDIO_CHECK(file != nullptr);
+  BDIO_CHECK(len > 0);
+  const uint64_t offset = file->size_;
+  const uint64_t needed_end = offset + len;
+  while (file->extent_start_sectors_.size() * params_.extent_bytes <
+         needed_end) {
+    auto extent = AllocateExtent();
+    BDIO_CHECK(extent.ok()) << extent.status().ToString();
+    file->extent_start_sectors_.push_back(extent.value());
+  }
+  file->size_ = needed_end;
+  cache_->Write(file, offset, len, std::move(cb));
+}
+
+void FileSystem::Read(File* file, uint64_t offset, uint64_t len,
+                      std::function<void()> cb) {
+  BDIO_CHECK(file != nullptr);
+  cache_->Read(file, offset, len, std::move(cb));
+}
+
+void FileSystem::Sync(File* file, std::function<void()> cb) {
+  BDIO_CHECK(file != nullptr);
+  cache_->Sync(file, std::move(cb));
+}
+
+}  // namespace bdio::os

@@ -1,0 +1,140 @@
+#ifndef BDIO_OS_FILE_SYSTEM_H_
+#define BDIO_OS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "os/page_cache.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace bdio::os {
+
+class FileSystem;
+
+/// A file on a simulated local filesystem. Data is addressed through fixed-
+/// size extents; concurrent appenders to different files interleave their
+/// extents, which is exactly how spill-file fragmentation arises on real
+/// ext3-era data disks.
+class File : public CachedFile {
+ public:
+  uint64_t file_id() const override { return id_; }
+  storage::BlockDevice* device() const override { return device_; }
+  uint64_t SectorFor(uint64_t byte_offset) const override;
+  uint64_t size() const override { return size_; }
+  uint32_t io_tag() const override { return io_tag_; }
+
+  /// Labels this file's I/O-demand source (an IoTag value) for attribution.
+  void set_io_tag(uint32_t tag) { io_tag_ = tag; }
+
+  const std::string& name() const { return name_; }
+  size_t extent_count() const { return extent_start_sectors_.size(); }
+
+ private:
+  friend class FileSystem;
+  File(uint64_t id, std::string name, storage::BlockDevice* device,
+       uint64_t extent_bytes)
+      : id_(id),
+        name_(std::move(name)),
+        device_(device),
+        extent_bytes_(extent_bytes) {}
+
+  uint64_t id_;
+  std::string name_;
+  storage::BlockDevice* device_;
+  uint64_t extent_bytes_;
+  uint32_t io_tag_ = 0;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> extent_start_sectors_;
+};
+
+/// Filesystem tunables.
+struct FileSystemParams {
+  /// Allocation granularity; must be a multiple of the cache unit size so
+  /// every cache unit maps to contiguous sectors.
+  uint64_t extent_bytes = MiB(1);
+  /// Scatter extents across the device instead of bump-allocating them
+  /// contiguously — models an aged filesystem holding many short-lived
+  /// files (MapReduce intermediate-data dirs). Caps physical contiguity at
+  /// one extent and makes access seeky.
+  bool scatter_allocation = false;
+  /// Seed for scatter placement.
+  uint64_t scatter_seed = 1;
+  /// Fraction of the device scatter placement draws from (short-lived files
+  /// churn inside a band of the disk, not the full stroke).
+  double scatter_region = 0.25;
+};
+
+/// One filesystem per data disk (mirroring the paper's testbed layout:
+/// three disks mounted for HDFS data, three for MapReduce intermediate
+/// data). All I/O flows through the node's shared PageCache.
+class FileSystem {
+ public:
+  FileSystem(sim::Simulator* sim, storage::BlockDevice* device,
+             PageCache* cache, const FileSystemParams& params = {});
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  /// Creates an empty file. Fails with AlreadyExists on name collision.
+  Result<File*> Create(const std::string& name);
+
+  /// Creates a file of `size` bytes that is already on disk and cold (no
+  /// cached data, no write traffic) — used to pre-populate datasets that
+  /// exist before an experiment starts.
+  Result<File*> CreateExtentsOnly(const std::string& name, uint64_t size);
+
+  /// Looks up an existing file.
+  Result<File*> Open(const std::string& name) const;
+
+  /// Deletes a file, returning its extents to the free pool and dropping its
+  /// cached data.
+  Status Delete(const std::string& name);
+
+  /// Appends `len` bytes (buffered); `cb` fires when the write is accepted
+  /// by the page cache (possibly throttled first).
+  void Append(File* file, uint64_t len, std::function<void()> cb);
+
+  /// Reads [offset, offset+len); `cb` fires when the data is in cache.
+  void Read(File* file, uint64_t offset, uint64_t len,
+            std::function<void()> cb);
+
+  /// Flushes the file's dirty pages to disk.
+  void Sync(File* file, std::function<void()> cb);
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t free_bytes() const;
+  size_t file_count() const { return files_.size(); }
+  storage::BlockDevice* device() const { return device_; }
+  PageCache* cache() const { return cache_; }
+
+ private:
+  /// Allocates one extent; first-fit from the free list, else bump pointer.
+  Result<uint64_t> AllocateExtent();
+
+  sim::Simulator* sim_;
+  storage::BlockDevice* device_;
+  PageCache* cache_;
+  FileSystemParams params_;
+  Rng scatter_rng_;
+  std::unordered_map<std::string, std::unique_ptr<File>> files_;
+  /// Free extents by start sector.
+  std::map<uint64_t, uint64_t> free_extents_;
+  /// Extent slots in use (scatter mode).
+  std::unordered_map<uint64_t, bool> used_slots_;
+  uint64_t next_sector_ = 0;
+  uint64_t used_bytes_ = 0;
+};
+
+}  // namespace bdio::os
+
+#endif  // BDIO_OS_FILE_SYSTEM_H_

@@ -1,0 +1,600 @@
+#include "os/page_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/latch.h"
+
+namespace bdio::os {
+
+using storage::IoType;
+
+PageCache::PageCache(sim::Simulator* sim, const PageCacheParams& params)
+    : sim_(sim), params_(params) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(params_.unit_bytes >= kSectorSize);
+  BDIO_CHECK(params_.capacity_bytes >= params_.unit_bytes);
+}
+
+void PageCache::SchedulePeriodicFlush() {
+  // The kupdate-style timer is armed only while dirty data exists, so a
+  // quiescent cache leaves the event queue drainable.
+  if (flush_timer_armed_) return;
+  flush_timer_armed_ = true;
+  sim_->ScheduleAfter(params_.writeback_period, [this] {
+    flush_timer_armed_ = false;
+    if (dirty_units_ > 0) {
+      periodic_pass_ = true;
+      PumpWriteback();
+    }
+    if (dirty_units_ > 0) SchedulePeriodicFlush();
+  });
+}
+
+void PageCache::TouchLru(uint64_t key, Unit* unit) {
+  BDIO_CHECK(unit->state == UnitState::kClean);
+  lru_.erase(unit->lru_it);
+  lru_.push_back(key);
+  unit->lru_it = std::prev(lru_.end());
+}
+
+void PageCache::EvictIfNeeded() {
+  while (cached_bytes() > params_.capacity_bytes && !lru_.empty()) {
+    const uint64_t key = lru_.front();
+    lru_.pop_front();
+    auto it = units_.find(key);
+    BDIO_CHECK(it != units_.end());
+    BDIO_CHECK(it->second.state == UnitState::kClean);
+    units_.erase(it);
+    ++stats_.evicted_units;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
+                     std::function<void()> cb) {
+  BDIO_CHECK(len > 0);
+  BDIO_CHECK(offset + len <= file->size())
+      << "read past EOF: off=" << offset << " len=" << len
+      << " size=" << file->size();
+  const uint64_t fid = file->file_id();
+  const uint64_t first = UnitOf(offset);
+  const uint64_t last = UnitOf(offset + len - 1);
+
+  // Readahead bookkeeping: sequential if this read starts where the previous
+  // one ended (unit granularity).
+  ReadaheadState& ra = readahead_[fid];
+  uint64_t window;
+  if (offset == ra.next_offset && ra.window > 0) {
+    window = std::min(ra.window * 2, params_.readahead_max_bytes);
+  } else {
+    window = params_.readahead_min_bytes;
+  }
+  ra.window = window;
+  ra.next_offset = offset + len;
+
+  // Collect the units we must have, plus prefetch units beyond the range.
+  const uint64_t file_units =
+      (file->size() + params_.unit_bytes - 1) / params_.unit_bytes;
+  uint64_t prefetch_end = last + 1 + window / params_.unit_bytes;
+  prefetch_end = std::min(prefetch_end, file_units);
+
+  auto latch = sim::Latch::Create(1, std::move(cb));  // 1 = scan guard
+
+  std::vector<uint64_t> to_fetch;  // unit indices needing a device read
+  for (uint64_t u = first; u < prefetch_end; ++u) {
+    const bool required = u <= last;
+    const uint64_t key = Key(fid, u);
+    auto it = units_.find(key);
+    if (it != units_.end()) {
+      Unit& unit = it->second;
+      if (unit.state == UnitState::kReading) {
+        if (required) {
+          latch->Extend(1);
+          unit.read_waiters.push_back(latch->Arm());
+          ++stats_.read_misses;
+        }
+        continue;
+      }
+      // Resident in any other state.
+      if (unit.state == UnitState::kClean) TouchLru(key, &unit);
+      if (required) ++stats_.read_hits;
+      continue;
+    }
+    // Missing: create a Reading placeholder.
+    Unit unit;
+    unit.state = UnitState::kReading;
+    if (required) {
+      latch->Extend(1);
+      unit.read_waiters.push_back(latch->Arm());
+      ++stats_.read_misses;
+    } else {
+      ++stats_.readahead_units;
+    }
+    units_.emplace(key, std::move(unit));
+    to_fetch.push_back(u);
+  }
+
+  // Coalesce fetches into bios: consecutive units that are also contiguous
+  // on disk, capped at the device's max request size.
+  storage::BlockDevice* dev = file->device();
+  const uint64_t max_bytes =
+      dev->params().max_request_sectors * kSectorSize;
+  size_t i = 0;
+  while (i < to_fetch.size()) {
+    const uint64_t start_unit = to_fetch[i];
+    uint64_t sector = file->SectorFor(start_unit * params_.unit_bytes);
+    uint64_t bytes = params_.unit_bytes;
+    std::vector<uint64_t> bio_units{start_unit};
+    size_t j = i + 1;
+    while (j < to_fetch.size() && to_fetch[j] == to_fetch[j - 1] + 1 &&
+           bytes + params_.unit_bytes <= max_bytes &&
+           file->SectorFor(to_fetch[j] * params_.unit_bytes) ==
+               sector + bytes / kSectorSize) {
+      bytes += params_.unit_bytes;
+      bio_units.push_back(to_fetch[j]);
+      ++j;
+    }
+    stats_.disk_read_bytes += bytes;
+    tag_volumes_[file->io_tag()].disk_read_bytes += bytes;
+    dev->Submit(
+        IoType::kRead, sector, bytes / kSectorSize,
+        [this, fid, units = std::move(bio_units)] {
+          // Waiters may re-enter the cache and mutate units_, so collect
+          // them first and run them only after this loop's references die.
+          std::vector<std::function<void()>> waiters;
+          for (uint64_t u : units) {
+            auto uit = units_.find(Key(fid, u));
+            if (uit == units_.end()) continue;  // dropped meanwhile
+            Unit& unit = uit->second;
+            if (unit.state != UnitState::kReading) continue;
+            unit.state = UnitState::kClean;
+            lru_.push_back(Key(fid, u));
+            unit.lru_it = std::prev(lru_.end());
+            for (auto& w : unit.read_waiters) {
+              waiters.push_back(std::move(w));
+            }
+            unit.read_waiters.clear();
+          }
+          EvictIfNeeded();
+          for (auto& w : waiters) w();
+        },
+        /*io_context=*/fid);
+    i = j;
+  }
+
+  EvictIfNeeded();
+  latch->Arrive();  // release the scan guard
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void PageCache::Write(CachedFile* file, uint64_t offset, uint64_t len,
+                      std::function<void()> cb) {
+  BDIO_CHECK(len > 0);
+  if (dirty_bytes() > dirty_limit()) {
+    // balance_dirty_pages(): the writer sleeps until writeback catches up.
+    ++stats_.throttle_events;
+    throttled_.push_back(PendingWrite{file, offset, len, std::move(cb)});
+    PumpWriteback();
+    return;
+  }
+  DoWrite(file, offset, len);
+  if (cb) sim_->ScheduleAfter(0, std::move(cb));
+}
+
+void PageCache::DoWrite(CachedFile* file, uint64_t offset, uint64_t len) {
+  const uint64_t first = UnitOf(offset);
+  const uint64_t last = UnitOf(offset + len - 1);
+  for (uint64_t u = first; u <= last; ++u) {
+    MarkDirty(file, u);
+  }
+  EvictIfNeeded();
+  if (dirty_bytes() > dirty_background_limit()) PumpWriteback();
+}
+
+void PageCache::MarkDirty(CachedFile* file, uint64_t unit_idx) {
+  const uint64_t fid = file->file_id();
+  FileState& fs = files_[fid];
+  fs.file = file;
+  const uint64_t key = Key(fid, unit_idx);
+  auto it = units_.find(key);
+  if (it == units_.end()) {
+    Unit unit;
+    unit.state = UnitState::kDirty;
+    unit.dirty_since = sim_->Now();
+    units_.emplace(key, std::move(unit));
+    fs.dirty.emplace(unit_idx, sim_->Now());
+    ++dirty_units_;
+    SchedulePeriodicFlush();
+    return;
+  }
+  Unit& unit = it->second;
+  switch (unit.state) {
+    case UnitState::kClean:
+      lru_.erase(unit.lru_it);
+      unit.state = UnitState::kDirty;
+      unit.dirty_since = sim_->Now();
+      fs.dirty.emplace(unit_idx, sim_->Now());
+      ++dirty_units_;
+      SchedulePeriodicFlush();
+      break;
+    case UnitState::kDirty:
+      break;  // already dirty; age unchanged (kernel keeps first-dirty time)
+    case UnitState::kReading:
+      // Overwrite while a read is in flight: data now newer than disk.
+      unit.state = UnitState::kDirty;
+      unit.dirty_since = sim_->Now();
+      fs.dirty.emplace(unit_idx, sim_->Now());
+      ++dirty_units_;
+      SchedulePeriodicFlush();
+      // Defer waiters: they may re-enter the cache while our references
+      // into units_/files_ are live.
+      for (auto& w : unit.read_waiters) {
+        sim_->ScheduleAfter(0, std::move(w));
+      }
+      unit.read_waiters.clear();
+      break;
+    case UnitState::kWriteback:
+      unit.state = UnitState::kWritebackRedirty;
+      break;
+    case UnitState::kWritebackRedirty:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writeback engine
+// ---------------------------------------------------------------------------
+
+bool PageCache::WritebackGoalActive() const {
+  if (!throttled_.empty()) return true;
+  if (!sync_all_waiters_.empty() && dirty_units_ > 0) return true;
+  if (periodic_pass_) return true;
+  return background_pass_;
+}
+
+void PageCache::PumpWriteback() {
+  while (writeback_inflight_ < params_.max_writeback_inflight) {
+    // Background-flush hysteresis: trigger above the limit, run down to
+    // half. Re-evaluated per bio so the pump stops at the target instead of
+    // draining the cache (the kernel's nr_to_write discipline).
+    if (dirty_bytes() > dirty_background_limit()) {
+      background_pass_ = true;
+    } else if (dirty_bytes() <= dirty_background_limit() / 2) {
+      background_pass_ = false;
+    }
+    // Sync requests are always serviced; otherwise a flush goal must be
+    // active.
+    bool submitted = false;
+    // First pass: files with explicit sync requests.
+    for (auto& [fid, fs] : files_) {
+      if (fs.sync_requested && !fs.dirty.empty()) {
+        if (SubmitWritebackBio(fid, &fs, /*aged_only=*/false)) {
+          submitted = true;
+          break;
+        }
+      }
+    }
+    if (!submitted) {
+      if (!WritebackGoalActive() || dirty_units_ == 0) break;
+      // Round-robin over files with dirty data.
+      std::vector<uint64_t> fids;
+      fids.reserve(files_.size());
+      for (auto& [fid, fs] : files_) {
+        if (!fs.dirty.empty()) fids.push_back(fid);
+      }
+      if (fids.empty()) break;
+      std::sort(fids.begin(), fids.end());
+      const uint64_t pick = fids[wb_cursor_++ % fids.size()];
+      const bool aged_only =
+          periodic_pass_ && dirty_bytes() <= dirty_background_limit() &&
+          throttled_.empty() && sync_all_waiters_.empty();
+      // Per-inode writeback budget: drain several contiguous bios from one
+      // file before moving on (the kernel's nr_to_write discipline) so
+      // streams stay streamy even under dirty pressure. The flush goal is
+      // re-evaluated per bio so the pump still stops at its target.
+      int budget = 8;
+      auto goal_active = [&] {
+        if (dirty_bytes() > dirty_background_limit()) {
+          background_pass_ = true;
+        } else if (dirty_bytes() <= dirty_background_limit() / 2) {
+          background_pass_ = false;
+        }
+        return WritebackGoalActive() && dirty_units_ > 0;
+      };
+      while (budget-- > 1 &&
+             writeback_inflight_ < params_.max_writeback_inflight &&
+             goal_active() &&
+             SubmitWritebackBio(pick, &files_[pick], aged_only)) {
+        submitted = true;
+      }
+      if (submitted) continue;
+      if (!SubmitWritebackBio(pick, &files_[pick], aged_only)) {
+        if (aged_only) {
+          // Nothing aged in this file; try others, or finish the pass.
+          bool any_aged = false;
+          const SimTime now = sim_->Now();
+          for (uint64_t fid : fids) {
+            for (auto& [u, since] : files_[fid].dirty) {
+              if (now - since >= params_.dirty_expire) {
+                any_aged = true;
+                break;
+              }
+            }
+            if (any_aged) break;
+          }
+          if (!any_aged) {
+            periodic_pass_ = false;
+            break;
+          }
+          continue;
+        }
+        break;
+      }
+    }
+  }
+  if (dirty_units_ == 0) periodic_pass_ = false;
+}
+
+bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
+                                   bool aged_only) {
+  if (fs->dirty.empty()) return false;
+  const SimTime now = sim_->Now();
+  CachedFile* f = fs->file;
+  const uint64_t max_run_units =
+      f->device()->params().max_request_sectors * kSectorSize /
+      params_.unit_bytes;
+
+  auto start_it = fs->dirty.begin();
+  if (aged_only) {
+    while (start_it != fs->dirty.end() &&
+           now - start_it->second < params_.dirty_expire) {
+      ++start_it;
+    }
+    if (start_it == fs->dirty.end()) return false;
+  } else {
+    // Prefer the file's longest contiguous dirty run (capped at one device
+    // request): flushing streamy data first keeps write requests large even
+    // under dirty pressure.
+    auto best = fs->dirty.begin();
+    uint64_t best_len = 0;
+    auto it = fs->dirty.begin();
+    while (it != fs->dirty.end()) {
+      auto run_start = it;
+      uint64_t len = 1;
+      auto next = std::next(it);
+      while (next != fs->dirty.end() && next->first == it->first + 1 &&
+             len < max_run_units) {
+        ++len;
+        it = next;
+        next = std::next(it);
+      }
+      if (len > best_len) {
+        best_len = len;
+        best = run_start;
+        if (best_len >= max_run_units) break;
+      }
+      it = next;
+    }
+    start_it = best;
+  }
+
+  CachedFile* file = fs->file;
+  storage::BlockDevice* dev = file->device();
+  const uint64_t max_bytes = dev->params().max_request_sectors * kSectorSize;
+
+  const uint64_t start_unit = start_it->first;
+  const uint64_t start_sector =
+      file->SectorFor(start_unit * params_.unit_bytes);
+  uint64_t bytes = params_.unit_bytes;
+  std::vector<uint64_t> bio_units{start_unit};
+
+  auto next_it = std::next(start_it);
+  uint64_t expect = start_unit + 1;
+  while (next_it != fs->dirty.end() && next_it->first == expect &&
+         bytes + params_.unit_bytes <= max_bytes &&
+         file->SectorFor(expect * params_.unit_bytes) ==
+             start_sector + bytes / kSectorSize) {
+    bio_units.push_back(expect);
+    bytes += params_.unit_bytes;
+    ++expect;
+    ++next_it;
+  }
+
+  // Transition units to writeback.
+  for (uint64_t u : bio_units) {
+    fs->dirty.erase(u);
+    auto uit = units_.find(Key(file_id, u));
+    BDIO_CHECK(uit != units_.end());
+    BDIO_CHECK(uit->second.state == UnitState::kDirty);
+    uit->second.state = UnitState::kWriteback;
+    --dirty_units_;
+    ++fs->writeback_units;
+  }
+  ++writeback_inflight_;
+  stats_.writeback_bytes += bytes;
+  tag_volumes_[file->io_tag()].disk_write_bytes += bytes;
+
+  dev->Submit(
+      IoType::kWrite, start_sector, bytes / kSectorSize,
+      [this, file_id, units = std::move(bio_units)]() mutable {
+        OnWritebackDone(file_id, std::move(units));
+      },
+      /*io_context=*/file_id);
+  return true;
+}
+
+void PageCache::OnWritebackDone(uint64_t file_id,
+                                std::vector<uint64_t> unit_indices) {
+  BDIO_CHECK(writeback_inflight_ > 0);
+  --writeback_inflight_;
+  auto fit = files_.find(file_id);
+  const bool dropped = fit != files_.end() && fit->second.dropped;
+  for (uint64_t u : unit_indices) {
+    if (fit != files_.end()) {
+      BDIO_CHECK(fit->second.writeback_units > 0);
+      --fit->second.writeback_units;
+    }
+    auto uit = units_.find(Key(file_id, u));
+    if (uit == units_.end()) continue;  // file dropped while in flight
+    Unit& unit = uit->second;
+    if (dropped) {
+      // The file was deleted mid-flush: discard the unit entirely.
+      units_.erase(uit);
+      continue;
+    }
+    if (unit.state == UnitState::kWritebackRedirty) {
+      unit.state = UnitState::kDirty;
+      unit.dirty_since = sim_->Now();
+      if (fit != files_.end()) {
+        fit->second.dirty.emplace(u, sim_->Now());
+      }
+      ++dirty_units_;
+      SchedulePeriodicFlush();
+    } else if (unit.state == UnitState::kWriteback) {
+      unit.state = UnitState::kClean;
+      lru_.push_back(Key(file_id, u));
+      unit.lru_it = std::prev(lru_.end());
+    }
+  }
+  if (dropped && fit->second.writeback_units == 0) {
+    for (auto& w : fit->second.sync_waiters) {
+      sim_->ScheduleAfter(0, std::move(w));
+    }
+    files_.erase(fit);
+  }
+  EvictIfNeeded();
+  CheckSyncWaiters(file_id);
+  DrainThrottled();
+  PumpWriteback();
+  // SyncAll completion check.
+  if (!sync_all_waiters_.empty() && dirty_units_ == 0 &&
+      writeback_inflight_ == 0) {
+    auto waiters = std::move(sync_all_waiters_);
+    sync_all_waiters_.clear();
+    for (auto& w : waiters) sim_->ScheduleAfter(0, std::move(w));
+  }
+}
+
+void PageCache::CheckSyncWaiters(uint64_t file_id) {
+  auto fit = files_.find(file_id);
+  if (fit == files_.end()) return;
+  FileState& fs = fit->second;
+  if (fs.dirty.empty() && fs.writeback_units == 0 &&
+      !fs.sync_waiters.empty()) {
+    auto waiters = std::move(fs.sync_waiters);
+    fs.sync_waiters.clear();
+    fs.sync_requested = false;
+    for (auto& w : waiters) sim_->ScheduleAfter(0, std::move(w));
+  }
+}
+
+void PageCache::DrainThrottled() {
+  while (!throttled_.empty() && dirty_bytes() <= dirty_limit()) {
+    PendingWrite pw = std::move(throttled_.front());
+    throttled_.pop_front();
+    DoWrite(pw.file, pw.offset, pw.len);
+    if (pw.cb) sim_->ScheduleAfter(0, std::move(pw.cb));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sync / drop
+// ---------------------------------------------------------------------------
+
+void PageCache::Sync(CachedFile* file, std::function<void()> cb) {
+  const uint64_t fid = file->file_id();
+  FileState& fs = files_[fid];
+  fs.file = file;
+  if (fs.dirty.empty() && fs.writeback_units == 0) {
+    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  fs.sync_requested = true;
+  if (cb) fs.sync_waiters.push_back(std::move(cb));
+  PumpWriteback();
+}
+
+void PageCache::SyncAll(std::function<void()> cb) {
+  if (dirty_units_ == 0 && writeback_inflight_ == 0) {
+    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    return;
+  }
+  if (cb) sync_all_waiters_.push_back(std::move(cb));
+  for (auto& [fid, fs] : files_) {
+    if (!fs.dirty.empty()) fs.sync_requested = true;
+  }
+  PumpWriteback();
+}
+
+void PageCache::DropClean() {
+  for (uint64_t key : lru_) {
+    auto it = units_.find(key);
+    BDIO_CHECK(it != units_.end());
+    BDIO_CHECK(it->second.state == UnitState::kClean);
+    units_.erase(it);
+  }
+  lru_.clear();
+  readahead_.clear();
+}
+
+void PageCache::Drop(uint64_t file_id) {
+  // Purge throttled writes against the dying file: their data is discarded
+  // (like closing and unlinking before the write-back), but the writers'
+  // continuations still run.
+  for (auto it = throttled_.begin(); it != throttled_.end();) {
+    if (it->file->file_id() == file_id) {
+      if (it->cb) sim_->ScheduleAfter(0, std::move(it->cb));
+      it = throttled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto fit = files_.find(file_id);
+  if (fit != files_.end()) {
+    // Discard dirty bookkeeping; in-flight writeback completions notice the
+    // missing units and skip them.
+    dirty_units_ -= fit->second.dirty.size();
+    if (fit->second.writeback_units == 0) {
+      for (auto& w : fit->second.sync_waiters) {
+        sim_->ScheduleAfter(0, std::move(w));
+      }
+      files_.erase(fit);
+    } else {
+      fit->second.dirty.clear();
+      fit->second.dropped = true;  // waiters resolve on completion
+    }
+  }
+  // Remove resident units.
+  for (auto it = units_.begin(); it != units_.end();) {
+    if ((it->first >> 28) == file_id) {
+      if (it->second.state == UnitState::kClean) {
+        lru_.erase(it->second.lru_it);
+      }
+      if (it->second.state == UnitState::kReading) {
+        for (auto& w : it->second.read_waiters) {
+          sim_->ScheduleAfter(0, std::move(w));
+        }
+      }
+      if (it->second.state == UnitState::kWriteback ||
+          it->second.state == UnitState::kWritebackRedirty) {
+        ++it;  // completion handler erases it
+        continue;
+      }
+      it = units_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  readahead_.erase(file_id);
+  DrainThrottled();
+}
+
+}  // namespace bdio::os

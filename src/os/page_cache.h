@@ -1,0 +1,221 @@
+#ifndef BDIO_OS_PAGE_CACHE_H_
+#define BDIO_OS_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace bdio::os {
+
+/// Interface the page cache uses to reach a file's backing store. Implemented
+/// by os::File: supplies the device and the byte-offset -> sector mapping
+/// (extent resolution).
+class CachedFile {
+ public:
+  virtual ~CachedFile() = default;
+  virtual uint64_t file_id() const = 0;
+  virtual storage::BlockDevice* device() const = 0;
+  /// First sector of the data at `byte_offset`. The mapping must be
+  /// contiguous within each cache unit.
+  virtual uint64_t SectorFor(uint64_t byte_offset) const = 0;
+  virtual uint64_t size() const = 0;
+  /// High-level I/O-demand source (an IoTag value) used for attribution;
+  /// 0 = unknown.
+  virtual uint32_t io_tag() const { return 0; }
+};
+
+/// Tunables mirroring the Linux VM of the Hadoop-1 era (values scaled to the
+/// 64 KiB cache-unit granularity used to bound event counts).
+struct PageCacheParams {
+  uint64_t capacity_bytes = GiB(8);
+  uint64_t unit_bytes = KiB(64);
+
+  /// Background writeback starts above this fraction of capacity dirty...
+  double dirty_background_ratio = 0.10;
+  /// ...and writers are throttled above this fraction.
+  double dirty_ratio = 0.20;
+  /// Periodic flusher wakeup (kupdate-style).
+  SimDuration writeback_period = Seconds(5);
+  /// Dirty units older than this are written on the periodic pass.
+  SimDuration dirty_expire = Seconds(10);
+
+  /// Readahead window: starts at min, doubles per sequential hit up to max.
+  uint64_t readahead_min_bytes = KiB(64);
+  uint64_t readahead_max_bytes = MiB(1);
+
+  /// Max concurrently outstanding writeback bios (per cache).
+  uint64_t max_writeback_inflight = 16;
+};
+
+/// Physical bytes attributed to one I/O-demand source (IoTag).
+struct TagVolumes {
+  uint64_t disk_read_bytes = 0;
+  uint64_t disk_write_bytes = 0;
+};
+
+/// Observable cache behaviour for tests and reports.
+struct PageCacheStats {
+  uint64_t read_hits = 0;        ///< Units served from cache.
+  uint64_t read_misses = 0;      ///< Units requiring device reads.
+  uint64_t readahead_units = 0;  ///< Extra units prefetched.
+  uint64_t disk_read_bytes = 0;
+  uint64_t writeback_bytes = 0;
+  uint64_t evicted_units = 0;
+  uint64_t throttle_events = 0;  ///< Writes delayed by the dirty limit.
+};
+
+/// Unified page cache shared by all files of a node (across its disks), with
+/// LRU eviction of clean units, sequential readahead, background + periodic
+/// dirty writeback, dirty throttling, and fsync. This is the component the
+/// paper's "memory size" factor exercises: a larger cache absorbs re-reads
+/// and batches writes.
+class PageCache {
+ public:
+  PageCache(sim::Simulator* sim, const PageCacheParams& params);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Reads [offset, offset+len) of `file`; `cb` fires once all requested
+  /// bytes are cache-resident. May prefetch beyond the range.
+  void Read(CachedFile* file, uint64_t offset, uint64_t len,
+            std::function<void()> cb);
+
+  /// Buffers a write of [offset, offset+len); `cb` fires as soon as the
+  /// dirty units are accepted (possibly delayed by dirty throttling).
+  void Write(CachedFile* file, uint64_t offset, uint64_t len,
+             std::function<void()> cb);
+
+  /// Durably flushes all of `file`'s dirty units; `cb` fires when none of
+  /// its units are dirty or in writeback.
+  void Sync(CachedFile* file, std::function<void()> cb);
+
+  /// Flushes everything; `cb` fires when the whole cache is clean.
+  void SyncAll(std::function<void()> cb);
+
+  /// Invalidates all units of a (deleted) file; dirty data is discarded.
+  void Drop(uint64_t file_id);
+
+  /// Drops every clean unit (`echo 3 > /proc/sys/vm/drop_caches`). Dirty and
+  /// in-flight units are untouched; call SyncAll first for a fully cold
+  /// cache.
+  void DropClean();
+
+  /// Node-wide unique file id source (file ids key cache units, so they must
+  /// be unique across all filesystems sharing this cache).
+  uint64_t AllocateFileId() { return next_file_id_++; }
+
+  uint64_t dirty_bytes() const { return dirty_units_ * params_.unit_bytes; }
+  uint64_t cached_bytes() const {
+    return units_.size() * params_.unit_bytes;
+  }
+  const PageCacheStats& stats() const { return stats_; }
+  const PageCacheParams& params() const { return params_; }
+
+  /// Physical I/O attributed per IoTag (indexable by any uint32 tag the
+  /// files report; unused tags read as zeros).
+  const std::map<uint32_t, TagVolumes>& tag_volumes() const {
+    return tag_volumes_;
+  }
+
+ private:
+  enum class UnitState : uint8_t {
+    kClean,
+    kDirty,
+    kReading,
+    kWriteback,
+    kWritebackRedirty,  ///< Written again while the flush bio is in flight.
+  };
+
+  struct Unit {
+    UnitState state = UnitState::kClean;
+    std::list<uint64_t>::iterator lru_it{};
+    SimTime dirty_since = 0;
+    std::vector<std::function<void()>> read_waiters;
+  };
+
+  struct FileState {
+    CachedFile* file = nullptr;
+    /// unit index -> time it became dirty; ordered for elevator-friendly
+    /// writeback.
+    std::map<uint64_t, SimTime> dirty;
+    uint64_t writeback_units = 0;
+    std::vector<std::function<void()>> sync_waiters;
+    bool sync_requested = false;
+    bool dropped = false;  ///< File deleted while writeback was in flight.
+  };
+
+  struct ReadaheadState {
+    uint64_t next_offset = 0;  ///< Where a sequential stream would continue.
+    uint64_t window = 0;
+  };
+
+  struct PendingWrite {
+    CachedFile* file;
+    uint64_t offset;
+    uint64_t len;
+    std::function<void()> cb;
+  };
+
+  static uint64_t Key(uint64_t file_id, uint64_t unit) {
+    return (file_id << 28) | unit;
+  }
+  uint64_t UnitOf(uint64_t offset) const { return offset / params_.unit_bytes; }
+
+  uint64_t dirty_background_limit() const {
+    return static_cast<uint64_t>(params_.dirty_background_ratio *
+                                 static_cast<double>(params_.capacity_bytes));
+  }
+  uint64_t dirty_limit() const {
+    return static_cast<uint64_t>(params_.dirty_ratio *
+                                 static_cast<double>(params_.capacity_bytes));
+  }
+
+  void DoWrite(CachedFile* file, uint64_t offset, uint64_t len);
+  void MarkDirty(CachedFile* file, uint64_t unit);
+  void TouchLru(uint64_t key, Unit* unit);
+  void EvictIfNeeded();
+  void PumpWriteback();
+  /// Selects and submits one writeback bio from `fs`; returns false if the
+  /// file has no flushable unit under the current goal.
+  bool SubmitWritebackBio(uint64_t file_id, FileState* fs, bool aged_only);
+  void OnWritebackDone(uint64_t file_id, std::vector<uint64_t> unit_indices);
+  void CheckSyncWaiters(uint64_t file_id);
+  void DrainThrottled();
+  void SchedulePeriodicFlush();
+  bool WritebackGoalActive() const;
+
+  sim::Simulator* sim_;
+  PageCacheParams params_;
+  PageCacheStats stats_;
+
+  std::unordered_map<uint64_t, Unit> units_;
+  std::list<uint64_t> lru_;  ///< Clean units, LRU order (front = coldest).
+  std::unordered_map<uint64_t, FileState> files_;
+  std::unordered_map<uint64_t, ReadaheadState> readahead_;
+
+  uint64_t dirty_units_ = 0;
+  uint64_t writeback_inflight_ = 0;
+  /// Round-robin cursor over files for fair writeback.
+  uint64_t wb_cursor_ = 0;
+  bool periodic_pass_ = false;  ///< Current pump also flushes aged units.
+  bool background_pass_ = false;  ///< Hysteresis: flush down to half the
+                                  ///< background limit once triggered.
+  bool flush_timer_armed_ = false;
+  std::deque<PendingWrite> throttled_;
+  std::vector<std::function<void()>> sync_all_waiters_;
+  std::map<uint32_t, TagVolumes> tag_volumes_;
+  uint64_t next_file_id_ = 1;
+};
+
+}  // namespace bdio::os
+
+#endif  // BDIO_OS_PAGE_CACHE_H_

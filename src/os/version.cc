@@ -1,0 +1,4 @@
+namespace bdio::os {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "os"; }
+}  // namespace bdio::os

@@ -1,0 +1,71 @@
+#ifndef BDIO_SIM_LATCH_H_
+#define BDIO_SIM_LATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::sim {
+
+/// Countdown latch for fan-in completion: create with the number of pending
+/// arms, call Arrive() (or invoke an Arm() callable) from each completion,
+/// and the callback fires when the count reaches zero. Shared-pointer based
+/// so arms can outlive the creator.
+class Latch : public std::enable_shared_from_this<Latch> {
+ public:
+  /// Creates a latch expecting `count` arrivals. A zero-count latch fires
+  /// immediately.
+  static std::shared_ptr<Latch> Create(uint64_t count,
+                                       std::function<void()> on_done) {
+    auto latch =
+        std::shared_ptr<Latch>(new Latch(count, std::move(on_done)));
+    if (count == 0) latch->Fire();
+    return latch;
+  }
+
+  /// Returns a callable that counts down this latch once; the callable keeps
+  /// the latch alive.
+  std::function<void()> Arm() {
+    auto self = shared_from_this();
+    return [self]() { self->Arrive(); };
+  }
+
+  void Arrive() {
+    BDIO_CHECK(remaining_ > 0) << "latch over-arrived";
+    if (--remaining_ == 0) Fire();
+  }
+
+  /// Adds more expected arrivals (only valid before the latch fires).
+  void Extend(uint64_t count) {
+    BDIO_CHECK(!fired_) << "cannot extend a fired latch";
+    remaining_ += count;
+  }
+
+  uint64_t remaining() const { return remaining_; }
+  bool fired() const { return fired_; }
+
+ private:
+  Latch(uint64_t count, std::function<void()> on_done)
+      : remaining_(count), on_done_(std::move(on_done)) {}
+
+  void Fire() {
+    if (fired_) return;
+    fired_ = true;
+    if (on_done_) {
+      auto cb = std::move(on_done_);
+      on_done_ = nullptr;
+      cb();
+    }
+  }
+
+  uint64_t remaining_;
+  bool fired_ = false;
+  std::function<void()> on_done_;
+};
+
+}  // namespace bdio::sim
+
+#endif  // BDIO_SIM_LATCH_H_

@@ -1,0 +1,63 @@
+#ifndef BDIO_SIM_SEMAPHORE_H_
+#define BDIO_SIM_SEMAPHORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace bdio::sim {
+
+/// Asynchronous counting semaphore for simulated resources (task slots,
+/// queue-depth tokens, memory grants). Acquire() either succeeds immediately
+/// or queues the continuation; Release() hands the token to the oldest
+/// waiter at the current simulated instant.
+class Semaphore {
+ public:
+  Semaphore(Simulator* sim, uint64_t tokens)
+      : sim_(sim), available_(tokens), capacity_(tokens) {
+    BDIO_CHECK(sim != nullptr);
+  }
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Requests one token; `on_granted` runs (via the event queue) once the
+  /// token is held.
+  void Acquire(std::function<void()> on_granted) {
+    if (available_ > 0) {
+      --available_;
+      sim_->ScheduleAfter(0, std::move(on_granted));
+    } else {
+      waiters_.push_back(std::move(on_granted));
+    }
+  }
+
+  /// Returns one token, waking the oldest waiter if any.
+  void Release() {
+    if (!waiters_.empty()) {
+      auto next = std::move(waiters_.front());
+      waiters_.pop_front();
+      sim_->ScheduleAfter(0, std::move(next));
+    } else {
+      ++available_;
+      BDIO_CHECK(available_ <= capacity_) << "semaphore over-released";
+    }
+  }
+
+  uint64_t available() const { return available_; }
+  uint64_t capacity() const { return capacity_; }
+  size_t waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  uint64_t available_;
+  uint64_t capacity_;
+  std::deque<std::function<void()>> waiters_;
+};
+
+}  // namespace bdio::sim
+
+#endif  // BDIO_SIM_SEMAPHORE_H_

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::sim {
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  BDIO_CHECK(t >= now_) << "cannot schedule in the past: t=" << t
+                        << " now=" << now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out so the callback
+  // can schedule further events (including at the same timestamp).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace bdio::sim

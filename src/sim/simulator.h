@@ -1,0 +1,68 @@
+#ifndef BDIO_SIM_SIMULATOR_H_
+#define BDIO_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace bdio::sim {
+
+/// Discrete-event simulation kernel. Events are (time, callback) pairs kept
+/// in a priority queue; ties are broken by insertion order so runs are fully
+/// deterministic. Single-threaded by design.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= Now()).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d` has elapsed.
+  void ScheduleAfter(SimDuration d, std::function<void()> fn) {
+    ScheduleAt(now_ + d, std::move(fn));
+  }
+
+  /// Runs the next event, if any. Returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until no events remain.
+  void Run();
+
+  /// Runs until simulated time reaches `t` or the queue drains. The clock is
+  /// advanced to `t` even if the queue drains earlier.
+  void RunUntil(SimTime t);
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace bdio::sim
+
+#endif  // BDIO_SIM_SIMULATOR_H_

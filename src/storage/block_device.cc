@@ -1,0 +1,92 @@
+#include "storage/block_device.h"
+
+#include "common/logging.h"
+
+namespace bdio::storage {
+
+BlockDevice::BlockDevice(sim::Simulator* sim, std::string name,
+                         const DiskParameters& params, Rng rng,
+                         const std::string& scheduler_name)
+    : sim_(sim),
+      name_(std::move(name)),
+      params_(params),
+      model_(params, rng),
+      scheduler_(MakeScheduler(scheduler_name, params.max_request_sectors)) {
+  BDIO_CHECK(sim != nullptr);
+}
+
+void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
+                         std::function<void()> on_complete,
+                         uint64_t io_context) {
+  BDIO_CHECK(sectors > 0) << name_ << ": zero-length bio";
+  BDIO_CHECK(sectors <= params_.max_request_sectors)
+      << name_ << ": bio exceeds max request size (" << sectors
+      << " sectors); split it in the block layer";
+  BDIO_CHECK(sector + sectors <= params_.TotalSectors())
+      << name_ << ": bio beyond device end";
+
+  IoRequest bio;
+  bio.type = type;
+  bio.sector = sector;
+  bio.sectors = sectors;
+  bio.io_context = io_context;
+  bio.submit_time = sim_->Now();
+  if (on_complete) bio.on_complete.push_back(std::move(on_complete));
+
+  if (scheduler_->TryMerge(&bio)) {
+    stats_.OnMerge(type, sim_->Now());
+  } else {
+    bio.id = next_id_++;
+    stats_.OnSubmit(sim_->Now());
+    scheduler_->Add(std::move(bio));
+  }
+  MaybeDispatch();
+}
+
+size_t BlockDevice::PickSptf() const {
+  size_t best = 0;
+  uint64_t best_cost = ~uint64_t{0};
+  for (size_t i = 0; i < ncq_pool_.size(); ++i) {
+    // Estimate positioning deterministically by distance only (the random
+    // rotational component is drawn at service time).
+    const uint64_t head = model_.head_sector();
+    const uint64_t s = ncq_pool_[i].sector;
+    const uint64_t dist = s > head ? s - head : head - s;
+    if (dist < best_cost) {
+      best_cost = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void BlockDevice::MaybeDispatch() {
+  // Refill the drive's internal queue from the elevator.
+  while (ncq_pool_.size() < params_.ncq_depth && !scheduler_->empty()) {
+    IoRequest pulled = scheduler_->PopNext(sim_->Now());
+    pulled.dispatch_time = sim_->Now();
+    ncq_pool_.push_back(std::move(pulled));
+  }
+  if (busy_ || ncq_pool_.empty()) return;
+  const size_t pick = params_.ncq_depth > 1 ? PickSptf() : 0;
+  IoRequest req = std::move(ncq_pool_[pick]);
+  ncq_pool_.erase(ncq_pool_.begin() + static_cast<ptrdiff_t>(pick));
+  busy_ = true;
+  const SimDuration service = model_.Service(req);
+  sim_->ScheduleAfter(service, [this, r = std::move(req)]() mutable {
+    Complete(std::move(r));
+  });
+}
+
+void BlockDevice::Complete(IoRequest req) {
+  req.complete_time = sim_->Now();
+  stats_.OnComplete(req, sim_->Now());
+  busy_ = false;
+  if (observer_) observer_(req);
+  for (auto& cb : req.on_complete) {
+    if (cb) cb();
+  }
+  MaybeDispatch();
+}
+
+}  // namespace bdio::storage

@@ -1,0 +1,77 @@
+#ifndef BDIO_STORAGE_BLOCK_DEVICE_H_
+#define BDIO_STORAGE_BLOCK_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/disk_model.h"
+#include "storage/disk_parameters.h"
+#include "storage/disk_stats.h"
+#include "storage/io_request.h"
+#include "storage/io_scheduler.h"
+
+namespace bdio::storage {
+
+/// A simulated block device: elevator + rotational service model +
+/// /proc/diskstats accounting. Bios submitted here may be merged by the
+/// elevator; the device services one request at a time (head-limited), which
+/// is what gives iostat's svctm/%util their meaning.
+class BlockDevice {
+ public:
+  /// `scheduler_name` is "deadline" (default for the paper's testbed) or
+  /// "noop".
+  BlockDevice(sim::Simulator* sim, std::string name,
+              const DiskParameters& params, Rng rng,
+              const std::string& scheduler_name = "deadline");
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  /// Submits a bio. `sectors` must be in (0, max_request_sectors];
+  /// `on_complete` fires when the (possibly merged) request finishes.
+  /// `io_context` identifies the issuing stream for fairness-aware
+  /// elevators (0 = anonymous).
+  void Submit(IoType type, uint64_t sector, uint64_t sectors,
+              std::function<void()> on_complete, uint64_t io_context = 0);
+
+  /// Counter snapshot as of the current simulated time.
+  DiskStatsSnapshot Stats() const { return stats_.Snapshot(sim_->Now()); }
+
+  /// Observer invoked at each request completion (used by bdio::trace).
+  void SetCompletionObserver(std::function<void(const IoRequest&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  const std::string& name() const { return name_; }
+  const DiskParameters& params() const { return params_; }
+  size_t queued() const { return scheduler_->size(); }
+  bool busy() const { return busy_; }
+
+ private:
+  void MaybeDispatch();
+  void Complete(IoRequest req);
+  /// Index into ncq_pool_ of the request the head can reach fastest.
+  size_t PickSptf() const;
+
+  sim::Simulator* sim_;
+  std::string name_;
+  DiskParameters params_;
+  DiskModel model_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  DiskStats stats_;
+  std::function<void(const IoRequest&)> observer_;
+  uint64_t next_id_ = 1;
+  bool busy_ = false;
+  /// Requests accepted by the drive awaiting SPTF selection (NCQ).
+  std::vector<IoRequest> ncq_pool_;
+};
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,59 @@
+#include "storage/disk_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bdio::storage {
+
+double DiskModel::RateAtSector(uint64_t sector) const {
+  const double frac = static_cast<double>(sector) /
+                      static_cast<double>(params_.TotalSectors());
+  const double mb_s = params_.outer_rate_mb_s +
+                      (params_.inner_rate_mb_s - params_.outer_rate_mb_s) *
+                          frac;
+  return mb_s * 1e6;
+}
+
+SimDuration DiskModel::PositioningTime(uint64_t sector) {
+  if (params_.solid_state) {
+    // Flash: flat access latency, position-independent.
+    return FromSeconds(params_.access_latency_ms / 1000.0);
+  }
+  if (sector == head_sector_) {
+    // Sequential continuation: the head is already there and (by the usual
+    // streaming assumption) rotationally aligned.
+    return 0;
+  }
+  const double total = static_cast<double>(params_.TotalSectors());
+  const double dist =
+      std::abs(static_cast<double>(sector) -
+               static_cast<double>(head_sector_)) /
+      total;
+  double seek_ms;
+  if (dist < 1e-6) {
+    // Same cylinder neighbourhood: head settle only.
+    seek_ms = params_.track_to_track_ms;
+  } else {
+    seek_ms = params_.track_to_track_ms +
+              params_.seek_factor_ms * std::sqrt(dist);
+  }
+  // Rotational latency: uniform over one revolution.
+  const double rot_ms =
+      rng_.UniformDouble(0.0, params_.RotationPeriodMs());
+  return FromSeconds((seek_ms + rot_ms) / 1000.0);
+}
+
+SimDuration DiskModel::Service(const IoRequest& req) {
+  BDIO_CHECK(req.sectors > 0);
+  BDIO_CHECK(req.end_sector() <= params_.TotalSectors())
+      << "request beyond device: end=" << req.end_sector();
+  const SimDuration position = PositioningTime(req.sector);
+  const double rate = RateAtSector(req.sector);
+  const SimDuration transfer = TransferTime(req.bytes(), rate);
+  head_sector_ = req.end_sector();
+  return position + transfer;
+}
+
+}  // namespace bdio::storage

@@ -1,0 +1,42 @@
+#ifndef BDIO_STORAGE_DISK_MODEL_H_
+#define BDIO_STORAGE_DISK_MODEL_H_
+
+#include "common/random.h"
+#include "common/units.h"
+#include "storage/disk_parameters.h"
+#include "storage/io_request.h"
+
+namespace bdio::storage {
+
+/// Service-time model of a rotational disk. Stateful: remembers the head
+/// position (last serviced LBA) so sequential streams pay only transfer
+/// time while random access pays seek + rotational latency.
+class DiskModel {
+ public:
+  DiskModel(const DiskParameters& params, Rng rng)
+      : params_(params), rng_(rng) {}
+
+  /// Service duration for `req` given the current head position; advances
+  /// the head to the end of the request.
+  SimDuration Service(const IoRequest& req);
+
+  /// Transfer rate (bytes/s) at the given sector (zoned: outer tracks are
+  /// faster).
+  double RateAtSector(uint64_t sector) const;
+
+  /// Positioning cost (ns) to move the head from the current position to
+  /// `sector` — zero for an exactly sequential continuation.
+  SimDuration PositioningTime(uint64_t sector);
+
+  uint64_t head_sector() const { return head_sector_; }
+  const DiskParameters& params() const { return params_; }
+
+ private:
+  DiskParameters params_;
+  Rng rng_;
+  uint64_t head_sector_ = 0;
+};
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_DISK_MODEL_H_

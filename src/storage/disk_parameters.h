@@ -1,0 +1,67 @@
+#ifndef BDIO_STORAGE_DISK_PARAMETERS_H_
+#define BDIO_STORAGE_DISK_PARAMETERS_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace bdio::storage {
+
+/// Mechanical and geometric parameters of a rotational disk. Defaults match
+/// the paper's testbed drive (Seagate ST*NM11 class: 1 TB, 7200 rpm,
+/// 8.5 ms average seek, 4.2 ms average rotational latency, 150 MB/s
+/// sustained transfer on the outer zone).
+struct DiskParameters {
+  uint64_t capacity_bytes = TiB(1);
+  double rpm = 7200.0;
+
+  /// Seek model: seek_ms(d) = track_to_track_ms + seek_factor_ms * sqrt(d)
+  /// where d is the fraction of the full stroke travelled. With
+  /// track_to_track 0.5 ms and factor 12.0, a uniformly random seek averages
+  /// 0.5 + 12*2/3 = 8.5 ms — the datasheet average.
+  double track_to_track_ms = 0.5;
+  double seek_factor_ms = 12.0;
+
+  /// Zoned transfer rate: linear from outer to inner across the LBA range.
+  double outer_rate_mb_s = 150.0;
+  double inner_rate_mb_s = 75.0;
+
+  /// Block-layer caps (Linux defaults of the era): max request size and
+  /// queue depth (nr_requests).
+  uint64_t max_request_sectors = 1024;  ///< 512 KiB
+  uint32_t nr_requests = 128;
+
+  /// Native command queueing depth: the drive holds up to this many
+  /// requests and services the one with the shortest positioning time
+  /// (SPTF). 1 disables reordering (strict elevator order).
+  uint32_t ncq_depth = 1;
+
+  /// Solid-state mode: no mechanical positioning; every request pays a
+  /// flat access latency instead of seek + rotation, and the transfer rate
+  /// is uniform across the LBA range.
+  bool solid_state = false;
+  double access_latency_ms = 0.06;  ///< Per-request flash latency.
+
+  double RotationPeriodMs() const { return 60000.0 / rpm; }
+  double AvgRotationalLatencyMs() const { return RotationPeriodMs() / 2.0; }
+  uint64_t TotalSectors() const { return capacity_bytes / kSectorSize; }
+
+  /// The paper's data-node drive.
+  static DiskParameters Seagate1TB7200() { return DiskParameters{}; }
+
+  /// A 2013-era SATA data-center SSD (what "put the shuffle on flash"
+  /// would have meant): ~500 MB/s sequential, flat random latency.
+  static DiskParameters SataSsd2013() {
+    DiskParameters p;
+    p.capacity_bytes = GiB(480);
+    p.solid_state = true;
+    p.outer_rate_mb_s = 500.0;
+    p.inner_rate_mb_s = 500.0;
+    p.ncq_depth = 32;
+    return p;
+  }
+};
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_DISK_PARAMETERS_H_

@@ -1,0 +1,52 @@
+#include "storage/disk_stats.h"
+
+#include "common/logging.h"
+
+namespace bdio::storage {
+
+void DiskStats::Advance(SimTime now) {
+  BDIO_CHECK(now >= last_update_);
+  const SimDuration elapsed = now - last_update_;
+  if (elapsed > 0 && stats_.in_flight > 0) {
+    stats_.io_ticks += elapsed;
+    stats_.time_in_queue += elapsed * stats_.in_flight;
+  }
+  last_update_ = now;
+}
+
+void DiskStats::OnSubmit(SimTime now) {
+  Advance(now);
+  ++stats_.in_flight;
+}
+
+void DiskStats::OnMerge(IoType type, SimTime now) {
+  Advance(now);
+  ++stats_.merges[static_cast<int>(type)];
+  // A merged bio rides an existing request; in_flight counts requests, so it
+  // does not change — matching blk_account_io_merge.
+}
+
+void DiskStats::OnComplete(const IoRequest& req, SimTime now) {
+  Advance(now);
+  const int d = static_cast<int>(req.type);
+  ++stats_.ios[d];
+  stats_.sectors[d] += req.sectors;
+  BDIO_CHECK(now >= req.submit_time);
+  stats_.ticks[d] += now - req.submit_time;
+  BDIO_CHECK(stats_.in_flight > 0);
+  --stats_.in_flight;
+}
+
+DiskStatsSnapshot DiskStats::Snapshot(SimTime now) const {
+  // const_cast-free: compute the advanced view without mutating.
+  DiskStatsSnapshot snap = stats_;
+  BDIO_CHECK(now >= last_update_);
+  const SimDuration elapsed = now - last_update_;
+  if (elapsed > 0 && snap.in_flight > 0) {
+    snap.io_ticks += elapsed;
+    snap.time_in_queue += elapsed * snap.in_flight;
+  }
+  return snap;
+}
+
+}  // namespace bdio::storage

@@ -1,0 +1,54 @@
+#ifndef BDIO_STORAGE_DISK_STATS_H_
+#define BDIO_STORAGE_DISK_STATS_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "storage/io_request.h"
+
+namespace bdio::storage {
+
+/// Cumulative per-device counters with exactly the semantics of Linux
+/// `/proc/diskstats`, maintained in nanoseconds. `bdio::iostat` derives all
+/// reported metrics (r/wMB/s, %util, await, svctm, avgrq-sz, avgqu-sz) from
+/// deltas of these counters — the same arithmetic sysstat's iostat performs.
+struct DiskStatsSnapshot {
+  // Indexed by IoType (0 = read, 1 = write).
+  uint64_t ios[2] = {0, 0};      ///< Completed requests.
+  uint64_t merges[2] = {0, 0};   ///< Bios merged into existing requests.
+  uint64_t sectors[2] = {0, 0};  ///< Sectors transferred.
+  SimDuration ticks[2] = {0, 0};  ///< Sum of request latencies (submit->done).
+
+  uint64_t in_flight = 0;        ///< Requests in queue + being serviced.
+  SimDuration io_ticks = 0;      ///< Total time the device was busy.
+  SimDuration time_in_queue = 0; ///< Integral of in_flight over time.
+
+  uint64_t TotalIos() const { return ios[0] + ios[1]; }
+  uint64_t TotalSectors() const { return sectors[0] + sectors[1]; }
+};
+
+/// Maintains a DiskStatsSnapshot with the kernel's lazy-update discipline:
+/// io_ticks and time_in_queue advance on every queue transition.
+class DiskStats {
+ public:
+  /// Called when a bio enters the device queue as a new request.
+  void OnSubmit(SimTime now);
+  /// Called when a bio is merged into an existing queued request.
+  void OnMerge(IoType type, SimTime now);
+  /// Called when a request completes service. `submit_time` is the request's
+  /// queue-entry time; `bio_count` front/back-merged bios complete at once.
+  void OnComplete(const IoRequest& req, SimTime now);
+
+  /// Reads the counters as of `now` (folding in elapsed busy time).
+  DiskStatsSnapshot Snapshot(SimTime now) const;
+
+ private:
+  void Advance(SimTime now);
+
+  DiskStatsSnapshot stats_;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_DISK_STATS_H_

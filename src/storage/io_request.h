@@ -1,0 +1,49 @@
+#ifndef BDIO_STORAGE_IO_REQUEST_H_
+#define BDIO_STORAGE_IO_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace bdio::storage {
+
+/// Direction of a block request.
+enum class IoType { kRead = 0, kWrite = 1 };
+
+inline const char* IoTypeName(IoType t) {
+  return t == IoType::kRead ? "R" : "W";
+}
+
+/// A block-layer request: a contiguous run of sectors in one direction.
+/// Requests are created by the OS layer (page cache / filesystem), possibly
+/// merged by the elevator, serviced by the disk model, and completed via
+/// callbacks.
+struct IoRequest {
+  uint64_t id = 0;          ///< Unique per device, assigned on submit.
+  IoType type = IoType::kRead;
+  uint64_t sector = 0;      ///< First sector (512 B units).
+  uint64_t sectors = 0;     ///< Length in sectors; > 0.
+  /// Issuing stream (io-context): the page cache stamps the file id here.
+  /// Fairness-aware elevators (CFQ) schedule per context; others ignore it.
+  uint64_t io_context = 0;
+
+  SimTime submit_time = 0;    ///< When the request entered the queue.
+  SimTime dispatch_time = 0;  ///< When the device started servicing it.
+  SimTime complete_time = 0;  ///< When service finished.
+
+  /// Number of bios folded into this request (1 + merges).
+  uint32_t bio_count = 1;
+
+  /// Completion continuations (one per merged bio).
+  std::vector<std::function<void()>> on_complete;
+
+  uint64_t end_sector() const { return sector + sectors; }
+  uint64_t bytes() const { return sectors * kSectorSize; }
+  bool is_read() const { return type == IoType::kRead; }
+};
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_IO_REQUEST_H_

@@ -1,0 +1,301 @@
+#include "storage/io_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::storage {
+
+namespace {
+
+/// Moves the bio's callbacks into `req` and extends it. `front` selects a
+/// front merge (bio precedes req).
+void FoldBio(IoRequest* req, IoRequest* bio, bool front) {
+  BDIO_CHECK(req->type == bio->type);
+  if (front) {
+    BDIO_CHECK(bio->end_sector() == req->sector);
+    req->sector = bio->sector;
+    // Front merge: the request inherits the earlier submit time so the
+    // queue-wait accounting stays conservative.
+    req->submit_time = std::min(req->submit_time, bio->submit_time);
+  } else {
+    BDIO_CHECK(req->end_sector() == bio->sector);
+  }
+  req->sectors += bio->sectors;
+  req->bio_count += bio->bio_count;
+  for (auto& cb : bio->on_complete) {
+    req->on_complete.push_back(std::move(cb));
+  }
+  bio->on_complete.clear();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NoopScheduler
+// ---------------------------------------------------------------------------
+
+bool NoopScheduler::TryMerge(IoRequest* bio) {
+  if (fifo_.empty()) return false;
+  IoRequest& tail = fifo_.back();
+  if (tail.type != bio->type) return false;
+  if (tail.end_sector() == bio->sector &&
+      tail.sectors + bio->sectors <= max_request_sectors_) {
+    FoldBio(&tail, bio, /*front=*/false);
+    return true;
+  }
+  return false;
+}
+
+void NoopScheduler::Add(IoRequest req) { fifo_.push_back(std::move(req)); }
+
+IoRequest NoopScheduler::PopNext(SimTime /*now*/) {
+  BDIO_CHECK(!fifo_.empty());
+  IoRequest req = std::move(fifo_.front());
+  fifo_.pop_front();
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineScheduler
+// ---------------------------------------------------------------------------
+
+bool DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
+  // Back merge: a queued request ending exactly where the bio starts.
+  auto back = q->by_end.find(bio->sector);
+  if (back != q->by_end.end()) {
+    auto it = back->second;
+    if (it->req.sectors + bio->sectors <= max_request_sectors_) {
+      q->by_end.erase(back);
+      FoldBio(&it->req, bio, /*front=*/false);
+      q->by_end.emplace(it->req.end_sector(), it);
+      return true;
+    }
+  }
+  // Front merge: a queued request starting exactly where the bio ends.
+  auto front = q->by_start.find(bio->end_sector());
+  if (front != q->by_start.end()) {
+    auto it = front->second;
+    if (it->req.sectors + bio->sectors <= max_request_sectors_) {
+      q->by_start.erase(front);
+      FoldBio(&it->req, bio, /*front=*/true);
+      q->by_start.emplace(it->req.sector, it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DeadlineScheduler::TryMerge(IoRequest* bio) {
+  return TryMergeDir(&queues_[static_cast<int>(bio->type)], bio);
+}
+
+void DeadlineScheduler::Add(IoRequest req) {
+  DirQueue& q = queues_[static_cast<int>(req.type)];
+  const SimDuration expiry = req.is_read() ? kReadExpiry : kWriteExpiry;
+  const SimTime deadline = req.submit_time + expiry;
+  q.fifo.push_back(Entry{std::move(req), deadline});
+  auto it = std::prev(q.fifo.end());
+  q.by_start.emplace(it->req.sector, it);
+  q.by_end.emplace(it->req.end_sector(), it);
+  ++size_;
+}
+
+IoRequest DeadlineScheduler::Extract(DirQueue* q, EntryList::iterator it) {
+  // Erase the matching index entries (multimap: find the exact iterator).
+  auto range = q->by_start.equal_range(it->req.sector);
+  for (auto i = range.first; i != range.second; ++i) {
+    if (i->second == it) {
+      q->by_start.erase(i);
+      break;
+    }
+  }
+  range = q->by_end.equal_range(it->req.end_sector());
+  for (auto i = range.first; i != range.second; ++i) {
+    if (i->second == it) {
+      q->by_end.erase(i);
+      break;
+    }
+  }
+  IoRequest req = std::move(it->req);
+  q->fifo.erase(it);
+  --size_;
+  return req;
+}
+
+DeadlineScheduler::EntryList::iterator DeadlineScheduler::Select(
+    DirQueue* q, SimTime now) {
+  BDIO_CHECK(!q->fifo.empty());
+  // Expired FIFO head takes priority (the "deadline" in deadline).
+  if (q->fifo.front().deadline <= now) {
+    return q->fifo.begin();
+  }
+  // Otherwise one-way elevator: smallest start sector >= elevator position,
+  // wrapping to the smallest overall.
+  auto it = q->by_start.lower_bound(next_sector_);
+  if (it == q->by_start.end()) it = q->by_start.begin();
+  return it->second;
+}
+
+IoRequest DeadlineScheduler::PopNext(SimTime now) {
+  BDIO_CHECK(size_ > 0);
+  DirQueue& reads = queues_[static_cast<int>(IoType::kRead)];
+  DirQueue& writes = queues_[static_cast<int>(IoType::kWrite)];
+
+  IoType dir;
+  const bool have_reads = !reads.fifo.empty();
+  const bool have_writes = !writes.fifo.empty();
+  if (have_reads && !have_writes) {
+    dir = IoType::kRead;
+  } else if (have_writes && !have_reads) {
+    dir = IoType::kWrite;
+  } else {
+    // Both present: continue the current batch unless exhausted; otherwise
+    // prefer reads, but don't starve writes beyond kWritesStarved batches,
+    // and always honour expired write deadlines.
+    if (batch_remaining_ > 0 &&
+        !queues_[static_cast<int>(batch_dir_)].fifo.empty()) {
+      dir = batch_dir_;
+    } else if (writes.fifo.front().deadline <= now ||
+               starved_batches_ >= kWritesStarved) {
+      dir = IoType::kWrite;
+    } else {
+      dir = IoType::kRead;
+    }
+  }
+
+  if (dir != batch_dir_ || batch_remaining_ <= 0) {
+    // New batch.
+    if (dir == IoType::kRead && have_writes) {
+      ++starved_batches_;
+    } else if (dir == IoType::kWrite) {
+      starved_batches_ = 0;
+    }
+    batch_dir_ = dir;
+    batch_remaining_ = kFifoBatch;
+  }
+  --batch_remaining_;
+
+  DirQueue& q = queues_[static_cast<int>(dir)];
+  auto it = Select(&q, now);
+  IoRequest req = Extract(&q, it);
+  next_sector_ = req.end_sector();
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// CfqScheduler
+// ---------------------------------------------------------------------------
+
+bool CfqScheduler::TryMerge(IoRequest* bio) {
+  auto cit = contexts_.find(bio->io_context);
+  if (cit == contexts_.end()) return false;
+  CtxQueue& q = cit->second;
+  // Back merge: a queued request of the same stream and direction ending
+  // where the bio starts.
+  auto back = q.by_end.find(bio->sector);
+  if (back != q.by_end.end()) {
+    auto range = q.by_start.equal_range(back->second);
+    for (auto it = range.first; it != range.second; ++it) {
+      IoRequest& req = it->second;
+      if (req.type == bio->type &&
+          req.end_sector() == bio->sector &&
+          req.sectors + bio->sectors <= max_request_sectors_) {
+        q.by_end.erase(back);
+        FoldBio(&req, bio, /*front=*/false);
+        q.by_end.emplace(req.end_sector(), req.sector);
+        return true;
+      }
+    }
+  }
+  // Front merge: a queued request starting where the bio ends.
+  auto front = q.by_start.find(bio->end_sector());
+  if (front != q.by_start.end() && front->second.type == bio->type &&
+      front->second.sectors + bio->sectors <= max_request_sectors_) {
+    IoRequest req = std::move(front->second);
+    // Remove old index entries.
+    auto erange = q.by_end.equal_range(req.end_sector());
+    for (auto it = erange.first; it != erange.second; ++it) {
+      if (it->second == req.sector) {
+        q.by_end.erase(it);
+        break;
+      }
+    }
+    q.by_start.erase(front);
+    FoldBio(&req, bio, /*front=*/true);
+    const uint64_t start = req.sector;
+    const uint64_t end = req.end_sector();
+    q.by_start.emplace(start, std::move(req));
+    q.by_end.emplace(end, start);
+    return true;
+  }
+  return false;
+}
+
+void CfqScheduler::Add(IoRequest req) {
+  CtxQueue& q = contexts_[req.io_context];
+  const uint64_t start = req.sector;
+  const uint64_t end = req.end_sector();
+  q.by_start.emplace(start, std::move(req));
+  q.by_end.emplace(end, start);
+  ++size_;
+}
+
+IoRequest CfqScheduler::PopNext(SimTime /*now*/) {
+  BDIO_CHECK(size_ > 0);
+  // Keep the active context while its quantum lasts and it has requests;
+  // otherwise rotate to the next non-empty context.
+  auto cit = contexts_.find(active_ctx_);
+  if (quantum_left_ <= 0 || cit == contexts_.end() ||
+      cit->second.by_start.empty()) {
+    cit = contexts_.upper_bound(active_ctx_);
+    // Skip empty queues, wrapping once.
+    for (int pass = 0; pass < 2; ++pass) {
+      while (cit != contexts_.end() && cit->second.by_start.empty()) ++cit;
+      if (cit != contexts_.end()) break;
+      cit = contexts_.begin();
+    }
+    BDIO_CHECK(cit != contexts_.end());
+    active_ctx_ = cit->first;
+    quantum_left_ = kQuantum;
+  }
+  --quantum_left_;
+  CtxQueue& q = cit->second;
+  // Ascending from the context's elevator position, wrapping.
+  auto it = q.by_start.lower_bound(q.last_dispatched_end);
+  if (it == q.by_start.end()) it = q.by_start.begin();
+  IoRequest req = std::move(it->second);
+  // Erase the matching by_end entry.
+  auto erange = q.by_end.equal_range(req.end_sector());
+  for (auto e = erange.first; e != erange.second; ++e) {
+    if (e->second == req.sector) {
+      q.by_end.erase(e);
+      break;
+    }
+  }
+  q.by_start.erase(it);
+  q.last_dispatched_end = req.end_sector();
+  --size_;
+  if (q.by_start.empty()) contexts_.erase(cit);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<IoScheduler> MakeScheduler(const std::string& name,
+                                           uint64_t max_request_sectors) {
+  if (name == "noop") {
+    return std::make_unique<NoopScheduler>(max_request_sectors);
+  }
+  if (name == "deadline") {
+    return std::make_unique<DeadlineScheduler>(max_request_sectors);
+  }
+  if (name == "cfq") {
+    return std::make_unique<CfqScheduler>(max_request_sectors);
+  }
+  BDIO_LOG(Fatal) << "unknown scheduler: " << name;
+  return nullptr;
+}
+
+}  // namespace bdio::storage

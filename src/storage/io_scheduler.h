@@ -1,0 +1,153 @@
+#ifndef BDIO_STORAGE_IO_SCHEDULER_H_
+#define BDIO_STORAGE_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "storage/io_request.h"
+
+namespace bdio::storage {
+
+/// Elevator interface. The device hands incoming bios to the scheduler,
+/// which may merge them into queued requests (front/back merge, like the
+/// Linux block layer) and decides dispatch order.
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  /// Attempts to fold `bio` into an already-queued request of the same
+  /// direction (back merge: bio starts where a request ends; front merge:
+  /// bio ends where a request starts). On success the bio's completion
+  /// callbacks are moved into the queued request and true is returned.
+  virtual bool TryMerge(IoRequest* bio) = 0;
+
+  /// Enqueues a request (after TryMerge returned false).
+  virtual void Add(IoRequest req) = 0;
+
+  /// Removes and returns the next request to service. Must not be called on
+  /// an empty scheduler. `now` lets deadline-style schedulers detect expired
+  /// requests.
+  virtual IoRequest PopNext(SimTime now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// FIFO scheduler with back-merging onto the most recently queued request —
+/// the behaviour of Linux "noop".
+class NoopScheduler : public IoScheduler {
+ public:
+  explicit NoopScheduler(uint64_t max_request_sectors)
+      : max_request_sectors_(max_request_sectors) {}
+
+  bool TryMerge(IoRequest* bio) override;
+  void Add(IoRequest req) override;
+  IoRequest PopNext(SimTime now) override;
+  bool empty() const override { return fifo_.empty(); }
+  size_t size() const override { return fifo_.size(); }
+  std::string name() const override { return "noop"; }
+
+ private:
+  uint64_t max_request_sectors_;
+  std::list<IoRequest> fifo_;
+};
+
+/// Single-direction-batching elevator with per-request deadlines — the
+/// Linux "deadline" scheduler (the default data-disk elevator of the
+/// Hadoop-1 era). Reads expire after 500 ms, writes after 5 s; requests are
+/// serviced in ascending-sector batches unless a deadline has expired;
+/// writes are serviced at least every `kWritesStarved` read batches.
+class DeadlineScheduler : public IoScheduler {
+ public:
+  static constexpr SimDuration kReadExpiry = Millis(500);
+  static constexpr SimDuration kWriteExpiry = Seconds(5);
+  static constexpr int kFifoBatch = 16;
+  static constexpr int kWritesStarved = 2;
+
+  explicit DeadlineScheduler(uint64_t max_request_sectors)
+      : max_request_sectors_(max_request_sectors) {}
+
+  bool TryMerge(IoRequest* bio) override;
+  void Add(IoRequest req) override;
+  IoRequest PopNext(SimTime now) override;
+  bool empty() const override { return size_ == 0; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "deadline"; }
+
+ private:
+  struct Entry {
+    IoRequest req;
+    SimTime deadline;
+  };
+  using EntryList = std::list<Entry>;
+  using SortedIndex = std::multimap<uint64_t, EntryList::iterator>;
+
+  struct DirQueue {
+    EntryList fifo;       // insertion order (deadline order)
+    SortedIndex by_start;  // start sector -> entry
+    SortedIndex by_end;    // end sector -> entry
+  };
+
+  /// Removes `it` from all of `q`'s indices and returns its request.
+  IoRequest Extract(DirQueue* q, EntryList::iterator it);
+  bool TryMergeDir(DirQueue* q, IoRequest* bio);
+  /// Picks the next entry in `q`: the expired FIFO head if any, otherwise
+  /// the first entry at or after the elevator position (wrapping).
+  EntryList::iterator Select(DirQueue* q, SimTime now);
+
+  uint64_t max_request_sectors_;
+  DirQueue queues_[2];
+  size_t size_ = 0;
+  int batch_remaining_ = 0;
+  int starved_batches_ = 0;
+  IoType batch_dir_ = IoType::kRead;
+  uint64_t next_sector_ = 0;  ///< Elevator position.
+};
+
+/// Completely-fair-queueing-style elevator: requests are grouped by their
+/// io_context (the issuing stream) and contexts are serviced round-robin
+/// with a dispatch quantum, each context's slice dispatching in ascending
+/// sector order. A simplified single-priority CFQ: no anticipation, no
+/// sync/async classes — the fairness and locality core only.
+class CfqScheduler : public IoScheduler {
+ public:
+  static constexpr int kQuantum = 8;  ///< Dispatches per context slice.
+
+  explicit CfqScheduler(uint64_t max_request_sectors)
+      : max_request_sectors_(max_request_sectors) {}
+
+  bool TryMerge(IoRequest* bio) override;
+  void Add(IoRequest req) override;
+  IoRequest PopNext(SimTime now) override;
+  bool empty() const override { return size_ == 0; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "cfq"; }
+
+ private:
+  struct CtxQueue {
+    /// start sector -> request (ascending service within the slice).
+    std::multimap<uint64_t, IoRequest> by_start;
+    /// end sector -> start sector (back-merge lookup).
+    std::multimap<uint64_t, uint64_t> by_end;
+    uint64_t last_dispatched_end = 0;  ///< Elevator position per context.
+  };
+
+  uint64_t max_request_sectors_;
+  std::map<uint64_t, CtxQueue> contexts_;
+  size_t size_ = 0;
+  uint64_t active_ctx_ = 0;
+  int quantum_left_ = 0;
+};
+
+/// Factory by name ("noop", "deadline", "cfq").
+std::unique_ptr<IoScheduler> MakeScheduler(const std::string& name,
+                                           uint64_t max_request_sectors);
+
+}  // namespace bdio::storage
+
+#endif  // BDIO_STORAGE_IO_SCHEDULER_H_

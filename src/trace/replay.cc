@@ -1,0 +1,45 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/latch.h"
+
+namespace bdio::trace {
+
+Status Replayer::Replay(const std::vector<TraceEvent>& events,
+                        std::function<void()> done) {
+  if (events.empty()) {
+    sim_->ScheduleAfter(0, std::move(done));
+    return Status::OK();
+  }
+  const uint64_t total_sectors = device_->params().TotalSectors();
+  const uint64_t max_sectors = device_->params().max_request_sectors;
+  SimTime first = events[0].submit_time;
+  for (const TraceEvent& e : events) {
+    first = std::min(first, e.submit_time);
+    if (e.sectors == 0 || e.sector + e.sectors > total_sectors) {
+      return Status::InvalidArgument("trace event beyond device bounds");
+    }
+    if (e.sectors > max_sectors) {
+      return Status::InvalidArgument(
+          "trace event exceeds the device's max request size");
+    }
+  }
+
+  auto latch = sim::Latch::Create(events.size(), std::move(done));
+  for (const TraceEvent& e : events) {
+    const SimDuration offset = static_cast<SimDuration>(
+        static_cast<double>(e.submit_time - first) * time_scale_);
+    sim_->ScheduleAfter(offset, [this, e, latch] {
+      ++submitted_;
+      device_->Submit(e.type, e.sector, e.sectors, [this, latch] {
+        ++completed_;
+        latch->Arrive();
+      });
+    });
+  }
+  return Status::OK();
+}
+
+}  // namespace bdio::trace

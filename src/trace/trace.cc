@@ -1,0 +1,122 @@
+#include "trace/trace.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio::trace {
+
+void Recorder::Attach(storage::BlockDevice* device) {
+  BDIO_CHECK(device != nullptr);
+  const std::string name = device->name();
+  device->SetCompletionObserver(
+      [this, name](const storage::IoRequest& req) {
+        TraceEvent ev;
+        ev.device = name;
+        ev.type = req.type;
+        ev.sector = req.sector;
+        ev.sectors = req.sectors;
+        ev.bio_count = req.bio_count;
+        ev.submit_time = req.submit_time;
+        ev.dispatch_time = req.dispatch_time;
+        ev.complete_time = req.complete_time;
+        events_.push_back(std::move(ev));
+      });
+}
+
+void WriteTrace(const std::vector<TraceEvent>& events, std::ostream& os) {
+  for (const TraceEvent& e : events) {
+    os << e.device << ' ' << storage::IoTypeName(e.type) << ' ' << e.sector
+       << ' ' << e.sectors << ' ' << e.bio_count << ' ' << e.submit_time
+       << ' ' << e.dispatch_time << ' ' << e.complete_time << '\n';
+  }
+}
+
+Result<std::vector<TraceEvent>> ReadTrace(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceEvent e;
+    std::string type;
+    if (!(ls >> e.device >> type >> e.sector >> e.sectors >> e.bio_count >>
+          e.submit_time >> e.dispatch_time >> e.complete_time)) {
+      return Status::Corruption("bad trace line " + std::to_string(line_no));
+    }
+    if (type == "R") {
+      e.type = storage::IoType::kRead;
+    } else if (type == "W") {
+      e.type = storage::IoType::kWrite;
+    } else {
+      return Status::Corruption("bad request type on line " +
+                                std::to_string(line_no));
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Analyzer::Analyzer(const std::vector<TraceEvent>& events) {
+  std::map<std::string, uint64_t> last_end;
+  std::map<std::string, SimTime> last_submit;
+  for (const TraceEvent& e : events) {
+    ++count_;
+    total_bytes_ += e.sectors * kSectorSize;
+    if (e.type == storage::IoType::kRead) ++reads_;
+    size_hist_.Add(static_cast<double>(e.sectors));
+    latency_hist_.Add(ToMillis(e.latency()));
+    wait_hist_.Add(ToMillis(e.queue_wait()));
+
+    auto it = last_end.find(e.device);
+    if (it != last_end.end()) {
+      if (e.sector == it->second) ++sequential_;
+      const double dist = std::abs(static_cast<double>(e.sector) -
+                                   static_cast<double>(it->second));
+      seek_hist_.Add(dist);
+    }
+    last_end[e.device] = e.sector + e.sectors;
+
+    auto st = last_submit.find(e.device);
+    if (st != last_submit.end() && e.submit_time >= st->second) {
+      interarrival_hist_.Add(
+          static_cast<double>(e.submit_time - st->second) / 1000.0);
+    }
+    last_submit[e.device] = e.submit_time;
+  }
+}
+
+double Analyzer::read_fraction() const {
+  return count_ ? static_cast<double>(reads_) / static_cast<double>(count_)
+                : 0;
+}
+
+double Analyzer::SequentialFraction() const {
+  return count_ ? static_cast<double>(sequential_) /
+                      static_cast<double>(count_)
+                : 0;
+}
+
+double Analyzer::MeanRequestSectors() const { return size_hist_.mean(); }
+
+std::string Analyzer::Summary() const {
+  std::ostringstream os;
+  os << "requests: " << count_ << "  bytes: " << total_bytes_
+     << "  read_fraction: " << read_fraction()
+     << "  sequential_fraction: " << SequentialFraction() << "\n"
+     << "size (sectors): " << size_hist_.ToString() << "\n"
+     << "latency (ms):   " << latency_hist_.ToString() << "\n"
+     << "queue wait (ms): " << wait_hist_.ToString() << "\n"
+     << "seek dist (sectors): " << seek_hist_.ToString() << "\n"
+     << "inter-arrival (us): " << interarrival_hist_.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace bdio::trace

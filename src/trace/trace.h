@@ -1,0 +1,101 @@
+#ifndef BDIO_TRACE_TRACE_H_
+#define BDIO_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/units.h"
+#include "storage/block_device.h"
+
+namespace bdio::trace {
+
+/// One completed block request — the information blktrace's C (complete)
+/// records carry, plus queue timestamps.
+struct TraceEvent {
+  std::string device;
+  storage::IoType type = storage::IoType::kRead;
+  uint64_t sector = 0;
+  uint64_t sectors = 0;
+  uint32_t bio_count = 1;
+  SimTime submit_time = 0;
+  SimTime dispatch_time = 0;
+  SimTime complete_time = 0;
+
+  SimDuration latency() const { return complete_time - submit_time; }
+  SimDuration queue_wait() const { return dispatch_time - submit_time; }
+  SimDuration service_time() const { return complete_time - dispatch_time; }
+};
+
+/// Captures per-request completions from block devices.
+class Recorder {
+ public:
+  Recorder() = default;
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Hooks the device's completion observer. One recorder may observe many
+  /// devices; re-attaching replaces any previous observer on the device.
+  void Attach(storage::BlockDevice* device);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Serializes events to a blkparse-like text format, one per line:
+/// `<device> <type R|W> <sector> <sectors> <bios> <submit_ns> <dispatch_ns>
+/// <complete_ns>`.
+void WriteTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+Result<std::vector<TraceEvent>> ReadTrace(std::istream& is);
+
+/// Per-device and aggregate access-pattern statistics — the analysis that
+/// backs the paper's "HDFS is large sequential, MapReduce is small random"
+/// claim.
+class Analyzer {
+ public:
+  explicit Analyzer(const std::vector<TraceEvent>& events);
+
+  size_t num_requests() const { return count_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  double read_fraction() const;
+
+  /// Fraction of requests starting exactly where the previous request on
+  /// the same device ended (strict sequentiality).
+  double SequentialFraction() const;
+
+  /// Mean request size in sectors.
+  double MeanRequestSectors() const;
+
+  const Histogram& size_sectors() const { return size_hist_; }
+  const Histogram& latency_ms() const { return latency_hist_; }
+  const Histogram& queue_wait_ms() const { return wait_hist_; }
+  const Histogram& seek_distance_sectors() const { return seek_hist_; }
+  const Histogram& interarrival_us() const { return interarrival_hist_; }
+
+  /// Multi-line text summary.
+  std::string Summary() const;
+
+ private:
+  size_t count_ = 0;
+  uint64_t total_bytes_ = 0;
+  size_t reads_ = 0;
+  size_t sequential_ = 0;
+  Histogram size_hist_;
+  Histogram latency_hist_;
+  Histogram wait_hist_;
+  Histogram seek_hist_;
+  Histogram interarrival_hist_;
+};
+
+}  // namespace bdio::trace
+
+#endif  // BDIO_TRACE_TRACE_H_

@@ -1,0 +1,4 @@
+namespace bdio::trace {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "trace"; }
+}  // namespace bdio::trace

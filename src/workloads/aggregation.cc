@@ -1,0 +1,75 @@
+#include "workloads/aggregation.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bdio::workloads {
+
+namespace {
+/// Parses "uid|catX|price|quantity|date"; returns false on malformed rows
+/// (which real Hive skips rather than failing the query).
+bool ParseRow(const std::string& row, std::string* category,
+              double* revenue) {
+  const size_t p1 = row.find('|');
+  if (p1 == std::string::npos) return false;
+  const size_t p2 = row.find('|', p1 + 1);
+  if (p2 == std::string::npos) return false;
+  const size_t p3 = row.find('|', p2 + 1);
+  if (p3 == std::string::npos) return false;
+  *category = row.substr(p1 + 1, p2 - p1 - 1);
+  const double price = std::atof(row.c_str() + p2 + 1);
+  const double quantity = std::atof(row.c_str() + p3 + 1);
+  *revenue = price * quantity;
+  return true;
+}
+}  // namespace
+
+void AggregationMapper::Map(const mrfunc::KeyValue& record,
+                            mrfunc::Emitter* out) {
+  std::string category;
+  double revenue = 0;
+  if (!ParseRow(record.value, &category, &revenue)) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", revenue);
+  out->Emit(category, buf);
+}
+
+void SumReducer::Reduce(const std::string& key,
+                        const std::vector<std::string>& values,
+                        mrfunc::Emitter* out) {
+  double total = 0;
+  for (const std::string& v : values) total += std::atof(v.c_str());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", total);
+  out->Emit(key, buf);
+}
+
+Result<AggregationResult> RunAggregation(
+    const std::vector<mrfunc::KeyValue>& input,
+    const mrfunc::JobConfig& config) {
+  AggregationMapper mapper;
+  SumReducer reducer;
+  mrfunc::LocalJobRunner runner;
+  AggregationResult result;
+  BDIO_ASSIGN_OR_RETURN(result.stats,
+                        runner.Run(input, &mapper, &reducer, config,
+                                   &result.output));
+  return result;
+}
+
+std::map<std::string, double> ReferenceAggregate(
+    const std::vector<mrfunc::KeyValue>& input) {
+  std::map<std::string, double> totals;
+  for (const auto& kv : input) {
+    std::string category;
+    double revenue = 0;
+    if (ParseRow(kv.value, &category, &revenue)) {
+      totals[category] += revenue;
+    }
+  }
+  return totals;
+}
+
+}  // namespace bdio::workloads

@@ -1,0 +1,47 @@
+#ifndef BDIO_WORKLOADS_AGGREGATION_H_
+#define BDIO_WORKLOADS_AGGREGATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// The Hive OLAP query the paper runs: SELECT category, SUM(price*quantity)
+/// FROM orders GROUP BY category. The map parses each row and emits the
+/// group key with the partial revenue; sums are combinable.
+class AggregationMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Sums double-valued partials per key.
+class SumReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+/// Result of the functional aggregation run.
+struct AggregationResult {
+  std::vector<mrfunc::KeyValue> output;
+  mrfunc::JobStats stats;
+};
+
+/// Runs the aggregation job (with combiner if config.use_combiner).
+Result<AggregationResult> RunAggregation(
+    const std::vector<mrfunc::KeyValue>& input,
+    const mrfunc::JobConfig& config);
+
+/// Reference implementation: straight hash aggregation, for verifying the
+/// MapReduce answer.
+std::map<std::string, double> ReferenceAggregate(
+    const std::vector<mrfunc::KeyValue>& input);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_AGGREGATION_H_

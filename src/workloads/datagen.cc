@@ -1,0 +1,133 @@
+#include "workloads/datagen.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+namespace {
+const char* const kWords[] = {
+    "data",   "center",  "disk",  "cache", "query",  "index", "shard",
+    "block",  "replica", "merge", "spill", "sort",   "scan",  "join",
+    "hadoop", "stream",  "batch", "node",  "worker", "page"};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string SkewedText(Rng* rng, size_t len) {
+  std::string s;
+  s.reserve(len + 8);
+  while (s.size() < len) {
+    s += kWords[rng->Zipf(kNumWords, 0.9)];
+    s += ' ';
+  }
+  s.resize(len);
+  return s;
+}
+}  // namespace
+
+std::vector<mrfunc::KeyValue> GenTeraSortRecords(Rng* rng, size_t count) {
+  std::vector<mrfunc::KeyValue> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string key(10, 0);
+    for (auto& c : key) {
+      c = static_cast<char>(' ' + rng->Uniform(95));  // printable
+    }
+    out.push_back(mrfunc::KeyValue{std::move(key), SkewedText(rng, 90)});
+  }
+  return out;
+}
+
+std::vector<mrfunc::KeyValue> GenOrderRows(Rng* rng, size_t count,
+                                           uint32_t num_categories) {
+  std::vector<mrfunc::KeyValue> out;
+  out.reserve(count);
+  char buf[160];
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t uid = rng->Zipf(1000000, 0.8);
+    const uint64_t category = rng->Zipf(num_categories, 0.7);
+    const double price = rng->UniformDouble(0.5, 500.0);
+    const uint64_t quantity = 1 + rng->Uniform(9);
+    std::snprintf(buf, sizeof(buf),
+                  "%llu|cat%llu|%.2f|%llu|2013-%02llu-%02llu",
+                  static_cast<unsigned long long>(uid),
+                  static_cast<unsigned long long>(category), price,
+                  static_cast<unsigned long long>(quantity),
+                  static_cast<unsigned long long>(1 + rng->Uniform(12)),
+                  static_cast<unsigned long long>(1 + rng->Uniform(28)));
+    out.push_back(mrfunc::KeyValue{std::to_string(i), buf});
+  }
+  return out;
+}
+
+std::vector<mrfunc::KeyValue> GenPoints(Rng* rng, size_t count,
+                                        uint32_t centers, uint32_t dims,
+                                        double spread) {
+  BDIO_CHECK(centers > 0 && dims > 0);
+  // Draw the mixture centers first, reproducibly.
+  std::vector<std::vector<double>> mu(centers, std::vector<double>(dims));
+  for (auto& c : mu) {
+    for (auto& v : c) v = rng->UniformDouble(0, 1);
+  }
+  std::vector<mrfunc::KeyValue> out;
+  out.reserve(count);
+  char buf[32];
+  for (size_t i = 0; i < count; ++i) {
+    const auto& c = mu[rng->Uniform(centers)];
+    std::string value;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const double x = c[d] + rng->Gaussian(0, spread);
+      std::snprintf(buf, sizeof(buf), "%.5f", x);
+      if (d) value += ',';
+      value += buf;
+    }
+    out.push_back(mrfunc::KeyValue{std::to_string(i), std::move(value)});
+  }
+  return out;
+}
+
+std::vector<mrfunc::KeyValue> GenWebGraph(Rng* rng, size_t nodes,
+                                          double avg_out_degree) {
+  BDIO_CHECK(nodes > 1);
+  // Preferential attachment over edge endpoints: new edges point to the
+  // endpoint of a random existing edge with probability p, else uniform.
+  std::vector<std::vector<uint64_t>> adj(nodes);
+  std::vector<uint64_t> endpoints;
+  endpoints.reserve(static_cast<size_t>(avg_out_degree) * nodes);
+  for (size_t v = 1; v < nodes; ++v) {
+    const uint64_t degree = 1 + rng->Poisson(avg_out_degree - 1);
+    for (uint64_t e = 0; e < degree; ++e) {
+      uint64_t dst;
+      if (!endpoints.empty() && rng->Bernoulli(0.7)) {
+        dst = endpoints[rng->Uniform(endpoints.size())];
+      } else {
+        dst = rng->Uniform(v);  // earlier node
+      }
+      adj[v].push_back(dst);
+      endpoints.push_back(dst);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<mrfunc::KeyValue> out;
+  out.reserve(nodes);
+  for (size_t v = 0; v < nodes; ++v) {
+    std::string value;
+    for (size_t k = 0; k < adj[v].size(); ++k) {
+      if (k) value += ' ';
+      value += std::to_string(adj[v][k]);
+    }
+    out.push_back(mrfunc::KeyValue{std::to_string(v), std::move(value)});
+  }
+  return out;
+}
+
+uint64_t DatasetBytes(const std::vector<mrfunc::KeyValue>& records) {
+  uint64_t total = 0;
+  for (const auto& kv : records) total += mrfunc::SerializedSize(kv);
+  return total;
+}
+
+}  // namespace bdio::workloads

@@ -1,0 +1,44 @@
+#ifndef BDIO_WORKLOADS_DATAGEN_H_
+#define BDIO_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "mrfunc/api.h"
+
+namespace bdio::workloads {
+
+/// BigDataBench-style generators: small-scale real datasets whose *shape*
+/// (record sizes, skew, compressibility) matches the paper's inputs. They
+/// feed the functional jobs and calibrate the simulator's volume model.
+
+/// TeraSort records: 10-byte binary-ish key + 90-byte text payload (the
+/// TeraGen format). Payload is skewed word text so compression behaves like
+/// text data.
+std::vector<mrfunc::KeyValue> GenTeraSortRecords(Rng* rng, size_t count);
+
+/// Hive fact-table rows for the Aggregation query: key = order id, value =
+/// "uid|category|price|quantity|date" with Zipf-distributed uid/category.
+std::vector<mrfunc::KeyValue> GenOrderRows(Rng* rng, size_t count,
+                                           uint32_t num_categories = 64);
+
+/// K-means points: `dims`-dimensional points drawn from a mixture of
+/// `centers` Gaussians. value = comma-separated floats; key = point id.
+std::vector<mrfunc::KeyValue> GenPoints(Rng* rng, size_t count,
+                                        uint32_t centers = 8,
+                                        uint32_t dims = 16,
+                                        double spread = 0.05);
+
+/// Web-graph adjacency lists via preferential attachment (power-law
+/// in-degree like the Google web graph): key = node id, value =
+/// space-separated successor ids.
+std::vector<mrfunc::KeyValue> GenWebGraph(Rng* rng, size_t nodes,
+                                          double avg_out_degree = 8.0);
+
+/// Total serialized bytes of a record set (spill wire format).
+uint64_t DatasetBytes(const std::vector<mrfunc::KeyValue>& records);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_DATAGEN_H_

@@ -1,0 +1,110 @@
+#include "workloads/dfsio.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "sim/latch.h"
+
+namespace bdio::workloads {
+
+namespace {
+
+struct DfsioRun {
+  DfsioSpec spec;
+  cluster::Cluster* cluster;
+  hdfs::Hdfs* dfs;
+  std::function<void(Result<DfsioResult>)> done;
+  DfsioResult result;
+  SimTime phase_start = 0;
+};
+
+std::string FileName(const DfsioSpec& spec, uint32_t i) {
+  return spec.path_prefix + "/io_data/test_io_" + std::to_string(i);
+}
+
+void StartReadPhase(std::shared_ptr<DfsioRun> run) {
+  sim::Simulator* sim = run->cluster->sim();
+  run->phase_start = sim->Now();
+  auto all_read = sim::Latch::Create(run->spec.num_files, [run] {
+    sim::Simulator* s = run->cluster->sim();
+    run->result.read_seconds =
+        ToSeconds(s->Now() - run->phase_start);
+    const double total_mb =
+        static_cast<double>(run->spec.num_files) *
+        static_cast<double>(run->spec.file_bytes) / 1e6;
+    run->result.read_mb_s = total_mb / run->result.read_seconds;
+    run->done(run->result);
+  });
+  const uint32_t workers = run->cluster->num_workers();
+  for (uint32_t i = 0; i < run->spec.num_files; ++i) {
+    uint32_t reader = i % workers;
+    if (run->spec.remote_readers) reader = (reader + 1) % workers;
+    run->dfs->ReadAll(FileName(run->spec, i), reader,
+                      [arm = all_read->Arm()](Status s) {
+                        BDIO_CHECK_OK(s);
+                        arm();
+                      });
+  }
+}
+
+}  // namespace
+
+void RunDfsio(cluster::Cluster* cluster, hdfs::Hdfs* dfs,
+              const DfsioSpec& spec,
+              std::function<void(Result<DfsioResult>)> done) {
+  BDIO_CHECK(cluster != nullptr);
+  BDIO_CHECK(dfs != nullptr);
+  if (spec.num_files == 0 || spec.file_bytes == 0) {
+    cluster->sim()->ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::InvalidArgument("num_files and file_bytes must be > 0"));
+    });
+    return;
+  }
+  auto run = std::make_shared<DfsioRun>();
+  run->spec = spec;
+  run->cluster = cluster;
+  run->dfs = dfs;
+  run->done = std::move(done);
+  run->result.num_files = spec.num_files;
+  run->result.bytes_per_file = spec.file_bytes;
+  run->phase_start = cluster->sim()->Now();
+
+  auto all_written = sim::Latch::Create(spec.num_files, [run] {
+    sim::Simulator* sim = run->cluster->sim();
+    // TestDFSIO's write time includes making the data durable: flush the
+    // page caches before stopping the clock.
+    auto flushed = sim::Latch::Create(run->cluster->num_workers(), [run] {
+      sim::Simulator* s = run->cluster->sim();
+      run->result.write_seconds = ToSeconds(s->Now() - run->phase_start);
+      const double total_mb =
+          static_cast<double>(run->spec.num_files) *
+          static_cast<double>(run->spec.file_bytes) / 1e6;
+      run->result.write_mb_s = total_mb / run->result.write_seconds;
+      if (run->spec.run_read_phase) {
+        // Cold reads: drop the caches first.
+        for (uint32_t n = 0; n < run->cluster->num_workers(); ++n) {
+          run->cluster->node(n)->cache()->DropClean();
+        }
+        StartReadPhase(run);
+      } else {
+        run->done(run->result);
+      }
+    });
+    for (uint32_t n = 0; n < run->cluster->num_workers(); ++n) {
+      run->cluster->node(n)->cache()->SyncAll(flushed->Arm());
+    }
+    (void)sim;
+  });
+
+  const uint32_t workers = cluster->num_workers();
+  for (uint32_t i = 0; i < spec.num_files; ++i) {
+    dfs->WriteReplicated(FileName(spec, i), spec.file_bytes, i % workers,
+                         spec.replication,
+                         [arm = all_written->Arm()](Status s) {
+                           BDIO_CHECK_OK(s);
+                           arm();
+                         });
+  }
+}
+
+}  // namespace bdio::workloads

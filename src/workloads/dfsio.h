@@ -1,0 +1,50 @@
+#ifndef BDIO_WORKLOADS_DFSIO_H_
+#define BDIO_WORKLOADS_DFSIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "hdfs/hdfs.h"
+
+namespace bdio::workloads {
+
+/// TestDFSIO-style raw storage benchmark: N concurrent tasks each write one
+/// file to HDFS, then (optionally) N tasks each read one file back. The
+/// classic tool for sizing a Hadoop cluster's storage layer, here usable
+/// against the simulated testbed.
+struct DfsioSpec {
+  uint32_t num_files = 16;
+  uint64_t file_bytes = MiB(128);
+  uint32_t replication = 3;
+  bool run_read_phase = true;
+  /// Readers run on a different node than the file's writer (forces remote
+  /// or replica reads); TestDFSIO's map placement is similarly arbitrary.
+  bool remote_readers = false;
+  std::string path_prefix = "/benchmarks/TestDFSIO";
+};
+
+/// Aggregate results in TestDFSIO's terms.
+struct DfsioResult {
+  double write_seconds = 0;
+  double read_seconds = 0;
+  /// Aggregate logical throughput (sum of file bytes / phase time).
+  double write_mb_s = 0;
+  double read_mb_s = 0;
+  uint64_t bytes_per_file = 0;
+  uint32_t num_files = 0;
+};
+
+/// Runs the benchmark on the given testbed; `done` fires with the results
+/// once all phases complete. Drive the simulator to completion after
+/// calling (sim.Run()).
+void RunDfsio(cluster::Cluster* cluster, hdfs::Hdfs* dfs,
+              const DfsioSpec& spec,
+              std::function<void(Result<DfsioResult>)> done);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_DFSIO_H_

@@ -1,0 +1,103 @@
+#include "workloads/join.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace bdio::workloads {
+
+namespace {
+/// First '|'-delimited field of a row (the uid in both tables).
+std::string UidOf(const std::string& row) {
+  const size_t bar = row.find('|');
+  return bar == std::string::npos ? row : row.substr(0, bar);
+}
+
+const char* const kCountries[] = {"cn", "us", "de", "jp", "br", "in"};
+}  // namespace
+
+void JoinMapper::Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) {
+  if (record.key != "O" && record.key != "U") return;  // unknown table
+  const std::string uid = UidOf(record.value);
+  if (uid.empty()) return;
+  out->Emit(uid, record.key + "|" + record.value);
+}
+
+void JoinReducer::Reduce(const std::string& key,
+                         const std::vector<std::string>& values,
+                         mrfunc::Emitter* out) {
+  // Split the group into the (at most one) user row and the order rows.
+  std::string user_row;
+  std::vector<const std::string*> orders;
+  for (const std::string& v : values) {
+    if (v.size() < 2 || v[1] != '|') continue;
+    if (v[0] == 'U') {
+      user_row = v.substr(2);
+    } else if (v[0] == 'O') {
+      orders.push_back(&v);
+    }
+  }
+  if (user_row.empty()) return;  // inner join: unmatched orders drop
+  for (const std::string* order : orders) {
+    out->Emit(key, user_row + ";" + order->substr(2));
+  }
+}
+
+std::vector<mrfunc::KeyValue> GenUserRows(Rng* rng, size_t count) {
+  std::vector<mrfunc::KeyValue> out;
+  out.reserve(count);
+  char buf[96];
+  for (size_t uid = 0; uid < count; ++uid) {
+    std::snprintf(buf, sizeof(buf), "%zu|user%zu|%s", uid, uid,
+                  kCountries[rng->Uniform(6)]);
+    out.push_back(mrfunc::KeyValue{"U", buf});
+  }
+  return out;
+}
+
+std::vector<mrfunc::KeyValue> TagJoinInput(
+    const std::vector<mrfunc::KeyValue>& orders,
+    const std::vector<mrfunc::KeyValue>& users) {
+  std::vector<mrfunc::KeyValue> input;
+  input.reserve(orders.size() + users.size());
+  for (const auto& kv : orders) {
+    input.push_back(mrfunc::KeyValue{"O", kv.value});
+  }
+  for (const auto& kv : users) {
+    input.push_back(mrfunc::KeyValue{"U", kv.value});
+  }
+  return input;
+}
+
+Result<JoinResult> RunJoin(const std::vector<mrfunc::KeyValue>& orders,
+                           const std::vector<mrfunc::KeyValue>& users,
+                           const mrfunc::JobConfig& config) {
+  const std::vector<mrfunc::KeyValue> input = TagJoinInput(orders, users);
+  JoinMapper mapper;
+  JoinReducer reducer;
+  mrfunc::LocalJobRunner runner;
+  JoinResult result;
+  BDIO_ASSIGN_OR_RETURN(result.stats, runner.Run(input, &mapper, &reducer,
+                                                 config, &result.output));
+  return result;
+}
+
+std::multimap<std::string, std::string> ReferenceJoin(
+    const std::vector<mrfunc::KeyValue>& orders,
+    const std::vector<mrfunc::KeyValue>& users) {
+  std::map<std::string, std::string> user_by_uid;
+  for (const auto& kv : users) {
+    user_by_uid[UidOf(kv.value)] = kv.value;
+  }
+  std::multimap<std::string, std::string> joined;
+  for (const auto& kv : orders) {
+    const std::string uid = UidOf(kv.value);
+    auto it = user_by_uid.find(uid);
+    if (it != user_by_uid.end()) {
+      joined.emplace(uid, it->second + ";" + kv.value);
+    }
+  }
+  return joined;
+}
+
+}  // namespace bdio::workloads

@@ -1,0 +1,61 @@
+#ifndef BDIO_WORKLOADS_JOIN_H_
+#define BDIO_WORKLOADS_JOIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// The other Hive query the paper names (Section 1: "SQL operations, such
+/// as join, aggregation and select"): a reduce-side repartition join of the
+/// orders fact table with a users dimension table on user id.
+///
+/// Input records are tagged by table: key "O" for an order row
+/// ("uid|category|price|quantity|date"), key "U" for a user row
+/// ("uid|name|country"). The map emits (uid, tag '|' row); the reduce pairs
+/// every order with its user row (inner join).
+class JoinMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Joins the per-uid record group: emits one "user_row;order_row" record
+/// per (user, order) pair.
+class JoinReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+/// Dimension-table rows: "uid|name|country" for uids [0, count).
+std::vector<mrfunc::KeyValue> GenUserRows(Rng* rng, size_t count);
+
+/// Tags and concatenates the two tables into one MapReduce input.
+std::vector<mrfunc::KeyValue> TagJoinInput(
+    const std::vector<mrfunc::KeyValue>& orders,
+    const std::vector<mrfunc::KeyValue>& users);
+
+struct JoinResult {
+  std::vector<mrfunc::KeyValue> output;  ///< key = uid, value = joined row.
+  mrfunc::JobStats stats;
+};
+
+/// Runs the repartition join.
+Result<JoinResult> RunJoin(const std::vector<mrfunc::KeyValue>& orders,
+                           const std::vector<mrfunc::KeyValue>& users,
+                           const mrfunc::JobConfig& config);
+
+/// Reference hash join for verification: uid -> joined rows.
+std::multimap<std::string, std::string> ReferenceJoin(
+    const std::vector<mrfunc::KeyValue>& orders,
+    const std::vector<mrfunc::KeyValue>& users);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_JOIN_H_

@@ -1,0 +1,156 @@
+#include "workloads/kmeans.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bdio::workloads {
+
+Point ParsePoint(const std::string& s) {
+  Point p;
+  const char* c = s.c_str();
+  char* end = nullptr;
+  while (*c != '\0') {
+    const double v = std::strtod(c, &end);
+    if (end == c) break;
+    p.push_back(v);
+    c = (*end == ',') ? end + 1 : end;
+    if (*end == '\0') break;
+  }
+  return p;
+}
+
+std::string FormatPoint(const Point& p) {
+  std::string out;
+  char buf[32];
+  for (size_t i = 0; i < p.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6f", p[i]);
+    if (i) out += ',';
+    out += buf;
+  }
+  return out;
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  BDIO_CHECK(a.size() == b.size());
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+uint32_t KMeansMapper::Nearest(const Point& p) const {
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < centroids_.size(); ++i) {
+    const double d = SquaredDistance(p, centroids_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void KMeansMapper::Map(const mrfunc::KeyValue& record,
+                       mrfunc::Emitter* out) {
+  const Point p = ParsePoint(record.value);
+  if (p.size() != centroids_[0].size()) return;  // skip malformed
+  const uint32_t c = Nearest(p);
+  out->Emit(std::to_string(c), "1|" + record.value);
+}
+
+void KMeansReducer::Reduce(const std::string& key,
+                           const std::vector<std::string>& values,
+                           mrfunc::Emitter* out) {
+  uint64_t count = 0;
+  Point sum;
+  for (const std::string& v : values) {
+    const size_t bar = v.find('|');
+    if (bar == std::string::npos) continue;
+    count += std::strtoull(v.c_str(), nullptr, 10);
+    const Point p = ParsePoint(v.substr(bar + 1));
+    if (sum.empty()) sum.assign(p.size(), 0.0);
+    if (p.size() != sum.size()) continue;
+    for (size_t i = 0; i < p.size(); ++i) sum[i] += p[i];
+  }
+  if (count == 0) return;
+  if (emit_centroid_) {
+    Point mean(sum.size());
+    for (size_t i = 0; i < sum.size(); ++i) {
+      mean[i] = sum[i] / static_cast<double>(count);
+    }
+    out->Emit(key, FormatPoint(mean));
+  } else {
+    out->Emit(key, std::to_string(count) + "|" + FormatPoint(sum));
+  }
+}
+
+Result<KMeansResult> RunKMeans(const std::vector<mrfunc::KeyValue>& points,
+                               uint32_t k, uint32_t max_iterations,
+                               double epsilon,
+                               const mrfunc::JobConfig& config, Rng* rng) {
+  if (points.empty()) return Status::InvalidArgument("no points");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  KMeansResult result;
+  // Forgy initialization: k distinct random points.
+  for (uint32_t i = 0; i < k; ++i) {
+    const Point p =
+        ParsePoint(points[rng->Uniform(points.size())].value);
+    if (p.empty()) return Status::InvalidArgument("malformed point");
+    result.centroids.push_back(p);
+  }
+
+  mrfunc::LocalJobRunner runner;
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    KMeansMapper mapper(result.centroids);
+    KMeansReducer reducer(/*emit_centroid=*/true);
+    KMeansReducer combiner(/*emit_centroid=*/false);
+    mrfunc::HashPartitioner partitioner;
+    std::vector<mrfunc::KeyValue> output;
+    BDIO_ASSIGN_OR_RETURN(
+        mrfunc::JobStats stats,
+        runner.Run(points, &mapper, &reducer, &combiner, partitioner, config,
+                   &output));
+    result.iteration_stats.push_back(stats);
+    ++result.iterations;
+
+    std::vector<Point> next = result.centroids;
+    for (const auto& kv : output) {
+      const uint32_t idx =
+          static_cast<uint32_t>(std::strtoul(kv.key.c_str(), nullptr, 10));
+      if (idx < next.size()) next[idx] = ParsePoint(kv.value);
+    }
+    double shift = 0;
+    for (uint32_t i = 0; i < k; ++i) {
+      shift += SquaredDistance(result.centroids[i], next[i]);
+    }
+    result.centroids = std::move(next);
+    if (shift < epsilon) break;
+  }
+
+  // Clustering pass: assign every point to its final centroid. In Hadoop
+  // this is a map-only job; functionally we evaluate the mapper directly
+  // and account volumes as a map-only job would.
+  KMeansMapper final_mapper(result.centroids);
+  result.assignments.reserve(points.size());
+  for (const auto& kv : points) {
+    const Point p = ParsePoint(kv.value);
+    result.clustering_stats.map_input_records++;
+    result.clustering_stats.map_input_bytes += mrfunc::SerializedSize(kv);
+    const uint32_t c = p.empty() ? 0 : final_mapper.Nearest(p);
+    result.assignments.push_back(c);
+    result.clustering_stats.reduce_output_records++;
+    result.clustering_stats.reduce_output_bytes +=
+        kv.key.size() + 1 + std::to_string(c).size();
+  }
+  return result;
+}
+
+}  // namespace bdio::workloads

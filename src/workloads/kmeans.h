@@ -1,0 +1,75 @@
+#ifndef BDIO_WORKLOADS_KMEANS_H_
+#define BDIO_WORKLOADS_KMEANS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// A point in R^d.
+using Point = std::vector<double>;
+
+/// Parses "x1,x2,...". Returns empty on malformed input.
+Point ParsePoint(const std::string& s);
+std::string FormatPoint(const Point& p);
+double SquaredDistance(const Point& a, const Point& b);
+
+/// K-means iteration map: assign each point to its nearest centroid and emit
+/// (centroid_id, "count|sum_vector") partials — the classic MapReduce
+/// K-means with combinable partial sums.
+class KMeansMapper : public mrfunc::Mapper {
+ public:
+  explicit KMeansMapper(std::vector<Point> centroids)
+      : centroids_(std::move(centroids)) {}
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+
+  /// Index of the centroid nearest to `p`.
+  uint32_t Nearest(const Point& p) const;
+
+ private:
+  std::vector<Point> centroids_;
+};
+
+/// Merges "count|sum_vector" partials; used as both combiner and reducer
+/// (the reducer's final emit is the new centroid: sum/count).
+class KMeansReducer : public mrfunc::Reducer {
+ public:
+  /// If `emit_centroid`, emits the averaged centroid; otherwise emits the
+  /// merged partial (combiner mode).
+  explicit KMeansReducer(bool emit_centroid)
+      : emit_centroid_(emit_centroid) {}
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+
+ private:
+  bool emit_centroid_;
+};
+
+/// Result of the iterative K-means driver.
+struct KMeansResult {
+  std::vector<Point> centroids;
+  uint32_t iterations = 0;
+  /// Per-iteration framework counters (the calibration source).
+  std::vector<mrfunc::JobStats> iteration_stats;
+  /// Final clustering pass counters.
+  mrfunc::JobStats clustering_stats;
+  /// Cluster id per input point (the clustering phase output).
+  std::vector<uint32_t> assignments;
+};
+
+/// Runs Lloyd's algorithm as chained MapReduce jobs until centroids move
+/// less than `epsilon` (squared) or `max_iterations` is hit, then one
+/// clustering pass assigning every point (the paper's I/O-bound phase).
+Result<KMeansResult> RunKMeans(const std::vector<mrfunc::KeyValue>& points,
+                               uint32_t k, uint32_t max_iterations,
+                               double epsilon,
+                               const mrfunc::JobConfig& config, Rng* rng);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_KMEANS_H_

@@ -1,0 +1,99 @@
+#include "workloads/pagerank.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio::workloads {
+
+namespace {
+/// Splits "rank|adjacency" -> (rank, adjacency string view part).
+bool SplitRankAdj(const std::string& value, double* rank,
+                  std::string* adj) {
+  const size_t bar = value.find('|');
+  if (bar == std::string::npos) return false;
+  *rank = std::atof(value.c_str());
+  *adj = value.substr(bar + 1);
+  return true;
+}
+
+std::vector<std::string> SplitSpace(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+}  // namespace
+
+void PageRankMapper::Map(const mrfunc::KeyValue& record,
+                         mrfunc::Emitter* out) {
+  double rank = 0;
+  std::string adj;
+  if (!SplitRankAdj(record.value, &rank, &adj)) return;
+  out->Emit(record.key, "A|" + adj);
+  const std::vector<std::string> succ = SplitSpace(adj);
+  if (succ.empty()) return;  // dangling node: mass handled by damping
+  const double contrib = rank / static_cast<double>(succ.size());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "C|%.10f", contrib);
+  for (const std::string& s : succ) out->Emit(s, buf);
+}
+
+void PageRankReducer::Reduce(const std::string& key,
+                             const std::vector<std::string>& values,
+                             mrfunc::Emitter* out) {
+  double sum = 0;
+  std::string adj;
+  for (const std::string& v : values) {
+    if (v.size() >= 2 && v[0] == 'A' && v[1] == '|') {
+      adj = v.substr(2);
+    } else if (v.size() >= 2 && v[0] == 'C' && v[1] == '|') {
+      sum += std::atof(v.c_str() + 2);
+    }
+  }
+  const double rank =
+      (1.0 - damping_) / static_cast<double>(num_nodes_) + damping_ * sum;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10f", rank);
+  out->Emit(key, std::string(buf) + "|" + adj);
+}
+
+Result<PageRankResult> RunPageRank(
+    const std::vector<mrfunc::KeyValue>& graph, uint32_t iterations,
+    const mrfunc::JobConfig& config, double damping) {
+  if (graph.empty()) return Status::InvalidArgument("empty graph");
+  const uint64_t n = graph.size();
+
+  // Attach initial ranks: (node, "1/N|adjacency").
+  std::vector<mrfunc::KeyValue> state;
+  state.reserve(n);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10f", 1.0 / static_cast<double>(n));
+  for (const auto& kv : graph) {
+    state.push_back(
+        mrfunc::KeyValue{kv.key, std::string(buf) + "|" + kv.value});
+  }
+
+  PageRankResult result;
+  mrfunc::LocalJobRunner runner;
+  PageRankMapper mapper;
+  PageRankReducer reducer(damping, n);
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::vector<mrfunc::KeyValue> next;
+    BDIO_ASSIGN_OR_RETURN(mrfunc::JobStats stats,
+                          runner.Run(state, &mapper, &reducer, config,
+                                     &next));
+    result.iteration_stats.push_back(stats);
+    ++result.iterations;
+    state = std::move(next);
+  }
+  for (const auto& kv : state) {
+    result.ranks[kv.key] = std::atof(kv.value.c_str());
+  }
+  return result;
+}
+
+}  // namespace bdio::workloads

@@ -1,0 +1,51 @@
+#ifndef BDIO_WORKLOADS_PAGERANK_H_
+#define BDIO_WORKLOADS_PAGERANK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// PageRank iteration map over records (node, "rank|adjacency"): re-emits
+/// the structure ("A|adjacency") and one contribution ("C|rank/outdeg") per
+/// successor — the textbook MapReduce formulation.
+class PageRankMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// PageRank iteration reduce: new_rank = (1-d)/N + d * sum(contributions),
+/// re-attaching the adjacency list.
+class PageRankReducer : public mrfunc::Reducer {
+ public:
+  PageRankReducer(double damping, uint64_t num_nodes)
+      : damping_(damping), num_nodes_(num_nodes) {}
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+
+ private:
+  double damping_;
+  uint64_t num_nodes_;
+};
+
+/// Result of the iterative driver.
+struct PageRankResult {
+  std::unordered_map<std::string, double> ranks;
+  uint32_t iterations = 0;
+  std::vector<mrfunc::JobStats> iteration_stats;
+};
+
+/// Runs `iterations` PageRank steps over adjacency-list records
+/// (node -> "succ1 succ2 ..."), damping 0.85.
+Result<PageRankResult> RunPageRank(
+    const std::vector<mrfunc::KeyValue>& graph, uint32_t iterations,
+    const mrfunc::JobConfig& config, double damping = 0.85);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_PAGERANK_H_

@@ -1,0 +1,68 @@
+#ifndef BDIO_WORKLOADS_PROFILE_H_
+#define BDIO_WORKLOADS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/job.h"
+
+namespace bdio::workloads {
+
+/// The four paper workloads (Table 3).
+enum class WorkloadKind { kTeraSort, kAggregation, kKMeans, kPageRank };
+
+/// Paper abbreviations: TS, AGG, KM, PR.
+const char* WorkloadShortName(WorkloadKind kind);
+/// All four, in the paper's presentation order (AGG, TS, KM, PR).
+std::vector<WorkloadKind> AllWorkloads();
+
+/// Volume ratios measured by running the real (mrfunc) workload code over
+/// generated sample data with the real codec.
+struct Calibration {
+  double map_output_ratio = 1.0;  ///< map output bytes / input bytes.
+  double combine_ratio = 1.0;     ///< post-combiner fraction per spill.
+  double output_ratio = 1.0;      ///< job output bytes / input bytes.
+  double compress_ratio = 0.5;    ///< codec bytes out / bytes in.
+};
+
+/// Runs the functional workload on a small generated dataset and measures
+/// the volume ratios. Deterministic for a given seed.
+Calibration CalibrateWorkload(WorkloadKind kind, uint64_t seed = 42);
+
+/// Everything needed to plan a workload's simulated execution.
+struct PlanOptions {
+  bool compress_intermediate = false;
+  /// Scale factor applied to the paper-scale dataset sizes (and, by the
+  /// experiment runner, to node memory). 1.0 reproduces the full 1 TB runs.
+  double scale = 1.0 / 64;
+  uint32_t kmeans_iterations = 3;
+  uint32_t pagerank_iterations = 3;
+  /// If set, use these measured ratios instead of the built-in defaults.
+  const Calibration* calibration = nullptr;
+};
+
+/// One simulated job plus where its input comes from.
+struct PlannedJob {
+  mapreduce::SimJobSpec spec;
+};
+
+/// A workload's full execution plan: dataset to preload + chained jobs.
+struct WorkloadPlan {
+  WorkloadKind kind;
+  std::string short_name;
+  std::string dataset_path;   ///< HDFS path the runner preloads.
+  uint64_t dataset_bytes = 0; ///< Scaled input size.
+  std::vector<PlannedJob> jobs;
+};
+
+/// Paper-scale input size (Table 3) before scaling.
+uint64_t PaperInputBytes(WorkloadKind kind);
+
+/// Builds the chained-job plan for a workload under the given factors.
+WorkloadPlan BuildPlan(WorkloadKind kind, const PlanOptions& options);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_PROFILE_H_

@@ -1,0 +1,37 @@
+#include "workloads/terasort.h"
+
+#include <algorithm>
+
+namespace bdio::workloads {
+
+Result<TeraSortResult> RunTeraSort(const std::vector<mrfunc::KeyValue>& input,
+                                   const mrfunc::JobConfig& config) {
+  // Sample up to 1000 keys for split points (the TeraSort sampler).
+  std::vector<std::string> sample;
+  const size_t stride = std::max<size_t>(1, input.size() / 1000);
+  for (size_t i = 0; i < input.size(); i += stride) {
+    sample.push_back(input[i].key);
+  }
+  mrfunc::TotalOrderPartitioner partitioner(
+      mrfunc::TotalOrderPartitioner::SampleSplits(std::move(sample),
+                                                  config.num_reduce_tasks));
+  TeraSortMapper mapper;
+  TeraSortReducer reducer;
+  mrfunc::LocalJobRunner runner;
+  TeraSortResult result;
+  BDIO_ASSIGN_OR_RETURN(
+      result.stats,
+      runner.Run(input, &mapper, &reducer, /*combiner=*/nullptr, partitioner,
+                 config, &result.output));
+  return result;
+}
+
+bool IsSortedByKey(const std::vector<mrfunc::KeyValue>& records) {
+  return std::is_sorted(records.begin(), records.end(),
+                        [](const mrfunc::KeyValue& a,
+                           const mrfunc::KeyValue& b) {
+                          return a.key < b.key;
+                        });
+}
+
+}  // namespace bdio::workloads

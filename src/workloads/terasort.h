@@ -1,0 +1,46 @@
+#ifndef BDIO_WORKLOADS_TERASORT_H_
+#define BDIO_WORKLOADS_TERASORT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// TeraSort's map: identity (sorting is done by the framework's sort and
+/// the total-order partitioner).
+class TeraSortMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override {
+    out->Emit(record.key, record.value);
+  }
+};
+
+/// TeraSort's reduce: identity over every value.
+class TeraSortReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override {
+    for (const std::string& v : values) out->Emit(key, v);
+  }
+};
+
+/// Result of a functional TeraSort run.
+struct TeraSortResult {
+  std::vector<mrfunc::KeyValue> output;
+  mrfunc::JobStats stats;
+};
+
+/// Runs TeraSort over `input` with a sampled total-order partitioner, so the
+/// concatenation of reduce outputs is globally sorted.
+Result<TeraSortResult> RunTeraSort(const std::vector<mrfunc::KeyValue>& input,
+                                   const mrfunc::JobConfig& config);
+
+/// True iff records are sorted by key (ties allowed).
+bool IsSortedByKey(const std::vector<mrfunc::KeyValue>& records);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_TERASORT_H_

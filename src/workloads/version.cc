@@ -1,0 +1,4 @@
+namespace bdio::workloads {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "workloads"; }
+}  // namespace bdio::workloads

@@ -1,0 +1,89 @@
+#include "cluster/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace bdio::cluster {
+namespace {
+
+TEST(CpuSchedulerTest, SingleJobRunsAtFullSpeed) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 4);
+  bool done = false;
+  cpu.Run(Seconds(2), [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 2.0, 0.01);
+}
+
+TEST(CpuSchedulerTest, FewerJobsThanCoresDontInterfere) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) cpu.Run(Seconds(1), [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 1.0, 0.01);
+}
+
+TEST(CpuSchedulerTest, OversubscriptionStretchesRuntime) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 2);
+  int done = 0;
+  // 8 jobs of 1 CPU-second each on 2 cores => 4 seconds total.
+  for (int i = 0; i < 8; ++i) cpu.Run(Seconds(1), [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 8);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 4.0, 0.05);
+}
+
+TEST(CpuSchedulerTest, LateArrivalSharesFairly) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 1);
+  double first_done = 0, second_done = 0;
+  cpu.Run(Seconds(2), [&] { first_done = ToSeconds(sim.Now()); });
+  sim.RunUntil(Seconds(1));
+  cpu.Run(Seconds(2), [&] { second_done = ToSeconds(sim.Now()); });
+  sim.Run();
+  // First job: 1 s alone + 2 s shared (gets 1 more CPU-s) => done at 3 s.
+  EXPECT_NEAR(first_done, 3.0, 0.05);
+  // Second: 1 CPU-s left at t=3 running alone => done at 4 s.
+  EXPECT_NEAR(second_done, 4.0, 0.05);
+}
+
+TEST(CpuSchedulerTest, ZeroWorkCompletesImmediately) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 2);
+  bool done = false;
+  cpu.Run(0, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_LT(ToSeconds(sim.Now()), 0.001);
+}
+
+TEST(CpuSchedulerTest, UtilizationAccounting) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 4);
+  cpu.Run(Seconds(4), [] {});  // 1 core busy of 4 for 4 s
+  sim.Run();
+  EXPECT_NEAR(cpu.cpu_seconds_used(), 4.0, 0.05);
+  EXPECT_NEAR(cpu.Utilization(), 0.25, 0.02);
+}
+
+TEST(CpuSchedulerTest, ManyWavesComplete) {
+  sim::Simulator sim;
+  CpuScheduler cpu(&sim, 3);
+  int done = 0;
+  // Chain: each completion launches another, 30 total.
+  std::function<void()> launch = [&] {
+    ++done;
+    if (done < 30) cpu.Run(Millis(100), launch);
+  };
+  cpu.Run(Millis(100), launch);
+  sim.Run();
+  EXPECT_EQ(done, 30);
+}
+
+}  // namespace
+}  // namespace bdio::cluster

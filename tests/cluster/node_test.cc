@@ -1,0 +1,84 @@
+#include "cluster/node.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+
+namespace bdio::cluster {
+namespace {
+
+TEST(NodeParamsTest, CacheBytesSubtractsDaemonsAndHeaps) {
+  NodeParams p;
+  p.memory_bytes = GiB(16);
+  p.daemon_bytes = GiB(2);
+  p.per_slot_heap_bytes = MiB(200);
+  // 16 slots: 16G - 2G - 3.125G = ~10.875G.
+  EXPECT_EQ(p.CacheBytes(16), GiB(16) - GiB(2) - 16 * MiB(200));
+}
+
+TEST(NodeParamsTest, CacheBytesHasFloor) {
+  NodeParams p;
+  p.memory_bytes = GiB(2);
+  p.daemon_bytes = GiB(2);
+  EXPECT_EQ(p.CacheBytes(8), p.min_cache_bytes);
+}
+
+TEST(NodeParamsTest, MoreMemoryMeansMoreCache) {
+  NodeParams p16, p32;
+  p16.memory_bytes = GiB(16);
+  p32.memory_bytes = GiB(32);
+  EXPECT_EQ(p32.CacheBytes(16) - p16.CacheBytes(16), GiB(16));
+}
+
+TEST(NodeTest, BuildsPaperTestbedLayout) {
+  sim::Simulator sim;
+  NodeParams p;
+  Node node(&sim, 3, p, /*total_slots=*/16, Rng(1));
+  EXPECT_EQ(node.id(), 3u);
+  EXPECT_EQ(node.num_hdfs_disks(), 3u);
+  EXPECT_EQ(node.num_mr_disks(), 3u);
+  EXPECT_EQ(node.cpu()->cores(), 12u);
+  EXPECT_NE(node.hdfs_disk(0), nullptr);
+  EXPECT_NE(node.mr_fs(2), nullptr);
+  // Device names identify node and class.
+  EXPECT_EQ(node.hdfs_disk(1)->name(), "n3-hdfs1");
+  EXPECT_EQ(node.mr_disk(0)->name(), "n3-mr0");
+}
+
+TEST(NodeTest, RoundRobinPlacement) {
+  sim::Simulator sim;
+  Node node(&sim, 0, NodeParams{}, 16, Rng(1));
+  os::FileSystem* first = node.NextHdfsFs();
+  os::FileSystem* second = node.NextHdfsFs();
+  os::FileSystem* third = node.NextHdfsFs();
+  os::FileSystem* fourth = node.NextHdfsFs();
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_EQ(first, fourth);  // wraps around 3 disks
+}
+
+TEST(ClusterTest, BuildsWorkers) {
+  sim::Simulator sim;
+  ClusterParams cp;
+  cp.num_workers = 4;
+  Cluster cluster(&sim, cp, 16, Rng(1));
+  EXPECT_EQ(cluster.num_workers(), 4u);
+  EXPECT_EQ(cluster.network()->num_nodes(), 4u);
+  EXPECT_NE(cluster.node(3), nullptr);
+  EXPECT_EQ(cluster.node(2)->id(), 2u);
+}
+
+TEST(ClusterTest, SharedCachePerNode) {
+  sim::Simulator sim;
+  ClusterParams cp;
+  cp.num_workers = 2;
+  Cluster cluster(&sim, cp, 16, Rng(1));
+  // Both disk classes share the node's page cache.
+  EXPECT_EQ(cluster.node(0)->hdfs_fs(0)->cache(),
+            cluster.node(0)->mr_fs(0)->cache());
+  EXPECT_NE(cluster.node(0)->cache(), cluster.node(1)->cache());
+}
+
+}  // namespace
+}  // namespace bdio::cluster

@@ -1,0 +1,83 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace bdio {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.ValueAtPercentile(50), 100.0, 100 * 0.3);
+}
+
+TEST(HistogramTest, PercentileAccuracyOnUniform) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.UniformDouble(0, 10000));
+  // Log buckets give bounded relative error.
+  EXPECT_NEAR(h.ValueAtPercentile(50), 5000, 5000 * 0.15);
+  EXPECT_NEAR(h.ValueAtPercentile(90), 9000, 9000 * 0.15);
+  EXPECT_NEAR(h.mean(), 5000, 100);
+}
+
+TEST(HistogramTest, MergeEqualsCombined) {
+  Histogram a, b, all;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(0, 100);
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.ValueAtPercentile(50), all.ValueAtPercentile(50), 1e-9);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, MonotonePercentiles) {
+  Histogram h;
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Exponential(1000));
+  double prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    double v = h.ValueAtPercentile(p);
+    EXPECT_GE(v, prev) << "at p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max());
+}
+
+TEST(HistogramTest, ToStringContainsSummary) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=2"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdio

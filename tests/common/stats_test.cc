@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bdio {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double v = std::sin(i) * 10;
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(3);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(PercentileTest, ExactValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.5);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+TEST(PercentileTest, MultiCutSharesSort) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  auto ps = Percentiles(v, {0, 50, 100});
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[0], 1.0);
+  EXPECT_DOUBLE_EQ(ps[1], 3.0);
+  EXPECT_DOUBLE_EQ(ps[2], 5.0);
+}
+
+TEST(FractionAboveTest, CountsStrictlyGreater) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace bdio

@@ -1,0 +1,44 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::Percent(0.226), "22.6%");
+  EXPECT_EQ(TextTable::Percent(0.0015, 2), "0.15%");
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  // Should not crash and should contain the cell.
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdio

@@ -1,0 +1,75 @@
+#include "common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio {
+namespace {
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  TimeSeries ts;
+  ts.Append(1.0);
+  ts.Append(2.0);
+  ts.Append(3.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.TimeAt(0), 1.0);  // end of first 1 s interval
+  EXPECT_DOUBLE_EQ(ts.TimeAt(2), 3.0);
+}
+
+TEST(TimeSeriesTest, Aggregates) {
+  TimeSeries ts;
+  for (double v : {0.0, 10.0, 20.0, 0.0, 30.0}) ts.Append(v);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 12.0);
+  EXPECT_DOUBLE_EQ(ts.Peak(), 30.0);
+  EXPECT_DOUBLE_EQ(ts.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ActiveMean(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.FractionAbove(9.0), 0.6);
+  EXPECT_DOUBLE_EQ(ts.FractionAbove(30.0), 0.0);
+}
+
+TEST(TimeSeriesTest, EmptyAggregates) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.Mean(), 0.0);
+  EXPECT_EQ(ts.Peak(), 0.0);
+  EXPECT_EQ(ts.ActiveMean(), 0.0);
+  EXPECT_EQ(ts.FractionAbove(0), 0.0);
+}
+
+TEST(TimeSeriesTest, SumZeroExtendsShorter) {
+  TimeSeries a, b;
+  a.Append(1);
+  a.Append(2);
+  b.Append(10);
+  TimeSeries sum = TimeSeries::Sum({&a, &b});
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum.at(0), 11.0);
+  EXPECT_DOUBLE_EQ(sum.at(1), 2.0);
+}
+
+TEST(TimeSeriesTest, AverageAcrossSeries) {
+  TimeSeries a, b;
+  a.Append(2);
+  b.Append(4);
+  TimeSeries avg = TimeSeries::Average({&a, &b});
+  ASSERT_EQ(avg.size(), 1u);
+  EXPECT_DOUBLE_EQ(avg.at(0), 3.0);
+}
+
+TEST(TimeSeriesTest, CsvFormat) {
+  TimeSeries ts;
+  ts.Append(5.5);
+  std::string csv = ts.ToCsv("util");
+  EXPECT_EQ(csv, "time_s,util\n1,5.5\n");
+}
+
+TEST(TimeSeriesTest, StatsMatchesSamples) {
+  TimeSeries ts;
+  ts.Append(1);
+  ts.Append(3);
+  auto st = ts.Stats();
+  EXPECT_EQ(st.count(), 2u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace bdio

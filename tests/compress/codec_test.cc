@@ -1,0 +1,163 @@
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace bdio::compress {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t n) {
+  std::string s(n, 0);
+  for (auto& c : s) c = static_cast<char>(rng->Uniform(256));
+  return s;
+}
+
+std::string TextLike(Rng* rng, size_t n) {
+  static const char* kWords[] = {"the",  "quick", "brown",  "fox",
+                                 "jumps", "over", "lazy",   "dog",
+                                 "hadoop", "hdfs", "mapreduce", "disk"};
+  std::string s;
+  while (s.size() < n) {
+    s += kWords[rng->Uniform(12)];
+    s += ' ';
+  }
+  s.resize(n);
+  return s;
+}
+
+TEST(FastLzCodecTest, RoundTripEmpty) {
+  FastLzCodec codec;
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress("", &c).ok());
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, "");
+}
+
+TEST(FastLzCodecTest, RoundTripShortStrings) {
+  FastLzCodec codec;
+  for (const char* s : {"a", "ab", "abc", "abcd", "aaaa", "abcabcabcabc"}) {
+    std::string c, d;
+    ASSERT_TRUE(codec.Compress(s, &c).ok());
+    ASSERT_TRUE(codec.Decompress(c, &d).ok()) << s;
+    EXPECT_EQ(d, s);
+  }
+}
+
+TEST(FastLzCodecTest, RoundTripHighlyRepetitive) {
+  FastLzCodec codec;
+  std::string input(100000, 'x');
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress(input, &c).ok());
+  EXPECT_LT(c.size(), input.size() / 50);  // massive compression
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, input);
+}
+
+TEST(FastLzCodecTest, RoundTripText) {
+  FastLzCodec codec;
+  Rng rng(1);
+  std::string input = TextLike(&rng, 200000);
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress(input, &c).ok());
+  EXPECT_LT(c.size(), input.size() * 6 / 10);  // text compresses well
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, input);
+}
+
+TEST(FastLzCodecTest, RandomDataBarelyExpands) {
+  FastLzCodec codec;
+  Rng rng(2);
+  std::string input = RandomBytes(&rng, 100000);
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress(input, &c).ok());
+  EXPECT_LT(c.size(), input.size() + input.size() / 10 + 64);
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, input);
+}
+
+class FastLzRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FastLzRoundTrip, RandomizedMixedContent) {
+  FastLzCodec codec;
+  Rng rng(GetParam());
+  // Mix runs, text and noise to stress token boundaries.
+  std::string input;
+  const int segments = 1 + static_cast<int>(rng.Uniform(20));
+  for (int i = 0; i < segments; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        input += std::string(rng.Uniform(5000), static_cast<char>(
+                                                    rng.Uniform(256)));
+        break;
+      case 1:
+        input += TextLike(&rng, rng.Uniform(5000));
+        break;
+      default:
+        input += RandomBytes(&rng, rng.Uniform(5000));
+    }
+  }
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress(input, &c).ok());
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastLzRoundTrip,
+                         ::testing::Range<size_t>(1, 33));
+
+TEST(FastLzCodecTest, DetectsTruncation) {
+  FastLzCodec codec;
+  Rng rng(3);
+  std::string input = TextLike(&rng, 10000);
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress(input, &c).ok());
+  for (size_t cut : {c.size() / 2, c.size() - 1, size_t{1}}) {
+    EXPECT_FALSE(codec.Decompress(std::string_view(c.data(), cut), &d).ok());
+  }
+}
+
+TEST(FastLzCodecTest, DetectsGarbage) {
+  FastLzCodec codec;
+  std::string d;
+  // Claims 1000 bytes then provides an invalid match offset.
+  std::string bad;
+  bad.push_back(static_cast<char>(0xE8));
+  bad.push_back(0x07);  // varint 1000
+  bad.push_back(0x00);  // token: 0 literals, match len 4
+  bad.push_back(0x09);
+  bad.push_back(0x00);  // offset 9 > output size 0
+  EXPECT_FALSE(codec.Decompress(bad, &d).ok());
+}
+
+TEST(NullCodecTest, Identity) {
+  NullCodec codec;
+  std::string c, d;
+  ASSERT_TRUE(codec.Compress("hello", &c).ok());
+  EXPECT_EQ(c, "hello");
+  ASSERT_TRUE(codec.Decompress(c, &d).ok());
+  EXPECT_EQ(d, "hello");
+}
+
+TEST(CodecFactoryTest, Names) {
+  EXPECT_EQ(MakeCodec("null")->name(), "null");
+  EXPECT_EQ(MakeCodec("fastlz")->name(), "fastlz");
+}
+
+TEST(CompressedFractionTest, OrderedByCompressibility) {
+  FastLzCodec codec;
+  Rng rng(4);
+  const double repetitive =
+      CompressedFraction(codec, std::string(50000, 'a'));
+  const double text = CompressedFraction(codec, TextLike(&rng, 50000));
+  const double random = CompressedFraction(codec, RandomBytes(&rng, 50000));
+  EXPECT_LT(repetitive, text);
+  EXPECT_LT(text, random);
+  EXPECT_LE(random, 1.15);
+  EXPECT_EQ(CompressedFraction(codec, ""), 1.0);
+}
+
+}  // namespace
+}  // namespace bdio::compress

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace bdio::core {
+namespace {
+
+ExperimentSpec FastSpec(workloads::WorkloadKind workload) {
+  ExperimentSpec spec;
+  spec.workload = workload;
+  spec.scale = 1.0 / 512;
+  spec.kmeans_iterations = 1;
+  spec.pagerank_iterations = 1;
+  return spec;
+}
+
+TEST(AttributionTest, EverySourceByteIsOnADisk) {
+  auto result = RunExperiment(FastSpec(workloads::WorkloadKind::kTeraSort));
+  ASSERT_TRUE(result.ok());
+  // Attribution must cover all physical traffic: no "unknown" bytes.
+  EXPECT_FALSE(result->io_sources.contains("unknown"));
+  uint64_t attributed = 0;
+  for (const auto& [src, v] : result->io_sources) attributed += v.total();
+  EXPECT_GT(attributed, 0u);
+}
+
+TEST(AttributionTest, TeraSortSourcesMatchItsStructure) {
+  auto result = RunExperiment(FastSpec(workloads::WorkloadKind::kTeraSort));
+  ASSERT_TRUE(result.ok());
+  const auto& src = result->io_sources;
+  // Input read once from disk (cold) — reads only.
+  ASSERT_TRUE(src.contains("hdfs-input"));
+  EXPECT_GT(src.at("hdfs-input").disk_read_bytes, 0u);
+  EXPECT_EQ(src.at("hdfs-input").disk_write_bytes, 0u);
+  // Output written, never read back within the job.
+  ASSERT_TRUE(src.contains("hdfs-output"));
+  EXPECT_GT(src.at("hdfs-output").disk_write_bytes, 0u);
+  // Intermediate data shows up as spills (and possibly runs).
+  ASSERT_TRUE(src.contains("map-spill"));
+  EXPECT_GT(src.at("map-spill").disk_write_bytes, 0u);
+}
+
+TEST(AttributionTest, AggregationIsAScan) {
+  auto result =
+      RunExperiment(FastSpec(workloads::WorkloadKind::kAggregation));
+  ASSERT_TRUE(result.ok());
+  uint64_t total = 0;
+  for (const auto& [s, v] : result->io_sources) total += v.total();
+  ASSERT_TRUE(result->io_sources.contains("hdfs-input"));
+  EXPECT_GT(result->io_sources.at("hdfs-input").total(),
+            total * 9 / 10);
+}
+
+TEST(AttributionTest, CpuSeriesTracksBoundedness) {
+  auto ts = RunExperiment(FastSpec(workloads::WorkloadKind::kTeraSort));
+  auto km = RunExperiment(FastSpec(workloads::WorkloadKind::kKMeans));
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(km.ok());
+  ASSERT_GT(ts->cpu_util.size(), 0u);
+  for (size_t i = 0; i < ts->cpu_util.size(); ++i) {
+    EXPECT_GE(ts->cpu_util.at(i), 0.0);
+    EXPECT_LE(ts->cpu_util.at(i), 1.0 + 1e-9);
+  }
+  // K-means burns more CPU per input byte than TeraSort.
+  auto cpu_per_byte = [](const ExperimentResult& r) {
+    uint64_t input = 0;
+    for (const auto& j : r.jobs) input += j.hdfs_read_bytes;
+    return r.cpu_util.Mean() * r.duration_s / static_cast<double>(input);
+  };
+  EXPECT_GT(cpu_per_byte(*km), 3 * cpu_per_byte(*ts));
+}
+
+}  // namespace
+}  // namespace bdio::core

@@ -1,0 +1,82 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::core {
+namespace {
+
+ExperimentSpec FastSpec(workloads::WorkloadKind workload) {
+  ExperimentSpec spec;
+  spec.workload = workload;
+  spec.scale = 1.0 / 512;  // tiny for test speed
+  spec.kmeans_iterations = 1;
+  spec.pagerank_iterations = 1;
+  return spec;
+}
+
+TEST(FactorsTest, Labels) {
+  Factors f;
+  EXPECT_EQ(f.Label(workloads::WorkloadKind::kAggregation),
+            "AGG_1_8_16G_off");
+  f.slots = mapreduce::SlotConfig::Paper_2_16();
+  f.memory_bytes = GiB(32);
+  f.compress_intermediate = true;
+  EXPECT_EQ(f.Label(workloads::WorkloadKind::kTeraSort), "TS_2_16_32G_on");
+}
+
+TEST(RunExperimentTest, RejectsBadScale) {
+  ExperimentSpec spec;
+  spec.scale = 0;
+  EXPECT_TRUE(RunExperiment(spec).status().IsInvalidArgument());
+  spec.scale = 2;
+  EXPECT_TRUE(RunExperiment(spec).status().IsInvalidArgument());
+}
+
+TEST(RunExperimentTest, TeraSortProducesObservations) {
+  auto result = RunExperiment(FastSpec(workloads::WorkloadKind::kTeraSort));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->label, "TS_1_8_16G_off");
+  EXPECT_GT(result->duration_s, 1.0);
+  EXPECT_GT(result->hdfs.read_mbps.Peak(), 0);
+  EXPECT_GT(result->mr.write_mbps.Peak(), 0);
+  EXPECT_EQ(result->jobs.size(), 1u);
+  // Physical invariants.
+  for (const auto* obs : {&result->hdfs, &result->mr}) {
+    for (size_t i = 0; i < obs->util.size(); ++i) {
+      EXPECT_GE(obs->util.at(i), 0);
+      EXPECT_LE(obs->util.at(i), 100.0);
+      EXPECT_GE(obs->await_ms.at(i), obs->svctm_ms.at(i) - 1e-9);
+    }
+    EXPECT_GE(obs->util_above_90, obs->util_above_95);
+    EXPECT_GE(obs->util_above_95, obs->util_above_99);
+  }
+}
+
+TEST(RunExperimentTest, DeterministicForSeed) {
+  auto a = RunExperiment(FastSpec(workloads::WorkloadKind::kAggregation));
+  auto b = RunExperiment(FastSpec(workloads::WorkloadKind::kAggregation));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->duration_s, b->duration_s);
+  EXPECT_EQ(a->hdfs.read_mbps.samples(), b->hdfs.read_mbps.samples());
+}
+
+TEST(RunExperimentTest, IterativeWorkloadsChainJobs) {
+  auto spec = FastSpec(workloads::WorkloadKind::kKMeans);
+  spec.kmeans_iterations = 2;
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->jobs.size(), 3u);  // 2 iterations + clustering pass
+}
+
+TEST(RunExperimentTest, HdfsPatternLargerThanMr) {
+  auto result = RunExperiment(FastSpec(workloads::WorkloadKind::kTeraSort));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->hdfs.avgrq_sz.ActiveMean(),
+            result->mr.avgrq_sz.ActiveMean());
+  EXPECT_GT(result->mr.await_ms.ActiveMean(),
+            result->hdfs.await_ms.ActiveMean());
+}
+
+}  // namespace
+}  // namespace bdio::core

@@ -1,0 +1,78 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::core {
+namespace {
+
+TEST(BenchOptionsTest, ParsesFlags) {
+  const char* argv[] = {"bench",        "--scale=256", "--seed=7",
+                        "--workers=4",  "--csv",       "--calibrate"};
+  BenchOptions o =
+      BenchOptions::Parse(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(o.scale, 1.0 / 256);
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_EQ(o.num_workers, 4u);
+  EXPECT_TRUE(o.csv);
+  EXPECT_TRUE(o.calibrate);
+}
+
+TEST(BenchOptionsTest, AcceptsFractionalScale) {
+  const char* argv[] = {"bench", "--scale=0.25"};
+  BenchOptions o = BenchOptions::Parse(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(o.scale, 0.25);
+}
+
+TEST(BenchOptionsTest, DefaultsSane) {
+  const char* argv[] = {"bench"};
+  BenchOptions o = BenchOptions::Parse(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(o.scale, 1.0 / 128);
+  EXPECT_EQ(o.num_workers, 10u);
+  EXPECT_FALSE(o.csv);
+}
+
+TEST(FactorLevelsTest, PaperContexts) {
+  const auto slots = SlotsLevels();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].slots.label, "1_8");
+  EXPECT_EQ(slots[1].slots.label, "2_16");
+  EXPECT_TRUE(slots[0].compress_intermediate);  // paper: compressed
+  EXPECT_EQ(slots[0].memory_bytes, GiB(16));
+
+  const auto memory = MemoryLevels();
+  EXPECT_EQ(memory[0].memory_bytes, GiB(16));
+  EXPECT_EQ(memory[1].memory_bytes, GiB(32));
+  EXPECT_FALSE(memory[0].compress_intermediate);  // paper: uncompressed
+
+  const auto comp = CompressionLevels();
+  EXPECT_FALSE(comp[0].compress_intermediate);
+  EXPECT_TRUE(comp[1].compress_intermediate);
+  EXPECT_EQ(comp[0].memory_bytes, GiB(32));
+}
+
+TEST(SummarizeTest, RatioMetricsUseActiveMean) {
+  GroupObservation obs;
+  obs.avgrq_sz.Append(0);    // idle interval
+  obs.avgrq_sz.Append(800);  // active
+  obs.read_mbps.Append(0);
+  obs.read_mbps.Append(100);
+  EXPECT_DOUBLE_EQ(Summarize(obs, iostat::Metric::kAvgRqSz), 800.0);
+  EXPECT_DOUBLE_EQ(Summarize(obs, iostat::Metric::kReadMBps), 50.0);
+}
+
+TEST(RoughlyEqualTest, Semantics) {
+  EXPECT_TRUE(RoughlyEqual(100, 110, 0.2));
+  EXPECT_FALSE(RoughlyEqual(100, 150, 0.2));
+  // The floor keeps tiny absolute values from failing on relative noise.
+  EXPECT_TRUE(RoughlyEqual(0.01, 0.02, 0.2, 1.0));
+  EXPECT_TRUE(RoughlyEqual(0, 0, 0.1));
+}
+
+TEST(ShapeCheckTest, CountsFailures) {
+  std::vector<ShapeCheck> checks{{"a", true}, {"b", false}, {"c", true}};
+  EXPECT_EQ(PrintShapeChecks(checks), 1);
+  EXPECT_EQ(PrintShapeChecks({}), 0);
+}
+
+}  // namespace
+}  // namespace bdio::core

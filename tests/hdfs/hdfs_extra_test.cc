@@ -1,0 +1,121 @@
+// Coverage for the less-travelled HDFS paths: per-file replication, prefix
+// reads, name-node bookkeeping, pipeline accounting.
+
+#include <gtest/gtest.h>
+
+#include "hdfs/hdfs.h"
+#include "sim/simulator.h"
+
+namespace bdio::hdfs {
+namespace {
+
+class HdfsExtraTest : public ::testing::Test {
+ protected:
+  HdfsExtraTest() {
+    cluster::ClusterParams cp;
+    cp.num_workers = 5;
+    cp.node.memory_bytes = GiB(2);
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp, 4, Rng(1));
+    HdfsParams hp;
+    hp.block_bytes = MiB(8);
+    hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<Hdfs> hdfs_;
+};
+
+TEST_F(HdfsExtraTest, WriteReplicatedHonoursFactor) {
+  hdfs_->WriteReplicated("/r1", MiB(16), 0, 1,
+                         [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_.Run();
+  auto locs = hdfs_->Locations("/r1").value();
+  for (const auto& b : locs) {
+    EXPECT_EQ(b.nodes.size(), 1u);
+    EXPECT_EQ(b.nodes[0], 0u);  // writer-local only
+  }
+  // Replication 1: nothing crossed the network.
+  EXPECT_EQ(cluster_->network()->total_bytes(), 0u);
+
+  hdfs_->WriteReplicated("/r2", MiB(8), 1, 2,
+                         [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_.Run();
+  auto locs2 = hdfs_->Locations("/r2").value();
+  EXPECT_EQ(locs2[0].nodes.size(), 2u);
+  EXPECT_EQ(cluster_->network()->total_bytes(), MiB(8));
+}
+
+TEST_F(HdfsExtraTest, ReplicationCappedByClusterSize) {
+  NameNode nn(2, 3, Rng(3));
+  const BlockLocation loc = nn.AllocateBlock(0, MiB(1));
+  EXPECT_EQ(loc.nodes.size(), 2u);  // can't place 3 replicas on 2 nodes
+}
+
+TEST_F(HdfsExtraTest, ZeroByteFile) {
+  Status result = Status::Internal("x");
+  hdfs_->Write("/empty", 0, 0, [&](Status s) { result = s; });
+  sim_.Run();
+  ASSERT_TRUE(result.ok());
+  auto entry = hdfs_->name_node()->GetFile("/empty");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->bytes, 0u);
+  EXPECT_TRUE(entry.value()->complete);
+  EXPECT_TRUE(entry.value()->blocks.empty());
+  // Reading zero bytes of it succeeds immediately.
+  bool read = false;
+  hdfs_->Read("/empty", 0, 0, 0, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    read = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(read);
+}
+
+TEST_F(HdfsExtraTest, ConcurrentWritersToDistinctFiles) {
+  int done = 0;
+  for (uint32_t w = 0; w < 5; ++w) {
+    hdfs_->Write("/f" + std::to_string(w), MiB(8), w, [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      ++done;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(hdfs_->name_node()->file_count(), 5u);
+  EXPECT_EQ(hdfs_->name_node()->total_bytes(), 5 * MiB(8));
+}
+
+TEST_F(HdfsExtraTest, BlockCountMatchesSize) {
+  ASSERT_TRUE(hdfs_->Preload("/x", MiB(8) * 3 + 1).ok());
+  auto locs = hdfs_->Locations("/x").value();
+  ASSERT_EQ(locs.size(), 4u);  // 3 full blocks + 1 byte
+  EXPECT_EQ(locs[3].bytes, 1u);
+}
+
+TEST_F(HdfsExtraTest, DataNodeBookkeeping) {
+  ASSERT_TRUE(hdfs_->Preload("/x", MiB(8)).ok());
+  auto locs = hdfs_->Locations("/x").value();
+  DataNode* dn = hdfs_->data_node(locs[0].nodes[0]);
+  EXPECT_EQ(dn->block_count(), 1u);
+  EXPECT_TRUE(dn->GetBlock(locs[0].block_id).ok());
+  EXPECT_TRUE(dn->GetBlock(9999).status().IsNotFound());
+  EXPECT_NE(dn->FsOf(locs[0].block_id), nullptr);
+  EXPECT_EQ(dn->FsOf(9999), nullptr);
+  EXPECT_TRUE(dn->DeleteBlock(9999).IsNotFound());
+  // Double-register rejected.
+  EXPECT_TRUE(dn->CreateExistingBlock(locs[0].block_id, MiB(1))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(HdfsExtraTest, PreloadedInputColdTagging) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(8)).ok());
+  auto locs = hdfs_->Locations("/in").value();
+  auto* dn = hdfs_->data_node(locs[0].nodes[0]);
+  auto file = dn->GetBlock(locs[0].block_id).value();
+  EXPECT_EQ(file->io_tag(), static_cast<uint32_t>(IoTag::kHdfsInput));
+}
+
+}  // namespace
+}  // namespace bdio::hdfs

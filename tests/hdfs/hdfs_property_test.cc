@@ -1,0 +1,111 @@
+// Property sweep over HDFS: random mixes of preloads, writes, reads and
+// deletes with varying replication must keep namespace, block store and
+// traffic accounting consistent.
+
+#include <gtest/gtest.h>
+
+#include "hdfs/hdfs.h"
+#include "sim/simulator.h"
+
+namespace bdio::hdfs {
+namespace {
+
+class HdfsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HdfsProperty, RandomWorkloadKeepsInvariants) {
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = 4;
+  cp.node.memory_bytes = GiB(2);
+  cluster::Cluster cluster(&sim, cp, 8, Rng(1));
+  HdfsParams hp;
+  hp.block_bytes = MiB(8);
+  Hdfs dfs(&cluster, hp, Rng(GetParam()));
+  Rng rng(GetParam() * 31 + 5);
+
+  int pending = 0, completed = 0;
+  std::vector<std::string> files;
+  uint64_t logical_bytes = 0;
+  for (int op = 0; op < 40; ++op) {
+    const uint64_t kind = rng.Uniform(10);
+    const std::string name = "/f" + std::to_string(op);
+    if (kind < 3) {
+      const uint64_t bytes = KiB(64) + rng.Uniform(MiB(20));
+      ASSERT_TRUE(dfs.Preload(name, bytes).ok());
+      files.push_back(name);
+      logical_bytes += bytes;
+    } else if (kind < 6) {
+      const uint64_t bytes = KiB(64) + rng.Uniform(MiB(20));
+      const uint32_t repl = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      ++pending;
+      dfs.WriteReplicated(name, bytes,
+                          static_cast<uint32_t>(rng.Uniform(4)), repl,
+                          [&](Status s) {
+                            ASSERT_TRUE(s.ok());
+                            ++completed;
+                          });
+      files.push_back(name);
+      logical_bytes += bytes;
+    } else if (kind < 9 && !files.empty()) {
+      // Read a random whole file (may be mid-write: only preloaded or
+      // completed entries have stable metadata, so read preloaded ones).
+      const std::string& victim = files[rng.Uniform(files.size())];
+      auto entry = dfs.name_node()->GetFile(victim);
+      if (entry.ok() && entry.value()->complete &&
+          entry.value()->bytes > 0) {
+        ++pending;
+        dfs.Read(victim, 0, entry.value()->bytes,
+                 static_cast<uint32_t>(rng.Uniform(4)), [&](Status s) {
+                   ASSERT_TRUE(s.ok());
+                   ++completed;
+                 });
+      }
+    } else {
+      sim.RunUntil(sim.Now() + Millis(rng.Uniform(300)));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(completed, pending);
+
+  // Namespace bytes match what we created.
+  EXPECT_EQ(dfs.name_node()->total_bytes(), logical_bytes);
+
+  // Every block in the namespace is present on every listed holder, with
+  // the advertised size.
+  for (const FileEntry* f : dfs.name_node()->List("/")) {
+    EXPECT_TRUE(f->complete);
+    uint64_t file_bytes = 0;
+    for (const BlockLocation& b : f->blocks) {
+      file_bytes += b.bytes;
+      EXPECT_GE(b.nodes.size(), 1u);
+      EXPECT_LE(b.nodes.size(), 3u);
+      for (uint32_t n : b.nodes) {
+        auto blk = dfs.data_node(n)->GetBlock(b.block_id);
+        ASSERT_TRUE(blk.ok());
+        EXPECT_EQ(blk.value()->size(), b.bytes);
+      }
+      // Replicas on distinct nodes.
+      for (size_t i = 0; i < b.nodes.size(); ++i) {
+        for (size_t j = i + 1; j < b.nodes.size(); ++j) {
+          EXPECT_NE(b.nodes[i], b.nodes[j]);
+        }
+      }
+    }
+    EXPECT_EQ(file_bytes, f->bytes);
+  }
+
+  // Deleting everything empties the block stores.
+  for (const FileEntry* f : dfs.name_node()->List("/")) {
+    ASSERT_TRUE(dfs.Delete(f->path).ok());
+  }
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(dfs.data_node(n)->block_count(), 0u);
+  }
+  EXPECT_EQ(dfs.name_node()->file_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HdfsProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace bdio::hdfs

@@ -1,0 +1,196 @@
+#include "hdfs/hdfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace bdio::hdfs {
+namespace {
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest() { Reset(4); }
+
+  void Reset(uint32_t workers) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = workers;
+    // Small fast test cluster.
+    cp.node.memory_bytes = GiB(2);
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  /*total_slots=*/4, Rng(1));
+    HdfsParams hp;
+    hp.block_bytes = MiB(16);
+    hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<Hdfs> hdfs_;
+};
+
+TEST_F(HdfsTest, WriteCreatesReplicatedBlocks) {
+  Status result = Status::Internal("not called");
+  hdfs_->Write("/data/f1", MiB(40), 0, [&](Status s) { result = s; });
+  sim_->Run();
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  auto locs = hdfs_->Locations("/data/f1");
+  ASSERT_TRUE(locs.ok());
+  ASSERT_EQ(locs.value().size(), 3u);  // 16+16+8 MiB
+  EXPECT_EQ(locs.value()[0].bytes, MiB(16));
+  EXPECT_EQ(locs.value()[2].bytes, MiB(8));
+  for (const auto& b : locs.value()) {
+    EXPECT_EQ(b.nodes.size(), 3u);
+    EXPECT_EQ(b.nodes[0], 0u);  // first replica local to the writer
+    // Replicas are on distinct nodes.
+    EXPECT_NE(b.nodes[0], b.nodes[1]);
+    EXPECT_NE(b.nodes[1], b.nodes[2]);
+    EXPECT_NE(b.nodes[0], b.nodes[2]);
+    for (uint32_t n : b.nodes) {
+      EXPECT_TRUE(hdfs_->data_node(n)->HasBlock(b.block_id));
+    }
+  }
+}
+
+TEST_F(HdfsTest, WriteMovesReplicationTrafficOverNetwork) {
+  hdfs_->Write("/f", MiB(32), 1, [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  // Two remote replicas per block: 2x file size over the network.
+  EXPECT_EQ(cluster_->network()->total_bytes(), 2 * MiB(32));
+}
+
+TEST_F(HdfsTest, WriteLandsOnHdfsDisks) {
+  hdfs_->Write("/f", MiB(48), 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  uint64_t hdfs_sectors = 0, mr_sectors = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    for (uint32_t d = 0; d < cluster_->node(n)->num_hdfs_disks(); ++d) {
+      hdfs_sectors += cluster_->node(n)->hdfs_disk(d)->Stats().sectors[1];
+    }
+    for (uint32_t d = 0; d < cluster_->node(n)->num_mr_disks(); ++d) {
+      mr_sectors += cluster_->node(n)->mr_disk(d)->Stats().sectors[1];
+    }
+  }
+  // 3 replicas of 48 MiB, all on HDFS-class disks.
+  EXPECT_EQ(hdfs_sectors * kSectorSize, 3 * MiB(48));
+  EXPECT_EQ(mr_sectors, 0u);
+}
+
+TEST_F(HdfsTest, DuplicateCreateFails) {
+  hdfs_->Write("/f", MiB(1), 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  Status second = Status::OK();
+  hdfs_->Write("/f", MiB(1), 0, [&](Status s) { second = s; });
+  sim_->Run();
+  EXPECT_TRUE(second.IsAlreadyExists());
+}
+
+TEST_F(HdfsTest, PreloadIsColdAndInstant) {
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(64)).ok());
+  EXPECT_EQ(sim_->pending(), 0u);  // no simulated I/O
+  auto locs = hdfs_->Locations("/input");
+  ASSERT_TRUE(locs.ok());
+  EXPECT_EQ(locs.value().size(), 4u);
+  // Blocks spread across writers round-robin.
+  EXPECT_NE(locs.value()[0].nodes[0], locs.value()[1].nodes[0]);
+  // Reading it must hit the disks (cold).
+  Status result = Status::Internal("x");
+  hdfs_->Read("/input", 0, MiB(16), 0, [&](Status s) { result = s; });
+  sim_->Run();
+  ASSERT_TRUE(result.ok());
+  uint64_t read_sectors = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    for (uint32_t d = 0; d < 3; ++d) {
+      read_sectors += cluster_->node(n)->hdfs_disk(d)->Stats().sectors[0];
+    }
+  }
+  EXPECT_GE(read_sectors * kSectorSize, MiB(16));
+}
+
+TEST_F(HdfsTest, LocalReadAvoidsNetwork) {
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(16)).ok());
+  auto locs = hdfs_->Locations("/input").value();
+  const uint32_t holder = locs[0].nodes[0];
+  hdfs_->Read("/input", 0, MiB(16), holder,
+              [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  EXPECT_EQ(cluster_->network()->total_bytes(), 0u);
+}
+
+TEST_F(HdfsTest, RemoteReadUsesNetwork) {
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(16)).ok());
+  auto locs = hdfs_->Locations("/input").value();
+  // Find a node that holds no replica of block 0.
+  uint32_t reader = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    if (std::find(locs[0].nodes.begin(), locs[0].nodes.end(), n) ==
+        locs[0].nodes.end()) {
+      reader = n;
+      break;
+    }
+  }
+  hdfs_->Read("/input", 0, MiB(16), reader,
+              [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  EXPECT_EQ(cluster_->network()->total_bytes(), MiB(16));
+}
+
+TEST_F(HdfsTest, ReadPastEofFails) {
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(1)).ok());
+  Status result = Status::OK();
+  hdfs_->Read("/input", 0, MiB(2), 0, [&](Status s) { result = s; });
+  sim_->Run();
+  EXPECT_TRUE(result.IsOutOfRange());
+}
+
+TEST_F(HdfsTest, ReadMissingFileFails) {
+  Status result = Status::OK();
+  hdfs_->Read("/nope", 0, 1, 0, [&](Status s) { result = s; });
+  sim_->Run();
+  EXPECT_TRUE(result.IsNotFound());
+}
+
+TEST_F(HdfsTest, RangeReadCrossesBlockBoundary) {
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(48)).ok());
+  Status result = Status::Internal("x");
+  // Read 8 MiB straddling the first block boundary.
+  hdfs_->Read("/input", MiB(12), MiB(8), 0, [&](Status s) { result = s; });
+  sim_->Run();
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(HdfsTest, DeleteRemovesReplicas) {
+  ASSERT_TRUE(hdfs_->Preload("/f", MiB(16)).ok());
+  auto locs = hdfs_->Locations("/f").value();
+  ASSERT_TRUE(hdfs_->Delete("/f").ok());
+  for (uint32_t n : locs[0].nodes) {
+    EXPECT_FALSE(hdfs_->data_node(n)->HasBlock(locs[0].block_id));
+  }
+  EXPECT_FALSE(hdfs_->name_node()->Exists("/f"));
+  EXPECT_TRUE(hdfs_->Delete("/f").IsNotFound());
+}
+
+TEST_F(HdfsTest, ListByPrefix) {
+  ASSERT_TRUE(hdfs_->Preload("/job/part-0", MiB(1)).ok());
+  ASSERT_TRUE(hdfs_->Preload("/job/part-1", MiB(1)).ok());
+  ASSERT_TRUE(hdfs_->Preload("/other", MiB(1)).ok());
+  auto files = hdfs_->name_node()->List("/job/");
+  EXPECT_EQ(files.size(), 2u);
+  EXPECT_EQ(hdfs_->name_node()->total_bytes(), MiB(3));
+}
+
+TEST_F(HdfsTest, WholeFileReadTakesSensibleTime) {
+  // 64 MiB local sequential read: at ~150 MB/s this is ~0.45 s; with cache
+  // unit granularity and readahead, allow 0.3-3 s.
+  Reset(4);
+  ASSERT_TRUE(hdfs_->Preload("/input", MiB(64)).ok());
+  hdfs_->ReadAll("/input", 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  sim_->Run();
+  const double secs = ToSeconds(sim_->Now());
+  EXPECT_GT(secs, 0.2);
+  EXPECT_LT(secs, 5.0);
+}
+
+}  // namespace
+}  // namespace bdio::hdfs

@@ -1,0 +1,179 @@
+#include "iostat/iostat.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace bdio::iostat {
+namespace {
+
+storage::DiskStatsSnapshot Snap(uint64_t rios, uint64_t wios, uint64_t rsec,
+                                uint64_t wsec, SimDuration rticks,
+                                SimDuration wticks, SimDuration io_ticks,
+                                SimDuration queue) {
+  storage::DiskStatsSnapshot s;
+  s.ios[0] = rios;
+  s.ios[1] = wios;
+  s.sectors[0] = rsec;
+  s.sectors[1] = wsec;
+  s.ticks[0] = rticks;
+  s.ticks[1] = wticks;
+  s.io_ticks = io_ticks;
+  s.time_in_queue = queue;
+  return s;
+}
+
+TEST(ComputeSampleTest, MatchesSysstatFormulas) {
+  storage::DiskStatsSnapshot prev;  // zeros
+  // Over 1 s: 100 reads of 8 sectors, 50 writes of 16 sectors,
+  // read ticks 500 ms, write ticks 600 ms, busy 800 ms, queue 2 s.
+  auto cur = Snap(100, 50, 800, 800, Millis(500), Millis(600), Millis(800),
+                  Seconds(2));
+  Sample s = ComputeSample(prev, cur, Seconds(1));
+  EXPECT_DOUBLE_EQ(s.r_s, 100);
+  EXPECT_DOUBLE_EQ(s.w_s, 50);
+  EXPECT_DOUBLE_EQ(s.rmb_s, 800 * 512.0 / 1e6);
+  EXPECT_DOUBLE_EQ(s.wmb_s, 800 * 512.0 / 1e6);
+  EXPECT_DOUBLE_EQ(s.avgrq_sz, 1600.0 / 150.0);
+  EXPECT_DOUBLE_EQ(s.await_ms, 1100.0 / 150.0);
+  EXPECT_DOUBLE_EQ(s.svctm_ms, 800.0 / 150.0);
+  EXPECT_DOUBLE_EQ(s.util_pct, 80.0);
+  EXPECT_DOUBLE_EQ(s.avgqu_sz, 2.0);
+  EXPECT_GT(s.await_ms, s.svctm_ms);
+  EXPECT_NEAR(s.wait_ms(), 2.0, 1e-9);
+}
+
+TEST(ComputeSampleTest, IdleDeviceIsAllZero) {
+  storage::DiskStatsSnapshot prev, cur;
+  Sample s = ComputeSample(prev, cur, Seconds(1));
+  EXPECT_EQ(s.r_s, 0);
+  EXPECT_EQ(s.util_pct, 0);
+  EXPECT_EQ(s.avgrq_sz, 0);
+}
+
+TEST(ComputeSampleTest, UtilCappedAt100) {
+  storage::DiskStatsSnapshot prev;
+  auto cur = Snap(1, 0, 8, 0, Millis(1), 0, Millis(1500), Millis(1500));
+  Sample s = ComputeSample(prev, cur, Seconds(1));
+  EXPECT_DOUBLE_EQ(s.util_pct, 100.0);
+}
+
+TEST(MetricTest, NamesAndSelectors) {
+  Sample s;
+  s.rmb_s = 5;
+  s.await_ms = 10;
+  s.svctm_ms = 4;
+  EXPECT_EQ(SampleMetric(s, Metric::kReadMBps), 5.0);
+  EXPECT_EQ(SampleMetric(s, Metric::kWait), 6.0);
+  EXPECT_STREQ(MetricName(Metric::kUtil), "%util");
+  EXPECT_STREQ(MetricName(Metric::kAvgRqSz), "avgrq-sz");
+}
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : dev_a_(&sim_, "sda", storage::DiskParameters{}, Rng(1)),
+        dev_b_(&sim_, "sdb", storage::DiskParameters{}, Rng(2)),
+        monitor_(&sim_, Seconds(1)) {}
+
+  sim::Simulator sim_;
+  storage::BlockDevice dev_a_;
+  storage::BlockDevice dev_b_;
+  Monitor monitor_;
+};
+
+TEST_F(MonitorTest, SamplesAtInterval) {
+  monitor_.AddDevice(&dev_a_, "hdfs");
+  monitor_.Start();
+  // Issue I/O over ~3 s of simulated time.
+  for (int i = 0; i < 30; ++i) {
+    sim_.ScheduleAt(Millis(100 * i), [this, i] {
+      dev_a_.Submit(storage::IoType::kRead, 100000 + i * 1024, 128, nullptr);
+    });
+  }
+  sim_.RunUntil(Seconds(3) + Millis(500));
+  monitor_.Stop();
+  sim_.Run();
+  EXPECT_GE(monitor_.num_samples(), 3u);
+  const auto& samples = monitor_.DeviceSamples("sda");
+  EXPECT_EQ(samples.size(), monitor_.num_samples());
+  // Total reads across samples equals issued reads.
+  double total_rs = 0;
+  for (const auto& s : samples) total_rs += s.r_s;
+  EXPECT_GT(total_rs, 0);
+}
+
+TEST_F(MonitorTest, GroupAggregation) {
+  monitor_.AddDevice(&dev_a_, "hdfs");
+  monitor_.AddDevice(&dev_b_, "hdfs");
+  monitor_.Start();
+  sim_.ScheduleAt(Millis(100), [this] {
+    dev_a_.Submit(storage::IoType::kWrite, 0, 1024, nullptr);
+    dev_b_.Submit(storage::IoType::kWrite, 0, 1024, nullptr);
+  });
+  sim_.RunUntil(Seconds(2));
+  monitor_.Stop();
+  sim_.Run();
+  TimeSeries mean = monitor_.GroupMean("hdfs", Metric::kWriteMBps);
+  TimeSeries sum = monitor_.GroupSum("hdfs", Metric::kWriteMBps);
+  ASSERT_GE(mean.size(), 1u);
+  EXPECT_NEAR(sum.at(0), 2 * mean.at(0), 1e-9);
+}
+
+TEST_F(MonitorTest, ActiveMeanIgnoresIdleDisks) {
+  monitor_.AddDevice(&dev_a_, "hdfs");
+  monitor_.AddDevice(&dev_b_, "hdfs");  // stays idle
+  monitor_.Start();
+  sim_.ScheduleAt(Millis(10), [this] {
+    for (int i = 0; i < 8; ++i) {
+      dev_a_.Submit(storage::IoType::kRead, i * 1024, 1024, nullptr);
+    }
+  });
+  sim_.RunUntil(Seconds(1) + Millis(1));
+  monitor_.Stop();
+  sim_.Run();
+  const TimeSeries plain = monitor_.GroupMean("hdfs", Metric::kAvgRqSz);
+  const TimeSeries active =
+      monitor_.GroupActiveMean("hdfs", Metric::kAvgRqSz);
+  ASSERT_GE(plain.size(), 1u);
+  // Idle disk halves the plain mean; the active mean reports the real size.
+  EXPECT_NEAR(active.at(0), 1024, 1.0);
+  EXPECT_NEAR(plain.at(0), 512, 1.0);
+}
+
+TEST_F(MonitorTest, UtilFractionAboveThreshold) {
+  monitor_.AddDevice(&dev_a_, "mr");
+  monitor_.Start();
+  // Saturate the disk with random I/O for ~2 s, then idle for ~2 s.
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    dev_a_.Submit(storage::IoType::kRead, rng.Uniform(1000000) * 8, 8,
+                  nullptr);
+  }
+  sim_.RunUntil(Seconds(4));
+  monitor_.Stop();
+  sim_.Run();
+  const double above90 = monitor_.GroupUtilFractionAbove("mr", 90.0);
+  EXPECT_GT(above90, 0.2);
+  EXPECT_LT(above90, 1.0);
+  EXPECT_LE(monitor_.GroupUtilFractionAbove("mr", 99.0), above90);
+}
+
+TEST_F(MonitorTest, ReportFormatting) {
+  monitor_.AddDevice(&dev_a_, "hdfs");
+  monitor_.Start();
+  sim_.ScheduleAt(Millis(1), [this] {
+    dev_a_.Submit(storage::IoType::kRead, 0, 8, nullptr);
+  });
+  sim_.RunUntil(Seconds(1) + Millis(1));
+  monitor_.Stop();
+  sim_.Run();
+  std::string report = monitor_.LatestReport();
+  EXPECT_NE(report.find("Device:"), std::string::npos);
+  EXPECT_NE(report.find("sda"), std::string::npos);
+  EXPECT_NE(report.find("%util"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdio::iostat

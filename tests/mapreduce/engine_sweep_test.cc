@@ -1,0 +1,94 @@
+// Parameterized sweep of the simulated engine over workload plans x
+// compression x slot configs: every combination must complete with
+// conserved volumes and sane durations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/cluster.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+#include "workloads/profile.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+using workloads::WorkloadKind;
+using Param = std::tuple<WorkloadKind, bool /*compress*/, bool /*big slots*/>;
+
+class EngineSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EngineSweep, PlanExecutesWithConservedVolumes) {
+  const auto [workload, compress, big_slots] = GetParam();
+  const double scale = 1.0 / 512;
+
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = 4;
+  cp.node.memory_bytes = static_cast<uint64_t>(GiB(16) * scale);
+  cp.node.daemon_bytes = static_cast<uint64_t>(GiB(2) * scale);
+  cp.node.per_slot_heap_bytes = static_cast<uint64_t>(MiB(200) * scale);
+  cp.node.min_cache_bytes = MiB(16);
+  const SlotConfig slots =
+      big_slots ? SlotConfig::Paper_2_16() : SlotConfig::Paper_1_8();
+  cluster::Cluster cluster(&sim, cp, slots.total(), Rng(1));
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, Rng(2));
+
+  workloads::PlanOptions options;
+  options.scale = scale;
+  options.compress_intermediate = compress;
+  options.kmeans_iterations = 1;
+  options.pagerank_iterations = 2;
+  const auto plan = workloads::BuildPlan(workload, options);
+  ASSERT_TRUE(dfs.Preload(plan.dataset_path, plan.dataset_bytes).ok());
+
+  MrEngine engine(&cluster, &dfs, slots, Rng(3));
+  std::vector<JobCounters> jobs;
+  size_t next = 0;
+  std::function<void()> run_next = [&] {
+    if (next >= plan.jobs.size()) return;
+    const auto& spec = plan.jobs[next++].spec;
+    engine.RunJob(spec, [&](Status s, const JobCounters& c) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      jobs.push_back(c);
+      run_next();
+    });
+  };
+  run_next();
+  sim.Run();
+
+  ASSERT_EQ(jobs.size(), plan.jobs.size());
+  for (const auto& c : jobs) {
+    EXPECT_GT(c.maps_launched, 0u);
+    EXPECT_GT(c.hdfs_read_bytes, 0u);
+    EXPECT_GT(c.DurationSeconds(), 0.0);
+    // Intermediate reads never exceed what exists to read: map outputs are
+    // read once by the shuffle, plus merge passes on both sides (<= 3x).
+    EXPECT_LE(c.intermediate_read_bytes,
+              3 * c.intermediate_write_bytes + MiB(1));
+    // Shuffle moves at most what was spilled (plus framing minimums).
+    EXPECT_LE(c.shuffle_network_bytes,
+              c.intermediate_write_bytes + MiB(1));
+  }
+  // First job reads the whole (scaled) dataset.
+  EXPECT_EQ(jobs[0].hdfs_read_bytes, plan.dataset_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweep,
+    ::testing::Combine(::testing::Values(WorkloadKind::kTeraSort,
+                                         WorkloadKind::kAggregation,
+                                         WorkloadKind::kKMeans,
+                                         WorkloadKind::kPageRank),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(
+                 workloads::WorkloadShortName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_on" : "_off") +
+             (std::get<2>(info.param) ? "_2_16" : "_1_8");
+    });
+
+}  // namespace
+}  // namespace bdio::mapreduce

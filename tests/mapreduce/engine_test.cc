@@ -1,0 +1,202 @@
+#include "mapreduce/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() { Reset(4, SlotConfig{4, 4, "test"}); }
+
+  void Reset(uint32_t workers, const SlotConfig& slots) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = workers;
+    cp.node.memory_bytes = GiB(4);
+    cp.node.daemon_bytes = MiB(256);
+    cp.node.per_slot_heap_bytes = MiB(16);
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  slots.total(), Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+    engine_ = std::make_unique<MrEngine>(cluster_.get(), dfs_.get(), slots,
+                                         Rng(3));
+  }
+
+  JobCounters RunToCompletion(const SimJobSpec& spec) {
+    Status status = Status::Internal("not run");
+    JobCounters counters;
+    engine_->RunJob(spec, [&](Status s, const JobCounters& c) {
+      status = s;
+      counters = c;
+    });
+    sim_->Run();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return counters;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<MrEngine> engine_;
+};
+
+TEST_F(EngineTest, SimpleJobCompletes) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  SimJobSpec spec;
+  spec.name = "test";
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  JobCounters c = RunToCompletion(spec);
+  EXPECT_EQ(c.maps_launched, 4u);  // 256 MiB / 64 MiB blocks
+  EXPECT_EQ(c.reduces_launched, 16u);
+  EXPECT_EQ(c.hdfs_read_bytes, MiB(256));
+  EXPECT_NEAR(static_cast<double>(c.hdfs_write_bytes),
+              static_cast<double>(MiB(256)), 1e6);
+  EXPECT_GT(c.DurationSeconds(), 0);
+}
+
+TEST_F(EngineTest, MissingInputFails) {
+  SimJobSpec spec;
+  spec.input_path = "/nope";
+  spec.output_path = "/out";
+  Status status = Status::OK();
+  engine_->RunJob(spec, [&](Status s, const JobCounters&) { status = s; });
+  sim_->Run();
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+TEST_F(EngineTest, MapOnlyJobWritesDirectlyToHdfs) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(128)).ok());
+  SimJobSpec spec;
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  spec.num_reduce_tasks = 0;  // map-only
+  spec.output_ratio = 0.5;
+  JobCounters c = RunToCompletion(spec);
+  EXPECT_EQ(c.reduces_launched, 0u);
+  EXPECT_EQ(c.intermediate_write_bytes, 0u);
+  EXPECT_NEAR(static_cast<double>(c.hdfs_write_bytes),
+              static_cast<double>(MiB(64)), 1e6);
+  // Output files exist per map.
+  EXPECT_EQ(dfs_->name_node()->List("/out/").size(), 2u);
+}
+
+TEST_F(EngineTest, IntermediateVolumeFollowsRatio) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(128)).ok());
+  SimJobSpec spec;
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  spec.map_output_ratio = 0.5;
+  spec.output_ratio = 0.1;
+  JobCounters c = RunToCompletion(spec);
+  // Spill writes ~= 64 MiB (plus reduce-side runs if buffers overflow).
+  EXPECT_GE(c.intermediate_write_bytes, MiB(64) * 95 / 100);
+  EXPECT_GT(c.spills, 0u);
+  EXPECT_NEAR(static_cast<double>(c.hdfs_write_bytes),
+              static_cast<double>(MiB(128)) * 0.1, 2e6);
+}
+
+TEST_F(EngineTest, CompressionShrinksIntermediateData) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  SimJobSpec off;
+  off.input_path = "/in";
+  off.output_path = "/out_off";
+  SimJobSpec on = off;
+  on.output_path = "/out_on";
+  on.compress_intermediate = true;
+  on.compress_ratio = 0.5;
+  JobCounters c_off = RunToCompletion(off);
+  JobCounters c_on = RunToCompletion(on);
+  EXPECT_LT(c_on.intermediate_write_bytes,
+            c_off.intermediate_write_bytes * 6 / 10);
+  EXPECT_LT(c_on.shuffle_network_bytes, c_off.shuffle_network_bytes * 6 / 10);
+  // HDFS volumes unaffected by intermediate compression.
+  EXPECT_EQ(c_on.hdfs_read_bytes, c_off.hdfs_read_bytes);
+}
+
+TEST_F(EngineTest, LocalityPreferredScheduling) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  SimJobSpec spec;
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  JobCounters c = RunToCompletion(spec);
+  // With 3 replicas on 4 nodes nearly every split can run node-local.
+  EXPECT_GE(c.maps_local, c.maps_launched * 3 / 4);
+}
+
+TEST_F(EngineTest, SlotsLimitConcurrencyButAllTasksRun) {
+  Reset(2, SlotConfig{1, 1, "tiny"});
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  SimJobSpec spec;
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  JobCounters c = RunToCompletion(spec);
+  EXPECT_EQ(c.maps_launched, 8u);
+  EXPECT_EQ(c.reduces_launched, 2u);  // one wave of 1 slot x 2 nodes
+}
+
+TEST_F(EngineTest, MoreSlotsShortenCpuBoundJobs) {
+  // More splits than slots in both configurations, so slot count is the
+  // binding constraint.
+  auto run_with = [&](SlotConfig slots) {
+    Reset(4, slots);
+    EXPECT_TRUE(dfs_->Preload("/in", GiB(2)).ok());
+    SimJobSpec spec;
+    spec.input_path = "/in";
+    spec.output_path = "/out";
+    spec.map_cpu_ns_per_byte = 60;  // CPU bound
+    JobCounters c = RunToCompletion(spec);
+    return c.DurationSeconds();
+  };
+  const double slow = run_with(SlotConfig{2, 4, "small"});
+  const double fast = run_with(SlotConfig{8, 4, "big"});
+  EXPECT_LT(fast, slow * 0.75);
+}
+
+TEST_F(EngineTest, ChainedJobsShareEngine) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(128)).ok());
+  SimJobSpec first;
+  first.input_path = "/in";
+  first.output_path = "/stage1";
+  first.output_ratio = 1.0;
+  SimJobSpec second;
+  second.input_path = "/stage1";
+  second.output_path = "/stage2";
+
+  int completed = 0;
+  engine_->RunJob(first, [&](Status s, const JobCounters&) {
+    ASSERT_TRUE(s.ok());
+    ++completed;
+    engine_->RunJob(second, [&](Status s2, const JobCounters&) {
+      ASSERT_TRUE(s2.ok());
+      ++completed;
+    });
+  });
+  sim_->Run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_FALSE(dfs_->name_node()->List("/stage2").empty());
+}
+
+TEST_F(EngineTest, StreamHelpersMoveExactVolumes) {
+  auto* node = cluster_->node(0);
+  os::FileSystem* fs = node->mr_fs(0);
+  auto file = fs->Create("f").value();
+  bool wrote = false;
+  AppendStream(sim_.get(), fs, file, MiB(3) + 123, KiB(256),
+               [&] { wrote = true; });
+  sim_->Run();
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(file->size(), MiB(3) + 123);
+  bool read = false;
+  ReadStream(sim_.get(), fs, file, 0, MiB(3), KiB(256), [&] { read = true; });
+  sim_->Run();
+  EXPECT_TRUE(read);
+}
+
+}  // namespace
+}  // namespace bdio::mapreduce

@@ -1,0 +1,201 @@
+#include "mrfunc/local_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mrfunc/api.h"
+
+namespace bdio::mrfunc {
+namespace {
+
+/// Word-count style mapper: splits the value on spaces.
+class WordMapper : public Mapper {
+ public:
+  void Map(const KeyValue& record, Emitter* out) override {
+    size_t start = 0;
+    const std::string& v = record.value;
+    while (start < v.size()) {
+      size_t end = v.find(' ', start);
+      if (end == std::string::npos) end = v.size();
+      if (end > start) out->Emit(v.substr(start, end - start), "1");
+      start = end + 1;
+    }
+  }
+};
+
+class CountReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter* out) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    out->Emit(key, std::to_string(total));
+  }
+};
+
+std::map<std::string, uint64_t> AsMap(const std::vector<KeyValue>& kvs) {
+  std::map<std::string, uint64_t> m;
+  for (const auto& kv : kvs) m[kv.key] += std::stoull(kv.value);
+  return m;
+}
+
+TEST(LocalJobRunnerTest, WordCountCorrect) {
+  std::vector<KeyValue> input{
+      {"1", "a b a"}, {"2", "b c"}, {"3", "a"}, {"4", ""}};
+  WordMapper mapper;
+  CountReducer reducer;
+  LocalJobRunner runner;
+  JobConfig config;
+  std::vector<KeyValue> output;
+  auto stats = runner.Run(input, &mapper, &reducer, config, &output);
+  ASSERT_TRUE(stats.ok());
+  auto counts = AsMap(output);
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 1u);
+  EXPECT_EQ(stats->map_input_records, 4u);
+  EXPECT_EQ(stats->map_output_records, 6u);
+  EXPECT_EQ(stats->reduce_input_groups, 3u);
+  EXPECT_EQ(stats->reduce_output_records, 3u);
+}
+
+TEST(LocalJobRunnerTest, CombinerPreservesResultAndShrinksShuffle) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 500; ++i) input.push_back({std::to_string(i), "x x x"});
+  WordMapper mapper;
+  CountReducer reducer;
+  LocalJobRunner runner;
+  std::vector<KeyValue> plain_out, combined_out;
+
+  JobConfig plain;
+  plain.sort_buffer_bytes = 256;  // force many spills
+  auto plain_stats = runner.Run(input, &mapper, &reducer, plain, &plain_out);
+  ASSERT_TRUE(plain_stats.ok());
+
+  JobConfig combined = plain;
+  combined.use_combiner = true;
+  auto combined_stats =
+      runner.Run(input, &mapper, &reducer, combined, &combined_out);
+  ASSERT_TRUE(combined_stats.ok());
+
+  EXPECT_EQ(AsMap(plain_out), AsMap(combined_out));
+  EXPECT_LT(combined_stats->spilled_bytes, plain_stats->spilled_bytes);
+  EXPECT_LT(combined_stats->shuffle_bytes, plain_stats->shuffle_bytes);
+}
+
+TEST(LocalJobRunnerTest, PartitioningCoversAllReducersDeterministically) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 100; ++i) input.push_back({std::to_string(i), "w" + std::to_string(i)});
+  WordMapper mapper;
+  CountReducer reducer;
+  LocalJobRunner runner;
+  JobConfig config;
+  config.num_reduce_tasks = 8;
+  std::vector<KeyValue> out1, out2;
+  ASSERT_TRUE(runner.Run(input, &mapper, &reducer, config, &out1).ok());
+  ASSERT_TRUE(runner.Run(input, &mapper, &reducer, config, &out2).ok());
+  EXPECT_EQ(out1, out2);  // deterministic
+  EXPECT_EQ(AsMap(out1).size(), 100u);
+}
+
+TEST(LocalJobRunnerTest, CompressionMeasuredHonestly) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 2000; ++i) {
+    input.push_back({std::to_string(i), "repeat repeat repeat repeat"});
+  }
+  WordMapper mapper;
+  CountReducer reducer;
+  LocalJobRunner runner;
+  JobConfig config;
+  config.compress_map_output = true;
+  config.sort_buffer_bytes = KiB(16);
+  std::vector<KeyValue> output;
+  auto stats = runner.Run(input, &mapper, &reducer, config, &output);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->intermediate_compression_ratio, 0.5);
+  EXPECT_GT(stats->intermediate_compression_ratio, 0.0);
+  EXPECT_LT(stats->spilled_bytes, stats->map_output_bytes);
+}
+
+TEST(LocalJobRunnerTest, RejectsNullArguments) {
+  LocalJobRunner runner;
+  WordMapper mapper;
+  CountReducer reducer;
+  std::vector<KeyValue> output;
+  JobConfig config;
+  EXPECT_TRUE(runner
+                  .Run({}, nullptr, &reducer, config, &output)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(runner
+                  .Run({}, &mapper, nullptr, config, &output)
+                  .status()
+                  .IsInvalidArgument());
+  config.num_map_tasks = 0;
+  EXPECT_TRUE(runner
+                  .Run({}, &mapper, &reducer, config, &output)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(LocalJobRunnerTest, SpillCountGrowsAsBufferShrinks) {
+  std::vector<KeyValue> input;
+  for (int i = 0; i < 1000; ++i) input.push_back({std::to_string(i), "abc"});
+  WordMapper mapper;
+  CountReducer reducer;
+  LocalJobRunner runner;
+  std::vector<KeyValue> output;
+  JobConfig big;
+  big.sort_buffer_bytes = MiB(8);
+  JobConfig small = big;
+  small.sort_buffer_bytes = 128;
+  auto big_stats = runner.Run(input, &mapper, &reducer, big, &output);
+  auto small_stats = runner.Run(input, &mapper, &reducer, small, &output);
+  ASSERT_TRUE(big_stats.ok());
+  ASSERT_TRUE(small_stats.ok());
+  EXPECT_GT(small_stats->spill_count, big_stats->spill_count);
+}
+
+TEST(SerializeTest, SizeMatchesSerializedOutput) {
+  std::vector<KeyValue> records{{"key", "value"}, {"", ""}, {"a", "bb"}};
+  uint64_t expected = 0;
+  for (const auto& kv : records) expected += SerializedSize(kv);
+  EXPECT_EQ(SerializeRecords(records).size(), expected);
+}
+
+TEST(PartitionerTest, HashIsStableAndInRange) {
+  HashPartitioner p;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const uint32_t part = p.Partition(key, 7);
+    EXPECT_LT(part, 7u);
+    EXPECT_EQ(part, p.Partition(key, 7));
+  }
+}
+
+TEST(PartitionerTest, TotalOrderRespectsSplitPoints) {
+  TotalOrderPartitioner p({"f", "m"});
+  EXPECT_EQ(p.Partition("a", 3), 0u);
+  EXPECT_EQ(p.Partition("f", 3), 1u);  // key equal to a split point goes right
+  EXPECT_EQ(p.Partition("g", 3), 1u);
+  EXPECT_EQ(p.Partition("z", 3), 2u);
+}
+
+TEST(PartitionerTest, SampleSplitsAreSortedAndBalanced) {
+  std::vector<std::string> sample;
+  for (int i = 999; i >= 0; --i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%04d", i);
+    sample.push_back(buf);
+  }
+  auto splits = TotalOrderPartitioner::SampleSplits(sample, 4);
+  ASSERT_EQ(splits.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(splits.begin(), splits.end()));
+  EXPECT_EQ(splits[0], "0250");
+  EXPECT_EQ(splits[1], "0500");
+  EXPECT_EQ(splits[2], "0750");
+}
+
+}  // namespace
+}  // namespace bdio::mrfunc

@@ -1,0 +1,60 @@
+// Property sweep of the fair-share network: random flow sets must conserve
+// bytes, complete, and respect capacity.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "net/network.h"
+
+namespace bdio::net {
+namespace {
+
+class NetworkProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkProperty, RandomFlowSetConservesAndCompletes) {
+  sim::Simulator sim;
+  const uint32_t nodes = 6;
+  Network net(&sim, nodes);
+  Rng rng(GetParam());
+
+  uint64_t total = 0;
+  int completions = 0;
+  int launched = 0;
+  std::vector<uint64_t> sent(nodes, 0), received(nodes, 0);
+  // Random arrivals over ~2 simulated seconds.
+  for (int i = 0; i < 60; ++i) {
+    const uint32_t src = static_cast<uint32_t>(rng.Uniform(nodes));
+    const uint32_t dst = static_cast<uint32_t>(rng.Uniform(nodes));
+    const uint64_t bytes = KiB(64) + rng.Uniform(MiB(8));
+    const SimDuration at = rng.Uniform(Seconds(2));
+    total += bytes;
+    sent[src] += bytes;
+    received[dst] += bytes;
+    ++launched;
+    sim.ScheduleAt(at, [&net, &completions, src, dst, bytes] {
+      net.Transfer(src, dst, bytes, [&completions] { ++completions; });
+    });
+  }
+  sim.Run();
+
+  EXPECT_EQ(completions, launched);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_EQ(net.total_bytes(), total);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    EXPECT_EQ(net.node_stats(n).bytes_sent, sent[n]);
+    EXPECT_EQ(net.node_stats(n).bytes_received, received[n]);
+  }
+  // Aggregate throughput bounded by the bisection: every byte crossed one
+  // egress NIC, so elapsed >= non-loopback bytes / (nodes * link rate).
+  uint64_t wire_bytes = 0;
+  for (uint32_t n = 0; n < nodes; ++n) wire_bytes += sent[n];
+  const double min_seconds = static_cast<double>(wire_bytes) /
+                             (nodes * Network::kGigabitPayloadBytesPerSec);
+  EXPECT_GE(ToSeconds(sim.Now()) + 2.0, min_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkProperty,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace bdio::net

@@ -1,0 +1,106 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::net {
+namespace {
+
+TEST(NetworkTest, SingleFlowRunsAtLinkRate) {
+  sim::Simulator sim;
+  Network net(&sim, 4);
+  bool done = false;
+  const uint64_t bytes = 118'000'000;  // exactly 1 s at link rate
+  net.Transfer(0, 1, bytes, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 1.0, 0.01);
+}
+
+TEST(NetworkTest, LoopbackIsNearInstant) {
+  sim::Simulator sim;
+  Network net(&sim, 2);
+  bool done = false;
+  net.Transfer(1, 1, GiB(1), [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_LT(sim.Now(), Millis(1));
+}
+
+TEST(NetworkTest, TwoFlowsShareEgressLink) {
+  sim::Simulator sim;
+  Network net(&sim, 4);
+  int done = 0;
+  const uint64_t bytes = 59'000'000;  // 0.5 s alone, 1 s when sharing
+  net.Transfer(0, 1, bytes, [&] { ++done; });
+  net.Transfer(0, 2, bytes, [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 1.0, 0.05);
+}
+
+TEST(NetworkTest, DisjointPairsDontInterfere) {
+  sim::Simulator sim;
+  Network net(&sim, 4);
+  int done = 0;
+  const uint64_t bytes = 118'000'000;
+  net.Transfer(0, 1, bytes, [&] { ++done; });
+  net.Transfer(2, 3, bytes, [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 1.0, 0.05);
+}
+
+TEST(NetworkTest, IngressBottleneckShared) {
+  sim::Simulator sim;
+  Network net(&sim, 4);
+  int done = 0;
+  const uint64_t bytes = 59'000'000;
+  // Two senders into one receiver: receiver NIC is the bottleneck.
+  net.Transfer(0, 2, bytes, [&] { ++done; });
+  net.Transfer(1, 2, bytes, [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NEAR(ToSeconds(sim.Now()), 1.0, 0.05);
+}
+
+TEST(NetworkTest, LateFlowFinishesAfterShare) {
+  sim::Simulator sim;
+  Network net(&sim, 2);
+  std::vector<double> finish(2);
+  const uint64_t bytes = 118'000'000;
+  net.Transfer(0, 1, bytes, [&] { finish[0] = ToSeconds(sim.Now()); });
+  sim.RunUntil(Millis(500));
+  net.Transfer(0, 1, bytes, [&] { finish[1] = ToSeconds(sim.Now()); });
+  sim.Run();
+  // First flow: 0.5 s alone + ~1 s shared = ~1.5 s total at completion.
+  EXPECT_NEAR(finish[0], 1.5, 0.1);
+  EXPECT_NEAR(finish[1], 2.0, 0.1);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  sim::Simulator sim;
+  Network net(&sim, 3);
+  net.Transfer(0, 1, 1000, nullptr);
+  net.Transfer(0, 2, 500, nullptr);
+  sim.Run();
+  EXPECT_EQ(net.node_stats(0).bytes_sent, 1500u);
+  EXPECT_EQ(net.node_stats(1).bytes_received, 1000u);
+  EXPECT_EQ(net.total_bytes(), 1500u);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(NetworkTest, ManyFlowsAllComplete) {
+  sim::Simulator sim;
+  Network net(&sim, 8);
+  int done = 0;
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      if (s != d) net.Transfer(s, d, MiB(1), [&] { ++done; });
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(done, 56);
+}
+
+}  // namespace
+}  // namespace bdio::net

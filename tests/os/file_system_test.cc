@@ -1,0 +1,107 @@
+#include "os/file_system.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace bdio::os {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest()
+      : dev_(&sim_, "sdb", storage::DiskParameters{}, Rng(1)),
+        cache_(&sim_, PageCacheParams{}),
+        fs_(&sim_, &dev_, &cache_) {}
+
+  sim::Simulator sim_;
+  storage::BlockDevice dev_;
+  PageCache cache_;
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, CreateOpenDelete) {
+  auto f = fs_.Create("x");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value()->name(), "x");
+  EXPECT_EQ(f.value()->size(), 0u);
+  auto again = fs_.Create("x");
+  EXPECT_TRUE(again.status().IsAlreadyExists());
+  auto opened = fs_.Open("x");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), f.value());
+  EXPECT_TRUE(fs_.Delete("x").ok());
+  EXPECT_TRUE(fs_.Open("x").status().IsNotFound());
+  EXPECT_TRUE(fs_.Delete("x").IsNotFound());
+}
+
+TEST_F(FileSystemTest, AppendGrowsSizeAndAllocatesExtents) {
+  auto f = fs_.Create("x").value();
+  fs_.Append(f, MiB(3) + 100, nullptr);
+  sim_.Run();
+  EXPECT_EQ(f->size(), MiB(3) + 100);
+  EXPECT_EQ(f->extent_count(), 4u);  // 1 MiB extents
+  EXPECT_EQ(fs_.used_bytes(), MiB(4));
+}
+
+TEST_F(FileSystemTest, SectorMappingContiguousWithinExtent) {
+  auto f = fs_.Create("x").value();
+  fs_.Append(f, MiB(2), nullptr);
+  sim_.Run();
+  const uint64_t s0 = f->SectorFor(0);
+  EXPECT_EQ(f->SectorFor(KiB(512)), s0 + KiB(512) / kSectorSize);
+}
+
+TEST_F(FileSystemTest, InterleavedAppendersFragment) {
+  auto a = fs_.Create("a").value();
+  auto b = fs_.Create("b").value();
+  for (int i = 0; i < 4; ++i) {
+    fs_.Append(a, MiB(1), nullptr);
+    fs_.Append(b, MiB(1), nullptr);
+  }
+  sim_.Run();
+  // The two files' extents interleave: a's second extent is not adjacent to
+  // its first.
+  const uint64_t gap = a->SectorFor(MiB(1)) - a->SectorFor(0);
+  EXPECT_GT(gap, MiB(1) / kSectorSize);
+}
+
+TEST_F(FileSystemTest, DeleteRecyclesExtents) {
+  auto a = fs_.Create("a").value();
+  fs_.Append(a, MiB(4), nullptr);
+  sim_.Run();
+  const uint64_t used = fs_.used_bytes();
+  ASSERT_TRUE(fs_.Delete("a").ok());
+  EXPECT_EQ(fs_.used_bytes(), used - MiB(4));
+  // New allocations reuse the freed extents (first-fit from the free list).
+  auto b = fs_.Create("b").value();
+  fs_.Append(b, MiB(1), nullptr);
+  sim_.Run();
+  EXPECT_EQ(b->SectorFor(0), 0u);
+}
+
+TEST_F(FileSystemTest, ReadBackAfterSync) {
+  auto f = fs_.Create("x").value();
+  fs_.Append(f, MiB(1), nullptr);
+  sim_.Run();
+  bool synced = false;
+  fs_.Sync(f, [&] { synced = true; });
+  sim_.Run();
+  ASSERT_TRUE(synced);
+  bool read = false;
+  fs_.Read(f, 0, MiB(1), [&] { read = true; });
+  sim_.Run();
+  EXPECT_TRUE(read);
+}
+
+TEST_F(FileSystemTest, FreeBytesDecreasesWithAllocation) {
+  const uint64_t before = fs_.free_bytes();
+  auto f = fs_.Create("x").value();
+  fs_.Append(f, MiB(10), nullptr);
+  sim_.Run();
+  EXPECT_EQ(fs_.free_bytes(), before - MiB(10));
+}
+
+}  // namespace
+}  // namespace bdio::os

@@ -1,0 +1,142 @@
+// Coverage for page cache corners: DropClean, readahead window behaviour,
+// tag attribution, extents-only files, unit alignment.
+
+#include <gtest/gtest.h>
+
+#include "common/io_tag.h"
+#include "common/random.h"
+#include "os/file_system.h"
+#include "os/page_cache.h"
+#include "sim/simulator.h"
+
+namespace bdio::os {
+namespace {
+
+class PageCacheExtraTest : public ::testing::Test {
+ protected:
+  PageCacheExtraTest()
+      : dev_(&sim_, "sda", storage::DiskParameters{}, Rng(1)),
+        cache_(&sim_, MakeParams()),
+        fs_(&sim_, &dev_, &cache_) {}
+
+  static PageCacheParams MakeParams() {
+    PageCacheParams p;
+    p.capacity_bytes = MiB(32);
+    return p;
+  }
+
+  sim::Simulator sim_;
+  storage::BlockDevice dev_;
+  PageCache cache_;
+  FileSystem fs_;
+};
+
+TEST_F(PageCacheExtraTest, DropCleanEmptiesCleanUnitsOnly) {
+  auto f = fs_.Create("f").value();
+  fs_.Append(f, MiB(4), nullptr);
+  sim_.RunUntil(Millis(10));  // accepted, still dirty
+  const uint64_t dirty = cache_.dirty_bytes();
+  ASSERT_GT(dirty, 0u);
+  cache_.DropClean();
+  // Dirty data untouched.
+  EXPECT_EQ(cache_.dirty_bytes(), dirty);
+  // Now flush and drop: the cache empties fully.
+  cache_.Sync(f, nullptr);
+  sim_.Run();
+  EXPECT_EQ(cache_.dirty_bytes(), 0u);
+  cache_.DropClean();
+  EXPECT_EQ(cache_.cached_bytes(), 0u);
+  // Data still on disk: re-read goes to the device.
+  const uint64_t reads_before = dev_.Stats().ios[0];
+  fs_.Read(f, 0, MiB(1), nullptr);
+  sim_.Run();
+  EXPECT_GT(dev_.Stats().ios[0], reads_before);
+}
+
+TEST_F(PageCacheExtraTest, RandomReadsDontGrowReadaheadWindow) {
+  auto f = fs_.CreateExtentsOnly("cold", MiB(16)).value();
+  Rng rng(2);
+  // Random 64 KiB reads: each miss should fetch ~the request plus the
+  // minimum window, not megabytes.
+  int done = 0;
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t unit = cache_.params().unit_bytes;
+    const uint64_t off = rng.Uniform(MiB(15) / unit) * unit;
+    cache_.Read(f, off, unit, [&] { ++done; });
+    sim_.Run();
+  }
+  EXPECT_EQ(done, 32);
+  // Disk reads bounded by requests + min readahead each.
+  EXPECT_LE(cache_.stats().disk_read_bytes,
+            32 * (KiB(64) + cache_.params().readahead_min_bytes) + MiB(1));
+}
+
+TEST_F(PageCacheExtraTest, SequentialWindowDoubles) {
+  auto f = fs_.CreateExtentsOnly("cold", MiB(16)).value();
+  // Stream sequentially; after a few reads the prefetch covers multiple
+  // units ahead, so most reads complete without a new device request.
+  uint64_t misses_late = 0;
+  const uint64_t unit = cache_.params().unit_bytes;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t before = cache_.stats().read_misses;
+    cache_.Read(f, i * unit, unit, nullptr);
+    sim_.Run();
+    if (i >= 32 && cache_.stats().read_misses > before) ++misses_late;
+  }
+  // Steady-state hits: misses in the second half are rare.
+  EXPECT_LE(misses_late, 8u);
+  EXPECT_GT(cache_.stats().readahead_units, 0u);
+}
+
+TEST_F(PageCacheExtraTest, UnalignedAccessRoundsToUnits) {
+  auto f = fs_.Create("f").value();
+  fs_.Append(f, KiB(100), nullptr);  // not unit-aligned
+  sim_.Run();
+  EXPECT_EQ(cache_.dirty_bytes(), 0u);  // flushed by drain
+  // The device saw whole cache units.
+  EXPECT_EQ(dev_.Stats().sectors[1] % (cache_.params().unit_bytes / 512),
+            0u);
+}
+
+TEST_F(PageCacheExtraTest, TagAttributionSeparatesFiles) {
+  auto spill = fs_.Create("spill").value();
+  spill->set_io_tag(static_cast<uint32_t>(IoTag::kMapSpill));
+  auto block = fs_.Create("blk").value();
+  block->set_io_tag(static_cast<uint32_t>(IoTag::kHdfsOutput));
+  fs_.Append(spill, MiB(2), nullptr);
+  fs_.Append(block, MiB(3), nullptr);
+  cache_.SyncAll(nullptr);
+  sim_.Run();
+  const auto& tags = cache_.tag_volumes();
+  ASSERT_TRUE(tags.contains(static_cast<uint32_t>(IoTag::kMapSpill)));
+  ASSERT_TRUE(tags.contains(static_cast<uint32_t>(IoTag::kHdfsOutput)));
+  EXPECT_EQ(tags.at(static_cast<uint32_t>(IoTag::kMapSpill))
+                .disk_write_bytes,
+            MiB(2));
+  EXPECT_EQ(tags.at(static_cast<uint32_t>(IoTag::kHdfsOutput))
+                .disk_write_bytes,
+            MiB(3));
+}
+
+TEST_F(PageCacheExtraTest, FileIdsAreUniqueAcrossFilesystems) {
+  storage::BlockDevice dev2(&sim_, "sdb", storage::DiskParameters{}, Rng(3));
+  FileSystem fs2(&sim_, &dev2, &cache_);
+  auto a = fs_.Create("x").value();
+  auto b = fs2.Create("x").value();  // same name, different fs: fine
+  EXPECT_NE(a->file_id(), b->file_id());
+}
+
+TEST_F(PageCacheExtraTest, ExtentsOnlyFileIsColdAndSized) {
+  auto f = fs_.CreateExtentsOnly("cold", MiB(4) + 17).value();
+  EXPECT_EQ(f->size(), MiB(4) + 17);
+  EXPECT_EQ(cache_.cached_bytes(), 0u);
+  EXPECT_EQ(dev_.Stats().TotalIos(), 0u);
+  bool read = false;
+  fs_.Read(f, MiB(4), 17, [&] { read = true; });
+  sim_.Run();
+  EXPECT_TRUE(read);
+  EXPECT_GT(dev_.Stats().ios[0], 0u);
+}
+
+}  // namespace
+}  // namespace bdio::os

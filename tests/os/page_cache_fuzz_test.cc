@@ -1,0 +1,99 @@
+// Randomized operation fuzzing of the page cache + filesystem pair: apply
+// random sequences of writes, reads, syncs and deletes across several files
+// and check global invariants at every quiescent point.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "os/file_system.h"
+#include "os/page_cache.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace bdio::os {
+namespace {
+
+class PageCacheFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageCacheFuzz, RandomOpSequenceKeepsInvariants) {
+  sim::Simulator sim;
+  storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{},
+                           Rng(GetParam()));
+  PageCacheParams params;
+  params.capacity_bytes = MiB(8);
+  PageCache cache(&sim, params);
+  FileSystem fs(&sim, &dev, &cache);
+  Rng rng(GetParam() * 7919 + 1);
+
+  struct LiveFile {
+    File* file;
+    std::string name;
+  };
+  std::vector<LiveFile> files;
+  int pending_callbacks = 0;
+  int fired_callbacks = 0;
+  auto cb = [&] { ++fired_callbacks; };
+
+  const int kOps = 120;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t kind = rng.Uniform(10);
+    if (kind < 4 || files.empty()) {
+      // Append to an existing or new file.
+      if (files.size() < 6 && (files.empty() || rng.Bernoulli(0.3))) {
+        const std::string name = "f" + std::to_string(op);
+        files.push_back(LiveFile{fs.Create(name).value(), name});
+      }
+      auto& lf = files[rng.Uniform(files.size())];
+      ++pending_callbacks;
+      fs.Append(lf.file, KiB(4) + rng.Uniform(MiB(1)), cb);
+    } else if (kind < 7) {
+      // Read a random range of a non-empty file.
+      auto& lf = files[rng.Uniform(files.size())];
+      if (lf.file->size() > 0) {
+        const uint64_t off = rng.Uniform(lf.file->size());
+        const uint64_t len =
+            1 + rng.Uniform(lf.file->size() - off);
+        ++pending_callbacks;
+        fs.Read(lf.file, off, len, cb);
+      }
+    } else if (kind < 8) {
+      auto& lf = files[rng.Uniform(files.size())];
+      ++pending_callbacks;
+      fs.Sync(lf.file, cb);
+    } else if (kind < 9 && files.size() > 1) {
+      const size_t victim = rng.Uniform(files.size());
+      ASSERT_TRUE(fs.Delete(files[victim].name).ok());
+      files.erase(files.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      // Let the system make progress between bursts.
+      sim.RunUntil(sim.Now() + Millis(rng.Uniform(500)));
+    }
+
+    // Intermittent invariants (cheap, checked often).
+    EXPECT_LE(cache.dirty_bytes(),
+              cache.cached_bytes() + params.unit_bytes);
+  }
+
+  // Drain everything.
+  sim.Run();
+  EXPECT_EQ(fired_callbacks, pending_callbacks);
+  // After a full drain there is nothing dirty and the cache is bounded.
+  EXPECT_EQ(cache.dirty_bytes(), 0u);
+  EXPECT_LE(cache.cached_bytes(), params.capacity_bytes + params.unit_bytes);
+  // Device quiet and accounting closed.
+  EXPECT_EQ(dev.Stats().in_flight, 0u);
+  EXPECT_FALSE(dev.busy());
+  // Whatever was written back is what the device saw as writes.
+  EXPECT_EQ(cache.stats().writeback_bytes,
+            dev.Stats().sectors[1] * kSectorSize);
+  EXPECT_EQ(cache.stats().disk_read_bytes,
+            dev.Stats().sectors[0] * kSectorSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCacheFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bdio::os

@@ -1,0 +1,233 @@
+#include "os/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "os/file_system.h"
+#include "sim/simulator.h"
+
+namespace bdio::os {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest() { Reset(MiB(16)); }
+
+  void Reset(uint64_t capacity) {
+    sim_ = std::make_unique<sim::Simulator>();
+    dev_ = std::make_unique<storage::BlockDevice>(
+        sim_.get(), "sda", storage::DiskParameters{}, Rng(1));
+    PageCacheParams p;
+    p.capacity_bytes = capacity;
+    cache_ = std::make_unique<PageCache>(sim_.get(), p);
+    fs_ = std::make_unique<FileSystem>(sim_.get(), dev_.get(), cache_.get());
+  }
+
+  // Creates a file and appends `size` bytes. Runs the simulation only far
+  // enough for the buffered write to be accepted, leaving dirty state
+  // observable (a full Run() would drain the periodic flusher).
+  File* MakeFile(const std::string& name, uint64_t size) {
+    auto f = fs_->Create(name);
+    EXPECT_TRUE(f.ok());
+    bool ok = false;
+    fs_->Append(f.value(), size, [&] { ok = true; });
+    sim_->RunUntil(sim_->Now() + Seconds(2));
+    EXPECT_TRUE(ok);
+    return f.value();
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<storage::BlockDevice> dev_;
+  std::unique_ptr<PageCache> cache_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(PageCacheTest, WriteThenReadHitsCache) {
+  File* f = MakeFile("a", MiB(1));
+  const uint64_t misses_before = cache_->stats().read_misses;
+  bool read_done = false;
+  cache_->Read(f, 0, MiB(1), [&] { read_done = true; });
+  sim_->Run();
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(cache_->stats().read_misses, misses_before);
+  EXPECT_GT(cache_->stats().read_hits, 0u);
+}
+
+TEST_F(PageCacheTest, ColdReadGoesToDisk) {
+  File* f = MakeFile("a", MiB(4));
+  // Force the data out: sync then drop via re-creating the cache is awkward;
+  // instead write enough other data to evict. Simpler: sync, then evict by
+  // reading a larger file.
+  bool synced = false;
+  cache_->Sync(f, [&] { synced = true; });
+  sim_->Run();
+  ASSERT_TRUE(synced);
+  File* big = MakeFile("b", MiB(20));  // > capacity: evicts everything clean
+  bool synced2 = false;
+  cache_->Sync(big, [&] { synced2 = true; });
+  sim_->Run();
+  ASSERT_TRUE(synced2);
+  bool read_done = false;
+  const uint64_t disk_bytes_before = cache_->stats().disk_read_bytes;
+  cache_->Read(f, 0, MiB(1), [&] { read_done = true; });
+  sim_->Run();
+  EXPECT_TRUE(read_done);
+  EXPECT_GT(cache_->stats().disk_read_bytes, disk_bytes_before);
+  EXPECT_EQ(dev_->Stats().ios[0] > 0, true);
+}
+
+TEST_F(PageCacheTest, DirtyDataEventuallyWrittenBack) {
+  File* f = MakeFile("a", MiB(8));
+  EXPECT_GT(cache_->dirty_bytes(), 0u);
+  (void)f;
+  // Run past the periodic flush period.
+  sim_->RunUntil(Seconds(60));
+  sim_->Run();
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  EXPECT_GT(dev_->Stats().sectors[1], 0u);
+}
+
+TEST_F(PageCacheTest, SyncFlushesAllDirty) {
+  File* f = MakeFile("a", MiB(2));
+  bool synced = false;
+  cache_->Sync(f, [&] { synced = true; });
+  sim_->Run();
+  EXPECT_TRUE(synced);
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  EXPECT_EQ(dev_->Stats().sectors[1], MiB(2) / kSectorSize);
+}
+
+TEST_F(PageCacheTest, SyncOnCleanFileCompletesImmediately) {
+  File* f = MakeFile("a", KiB(64));
+  cache_->Sync(f, nullptr);
+  sim_->Run();
+  bool synced = false;
+  cache_->Sync(f, [&] { synced = true; });
+  sim_->Run();
+  EXPECT_TRUE(synced);
+}
+
+TEST_F(PageCacheTest, DirtyThrottlingEngages) {
+  // Tiny cache: dirty limit is 20% of 4 MiB. Stream writes in chunks the
+  // way a writer would, so the dirty limit is hit mid-stream.
+  Reset(MiB(4));
+  File* f = fs_->Create("a").value();
+  const uint64_t chunk = KiB(256);
+  int accepted = 0;
+  std::function<void()> writer = [&] {
+    ++accepted;
+    if (accepted < 64) fs_->Append(f, chunk, writer);
+  };
+  fs_->Append(f, chunk, writer);
+  sim_->Run();
+  EXPECT_EQ(accepted, 64);
+  EXPECT_GT(cache_->stats().throttle_events, 0u);
+  // Everything drains once the writer stops.
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  EXPECT_EQ(dev_->Stats().sectors[1], 64 * chunk / kSectorSize);
+}
+
+TEST_F(PageCacheTest, EvictionKeepsCacheBounded) {
+  Reset(MiB(8));
+  File* f = MakeFile("a", MiB(64));
+  bool synced = false;
+  cache_->Sync(f, [&] { synced = true; });
+  sim_->Run();
+  ASSERT_TRUE(synced);
+  EXPECT_LE(cache_->cached_bytes(), MiB(8) + MiB(1));
+  EXPECT_GT(cache_->stats().evicted_units, 0u);
+}
+
+TEST_F(PageCacheTest, SequentialReadTriggersReadahead) {
+  File* f = MakeFile("a", MiB(8));
+  bool synced = false;
+  cache_->Sync(f, [&] { synced = true; });
+  sim_->Run();
+  ASSERT_TRUE(synced);
+  Reset(MiB(16));
+  f = MakeFile("b", MiB(8));
+  cache_->Sync(f, [&] {});
+  sim_->Run();
+  // Evict by reading another large file.
+  File* big = MakeFile("c", MiB(20));
+  cache_->Sync(big, [&] {});
+  sim_->Run();
+  // Now stream file b sequentially in 64 KiB reads.
+  const uint64_t unit = cache_->params().unit_bytes;
+  for (uint64_t off = 0; off + unit <= MiB(2); off += unit) {
+    bool done = false;
+    cache_->Read(f, off, unit, [&] { done = true; });
+    sim_->Run();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_GT(cache_->stats().readahead_units, 0u);
+  // Readahead means most reads were hits.
+  EXPECT_GT(cache_->stats().read_hits, cache_->stats().read_misses);
+}
+
+TEST_F(PageCacheTest, DropDiscardsDirtyData) {
+  File* f = MakeFile("a", MiB(2));
+  EXPECT_GT(cache_->dirty_bytes(), 0u);
+  const uint64_t id = f->file_id();
+  cache_->Drop(id);
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+}
+
+TEST_F(PageCacheTest, SyncAllCleansEverything) {
+  MakeFile("a", MiB(1));
+  MakeFile("b", MiB(1));
+  bool done = false;
+  cache_->SyncAll([&] { done = true; });
+  sim_->Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+}
+
+TEST_F(PageCacheTest, ConcurrentReadsOfSameUnitDeduplicate) {
+  File* f = MakeFile("a", MiB(1));
+  cache_->Sync(f, nullptr);
+  sim_->Run();
+  Reset(MiB(16));
+  f = MakeFile("b", MiB(1));
+  cache_->Sync(f, nullptr);
+  sim_->Run();
+  File* big = MakeFile("c", MiB(20));
+  cache_->Sync(big, nullptr);
+  sim_->Run();
+  const uint64_t reads_before = dev_->Stats().ios[0];
+  int done = 0;
+  cache_->Read(f, 0, KiB(64), [&] { ++done; });
+  cache_->Read(f, 0, KiB(64), [&] { ++done; });
+  cache_->Read(f, 0, KiB(64), [&] { ++done; });
+  sim_->Run();
+  EXPECT_EQ(done, 3);
+  EXPECT_LE(dev_->Stats().ios[0] - reads_before, 2u);
+}
+
+TEST_F(PageCacheTest, LargerCacheAbsorbsRereads) {
+  // Re-read pattern under small vs large cache: large cache -> fewer disk
+  // reads. This is the paper's memory-size mechanism in miniature.
+  auto run_with = [&](uint64_t capacity) {
+    Reset(capacity);
+    File* f = MakeFile("data", MiB(12));
+    cache_->Sync(f, nullptr);
+    sim_->Run();
+    // Two sequential passes over the file.
+    const uint64_t chunk = MiB(1);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint64_t off = 0; off < MiB(12); off += chunk) {
+        bool done = false;
+        cache_->Read(f, off, chunk, [&] { done = true; });
+        sim_->Run();
+        EXPECT_TRUE(done);
+      }
+    }
+    return cache_->stats().disk_read_bytes;
+  };
+  const uint64_t small = run_with(MiB(4));
+  const uint64_t large = run_with(MiB(64));
+  EXPECT_LT(large, small);
+}
+
+}  // namespace
+}  // namespace bdio::os

@@ -1,0 +1,58 @@
+#include "sim/latch.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::sim {
+namespace {
+
+TEST(LatchTest, FiresAfterAllArrivals) {
+  bool done = false;
+  auto latch = Latch::Create(3, [&] { done = true; });
+  latch->Arrive();
+  latch->Arrive();
+  EXPECT_FALSE(done);
+  latch->Arrive();
+  EXPECT_TRUE(done);
+}
+
+TEST(LatchTest, ZeroCountFiresImmediately) {
+  bool done = false;
+  auto latch = Latch::Create(0, [&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(latch->fired());
+}
+
+TEST(LatchTest, ArmCallableCountsDown) {
+  bool done = false;
+  auto latch = Latch::Create(2, [&] { done = true; });
+  auto arm1 = latch->Arm();
+  auto arm2 = latch->Arm();
+  arm1();
+  EXPECT_FALSE(done);
+  arm2();
+  EXPECT_TRUE(done);
+}
+
+TEST(LatchTest, ExtendAddsArrivals) {
+  bool done = false;
+  auto latch = Latch::Create(1, [&] { done = true; });
+  latch->Extend(1);
+  latch->Arrive();
+  EXPECT_FALSE(done);
+  latch->Arrive();
+  EXPECT_TRUE(done);
+}
+
+TEST(LatchTest, ArmsKeepLatchAlive) {
+  bool done = false;
+  std::function<void()> arm;
+  {
+    auto latch = Latch::Create(1, [&] { done = true; });
+    arm = latch->Arm();
+  }
+  arm();  // latch only referenced by the arm now
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace bdio::sim

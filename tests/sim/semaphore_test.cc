@@ -1,0 +1,68 @@
+#include "sim/semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bdio::sim {
+namespace {
+
+TEST(SemaphoreTest, ImmediateGrantWhenAvailable) {
+  Simulator sim;
+  Semaphore sem(&sim, 2);
+  int granted = 0;
+  sem.Acquire([&] { ++granted; });
+  sem.Acquire([&] { ++granted; });
+  sim.Run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(sem.available(), 0u);
+}
+
+TEST(SemaphoreTest, WaitersQueueInFifoOrder) {
+  Simulator sim;
+  Semaphore sem(&sim, 1);
+  std::vector<int> order;
+  sem.Acquire([&] { order.push_back(0); });
+  sem.Acquire([&] { order.push_back(1); });
+  sem.Acquire([&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(sem.waiters(), 2u);
+  sem.Release();
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  sem.Release();
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersRestoresTokens) {
+  Simulator sim;
+  Semaphore sem(&sim, 3);
+  sem.Acquire([] {});
+  sim.Run();
+  sem.Release();
+  EXPECT_EQ(sem.available(), 3u);
+}
+
+TEST(SemaphoreTest, PipelinedAcquireRelease) {
+  Simulator sim;
+  Semaphore sem(&sim, 2);
+  int completed = 0;
+  // Each holder keeps the token for 1 s; 6 tasks with 2 tokens => 3 waves.
+  for (int i = 0; i < 6; ++i) {
+    sem.Acquire([&] {
+      sim.ScheduleAfter(Seconds(1), [&] {
+        ++completed;
+        sem.Release();
+      });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(sim.Now(), Seconds(3));
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+}  // namespace
+}  // namespace bdio::sim

@@ -1,0 +1,80 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bdio::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.ScheduleAfter(Millis(10), chain);
+  };
+  sim.ScheduleAfter(0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.Now(), Millis(40));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(Seconds(1), [&] { ++ran; });
+  sim.ScheduleAt(Seconds(10), [&] { ++ran; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), Seconds(5));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, SameTimeScheduleFromCallbackRuns) {
+  Simulator sim;
+  bool inner = false;
+  sim.ScheduleAt(Seconds(1), [&] {
+    sim.ScheduleAt(sim.Now(), [&] { inner = true; });
+  });
+  sim.Run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAfter(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace bdio::sim

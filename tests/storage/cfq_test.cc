@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+#include "storage/io_scheduler.h"
+
+namespace bdio::storage {
+namespace {
+
+IoRequest Bio(IoType t, uint64_t sector, uint64_t sectors, uint64_t ctx) {
+  IoRequest r;
+  r.type = t;
+  r.sector = sector;
+  r.sectors = sectors;
+  r.io_context = ctx;
+  return r;
+}
+
+TEST(CfqSchedulerTest, RoundRobinsBetweenContexts) {
+  CfqScheduler s(1024);
+  // Two streams, plenty of requests each.
+  for (int i = 0; i < 3 * CfqScheduler::kQuantum; ++i) {
+    s.Add(Bio(IoType::kRead, 1000 + i * 16, 8, /*ctx=*/1));
+    s.Add(Bio(IoType::kRead, 900000 + i * 16, 8, /*ctx=*/2));
+  }
+  // Track the order of contexts served.
+  std::vector<uint64_t> served;
+  while (!s.empty()) {
+    served.push_back(s.PopNext(0).io_context);
+  }
+  // Slices alternate: after at most kQuantum requests of one stream, the
+  // other gets service.
+  int run = 1;
+  int max_run = 1;
+  for (size_t i = 1; i < served.size(); ++i) {
+    run = served[i] == served[i - 1] ? run + 1 : 1;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_LE(max_run, CfqScheduler::kQuantum);
+  // Both streams fully served.
+  EXPECT_EQ(served.size(), size_t{6 * CfqScheduler::kQuantum});
+}
+
+TEST(CfqSchedulerTest, AscendingWithinSlice) {
+  CfqScheduler s(1024);
+  s.Add(Bio(IoType::kRead, 500, 8, 1));
+  s.Add(Bio(IoType::kRead, 100, 8, 1));
+  s.Add(Bio(IoType::kRead, 300, 8, 1));
+  EXPECT_EQ(s.PopNext(0).sector, 100u);
+  EXPECT_EQ(s.PopNext(0).sector, 300u);
+  EXPECT_EQ(s.PopNext(0).sector, 500u);
+}
+
+TEST(CfqSchedulerTest, MergesOnlyWithinContext) {
+  CfqScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 100, 8, 1));
+  IoRequest same_ctx = Bio(IoType::kWrite, 108, 8, 1);
+  EXPECT_TRUE(s.TryMerge(&same_ctx));
+  IoRequest other_ctx = Bio(IoType::kWrite, 116, 8, 2);
+  EXPECT_FALSE(s.TryMerge(&other_ctx));
+  s.Add(std::move(other_ctx));
+  EXPECT_EQ(s.size(), 2u);
+  // Front merge within context 1.
+  IoRequest front = Bio(IoType::kWrite, 92, 8, 1);
+  EXPECT_TRUE(s.TryMerge(&front));
+  bool saw_merged = false;
+  while (!s.empty()) {
+    IoRequest r = s.PopNext(0);
+    if (r.io_context == 1) {
+      EXPECT_EQ(r.sector, 92u);
+      EXPECT_EQ(r.sectors, 24u);
+      EXPECT_EQ(r.bio_count, 3u);
+      saw_merged = true;
+    }
+  }
+  EXPECT_TRUE(saw_merged);
+}
+
+TEST(CfqSchedulerTest, NoMergeAcrossDirections) {
+  CfqScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 100, 8, 1));
+  IoRequest read = Bio(IoType::kRead, 108, 8, 1);
+  EXPECT_FALSE(s.TryMerge(&read));
+}
+
+TEST(CfqSchedulerTest, SingleContextDegeneratesToElevator) {
+  CfqScheduler s(1024);
+  Rng rng(1);
+  std::vector<uint64_t> sectors;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t sec = rng.Uniform(1000000) * 8;
+    sectors.push_back(sec);
+    s.Add(Bio(IoType::kRead, sec, 8, 7));
+  }
+  // Dispatch must be a sequence of ascending runs (elevator sweeps).
+  uint64_t prev = 0;
+  int descents = 0;
+  while (!s.empty()) {
+    const uint64_t cur = s.PopNext(0).sector;
+    if (cur < prev) ++descents;
+    prev = cur;
+  }
+  EXPECT_LE(descents, 1 + 40 / CfqScheduler::kQuantum);
+}
+
+TEST(CfqDeviceTest, TwoStreamsShareSeekyDisk) {
+  // One stream hammers a far region; the other reads nearby. Under CFQ
+  // both make steady progress (bounded completion-time gap).
+  sim::Simulator sim;
+  DiskParameters p;
+  BlockDevice dev(&sim, "sda", p, Rng(2), "cfq");
+  const uint64_t far_base = p.TotalSectors() - 4096000;
+  std::map<uint64_t, SimTime> last_done;
+  int done_near = 0, done_far = 0;
+  for (int i = 0; i < 64; ++i) {
+    dev.Submit(IoType::kRead, 1000 + i * 1024, 128,
+               [&, i] {
+                 ++done_near;
+                 last_done[1] = sim.Now();
+               },
+               /*ctx=*/1);
+    dev.Submit(IoType::kRead, far_base + i * 1024, 128,
+               [&, i] {
+                 ++done_far;
+                 last_done[2] = sim.Now();
+               },
+               /*ctx=*/2);
+  }
+  sim.Run();
+  EXPECT_EQ(done_near, 64);
+  EXPECT_EQ(done_far, 64);
+  // Both streams finish within 40% of each other (fair slicing).
+  const double a = ToSeconds(last_done[1]);
+  const double b = ToSeconds(last_done[2]);
+  EXPECT_LT(std::abs(a - b), 0.4 * std::max(a, b));
+}
+
+}  // namespace
+}  // namespace bdio::storage

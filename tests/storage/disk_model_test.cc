@@ -1,0 +1,110 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace bdio::storage {
+namespace {
+
+IoRequest MakeReq(IoType t, uint64_t sector, uint64_t sectors) {
+  IoRequest r;
+  r.type = t;
+  r.sector = sector;
+  r.sectors = sectors;
+  return r;
+}
+
+TEST(DiskModelTest, SequentialStreamHitsSustainedRate) {
+  DiskParameters p;
+  DiskModel model(p, Rng(1));
+  // Stream 256 MiB in 512 KiB requests from sector 0.
+  const uint64_t req_sectors = 1024;
+  uint64_t sector = 0;
+  SimDuration total = 0;
+  // First request pays positioning once.
+  for (int i = 0; i < 512; ++i) {
+    total += model.Service(MakeReq(IoType::kRead, sector, req_sectors));
+    sector += req_sectors;
+  }
+  const double seconds = ToSeconds(total);
+  const double mb = 512.0 * 0.5;  // 256 MiB
+  const double rate = mb / seconds;
+  // Outer zone is 150 MB/s; allow a little positioning amortization.
+  EXPECT_GT(rate, 130.0);
+  EXPECT_LE(rate, 151.0);
+}
+
+TEST(DiskModelTest, RandomAccessAveragesSeekPlusRotation) {
+  DiskParameters p;
+  DiskModel model(p, Rng(2));
+  Rng rng(3);
+  SimDuration total = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t sector =
+        rng.Uniform(p.TotalSectors() - 8) / 8 * 8;
+    total += model.Service(MakeReq(IoType::kRead, sector, 8));  // 4 KiB
+  }
+  const double avg_ms = ToMillis(total) / n;
+  // Avg seek 8.5 ms + avg rotation 4.17 ms + tiny transfer: ~12.7 ms.
+  EXPECT_GT(avg_ms, 9.0);
+  EXPECT_LT(avg_ms, 16.0);
+}
+
+TEST(DiskModelTest, InnerZoneSlowerThanOuter) {
+  DiskParameters p;
+  DiskModel model(p, Rng(4));
+  const double outer = model.RateAtSector(0);
+  const double inner = model.RateAtSector(p.TotalSectors() - 1);
+  EXPECT_NEAR(outer, 150e6, 1e6);
+  EXPECT_NEAR(inner, 75e6, 1e6);
+  EXPECT_GT(outer, inner);
+}
+
+TEST(DiskModelTest, SequentialContinuationHasZeroPositioning) {
+  DiskParameters p;
+  DiskModel model(p, Rng(5));
+  model.Service(MakeReq(IoType::kWrite, 1000, 100));
+  EXPECT_EQ(model.head_sector(), 1100u);
+  EXPECT_EQ(model.PositioningTime(1100), 0u);
+  EXPECT_GT(model.PositioningTime(5000000), 0u);
+}
+
+TEST(DiskModelTest, LongerSeeksCostMore) {
+  DiskParameters p;
+  // Compare expected positioning cost over many draws (rotational latency is
+  // random, so average it out).
+  double near_total = 0, far_total = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    DiskModel near_model(p, Rng(100 + i));
+    near_model.Service(MakeReq(IoType::kRead, 0, 8));
+    near_total += static_cast<double>(
+        near_model.PositioningTime(p.TotalSectors() / 100));
+    DiskModel far_model(p, Rng(100 + i));
+    far_model.Service(MakeReq(IoType::kRead, 0, 8));
+    far_total += static_cast<double>(
+        far_model.PositioningTime(p.TotalSectors() - 8));
+  }
+  EXPECT_GT(far_total, near_total * 1.5);
+}
+
+TEST(DiskModelTest, WholeDiskScanTakesHours) {
+  // Sanity: 1 TB at <=150 MB/s must take >= 6500 s.
+  DiskParameters p;
+  DiskModel model(p, Rng(6));
+  // Extrapolate from a 1 GiB scan at the outer edge (fastest zone).
+  uint64_t sector = 0;
+  SimDuration total = 0;
+  for (int i = 0; i < 2048; ++i) {
+    total += model.Service(MakeReq(IoType::kRead, sector, 1024));
+    sector += 1024;
+  }
+  const double sec_per_gib = ToSeconds(total);
+  EXPECT_GT(sec_per_gib * 1024, 6500.0);
+}
+
+}  // namespace
+}  // namespace bdio::storage

@@ -1,0 +1,152 @@
+#include "storage/io_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bdio::storage {
+namespace {
+
+IoRequest Bio(IoType t, uint64_t sector, uint64_t sectors,
+              SimTime submit = 0) {
+  IoRequest r;
+  r.type = t;
+  r.sector = sector;
+  r.sectors = sectors;
+  r.submit_time = submit;
+  return r;
+}
+
+TEST(NoopSchedulerTest, FifoOrder) {
+  NoopScheduler s(1024);
+  s.Add(Bio(IoType::kRead, 100, 8));
+  s.Add(Bio(IoType::kRead, 0, 8));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.PopNext(0).sector, 100u);
+  EXPECT_EQ(s.PopNext(0).sector, 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NoopSchedulerTest, BackMergesOntoTail) {
+  NoopScheduler s(1024);
+  IoRequest first = Bio(IoType::kWrite, 0, 8);
+  s.Add(std::move(first));
+  IoRequest next = Bio(IoType::kWrite, 8, 8);
+  EXPECT_TRUE(s.TryMerge(&next));
+  EXPECT_EQ(s.size(), 1u);
+  IoRequest merged = s.PopNext(0);
+  EXPECT_EQ(merged.sectors, 16u);
+  EXPECT_EQ(merged.bio_count, 2u);
+}
+
+TEST(NoopSchedulerTest, NoMergeAcrossDirections) {
+  NoopScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 0, 8));
+  IoRequest next = Bio(IoType::kRead, 8, 8);
+  EXPECT_FALSE(s.TryMerge(&next));
+}
+
+TEST(NoopSchedulerTest, MergeRespectsMaxSize) {
+  NoopScheduler s(16);
+  s.Add(Bio(IoType::kWrite, 0, 12));
+  IoRequest next = Bio(IoType::kWrite, 12, 8);
+  EXPECT_FALSE(s.TryMerge(&next));  // 20 > 16
+}
+
+TEST(DeadlineSchedulerTest, SortsBySectorWithinBatch) {
+  DeadlineScheduler s(1024);
+  s.Add(Bio(IoType::kRead, 500, 8, 0));
+  s.Add(Bio(IoType::kRead, 100, 8, 0));
+  s.Add(Bio(IoType::kRead, 300, 8, 0));
+  // No deadline expired at t=1ms: elevator order from position 0.
+  EXPECT_EQ(s.PopNext(Millis(1)).sector, 100u);
+  EXPECT_EQ(s.PopNext(Millis(1)).sector, 300u);
+  EXPECT_EQ(s.PopNext(Millis(1)).sector, 500u);
+}
+
+TEST(DeadlineSchedulerTest, ExpiredReadJumpsQueue) {
+  DeadlineScheduler s(1024);
+  s.Add(Bio(IoType::kRead, 900, 8, 0));  // oldest, far sector
+  s.Add(Bio(IoType::kRead, 10, 8, Millis(400)));
+  // At t=600ms the first bio (submit 0, expiry 500ms) is expired.
+  EXPECT_EQ(s.PopNext(Millis(600)).sector, 900u);
+}
+
+TEST(DeadlineSchedulerTest, ReadsPreferredOverWrites) {
+  DeadlineScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 50, 8, 0));
+  s.Add(Bio(IoType::kRead, 700, 8, 0));
+  EXPECT_TRUE(s.PopNext(Millis(1)).is_read());
+}
+
+TEST(DeadlineSchedulerTest, WritesNotStarvedForever) {
+  DeadlineScheduler s(1024);
+  // Keep a write queued while many read batches pass.
+  s.Add(Bio(IoType::kWrite, 1, 8, 0));
+  int pops_until_write = 0;
+  bool saw_write = false;
+  for (int batch = 0; batch < 64 && !saw_write; ++batch) {
+    // Top up reads so the read queue is never empty.
+    for (int i = 0; i < DeadlineScheduler::kFifoBatch; ++i) {
+      s.Add(Bio(IoType::kRead, 1000 + 8 * (batch * 32 + i), 8, Millis(1)));
+    }
+    for (int i = 0; i < DeadlineScheduler::kFifoBatch; ++i) {
+      IoRequest r = s.PopNext(Millis(2));
+      ++pops_until_write;
+      if (!r.is_read()) {
+        saw_write = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_write);
+  // Bounded by kWritesStarved+1 full batches.
+  EXPECT_LE(pops_until_write,
+            (DeadlineScheduler::kWritesStarved + 2) *
+                DeadlineScheduler::kFifoBatch);
+}
+
+TEST(DeadlineSchedulerTest, BackAndFrontMerge) {
+  DeadlineScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 100, 8));
+  IoRequest back = Bio(IoType::kWrite, 108, 8);
+  EXPECT_TRUE(s.TryMerge(&back));
+  IoRequest front = Bio(IoType::kWrite, 92, 8);
+  EXPECT_TRUE(s.TryMerge(&front));
+  EXPECT_EQ(s.size(), 1u);
+  IoRequest merged = s.PopNext(0);
+  EXPECT_EQ(merged.sector, 92u);
+  EXPECT_EQ(merged.sectors, 24u);
+  EXPECT_EQ(merged.bio_count, 3u);
+}
+
+TEST(DeadlineSchedulerTest, MergedCallbacksAllFire) {
+  DeadlineScheduler s(1024);
+  int fired = 0;
+  IoRequest a = Bio(IoType::kWrite, 0, 8);
+  a.on_complete.push_back([&] { ++fired; });
+  s.Add(std::move(a));
+  IoRequest b = Bio(IoType::kWrite, 8, 8);
+  b.on_complete.push_back([&] { ++fired; });
+  ASSERT_TRUE(s.TryMerge(&b));
+  IoRequest merged = s.PopNext(0);
+  for (auto& cb : merged.on_complete) cb();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(DeadlineSchedulerTest, ElevatorWrapsAround) {
+  DeadlineScheduler s(1024);
+  s.Add(Bio(IoType::kRead, 100, 8));
+  EXPECT_EQ(s.PopNext(0).sector, 100u);  // position now 108
+  s.Add(Bio(IoType::kRead, 50, 8));
+  // Only request is below the position: elevator wraps.
+  EXPECT_EQ(s.PopNext(0).sector, 50u);
+}
+
+TEST(MakeSchedulerTest, FactoryNames) {
+  EXPECT_EQ(MakeScheduler("noop", 1024)->name(), "noop");
+  EXPECT_EQ(MakeScheduler("deadline", 1024)->name(), "deadline");
+}
+
+}  // namespace
+}  // namespace bdio::storage

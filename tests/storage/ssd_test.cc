@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+#include "storage/disk_model.h"
+
+namespace bdio::storage {
+namespace {
+
+IoRequest Req(IoType t, uint64_t sector, uint64_t sectors) {
+  IoRequest r;
+  r.type = t;
+  r.sector = sector;
+  r.sectors = sectors;
+  return r;
+}
+
+TEST(SsdTest, FlatPositioningLatency) {
+  DiskParameters p = DiskParameters::SataSsd2013();
+  DiskModel model(p, Rng(1));
+  const SimDuration near = model.PositioningTime(8);
+  model.Service(Req(IoType::kRead, 0, 8));
+  const SimDuration far = model.PositioningTime(p.TotalSectors() - 8);
+  EXPECT_EQ(near, far);
+  EXPECT_EQ(ToMillis(near), p.access_latency_ms);
+}
+
+TEST(SsdTest, UniformTransferRateAcrossLba) {
+  DiskParameters p = DiskParameters::SataSsd2013();
+  DiskModel model(p, Rng(2));
+  EXPECT_DOUBLE_EQ(model.RateAtSector(0),
+                   model.RateAtSector(p.TotalSectors() - 1));
+  EXPECT_NEAR(model.RateAtSector(0), 500e6, 1e6);
+}
+
+TEST(SsdTest, RandomIoVastlyFasterThanHdd) {
+  auto run = [](const DiskParameters& p) {
+    sim::Simulator sim;
+    BlockDevice dev(&sim, "d", p, Rng(3));
+    Rng rng(4);
+    const uint64_t slots = p.TotalSectors() / 8 - 1;
+    for (int i = 0; i < 300; ++i) {
+      dev.Submit(IoType::kRead, rng.Uniform(slots) * 8, 8, nullptr);
+    }
+    sim.Run();
+    return sim.Now();
+  };
+  const SimTime hdd = run(DiskParameters::Seagate1TB7200());
+  const SimTime ssd = run(DiskParameters::SataSsd2013());
+  EXPECT_LT(ssd * 20, hdd);  // > 20x on 4 KiB random reads
+}
+
+TEST(SsdTest, SequentialThroughputNearSpec) {
+  sim::Simulator sim;
+  BlockDevice dev(&sim, "d", DiskParameters::SataSsd2013(), Rng(5));
+  for (int i = 0; i < 256; ++i) {
+    dev.Submit(IoType::kRead, static_cast<uint64_t>(i) * 1024, 1024,
+               nullptr);
+  }
+  sim.Run();
+  const double mb_s = 128.0 / ToSeconds(sim.Now());
+  EXPECT_GT(mb_s, 350.0);  // 500 MB/s minus per-request latency
+  EXPECT_LE(mb_s, 501.0);
+}
+
+TEST(SsdTest, AwaitTinyUnderRandomLoad) {
+  sim::Simulator sim;
+  BlockDevice dev(&sim, "d", DiskParameters::SataSsd2013(), Rng(6));
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    dev.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8, nullptr);
+  }
+  sim.Run();
+  auto st = dev.Stats();
+  const double await_ms =
+      ToMillis(st.ticks[0]) / static_cast<double>(st.ios[0]);
+  EXPECT_LT(await_ms, 10.0);  // HDD equivalent would be hundreds of ms
+}
+
+}  // namespace
+}  // namespace bdio::storage

@@ -1,0 +1,124 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+
+namespace bdio::trace {
+namespace {
+
+TEST(RecorderTest, CapturesCompletions) {
+  sim::Simulator sim;
+  storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{}, Rng(1));
+  Recorder rec;
+  rec.Attach(&dev);
+  dev.Submit(storage::IoType::kRead, 100, 8, nullptr);
+  dev.Submit(storage::IoType::kWrite, 5000, 16, nullptr);
+  sim.Run();
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.events()[0].device, "sda");
+  EXPECT_GT(rec.events()[0].complete_time, rec.events()[0].submit_time);
+  EXPECT_GE(rec.events()[0].dispatch_time, rec.events()[0].submit_time);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.device = i % 2 ? "sda" : "sdb";
+    e.type = i % 3 ? storage::IoType::kWrite : storage::IoType::kRead;
+    e.sector = i * 1000;
+    e.sectors = 8 + i;
+    e.bio_count = 1 + i % 4;
+    e.submit_time = i * 100;
+    e.dispatch_time = i * 100 + 10;
+    e.complete_time = i * 100 + 50;
+    events.push_back(e);
+  }
+  std::ostringstream os;
+  WriteTrace(events, os);
+  std::istringstream is(os.str());
+  auto loaded = ReadTrace(is);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].device, events[i].device);
+    EXPECT_EQ((*loaded)[i].type, events[i].type);
+    EXPECT_EQ((*loaded)[i].sector, events[i].sector);
+    EXPECT_EQ((*loaded)[i].complete_time, events[i].complete_time);
+  }
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  std::istringstream is("this is not a trace\n");
+  EXPECT_TRUE(ReadTrace(is).status().IsCorruption());
+  std::istringstream is2("sda X 0 8 1 0 0 0\n");
+  EXPECT_TRUE(ReadTrace(is2).status().IsCorruption());
+}
+
+TEST(AnalyzerTest, SequentialVersusRandom) {
+  // Sequential stream on sda.
+  std::vector<TraceEvent> seq;
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent e;
+    e.device = "sda";
+    e.sector = i * 8;
+    e.sectors = 8;
+    e.submit_time = i * 1000;
+    e.complete_time = i * 1000 + 100;
+    seq.push_back(e);
+  }
+  Analyzer seq_an(seq);
+  EXPECT_GT(seq_an.SequentialFraction(), 0.98);
+
+  Rng rng(2);
+  std::vector<TraceEvent> rnd;
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent e;
+    e.device = "sda";
+    e.sector = rng.Uniform(1000000) * 8;
+    e.sectors = 8;
+    e.submit_time = i * 1000;
+    e.complete_time = i * 1000 + 100;
+    rnd.push_back(e);
+  }
+  Analyzer rnd_an(rnd);
+  EXPECT_LT(rnd_an.SequentialFraction(), 0.1);
+}
+
+TEST(AnalyzerTest, AggregatesSizesAndLatencies) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    TraceEvent e;
+    e.device = "sda";
+    e.type = storage::IoType::kRead;
+    e.sector = i * 100;
+    e.sectors = 64;
+    e.submit_time = i * 1000000;
+    e.dispatch_time = e.submit_time + 500000;
+    e.complete_time = e.submit_time + 2000000;  // 2 ms
+    events.push_back(e);
+  }
+  Analyzer an(events);
+  EXPECT_EQ(an.num_requests(), 50u);
+  EXPECT_EQ(an.total_bytes(), 50u * 64 * 512);
+  EXPECT_DOUBLE_EQ(an.read_fraction(), 1.0);
+  EXPECT_NEAR(an.MeanRequestSectors(), 64, 1);
+  EXPECT_NEAR(an.latency_ms().mean(), 2.0, 0.1);
+  EXPECT_NEAR(an.queue_wait_ms().mean(), 0.5, 0.05);
+  std::string summary = an.Summary();
+  EXPECT_NE(summary.find("requests: 50"), std::string::npos);
+}
+
+TEST(AnalyzerTest, EmptyTrace) {
+  Analyzer an({});
+  EXPECT_EQ(an.num_requests(), 0u);
+  EXPECT_EQ(an.read_fraction(), 0.0);
+  EXPECT_EQ(an.SequentialFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace bdio::trace

@@ -1,0 +1,109 @@
+#include "workloads/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compress/codec.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+namespace {
+
+TEST(DatagenTest, TeraSortRecordShape) {
+  Rng rng(1);
+  auto records = GenTeraSortRecords(&rng, 1000);
+  ASSERT_EQ(records.size(), 1000u);
+  for (const auto& kv : records) {
+    EXPECT_EQ(kv.key.size(), 10u);
+    EXPECT_EQ(kv.value.size(), 90u);
+  }
+  // Keys are diverse.
+  std::map<std::string, int> keys;
+  for (const auto& kv : records) ++keys[kv.key];
+  EXPECT_GT(keys.size(), 990u);
+}
+
+TEST(DatagenTest, TeraSortPayloadCompressesLikeText) {
+  Rng rng(2);
+  auto records = GenTeraSortRecords(&rng, 2000);
+  std::string blob = mrfunc::SerializeRecords(records);
+  compress::FastLzCodec codec;
+  const double frac = compress::CompressedFraction(codec, blob);
+  EXPECT_LT(frac, 0.7);
+  EXPECT_GT(frac, 0.2);
+}
+
+TEST(DatagenTest, OrderRowsParseable) {
+  Rng rng(3);
+  auto rows = GenOrderRows(&rng, 1000, 8);
+  std::map<std::string, int> cats;
+  for (const auto& kv : rows) {
+    // uid|catX|price|qty|date
+    int bars = 0;
+    for (char c : kv.value) bars += c == '|';
+    EXPECT_EQ(bars, 4) << kv.value;
+    const size_t p1 = kv.value.find('|');
+    const size_t p2 = kv.value.find('|', p1 + 1);
+    ++cats[kv.value.substr(p1 + 1, p2 - p1 - 1)];
+  }
+  EXPECT_LE(cats.size(), 8u);
+  EXPECT_GE(cats.size(), 4u);
+  // Zipf: most popular category well above the median one.
+  std::vector<int> counts;
+  for (auto& [c, n] : cats) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts.front(), 2 * counts.back());
+}
+
+TEST(DatagenTest, PointsHaveRequestedDims) {
+  Rng rng(4);
+  auto points = GenPoints(&rng, 200, 4, 7);
+  for (const auto& kv : points) {
+    int commas = 0;
+    for (char c : kv.value) commas += c == ',';
+    EXPECT_EQ(commas, 6);
+  }
+}
+
+TEST(DatagenTest, WebGraphPowerLawish) {
+  Rng rng(5);
+  auto graph = GenWebGraph(&rng, 5000, 6.0);
+  ASSERT_EQ(graph.size(), 5000u);
+  // In-degree distribution: count occurrences of each target.
+  std::map<std::string, int> in_degree;
+  uint64_t edges = 0;
+  for (const auto& kv : graph) {
+    size_t start = 0;
+    while (start < kv.value.size()) {
+      size_t end = kv.value.find(' ', start);
+      if (end == std::string::npos) end = kv.value.size();
+      if (end > start) {
+        ++in_degree[kv.value.substr(start, end - start)];
+        ++edges;
+      }
+      start = end + 1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(edges) / 5000.0, 6.0, 1.5);
+  // Preferential attachment: the max in-degree is far above the mean.
+  int max_in = 0;
+  for (auto& [n, d] : in_degree) max_in = std::max(max_in, d);
+  EXPECT_GT(max_in, 50);
+}
+
+TEST(DatagenTest, Deterministic) {
+  Rng a(7), b(7);
+  auto r1 = GenTeraSortRecords(&a, 100);
+  auto r2 = GenTeraSortRecords(&b, 100);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(DatagenTest, DatasetBytesMatchesSerializedSize) {
+  Rng rng(8);
+  auto rows = GenOrderRows(&rng, 100);
+  EXPECT_EQ(DatasetBytes(rows), mrfunc::SerializeRecords(rows).size());
+}
+
+}  // namespace
+}  // namespace bdio::workloads

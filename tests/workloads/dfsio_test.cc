@@ -1,0 +1,120 @@
+#include "workloads/dfsio.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+
+namespace bdio::workloads {
+namespace {
+
+class DfsioTest : public ::testing::Test {
+ protected:
+  DfsioTest() {
+    cluster::ClusterParams cp;
+    cp.num_workers = 4;
+    cp.node.memory_bytes = GiB(1);
+    cp.node.daemon_bytes = MiB(128);
+    cp.node.per_slot_heap_bytes = MiB(8);
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp, 8, Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+  }
+
+  Result<DfsioResult> Run(const DfsioSpec& spec) {
+    Result<DfsioResult> result = Status::Internal("not run");
+    RunDfsio(cluster_.get(), dfs_.get(), spec,
+             [&](Result<DfsioResult> r) { result = std::move(r); });
+    sim_.Run();
+    return result;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+};
+
+TEST_F(DfsioTest, WriteAndReadPhasesComplete) {
+  DfsioSpec spec;
+  spec.num_files = 8;
+  spec.file_bytes = MiB(32);
+  auto result = Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->write_seconds, 0);
+  EXPECT_GT(result->read_seconds, 0);
+  EXPECT_GT(result->write_mb_s, 0);
+  EXPECT_GT(result->read_mb_s, 0);
+  // All files exist with the right size.
+  EXPECT_EQ(dfs_->name_node()->List("/benchmarks/").size(), 8u);
+  EXPECT_EQ(dfs_->name_node()->total_bytes(), 8 * MiB(32));
+}
+
+TEST_F(DfsioTest, ReadsFasterThanTripleReplicatedWrites) {
+  DfsioSpec spec;
+  spec.num_files = 8;
+  spec.file_bytes = MiB(32);
+  spec.replication = 3;
+  auto result = Run(spec);
+  ASSERT_TRUE(result.ok());
+  // Writes move 3x the data (replication) and cross the network twice.
+  EXPECT_GT(result->read_mb_s, result->write_mb_s);
+}
+
+TEST_F(DfsioTest, WriteOnlyMode) {
+  DfsioSpec spec;
+  spec.num_files = 4;
+  spec.file_bytes = MiB(16);
+  spec.run_read_phase = false;
+  auto result = Run(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->write_seconds, 0);
+  EXPECT_EQ(result->read_seconds, 0);
+  // Durable: all data flushed to the HDFS disks (3 replicas).
+  uint64_t written = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    for (uint32_t d = 0; d < 3; ++d) {
+      written += cluster_->node(n)->hdfs_disk(d)->Stats().sectors[1];
+    }
+  }
+  EXPECT_EQ(written * kSectorSize, 3 * 4 * MiB(16));
+}
+
+TEST_F(DfsioTest, RemoteReadersUseNetwork) {
+  DfsioSpec spec;
+  spec.num_files = 4;
+  spec.file_bytes = MiB(16);
+  spec.replication = 1;  // single replica: remote readers must cross wire
+  spec.remote_readers = true;
+  const uint64_t net_before = cluster_->network()->total_bytes();
+  auto result = Run(spec);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(cluster_->network()->total_bytes() - net_before,
+            4 * MiB(16));  // every byte read remotely
+}
+
+TEST_F(DfsioTest, RejectsEmptySpec) {
+  DfsioSpec spec;
+  spec.num_files = 0;
+  auto result = Run(spec);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(DfsioTest, MoreFilesMoreAggregateThroughput) {
+  DfsioSpec one;
+  one.num_files = 1;
+  one.file_bytes = MiB(64);
+  one.run_read_phase = false;
+  auto r1 = Run(one);
+  ASSERT_TRUE(r1.ok());
+
+  DfsioSpec many = one;
+  many.path_prefix = "/benchmarks2";
+  many.num_files = 8;
+  auto r8 = Run(many);
+  ASSERT_TRUE(r8.ok());
+  // Parallel writers engage more disks and NICs.
+  EXPECT_GT(r8->write_mb_s, r1->write_mb_s * 2);
+}
+
+}  // namespace
+}  // namespace bdio::workloads

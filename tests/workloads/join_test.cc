@@ -1,0 +1,84 @@
+#include "workloads/join.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/datagen.h"
+
+namespace bdio::workloads {
+namespace {
+
+mrfunc::JobConfig Config() {
+  mrfunc::JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+  return config;
+}
+
+TEST(JoinTest, MatchesReferenceJoin) {
+  Rng rng(1);
+  auto orders = GenOrderRows(&rng, 2000);
+  auto users = GenUserRows(&rng, 500);
+  auto result = RunJoin(orders, users, Config());
+  ASSERT_TRUE(result.ok());
+  auto reference = ReferenceJoin(orders, users);
+  ASSERT_EQ(result->output.size(), reference.size());
+  // Same multiset of joined rows.
+  std::multimap<std::string, std::string> got;
+  for (const auto& kv : result->output) got.emplace(kv.key, kv.value);
+  EXPECT_EQ(got, reference);
+}
+
+TEST(JoinTest, InnerJoinDropsUnmatchedOrders) {
+  // Orders for uids 0..9 but users only for 0..4.
+  std::vector<mrfunc::KeyValue> orders;
+  for (int i = 0; i < 10; ++i) {
+    orders.push_back(
+        {std::to_string(i),
+         std::to_string(i) + "|catA|10.00|1|2013-01-01"});
+  }
+  Rng rng(2);
+  auto users = GenUserRows(&rng, 5);
+  auto result = RunJoin(orders, users, Config());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.size(), 5u);
+  for (const auto& kv : result->output) {
+    EXPECT_LT(std::stoi(kv.key), 5);
+    // Joined row carries both tables' fields.
+    EXPECT_NE(kv.value.find("user"), std::string::npos);
+    EXPECT_NE(kv.value.find("catA"), std::string::npos);
+  }
+}
+
+TEST(JoinTest, ManyOrdersPerUser) {
+  std::vector<mrfunc::KeyValue> orders;
+  for (int i = 0; i < 7; ++i) {
+    orders.push_back({"x", "3|catB|5.00|2|2013-02-02"});
+  }
+  Rng rng(3);
+  auto users = GenUserRows(&rng, 4);
+  auto result = RunJoin(orders, users, Config());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.size(), 7u);  // one per order
+}
+
+TEST(JoinTest, ShuffleCarriesBothTables) {
+  Rng rng(4);
+  auto orders = GenOrderRows(&rng, 5000);
+  auto users = GenUserRows(&rng, 1000);
+  auto result = RunJoin(orders, users, Config());
+  ASSERT_TRUE(result.ok());
+  // A repartition join shuffles ~everything: map output ~ input.
+  EXPECT_GT(result->stats.map_output_bytes,
+            result->stats.map_input_bytes * 8 / 10);
+}
+
+TEST(JoinTest, MalformedRowsIgnored) {
+  std::vector<mrfunc::KeyValue> orders{{"O", ""}, {"Z", "1|x"}};
+  std::vector<mrfunc::KeyValue> users;
+  auto result = RunJoin(orders, users, Config());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->output.empty());
+}
+
+}  // namespace
+}  // namespace bdio::workloads

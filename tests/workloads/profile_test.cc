@@ -1,0 +1,132 @@
+#include "workloads/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::workloads {
+namespace {
+
+TEST(ProfileTest, ShortNamesAndOrder) {
+  EXPECT_STREQ(WorkloadShortName(WorkloadKind::kTeraSort), "TS");
+  EXPECT_STREQ(WorkloadShortName(WorkloadKind::kAggregation), "AGG");
+  EXPECT_STREQ(WorkloadShortName(WorkloadKind::kKMeans), "KM");
+  EXPECT_STREQ(WorkloadShortName(WorkloadKind::kPageRank), "PR");
+  const auto all = AllWorkloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], WorkloadKind::kAggregation);  // paper order
+}
+
+TEST(ProfileTest, PaperScaleInputs) {
+  EXPECT_EQ(PaperInputBytes(WorkloadKind::kTeraSort), TiB(1));
+  EXPECT_EQ(PaperInputBytes(WorkloadKind::kAggregation), GiB(512));
+  EXPECT_GT(PaperInputBytes(WorkloadKind::kKMeans), GiB(10));
+  EXPECT_GT(PaperInputBytes(WorkloadKind::kPageRank), GiB(10));
+}
+
+TEST(ProfileTest, PlanShapesPerWorkload) {
+  PlanOptions options;
+  options.kmeans_iterations = 3;
+  options.pagerank_iterations = 4;
+
+  const WorkloadPlan ts = BuildPlan(WorkloadKind::kTeraSort, options);
+  ASSERT_EQ(ts.jobs.size(), 1u);
+  EXPECT_EQ(ts.jobs[0].spec.output_replication, 1u);  // TeraSort convention
+  EXPECT_EQ(ts.jobs[0].spec.input_path, ts.dataset_path);
+
+  const WorkloadPlan agg = BuildPlan(WorkloadKind::kAggregation, options);
+  ASSERT_EQ(agg.jobs.size(), 1u);
+  EXPECT_LT(agg.jobs[0].spec.output_ratio, 0.01);  // group-by output tiny
+  EXPECT_LT(agg.jobs[0].spec.combine_ratio, 0.2);  // map-side aggregation
+
+  const WorkloadPlan km = BuildPlan(WorkloadKind::kKMeans, options);
+  ASSERT_EQ(km.jobs.size(), 4u);  // 3 iterations + clustering
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(km.jobs[i].spec.input_path, km.dataset_path);  // re-reads
+  }
+  EXPECT_EQ(km.jobs[3].spec.num_reduce_tasks, 0u);  // map-only clustering
+  // Iterations are CPU-bound; the clustering pass is not.
+  EXPECT_GT(km.jobs[0].spec.map_cpu_ns_per_byte,
+            5 * km.jobs[3].spec.map_cpu_ns_per_byte);
+
+  const WorkloadPlan pr = BuildPlan(WorkloadKind::kPageRank, options);
+  ASSERT_EQ(pr.jobs.size(), 4u);
+  // Each iteration reads the previous iteration's output.
+  EXPECT_EQ(pr.jobs[1].spec.input_path, pr.jobs[0].spec.output_path);
+  EXPECT_EQ(pr.jobs[3].spec.input_path, pr.jobs[2].spec.output_path);
+}
+
+TEST(ProfileTest, ScaleAppliesToDatasetAndShuffleBuffer) {
+  PlanOptions big;
+  big.scale = 1.0 / 16;
+  PlanOptions small;
+  small.scale = 1.0 / 256;
+  const auto plan_big = BuildPlan(WorkloadKind::kTeraSort, big);
+  const auto plan_small = BuildPlan(WorkloadKind::kTeraSort, small);
+  EXPECT_EQ(plan_big.dataset_bytes, TiB(1) / 16);
+  EXPECT_EQ(plan_small.dataset_bytes, TiB(1) / 256);
+  EXPECT_GT(plan_big.jobs[0].spec.shuffle_buffer_bytes,
+            plan_small.jobs[0].spec.shuffle_buffer_bytes);
+  // Map-side sort buffer is NOT scaled (splits keep their real size).
+  EXPECT_EQ(plan_big.jobs[0].spec.sort_buffer_bytes,
+            plan_small.jobs[0].spec.sort_buffer_bytes);
+}
+
+TEST(ProfileTest, CompressionFlagPropagates) {
+  PlanOptions options;
+  options.compress_intermediate = true;
+  for (WorkloadKind w : AllWorkloads()) {
+    const auto plan = BuildPlan(w, options);
+    for (const auto& job : plan.jobs) {
+      EXPECT_TRUE(job.spec.compress_intermediate);
+      EXPECT_GT(job.spec.compress_ratio, 0.0);
+      EXPECT_LT(job.spec.compress_ratio, 1.0);
+    }
+  }
+}
+
+TEST(ProfileTest, CalibrationMeasuresSaneRatios) {
+  // TeraSort: identity job, text-like data.
+  const Calibration ts = CalibrateWorkload(WorkloadKind::kTeraSort);
+  EXPECT_NEAR(ts.map_output_ratio, 1.0, 0.1);
+  EXPECT_NEAR(ts.output_ratio, 1.0, 0.1);
+  EXPECT_GT(ts.compress_ratio, 0.2);
+  EXPECT_LT(ts.compress_ratio, 0.8);
+
+  // Aggregation: projected columns, combinable.
+  const Calibration agg = CalibrateWorkload(WorkloadKind::kAggregation);
+  EXPECT_LT(agg.map_output_ratio, 0.6);
+  EXPECT_LT(agg.combine_ratio, 0.3);
+  EXPECT_LT(agg.output_ratio, 0.01);
+
+  // K-means: point-sized map output, combiner collapses it.
+  const Calibration km = CalibrateWorkload(WorkloadKind::kKMeans);
+  EXPECT_GT(km.map_output_ratio, 0.5);
+  EXPECT_LT(km.combine_ratio, 0.1);
+
+  // PageRank: contributions + structure exceed the input.
+  const Calibration pr = CalibrateWorkload(WorkloadKind::kPageRank);
+  EXPECT_GT(pr.map_output_ratio, 0.9);
+  EXPECT_GT(pr.output_ratio, 0.5);
+}
+
+TEST(ProfileTest, CalibrationDeterministic) {
+  const Calibration a = CalibrateWorkload(WorkloadKind::kAggregation, 7);
+  const Calibration b = CalibrateWorkload(WorkloadKind::kAggregation, 7);
+  EXPECT_EQ(a.map_output_ratio, b.map_output_ratio);
+  EXPECT_EQ(a.compress_ratio, b.compress_ratio);
+}
+
+TEST(ProfileTest, ExternalCalibrationOverridesDefaults) {
+  Calibration cal;
+  cal.map_output_ratio = 0.123;
+  cal.output_ratio = 0.456;
+  cal.compress_ratio = 0.789;
+  cal.combine_ratio = 0.5;
+  PlanOptions options;
+  options.calibration = &cal;
+  const auto plan = BuildPlan(WorkloadKind::kTeraSort, options);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].spec.map_output_ratio, 0.123);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].spec.compress_ratio, 0.789);
+}
+
+}  // namespace
+}  // namespace bdio::workloads

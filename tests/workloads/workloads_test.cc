@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/aggregation.h"
+#include "workloads/datagen.h"
+#include "workloads/kmeans.h"
+#include "workloads/pagerank.h"
+#include "workloads/terasort.h"
+
+namespace bdio::workloads {
+namespace {
+
+mrfunc::JobConfig SmallConfig() {
+  mrfunc::JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+  config.sort_buffer_bytes = KiB(64);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// TeraSort
+// ---------------------------------------------------------------------------
+
+TEST(TeraSortTest, OutputGloballySorted) {
+  Rng rng(1);
+  auto input = GenTeraSortRecords(&rng, 5000);
+  auto result = RunTeraSort(input, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.size(), input.size());
+  EXPECT_TRUE(IsSortedByKey(result->output));
+  // Same multiset of keys.
+  std::vector<std::string> in_keys, out_keys;
+  for (const auto& kv : input) in_keys.push_back(kv.key);
+  for (const auto& kv : result->output) out_keys.push_back(kv.key);
+  std::sort(in_keys.begin(), in_keys.end());
+  EXPECT_EQ(in_keys, out_keys);
+}
+
+TEST(TeraSortTest, IdentityVolumeRatios) {
+  Rng rng(2);
+  auto input = GenTeraSortRecords(&rng, 2000);
+  auto result = RunTeraSort(input, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const auto& st = result->stats;
+  EXPECT_EQ(st.map_output_records, st.map_input_records);
+  EXPECT_EQ(st.reduce_output_records, st.map_input_records);
+  EXPECT_NEAR(static_cast<double>(st.map_output_bytes) /
+                  static_cast<double>(st.map_input_bytes),
+              1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+TEST(AggregationTest, MatchesReferenceAggregate) {
+  Rng rng(3);
+  auto input = GenOrderRows(&rng, 10000, 16);
+  auto config = SmallConfig();
+  config.use_combiner = true;
+  auto result = RunAggregation(input, config);
+  ASSERT_TRUE(result.ok());
+  auto reference = ReferenceAggregate(input);
+  ASSERT_EQ(result->output.size(), reference.size());
+  for (const auto& kv : result->output) {
+    ASSERT_TRUE(reference.contains(kv.key)) << kv.key;
+    EXPECT_NEAR(std::atof(kv.value.c_str()), reference[kv.key],
+                std::abs(reference[kv.key]) * 1e-4 + 0.01);
+  }
+}
+
+TEST(AggregationTest, OutputTinyComparedToInput) {
+  Rng rng(4);
+  auto input = GenOrderRows(&rng, 20000);
+  auto config = SmallConfig();
+  config.use_combiner = true;
+  auto result = RunAggregation(input, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->stats.reduce_output_bytes,
+            result->stats.map_input_bytes / 100);
+}
+
+TEST(AggregationTest, SkipsMalformedRows) {
+  std::vector<mrfunc::KeyValue> input{
+      {"1", "bogus row"}, {"2", "1|catA|10.00|2|2013-01-01"}};
+  auto result = RunAggregation(input, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->output.size(), 1u);
+  EXPECT_EQ(result->output[0].key, "catA");
+  EXPECT_NEAR(std::atof(result->output[0].value.c_str()), 20.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// K-means
+// ---------------------------------------------------------------------------
+
+TEST(KMeansTest, ConvergesOnSeparatedClusters) {
+  Rng rng(5);
+  auto points = GenPoints(&rng, 3000, /*centers=*/4, /*dims=*/4,
+                          /*spread=*/0.01);
+  auto config = SmallConfig();
+  config.use_combiner = true;
+  auto result = RunKMeans(points, 4, 20, 1e-8, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->iterations, 0u);
+  EXPECT_LE(result->iterations, 20u);
+  EXPECT_EQ(result->centroids.size(), 4u);
+  EXPECT_EQ(result->assignments.size(), points.size());
+  // Mean distance of points to their assigned centroid is small (clusters
+  // are tight: spread 0.01).
+  KMeansMapper mapper(result->centroids);
+  double total = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point p = ParsePoint(points[i].value);
+    total += SquaredDistance(p, result->centroids[result->assignments[i]]);
+  }
+  EXPECT_LT(total / static_cast<double>(points.size()), 0.01);
+}
+
+TEST(KMeansTest, IterationShuffleTinyWithCombiner) {
+  Rng rng(6);
+  auto points = GenPoints(&rng, 5000);
+  auto config = SmallConfig();
+  config.use_combiner = true;
+  auto result = RunKMeans(points, 8, 2, 1e-12, config, &rng);
+  ASSERT_TRUE(result.ok());
+  const auto& st = result->iteration_stats[0];
+  // Map output is point-sized but combining shrinks the spill to ~k records.
+  EXPECT_GT(st.map_output_bytes, st.map_input_bytes / 2);
+  EXPECT_LT(st.spilled_bytes, st.map_output_bytes / 20);
+}
+
+TEST(KMeansTest, PointRoundTrip) {
+  const Point p{1.5, -2.25, 0.0};
+  const Point q = ParsePoint(FormatPoint(p));
+  ASSERT_EQ(q.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(q[i], p[i], 1e-6);
+  EXPECT_TRUE(ParsePoint("").empty());
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Rng rng(7);
+  auto config = SmallConfig();
+  EXPECT_TRUE(RunKMeans({}, 3, 5, 1e-6, config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  auto points = GenPoints(&rng, 10);
+  EXPECT_TRUE(RunKMeans(points, 0, 5, 1e-6, config, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------------
+
+TEST(PageRankTest, RanksSumNearOne) {
+  Rng rng(8);
+  auto graph = GenWebGraph(&rng, 2000, 6.0);
+  auto result = RunPageRank(graph, 10, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  double total = 0;
+  for (const auto& [node, rank] : result->ranks) {
+    EXPECT_GE(rank, 0.0);
+    total += rank;
+  }
+  // Dangling-node mass leaks per iteration; with damping 0.85 the sum stays
+  // within (0.3, 1.0].
+  EXPECT_GT(total, 0.3);
+  EXPECT_LE(total, 1.0 + 1e-6);
+}
+
+TEST(PageRankTest, PopularNodesRankHigher) {
+  // Star graph: all nodes point at node 0.
+  std::vector<mrfunc::KeyValue> graph;
+  graph.push_back({"0", ""});
+  for (int i = 1; i < 50; ++i) graph.push_back({std::to_string(i), "0"});
+  auto result = RunPageRank(graph, 5, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const double hub = result->ranks.at("0");
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_GT(hub, 10 * result->ranks.at(std::to_string(i)));
+  }
+}
+
+TEST(PageRankTest, IterationPreservesStructure) {
+  Rng rng(9);
+  auto graph = GenWebGraph(&rng, 500);
+  auto result = RunPageRank(graph, 3, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  // Every node still has a rank after 3 iterations.
+  EXPECT_EQ(result->ranks.size(), graph.size());
+  EXPECT_EQ(result->iteration_stats.size(), 3u);
+  // Shuffle volume ~ edges, i.e. comparable to the input size.
+  const auto& st = result->iteration_stats[0];
+  EXPECT_GT(st.map_output_bytes, st.map_input_bytes / 2);
+}
+
+TEST(PageRankTest, EmptyGraphRejected) {
+  EXPECT_TRUE(RunPageRank({}, 3, SmallConfig()).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace bdio::workloads
