@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hadoop_tuning.dir/ablation_hadoop_tuning.cc.o"
+  "CMakeFiles/ablation_hadoop_tuning.dir/ablation_hadoop_tuning.cc.o.d"
+  "ablation_hadoop_tuning"
+  "ablation_hadoop_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hadoop_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_config.dir/ablation_storage_config.cc.o"
+  "CMakeFiles/ablation_storage_config.dir/ablation_storage_config.cc.o.d"
+  "ablation_storage_config"
+  "ablation_storage_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

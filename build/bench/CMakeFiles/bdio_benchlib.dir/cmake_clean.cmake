@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_benchlib.dir/figure_common.cc.o"
+  "CMakeFiles/bdio_benchlib.dir/figure_common.cc.o.d"
+  "libbdio_benchlib.a"
+  "libbdio_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bdio_benchlib.
+# This may be replaced when dependencies are built.

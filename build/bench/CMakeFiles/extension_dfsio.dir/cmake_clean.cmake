@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dfsio.dir/extension_dfsio.cc.o"
+  "CMakeFiles/extension_dfsio.dir/extension_dfsio.cc.o.d"
+  "extension_dfsio"
+  "extension_dfsio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dfsio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

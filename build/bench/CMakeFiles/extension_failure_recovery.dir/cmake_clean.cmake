@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_failure_recovery.dir/extension_failure_recovery.cc.o"
+  "CMakeFiles/extension_failure_recovery.dir/extension_failure_recovery.cc.o.d"
+  "extension_failure_recovery"
+  "extension_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_io_attribution.dir/extension_io_attribution.cc.o"
+  "CMakeFiles/extension_io_attribution.dir/extension_io_attribution.cc.o.d"
+  "extension_io_attribution"
+  "extension_io_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_io_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

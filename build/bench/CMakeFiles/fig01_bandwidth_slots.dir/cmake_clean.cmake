@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bandwidth_slots.dir/fig01_bandwidth_slots.cc.o"
+  "CMakeFiles/fig01_bandwidth_slots.dir/fig01_bandwidth_slots.cc.o.d"
+  "fig01_bandwidth_slots"
+  "fig01_bandwidth_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bandwidth_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bandwidth_memory.dir/fig02_bandwidth_memory.cc.o"
+  "CMakeFiles/fig02_bandwidth_memory.dir/fig02_bandwidth_memory.cc.o.d"
+  "fig02_bandwidth_memory"
+  "fig02_bandwidth_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

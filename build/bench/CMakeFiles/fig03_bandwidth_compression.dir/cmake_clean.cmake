@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bandwidth_compression.dir/fig03_bandwidth_compression.cc.o"
+  "CMakeFiles/fig03_bandwidth_compression.dir/fig03_bandwidth_compression.cc.o.d"
+  "fig03_bandwidth_compression"
+  "fig03_bandwidth_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bandwidth_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

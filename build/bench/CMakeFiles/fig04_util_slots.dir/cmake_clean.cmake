@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_util_slots.dir/fig04_util_slots.cc.o"
+  "CMakeFiles/fig04_util_slots.dir/fig04_util_slots.cc.o.d"
+  "fig04_util_slots"
+  "fig04_util_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_util_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

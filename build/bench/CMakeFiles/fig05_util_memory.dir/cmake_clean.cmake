@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_util_memory.dir/fig05_util_memory.cc.o"
+  "CMakeFiles/fig05_util_memory.dir/fig05_util_memory.cc.o.d"
+  "fig05_util_memory"
+  "fig05_util_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_util_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

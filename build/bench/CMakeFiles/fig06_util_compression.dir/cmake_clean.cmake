@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_util_compression.dir/fig06_util_compression.cc.o"
+  "CMakeFiles/fig06_util_compression.dir/fig06_util_compression.cc.o.d"
+  "fig06_util_compression"
+  "fig06_util_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_util_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

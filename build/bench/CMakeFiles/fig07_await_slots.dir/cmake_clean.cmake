@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_await_slots.dir/fig07_await_slots.cc.o"
+  "CMakeFiles/fig07_await_slots.dir/fig07_await_slots.cc.o.d"
+  "fig07_await_slots"
+  "fig07_await_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_await_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_await_memory.dir/fig08_await_memory.cc.o"
+  "CMakeFiles/fig08_await_memory.dir/fig08_await_memory.cc.o.d"
+  "fig08_await_memory"
+  "fig08_await_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_await_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_await_compression.dir/fig09_await_compression.cc.o"
+  "CMakeFiles/fig09_await_compression.dir/fig09_await_compression.cc.o.d"
+  "fig09_await_compression"
+  "fig09_await_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_await_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reqsz_slots.dir/fig10_reqsz_slots.cc.o"
+  "CMakeFiles/fig10_reqsz_slots.dir/fig10_reqsz_slots.cc.o.d"
+  "fig10_reqsz_slots"
+  "fig10_reqsz_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reqsz_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

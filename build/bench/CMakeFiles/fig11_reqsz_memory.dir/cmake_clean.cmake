@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reqsz_memory.dir/fig11_reqsz_memory.cc.o"
+  "CMakeFiles/fig11_reqsz_memory.dir/fig11_reqsz_memory.cc.o.d"
+  "fig11_reqsz_memory"
+  "fig11_reqsz_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reqsz_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

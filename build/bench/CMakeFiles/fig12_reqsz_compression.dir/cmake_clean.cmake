@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reqsz_compression.dir/fig12_reqsz_compression.cc.o"
+  "CMakeFiles/fig12_reqsz_compression.dir/fig12_reqsz_compression.cc.o.d"
+  "fig12_reqsz_compression"
+  "fig12_reqsz_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reqsz_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

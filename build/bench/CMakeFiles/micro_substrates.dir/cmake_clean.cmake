@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_substrates.dir/micro_substrates.cc.o"
+  "CMakeFiles/micro_substrates.dir/micro_substrates.cc.o.d"
+  "micro_substrates"
+  "micro_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

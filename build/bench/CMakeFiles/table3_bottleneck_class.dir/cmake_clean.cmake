@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bottleneck_class.dir/table3_bottleneck_class.cc.o"
+  "CMakeFiles/table3_bottleneck_class.dir/table3_bottleneck_class.cc.o.d"
+  "table3_bottleneck_class"
+  "table3_bottleneck_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bottleneck_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

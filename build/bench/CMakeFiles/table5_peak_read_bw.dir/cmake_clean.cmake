@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_peak_read_bw.dir/table5_peak_read_bw.cc.o"
+  "CMakeFiles/table5_peak_read_bw.dir/table5_peak_read_bw.cc.o.d"
+  "table5_peak_read_bw"
+  "table5_peak_read_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_peak_read_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_peak_read_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_peak_read_bw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_hdfs_util_ratio.dir/table6_hdfs_util_ratio.cc.o"
+  "CMakeFiles/table6_hdfs_util_ratio.dir/table6_hdfs_util_ratio.cc.o.d"
+  "table6_hdfs_util_ratio"
+  "table6_hdfs_util_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_hdfs_util_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

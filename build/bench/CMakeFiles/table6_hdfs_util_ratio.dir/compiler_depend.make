@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_hdfs_util_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_mr_util_ratio.dir/table7_mr_util_ratio.cc.o"
+  "CMakeFiles/table7_mr_util_ratio.dir/table7_mr_util_ratio.cc.o.d"
+  "table7_mr_util_ratio"
+  "table7_mr_util_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_mr_util_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_mr_util_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_scale_invariance.dir/validation_scale_invariance.cc.o"
+  "CMakeFiles/validation_scale_invariance.dir/validation_scale_invariance.cc.o.d"
+  "validation_scale_invariance"
+  "validation_scale_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_scale_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

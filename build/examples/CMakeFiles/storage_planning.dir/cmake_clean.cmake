@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_planning.dir/storage_planning.cc.o"
+  "CMakeFiles/storage_planning.dir/storage_planning.cc.o.d"
+  "storage_planning"
+  "storage_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

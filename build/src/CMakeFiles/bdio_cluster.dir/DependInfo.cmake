@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/bdio_cluster.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/bdio_cluster.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/cpu.cc" "src/CMakeFiles/bdio_cluster.dir/cluster/cpu.cc.o" "gcc" "src/CMakeFiles/bdio_cluster.dir/cluster/cpu.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/bdio_cluster.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/bdio_cluster.dir/cluster/node.cc.o.d"
+  "/root/repo/src/cluster/version.cc" "src/CMakeFiles/bdio_cluster.dir/cluster/version.cc.o" "gcc" "src/CMakeFiles/bdio_cluster.dir/cluster/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_cluster.dir/cluster/version.cc.o: \
+ /root/repo/src/cluster/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/bdio_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/bdio_cluster.dir/cluster/cpu.cc.o"
+  "CMakeFiles/bdio_cluster.dir/cluster/cpu.cc.o.d"
+  "CMakeFiles/bdio_cluster.dir/cluster/node.cc.o"
+  "CMakeFiles/bdio_cluster.dir/cluster/node.cc.o.d"
+  "CMakeFiles/bdio_cluster.dir/cluster/version.cc.o"
+  "CMakeFiles/bdio_cluster.dir/cluster/version.cc.o.d"
+  "libbdio_cluster.a"
+  "libbdio_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

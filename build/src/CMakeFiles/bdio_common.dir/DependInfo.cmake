@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/bdio_common.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/bdio_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/bdio_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/bdio_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bdio_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/bdio_common.dir/common/table.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/table.cc.o.d"
+  "/root/repo/src/common/time_series.cc" "src/CMakeFiles/bdio_common.dir/common/time_series.cc.o" "gcc" "src/CMakeFiles/bdio_common.dir/common/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_common.dir/common/histogram.cc.o"
+  "CMakeFiles/bdio_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/logging.cc.o"
+  "CMakeFiles/bdio_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/random.cc.o"
+  "CMakeFiles/bdio_common.dir/common/random.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/stats.cc.o"
+  "CMakeFiles/bdio_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/status.cc.o"
+  "CMakeFiles/bdio_common.dir/common/status.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/table.cc.o"
+  "CMakeFiles/bdio_common.dir/common/table.cc.o.d"
+  "CMakeFiles/bdio_common.dir/common/time_series.cc.o"
+  "CMakeFiles/bdio_common.dir/common/time_series.cc.o.d"
+  "libbdio_common.a"
+  "libbdio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

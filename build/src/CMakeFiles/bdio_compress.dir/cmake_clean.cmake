@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_compress.dir/compress/codec.cc.o"
+  "CMakeFiles/bdio_compress.dir/compress/codec.cc.o.d"
+  "CMakeFiles/bdio_compress.dir/compress/version.cc.o"
+  "CMakeFiles/bdio_compress.dir/compress/version.cc.o.d"
+  "libbdio_compress.a"
+  "libbdio_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

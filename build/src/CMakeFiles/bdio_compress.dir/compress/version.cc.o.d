@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_compress.dir/compress/version.cc.o: \
+ /root/repo/src/compress/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/bdio_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/bdio_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/bdio_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/bdio_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/version.cc" "src/CMakeFiles/bdio_core.dir/core/version.cc.o" "gcc" "src/CMakeFiles/bdio_core.dir/core/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_iostat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_mrfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

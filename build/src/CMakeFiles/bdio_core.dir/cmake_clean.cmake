@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_core.dir/core/experiment.cc.o"
+  "CMakeFiles/bdio_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/bdio_core.dir/core/report.cc.o"
+  "CMakeFiles/bdio_core.dir/core/report.cc.o.d"
+  "CMakeFiles/bdio_core.dir/core/version.cc.o"
+  "CMakeFiles/bdio_core.dir/core/version.cc.o.d"
+  "libbdio_core.a"
+  "libbdio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_core.dir/core/version.cc.o: \
+ /root/repo/src/core/version.cc /usr/include/stdc-predef.h

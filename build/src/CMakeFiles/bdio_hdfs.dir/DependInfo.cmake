@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/data_node.cc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/data_node.cc.o" "gcc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/data_node.cc.o.d"
+  "/root/repo/src/hdfs/hdfs.cc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/hdfs.cc.o" "gcc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/hdfs.cc.o.d"
+  "/root/repo/src/hdfs/name_node.cc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/name_node.cc.o" "gcc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/name_node.cc.o.d"
+  "/root/repo/src/hdfs/version.cc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/version.cc.o" "gcc" "src/CMakeFiles/bdio_hdfs.dir/hdfs/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_hdfs.dir/hdfs/data_node.cc.o"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/data_node.cc.o.d"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/hdfs.cc.o"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/hdfs.cc.o.d"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/name_node.cc.o"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/name_node.cc.o.d"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/version.cc.o"
+  "CMakeFiles/bdio_hdfs.dir/hdfs/version.cc.o.d"
+  "libbdio_hdfs.a"
+  "libbdio_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

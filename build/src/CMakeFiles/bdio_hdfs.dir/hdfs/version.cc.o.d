@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_hdfs.dir/hdfs/version.cc.o: \
+ /root/repo/src/hdfs/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_iostat.dir/iostat/iostat.cc.o"
+  "CMakeFiles/bdio_iostat.dir/iostat/iostat.cc.o.d"
+  "CMakeFiles/bdio_iostat.dir/iostat/version.cc.o"
+  "CMakeFiles/bdio_iostat.dir/iostat/version.cc.o.d"
+  "libbdio_iostat.a"
+  "libbdio_iostat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_iostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbdio_iostat.a"
+)

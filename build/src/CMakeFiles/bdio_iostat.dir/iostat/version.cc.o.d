@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_iostat.dir/iostat/version.cc.o: \
+ /root/repo/src/iostat/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_mapreduce.dir/mapreduce/engine.cc.o"
+  "CMakeFiles/bdio_mapreduce.dir/mapreduce/engine.cc.o.d"
+  "CMakeFiles/bdio_mapreduce.dir/mapreduce/version.cc.o"
+  "CMakeFiles/bdio_mapreduce.dir/mapreduce/version.cc.o.d"
+  "libbdio_mapreduce.a"
+  "libbdio_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_mapreduce.dir/mapreduce/version.cc.o: \
+ /root/repo/src/mapreduce/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/api.cc.o"
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/api.cc.o.d"
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/local_runner.cc.o"
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/local_runner.cc.o.d"
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/version.cc.o"
+  "CMakeFiles/bdio_mrfunc.dir/mrfunc/version.cc.o.d"
+  "libbdio_mrfunc.a"
+  "libbdio_mrfunc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_mrfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_mrfunc.dir/mrfunc/version.cc.o: \
+ /root/repo/src/mrfunc/version.cc /usr/include/stdc-predef.h

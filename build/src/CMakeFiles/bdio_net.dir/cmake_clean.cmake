@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_net.dir/net/network.cc.o"
+  "CMakeFiles/bdio_net.dir/net/network.cc.o.d"
+  "CMakeFiles/bdio_net.dir/net/version.cc.o"
+  "CMakeFiles/bdio_net.dir/net/version.cc.o.d"
+  "libbdio_net.a"
+  "libbdio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

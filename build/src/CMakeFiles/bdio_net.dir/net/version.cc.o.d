@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_net.dir/net/version.cc.o: \
+ /root/repo/src/net/version.cc /usr/include/stdc-predef.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_os.dir/os/file_system.cc.o"
+  "CMakeFiles/bdio_os.dir/os/file_system.cc.o.d"
+  "CMakeFiles/bdio_os.dir/os/page_cache.cc.o"
+  "CMakeFiles/bdio_os.dir/os/page_cache.cc.o.d"
+  "CMakeFiles/bdio_os.dir/os/version.cc.o"
+  "CMakeFiles/bdio_os.dir/os/version.cc.o.d"
+  "libbdio_os.a"
+  "libbdio_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

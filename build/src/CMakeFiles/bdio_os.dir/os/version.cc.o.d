@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_os.dir/os/version.cc.o: /root/repo/src/os/version.cc \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/bdio_sim.dir/sim/simulator.cc.o.d"
+  "libbdio_sim.a"
+  "libbdio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

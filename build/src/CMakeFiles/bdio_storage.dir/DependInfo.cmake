@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/CMakeFiles/bdio_storage.dir/storage/block_device.cc.o" "gcc" "src/CMakeFiles/bdio_storage.dir/storage/block_device.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/CMakeFiles/bdio_storage.dir/storage/disk_model.cc.o" "gcc" "src/CMakeFiles/bdio_storage.dir/storage/disk_model.cc.o.d"
+  "/root/repo/src/storage/disk_stats.cc" "src/CMakeFiles/bdio_storage.dir/storage/disk_stats.cc.o" "gcc" "src/CMakeFiles/bdio_storage.dir/storage/disk_stats.cc.o.d"
+  "/root/repo/src/storage/io_scheduler.cc" "src/CMakeFiles/bdio_storage.dir/storage/io_scheduler.cc.o" "gcc" "src/CMakeFiles/bdio_storage.dir/storage/io_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

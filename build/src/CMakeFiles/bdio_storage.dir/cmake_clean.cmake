@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_storage.dir/storage/block_device.cc.o"
+  "CMakeFiles/bdio_storage.dir/storage/block_device.cc.o.d"
+  "CMakeFiles/bdio_storage.dir/storage/disk_model.cc.o"
+  "CMakeFiles/bdio_storage.dir/storage/disk_model.cc.o.d"
+  "CMakeFiles/bdio_storage.dir/storage/disk_stats.cc.o"
+  "CMakeFiles/bdio_storage.dir/storage/disk_stats.cc.o.d"
+  "CMakeFiles/bdio_storage.dir/storage/io_scheduler.cc.o"
+  "CMakeFiles/bdio_storage.dir/storage/io_scheduler.cc.o.d"
+  "libbdio_storage.a"
+  "libbdio_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

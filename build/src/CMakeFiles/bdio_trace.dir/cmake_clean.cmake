@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_trace.dir/trace/replay.cc.o"
+  "CMakeFiles/bdio_trace.dir/trace/replay.cc.o.d"
+  "CMakeFiles/bdio_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/bdio_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/bdio_trace.dir/trace/version.cc.o"
+  "CMakeFiles/bdio_trace.dir/trace/version.cc.o.d"
+  "libbdio_trace.a"
+  "libbdio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_trace.dir/trace/version.cc.o: \
+ /root/repo/src/trace/version.cc /usr/include/stdc-predef.h

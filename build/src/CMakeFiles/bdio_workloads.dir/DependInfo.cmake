@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aggregation.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/aggregation.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/aggregation.cc.o.d"
+  "/root/repo/src/workloads/datagen.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/datagen.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/datagen.cc.o.d"
+  "/root/repo/src/workloads/dfsio.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/dfsio.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/dfsio.cc.o.d"
+  "/root/repo/src/workloads/join.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/join.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/join.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/kmeans.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/kmeans.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/pagerank.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/pagerank.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/profile.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/profile.cc.o.d"
+  "/root/repo/src/workloads/terasort.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/terasort.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/terasort.cc.o.d"
+  "/root/repo/src/workloads/version.cc" "src/CMakeFiles/bdio_workloads.dir/workloads/version.cc.o" "gcc" "src/CMakeFiles/bdio_workloads.dir/workloads/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_mrfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_workloads.dir/workloads/aggregation.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/aggregation.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/datagen.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/datagen.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/dfsio.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/dfsio.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/join.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/join.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/kmeans.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/kmeans.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/pagerank.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/pagerank.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/profile.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/profile.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/terasort.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/terasort.cc.o.d"
+  "CMakeFiles/bdio_workloads.dir/workloads/version.cc.o"
+  "CMakeFiles/bdio_workloads.dir/workloads/version.cc.o.d"
+  "libbdio_workloads.a"
+  "libbdio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/bdio_workloads.dir/workloads/version.cc.o: \
+ /root/repo/src/workloads/version.cc /usr/include/stdc-predef.h

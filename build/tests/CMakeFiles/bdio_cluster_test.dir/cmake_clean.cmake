@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_cluster_test.dir/cluster/cpu_test.cc.o"
+  "CMakeFiles/bdio_cluster_test.dir/cluster/cpu_test.cc.o.d"
+  "CMakeFiles/bdio_cluster_test.dir/cluster/node_test.cc.o"
+  "CMakeFiles/bdio_cluster_test.dir/cluster/node_test.cc.o.d"
+  "bdio_cluster_test"
+  "bdio_cluster_test.pdb"
+  "bdio_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_common_test.dir/common/histogram_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/bdio_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/bdio_common_test.dir/common/stats_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/bdio_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/bdio_common_test.dir/common/table_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/table_test.cc.o.d"
+  "CMakeFiles/bdio_common_test.dir/common/time_series_test.cc.o"
+  "CMakeFiles/bdio_common_test.dir/common/time_series_test.cc.o.d"
+  "bdio_common_test"
+  "bdio_common_test.pdb"
+  "bdio_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/codec_test.cc" "tests/CMakeFiles/bdio_compress_test.dir/compress/codec_test.cc.o" "gcc" "tests/CMakeFiles/bdio_compress_test.dir/compress/codec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bdio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_mrfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_iostat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bdio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_compress_test.dir/compress/codec_test.cc.o"
+  "CMakeFiles/bdio_compress_test.dir/compress/codec_test.cc.o.d"
+  "bdio_compress_test"
+  "bdio_compress_test.pdb"
+  "bdio_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_core_test.dir/core/attribution_test.cc.o"
+  "CMakeFiles/bdio_core_test.dir/core/attribution_test.cc.o.d"
+  "CMakeFiles/bdio_core_test.dir/core/experiment_test.cc.o"
+  "CMakeFiles/bdio_core_test.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/bdio_core_test.dir/core/report_test.cc.o"
+  "CMakeFiles/bdio_core_test.dir/core/report_test.cc.o.d"
+  "bdio_core_test"
+  "bdio_core_test.pdb"
+  "bdio_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

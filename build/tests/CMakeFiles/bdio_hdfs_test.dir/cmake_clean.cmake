@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_extra_test.cc.o"
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_extra_test.cc.o.d"
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_property_test.cc.o"
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_property_test.cc.o.d"
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_test.cc.o"
+  "CMakeFiles/bdio_hdfs_test.dir/hdfs/hdfs_test.cc.o.d"
+  "bdio_hdfs_test"
+  "bdio_hdfs_test.pdb"
+  "bdio_hdfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_hdfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bdio_hdfs_test.
+# This may be replaced when dependencies are built.

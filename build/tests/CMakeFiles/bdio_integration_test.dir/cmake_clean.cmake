@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/bdio_integration_test.dir/integration/pipeline_test.cc.o.d"
+  "bdio_integration_test"
+  "bdio_integration_test.pdb"
+  "bdio_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

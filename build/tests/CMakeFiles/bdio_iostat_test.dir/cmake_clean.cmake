@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_iostat_test.dir/iostat/iostat_test.cc.o"
+  "CMakeFiles/bdio_iostat_test.dir/iostat/iostat_test.cc.o.d"
+  "bdio_iostat_test"
+  "bdio_iostat_test.pdb"
+  "bdio_iostat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_iostat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

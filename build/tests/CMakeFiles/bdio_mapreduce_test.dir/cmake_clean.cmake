@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/engine_sweep_test.cc.o"
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/engine_sweep_test.cc.o.d"
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/engine_test.cc.o"
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/engine_test.cc.o.d"
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/failure_test.cc.o"
+  "CMakeFiles/bdio_mapreduce_test.dir/mapreduce/failure_test.cc.o.d"
+  "bdio_mapreduce_test"
+  "bdio_mapreduce_test.pdb"
+  "bdio_mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_mrfunc_test.dir/mrfunc/local_runner_test.cc.o"
+  "CMakeFiles/bdio_mrfunc_test.dir/mrfunc/local_runner_test.cc.o.d"
+  "bdio_mrfunc_test"
+  "bdio_mrfunc_test.pdb"
+  "bdio_mrfunc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_mrfunc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

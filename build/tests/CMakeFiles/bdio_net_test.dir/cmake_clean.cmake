@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_net_test.dir/net/network_property_test.cc.o"
+  "CMakeFiles/bdio_net_test.dir/net/network_property_test.cc.o.d"
+  "CMakeFiles/bdio_net_test.dir/net/network_test.cc.o"
+  "CMakeFiles/bdio_net_test.dir/net/network_test.cc.o.d"
+  "bdio_net_test"
+  "bdio_net_test.pdb"
+  "bdio_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

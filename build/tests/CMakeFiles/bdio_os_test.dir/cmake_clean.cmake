@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_os_test.dir/os/file_system_test.cc.o"
+  "CMakeFiles/bdio_os_test.dir/os/file_system_test.cc.o.d"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_extra_test.cc.o"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_extra_test.cc.o.d"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_fuzz_test.cc.o"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_fuzz_test.cc.o.d"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_test.cc.o"
+  "CMakeFiles/bdio_os_test.dir/os/page_cache_test.cc.o.d"
+  "bdio_os_test"
+  "bdio_os_test.pdb"
+  "bdio_os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_sim_test.dir/sim/latch_test.cc.o"
+  "CMakeFiles/bdio_sim_test.dir/sim/latch_test.cc.o.d"
+  "CMakeFiles/bdio_sim_test.dir/sim/semaphore_test.cc.o"
+  "CMakeFiles/bdio_sim_test.dir/sim/semaphore_test.cc.o.d"
+  "CMakeFiles/bdio_sim_test.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/bdio_sim_test.dir/sim/simulator_test.cc.o.d"
+  "bdio_sim_test"
+  "bdio_sim_test.pdb"
+  "bdio_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

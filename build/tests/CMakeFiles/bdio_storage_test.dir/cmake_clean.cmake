@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_storage_test.dir/storage/block_device_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/block_device_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/cfq_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/cfq_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/disk_model_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/disk_model_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/io_scheduler_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/io_scheduler_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/ncq_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/ncq_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/ssd_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/ssd_test.cc.o.d"
+  "CMakeFiles/bdio_storage_test.dir/storage/storage_property_test.cc.o"
+  "CMakeFiles/bdio_storage_test.dir/storage/storage_property_test.cc.o.d"
+  "bdio_storage_test"
+  "bdio_storage_test.pdb"
+  "bdio_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

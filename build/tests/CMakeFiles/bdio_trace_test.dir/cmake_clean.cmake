@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_trace_test.dir/trace/replay_test.cc.o"
+  "CMakeFiles/bdio_trace_test.dir/trace/replay_test.cc.o.d"
+  "CMakeFiles/bdio_trace_test.dir/trace/trace_test.cc.o"
+  "CMakeFiles/bdio_trace_test.dir/trace/trace_test.cc.o.d"
+  "bdio_trace_test"
+  "bdio_trace_test.pdb"
+  "bdio_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdio_workloads_test.dir/workloads/datagen_test.cc.o"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/datagen_test.cc.o.d"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/dfsio_test.cc.o"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/dfsio_test.cc.o.d"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/join_test.cc.o"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/join_test.cc.o.d"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/profile_test.cc.o"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/profile_test.cc.o.d"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/workloads_test.cc.o"
+  "CMakeFiles/bdio_workloads_test.dir/workloads/workloads_test.cc.o.d"
+  "bdio_workloads_test"
+  "bdio_workloads_test.pdb"
+  "bdio_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdio_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bdio_common_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_os_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_net_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_compress_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_mrfunc_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_iostat_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_core_test[1]_include.cmake")
+include("/root/repo/build/tests/bdio_integration_test[1]_include.cmake")
