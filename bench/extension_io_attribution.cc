@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   core::GridRunner grid(options);
   const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+  grid.PrefetchAll({factors});  // all four workloads run concurrently
 
   TextTable table;
   table.SetHeader({"workload", "source", "read MB", "written MB",

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   core::GridRunner grid(options);
   const core::Factors factors = core::SlotsLevels()[0];
+  grid.PrefetchAll({factors});  // all four workloads run concurrently
   const double total_cores = 12.0 * options.num_workers;
 
   TextTable table;

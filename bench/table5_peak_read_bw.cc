@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   core::GridRunner grid(options);
   const std::vector<Factors> levels = core::SlotsLevels();
+  grid.PrefetchAll(levels);  // whole grid runs concurrently (--jobs)
 
   TextTable table;
   table.SetHeader({"workload", "peak rMB/s @1_8", "peak rMB/s @2_16",

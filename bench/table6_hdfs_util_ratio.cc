@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   core::GridRunner grid(options);
   const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+  grid.PrefetchAll({factors});  // all four workloads run concurrently
 
   TextTable table;
   table.SetHeader({"workload", ">90%util", ">95%util", ">99%util",

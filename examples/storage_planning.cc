@@ -4,12 +4,17 @@
 // the way a capacity planner would: given 6 data disks per node, how should
 // they be split between the two classes for each workload?
 //
+// The six candidate configurations are independent simulations, so they
+// are swept concurrently with core::runner::SweepRunner — results come
+// back in submission order, bit-identical to a serial sweep (BDIO_JOBS
+// caps the worker count).
+//
 //   $ ./storage_planning
 
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/experiment.h"
+#include "core/runner/sweep_runner.h"
 
 int main() {
   using namespace bdio;
@@ -23,21 +28,32 @@ int main() {
       workloads::WorkloadKind::kAggregation,
       workloads::WorkloadKind::kTeraSort};
 
-  TextTable table;
-  table.SetHeader({"workload", "disks hdfs+mr", "duration_s", "hdfs util%",
-                   "mr util%", "verdict"});
-
+  // One spec per (workload, split), workload-major — the print order below.
+  std::vector<core::ExperimentSpec> specs;
   for (workloads::WorkloadKind w : workloads_to_plan) {
-    double best = 1e100;
-    uint32_t best_hdfs = 0;
-    std::vector<std::vector<std::string>> rows;
     for (const Split& split : splits) {
       core::ExperimentSpec spec;
       spec.workload = w;
       spec.scale = 1.0 / 256;
       spec.num_hdfs_disks = split.hdfs;
       spec.num_mr_disks = split.mr;
-      auto result = core::RunExperiment(spec);
+      specs.push_back(spec);
+    }
+  }
+  core::runner::SweepRunner sweep;
+  const auto results = sweep.Run(specs);
+
+  TextTable table;
+  table.SetHeader({"workload", "disks hdfs+mr", "duration_s", "hdfs util%",
+                   "mr util%", "verdict"});
+
+  size_t next = 0;
+  for (workloads::WorkloadKind w : workloads_to_plan) {
+    double best = 1e100;
+    uint32_t best_hdfs = 0;
+    std::vector<std::vector<std::string>> rows;
+    for (const Split& split : splits) {
+      const auto& result = results[next++];
       if (!result.ok()) {
         std::fprintf(stderr, "failed: %s\n",
                      result.status().ToString().c_str());

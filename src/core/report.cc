@@ -26,6 +26,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.num_workers =
           static_cast<uint32_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg.rfind("--outdir=", 0) == 0) {
@@ -35,7 +41,10 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--scale=<denominator|fraction>] [--seed=N]\n"
-                   "          [--workers=N] [--csv] [--calibrate]\n",
+                   "          [--workers=N] [--jobs=N] [--csv] [--calibrate]\n"
+                   "          [--outdir=<dir>]\n"
+                   "  --jobs=N  run up to N simulations in parallel\n"
+                   "            (default: BDIO_JOBS env var, else all cores)\n",
                    argv[0]);
       std::exit(0);
     } else {
@@ -44,6 +53,10 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     }
   }
   return options;
+}
+
+uint32_t BenchOptions::ResolvedJobs() const {
+  return jobs > 0 ? jobs : runner::ThreadPool::DefaultParallelism();
 }
 
 ExperimentSpec BenchOptions::MakeSpec(workloads::WorkloadKind workload,
@@ -126,16 +139,47 @@ const TimeSeries& SeriesOf(const GroupObservation& obs,
   }
 }
 
-const ExperimentResult& GridRunner::Get(workloads::WorkloadKind workload,
-                                        const Factors& factors) {
+GridRunner::GridRunner(const BenchOptions& options, RunFn run)
+    : options_(options),
+      run_(run ? std::move(run) : RunFn(&RunExperiment)),
+      pool_(options.ResolvedJobs()) {}
+
+GridRunner::Entry GridRunner::EntryFor(workloads::WorkloadKind workload,
+                                       const Factors& factors) {
   const std::string label = factors.Label(workload);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(label);
   if (it != cache_.end()) return it->second;
-  auto result = RunExperiment(options_.MakeSpec(workload, factors));
-  BDIO_CHECK(result.ok()) << label << ": " << result.status().ToString();
-  auto [ins, inserted] = cache_.emplace(label, std::move(result).value());
+
+  // First request for this key: submit exactly one simulation and publish
+  // its future before releasing the lock, so concurrent callers join it.
+  const ExperimentSpec spec = options_.MakeSpec(workload, factors);
+  auto task = [run = run_, spec, label]() {
+    auto result = run(spec);
+    BDIO_CHECK(result.ok()) << label << ": " << result.status().ToString();
+    return std::shared_ptr<const ExperimentResult>(
+        std::make_shared<ExperimentResult>(std::move(result).value()));
+  };
+  Entry entry = pool_.Async(std::move(task)).share();
+  auto [ins, inserted] = cache_.emplace(label, std::move(entry));
   BDIO_CHECK(inserted);
   return ins->second;
+}
+
+void GridRunner::Prefetch(workloads::WorkloadKind workload,
+                          const Factors& factors) {
+  EntryFor(workload, factors);
+}
+
+void GridRunner::PrefetchAll(const std::vector<Factors>& levels) {
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    for (const Factors& f : levels) Prefetch(w, f);
+  }
+}
+
+const ExperimentResult& GridRunner::Get(workloads::WorkloadKind workload,
+                                        const Factors& factors) {
+  return *EntryFor(workload, factors).get();
 }
 
 int PrintShapeChecks(const std::vector<ShapeCheck>& checks) {

@@ -1,13 +1,18 @@
 #ifndef BDIO_CORE_REPORT_H_
 #define BDIO_CORE_REPORT_H_
 
+#include <functional>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/runner/thread_pool.h"
 #include "iostat/iostat.h"
 
 namespace bdio::core {
@@ -17,13 +22,19 @@ struct BenchOptions {
   double scale = 1.0 / 128;
   uint64_t seed = 42;
   uint32_t num_workers = 10;
+  uint32_t jobs = 0;      ///< Parallel simulations; 0 = BDIO_JOBS env var,
+                          ///< else hardware_concurrency.
   bool csv = false;       ///< Also dump full per-second series as CSV.
   bool calibrate = false; ///< Measure volume ratios with the real engine.
   std::string outdir;     ///< If set, write per-series CSV files here.
 
-  /// Parses --scale=<den|frac>, --seed=, --workers=, --csv, --calibrate,
-  /// --outdir=<dir>. Unknown flags abort with a usage message.
+  /// Parses --scale=<den|frac>, --seed=, --workers=, --jobs=N (also
+  /// "--jobs N"), --csv, --calibrate, --outdir=<dir>. Unknown flags abort
+  /// with a usage message.
   static BenchOptions Parse(int argc, char** argv);
+
+  /// The worker-thread count `jobs` resolves to (see the field comment).
+  uint32_t ResolvedJobs() const;
 
   ExperimentSpec MakeSpec(workloads::WorkloadKind workload,
                           const Factors& factors) const;
@@ -44,18 +55,44 @@ double Summarize(const GroupObservation& obs, iostat::Metric metric);
 const TimeSeries& SeriesOf(const GroupObservation& obs,
                            iostat::Metric metric);
 
-/// Runs the grid workloads x levels with memoization.
+/// Runs the grid workloads x levels with memoization, executing up to
+/// `options.jobs` simulations concurrently on a work-stealing pool.
+///
+/// The cache maps `Factors::Label(workload)` to a per-key shared future:
+/// the first Prefetch/Get for a key submits the simulation, every later
+/// call joins the same in-flight future, so two figures (or two threads)
+/// never simulate the same grid point twice. Results are immutable once
+/// published; references returned by Get stay valid for the runner's
+/// lifetime.
 class GridRunner {
  public:
-  explicit GridRunner(const BenchOptions& options) : options_(options) {}
+  /// `run` overrides the experiment executor (tests inject counters/stubs);
+  /// the default is RunExperiment.
+  using RunFn = std::function<Result<ExperimentResult>(const ExperimentSpec&)>;
+  explicit GridRunner(const BenchOptions& options, RunFn run = {});
 
-  /// Runs (or returns the cached) experiment.
+  /// Submits the experiment to the pool if neither cached nor in flight.
+  /// Returns immediately; a later Get joins the result.
+  void Prefetch(workloads::WorkloadKind workload, const Factors& factors);
+
+  /// Submits every workload x level grid point (workload-major, the order
+  /// figures print) so the whole grid runs concurrently.
+  void PrefetchAll(const std::vector<Factors>& levels);
+
+  /// Returns the experiment result, running it (or waiting for the
+  /// in-flight run) if needed. Aborts the process if the experiment failed.
   const ExperimentResult& Get(workloads::WorkloadKind workload,
                               const Factors& factors);
 
  private:
+  using Entry = std::shared_future<std::shared_ptr<const ExperimentResult>>;
+  Entry EntryFor(workloads::WorkloadKind workload, const Factors& factors);
+
   BenchOptions options_;
-  std::map<std::string, ExperimentResult> cache_;
+  RunFn run_;
+  runner::ThreadPool pool_;
+  std::mutex mu_;
+  std::map<std::string, Entry> cache_;
 };
 
 /// One shape expectation derived from the paper, checked against measured

@@ -1,0 +1,33 @@
+#include "core/runner/sweep_runner.h"
+
+#include <utility>
+
+namespace bdio::core::runner {
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : owned_pool_(std::make_unique<ThreadPool>(jobs)),
+      pool_(owned_pool_.get()) {}
+
+SweepRunner::SweepRunner(ThreadPool* pool) : pool_(pool) {}
+
+std::vector<std::future<Result<ExperimentResult>>> SweepRunner::Submit(
+    const std::vector<ExperimentSpec>& specs) {
+  std::vector<std::future<Result<ExperimentResult>>> futures;
+  futures.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    futures.push_back(
+        pool_->Async([spec]() { return RunExperiment(spec); }));
+  }
+  return futures;
+}
+
+std::vector<Result<ExperimentResult>> SweepRunner::Run(
+    const std::vector<ExperimentSpec>& specs) {
+  auto futures = Submit(specs);
+  std::vector<Result<ExperimentResult>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace bdio::core::runner

@@ -1,0 +1,44 @@
+#ifndef BDIO_CORE_RUNNER_SWEEP_RUNNER_H_
+#define BDIO_CORE_RUNNER_SWEEP_RUNNER_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/runner/thread_pool.h"
+
+namespace bdio::core::runner {
+
+/// Executes a vector of ExperimentSpecs concurrently on a ThreadPool and
+/// returns the results in submission order.
+///
+/// Determinism invariant: each simulation owns its entire state (Simulator,
+/// cluster, RNG seeded from `spec.seed`) — nothing is shared across grid
+/// points — so a parallel sweep produces bit-identical ExperimentResults to
+/// a serial sweep of the same specs. tests/core/runner_test.cc asserts this.
+class SweepRunner {
+ public:
+  /// Owns a fresh pool of `jobs` workers (0 = ThreadPool::DefaultParallelism).
+  explicit SweepRunner(unsigned jobs = 0);
+  /// Borrows an existing pool (not owned; must outlive the runner).
+  explicit SweepRunner(ThreadPool* pool);
+
+  ThreadPool& pool() { return *pool_; }
+
+  /// Submits every spec; futures are in submission order.
+  std::vector<std::future<Result<ExperimentResult>>> Submit(
+      const std::vector<ExperimentSpec>& specs);
+
+  /// Submits every spec and blocks for all results, in submission order.
+  std::vector<Result<ExperimentResult>> Run(
+      const std::vector<ExperimentSpec>& specs);
+
+ private:
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+};
+
+}  // namespace bdio::core::runner
+
+#endif  // BDIO_CORE_RUNNER_SWEEP_RUNNER_H_

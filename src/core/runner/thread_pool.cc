@@ -1,0 +1,93 @@
+#include "core/runner/thread_pool.h"
+
+#include <cstdlib>
+
+namespace bdio::core::runner {
+
+unsigned ThreadPool::DefaultParallelism() {
+  if (const char* env = std::getenv("BDIO_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = DefaultParallelism();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const unsigned target = next_.fetch_add(1) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1);
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(unsigned self, std::function<void()>* out) {
+  // Own queue first, newest task (back) — then steal the oldest task
+  // (front) from the other workers, scanning from a per-thief offset so
+  // thieves don't all hammer worker 0.
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  for (unsigned d = 1; d < n; ++d) {
+    Worker& victim = *workers_[(self + d) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryPop(self, &task)) {
+      pending_.fetch_sub(1);
+      try {
+        task();
+      } catch (...) {
+        // Async tasks trap exceptions in their packaged_task; a throwing
+        // bare Submit must not take the worker thread down with it.
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ && pending_.load() == 0) return;
+    cv_.wait(lock, [this]() { return stop_ || pending_.load() > 0; });
+    if (stop_ && pending_.load() == 0) return;
+  }
+}
+
+}  // namespace bdio::core::runner

@@ -1,0 +1,84 @@
+#ifndef BDIO_CORE_RUNNER_THREAD_POOL_H_
+#define BDIO_CORE_RUNNER_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bdio::core::runner {
+
+/// A small work-stealing thread pool for coarse-grained simulation tasks.
+///
+/// Each worker owns a deque: the owner pops from the back (LIFO, cache-warm),
+/// idle workers steal from the front of a victim's deque (FIFO, oldest task
+/// first). Submissions are distributed round-robin across workers. Tasks are
+/// expected to be seconds-long simulations, so queue operations are guarded
+/// by plain per-worker mutexes rather than lock-free deques — contention is
+/// unmeasurable at this grain.
+///
+/// Exceptions thrown by a task never kill a worker thread: `Async` routes
+/// them into the returned future (via std::packaged_task), and bare `Submit`
+/// tasks that throw are swallowed after the stack unwinds.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultParallelism().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();  // Drains queued tasks, then joins all workers.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Resolution order: BDIO_JOBS env var (if a positive integer), else
+  /// std::thread::hardware_concurrency(), else 1.
+  static unsigned DefaultParallelism();
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result; exceptions
+  /// propagate through the future.
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(unsigned self);
+  bool TryPop(unsigned self, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleeping/waking coordination: `pending_` counts queued-but-unclaimed
+  // tasks; idle workers wait on `cv_` until it is nonzero or `stop_`.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<unsigned> next_{0};
+  bool stop_ = false;
+};
+
+}  // namespace bdio::core::runner
+
+#endif  // BDIO_CORE_RUNNER_THREAD_POOL_H_
