@@ -13,6 +13,22 @@
 
 namespace bdio::core {
 
+namespace {
+
+// --jobs must be a positive integer: strtoul would silently wrap a negative
+// value to ~4 billion and the pool would try to spawn that many threads.
+uint32_t ParseJobsOrDie(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) {
+    std::fprintf(stderr, "--jobs expects a positive integer, got '%s' (try --help)\n", s);
+    std::exit(2);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -27,11 +43,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.num_workers =
           static_cast<uint32_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs =
-          static_cast<uint32_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      options.jobs = ParseJobsOrDie(arg.c_str() + 7);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      options.jobs =
-          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      options.jobs = ParseJobsOrDie(argv[++i]);
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg.rfind("--outdir=", 0) == 0) {
@@ -153,13 +167,9 @@ GridRunner::Entry GridRunner::EntryFor(workloads::WorkloadKind workload,
 
   // First request for this key: submit exactly one simulation and publish
   // its future before releasing the lock, so concurrent callers join it.
+  // Failures ride the future back to Get(); workers never abort.
   const ExperimentSpec spec = options_.MakeSpec(workload, factors);
-  auto task = [run = run_, spec, label]() {
-    auto result = run(spec);
-    BDIO_CHECK(result.ok()) << label << ": " << result.status().ToString();
-    return std::shared_ptr<const ExperimentResult>(
-        std::make_shared<ExperimentResult>(std::move(result).value()));
-  };
+  auto task = [run = run_, spec]() { return run(spec); };
   Entry entry = pool_.Async(std::move(task)).share();
   auto [ins, inserted] = cache_.emplace(label, std::move(entry));
   BDIO_CHECK(inserted);
@@ -179,7 +189,10 @@ void GridRunner::PrefetchAll(const std::vector<Factors>& levels) {
 
 const ExperimentResult& GridRunner::Get(workloads::WorkloadKind workload,
                                         const Factors& factors) {
-  return *EntryFor(workload, factors).get();
+  const Result<ExperimentResult>& result = EntryFor(workload, factors).get();
+  BDIO_CHECK(result.ok()) << factors.Label(workload) << ": "
+                          << result.status().ToString();
+  return *result;
 }
 
 int PrintShapeChecks(const std::vector<ShapeCheck>& checks) {

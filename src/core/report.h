@@ -85,7 +85,12 @@ class GridRunner {
                               const Factors& factors);
 
  private:
-  using Entry = std::shared_future<std::shared_ptr<const ExperimentResult>>;
+  // The Result travels through the future so a failed experiment aborts on
+  // the caller thread in Get(), at a well-defined point in output order —
+  // not from a pool worker mid-print. shared_future::get() returns a
+  // reference into the shared state, which the cache keeps alive, so
+  // results returned by Get are reference-stable.
+  using Entry = std::shared_future<Result<ExperimentResult>>;
   Entry EntryFor(workloads::WorkloadKind workload, const Factors& factors);
 
   BenchOptions options_;

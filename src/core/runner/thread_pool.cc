@@ -40,7 +40,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(workers_[target]->mu);
     workers_[target]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1);
+  {
+    // The increment must happen under mu_: if it landed between a worker's
+    // predicate check and its block on cv_, the notify would be lost and
+    // the worker would sleep with this task queued.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.fetch_add(1);
+  }
   cv_.notify_one();
 }
 

@@ -53,6 +53,25 @@ TEST(ThreadPoolTest, SurvivesTaskExceptions) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ThreadPoolTest, SingleThreadWakeupStress) {
+  // The tightest wakeup schedule: one worker that goes back to sleep after
+  // every task, with each Submit racing the worker's predicate-check-then-
+  // block window. A lost wakeup leaves the task queued forever; the
+  // deadline turns that hang into a fast, attributable failure.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  constexpr int kRounds = 3000;
+  for (int round = 0; round < kRounds; ++round) {
+    auto f = pool.Async([&count]() { ++count; });
+    ASSERT_EQ(f.wait_until(deadline), std::future_status::ready)
+        << "lost wakeup: worker slept through Submit at round " << round;
+    f.get();
+  }
+  EXPECT_EQ(count.load(), kRounds);
+}
+
 TEST(ThreadPoolTest, DefaultParallelismHonorsEnv) {
   ::setenv("BDIO_JOBS", "3", 1);
   EXPECT_EQ(ThreadPool::DefaultParallelism(), 3u);
