@@ -15,9 +15,11 @@ using namespace bdio;
 
 core::ExperimentResult Run(const core::BenchOptions& options,
                            const std::string& label,
-                           std::function<void(core::ExperimentSpec*)> tweak) {
+                           std::function<void(core::ExperimentSpec*)> tweak,
+                           bool collect_trace = false) {
   core::ExperimentSpec spec = options.MakeSpec(
       workloads::WorkloadKind::kTeraSort, core::SlotsLevels()[0]);
+  spec.collect_trace = collect_trace;
   tweak(&spec);
   auto result = core::RunExperiment(spec);
   BDIO_CHECK(result.ok()) << result.status().ToString();
@@ -49,7 +51,8 @@ int main(int argc, char** argv) {
 
   std::vector<core::ExperimentResult> results;
   results.push_back(Run(options, "defaults (100MB/5/0.05)",
-                        [](core::ExperimentSpec*) {}));
+                        [](core::ExperimentSpec*) {},
+                        !options.trace_out.empty()));
   results.push_back(Run(options, "io.sort.mb 32MB",
                         [](core::ExperimentSpec* s) {
                           s->sort_buffer_bytes = MiB(32);
@@ -83,6 +86,12 @@ int main(int argc, char** argv) {
                   TextTable::Num(r.mr.wait_ms.ActiveMean(), 1)});
   }
   std::fputs(table.ToString().c_str(), stdout);
+
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
+    for (const auto& r : results) obs.emplace_back(r.label, &r);
+    core::WriteObsArtifacts(options, obs);
+  }
 
   std::vector<core::ShapeCheck> checks;
   checks.push_back(core::ShapeCheck{

@@ -18,9 +18,11 @@ using namespace bdio;
 
 workloads::DfsioResult Run(const core::BenchOptions& options,
                            uint32_t files, uint64_t file_bytes,
-                           uint32_t replication) {
+                           uint32_t replication,
+                           core::ExperimentResult* obs_out = nullptr) {
   Rng rng(options.seed);
   sim::Simulator sim;
+  sim::ScopedLogClock log_clock(&sim);
   cluster::ClusterParams cp;
   cp.num_workers = options.num_workers;
   cp.node.memory_bytes =
@@ -33,6 +35,35 @@ workloads::DfsioResult Run(const core::BenchOptions& options,
   cluster::Cluster cluster(&sim, cp, 16, rng.Fork());
   hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
 
+  // When this run is the observed one, attach a registry (and a trace if
+  // requested) exactly like core::RunExperiment does.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceSession> trace;
+  if (obs_out) {
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    if (!options.trace_out.empty()) {
+      trace = std::make_shared<obs::TraceSession>(&sim);
+      trace->SetProcessName(0, "cluster");
+      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+        trace->SetProcessName(n + 1, "node " + std::to_string(n));
+      }
+    }
+    obs::TraceSession* tr = trace.get();
+    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+      cluster.node(n)->cache()->AttachObs(tr, metrics.get(), n + 1);
+      for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
+        cluster.node(n)->hdfs_disk(d)->AttachObs(tr, metrics.get(), n + 1,
+                                                 "hdfs");
+      }
+      for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
+        cluster.node(n)->mr_disk(d)->AttachObs(tr, metrics.get(), n + 1,
+                                               "mr");
+      }
+    }
+    cluster.network()->AttachObs(tr, metrics.get());
+    dfs.AttachObs(tr, metrics.get());
+  }
+
   workloads::DfsioSpec spec;
   spec.num_files = files;
   spec.file_bytes = file_bytes;
@@ -44,6 +75,10 @@ workloads::DfsioResult Run(const core::BenchOptions& options,
                       });
   sim.Run();
   BDIO_CHECK(result.ok()) << result.status().ToString();
+  if (obs_out) {
+    obs_out->metrics = std::move(metrics);
+    obs_out->trace = std::move(trace);
+  }
   return result.value();
 }
 
@@ -67,10 +102,16 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.SetHeader({"files", "MB/file", "repl", "write MB/s", "read MB/s"});
+  const bool want_obs =
+      !options.trace_out.empty() || !options.metrics_out.empty();
+  core::ExperimentResult obs_holder;  // only label/metrics/trace are used
+  obs_holder.label = "dfsio_1x256MB_r3";
   std::vector<workloads::DfsioResult> results;
   std::vector<Config> cfgs;
   for (const Config& c : configs) {
-    results.push_back(Run(options, c.files, c.bytes, c.replication));
+    const bool first = results.empty();
+    results.push_back(Run(options, c.files, c.bytes, c.replication,
+                          first && want_obs ? &obs_holder : nullptr));
     cfgs.push_back(c);
     const auto& r = results.back();
     table.AddRow({std::to_string(c.files),
@@ -80,6 +121,11 @@ int main(int argc, char** argv) {
                   TextTable::Num(r.read_mb_s, 1)});
   }
   std::fputs(table.ToString().c_str(), stdout);
+
+  if (want_obs) {
+    core::WriteObsArtifacts(options,
+                            {{obs_holder.label, &obs_holder}});
+  }
 
   std::vector<core::ShapeCheck> checks;
   // A single writer is NIC-bound (~118 MB/s payload); ten writers spread

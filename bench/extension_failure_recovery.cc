@@ -23,9 +23,11 @@ struct RunResult {
 };
 
 RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
-                      double failure_fraction) {
+                      double failure_fraction,
+                      core::ExperimentResult* obs_out = nullptr) {
   Rng rng(options.seed);
   sim::Simulator sim;
+  sim::ScopedLogClock log_clock(&sim);
   cluster::ClusterParams cp;
   cp.num_workers = options.num_workers;
   cp.node.memory_bytes =
@@ -47,6 +49,37 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
 
   mapreduce::MrEngine engine(&cluster, &dfs,
                              mapreduce::SlotConfig::Paper_1_8(), rng.Fork());
+
+  // When this run is the observed one, attach a registry (and a trace if
+  // requested) exactly like core::RunExperiment does.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceSession> trace;
+  if (obs_out) {
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    if (!options.trace_out.empty()) {
+      trace = std::make_shared<obs::TraceSession>(&sim);
+      trace->SetProcessName(0, "cluster");
+      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+        trace->SetProcessName(n + 1, "node " + std::to_string(n));
+      }
+    }
+    obs::TraceSession* tr = trace.get();
+    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+      cluster.node(n)->cache()->AttachObs(tr, metrics.get(), n + 1);
+      for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
+        cluster.node(n)->hdfs_disk(d)->AttachObs(tr, metrics.get(), n + 1,
+                                                 "hdfs");
+      }
+      for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
+        cluster.node(n)->mr_disk(d)->AttachObs(tr, metrics.get(), n + 1,
+                                               "mr");
+      }
+    }
+    cluster.network()->AttachObs(tr, metrics.get());
+    dfs.AttachObs(tr, metrics.get());
+    engine.AttachObs(tr, metrics.get());
+  }
+
   RunResult result;
   bool done = false;
   engine.RunJob(plan.jobs[0].spec,
@@ -65,6 +98,10 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
   sim.Run();
   BDIO_CHECK(done);
   result.duration_s = result.counters.DurationSeconds();
+  if (obs_out) {
+    obs_out->metrics = std::move(metrics);
+    obs_out->trace = std::move(trace);
+  }
   return result;
 }
 
@@ -76,9 +113,16 @@ int main(int argc, char** argv) {
   core::PrintFigureHeader(
       "Extension", "Node-failure recovery cost under TeraSort", options);
 
+  // The observed run is the early-failure one: its trace shows the killed
+  // node's spans close out and the re-executed maps appear elsewhere.
+  const bool want_obs =
+      !options.trace_out.empty() || !options.metrics_out.empty();
+  core::ExperimentResult obs_holder;  // only label/metrics/trace are used
+  obs_holder.label = "TS_fail_at_25pct";
   const RunResult healthy = RunTeraSort(options, false, 0);
   const RunResult early =
-      RunTeraSort(options, true, healthy.duration_s * 0.25);
+      RunTeraSort(options, true, healthy.duration_s * 0.25,
+                  want_obs ? &obs_holder : nullptr);
   const RunResult late =
       RunTeraSort(options, true, healthy.duration_s * 0.75);
 
@@ -101,6 +145,11 @@ int main(int argc, char** argv) {
   row("node fails at 25%", early);
   row("node fails at 75%", late);
   std::fputs(table.ToString().c_str(), stdout);
+
+  if (want_obs) {
+    core::WriteObsArtifacts(options,
+                            {{obs_holder.label, &obs_holder}});
+  }
 
   std::vector<core::ShapeCheck> checks;
   checks.push_back(core::ShapeCheck{

@@ -35,10 +35,15 @@ std::string LevelLabel(FactorContext context, const Factors& f) {
 }
 
 int RunFigure(int argc, char** argv, const FigureDef& def) {
-  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
   core::PrintFigureHeader(def.id, def.caption, options);
 
   const std::vector<Factors> levels = LevelsFor(def.context);
+  // --trace-out records one experiment; pick the figure's first grid cell.
+  if (!options.trace_out.empty() && !levels.empty()) {
+    options.trace_label =
+        levels.front().Label(workloads::AllWorkloads().front());
+  }
   GridRunner grid(options);
   // Submit the whole workload x level grid before printing anything: the
   // simulations run concurrently (up to --jobs of them) while the Get calls
@@ -110,6 +115,18 @@ int RunFigure(int argc, char** argv, const FigureDef& def) {
     }
     std::printf("\nwrote %zu series CSV files to %s/\n", written,
                 options.outdir.c_str());
+  }
+
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>>
+        results;
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      for (const Factors& f : levels) {
+        const core::ExperimentResult& res = grid.Get(w, f);
+        results.emplace_back(res.label, &res);
+      }
+    }
+    core::WriteObsArtifacts(options, results);
   }
 
   if (!def.checks) return 0;

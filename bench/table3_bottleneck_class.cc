@@ -15,13 +15,16 @@
 
 int main(int argc, char** argv) {
   using namespace bdio;
-  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
   core::PrintFigureHeader(
       "Table 3", "Performance-bottleneck classification per workload",
       options);
 
-  core::GridRunner grid(options);
   const core::Factors factors = core::SlotsLevels()[0];
+  if (!options.trace_out.empty()) {
+    options.trace_label = factors.Label(workloads::AllWorkloads().front());
+  }
+  core::GridRunner grid(options);
   grid.PrefetchAll({factors});  // all four workloads run concurrently
   const double total_cores = 12.0 * options.num_workers;
 
@@ -48,6 +51,15 @@ int main(int argc, char** argv) {
                   TextTable::Num(ns_per_byte[w], 1), paper[i++]});
   }
   std::fputs(table.ToString().c_str(), stdout);
+
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      const auto& res = grid.Get(w, factors);
+      obs.emplace_back(res.label, &res);
+    }
+    core::WriteObsArtifacts(options, obs);
+  }
 
   using workloads::WorkloadKind;
   std::vector<core::ShapeCheck> checks;

@@ -10,13 +10,17 @@
 int main(int argc, char** argv) {
   using namespace bdio;
   using core::Factors;
-  const core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
   core::PrintFigureHeader(
       "Table 5", "Peak HDFS disk read bandwidth (per-disk mean, MB/s)",
       options);
 
-  core::GridRunner grid(options);
   const std::vector<Factors> levels = core::SlotsLevels();
+  if (!options.trace_out.empty()) {
+    options.trace_label =
+        levels.front().Label(workloads::AllWorkloads().front());
+  }
+  core::GridRunner grid(options);
   grid.PrefetchAll(levels);  // whole grid runs concurrently (--jobs)
 
   TextTable table;
@@ -39,6 +43,17 @@ int main(int argc, char** argv) {
         core::RoughlyEqual(p1, p2, small_dataset ? 0.6 : 0.35, 2.0)});
   }
   std::fputs(table.ToString().c_str(), stdout);
+
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      for (const Factors& f : levels) {
+        const auto& res = grid.Get(w, f);
+        obs.emplace_back(res.label, &res);
+      }
+    }
+    core::WriteObsArtifacts(options, obs);
+  }
 
   // The paper's implied ordering: the scan-heavy workloads peak higher.
   const double agg =

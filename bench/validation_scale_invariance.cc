@@ -14,10 +14,12 @@ namespace {
 using namespace bdio;
 
 core::ExperimentResult RunAt(const core::BenchOptions& base, double scale,
-                             workloads::WorkloadKind w) {
+                             workloads::WorkloadKind w,
+                             bool collect_trace = false) {
   core::BenchOptions options = base;
   options.scale = scale;
   core::ExperimentSpec spec = options.MakeSpec(w, core::SlotsLevels()[0]);
+  spec.collect_trace = collect_trace;
   auto result = core::RunExperiment(spec);
   BDIO_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
@@ -37,13 +39,20 @@ int main(int argc, char** argv) {
   table.SetHeader({"scale", "workload", "hdfs rqsz", "mr rqsz", "hdfs wait",
                    "mr wait", "hdfs >90%", "mr >90%"});
   std::vector<core::ShapeCheck> checks;
+  std::vector<core::ExperimentResult> all;  // kept alive for --metrics-out
+  all.reserve(2 * (sizeof(scales) / sizeof(scales[0])));  // refs stay valid
+  std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
   for (double scale : scales) {
-    const auto ts = RunAt(options, scale, workloads::WorkloadKind::kTeraSort);
-    const auto agg =
-        RunAt(options, scale, workloads::WorkloadKind::kAggregation);
+    all.push_back(RunAt(options, scale, workloads::WorkloadKind::kTeraSort,
+                        all.empty() && !options.trace_out.empty()));
+    const auto& ts = all.back();
+    all.push_back(
+        RunAt(options, scale, workloads::WorkloadKind::kAggregation));
+    const auto& agg = all.back();
     char label[32];
     std::snprintf(label, sizeof(label), "1/%.0f", 1.0 / scale);
     for (const auto* r : {&ts, &agg}) {
+      obs.emplace_back(std::string(label) + (r == &ts ? "/TS" : "/AGG"), r);
       table.AddRow({label,
                     r == &ts ? "TS" : "AGG",
                     TextTable::Num(r->hdfs.avgrq_sz.ActiveMean(), 0),
@@ -72,5 +81,8 @@ int main(int argc, char** argv) {
         agg.hdfs.util.Mean() > ts.hdfs.util.Mean()});
   }
   std::fputs(table.ToString().c_str(), stdout);
+  if (!options.trace_out.empty() || !options.metrics_out.empty()) {
+    core::WriteObsArtifacts(options, obs);
+  }
   return core::PrintShapeChecks(checks);
 }

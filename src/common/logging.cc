@@ -28,10 +28,34 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_log_level = level; }
 LogLevel GetLogLevel() { return g_log_level; }
 
+namespace {
+thread_local LogClockFn g_clock_fn = nullptr;
+thread_local const void* g_clock_ctx = nullptr;
+}  // namespace
+
+void SetThreadLogClock(LogClockFn fn, const void* ctx) {
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+void ClearThreadLogClock() {
+  g_clock_fn = nullptr;
+  g_clock_ctx = nullptr;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
+  if (g_clock_fn != nullptr) {
+    const uint64_t ns = g_clock_fn(g_clock_ctx);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%llu.%06llus] ",
+                  static_cast<unsigned long long>(ns / 1000000000ULL),
+                  static_cast<unsigned long long>((ns % 1000000000ULL) /
+                                                  1000ULL));
+    stream_ << buf;
+  }
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 

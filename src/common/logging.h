@@ -1,6 +1,7 @@
 #ifndef BDIO_COMMON_LOGGING_H_
 #define BDIO_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,16 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 /// kWarning so library users aren't spammed.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Optional simulated-time log prefix. While a clock is registered on the
+/// calling thread, every BDIO_LOG line it emits is prefixed with
+/// "[t=<seconds>s]" so log output correlates with trace timestamps. The
+/// registration is thread-local because concurrent experiments each own a
+/// simulator on their own pool thread; sim::ScopedLogClock manages it.
+/// `fn` returns the current time in nanoseconds.
+using LogClockFn = uint64_t (*)(const void* ctx);
+void SetThreadLogClock(LogClockFn fn, const void* ctx);
+void ClearThreadLogClock();
 
 namespace internal {
 

@@ -50,6 +50,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   }
   Rng rng(spec.seed);
   sim::Simulator sim;
+  // Log lines emitted while this experiment runs carry its sim-time.
+  sim::ScopedLogClock log_clock(&sim);
 
   // ---- Testbed (Tables 1 and 2), scaled. -------------------------------
   cluster::ClusterParams cp;
@@ -112,6 +114,31 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   }
   monitor.Start();
   mapreduce::MrEngine engine(&cluster, &dfs, spec.factors.slots, rng.Fork());
+
+  // ---- Observability: metrics registry (always) + optional trace. -------
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  std::shared_ptr<obs::TraceSession> trace;
+  if (spec.collect_trace) {
+    trace = std::make_shared<obs::TraceSession>(&sim);
+    trace->SetProcessName(0, "cluster");
+    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+      trace->SetProcessName(n + 1, "node " + std::to_string(n));
+    }
+  }
+  obs::TraceSession* tr = trace.get();
+  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+    cluster.node(n)->cache()->AttachObs(tr, metrics.get(), n + 1);
+    for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
+      cluster.node(n)->hdfs_disk(d)->AttachObs(tr, metrics.get(), n + 1,
+                                               "hdfs");
+    }
+    for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
+      cluster.node(n)->mr_disk(d)->AttachObs(tr, metrics.get(), n + 1, "mr");
+    }
+  }
+  cluster.network()->AttachObs(tr, metrics.get());
+  dfs.AttachObs(tr, metrics.get());
+  engine.AttachObs(tr, metrics.get());
 
   // CPU + task-concurrency sampler: per interval, the fraction of all cores
   // in use and the executing task counts. Stops rescheduling once the
@@ -193,15 +220,23 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   result.cpu_util = std::move(cpu_series);
   result.maps_running = std::move(maps_series);
   result.reduces_running = std::move(reduces_series);
-  // Attribute physical bytes to their high-level sources.
-  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-    for (const auto& [tag, volumes] : cluster.node(n)->cache()->tag_volumes()) {
-      IoSourceVolumes& dst =
-          result.io_sources[IoTagName(static_cast<IoTag>(tag))];
-      dst.disk_read_bytes += volumes.disk_read_bytes;
-      dst.disk_write_bytes += volumes.disk_write_bytes;
-    }
+  // Attribute physical bytes to their high-level sources. The per-tag
+  // counters in the registry are the single source of truth; tags that
+  // moved no bytes are omitted.
+  for (uint32_t t = 0; t < kNumIoTags; ++t) {
+    const char* name = IoTagName(static_cast<IoTag>(t));
+    const obs::Labels labels{{"source", name}};
+    const uint64_t r =
+        metrics->CounterValue("pagecache.tag_disk_read_bytes", labels);
+    const uint64_t w =
+        metrics->CounterValue("pagecache.tag_disk_write_bytes", labels);
+    if (r + w == 0) continue;
+    IoSourceVolumes& dst = result.io_sources[name];
+    dst.disk_read_bytes = r;
+    dst.disk_write_bytes = w;
   }
+  result.metrics = std::move(metrics);
+  result.trace = std::move(trace);
   return result;
 }
 

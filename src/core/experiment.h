@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "common/units.h"
 #include "iostat/iostat.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/profile.h"
 
 namespace bdio::core {
@@ -61,6 +64,12 @@ struct ExperimentSpec {
   uint64_t sort_buffer_bytes = 0;   ///< io.sort.mb.
   uint32_t parallel_copies = 0;     ///< mapred.reduce.parallel.copies.
   double reduce_slowstart = -1.0;   ///< mapred.reduce.slowstart.
+
+  /// Record a cross-layer I/O lifecycle trace (spans + flow events) of this
+  /// run, returned in ExperimentResult::trace. Off by default: tracing
+  /// never perturbs the simulation, but event storage is proportional to
+  /// simulated I/O.
+  bool collect_trace = false;
 };
 
 /// Per-disk-class observation of one run: every iostat metric as a
@@ -110,6 +119,13 @@ struct ExperimentResult {
   /// and reduce tasks sampled per interval.
   TimeSeries maps_running;
   TimeSeries reduces_running;
+
+  /// Unified metrics registry of the run (always populated): page-cache,
+  /// scheduler, disk, HDFS, MR, and network instruments.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  /// Chrome-trace session of the run; null unless spec.collect_trace.
+  std::shared_ptr<obs::TraceSession> trace;
 
   const GroupObservation& group(const std::string& name) const {
     return name == "hdfs" ? hdfs : mr;

@@ -50,20 +50,40 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       options.csv = true;
     } else if (arg.rfind("--outdir=", 0) == 0) {
       options.outdir = arg.substr(9);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
     } else if (arg == "--calibrate") {
       options.calibrate = true;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--scale=<denominator|fraction>] [--seed=N]\n"
                    "          [--workers=N] [--jobs=N] [--csv] [--calibrate]\n"
-                   "          [--outdir=<dir>]\n"
+                   "          [--outdir=<dir>] [--trace-out=<file>]\n"
+                   "          [--metrics-out=<file>]\n"
                    "  --jobs=N  run up to N simulations in parallel\n"
-                   "            (default: BDIO_JOBS env var, else all cores)\n",
+                   "            (default: BDIO_JOBS env var, else all cores)\n"
+                   "  --trace-out=<file>    write a Chrome/Perfetto trace of\n"
+                   "                        one experiment (env BDIO_TRACE_OUT)\n"
+                   "  --metrics-out=<file>  dump every experiment's metrics\n"
+                   "                        (.csv => CSV, else JSON;\n"
+                   "                        env BDIO_METRICS_OUT)\n",
                    argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);
+    }
+  }
+  if (options.trace_out.empty()) {
+    if (const char* env = std::getenv("BDIO_TRACE_OUT")) {
+      options.trace_out = env;
+    }
+  }
+  if (options.metrics_out.empty()) {
+    if (const char* env = std::getenv("BDIO_METRICS_OUT")) {
+      options.metrics_out = env;
     }
   }
   return options;
@@ -82,6 +102,11 @@ ExperimentSpec BenchOptions::MakeSpec(workloads::WorkloadKind workload,
   spec.seed = seed;
   spec.num_workers = num_workers;
   spec.calibrate = calibrate;
+  // Trace exactly one experiment per run: the one whose label matches
+  // trace_label (every experiment when no label was chosen).
+  spec.collect_trace =
+      !trace_out.empty() &&
+      (trace_label.empty() || trace_label == factors.Label(workload));
   return spec;
 }
 
@@ -240,6 +265,58 @@ std::string WriteSeriesCsv(const std::string& outdir, const std::string& name,
   BDIO_CHECK(out.good()) << "cannot write " << path;
   out << series.ToCsv("value");
   return path;
+}
+
+void WriteObsArtifacts(
+    const BenchOptions& options,
+    const std::vector<std::pair<std::string, const ExperimentResult*>>&
+        results) {
+  if (!options.trace_out.empty()) {
+    bool wrote = false;
+    for (const auto& [label, res] : results) {
+      if (res == nullptr || res->trace == nullptr) continue;
+      const Status s = res->trace->WriteJsonFile(options.trace_out);
+      BDIO_CHECK(s.ok()) << s.ToString();
+      std::printf("wrote %s (trace of %s, %zu events)\n",
+                  options.trace_out.c_str(), label.c_str(),
+                  res->trace->num_events());
+      wrote = true;
+      break;  // one trace per run; later results carry none anyway
+    }
+    if (!wrote) {
+      std::fprintf(stderr,
+                   "warning: --trace-out was set but no experiment carried a "
+                   "trace\n");
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    const bool as_csv =
+        options.metrics_out.size() >= 4 &&
+        options.metrics_out.compare(options.metrics_out.size() - 4, 4,
+                                    ".csv") == 0;
+    std::string out;
+    if (as_csv) {
+      out = "label,metric,labels,field,value\n";
+      for (const auto& [label, res] : results) {
+        if (res && res->metrics) out += res->metrics->ToCsv(label);
+      }
+    } else {
+      out = "{\"experiments\":[\n";
+      bool first = true;
+      for (const auto& [label, res] : results) {
+        if (res == nullptr || res->metrics == nullptr) continue;
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"label\":\"" + label +
+               "\",\"metrics\":" + res->metrics->ToJson() + "}";
+      }
+      out += "\n]}\n";
+    }
+    std::ofstream f(options.metrics_out, std::ios::binary);
+    BDIO_CHECK(f.good()) << "cannot write " << options.metrics_out;
+    f << out;
+    std::printf("wrote %s\n", options.metrics_out.c_str());
+  }
 }
 
 }  // namespace bdio::core

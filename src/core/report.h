@@ -27,10 +27,19 @@ struct BenchOptions {
   bool csv = false;       ///< Also dump full per-second series as CSV.
   bool calibrate = false; ///< Measure volume ratios with the real engine.
   std::string outdir;     ///< If set, write per-series CSV files here.
+  /// If set, write a Chrome/Perfetto trace of one experiment here.
+  std::string trace_out;
+  /// If set, dump every experiment's metrics registry here (.csv => CSV,
+  /// anything else => JSON).
+  std::string metrics_out;
+  /// Experiment label to trace when trace_out is set; empty = the bench's
+  /// first grid cell (set by the bench, not a flag).
+  std::string trace_label;
 
   /// Parses --scale=<den|frac>, --seed=, --workers=, --jobs=N (also
-  /// "--jobs N"), --csv, --calibrate, --outdir=<dir>. Unknown flags abort
-  /// with a usage message.
+  /// "--jobs N"), --csv, --calibrate, --outdir=<dir>, --trace-out=<file>,
+  /// --metrics-out=<file> (the last two also read the BDIO_TRACE_OUT /
+  /// BDIO_METRICS_OUT env vars). Unknown flags abort with a usage message.
   static BenchOptions Parse(int argc, char** argv);
 
   /// The worker-thread count `jobs` resolves to (see the field comment).
@@ -127,6 +136,17 @@ void PrintSeriesCsv(const std::string& label, const TimeSeries& series);
 /// written path.
 std::string WriteSeriesCsv(const std::string& outdir, const std::string& name,
                            const TimeSeries& series);
+
+/// Writes the observability artifacts the options ask for (no-op when
+/// neither --trace-out nor --metrics-out is set): the first result carrying
+/// a trace is written as Chrome trace-event JSON to options.trace_out, and
+/// every result's metrics registry is dumped to options.metrics_out (CSV
+/// when the path ends in ".csv", else a JSON document keyed by label).
+/// Prints one "wrote ..." line per file.
+void WriteObsArtifacts(
+    const BenchOptions& options,
+    const std::vector<std::pair<std::string, const ExperimentResult*>>&
+        results);
 
 }  // namespace bdio::core
 

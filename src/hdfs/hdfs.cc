@@ -20,6 +20,26 @@ Hdfs::Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng)
   }
 }
 
+void Hdfs::AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
+  if (metrics == nullptr) return;
+  m_blocks_written_ = metrics->GetCounter("hdfs.blocks_written");
+  m_blocks_read_ = metrics->GetCounter("hdfs.blocks_read");
+  m_read_local_bytes_ = metrics->GetCounter("hdfs.read_local_bytes");
+  m_read_remote_bytes_ = metrics->GetCounter("hdfs.read_remote_bytes");
+}
+
+obs::Counter* Hdfs::PipelineStageCounter(size_t stage) {
+  if (metrics_ == nullptr) return nullptr;
+  while (m_pipeline_stage_.size() <= stage) {
+    m_pipeline_stage_.push_back(metrics_->GetCounter(
+        "hdfs.pipeline_bytes",
+        {{"stage", std::to_string(m_pipeline_stage_.size())}}));
+  }
+  return m_pipeline_stage_[stage];
+}
+
 // ---------------------------------------------------------------------------
 // Write path
 // ---------------------------------------------------------------------------
@@ -31,6 +51,7 @@ struct Hdfs::WriteOp {
   uint32_t replication;
   DoneCallback done;
   uint64_t written = 0;  ///< Bytes of completed blocks.
+  uint64_t flow = 0;     ///< Caller's trace flow, carried into every block.
 };
 
 /// State of one replica leg of a block-write pipeline.
@@ -42,6 +63,8 @@ struct Hdfs::ReplicaStream {
   bool local;
   uint64_t block_bytes;
   std::function<void()> done;
+  obs::Counter* stage_bytes = nullptr;  ///< Pipeline-stage byte counter.
+  uint64_t flow = 0;
 };
 
 /// State of one block's streaming read.
@@ -51,6 +74,7 @@ struct Hdfs::BlockReadStream {
   uint32_t holder;
   bool remote;
   uint64_t in_end;
+  uint64_t span = 0;  ///< block-read span, ended when the stream finishes.
 };
 
 
@@ -76,6 +100,7 @@ void Hdfs::WriteReplicated(const std::string& path, uint64_t bytes,
   op->writer = writer;
   op->replication = replication;
   op->done = std::move(done);
+  if (trace_) op->flow = trace_->current_flow();
   if (bytes == 0) {
     name_node_->GetMutableFile(path).value()->complete = true;
     cluster_->sim()->ScheduleAfter(0, [op] { op->done(Status::OK()); });
@@ -101,10 +126,23 @@ void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
   entry->bytes += block_bytes;
   op->written += block_bytes;
 
+  uint64_t span = 0;
+  if (trace_) {
+    span = trace_->BeginSpan(
+        op->writer + 1, "hdfs", "block-write",
+        "{\"block\":" + std::to_string(loc.block_id) + ",\"bytes\":" +
+            std::to_string(block_bytes) + ",\"replicas\":" +
+            std::to_string(loc.nodes.size()) + "}");
+    trace_->FlowStep(op->flow, op->writer + 1);
+  }
+  if (m_blocks_written_) m_blocks_written_->Inc();
+
   // One latch arm per replica stream; the block is done when every replica
   // has absorbed all chunks.
-  auto block_done = sim::Latch::Create(
-      loc.nodes.size(), [this, op] { WriteNextBlock(op); });
+  auto block_done = sim::Latch::Create(loc.nodes.size(), [this, op, span] {
+    if (trace_) trace_->EndSpan(span);
+    WriteNextBlock(op);
+  });
 
   for (size_t r = 0; r < loc.nodes.size(); ++r) {
     const uint32_t holder = loc.nodes[r];
@@ -120,6 +158,8 @@ void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
     st->local = r == 0 && st->upstream == holder;
     st->block_bytes = block_bytes;
     st->done = block_done->Arm();
+    st->stage_bytes = PipelineStageCounter(r);
+    st->flow = op->flow;
     WriteChunk(std::move(st), 0);
   }
 }
@@ -130,7 +170,9 @@ void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
     return;
   }
   const uint64_t n = std::min(params_.chunk_bytes, st->block_bytes - offset);
+  if (st->stage_bytes) st->stage_bytes->Add(n);
   auto append = [this, st, offset, n] {
+    obs::FlowScope flow_scope(trace_, st->flow);
     st->fs->Append(st->file, n, [this, st, offset, n] {
       WriteChunk(st, offset + n);
     });
@@ -138,6 +180,7 @@ void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
   if (st->local) {
     append();
   } else {
+    obs::FlowScope flow_scope(trace_, st->flow);
     cluster_->network()->Transfer(st->upstream, st->holder, n,
                                   std::move(append));
   }
@@ -156,6 +199,7 @@ struct Hdfs::ReadOp {
   uint64_t begin;                       ///< Remaining range to read.
   uint64_t end;
   size_t next_block = 0;
+  uint64_t flow = 0;  ///< Caller's trace flow, carried into every block.
 };
 
 void Hdfs::Read(const std::string& path, uint64_t offset, uint64_t len,
@@ -180,6 +224,7 @@ void Hdfs::Read(const std::string& path, uint64_t offset, uint64_t len,
   op->done = std::move(done);
   op->begin = offset;
   op->end = offset + len;
+  if (trace_) op->flow = trace_->current_flow();
   uint64_t off = 0;
   for (const BlockLocation& b : file->blocks) {
     op->blocks.push_back(b);
@@ -227,6 +272,15 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
     st->holder = holder;
     st->remote = holder != op->reader;
     st->in_end = in_end;
+    if (trace_) {
+      st->span = trace_->BeginSpan(
+          holder + 1, "hdfs", "block-read",
+          "{\"block\":" + std::to_string(b.block_id) + ",\"bytes\":" +
+              std::to_string(in_end - in_start) + ",\"remote\":" +
+              (st->remote ? "true" : "false") + "}");
+      trace_->FlowStep(op->flow, holder + 1);
+    }
+    if (m_blocks_read_) m_blocks_read_->Inc();
     ReadChunk(std::move(op), std::move(st), in_start);
     return;  // continue from the stream's completion
   }
@@ -236,13 +290,19 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
 void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
                      std::shared_ptr<BlockReadStream> st, uint64_t pos) {
   if (pos >= st->in_end) {
+    if (trace_) trace_->EndSpan(st->span);
     ReadNextBlock(std::move(op));
     return;
   }
   const uint64_t n = std::min(params_.chunk_bytes, st->in_end - pos);
+  if (m_read_local_bytes_) {
+    (st->remote ? m_read_remote_bytes_ : m_read_local_bytes_)->Add(n);
+  }
+  obs::FlowScope flow_scope(trace_, op->flow);
   st->fs->Read(st->file, pos, n, [this, op, st, pos, n] {
     auto next = [this, op, st, pos, n] { ReadChunk(op, st, pos + n); };
     if (st->remote) {
+      obs::FlowScope flow_scope(trace_, op->flow);
       cluster_->network()->Transfer(st->holder, op->reader, n,
                                     std::move(next));
     } else {

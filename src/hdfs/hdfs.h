@@ -14,6 +14,8 @@
 #include "common/units.h"
 #include "hdfs/data_node.h"
 #include "hdfs/name_node.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bdio::hdfs {
 
@@ -44,6 +46,12 @@ class Hdfs {
   NameNode* name_node() { return name_node_.get(); }
   DataNode* data_node(uint32_t i) { return data_nodes_[i].get(); }
   const HdfsParams& params() const { return params_; }
+
+  /// Attaches observability sinks (either may be null): block reads/writes
+  /// become spans carrying the caller's flow through every chunk, and the
+  /// registry gains block counts, per-pipeline-stage bytes, and
+  /// local/remote read bytes.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
   /// Creates `path` and streams `bytes` into it from worker `writer`,
   /// block by block through replica pipelines. `done` fires after the last
@@ -88,6 +96,9 @@ class Hdfs {
   void ReadNextBlock(std::shared_ptr<ReadOp> op);
   void ReadChunk(std::shared_ptr<ReadOp> op,
                  std::shared_ptr<BlockReadStream> st, uint64_t pos);
+  /// Bytes absorbed by pipeline stage `r` (0 = first replica); null when
+  /// no registry is attached. Grown lazily since replication is per-file.
+  obs::Counter* PipelineStageCounter(size_t stage);
 
   cluster::Cluster* cluster_;
   HdfsParams params_;
@@ -95,6 +106,15 @@ class Hdfs {
   std::unique_ptr<NameNode> name_node_;
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
   uint64_t preload_rr_ = 0;
+
+  // Observability sinks; null (the default) adds one pointer test per op.
+  obs::TraceSession* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_blocks_written_ = nullptr;
+  obs::Counter* m_blocks_read_ = nullptr;
+  obs::Counter* m_read_local_bytes_ = nullptr;
+  obs::Counter* m_read_remote_bytes_ = nullptr;
+  std::vector<obs::Counter*> m_pipeline_stage_;
 };
 
 }  // namespace bdio::hdfs

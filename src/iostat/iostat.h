@@ -30,8 +30,13 @@ struct Sample {
   double util_pct = 0; ///< %util: fraction of time the device was busy.
 
   /// Average time spent waiting in queue (the paper's "average waiting
-  /// time of I/O requests" = await - svctm).
-  double wait_ms() const { return await_ms - svctm_ms; }
+  /// time of I/O requests" = await - svctm). Clamped at 0: sysstat's
+  /// integer-delta formulas can make the difference marginally negative on
+  /// sparse intervals, which would poison group means.
+  double wait_ms() const {
+    const double w = await_ms - svctm_ms;
+    return w > 0 ? w : 0;
+  }
 };
 
 /// Metrics selectable from a sample (for building figure series).

@@ -28,6 +28,8 @@ struct StreamState {
   uint64_t chunk;
   uint64_t pos = 0;
   std::function<void()> cb;
+  obs::TraceSession* trace = nullptr;
+  uint64_t flow = 0;
 };
 
 void AppendStep(std::shared_ptr<StreamState> st) {
@@ -36,6 +38,7 @@ void AppendStep(std::shared_ptr<StreamState> st) {
     return;
   }
   const uint64_t n = std::min(st->chunk, st->total - st->pos);
+  obs::FlowScope flow_scope(st->trace, st->flow);
   st->fs->Append(st->file, n, [st, n] {
     st->pos += n;
     AppendStep(st);
@@ -48,6 +51,7 @@ void ReadStep(std::shared_ptr<StreamState> st) {
     return;
   }
   const uint64_t n = std::min(st->chunk, st->total - st->pos);
+  obs::FlowScope flow_scope(st->trace, st->flow);
   st->fs->Read(st->file, st->offset + st->pos, n, [st, n] {
     st->pos += n;
     ReadStep(st);
@@ -57,7 +61,8 @@ void ReadStep(std::shared_ptr<StreamState> st) {
 }  // namespace
 
 void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
-                  uint64_t total, uint64_t chunk, std::function<void()> cb) {
+                  uint64_t total, uint64_t chunk, std::function<void()> cb,
+                  obs::TraceSession* trace, uint64_t flow) {
   if (total == 0) {
     sim->ScheduleAfter(0, std::move(cb));
     return;
@@ -69,12 +74,15 @@ void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
   st->total = total;
   st->chunk = chunk;
   st->cb = std::move(cb);
+  st->trace = trace;
+  st->flow = flow;
   AppendStep(std::move(st));
 }
 
 void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
                 uint64_t offset, uint64_t total, uint64_t chunk,
-                std::function<void()> cb) {
+                std::function<void()> cb, obs::TraceSession* trace,
+                uint64_t flow) {
   if (total == 0) {
     sim->ScheduleAfter(0, std::move(cb));
     return;
@@ -86,6 +94,8 @@ void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
   st->total = total;
   st->chunk = chunk;
   st->cb = std::move(cb);
+  st->trace = trace;
+  st->flow = flow;
   ReadStep(std::move(st));
 }
 
@@ -104,6 +114,8 @@ struct MrEngine::MapTask {
   uint64_t pos = 0;           ///< Input bytes consumed.
   uint64_t buffer_bytes = 0;  ///< Pre-codec intermediate in the sort buffer.
   std::vector<RunFile> spills;
+  uint64_t span = 0;  ///< map-task trace span (0 when tracing is off).
+  uint64_t flow = 0;  ///< Trace flow carried into every I/O of this task.
 };
 
 struct MrEngine::ReduceTask {
@@ -118,6 +130,9 @@ struct MrEngine::ReduceTask {
   std::vector<RunFile> runs;
   bool merging = false;
   bool spilling = false;
+  uint64_t span = 0;        ///< reduce-task trace span.
+  uint64_t merge_span = 0;  ///< reduce-merge trace span.
+  uint64_t flow = 0;        ///< Trace flow carried into every task I/O.
 };
 
 struct MrEngine::Job {
@@ -141,6 +156,7 @@ struct MrEngine::Job {
   uint32_t map_outputs_written = 0;  ///< Map-only HDFS outputs completed.
   uint32_t next_reduce_node = 0;
   bool finished = false;
+  uint64_t span = 0;  ///< Whole-job trace span (cluster row).
 
   bool map_only() const { return spec.num_reduce_tasks == 0; }
 };
@@ -154,6 +170,17 @@ MrEngine::MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
   free_reduce_slots_.assign(cluster->num_workers(), slots.reduce_slots);
   node_dead_.assign(cluster->num_workers(), false);
   node_epoch_.assign(cluster->num_workers(), 0);
+}
+
+void MrEngine::AttachObs(obs::TraceSession* trace,
+                         obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) return;
+  m_map_spills_ = metrics->GetCounter("mr.map_spills");
+  m_reduce_spills_ = metrics->GetCounter("mr.reduce_spills");
+  m_shuffle_bytes_ = metrics->GetCounter("mr.shuffle_bytes");
+  m_merge_width_ =
+      metrics->GetHistogram("mr.merge_width", {}, {2, 4, 8, 16, 32, 64, 128});
 }
 
 void MrEngine::InjectNodeFailure(uint32_t node) {
@@ -183,6 +210,12 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
   for (auto& rt : job->reducers) {
     if (rt->node == node && !rt->done && !rt->dead) {
       rt->dead = true;
+      if (trace_) {
+        // The attempt's spans end here; the replacement opens fresh ones.
+        trace_->EndSpan(rt->merge_span);
+        trace_->EndSpan(rt->span);
+        trace_->FlowEnd(rt->flow, node + 1);
+      }
       BDIO_CHECK(running_reduces_ > 0);
       --running_reduces_;
       auto replacement = std::make_shared<ReduceTask>();
@@ -248,6 +281,12 @@ void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
     return;
   }
   active_job_ = job;
+  if (trace_) {
+    job->span = trace_->BeginSpan(
+        0, "mr", "job",
+        "{\"splits\":" + std::to_string(job->splits.size()) +
+            ",\"reducers\":" + std::to_string(job->num_reducers) + "}");
+  }
   DispatchMaps(std::move(job));
 }
 
@@ -302,6 +341,14 @@ void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
   mt->input_path = job->splits[split_idx].path;
   mt->split_bytes = job->splits[split_idx].bytes;
   mt->split_offset = job->splits[split_idx].offset;
+  if (trace_) {
+    mt->flow = trace_->NewFlow();
+    mt->span = trace_->BeginSpan(
+        node + 1, "mr", "map-task",
+        "{\"split\":" + std::to_string(split_idx) + ",\"bytes\":" +
+            std::to_string(mt->split_bytes) + "}");
+    trace_->FlowStart(mt->flow, node + 1);
+  }
   cluster_->sim()->ScheduleAfter(job->spec.task_start_latency,
                                  [this, job, mt] { MapReadLoop(job, mt); });
 }
@@ -316,6 +363,7 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
     return;
   }
   const uint64_t n = std::min(kTaskChunk, mt->split_bytes - mt->pos);
+  obs::FlowScope flow_scope(trace_, mt->flow);
   hdfs_->Read(mt->input_path, mt->split_offset + mt->pos, n, mt->node,
               [this, job, mt, n](Status s) {
                 BDIO_CHECK_OK(s);
@@ -358,6 +406,7 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
   // Arm 1: prefetch the next chunk while this one is processed.
   if (next_n > 0) {
     job->counters.hdfs_read_bytes += next_n;
+    obs::FlowScope flow_scope(trace_, mt->flow);
     hdfs_->Read(mt->input_path, mt->split_offset + next_pos, next_n,
                 mt->node, [arm = cont->Arm()](Status s) {
                   BDIO_CHECK_OK(s);
@@ -398,11 +447,21 @@ void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
   file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapSpill));
   ++job->counters.spills;
   job->counters.intermediate_write_bytes += post;
-  AppendStream(cluster_->sim(), fs, file.value(), post, kTaskChunk,
-               [mt, fs, f = file.value(), post, then = std::move(then)] {
-                 mt->spills.push_back(RunFile{fs, f, post});
-                 then();
-               });
+  if (m_map_spills_) m_map_spills_->Inc();
+  uint64_t span = 0;
+  if (trace_) {
+    span = trace_->BeginSpan(mt->node + 1, "mr", "spill",
+                             "{\"bytes\":" + std::to_string(post) + "}");
+  }
+  AppendStream(
+      cluster_->sim(), fs, file.value(), post, kTaskChunk,
+      [this, mt, fs, f = file.value(), post, span,
+       then = std::move(then)] {
+        if (trace_) trace_->EndSpan(span);
+        mt->spills.push_back(RunFile{fs, f, post});
+        then();
+      },
+      trace_, mt->flow);
 }
 
 void MrEngine::MapFinish(std::shared_ptr<Job> job,
@@ -422,6 +481,7 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
     }
     const std::string path = job->spec.output_path + "/part-m-" +
                              std::to_string(mt->split_idx);
+    obs::FlowScope flow_scope(trace_, mt->flow);
     hdfs_->WriteReplicated(
         path, out, mt->node, job->spec.output_replication,
         [this, job, mt, out, path](Status s) {
@@ -462,6 +522,16 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
   auto out_file = out_fs->Create("map_out_" + std::to_string(file_seq_++));
   BDIO_CHECK(out_file.ok()) << out_file.status().ToString();
   out_file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapOutput));
+  if (m_merge_width_) {
+    m_merge_width_->Observe(static_cast<double>(mt->spills.size()));
+  }
+  uint64_t merge_span = 0;
+  if (trace_) {
+    merge_span = trace_->BeginSpan(
+        mt->node + 1, "mr", "merge-pass",
+        "{\"width\":" + std::to_string(mt->spills.size()) + ",\"bytes\":" +
+            std::to_string(total) + "}");
+  }
 
   struct MergeState {
     std::vector<RunFile> inputs;
@@ -474,8 +544,9 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
 
   auto step = std::make_shared<std::function<void()>>();
   auto finish = [this, job, mt, out_fs, out = out_file.value(), total,
-                 step] {
+                 merge_span, step] {
     *step = nullptr;  // break the cycle (safe: invoked via event queue)
+    if (trace_) trace_->EndSpan(merge_span);
     if (mt->epoch != node_epoch_[mt->node]) {
       OnMapDone(job, mt);  // host failed mid-merge: discard
       return;
@@ -492,7 +563,8 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
     job->map_outputs.push_back(mo);
     OnMapDone(job, mt);
   };
-  *step = [this, job, ms, out_fs, out = out_file.value(), step, finish] {
+  *step = [this, job, ms, out_fs, out = out_file.value(), flow = mt->flow,
+           step, finish] {
     // Pick the next input with data remaining, round-robin.
     size_t picked = SIZE_MAX;
     for (size_t k = 0; k < ms->inputs.size(); ++k) {
@@ -510,10 +582,12 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
     const RunFile& in = ms->inputs[picked];
     const uint64_t n = std::min(kTaskChunk, in.bytes - ms->pos[picked]);
     job->counters.intermediate_read_bytes += n;
+    obs::FlowScope flow_scope(trace_, flow);
     in.fs->Read(in.file, ms->pos[picked], n,
-                [this, job, ms, picked, n, out_fs, out, step] {
+                [this, job, ms, picked, n, out_fs, out, flow, step] {
                   ms->pos[picked] += n;
                   job->counters.intermediate_write_bytes += n;
+                  obs::FlowScope flow_scope(trace_, flow);
                   out_fs->Append(out, n, [step] {
                     if (*step) (*step)();
                   });
@@ -526,6 +600,10 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
                          std::shared_ptr<MapTask> mt) {
   BDIO_CHECK(running_maps_ > 0);
   --running_maps_;
+  if (trace_) {
+    trace_->EndSpan(mt->span);
+    trace_->FlowEnd(mt->flow, mt->node + 1);
+  }
   if (mt->epoch != node_epoch_[mt->node]) {
     // Discarded attempt: put the split back and try elsewhere. The dead
     // node's slot is not returned.
@@ -582,6 +660,13 @@ void MrEngine::MaybeStartReducers(std::shared_ptr<Job> job) {
     rt->node = node;
     ++job->counters.reduces_launched;
     ++running_reduces_;
+    if (trace_) {
+      rt->flow = trace_->NewFlow();
+      rt->span = trace_->BeginSpan(
+          node + 1, "mr", "reduce-task",
+          "{\"idx\":" + std::to_string(rt->idx) + "}");
+      trace_->FlowStart(rt->flow, node + 1);
+    }
     job->reducers.push_back(rt);
     cluster_->sim()->ScheduleAfter(
         job->spec.task_start_latency, [this, job, rt] {
@@ -602,12 +687,30 @@ void MrEngine::PumpShuffle(std::shared_ptr<Job> job,
     ++rt->inflight;
     const uint64_t offset = seg * rt->idx;
     job->counters.intermediate_read_bytes += seg;
+    if (m_shuffle_bytes_) m_shuffle_bytes_->Add(seg);
+    // Each fetch is its own flow: source-disk read -> wire -> arrival.
+    uint64_t fetch_flow = 0;
+    uint64_t fetch_span = 0;
+    if (trace_) {
+      fetch_flow = trace_->NewFlow();
+      fetch_span = trace_->BeginSpan(
+          rt->node + 1, "mr", "shuffle-fetch",
+          "{\"src\":" + std::to_string(mo.node) + ",\"bytes\":" +
+              std::to_string(seg) + "}");
+      trace_->FlowStart(fetch_flow, rt->node + 1);
+    }
     ReadStream(
         cluster_->sim(), mo.fs, mo.file, offset, seg, kShuffleChunk,
-        [this, job, rt, seg, src = mo.node] {
+        [this, job, rt, seg, src = mo.node, fetch_flow, fetch_span] {
           job->counters.shuffle_network_bytes += seg;
+          obs::FlowScope flow_scope(trace_, fetch_flow);
           cluster_->network()->Transfer(
-              src, rt->node, seg, [this, job, rt, seg] {
+              src, rt->node, seg,
+              [this, job, rt, seg, fetch_flow, fetch_span] {
+                if (trace_) {
+                  trace_->FlowEnd(fetch_flow, rt->node + 1);
+                  trace_->EndSpan(fetch_span);
+                }
                 --rt->inflight;
                 rt->mem_bytes += seg;
                 rt->fetched_bytes += seg;
@@ -621,7 +724,8 @@ void MrEngine::PumpShuffle(std::shared_ptr<Job> job,
                   MaybeFinishShuffle(job, rt);
                 }
               });
-        });
+        },
+        trace_, fetch_flow);
   }
 }
 
@@ -640,12 +744,22 @@ void MrEngine::ReduceSpill(std::shared_ptr<Job> job,
   BDIO_CHECK(file.ok()) << file.status().ToString();
   file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kShuffleRun));
   job->counters.intermediate_write_bytes += bytes;
-  AppendStream(cluster_->sim(), fs, file.value(), bytes, kTaskChunk,
-               [rt, fs, f = file.value(), bytes, then = std::move(then)] {
-                 rt->runs.push_back(RunFile{fs, f, bytes});
-                 rt->spilling = false;
-                 then();
-               });
+  if (m_reduce_spills_) m_reduce_spills_->Inc();
+  uint64_t span = 0;
+  if (trace_) {
+    span = trace_->BeginSpan(rt->node + 1, "mr", "reduce-spill",
+                             "{\"bytes\":" + std::to_string(bytes) + "}");
+  }
+  AppendStream(
+      cluster_->sim(), fs, file.value(), bytes, kTaskChunk,
+      [this, rt, fs, f = file.value(), bytes, span,
+       then = std::move(then)] {
+        if (trace_) trace_->EndSpan(span);
+        rt->runs.push_back(RunFile{fs, f, bytes});
+        rt->spilling = false;
+        then();
+      },
+      trace_, rt->flow);
 }
 
 void MrEngine::MaybeFinishShuffle(std::shared_ptr<Job> job,
@@ -679,10 +793,23 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
   ms->inputs = rt->runs;
   ms->pos.assign(rt->runs.size(), 0);
   ms->mem_left = rt->mem_bytes;
+  if (m_merge_width_ && !rt->runs.empty()) {
+    m_merge_width_->Observe(static_cast<double>(rt->runs.size()));
+  }
+  if (trace_) {
+    rt->merge_span = trace_->BeginSpan(
+        rt->node + 1, "mr", "reduce-merge",
+        "{\"runs\":" + std::to_string(rt->runs.size()) + ",\"mem\":" +
+            std::to_string(rt->mem_bytes) + "}");
+  }
 
   auto step = std::make_shared<std::function<void()>>();
   auto finish = [this, job, rt, step] {
     *step = nullptr;
+    if (trace_) {
+      trace_->EndSpan(rt->merge_span);
+      rt->merge_span = 0;
+    }
     // Write the reduce output slice to HDFS.
     const uint64_t job_input = [&] {
       uint64_t total = 0;
@@ -699,6 +826,7 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
     char name[32];
     std::snprintf(name, sizeof(name), "/part-r-%05u", rt->idx);
     const std::string path = job->spec.output_path + name;
+    obs::FlowScope flow_scope(trace_, rt->flow);
     hdfs_->WriteReplicated(path, out, rt->node,
                            job->spec.output_replication,
                            [this, job, rt, out, path](Status s) {
@@ -714,7 +842,8 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
   };
   // Picks the next on-disk chunk (round-robin over the runs) and starts its
   // read; returns false when all runs are drained.
-  auto read_next = [this, job, ms](std::function<void()> on_ready) -> bool {
+  auto read_next = [this, job, ms,
+                    flow = rt->flow](std::function<void()> on_ready) -> bool {
     size_t picked = SIZE_MAX;
     for (size_t k = 0; k < ms->inputs.size(); ++k) {
       const size_t i = (ms->cursor + k) % ms->inputs.size();
@@ -730,6 +859,7 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
     ms->pos[picked] += n;
     ms->pending_n = n;
     job->counters.intermediate_read_bytes += n;
+    obs::FlowScope flow_scope(trace_, flow);
     in.fs->Read(in.file, ms->pos[picked] - n, n, std::move(on_ready));
     return true;
   };
@@ -799,6 +929,10 @@ void MrEngine::OnReduceDone(std::shared_ptr<Job> job,
                             std::shared_ptr<ReduceTask> rt) {
   if (rt->dead) return;  // a replacement owns this partition now
   rt->done = true;
+  if (trace_) {
+    trace_->EndSpan(rt->span);
+    trace_->FlowEnd(rt->flow, rt->node + 1);
+  }
   BDIO_CHECK(running_reduces_ > 0);
   --running_reduces_;
   // Drop this reducer's shuffle runs.
@@ -826,6 +960,7 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
     if (job->reduces_done < job->num_reducers) return;
   }
   job->finished = true;
+  if (trace_) trace_->EndSpan(job->span);
   // Job cleanup: delete map output files (the TaskTracker's job-end purge).
   for (const MapOutput& mo : job->map_outputs) {
     if (mo.file != nullptr) {

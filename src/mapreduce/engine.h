@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/job.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bdio::mapreduce {
 
@@ -55,6 +57,12 @@ class MrEngine {
   uint32_t running_reduces() const { return running_reduces_; }
 
   const SlotConfig& slots() const { return slots_; }
+
+  /// Attaches observability sinks (either may be null): tasks and MR phases
+  /// (spill, merge pass, shuffle fetch) become spans, each task/fetch opens
+  /// a trace flow carried down into the filesystem and network layers, and
+  /// the registry gains spill counts, merge-pass widths, and shuffle bytes.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
  private:
   struct Split {
@@ -114,17 +122,28 @@ class MrEngine {
   uint32_t running_maps_ = 0;
   uint32_t running_reduces_ = 0;
   uint64_t file_seq_ = 0;  ///< Unique local-file naming across jobs.
+
+  // Observability sinks; null (the default) keeps task paths at one pointer
+  // test per site.
+  obs::TraceSession* trace_ = nullptr;
+  obs::Counter* m_map_spills_ = nullptr;
+  obs::Counter* m_reduce_spills_ = nullptr;
+  obs::Counter* m_shuffle_bytes_ = nullptr;
+  obs::Histogram* m_merge_width_ = nullptr;
 };
 
 /// Streams `total` bytes into `file` in `chunk`-sized appends; `cb` fires
-/// when the last append is accepted.
+/// when the last append is accepted. When `trace`/`flow` are given, every
+/// step runs under that trace flow so downstream layers stay linked.
 void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
-                  uint64_t total, uint64_t chunk, std::function<void()> cb);
+                  uint64_t total, uint64_t chunk, std::function<void()> cb,
+                  obs::TraceSession* trace = nullptr, uint64_t flow = 0);
 
 /// Streams a read of [offset, offset+total) in `chunk`-sized requests.
 void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
                 uint64_t offset, uint64_t total, uint64_t chunk,
-                std::function<void()> cb);
+                std::function<void()> cb, obs::TraceSession* trace = nullptr,
+                uint64_t flow = 0);
 
 }  // namespace bdio::mapreduce
 

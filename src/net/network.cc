@@ -27,12 +27,43 @@ Network::Network(sim::Simulator* sim, uint32_t num_nodes,
   BDIO_CHECK(link_bytes_per_sec > 0);
 }
 
+void Network::AttachObs(obs::TraceSession* trace,
+                        obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) return;
+  m_tx_bytes_.resize(num_nodes_);
+  m_rx_bytes_.resize(num_nodes_);
+  for (uint32_t n = 0; n < num_nodes_; ++n) {
+    const obs::Labels labels{{"node", std::to_string(n)}};
+    m_tx_bytes_[n] = metrics->GetCounter("net.link_tx_bytes", labels);
+    m_rx_bytes_[n] = metrics->GetCounter("net.link_rx_bytes", labels);
+  }
+}
+
 void Network::Transfer(uint32_t src, uint32_t dst, uint64_t bytes,
                        std::function<void()> cb) {
   BDIO_CHECK(src < num_nodes_ && dst < num_nodes_);
   node_stats_[src].bytes_sent += bytes;
   node_stats_[dst].bytes_received += bytes;
   total_bytes_ += bytes;
+  if (!m_tx_bytes_.empty()) {
+    m_tx_bytes_[src]->Add(bytes);
+    m_rx_bytes_[dst]->Add(bytes);
+  }
+  if (trace_ && src != dst && bytes > 0) {
+    // Span over the transfer's lifetime, stepping the caller's flow so
+    // remote reads/pipeline legs stay linked across the wire.
+    const uint64_t span = trace_->BeginSpan(
+        src + 1, "net", "xfer",
+        "{\"src\":" + std::to_string(src) + ",\"dst\":" +
+            std::to_string(dst) + ",\"bytes\":" + std::to_string(bytes) +
+            "}");
+    trace_->FlowStep(trace_->current_flow(), src + 1);
+    cb = [trace = trace_, span, inner = std::move(cb)] {
+      trace->EndSpan(span);
+      if (inner) inner();
+    };
+  }
   if (src == dst || bytes == 0) {
     sim_->ScheduleAfter(kLoopbackLatency, std::move(cb));
     return;

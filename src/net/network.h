@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace bdio::net {
@@ -39,6 +41,11 @@ class Network {
   void Transfer(uint32_t src, uint32_t dst, uint64_t bytes,
                 std::function<void()> cb);
 
+  /// Attaches observability sinks (either may be null): per-link transfers
+  /// become spans continuing the caller's current flow, and per-node
+  /// tx/rx byte counters feed the registry.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
+
   uint32_t num_nodes() const { return num_nodes_; }
   size_t active_flows() const { return flows_.size(); }
   const NodeNetStats& node_stats(uint32_t node) const {
@@ -70,6 +77,12 @@ class Network {
   SimTime last_advance_ = 0;
   std::vector<NodeNetStats> node_stats_;
   uint64_t total_bytes_ = 0;
+
+  // Observability sinks; null (the default) keeps Transfer at one pointer
+  // test. Per-node counters are resolved once at AttachObs.
+  obs::TraceSession* trace_ = nullptr;
+  std::vector<obs::Counter*> m_tx_bytes_;
+  std::vector<obs::Counter*> m_rx_bytes_;
 };
 
 }  // namespace bdio::net

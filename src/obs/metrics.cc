@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace bdio::obs {
+
+namespace {
+
+/// Deterministic number formatting: integers print without a decimal
+/// point, everything else with up to 9 significant digits (%g would be
+/// locale-stable too, but pinning the format here keeps golden files
+/// readable).
+std::string FormatNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+Labels Sorted(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string KeyOf(const std::string& name, const Labels& sorted_labels) {
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < sorted_labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted_labels[i].first;
+    key += '=';
+    key += sorted_labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+std::string LabelsCsv(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ';';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  BDIO_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              const Labels& labels,
+                                              Kind kind) {
+  const Labels sorted = Sorted(labels);
+  const std::string key = KeyOf(name, sorted);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    BDIO_CHECK(it->second->kind == kind)
+        << key << " already registered as a different metric kind";
+    return it->second.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = sorted;
+  entry->kind = kind;
+  Entry* raw = entry.get();
+  entries_.emplace(key, std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  Entry* e = Find(name, labels, Kind::kCounter);
+  if (!e->counter) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  Entry* e = Find(name, labels, Kind::kGauge);
+  if (!e->gauge) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         std::vector<double> bounds) {
+  Entry* e = Find(name, labels, Kind::kHistogram);
+  if (!e->histogram) {
+    e->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e->histogram.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const Labels& labels) const {
+  const std::string key = KeyOf(name, Sorted(labels));
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->kind != Kind::kCounter ||
+      !it->second->counter) {
+    return 0;
+  }
+  return it->second->counter->value();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "[";
+  bool first_entry = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first_entry) out += ',';
+    first_entry = false;
+    out += "{\"name\":\"";
+    out += e->name;
+    out += "\",\"labels\":{";
+    for (size_t i = 0; i < e->labels.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      out += e->labels[i].first;
+      out += "\":\"";
+      out += e->labels[i].second;
+      out += '"';
+    }
+    out += "},\"type\":\"";
+    out += KindName(static_cast<int>(e->kind));
+    out += '"';
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += ",\"value\":";
+        out += std::to_string(e->counter ? e->counter->value() : 0);
+        break;
+      case Kind::kGauge:
+        out += ",\"value\":";
+        out += FormatNumber(e->gauge ? e->gauge->value() : 0.0);
+        break;
+      case Kind::kHistogram: {
+        const Histogram* h = e->histogram.get();
+        out += ",\"count\":";
+        out += std::to_string(h->count());
+        out += ",\"sum\":";
+        out += FormatNumber(h->sum());
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < h->buckets().size(); ++i) {
+          if (i > 0) out += ',';
+          out += "{\"le\":";
+          if (i < h->bounds().size()) {
+            out += FormatNumber(h->bounds()[i]);
+          } else {
+            out += "\"inf\"";
+          }
+          out += ",\"count\":";
+          out += std::to_string(h->buckets()[i]);
+          out += '}';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv(const std::string& label_prefix) const {
+  std::string out;
+  auto row = [&](const std::string& name, const std::string& labels,
+                 const std::string& field, const std::string& value) {
+    if (!label_prefix.empty()) {
+      out += label_prefix;
+      out += ',';
+    }
+    out += name;
+    out += ',';
+    out += labels;
+    out += ',';
+    out += field;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  for (const auto& [key, e] : entries_) {
+    const std::string labels = LabelsCsv(e->labels);
+    switch (e->kind) {
+      case Kind::kCounter:
+        row(e->name, labels, "value",
+            std::to_string(e->counter ? e->counter->value() : 0));
+        break;
+      case Kind::kGauge:
+        row(e->name, labels, "value",
+            FormatNumber(e->gauge ? e->gauge->value() : 0.0));
+        break;
+      case Kind::kHistogram: {
+        const Histogram* h = e->histogram.get();
+        row(e->name, labels, "count", std::to_string(h->count()));
+        row(e->name, labels, "sum", FormatNumber(h->sum()));
+        for (size_t i = 0; i < h->buckets().size(); ++i) {
+          const std::string le = i < h->bounds().size()
+                                     ? "le_" + FormatNumber(h->bounds()[i])
+                                     : std::string("le_inf");
+          row(e->name, labels, le, std::to_string(h->buckets()[i]));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bdio::obs

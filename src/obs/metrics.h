@@ -1,0 +1,121 @@
+#ifndef BDIO_OBS_METRICS_H_
+#define BDIO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bdio::obs {
+
+/// Metric labels: (key, value) pairs. Stored sorted by key so the same
+/// label set always resolves to the same instrument regardless of the
+/// order call sites list them in.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (bytes moved, events observed).
+class Counter {
+ public:
+  void Inc() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins sample of an instantaneous quantity.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets; one overflow bucket catches everything above the last
+/// bound. Bucket layout is fixed at creation so merging and serialization
+/// stay deterministic.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Owns every instrument of one experiment, keyed by (name, labels).
+/// GetX returns a stable pointer call sites cache once and bump on the hot
+/// path, so an attached registry costs one pointer test + one add per
+/// event. Iteration order (and therefore serialized output) is the
+/// lexicographic order of the canonical "name{k=v,...}" key —
+/// deterministic across runs and `--jobs` levels.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it on
+  /// first use. Re-registering the same key as a different kind aborts.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies on first creation only; later lookups ignore it.
+  Histogram* GetHistogram(const std::string& name, const Labels& labels,
+                          std::vector<double> bounds);
+
+  /// Value of a counter, or 0 if it was never registered.
+  uint64_t CounterValue(const std::string& name,
+                        const Labels& labels = {}) const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// JSON array of instruments (embeddable in a larger document):
+  /// [{"name":...,"labels":{...},"type":"counter","value":N}, ...].
+  std::string ToJson() const;
+
+  /// Flat CSV rows: metric,labels,field,value. Histograms expand to one
+  /// row per bucket plus count and sum. `label_prefix`, if nonempty, is
+  /// prepended as the first column of every row (the experiment label when
+  /// several registries share one file).
+  std::string ToCsv(const std::string& label_prefix = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name, const Labels& labels, Kind kind);
+
+  /// Canonical key; instruments live behind unique_ptr so returned pointers
+  /// survive map rebalancing.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace bdio::obs
+
+#endif  // BDIO_OBS_METRICS_H_

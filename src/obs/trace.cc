@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bdio::obs {
+
+namespace {
+
+/// Trace-event timestamps are microseconds; simulator time is integer
+/// nanoseconds. Integer math keeps the decimal formatting deterministic.
+void AppendTimestamp(std::string* out, SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(const sim::Simulator* sim) : sim_(sim) {
+  BDIO_CHECK(sim != nullptr);
+}
+
+void TraceSession::SetProcessName(uint32_t pid, const std::string& name) {
+  process_names_[pid] = name;
+}
+
+uint64_t TraceSession::BeginSpan(uint32_t pid, const char* cat,
+                                 const char* name, std::string args) {
+  return BeginSpanAt(pid, cat, name, sim_->Now(), std::move(args));
+}
+
+uint64_t TraceSession::BeginSpanAt(uint32_t pid, const char* cat,
+                                   const char* name, SimTime ts,
+                                   std::string args) {
+  const uint64_t id = next_id_++;
+  events_.push_back(Event{'b', pid, cat, name, ts, id, std::move(args)});
+  open_spans_.emplace(id, OpenSpan{cat, name, pid});
+  return id;
+}
+
+void TraceSession::EndSpan(uint64_t span_id) {
+  if (span_id == 0) return;
+  auto it = open_spans_.find(span_id);
+  if (it == open_spans_.end()) return;  // already ended (failure path)
+  const OpenSpan span = it->second;
+  open_spans_.erase(it);
+  events_.push_back(
+      Event{'e', span.pid, span.cat, span.name, sim_->Now(), span_id, {}});
+}
+
+void TraceSession::Instant(uint32_t pid, const char* cat, const char* name,
+                           std::string args) {
+  events_.push_back(
+      Event{'i', pid, cat, name, sim_->Now(), 0, std::move(args)});
+}
+
+void TraceSession::FlowEvent(char ph, uint64_t flow, uint32_t pid) {
+  if (flow == 0) return;
+  events_.push_back(Event{ph, pid, "flow", "io", sim_->Now(), flow, {}});
+}
+
+void TraceSession::FlowStart(uint64_t flow, uint32_t pid) {
+  FlowEvent('s', flow, pid);
+}
+void TraceSession::FlowStep(uint64_t flow, uint32_t pid) {
+  FlowEvent('t', flow, pid);
+}
+void TraceSession::FlowEnd(uint64_t flow, uint32_t pid) {
+  FlowEvent('f', flow, pid);
+}
+
+std::string TraceSession::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    out += name;
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":";
+    out += std::to_string(e.pid);
+    out += ",\"tid\":0,\"cat\":\"";
+    out += e.cat;
+    out += "\",\"name\":\"";
+    out += e.name;
+    out += "\",\"ts\":";
+    AppendTimestamp(&out, e.ts);
+    if (e.id != 0) {
+      out += ",\"id\":";
+      out += std::to_string(e.id);
+    }
+    if (e.ph == 'i') out += ",\"s\":\"p\"";  // process-scoped instant
+    if (e.ph == 'f') out += ",\"bp\":\"e\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":";
+      out += e.args;
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceSession::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace bdio::obs

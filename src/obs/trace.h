@@ -1,0 +1,126 @@
+#ifndef BDIO_OBS_TRACE_H_
+#define BDIO_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace bdio::obs {
+
+/// Records the causal lifecycle of simulated I/O as Chrome trace-event
+/// JSON (the format Perfetto / chrome://tracing open natively).
+///
+/// Spans are emitted as async begin/end pairs ("ph":"b"/"e") because I/O
+/// lifetimes overlap arbitrarily within a layer; flow events
+/// ("ph":"s"/"t"/"f") connect spans of different layers that serve the
+/// same logical I/O. `pid` selects the trace-viewer process row: 0 is the
+/// cluster-wide row, node i maps to pid i+1 (see SetProcessName).
+///
+/// Timestamps come from the simulator clock, never the wall clock, and
+/// serialization iterates insertion order, so two runs of the same
+/// experiment produce byte-identical JSON no matter how many experiments
+/// run concurrently around them (each experiment owns its own simulator
+/// and its own session).
+class TraceSession {
+ public:
+  explicit TraceSession(const sim::Simulator* sim);
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Names a trace-viewer process row ("cluster", "node 3", ...).
+  void SetProcessName(uint32_t pid, const std::string& name);
+
+  /// Opens an async span at Now(); returns its id for EndSpan. `args`, if
+  /// nonempty, must be a complete JSON object ({"k":v,...}).
+  uint64_t BeginSpan(uint32_t pid, const char* cat, const char* name,
+                     std::string args = {});
+  /// Opens a span with an explicit (possibly earlier) begin timestamp —
+  /// for call sites that only decide to record once the outcome is known.
+  uint64_t BeginSpanAt(uint32_t pid, const char* cat, const char* name,
+                       SimTime ts, std::string args = {});
+  /// Closes a span at Now(). Ignores 0 and unknown ids so failure paths
+  /// may end unconditionally.
+  void EndSpan(uint64_t span_id);
+
+  /// Zero-duration marker.
+  void Instant(uint32_t pid, const char* cat, const char* name,
+               std::string args = {});
+
+  // --- Flows: arrows connecting spans across layers -----------------------
+  /// Allocates a flow id (never 0).
+  uint64_t NewFlow() { return next_id_++; }
+  void FlowStart(uint64_t flow, uint32_t pid);  ///< "s": first hop.
+  void FlowStep(uint64_t flow, uint32_t pid);   ///< "t": intermediate hop.
+  void FlowEnd(uint64_t flow, uint32_t pid);    ///< "f": final hop.
+
+  /// The current-flow stack propagates a flow id down a synchronous call
+  /// chain (engine -> hdfs -> filesystem -> page cache -> block device)
+  /// without changing any signatures; async continuations capture the id
+  /// and re-push it per step. Prefer FlowScope over raw push/pop.
+  void PushFlow(uint64_t flow) { flow_stack_.push_back(flow); }
+  void PopFlow() { flow_stack_.pop_back(); }
+  uint64_t current_flow() const {
+    return flow_stack_.empty() ? 0 : flow_stack_.back();
+  }
+
+  size_t num_events() const { return events_.size(); }
+
+  /// The complete trace document ({"traceEvents":[...]}).
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;
+    uint32_t pid;
+    const char* cat;
+    const char* name;
+    SimTime ts;
+    uint64_t id;  ///< Span/flow id; 0 = none.
+    std::string args;
+  };
+  struct OpenSpan {
+    const char* cat;
+    const char* name;
+    uint32_t pid;
+  };
+
+  void FlowEvent(char ph, uint64_t flow, uint32_t pid);
+
+  const sim::Simulator* sim_;
+  std::vector<Event> events_;
+  std::unordered_map<uint64_t, OpenSpan> open_spans_;
+  std::map<uint32_t, std::string> process_names_;
+  uint64_t next_id_ = 1;
+  std::vector<uint64_t> flow_stack_;
+};
+
+/// RAII guard establishing `flow` as the current flow for the duration of
+/// a (synchronous) call chain. Null session or zero flow => no-op, so call
+/// sites need no separate disabled path.
+class FlowScope {
+ public:
+  FlowScope(TraceSession* trace, uint64_t flow)
+      : trace_(flow != 0 ? trace : nullptr) {
+    if (trace_) trace_->PushFlow(flow);
+  }
+  ~FlowScope() {
+    if (trace_) trace_->PopFlow();
+  }
+  FlowScope(const FlowScope&) = delete;
+  FlowScope& operator=(const FlowScope&) = delete;
+
+ private:
+  TraceSession* trace_;
+};
+
+}  // namespace bdio::obs
+
+#endif  // BDIO_OBS_TRACE_H_

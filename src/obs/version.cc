@@ -1,0 +1,3 @@
+namespace bdio::obs {
+const char* ModuleName() { return "obs"; }
+}  // namespace bdio::obs

@@ -1,6 +1,8 @@
 #include "os/page_cache.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -15,6 +17,28 @@ PageCache::PageCache(sim::Simulator* sim, const PageCacheParams& params)
   BDIO_CHECK(sim != nullptr);
   BDIO_CHECK(params_.unit_bytes >= kSectorSize);
   BDIO_CHECK(params_.capacity_bytes >= params_.unit_bytes);
+}
+
+void PageCache::AttachObs(obs::TraceSession* trace,
+                          obs::MetricsRegistry* metrics,
+                          uint32_t trace_pid) {
+  trace_ = trace;
+  trace_pid_ = trace_pid;
+  if (metrics == nullptr) return;
+  m_hits_ = metrics->GetCounter("pagecache.read_hits");
+  m_misses_ = metrics->GetCounter("pagecache.read_misses");
+  m_readahead_ = metrics->GetCounter("pagecache.readahead_units");
+  m_disk_read_bytes_ = metrics->GetCounter("pagecache.disk_read_bytes");
+  m_writeback_bytes_ = metrics->GetCounter("pagecache.writeback_bytes");
+  m_evicted_ = metrics->GetCounter("pagecache.evicted_units");
+  m_throttles_ = metrics->GetCounter("pagecache.throttle_events");
+  for (uint32_t t = 0; t < kNumIoTags; ++t) {
+    const obs::Labels labels{{"source", IoTagName(static_cast<IoTag>(t))}};
+    tag_read_bytes_[t] =
+        metrics->GetCounter("pagecache.tag_disk_read_bytes", labels);
+    tag_write_bytes_[t] =
+        metrics->GetCounter("pagecache.tag_disk_write_bytes", labels);
+  }
 }
 
 void PageCache::SchedulePeriodicFlush() {
@@ -48,6 +72,7 @@ void PageCache::EvictIfNeeded() {
     BDIO_CHECK(it->second.state == UnitState::kClean);
     units_.erase(it);
     ++stats_.evicted_units;
+    if (m_evicted_) m_evicted_->Inc();
   }
 }
 
@@ -82,6 +107,22 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
       (file->size() + params_.unit_bytes - 1) / params_.unit_bytes;
   uint64_t prefetch_end = last + 1 + window / params_.unit_bytes;
   prefetch_end = std::min(prefetch_end, file_units);
+
+  // Tracing: a read that touches the disk becomes a span covering the wait
+  // for its device reads; pure hits stay span-free to bound trace volume.
+  // Whether the scan misses is only known below, so the span id travels in
+  // a shared slot the completion wrapper closes over.
+  const uint64_t hits0 = stats_.read_hits;
+  const uint64_t misses0 = stats_.read_misses;
+  const uint64_t ra0 = stats_.readahead_units;
+  std::shared_ptr<uint64_t> span;
+  if (trace_) {
+    span = std::make_shared<uint64_t>(0);
+    cb = [this, span, inner = std::move(cb)] {
+      trace_->EndSpan(*span);
+      if (inner) inner();
+    };
+  }
 
   auto latch = sim::Latch::Create(1, std::move(cb));  // 1 = scan guard
 
@@ -119,6 +160,25 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
     to_fetch.push_back(u);
   }
 
+  const uint64_t hit_delta = stats_.read_hits - hits0;
+  const uint64_t miss_delta = stats_.read_misses - misses0;
+  const uint64_t ra_delta = stats_.readahead_units - ra0;
+  if (m_hits_) {
+    m_hits_->Add(hit_delta);
+    m_misses_->Add(miss_delta);
+    m_readahead_->Add(ra_delta);
+  }
+  if (trace_ && (miss_delta > 0 || ra_delta > 0)) {
+    *span = trace_->BeginSpan(
+        trace_pid_, "pagecache", "pc-read",
+        "{\"file\":" + std::to_string(fid) + ",\"offset\":" +
+            std::to_string(offset) + ",\"len\":" + std::to_string(len) +
+            ",\"hits\":" + std::to_string(hit_delta) + ",\"misses\":" +
+            std::to_string(miss_delta) + ",\"readahead\":" +
+            std::to_string(ra_delta) + "}");
+    trace_->FlowStep(trace_->current_flow(), trace_pid_);
+  }
+
   // Coalesce fetches into bios: consecutive units that are also contiguous
   // on disk, capped at the device's max request size.
   storage::BlockDevice* dev = file->device();
@@ -140,7 +200,12 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
       ++j;
     }
     stats_.disk_read_bytes += bytes;
-    tag_volumes_[file->io_tag()].disk_read_bytes += bytes;
+    if (m_disk_read_bytes_) {
+      m_disk_read_bytes_->Add(bytes);
+      uint32_t tag = file->io_tag();
+      if (tag >= kNumIoTags) tag = 0;
+      tag_read_bytes_[tag]->Add(bytes);
+    }
     dev->Submit(
         IoType::kRead, sector, bytes / kSectorSize,
         [this, fid, units = std::move(bio_units)] {
@@ -181,6 +246,12 @@ void PageCache::Write(CachedFile* file, uint64_t offset, uint64_t len,
   if (dirty_bytes() > dirty_limit()) {
     // balance_dirty_pages(): the writer sleeps until writeback catches up.
     ++stats_.throttle_events;
+    if (m_throttles_) m_throttles_->Inc();
+    if (trace_) {
+      trace_->Instant(trace_pid_, "pagecache", "throttle",
+                      "{\"file\":" + std::to_string(file->file_id()) +
+                          ",\"len\":" + std::to_string(len) + "}");
+    }
     throttled_.push_back(PendingWrite{file, offset, len, std::move(cb)});
     PumpWriteback();
     return;
@@ -420,7 +491,25 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
   }
   ++writeback_inflight_;
   stats_.writeback_bytes += bytes;
-  tag_volumes_[file->io_tag()].disk_write_bytes += bytes;
+  if (m_writeback_bytes_) {
+    m_writeback_bytes_->Add(bytes);
+    uint32_t tag = file->io_tag();
+    if (tag >= kNumIoTags) tag = 0;
+    tag_write_bytes_[tag]->Add(bytes);
+  }
+  // Writeback is the page cache's own I/O: it originates a fresh flow here
+  // (rather than continuing a writer's) because the dirtying writes were
+  // acknowledged long ago.
+  uint64_t flow = 0;
+  if (trace_) {
+    flow = trace_->NewFlow();
+    trace_->Instant(trace_pid_, "pagecache", "writeback",
+                    "{\"file\":" + std::to_string(file_id) + ",\"bytes\":" +
+                        std::to_string(bytes) + ",\"units\":" +
+                        std::to_string(bio_units.size()) + "}");
+    trace_->FlowStart(flow, trace_pid_);
+  }
+  obs::FlowScope flow_scope(trace_, flow);
 
   dev->Submit(
       IoType::kWrite, start_sector, bytes / kSectorSize,

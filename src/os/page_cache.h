@@ -9,7 +9,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io_tag.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "storage/block_device.h"
 
@@ -53,12 +56,6 @@ struct PageCacheParams {
 
   /// Max concurrently outstanding writeback bios (per cache).
   uint64_t max_writeback_inflight = 16;
-};
-
-/// Physical bytes attributed to one I/O-demand source (IoTag).
-struct TagVolumes {
-  uint64_t disk_read_bytes = 0;
-  uint64_t disk_write_bytes = 0;
 };
 
 /// Observable cache behaviour for tests and reports.
@@ -120,11 +117,13 @@ class PageCache {
   const PageCacheStats& stats() const { return stats_; }
   const PageCacheParams& params() const { return params_; }
 
-  /// Physical I/O attributed per IoTag (indexable by any uint32 tag the
-  /// files report; unused tags read as zeros).
-  const std::map<uint32_t, TagVolumes>& tag_volumes() const {
-    return tag_volumes_;
-  }
+  /// Attaches observability sinks (either may be null). The registry gains
+  /// hit/miss/readahead/writeback counters plus the per-IoTag physical-byte
+  /// attribution ("pagecache.tag_disk_read_bytes"/"..._write_bytes" labeled
+  /// by source); the trace gains per-miss read spans and writeback
+  /// instants. `trace_pid` is this node's trace-viewer process row.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics,
+                 uint32_t trace_pid);
 
  private:
   enum class UnitState : uint8_t {
@@ -212,8 +211,23 @@ class PageCache {
   bool flush_timer_armed_ = false;
   std::deque<PendingWrite> throttled_;
   std::vector<std::function<void()>> sync_all_waiters_;
-  std::map<uint32_t, TagVolumes> tag_volumes_;
   uint64_t next_file_id_ = 1;
+
+  // Observability sinks; null (the default) keeps the hot paths at one
+  // pointer test. Per-tag byte counters are resolved once at AttachObs so
+  // attribution costs a single Add per bio (tags outside the IoTag enum
+  // clamp to kUnknown).
+  obs::TraceSession* trace_ = nullptr;
+  uint32_t trace_pid_ = 0;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_readahead_ = nullptr;
+  obs::Counter* m_disk_read_bytes_ = nullptr;
+  obs::Counter* m_writeback_bytes_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Counter* m_throttles_ = nullptr;
+  obs::Counter* tag_read_bytes_[kNumIoTags] = {};
+  obs::Counter* tag_write_bytes_[kNumIoTags] = {};
 };
 
 }  // namespace bdio::os

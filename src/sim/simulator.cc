@@ -36,4 +36,14 @@ void Simulator::RunUntil(SimTime t) {
   if (now_ < t) now_ = t;
 }
 
+ScopedLogClock::ScopedLogClock(const Simulator* sim) {
+  SetThreadLogClock(
+      [](const void* ctx) {
+        return static_cast<const Simulator*>(ctx)->Now();
+      },
+      sim);
+}
+
+ScopedLogClock::~ScopedLogClock() { ClearThreadLogClock(); }
+
 }  // namespace bdio::sim

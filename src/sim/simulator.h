@@ -63,6 +63,19 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 
+/// Registers `sim`'s clock as the calling thread's BDIO_LOG timestamp
+/// source for the object's lifetime: log lines gain a "[t=<seconds>s]"
+/// prefix that correlates with trace timestamps. Thread-local, so
+/// concurrent experiments on pool threads don't interfere.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const Simulator* sim);
+  ~ScopedLogClock();
+
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+};
+
 }  // namespace bdio::sim
 
 #endif  // BDIO_SIM_SIMULATOR_H_

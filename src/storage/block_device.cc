@@ -15,6 +15,28 @@ BlockDevice::BlockDevice(sim::Simulator* sim, std::string name,
   BDIO_CHECK(sim != nullptr);
 }
 
+void BlockDevice::AttachObs(obs::TraceSession* trace,
+                            obs::MetricsRegistry* metrics,
+                            uint32_t trace_pid,
+                            const std::string& device_class) {
+  trace_ = trace;
+  trace_pid_ = trace_pid;
+  if (metrics == nullptr) return;
+  const obs::Labels labels{{"class", device_class}};
+  m_requests_ = metrics->GetCounter("disk.requests", labels);
+  m_merges_ = metrics->GetCounter("sched.merges", labels);
+  m_read_bytes_ = metrics->GetCounter("disk.read_bytes", labels);
+  m_write_bytes_ = metrics->GetCounter("disk.write_bytes", labels);
+  m_queue_depth_ = metrics->GetHistogram(
+      "sched.queue_depth", labels, {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  m_request_sectors_ = metrics->GetHistogram(
+      "disk.request_sectors", labels, {8, 16, 32, 64, 128, 256, 512, 1024,
+                                       2048});
+  m_await_ms_ = metrics->GetHistogram(
+      "disk.await_ms", labels,
+      {0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+}
+
 void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
                          std::function<void()> on_complete,
                          uint64_t io_context) {
@@ -32,12 +54,34 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
   bio.io_context = io_context;
   bio.submit_time = sim_->Now();
   if (on_complete) bio.on_complete.push_back(std::move(on_complete));
+  if (trace_) bio.trace_flow = trace_->current_flow();
+  if (m_queue_depth_) {
+    m_queue_depth_->Observe(static_cast<double>(scheduler_->size()));
+  }
 
   if (scheduler_->TryMerge(&bio)) {
     stats_.OnMerge(type, sim_->Now());
+    if (m_merges_) m_merges_->Inc();
+    if (trace_) {
+      trace_->Instant(trace_pid_, "sched", "merge",
+                      "{\"dev\":\"" + name_ + "\",\"sectors\":" +
+                          std::to_string(sectors) + "}");
+      // The merged bio's identity dissolves into the surviving request;
+      // its flow terminates at the merge point.
+      trace_->FlowEnd(bio.trace_flow, trace_pid_);
+    }
   } else {
     bio.id = next_id_++;
     stats_.OnSubmit(sim_->Now());
+    if (m_requests_) m_requests_->Inc();
+    if (trace_) {
+      bio.queue_span = trace_->BeginSpan(
+          trace_pid_, "sched", type == IoType::kRead ? "queue-read"
+                                                     : "queue-write",
+          "{\"dev\":\"" + name_ + "\",\"sector\":" + std::to_string(sector) +
+              ",\"sectors\":" + std::to_string(sectors) + "}");
+      trace_->FlowStep(bio.trace_flow, trace_pid_);
+    }
     scheduler_->Add(std::move(bio));
   }
   MaybeDispatch();
@@ -72,6 +116,16 @@ void BlockDevice::MaybeDispatch() {
   IoRequest req = std::move(ncq_pool_[pick]);
   ncq_pool_.erase(ncq_pool_.begin() + static_cast<ptrdiff_t>(pick));
   busy_ = true;
+  if (trace_) {
+    trace_->EndSpan(req.queue_span);
+    req.service_span = trace_->BeginSpan(
+        trace_pid_, "disk",
+        req.is_read() ? "service-read" : "service-write",
+        "{\"dev\":\"" + name_ + "\",\"sectors\":" +
+            std::to_string(req.sectors) + ",\"bios\":" +
+            std::to_string(req.bio_count) + "}");
+    trace_->FlowStep(req.trace_flow, trace_pid_);
+  }
   const SimDuration service = model_.Service(req);
   sim_->ScheduleAfter(service, [this, r = std::move(req)]() mutable {
     Complete(std::move(r));
@@ -82,6 +136,12 @@ void BlockDevice::Complete(IoRequest req) {
   req.complete_time = sim_->Now();
   stats_.OnComplete(req, sim_->Now());
   busy_ = false;
+  if (trace_) trace_->EndSpan(req.service_span);
+  if (m_requests_) {  // registry attached
+    (req.is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req.bytes());
+    m_request_sectors_->Observe(static_cast<double>(req.sectors));
+    m_await_ms_->Observe(ToMillis(req.complete_time - req.submit_time));
+  }
   if (observer_) observer_(req);
   for (auto& cb : req.on_complete) {
     if (cb) cb();

@@ -9,6 +9,8 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "storage/disk_model.h"
 #include "storage/disk_parameters.h"
@@ -48,6 +50,14 @@ class BlockDevice {
     observer_ = std::move(obs);
   }
 
+  /// Attaches observability sinks (either may be null). `trace_pid` is the
+  /// trace-viewer process row of this device's node; `device_class` labels
+  /// metrics ("hdfs" or "mr"). Queue residency and disk service become
+  /// spans linked to the submitter's current flow; queue depth, request
+  /// size, await, merges, and bytes feed the registry.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics,
+                 uint32_t trace_pid, const std::string& device_class);
+
   const std::string& name() const { return name_; }
   const DiskParameters& params() const { return params_; }
   size_t queued() const { return scheduler_->size(); }
@@ -70,6 +80,18 @@ class BlockDevice {
   bool busy_ = false;
   /// Requests accepted by the drive awaiting SPTF selection (NCQ).
   std::vector<IoRequest> ncq_pool_;
+
+  // Observability sinks; null (the default) keeps the hot path at a single
+  // pointer test per event.
+  obs::TraceSession* trace_ = nullptr;
+  uint32_t trace_pid_ = 0;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_merges_ = nullptr;
+  obs::Counter* m_read_bytes_ = nullptr;
+  obs::Counter* m_write_bytes_ = nullptr;
+  obs::Histogram* m_queue_depth_ = nullptr;
+  obs::Histogram* m_request_sectors_ = nullptr;
+  obs::Histogram* m_await_ms_ = nullptr;
 };
 
 }  // namespace bdio::storage

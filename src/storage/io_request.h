@@ -36,6 +36,11 @@ struct IoRequest {
   /// Number of bios folded into this request (1 + merges).
   uint32_t bio_count = 1;
 
+  // --- Observability (bdio::obs); all 0 when no trace session attached. --
+  uint64_t trace_flow = 0;   ///< Flow id linking back to the issuing layer.
+  uint64_t queue_span = 0;   ///< Open scheduler-queue span id.
+  uint64_t service_span = 0; ///< Open disk-service span id.
+
   /// Completion continuations (one per merged bio).
   std::vector<std::function<void()>> on_complete;
 

@@ -1,0 +1,106 @@
+// Unit coverage for the metrics registry: instrument identity, label
+// canonicalization, histogram bucketing, and the serialized forms.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIdentityAndAccumulation) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("disk.read_bytes", {{"class", "hdfs"}});
+  EXPECT_EQ(reg.GetCounter("disk.read_bytes", {{"class", "hdfs"}}), c);
+  c->Inc();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.CounterValue("disk.read_bytes", {{"class", "hdfs"}}), 42u);
+  // Different labels => different instrument.
+  EXPECT_NE(reg.GetCounter("disk.read_bytes", {{"class", "mr"}}), c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("m", {{"a", "1"}, {"b", "2"}});
+  Counter* b = reg.GetCounter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(reg.CounterValue("m", {{"b", "2"}, {"a", "1"}}), 7u);
+}
+
+TEST(MetricsRegistryTest, AbsentCounterReadsAsZero) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.CounterValue("never.registered"), 0u);
+  EXPECT_EQ(reg.CounterValue("never.registered", {{"x", "y"}}), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("queue.depth");
+  g->Set(3);
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+}
+
+TEST(HistogramTest, InclusiveUpperEdgesAndOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (inclusive upper edge)
+  h.Observe(3.0);  // bucket 2
+  h.Observe(100);  // overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 0u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 104.5 / 4);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedAtCreation) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("await", {}, {1, 10});
+  // A later lookup with different bounds returns the original instrument.
+  Histogram* again = reg.GetHistogram("await", {}, {5, 50, 500});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, JsonIsSortedAndWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta")->Add(3);
+  reg.GetCounter("alpha", {{"k", "v"}})->Add(1);
+  reg.GetHistogram("hist", {}, {2.5})->Observe(5);
+  const std::string json = reg.ToJson();
+  // Lexicographic ordering of the canonical keys.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"hist\""));
+  EXPECT_LT(json.find("\"hist\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("{\"name\":\"alpha\",\"labels\":{\"k\":\"v\"},"
+                      "\"type\":\"counter\",\"value\":1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":2.5,\"count\":0},"
+                      "{\"le\":\"inf\",\"count\":1}]"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(MetricsRegistryTest, CsvRowsWithPrefixAndHistogramExpansion) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", {{"a", "b"}})->Add(9);
+  reg.GetHistogram("h", {}, {1.0})->Observe(0.5);
+  const std::string csv = reg.ToCsv("exp1");
+  EXPECT_NE(csv.find("exp1,c,a=b,value,9\n"), std::string::npos);
+  EXPECT_NE(csv.find("exp1,h,,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("exp1,h,,sum,0.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("exp1,h,,le_1,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("exp1,h,,le_inf,0\n"), std::string::npos);
+  // Without a prefix the label column is simply absent.
+  EXPECT_NE(reg.ToCsv().find("c,a=b,value,9\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bdio::obs

@@ -1,0 +1,138 @@
+// Trace-session coverage: event emission and the tentpole guarantee that
+// the exported Chrome trace JSON is byte-identical whether the bench runs
+// its experiments serially or on a parallel grid (--jobs 1 vs --jobs N).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/report.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace bdio::obs {
+namespace {
+
+// Minimal structural validation: braces/brackets balance outside strings
+// and the document is a single object. (Full parsing is CI's job, via
+// `python3 -m json.tool`.)
+bool JsonBalanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceSessionTest, SpansFlowsAndMetadataSerialize) {
+  sim::Simulator sim;
+  TraceSession trace(&sim);
+  trace.SetProcessName(0, "cluster");
+  const uint64_t span = trace.BeginSpan(0, "mr", "job", "{\"splits\":4}");
+  const uint64_t flow = trace.NewFlow();
+  ASSERT_NE(flow, 0u);
+  trace.FlowStart(flow, 0);
+  trace.FlowStep(flow, 1);
+  trace.FlowEnd(flow, 1);
+  trace.Instant(1, "sched", "merge");
+  trace.EndSpan(span);
+  trace.EndSpan(span);  // double-end is a no-op (failure paths)
+  trace.EndSpan(0);     // zero id is a no-op
+  // begin + 3 flow hops + instant + one end.
+  EXPECT_EQ(trace.num_events(), 6u);
+
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  // Flow terminators bind to the enclosing slice's end.
+  EXPECT_NE(json.find("\"ph\":\"f\",\"pid\":1,\"tid\":0,"
+                      "\"cat\":\"flow\",\"name\":\"io\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"splits\":4}"), std::string::npos);
+}
+
+TEST(TraceSessionTest, FlowScopePropagatesAndUnwinds) {
+  sim::Simulator sim;
+  TraceSession trace(&sim);
+  EXPECT_EQ(trace.current_flow(), 0u);
+  {
+    FlowScope outer(&trace, 7);
+    EXPECT_EQ(trace.current_flow(), 7u);
+    {
+      FlowScope inner(&trace, 9);
+      EXPECT_EQ(trace.current_flow(), 9u);
+    }
+    EXPECT_EQ(trace.current_flow(), 7u);
+    FlowScope zero(&trace, 0);  // zero flow: transparent
+    EXPECT_EQ(trace.current_flow(), 7u);
+  }
+  EXPECT_EQ(trace.current_flow(), 0u);
+  FlowScope null_session(nullptr, 5);  // null session: no-op, no crash
+}
+
+std::string TraceJsonAtJobs(uint32_t jobs) {
+  core::BenchOptions options;
+  options.scale = 1.0 / 512;  // tiny for test speed
+  options.jobs = jobs;
+  // A nonempty trace_out (with no trace_label filter) makes every grid
+  // cell collect a trace; nothing is written to this path by GridRunner.
+  options.trace_out = "enabled";
+  core::GridRunner grid(options);
+  const core::Factors factors = core::SlotsLevels()[0];
+  // Two experiments in flight so jobs=4 actually runs them concurrently.
+  grid.Prefetch(workloads::WorkloadKind::kTeraSort, factors);
+  grid.Prefetch(workloads::WorkloadKind::kAggregation, factors);
+  const auto& res = grid.Get(workloads::WorkloadKind::kTeraSort, factors);
+  EXPECT_NE(res.trace, nullptr);
+  return res.trace ? res.trace->ToJson() : std::string();
+}
+
+TEST(TraceDeterminismTest, JsonByteIdenticalAcrossJobs) {
+  const std::string serial = TraceJsonAtJobs(1);
+  const std::string parallel = TraceJsonAtJobs(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);  // the tentpole determinism guarantee
+  EXPECT_TRUE(JsonBalanced(serial));
+
+  // The trace links spans from every layer of the I/O lifecycle.
+  for (const char* needle :
+       {"\"cat\":\"mr\"", "\"cat\":\"hdfs\"", "\"cat\":\"pagecache\"",
+        "\"cat\":\"sched\"", "\"cat\":\"disk\"", "\"cat\":\"net\"",
+        "\"ph\":\"s\"", "\"ph\":\"t\"", "\"ph\":\"f\""}) {
+    EXPECT_NE(serial.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace bdio::obs

@@ -5,6 +5,7 @@
 
 #include "common/io_tag.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "os/file_system.h"
 #include "os/page_cache.h"
 #include "sim/simulator.h"
@@ -99,6 +100,10 @@ TEST_F(PageCacheExtraTest, UnalignedAccessRoundsToUnits) {
 }
 
 TEST_F(PageCacheExtraTest, TagAttributionSeparatesFiles) {
+  // Per-tag physical volumes live in the metrics registry, labelled with
+  // the tag's source name.
+  obs::MetricsRegistry metrics;
+  cache_.AttachObs(nullptr, &metrics, 1);
   auto spill = fs_.Create("spill").value();
   spill->set_io_tag(static_cast<uint32_t>(IoTag::kMapSpill));
   auto block = fs_.Create("blk").value();
@@ -107,15 +112,16 @@ TEST_F(PageCacheExtraTest, TagAttributionSeparatesFiles) {
   fs_.Append(block, MiB(3), nullptr);
   cache_.SyncAll(nullptr);
   sim_.Run();
-  const auto& tags = cache_.tag_volumes();
-  ASSERT_TRUE(tags.contains(static_cast<uint32_t>(IoTag::kMapSpill)));
-  ASSERT_TRUE(tags.contains(static_cast<uint32_t>(IoTag::kHdfsOutput)));
-  EXPECT_EQ(tags.at(static_cast<uint32_t>(IoTag::kMapSpill))
-                .disk_write_bytes,
-            MiB(2));
-  EXPECT_EQ(tags.at(static_cast<uint32_t>(IoTag::kHdfsOutput))
-                .disk_write_bytes,
-            MiB(3));
+  auto written = [&](IoTag tag) {
+    return metrics.CounterValue("pagecache.tag_disk_write_bytes",
+                                {{"source", IoTagName(tag)}});
+  };
+  EXPECT_EQ(written(IoTag::kMapSpill), MiB(2));
+  EXPECT_EQ(written(IoTag::kHdfsOutput), MiB(3));
+  // Nothing was read back, so the read-side counters stay absent/zero.
+  EXPECT_EQ(metrics.CounterValue("pagecache.tag_disk_read_bytes",
+                                 {{"source", IoTagName(IoTag::kMapSpill)}}),
+            0u);
 }
 
 TEST_F(PageCacheExtraTest, FileIdsAreUniqueAcrossFilesystems) {
