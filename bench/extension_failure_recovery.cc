@@ -28,16 +28,8 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
   Rng rng(options.seed);
   sim::Simulator sim;
   sim::ScopedLogClock log_clock(&sim);
-  cluster::ClusterParams cp;
-  cp.num_workers = options.num_workers;
-  cp.node.memory_bytes =
-      static_cast<uint64_t>(static_cast<double>(GiB(16)) * options.scale);
-  cp.node.daemon_bytes =
-      static_cast<uint64_t>(static_cast<double>(GiB(2)) * options.scale);
-  cp.node.per_slot_heap_bytes =
-      static_cast<uint64_t>(static_cast<double>(MiB(200)) * options.scale);
-  cp.node.min_cache_bytes = MiB(16);
-  cluster::Cluster cluster(&sim, cp, 16, rng.Fork());
+  cluster::Cluster cluster(&sim, bench::MakeScaledClusterParams(options), 16,
+                           rng.Fork());
   hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
 
   workloads::PlanOptions plan_options;
@@ -58,26 +50,10 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
     metrics = std::make_shared<obs::MetricsRegistry>();
     if (!options.trace_out.empty()) {
       trace = std::make_shared<obs::TraceSession>(&sim);
-      trace->SetProcessName(0, "cluster");
-      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-        trace->SetProcessName(n + 1, "node " + std::to_string(n));
-      }
     }
-    obs::TraceSession* tr = trace.get();
-    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-      cluster.node(n)->cache()->AttachObs(tr, metrics.get(), n + 1);
-      for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
-        cluster.node(n)->hdfs_disk(d)->AttachObs(tr, metrics.get(), n + 1,
-                                                 "hdfs");
-      }
-      for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
-        cluster.node(n)->mr_disk(d)->AttachObs(tr, metrics.get(), n + 1,
-                                               "mr");
-      }
-    }
-    cluster.network()->AttachObs(tr, metrics.get());
-    dfs.AttachObs(tr, metrics.get());
-    engine.AttachObs(tr, metrics.get());
+    cluster.AttachObs(trace.get(), metrics.get());
+    dfs.AttachObs(trace.get(), metrics.get());
+    engine.AttachObs(trace.get(), metrics.get());
   }
 
   RunResult result;

@@ -10,6 +10,20 @@ namespace bdio::bench {
 using core::Factors;
 using core::GridRunner;
 
+cluster::ClusterParams MakeScaledClusterParams(
+    const core::BenchOptions& options) {
+  cluster::ClusterParams cp;
+  cp.num_workers = options.num_workers;
+  cp.node.memory_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(16)) * options.scale);
+  cp.node.daemon_bytes =
+      static_cast<uint64_t>(static_cast<double>(GiB(2)) * options.scale);
+  cp.node.per_slot_heap_bytes =
+      static_cast<uint64_t>(static_cast<double>(MiB(200)) * options.scale);
+  cp.node.min_cache_bytes = MiB(16);
+  return cp;
+}
+
 std::vector<Factors> LevelsFor(FactorContext context) {
   switch (context) {
     case FactorContext::kSlots:

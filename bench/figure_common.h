@@ -5,9 +5,17 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "core/report.h"
 
 namespace bdio::bench {
+
+/// The testbed ClusterParams every standalone extension bench builds: the
+/// paper's worker node (16 GiB RAM, 2 GiB daemons, 200 MiB task heaps),
+/// with the memory-side quantities scaled by --scale and the worker count
+/// taken from --workers. Mirrors core::RunExperiment's setup.
+cluster::ClusterParams MakeScaledClusterParams(
+    const core::BenchOptions& options);
 
 /// Which factor a figure varies (selects the paper's factor context).
 enum class FactorContext { kSlots, kMemory, kCompression };

@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace bdio::cluster {
@@ -15,6 +17,27 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterParams& params,
     nodes_.push_back(std::make_unique<Node>(sim, i, params.node, total_slots,
                                             rng.Fork()));
   }
+}
+
+
+void Cluster::AttachObs(obs::TraceSession* trace,
+                        obs::MetricsRegistry* metrics) {
+  if (trace != nullptr) {
+    trace->SetProcessName(0, "cluster");
+    for (uint32_t n = 0; n < num_workers(); ++n) {
+      trace->SetProcessName(n + 1, "node " + std::to_string(n));
+    }
+  }
+  for (uint32_t n = 0; n < num_workers(); ++n) {
+    nodes_[n]->cache()->AttachObs(trace, metrics, n + 1);
+    for (uint32_t d = 0; d < nodes_[n]->num_hdfs_disks(); ++d) {
+      nodes_[n]->hdfs_disk(d)->AttachObs(trace, metrics, n + 1, "hdfs");
+    }
+    for (uint32_t d = 0; d < nodes_[n]->num_mr_disks(); ++d) {
+      nodes_[n]->mr_disk(d)->AttachObs(trace, metrics, n + 1, "mr");
+    }
+  }
+  network_->AttachObs(trace, metrics);
 }
 
 }  // namespace bdio::cluster

@@ -8,6 +8,8 @@
 #include "cluster/node.h"
 #include "common/random.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace bdio::cluster {
@@ -37,6 +39,12 @@ class Cluster {
   net::Network* network() { return network_.get(); }
   sim::Simulator* sim() { return sim_; }
   const ClusterParams& params() const { return params_; }
+
+  /// Attaches observability sinks (either may be null) to every layer the
+  /// cluster owns — each node's page cache and disks, plus the network —
+  /// and names the trace process rows (pid 0 = cluster, pid i+1 = node i).
+  /// Callers attach the layers above (HDFS, MR engine) themselves.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
  private:
   sim::Simulator* sim_;

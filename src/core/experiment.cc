@@ -120,23 +120,9 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   std::shared_ptr<obs::TraceSession> trace;
   if (spec.collect_trace) {
     trace = std::make_shared<obs::TraceSession>(&sim);
-    trace->SetProcessName(0, "cluster");
-    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-      trace->SetProcessName(n + 1, "node " + std::to_string(n));
-    }
   }
   obs::TraceSession* tr = trace.get();
-  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-    cluster.node(n)->cache()->AttachObs(tr, metrics.get(), n + 1);
-    for (uint32_t d = 0; d < cluster.node(n)->num_hdfs_disks(); ++d) {
-      cluster.node(n)->hdfs_disk(d)->AttachObs(tr, metrics.get(), n + 1,
-                                               "hdfs");
-    }
-    for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
-      cluster.node(n)->mr_disk(d)->AttachObs(tr, metrics.get(), n + 1, "mr");
-    }
-  }
-  cluster.network()->AttachObs(tr, metrics.get());
+  cluster.AttachObs(tr, metrics.get());
   dfs.AttachObs(tr, metrics.get());
   engine.AttachObs(tr, metrics.get());
 

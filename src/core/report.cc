@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,33 +16,74 @@ namespace bdio::core {
 
 namespace {
 
-// --jobs must be a positive integer: strtoul would silently wrap a negative
-// value to ~4 billion and the pool would try to spawn that many threads.
+// Flag values are validated, not best-effort converted: strtoul would
+// silently wrap a negative --jobs to ~4 billion threads, atof would turn
+// "--scale=abc" into 0, and strtoull accepts "--seed=12x" by stopping at
+// the 'x'. Each helper rejects garbage with a clear message and exit 2.
+[[noreturn]] void DieBadFlag(const char* flag, const char* expects,
+                             const char* got) {
+  std::fprintf(stderr, "%s expects %s, got '%s' (try --help)\n", flag,
+               expects, got);
+  std::exit(2);
+}
+
 uint32_t ParseJobsOrDie(const char* s) {
   char* end = nullptr;
   const long v = std::strtol(s, &end, 10);
   if (end == s || *end != '\0' || v <= 0) {
-    std::fprintf(stderr, "--jobs expects a positive integer, got '%s' (try --help)\n", s);
-    std::exit(2);
+    DieBadFlag("--jobs", "a positive integer", s);
   }
   return static_cast<uint32_t>(v);
+}
+
+uint32_t ParseWorkersOrDie(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0 || v > 100000) {
+    DieBadFlag("--workers", "a positive worker count", s);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t ParseSeedOrDie(const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || *s == '-') {
+    DieBadFlag("--seed", "an unsigned integer", s);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+double ParseScaleOrDie(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0) {
+    DieBadFlag("--scale", "a positive fraction or denominator", s);
+  }
+  // Accept either a fraction (0.01) or a denominator (128).
+  return v > 1.0 ? 1.0 / v : v;
 }
 
 }  // namespace
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  return Parse(argc, argv, nullptr, "");
+}
+
+BenchOptions BenchOptions::Parse(
+    int argc, char** argv,
+    const std::function<bool(const std::string&)>& extra,
+    const std::string& extra_usage) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
-      const double v = std::atof(arg.c_str() + 8);
-      // Accept either a fraction (0.01) or a denominator (128).
-      options.scale = v > 1.0 ? 1.0 / v : v;
+      options.scale = ParseScaleOrDie(arg.c_str() + 8);
     } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      options.seed = ParseSeedOrDie(arg.c_str() + 7);
     } else if (arg.rfind("--workers=", 0) == 0) {
-      options.num_workers =
-          static_cast<uint32_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      options.num_workers = ParseWorkersOrDie(arg.c_str() + 10);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = ParseJobsOrDie(arg.c_str() + 7);
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -68,9 +110,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
                    "                        one experiment (env BDIO_TRACE_OUT)\n"
                    "  --metrics-out=<file>  dump every experiment's metrics\n"
                    "                        (.csv => CSV, else JSON;\n"
-                   "                        env BDIO_METRICS_OUT)\n",
-                   argv[0]);
+                   "                        env BDIO_METRICS_OUT)\n"
+                   "%s",
+                   argv[0], extra_usage.c_str());
       std::exit(0);
+    } else if (extra && extra(arg)) {
+      // Claimed by the bench's own flag handler.
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       std::exit(2);

@@ -39,8 +39,19 @@ struct BenchOptions {
   /// Parses --scale=<den|frac>, --seed=, --workers=, --jobs=N (also
   /// "--jobs N"), --csv, --calibrate, --outdir=<dir>, --trace-out=<file>,
   /// --metrics-out=<file> (the last two also read the BDIO_TRACE_OUT /
-  /// BDIO_METRICS_OUT env vars). Unknown flags abort with a usage message.
+  /// BDIO_METRICS_OUT env vars). Numeric flag values are validated: a
+  /// malformed or out-of-range --scale/--seed/--workers/--jobs aborts with
+  /// exit code 2 instead of silently wrapping. Unknown flags abort with a
+  /// usage message.
   static BenchOptions Parse(int argc, char** argv);
+
+  /// Parse variant for benches with extra flags: `extra` sees each unknown
+  /// flag first and returns true to claim it; unclaimed flags still abort.
+  /// `extra_usage` is appended to --help output.
+  static BenchOptions Parse(int argc, char** argv,
+                            const std::function<bool(const std::string&)>&
+                                extra,
+                            const std::string& extra_usage);
 
   /// The worker-thread count `jobs` resolves to (see the field comment).
   uint32_t ResolvedJobs() const;

@@ -108,6 +108,7 @@ struct MrEngine::MapTask {
   uint32_t node = 0;
   uint64_t epoch = 0;  ///< Node epoch at launch; stale after a failure.
   bool local = false;
+  bool preempted = false;  ///< Marked for reclaim; abandons at a boundary.
   std::string input_path;
   uint64_t split_bytes = 0;
   uint64_t split_offset = 0;
@@ -136,6 +137,11 @@ struct MrEngine::ReduceTask {
 };
 
 struct MrEngine::Job {
+  uint32_t job_id = 0;
+  uint64_t seq = 0;         ///< Admission order (the FIFO key).
+  std::string pool = "default";
+  double weight = 1.0;
+  std::string obs_label;    ///< "<name>#<id>" on metrics labels / span args.
   SimJobSpec spec;
   JobCallback done;
   JobCounters counters;
@@ -144,8 +150,12 @@ struct MrEngine::Job {
   std::vector<std::deque<size_t>> node_local;  ///< May hold started entries.
   std::deque<size_t> pending;                  ///< Global FIFO.
   std::vector<bool> started;
+  uint32_t unstarted_maps = 0;  ///< == count of splits with started == false.
 
   uint32_t maps_done = 0;
+  uint32_t running_maps = 0;
+  uint32_t preempt_marked = 0;  ///< Running maps marked for reclaim.
+  std::vector<std::shared_ptr<MapTask>> running_map_tasks;
   std::vector<MapOutput> map_outputs;
 
   uint32_t num_reducers = 0;
@@ -153,10 +163,18 @@ struct MrEngine::Job {
   std::deque<std::shared_ptr<ReduceTask>> reduce_queue;  ///< Awaiting slots.
   std::vector<std::shared_ptr<ReduceTask>> reducers;     ///< Running/done.
   uint32_t reduces_done = 0;
+  uint32_t running_reduces = 0;
   uint32_t map_outputs_written = 0;  ///< Map-only HDFS outputs completed.
   uint32_t next_reduce_node = 0;
   bool finished = false;
   uint64_t span = 0;  ///< Whole-job trace span (cluster row).
+
+  // Per-job metric attribution, labelled {job="<name>#<id>"}; null when no
+  // registry is attached.
+  obs::Counter* m_spills = nullptr;
+  obs::Counter* m_shuffle_bytes = nullptr;
+  obs::Counter* m_hdfs_read = nullptr;
+  obs::Counter* m_hdfs_write = nullptr;
 
   bool map_only() const { return spec.num_reduce_tasks == 0; }
 };
@@ -170,15 +188,25 @@ MrEngine::MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
   free_reduce_slots_.assign(cluster->num_workers(), slots.reduce_slots);
   node_dead_.assign(cluster->num_workers(), false);
   node_epoch_.assign(cluster->num_workers(), 0);
+  default_sched_ = std::make_unique<sched::FifoScheduler>();
+  sched_ = default_sched_.get();
+}
+
+MrEngine::~MrEngine() = default;
+
+void MrEngine::SetScheduler(sched::Scheduler* scheduler) {
+  sched_ = scheduler != nullptr ? scheduler : default_sched_.get();
 }
 
 void MrEngine::AttachObs(obs::TraceSession* trace,
                          obs::MetricsRegistry* metrics) {
   trace_ = trace;
+  metrics_ = metrics;
   if (metrics == nullptr) return;
   m_map_spills_ = metrics->GetCounter("mr.map_spills");
   m_reduce_spills_ = metrics->GetCounter("mr.reduce_spills");
   m_shuffle_bytes_ = metrics->GetCounter("mr.shuffle_bytes");
+  m_preempted_maps_ = metrics->GetCounter("mr.preempted_maps");
   m_merge_width_ =
       metrics->GetHistogram("mr.merge_width", {}, {2, 4, 8, 16, 32, 64, 128});
 }
@@ -191,46 +219,59 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
   free_map_slots_[node] = 0;
   free_reduce_slots_[node] = 0;
 
-  auto job = active_job_.lock();
-  if (!job || job->finished) return;
-
-  // Completed map outputs on the dead node are gone: re-execute their maps.
-  for (MapOutput& mo : job->map_outputs) {
-    if (mo.node == node && mo.file != nullptr) {
-      mo.file = nullptr;
-      mo.fs = nullptr;
-      mo.bytes = 0;
-      BDIO_CHECK(job->maps_done > 0);
-      --job->maps_done;
-      job->started[mo.split_idx] = false;
-      job->pending.push_back(mo.split_idx);
-    }
-  }
-  // Running reducers on the node restart elsewhere.
-  for (auto& rt : job->reducers) {
-    if (rt->node == node && !rt->done && !rt->dead) {
-      rt->dead = true;
-      if (trace_) {
-        // The attempt's spans end here; the replacement opens fresh ones.
-        trace_->EndSpan(rt->merge_span);
-        trace_->EndSpan(rt->span);
-        trace_->FlowEnd(rt->flow, node + 1);
+  const std::vector<std::shared_ptr<Job>> active = jobs_;
+  for (const auto& job : active) {
+    if (job->finished) continue;
+    // Completed map outputs on the dead node are gone: re-execute their
+    // maps.
+    for (MapOutput& mo : job->map_outputs) {
+      if (mo.node == node && mo.file != nullptr) {
+        mo.file = nullptr;
+        mo.fs = nullptr;
+        mo.bytes = 0;
+        BDIO_CHECK(job->maps_done > 0);
+        --job->maps_done;
+        job->started[mo.split_idx] = false;
+        job->pending.push_back(mo.split_idx);
+        ++job->unstarted_maps;
       }
-      BDIO_CHECK(running_reduces_ > 0);
-      --running_reduces_;
-      auto replacement = std::make_shared<ReduceTask>();
-      replacement->idx = rt->idx;
-      job->reduce_queue.push_back(std::move(replacement));
+    }
+    // Running reducers on the node restart elsewhere.
+    for (auto& rt : job->reducers) {
+      if (rt->node == node && !rt->done && !rt->dead) {
+        rt->dead = true;
+        if (trace_) {
+          // The attempt's spans end here; the replacement opens fresh ones.
+          trace_->EndSpan(rt->merge_span);
+          trace_->EndSpan(rt->span);
+          trace_->FlowEnd(rt->flow, node + 1);
+        }
+        BDIO_CHECK(running_reduces_ > 0);
+        --running_reduces_;
+        BDIO_CHECK(job->running_reduces > 0);
+        --job->running_reduces;
+        auto replacement = std::make_shared<ReduceTask>();
+        replacement->idx = rt->idx;
+        job->reduce_queue.push_back(std::move(replacement));
+      }
     }
   }
   // (Running maps on the node are discarded when they report in: their
   // epoch no longer matches.)
-  DispatchMaps(job);
-  MaybeStartReducers(job);
+  DispatchMaps();
+  for (const auto& job : active) {
+    if (!job->finished) MaybeStartReducers(job);
+  }
+  DispatchReduces();
 }
 
-void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
+uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
+                             const std::string& pool, double weight) {
   auto job = std::make_shared<Job>();
+  job->job_id = next_job_id_++;
+  job->seq = job->job_id;
+  job->pool = pool.empty() ? "default" : pool;
+  job->weight = weight;
   job->spec = spec;
   job->done = std::move(done);
   job->counters.start_time = cluster_->sim()->Now();
@@ -245,7 +286,7 @@ void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
                                  job->spec.input_path),
                 job->counters);
     });
-    return;
+    return job->job_id;
   }
   job->node_local.resize(cluster_->num_workers());
   for (const hdfs::FileEntry* file : files) {
@@ -266,6 +307,7 @@ void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
     }
   }
   job->started.assign(job->splits.size(), false);
+  job->unstarted_maps = static_cast<uint32_t>(job->splits.size());
 
   if (spec.num_reduce_tasks == SimJobSpec::kOneWave) {
     job->num_reducers = slots_.reduce_slots * cluster_->num_workers();
@@ -278,25 +320,64 @@ void MrEngine::RunJob(const SimJobSpec& spec, JobCallback done) {
       job->counters.end_time = 0;
       job->done(Status::InvalidArgument("empty input"), job->counters);
     });
-    return;
+    return job->job_id;
   }
-  active_job_ = job;
+  job->obs_label = (spec.name.empty() ? std::string("job") : spec.name) +
+                   "#" + std::to_string(job->job_id);
+  if (metrics_ != nullptr) {
+    const obs::Labels labels{{"job", job->obs_label}};
+    job->m_spills = metrics_->GetCounter("mr.job.spills", labels);
+    job->m_shuffle_bytes = metrics_->GetCounter("mr.job.shuffle_bytes",
+                                                labels);
+    job->m_hdfs_read = metrics_->GetCounter("mr.job.hdfs_read_bytes", labels);
+    job->m_hdfs_write = metrics_->GetCounter("mr.job.hdfs_write_bytes",
+                                             labels);
+  }
+  jobs_.push_back(job);
   if (trace_) {
     job->span = trace_->BeginSpan(
         0, "mr", "job",
-        "{\"splits\":" + std::to_string(job->splits.size()) +
+        "{\"job\":\"" + job->obs_label +
+            "\",\"splits\":" + std::to_string(job->splits.size()) +
             ",\"reducers\":" + std::to_string(job->num_reducers) + "}");
   }
-  DispatchMaps(std::move(job));
+  DispatchMaps();
+  MaybePreemptFor(job);
+  return job->job_id;
 }
 
-void MrEngine::DispatchMaps(std::shared_ptr<Job> job) {
-  if (job->finished) return;
+std::vector<sched::JobSchedState> MrEngine::SchedStates() const {
+  std::vector<sched::JobSchedState> states;
+  states.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    sched::JobSchedState s;
+    s.job_id = job->job_id;
+    s.seq = job->seq;
+    s.pool = job->pool;
+    s.weight = job->weight;
+    s.runnable_maps = job->unstarted_maps;
+    // Slots already marked for reclaim are as good as free: not counting
+    // them keeps a victim from being penalized twice.
+    s.running_maps = job->running_maps - job->preempt_marked;
+    s.runnable_reduces = static_cast<uint32_t>(job->reduce_queue.size());
+    s.running_reduces = job->running_reduces;
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+void MrEngine::DispatchMaps() {
+  if (jobs_.empty()) return;
   bool progress = true;
   while (progress) {
     progress = false;
     for (uint32_t node = 0; node < cluster_->num_workers(); ++node) {
       if (node_dead_[node] || free_map_slots_[node] == 0) continue;
+      const size_t pick = sched_->PickJob(sched::SlotKind::kMap,
+                                          SchedStates());
+      if (pick == sched::Scheduler::kNoJob) return;  // no runnable map left
+      BDIO_CHECK(pick < jobs_.size());
+      const std::shared_ptr<Job> job = jobs_[pick];
       // Node-local split first.
       size_t idx = SIZE_MAX;
       bool local = false;
@@ -320,14 +401,137 @@ void MrEngine::DispatchMaps(std::shared_ptr<Job> job) {
           }
         }
       }
-      if (idx == SIZE_MAX) return;  // nothing left to schedule
+      // The policy only picks jobs with runnable maps, and `pending` holds
+      // every unstarted split.
+      BDIO_CHECK(idx != SIZE_MAX);
       job->started[idx] = true;
+      BDIO_CHECK(job->unstarted_maps > 0);
+      --job->unstarted_maps;
       --free_map_slots_[node];
       ++job->counters.maps_launched;
       if (local) ++job->counters.maps_local;
       StartMapTask(job, node, idx);
       progress = true;
     }
+  }
+}
+
+void MrEngine::MaybePreemptFor(const std::shared_ptr<Job>& job) {
+  if (job->finished || job->running_maps > 0 || job->unstarted_maps == 0) {
+    return;
+  }
+  // The job is starved: it wants map slots and holds none (DispatchMaps
+  // just ran, so none are free either). Ask the policy for victims until
+  // the job's weighted share of live map slots is marked for reclaim.
+  uint32_t live_slots = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    if (!node_dead_[n]) live_slots += slots_.map_slots;
+  }
+  double total_weight = 0;
+  for (const auto& j : jobs_) {
+    total_weight += j->weight <= 0 ? 1.0 : j->weight;
+  }
+  if (total_weight <= 0) return;
+  const double w = job->weight <= 0 ? 1.0 : job->weight;
+  const uint32_t share = std::max<uint32_t>(
+      1, static_cast<uint32_t>(static_cast<double>(live_slots) * w /
+                               total_weight));
+  const uint32_t want = std::min<uint32_t>(share, job->unstarted_maps);
+  uint32_t reclaimed = 0;
+  while (reclaimed < want) {
+    const size_t victim = sched_->PreemptionVictim(SchedStates());
+    if (victim == sched::Scheduler::kNoJob) return;
+    BDIO_CHECK(victim < jobs_.size());
+    const std::shared_ptr<Job>& vjob = jobs_[victim];
+    // Reclaim the victim's most recently launched live attempt — it has
+    // the least work to lose.
+    std::shared_ptr<MapTask> target;
+    for (auto it = vjob->running_map_tasks.rbegin();
+         it != vjob->running_map_tasks.rend(); ++it) {
+      if (!(*it)->preempted && (*it)->epoch == node_epoch_[(*it)->node]) {
+        target = *it;
+        break;
+      }
+    }
+    if (!target) return;
+    target->preempted = true;
+    ++vjob->preempt_marked;
+    ++reclaimed;
+  }
+}
+
+void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
+                              std::shared_ptr<MapTask> mt) {
+  BDIO_CHECK(mt->preempted);
+  BDIO_CHECK(mt->epoch == node_epoch_[mt->node]);
+  BDIO_CHECK(running_maps_ > 0);
+  --running_maps_;
+  BDIO_CHECK(job->running_maps > 0);
+  --job->running_maps;
+  BDIO_CHECK(job->preempt_marked > 0);
+  --job->preempt_marked;
+  auto& rmt = job->running_map_tasks;
+  rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
+  if (trace_) {
+    trace_->EndSpan(mt->span);
+    trace_->FlowEnd(mt->flow, mt->node + 1);
+  }
+  // The attempt abandons: partial spills are purged, the split re-queues,
+  // and the slot goes back to the pool for the policy to re-grant.
+  for (const RunFile& r : mt->spills) {
+    BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
+  }
+  mt->spills.clear();
+  ++free_map_slots_[mt->node];
+  ++job->counters.maps_preempted;
+  if (m_preempted_maps_) m_preempted_maps_->Inc();
+  job->started[mt->split_idx] = false;
+  job->pending.push_back(mt->split_idx);
+  ++job->unstarted_maps;
+  DispatchMaps();
+}
+
+void MrEngine::DispatchReduces() {
+  while (true) {
+    const size_t pick = sched_->PickJob(sched::SlotKind::kReduce,
+                                        SchedStates());
+    if (pick == sched::Scheduler::kNoJob) return;  // no queued reducer left
+    BDIO_CHECK(pick < jobs_.size());
+    const std::shared_ptr<Job> job = jobs_[pick];
+    // Round-robin slot hunt from the job's cursor (dead nodes hold zero
+    // free slots).
+    uint32_t node = UINT32_MAX;
+    for (uint32_t k = 0; k < cluster_->num_workers(); ++k) {
+      const uint32_t cand =
+          (job->next_reduce_node + k) % cluster_->num_workers();
+      if (free_reduce_slots_[cand] > 0) {
+        node = cand;
+        break;
+      }
+    }
+    if (node == UINT32_MAX) return;  // all slots busy
+    job->next_reduce_node = node + 1;
+    --free_reduce_slots_[node];
+    auto rt = std::move(job->reduce_queue.front());
+    job->reduce_queue.pop_front();
+    rt->node = node;
+    ++job->counters.reduces_launched;
+    ++running_reduces_;
+    ++job->running_reduces;
+    if (trace_) {
+      rt->flow = trace_->NewFlow();
+      rt->span = trace_->BeginSpan(
+          node + 1, "mr", "reduce-task",
+          "{\"idx\":" + std::to_string(rt->idx) + ",\"job\":\"" +
+              job->obs_label + "\"}");
+      trace_->FlowStart(rt->flow, node + 1);
+    }
+    job->reducers.push_back(rt);
+    cluster_->sim()->ScheduleAfter(
+        job->spec.task_start_latency, [this, job, rt] {
+          PumpShuffle(job, rt);
+          MaybeFinishShuffle(job, rt);
+        });
   }
 }
 
@@ -338,6 +542,8 @@ void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
   mt->node = node;
   mt->epoch = node_epoch_[node];
   ++running_maps_;
+  ++job->running_maps;
+  job->running_map_tasks.push_back(mt);
   mt->input_path = job->splits[split_idx].path;
   mt->split_bytes = job->splits[split_idx].bytes;
   mt->split_offset = job->splits[split_idx].offset;
@@ -346,7 +552,8 @@ void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
     mt->span = trace_->BeginSpan(
         node + 1, "mr", "map-task",
         "{\"split\":" + std::to_string(split_idx) + ",\"bytes\":" +
-            std::to_string(mt->split_bytes) + "}");
+            std::to_string(mt->split_bytes) + ",\"job\":\"" +
+            job->obs_label + "\"}");
     trace_->FlowStart(mt->flow, node + 1);
   }
   cluster_->sim()->ScheduleAfter(job->spec.task_start_latency,
@@ -358,6 +565,10 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
   // Pipeline prologue: fetch the first chunk, then enter the steady state
   // where chunk k's CPU work overlaps chunk k+1's read (the record reader
   // runs ahead of the map function, as in real Hadoop).
+  if (mt->preempted && mt->epoch == node_epoch_[mt->node]) {
+    OnMapPreempted(job, mt);
+    return;
+  }
   if (mt->pos >= mt->split_bytes) {
     MapSpill(job, mt, [this, job, mt] { MapFinish(job, mt); });
     return;
@@ -368,6 +579,7 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
               [this, job, mt, n](Status s) {
                 BDIO_CHECK_OK(s);
                 job->counters.hdfs_read_bytes += n;
+                if (job->m_hdfs_read) job->m_hdfs_read->Add(n);
                 MapProcessChunk(job, mt, n);
               });
 }
@@ -384,6 +596,12 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
 
   auto cont = sim::Latch::Create(2, [this, job, mt, chunk_bytes, next_n] {
     mt->pos += chunk_bytes;
+    if (mt->preempted && mt->epoch == node_epoch_[mt->node]) {
+      // Chunk boundary: a reclaimed attempt abandons here (its in-flight
+      // I/O has drained, as in the failure model).
+      OnMapPreempted(job, mt);
+      return;
+    }
     const double out_pre =
         static_cast<double>(chunk_bytes) * job->spec.map_output_ratio;
     auto proceed = [this, job, mt, next_n] {
@@ -406,6 +624,7 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
   // Arm 1: prefetch the next chunk while this one is processed.
   if (next_n > 0) {
     job->counters.hdfs_read_bytes += next_n;
+    if (job->m_hdfs_read) job->m_hdfs_read->Add(next_n);
     obs::FlowScope flow_scope(trace_, mt->flow);
     hdfs_->Read(mt->input_path, mt->split_offset + next_pos, next_n,
                 mt->node, [arm = cont->Arm()](Status s) {
@@ -448,6 +667,7 @@ void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
   ++job->counters.spills;
   job->counters.intermediate_write_bytes += post;
   if (m_map_spills_) m_map_spills_->Inc();
+  if (job->m_spills) job->m_spills->Inc();
   uint64_t span = 0;
   if (trace_) {
     span = trace_->BeginSpan(mt->node + 1, "mr", "spill",
@@ -494,6 +714,7 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
             return;
           }
           job->counters.hdfs_write_bytes += out;
+          if (job->m_hdfs_write) job->m_hdfs_write->Add(out);
           ++job->map_outputs_written;
           OnMapDone(job, mt);
         });
@@ -600,6 +821,15 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
                          std::shared_ptr<MapTask> mt) {
   BDIO_CHECK(running_maps_ > 0);
   --running_maps_;
+  BDIO_CHECK(job->running_maps > 0);
+  --job->running_maps;
+  if (mt->preempted) {
+    // Marked for reclaim but completed (or died) first; the mark lapses.
+    BDIO_CHECK(job->preempt_marked > 0);
+    --job->preempt_marked;
+  }
+  auto& rmt = job->running_map_tasks;
+  rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
   if (trace_) {
     trace_->EndSpan(mt->span);
     trace_->FlowEnd(mt->flow, mt->node + 1);
@@ -609,17 +839,19 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
     // node's slot is not returned.
     job->started[mt->split_idx] = false;
     job->pending.push_back(mt->split_idx);
-    DispatchMaps(job);
+    ++job->unstarted_maps;
+    DispatchMaps();
     return;
   }
   ++free_map_slots_[mt->node];
   ++job->maps_done;
   MaybeStartReducers(job);
+  DispatchReduces();
   for (auto& rt : job->reducers) {
     PumpShuffle(job, rt);
     MaybeFinishShuffle(job, rt);
   }
-  DispatchMaps(job);
+  DispatchMaps();
   MaybeFinishJob(job);
 }
 
@@ -628,51 +860,18 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
 // ---------------------------------------------------------------------------
 
 void MrEngine::MaybeStartReducers(std::shared_ptr<Job> job) {
+  // Creation only (slow-start gate); DispatchReduces hands out the slots.
   if (job->map_only() || job->num_reducers == 0) return;
-  if (!job->reducers_created) {
-    const uint32_t threshold = std::max<uint32_t>(
-        1, static_cast<uint32_t>(std::ceil(job->spec.reduce_slowstart *
-                                           job->splits.size())));
-    if (job->maps_done < threshold) return;
-    job->reducers_created = true;
-    for (uint32_t r = 0; r < job->num_reducers; ++r) {
-      auto rt = std::make_shared<ReduceTask>();
-      rt->idx = r;
-      job->reduce_queue.push_back(std::move(rt));
-    }
-  }
-  // Assign queued reducers to free reduce slots, round-robin over nodes.
-  while (!job->reduce_queue.empty()) {
-    uint32_t node = UINT32_MAX;
-    for (uint32_t k = 0; k < cluster_->num_workers(); ++k) {
-      const uint32_t cand =
-          (job->next_reduce_node + k) % cluster_->num_workers();
-      if (free_reduce_slots_[cand] > 0) {
-        node = cand;
-        break;
-      }
-    }
-    if (node == UINT32_MAX) return;  // all slots busy
-    job->next_reduce_node = node + 1;
-    --free_reduce_slots_[node];
-    auto rt = std::move(job->reduce_queue.front());
-    job->reduce_queue.pop_front();
-    rt->node = node;
-    ++job->counters.reduces_launched;
-    ++running_reduces_;
-    if (trace_) {
-      rt->flow = trace_->NewFlow();
-      rt->span = trace_->BeginSpan(
-          node + 1, "mr", "reduce-task",
-          "{\"idx\":" + std::to_string(rt->idx) + "}");
-      trace_->FlowStart(rt->flow, node + 1);
-    }
-    job->reducers.push_back(rt);
-    cluster_->sim()->ScheduleAfter(
-        job->spec.task_start_latency, [this, job, rt] {
-          PumpShuffle(job, rt);
-          MaybeFinishShuffle(job, rt);
-        });
+  if (job->reducers_created) return;
+  const uint32_t threshold = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(job->spec.reduce_slowstart *
+                                         job->splits.size())));
+  if (job->maps_done < threshold) return;
+  job->reducers_created = true;
+  for (uint32_t r = 0; r < job->num_reducers; ++r) {
+    auto rt = std::make_shared<ReduceTask>();
+    rt->idx = r;
+    job->reduce_queue.push_back(std::move(rt));
   }
 }
 
@@ -688,6 +887,7 @@ void MrEngine::PumpShuffle(std::shared_ptr<Job> job,
     const uint64_t offset = seg * rt->idx;
     job->counters.intermediate_read_bytes += seg;
     if (m_shuffle_bytes_) m_shuffle_bytes_->Add(seg);
+    if (job->m_shuffle_bytes) job->m_shuffle_bytes->Add(seg);
     // Each fetch is its own flow: source-disk read -> wire -> arrival.
     uint64_t fetch_flow = 0;
     uint64_t fetch_span = 0;
@@ -745,6 +945,7 @@ void MrEngine::ReduceSpill(std::shared_ptr<Job> job,
   file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kShuffleRun));
   job->counters.intermediate_write_bytes += bytes;
   if (m_reduce_spills_) m_reduce_spills_->Inc();
+  if (job->m_spills) job->m_spills->Inc();
   uint64_t span = 0;
   if (trace_) {
     span = trace_->BeginSpan(rt->node + 1, "mr", "reduce-spill",
@@ -837,6 +1038,9 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
                                return;
                              }
                              job->counters.hdfs_write_bytes += out;
+                             if (job->m_hdfs_write) {
+                               job->m_hdfs_write->Add(out);
+                             }
                              OnReduceDone(job, rt);
                            });
   };
@@ -942,7 +1146,9 @@ void MrEngine::OnReduceDone(std::shared_ptr<Job> job,
   rt->runs.clear();
   ++free_reduce_slots_[rt->node];
   ++job->reduces_done;
-  MaybeStartReducers(job);  // queued reducers may now get the slot
+  BDIO_CHECK(job->running_reduces > 0);
+  --job->running_reduces;
+  DispatchReduces();  // queued reducers (any job's) may now get the slot
   MaybeFinishJob(job);
 }
 
@@ -956,6 +1162,7 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
     if (!job->reducers_created) {
       // Degenerate: no reducers ever started (zero splits handled earlier).
       MaybeStartReducers(job);
+      DispatchReduces();
     }
     if (job->reduces_done < job->num_reducers) return;
   }
@@ -968,6 +1175,7 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
     }
   }
   job->counters.end_time = cluster_->sim()->Now();
+  jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
   cluster_->sim()->ScheduleAfter(
       0, [job] { job->done(Status::OK(), job->counters); });
 }

@@ -15,6 +15,7 @@
 #include "mapreduce/job.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sched/scheduler.h"
 
 namespace bdio::mapreduce {
 
@@ -28,18 +29,40 @@ using JobCallback = std::function<void(Status, const JobCounters&)>;
 ///
 /// All volumes are modelled (no real keys move); the *I/O structure* — which
 /// files, which disks, which sizes, which order — follows Hadoop 1.0.4.
+///
+/// The engine is multi-tenant: any number of jobs may be in flight at once,
+/// contending for the shared TaskTracker slot pool (and, below it, the same
+/// page caches, elevator queues, disks, and links). Every freed slot is
+/// offered to the attached sched::Scheduler policy, which picks the job to
+/// serve; the default policy is FIFO (Hadoop's JobQueueTaskScheduler), under
+/// which a single job schedules exactly as the pre-multi-tenant engine did.
 class MrEngine {
  public:
   MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
            const SlotConfig& slots, Rng rng);
+  ~MrEngine();
 
   MrEngine(const MrEngine&) = delete;
   MrEngine& operator=(const MrEngine&) = delete;
 
-  /// Runs one job; jobs may be chained from the callback (iterative
-  /// workloads). Concurrent jobs are not supported (the paper runs one
-  /// workload at a time).
-  void RunJob(const SimJobSpec& spec, JobCallback done);
+  /// Replaces the slot-scheduling policy (not owned; must outlive the
+  /// engine). Call before submitting jobs.
+  void SetScheduler(sched::Scheduler* scheduler);
+  sched::Scheduler* scheduler() const { return sched_; }
+
+  /// Submits a job; `done` fires when it completes. Jobs submitted while
+  /// others run contend for slots under the attached policy. `pool` and
+  /// `weight` feed fair-share policies. Returns the engine-assigned job id
+  /// (monotone in submission order).
+  uint32_t SubmitJob(const SimJobSpec& spec, JobCallback done,
+                     const std::string& pool = "default",
+                     double weight = 1.0);
+
+  /// Single-job compatibility name; jobs may be chained from the callback
+  /// (iterative workloads).
+  void RunJob(const SimJobSpec& spec, JobCallback done) {
+    SubmitJob(spec, std::move(done));
+  }
 
   /// Simulates a TaskTracker failure at the current instant (Hadoop-1 fault
   /// handling): the node receives no further tasks, its in-flight tasks'
@@ -48,7 +71,7 @@ class MrEngine {
   /// and its running reducers restart on other nodes. Approximations: I/O
   /// already queued on the dead node still drains (wasted work), and
   /// reducers that already copied segments of a lost output re-fetch the
-  /// re-executed one.
+  /// re-executed one. Affects every job in flight.
   void InjectNodeFailure(uint32_t node);
   bool node_failed(uint32_t node) const { return node_dead_[node]; }
 
@@ -56,12 +79,18 @@ class MrEngine {
   uint32_t running_maps() const { return running_maps_; }
   uint32_t running_reduces() const { return running_reduces_; }
 
+  /// Jobs submitted but not yet finished.
+  uint32_t active_jobs() const { return static_cast<uint32_t>(jobs_.size()); }
+
   const SlotConfig& slots() const { return slots_; }
 
   /// Attaches observability sinks (either may be null): tasks and MR phases
   /// (spill, merge pass, shuffle fetch) become spans, each task/fetch opens
   /// a trace flow carried down into the filesystem and network layers, and
   /// the registry gains spill counts, merge-pass widths, and shuffle bytes.
+  /// Per-job attribution: every job gets "mr.job.*" counters labelled
+  /// {job="<name>#<id>"} and its spans carry a "job" arg, so one trace
+  /// holds one async-span tree per job.
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
  private:
@@ -87,7 +116,18 @@ class MrEngine {
   struct MapTask;
   struct Job;
 
-  void DispatchMaps(std::shared_ptr<Job> job);
+  /// Offers free map slots (node-major, repeated passes) to the policy
+  /// until no slot or no runnable map remains.
+  void DispatchMaps();
+  /// Offers free reduce slots to the policy, one queued reducer at a time.
+  void DispatchReduces();
+  /// Snapshot of every active job for the policy.
+  std::vector<sched::JobSchedState> SchedStates() const;
+  /// Fair-share preemption at admission: while `job` is starved of map
+  /// slots, asks the policy for victims and reclaims their most recent
+  /// map tasks (they abandon at the next chunk boundary).
+  void MaybePreemptFor(const std::shared_ptr<Job>& job);
+
   void StartMapTask(std::shared_ptr<Job> job, uint32_t node,
                     size_t split_idx);
   void MapReadLoop(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
@@ -97,6 +137,9 @@ class MrEngine {
                 std::function<void()> then);
   void MapFinish(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
   void OnMapDone(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+  /// A preempted attempt abandons: spills are purged, the split re-queues,
+  /// and the slot returns to the pool.
+  void OnMapPreempted(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
 
   void MaybeStartReducers(std::shared_ptr<Job> job);
   void PumpShuffle(std::shared_ptr<Job> job, std::shared_ptr<ReduceTask> rt);
@@ -118,17 +161,23 @@ class MrEngine {
   std::vector<uint32_t> free_reduce_slots_;
   std::vector<bool> node_dead_;
   std::vector<uint64_t> node_epoch_;  ///< Bumped per failure.
-  std::weak_ptr<Job> active_job_;
+  std::vector<std::shared_ptr<Job>> jobs_;  ///< Active, admission order.
+  uint32_t next_job_id_ = 0;
   uint32_t running_maps_ = 0;
   uint32_t running_reduces_ = 0;
   uint64_t file_seq_ = 0;  ///< Unique local-file naming across jobs.
 
+  std::unique_ptr<sched::Scheduler> default_sched_;  ///< FIFO.
+  sched::Scheduler* sched_;  ///< Never null; defaults to default_sched_.
+
   // Observability sinks; null (the default) keeps task paths at one pointer
   // test per site.
   obs::TraceSession* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_map_spills_ = nullptr;
   obs::Counter* m_reduce_spills_ = nullptr;
   obs::Counter* m_shuffle_bytes_ = nullptr;
+  obs::Counter* m_preempted_maps_ = nullptr;
   obs::Histogram* m_merge_width_ = nullptr;
 };
 

@@ -75,6 +75,8 @@ struct JobCounters {
   uint32_t maps_launched = 0;
   uint32_t maps_local = 0;
   uint32_t reduces_launched = 0;
+  /// Map attempts reclaimed by fair-share preemption (their splits re-ran).
+  uint32_t maps_preempted = 0;
   uint64_t spills = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;

@@ -1,0 +1,60 @@
+#include "sched/job_queue.h"
+
+#include "common/logging.h"
+
+namespace bdio::sched {
+
+JobQueue::JobQueue(sim::Simulator* sim, uint32_t max_concurrent,
+                   LaunchFn launch)
+    : sim_(sim), max_concurrent_(max_concurrent), launch_(std::move(launch)) {
+  BDIO_CHECK(sim != nullptr);
+  BDIO_CHECK(launch_ != nullptr);
+}
+
+size_t JobQueue::Submit(SimTime arrival) {
+  const size_t index = arrivals_.size();
+  arrivals_.push_back(Arrival{arrival, 0, false, false});
+  sim_->ScheduleAt(arrival, [this, index] { Arrived(index); });
+  return index;
+}
+
+void JobQueue::Arrived(size_t index) {
+  if (max_concurrent_ == 0 || in_flight_ < max_concurrent_) {
+    Admit(index);
+  } else {
+    wait_queue_.push_back(index);
+  }
+}
+
+void JobQueue::Admit(size_t index) {
+  Arrival& a = arrivals_[index];
+  BDIO_CHECK(!a.admitted);
+  a.admitted = true;
+  a.admit = sim_->Now();
+  ++in_flight_;
+  ++admitted_;
+  launch_(index);
+}
+
+void JobQueue::OnJobDone(size_t index) {
+  Arrival& a = arrivals_[index];
+  BDIO_CHECK(a.admitted && !a.done);
+  a.done = true;
+  BDIO_CHECK(in_flight_ > 0);
+  --in_flight_;
+  ++completed_;
+  if (!wait_queue_.empty()) {
+    const size_t next = wait_queue_.front();
+    wait_queue_.pop_front();
+    Admit(next);
+  }
+  if (completed_ == arrivals_.size() && drained_) drained_();
+}
+
+SimDuration JobQueue::QueueWait(size_t index) const {
+  const Arrival& a = arrivals_[index];
+  BDIO_CHECK(a.admitted);
+  return a.admit - a.arrival;
+}
+
+}  // namespace bdio::sched

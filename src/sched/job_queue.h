@@ -1,0 +1,81 @@
+#ifndef BDIO_SCHED_JOB_QUEUE_H_
+#define BDIO_SCHED_JOB_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace bdio::sched {
+
+/// Deterministic admission controller for a stream of job arrivals.
+///
+/// Each submitted job is identified by the caller's index; the queue holds
+/// its arrival until the arrival time elapses and an admission token is
+/// free (at most `max_concurrent` jobs in flight), then invokes the launch
+/// callback. The launcher reports completions back via OnJobDone, which
+/// releases the token to the earliest waiting arrival. Admission order is a
+/// pure function of (arrival time, submission order), independent of how
+/// the launched jobs interleave, so the same stream always admits in the
+/// same order.
+class JobQueue {
+ public:
+  /// `launch` runs when job `index` is admitted (inside a simulator event).
+  using LaunchFn = std::function<void(size_t index)>;
+
+  /// `max_concurrent` == 0 means unlimited (admission never queues).
+  JobQueue(sim::Simulator* sim, uint32_t max_concurrent, LaunchFn launch);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Registers one arrival at absolute sim time `arrival` and returns its
+  /// index (dense, in submission order). Call before the clock passes
+  /// `arrival`.
+  size_t Submit(SimTime arrival);
+
+  /// The launcher must call this exactly once per launched job.
+  void OnJobDone(size_t index);
+
+  /// Fires `cb` once every submitted job has completed (set before Run).
+  void OnDrained(std::function<void()> cb) { drained_ = std::move(cb); }
+
+  size_t submitted() const { return arrivals_.size(); }
+  size_t admitted() const { return admitted_; }
+  size_t completed() const { return completed_; }
+  size_t waiting() const { return wait_queue_.size(); }
+
+  /// Sim time the job spent between arrival and admission.
+  SimDuration QueueWait(size_t index) const;
+  SimTime ArrivalTime(size_t index) const { return arrivals_[index].arrival; }
+  SimTime AdmitTime(size_t index) const { return arrivals_[index].admit; }
+
+ private:
+  struct Arrival {
+    SimTime arrival = 0;
+    SimTime admit = 0;
+    bool admitted = false;
+    bool done = false;
+  };
+
+  void Arrived(size_t index);
+  void Admit(size_t index);
+
+  sim::Simulator* sim_;
+  uint32_t max_concurrent_;
+  LaunchFn launch_;
+  std::vector<Arrival> arrivals_;
+  std::deque<size_t> wait_queue_;  ///< Arrived, waiting for a token.
+  size_t in_flight_ = 0;
+  size_t admitted_ = 0;
+  size_t completed_ = 0;
+  std::function<void()> drained_;
+};
+
+}  // namespace bdio::sched
+
+#endif  // BDIO_SCHED_JOB_QUEUE_H_

@@ -1,0 +1,104 @@
+#include "sched/scheduler.h"
+
+#include <map>
+
+namespace bdio::sched {
+
+namespace {
+
+/// Pool aggregate: weight is the first-admitted member's weight (pools are
+/// expected to be configured uniformly; the first member pins it).
+struct PoolState {
+  double weight = 1.0;
+  uint32_t running = 0;
+  bool has_runnable = false;
+  uint64_t first_seq = 0;
+};
+
+std::map<std::string, PoolState> AggregatePools(
+    SlotKind kind, const std::vector<JobSchedState>& jobs) {
+  std::map<std::string, PoolState> pools;
+  for (const JobSchedState& j : jobs) {
+    auto [it, inserted] = pools.try_emplace(
+        j.pool, PoolState{j.weight <= 0 ? 1.0 : j.weight, 0, false, j.seq});
+    it->second.running += j.running(kind);
+    if (j.runnable(kind) > 0) it->second.has_runnable = true;
+  }
+  return pools;
+}
+
+}  // namespace
+
+size_t FifoScheduler::PickJob(SlotKind kind,
+                              const std::vector<JobSchedState>& jobs) {
+  size_t best = kNoJob;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].runnable(kind) == 0) continue;
+    if (best == kNoJob || jobs[i].seq < jobs[best].seq) best = i;
+  }
+  return best;
+}
+
+size_t FairScheduler::PickJob(SlotKind kind,
+                              const std::vector<JobSchedState>& jobs) {
+  // Two-level pick, as in the Hadoop Fair Scheduler: the pool furthest
+  // below its weighted share first, FIFO within the pool. A pool's deficit
+  // measure is running/weight; smaller means more starved. Ties break on
+  // the pool's earliest admission so the pick is a pure function of the
+  // snapshot.
+  const auto pools = AggregatePools(kind, jobs);
+  const std::string* best_pool = nullptr;
+  double best_ratio = 0;
+  uint64_t best_seq = 0;
+  for (const auto& [name, pool] : pools) {
+    if (!pool.has_runnable) continue;
+    const double ratio = static_cast<double>(pool.running) / pool.weight;
+    if (best_pool == nullptr || ratio < best_ratio ||
+        (ratio == best_ratio && pool.first_seq < best_seq)) {
+      best_pool = &name;
+      best_ratio = ratio;
+      best_seq = pool.first_seq;
+    }
+  }
+  if (best_pool == nullptr) return kNoJob;
+  size_t best = kNoJob;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].pool != *best_pool || jobs[i].runnable(kind) == 0) continue;
+    if (best == kNoJob || jobs[i].seq < jobs[best].seq) best = i;
+  }
+  return best;
+}
+
+size_t FairScheduler::PreemptionVictim(
+    const std::vector<JobSchedState>& jobs) {
+  if (!options_.preempt_speculative) return kNoJob;
+  // Reclaim from the job furthest above its weighted share. Jobs holding a
+  // single map slot are never victims — taking it would only move the
+  // starvation, not cure it.
+  size_t victim = kNoJob;
+  double victim_ratio = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].running_maps < 2) continue;
+    const double w = jobs[i].weight <= 0 ? 1.0 : jobs[i].weight;
+    const double ratio = static_cast<double>(jobs[i].running_maps) / w;
+    if (victim == kNoJob || ratio > victim_ratio ||
+        (ratio == victim_ratio && jobs[i].seq < jobs[victim].seq)) {
+      victim = i;
+      victim_ratio = ratio;
+    }
+  }
+  return victim;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoScheduler>();
+  if (name == "fair") return std::make_unique<FairScheduler>();
+  if (name == "fair-preempt") {
+    FairSchedulerOptions options;
+    options.preempt_speculative = true;
+    return std::make_unique<FairScheduler>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace bdio::sched

@@ -1,0 +1,107 @@
+#ifndef BDIO_SCHED_SCHEDULER_H_
+#define BDIO_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bdio::sched {
+
+/// The two Hadoop-1 slot kinds a TaskTracker offers.
+enum class SlotKind { kMap, kReduce };
+
+/// Everything a cluster scheduler may consult about one admitted job when
+/// deciding who receives a freed slot. The engine rebuilds this snapshot on
+/// every decision, so policies can stay stateless (and therefore trivially
+/// deterministic: same snapshot, same pick).
+struct JobSchedState {
+  uint32_t job_id = 0;   ///< Engine-assigned id, monotone in admission order.
+  uint64_t seq = 0;      ///< Admission sequence number (FIFO key).
+  std::string pool;      ///< Fair-share pool this job charges against.
+  double weight = 1.0;   ///< Pool weight (relative share).
+  uint32_t runnable_maps = 0;     ///< Splits waiting for a map slot.
+  uint32_t running_maps = 0;      ///< Map tasks currently holding slots.
+  uint32_t runnable_reduces = 0;  ///< Created reducers waiting for a slot.
+  uint32_t running_reduces = 0;   ///< Reduce tasks currently holding slots.
+
+  uint32_t runnable(SlotKind kind) const {
+    return kind == SlotKind::kMap ? runnable_maps : runnable_reduces;
+  }
+  uint32_t running(SlotKind kind) const {
+    return kind == SlotKind::kMap ? running_maps : running_reduces;
+  }
+};
+
+/// Cluster-level task scheduler: multiplexes the shared TaskTracker slot
+/// pool over the admitted jobs. The engine calls PickJob once per slot it
+/// is about to grant; the policy returns an index into `jobs` (or kNoJob to
+/// leave the slot idle). Policies must be deterministic functions of the
+/// snapshot — the multi-tenant determinism contract rests on it.
+class Scheduler {
+ public:
+  static constexpr size_t kNoJob = static_cast<size_t>(-1);
+
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Index of the job that should receive one `kind` slot, kNoJob if no
+  /// job wants it. `jobs` is in admission order.
+  virtual size_t PickJob(SlotKind kind,
+                         const std::vector<JobSchedState>& jobs) = 0;
+
+  /// Index of a job whose map slots should be reclaimed to serve starved
+  /// jobs, kNoJob for "never" (the default; only preempting policies
+  /// override). Called by the engine when a job with runnable maps holds no
+  /// slot and none are free.
+  virtual size_t PreemptionVictim(const std::vector<JobSchedState>& jobs) {
+    (void)jobs;
+    return kNoJob;
+  }
+};
+
+/// Hadoop's default JobQueueTaskScheduler: strict admission order. Every
+/// slot goes to the earliest-submitted job with a runnable task; later jobs
+/// run only on capacity the head jobs cannot use.
+class FifoScheduler : public Scheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+  size_t PickJob(SlotKind kind,
+                 const std::vector<JobSchedState>& jobs) override;
+};
+
+/// Weighted max-min fair sharing over pools (the Hadoop Fair Scheduler's
+/// core rule): each slot goes to the runnable job whose pool is furthest
+/// below its weighted share, i.e. with the smallest running/weight ratio.
+/// Ties break on admission order, keeping the policy deterministic.
+struct FairSchedulerOptions {
+  /// Reclaim map slots a job holds beyond its weighted fair share (its
+  /// "speculative" slots, borrowed from capacity nobody else wanted) when
+  /// another job with runnable maps is starved of any slot. Off by default:
+  /// preemption discards partial task work.
+  bool preempt_speculative = false;
+};
+
+class FairScheduler : public Scheduler {
+ public:
+  explicit FairScheduler(FairSchedulerOptions options = {})
+      : options_(options) {}
+
+  const char* name() const override { return "fair"; }
+  size_t PickJob(SlotKind kind,
+                 const std::vector<JobSchedState>& jobs) override;
+  size_t PreemptionVictim(const std::vector<JobSchedState>& jobs) override;
+
+ private:
+  FairSchedulerOptions options_;
+};
+
+/// Factory for the policies the benches expose as --policy values.
+/// Returns null for an unknown name ("fifo", "fair", "fair-preempt").
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name);
+
+}  // namespace bdio::sched
+
+#endif  // BDIO_SCHED_SCHEDULER_H_

@@ -1,0 +1,4 @@
+namespace bdio::sched {
+// Placeholder translation unit; real sources land alongside it.
+const char* ModuleName() { return "sched"; }
+}  // namespace bdio::sched

@@ -108,6 +108,45 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(RngTest, ForkStreamsDependOnlyOnForkOrder) {
+  // A child's stream is fixed at the moment of the fork: it must not depend
+  // on when the parent or sibling streams are drawn from afterwards. This
+  // is what lets one seed fan out over cluster/hdfs/engine (and per-job
+  // streams) while keeping multi-job interleavings deterministic.
+  Rng a(101);
+  Rng a1 = a.Fork();
+  Rng a2 = a.Fork();
+  std::vector<uint64_t> a1_vals, a2_vals, parent_vals;
+  for (int i = 0; i < 50; ++i) a1_vals.push_back(a1.Next());
+  for (int i = 0; i < 50; ++i) a2_vals.push_back(a2.Next());
+  for (int i = 0; i < 50; ++i) parent_vals.push_back(a.Next());
+
+  // Same fork order, maximally interleaved draw order.
+  Rng b(101);
+  Rng b1 = b.Fork();
+  Rng b2 = b.Fork();
+  std::vector<uint64_t> b1_vals, b2_vals, bparent_vals;
+  for (int i = 0; i < 50; ++i) {
+    bparent_vals.push_back(b.Next());
+    b2_vals.push_back(b2.Next());
+    b1_vals.push_back(b1.Next());
+  }
+  EXPECT_EQ(a1_vals, b1_vals);
+  EXPECT_EQ(a2_vals, b2_vals);
+  EXPECT_EQ(parent_vals, bparent_vals);
+
+  // Forking after draws DOES shift the child stream: fork order is part of
+  // the seed path.
+  Rng c(101);
+  c.Next();
+  Rng c1 = c.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c1.Next() == a1_vals[static_cast<size_t>(i)]) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
 TEST(RngTest, ShuffleKeepsAllElements) {
   Rng rng(29);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

@@ -1,0 +1,240 @@
+// Multi-tenant engine behaviour: per-job counter isolation, equivalence of
+// the scheduler path with the single-job path, determinism, and fair-share
+// preemption. Companion to engine_test.cc, which covers single-job volume
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "mapreduce/engine.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+class MultiJobTest : public ::testing::Test {
+ protected:
+  MultiJobTest() { Reset(); }
+
+  void Reset() {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = 4;
+    cp.node.memory_bytes = GiB(4);
+    cp.node.daemon_bytes = MiB(256);
+    cp.node.per_slot_heap_bytes = MiB(16);
+    const SlotConfig slots{4, 4, "test"};
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  slots.total(), Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+    engine_ = std::make_unique<MrEngine>(cluster_.get(), dfs_.get(), slots,
+                                         Rng(3));
+  }
+
+  static SimJobSpec Spec(const std::string& name, const std::string& in,
+                         const std::string& out) {
+    SimJobSpec spec;
+    spec.name = name;
+    spec.input_path = in;
+    spec.output_path = out;
+    spec.num_reduce_tasks = 4;
+    return spec;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<MrEngine> engine_;
+};
+
+TEST_F(MultiJobTest, ConcurrentJobsKeepIsolatedCounters) {
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(256)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+  SimJobSpec a = Spec("A", "/inA", "/outA");
+  SimJobSpec b = Spec("B", "/inB", "/outB");
+  b.output_ratio = 0.5;
+
+  JobCounters ca, cb;
+  Status sa = Status::Internal("not run"), sb = sa;
+  engine_->SubmitJob(a, [&](Status s, const JobCounters& c) {
+    sa = s;
+    ca = c;
+  });
+  engine_->SubmitJob(b, [&](Status s, const JobCounters& c) {
+    sb = s;
+    cb = c;
+  });
+  EXPECT_EQ(engine_->active_jobs(), 2u);
+  sim_->Run();
+  ASSERT_TRUE(sa.ok()) << sa.ToString();
+  ASSERT_TRUE(sb.ok()) << sb.ToString();
+  EXPECT_EQ(engine_->active_jobs(), 0u);
+
+  // Each job's volume counters reflect only its own I/O, even though the
+  // two shared slots, disks, and the network while running.
+  EXPECT_EQ(ca.hdfs_read_bytes, MiB(256));
+  EXPECT_EQ(cb.hdfs_read_bytes, MiB(128));
+  EXPECT_EQ(ca.maps_launched, 4u);
+  EXPECT_EQ(cb.maps_launched, 2u);
+  EXPECT_EQ(ca.reduces_launched, 4u);
+  EXPECT_EQ(cb.reduces_launched, 4u);
+  EXPECT_NEAR(static_cast<double>(ca.hdfs_write_bytes),
+              static_cast<double>(MiB(256)), 1e6);
+  EXPECT_NEAR(static_cast<double>(cb.hdfs_write_bytes),
+              static_cast<double>(MiB(64)), 1e6);
+}
+
+TEST_F(MultiJobTest, VolumeCountersMatchSoloRuns) {
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(256)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+  const SimJobSpec a = Spec("A", "/inA", "/outA");
+  const SimJobSpec b = Spec("B", "/inB", "/outB");
+
+  JobCounters solo_a, solo_b;
+  engine_->RunJob(a, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    solo_a = c;
+  });
+  sim_->Run();
+  Reset();
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(256)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+  engine_->RunJob(b, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    solo_b = c;
+  });
+  sim_->Run();
+
+  Reset();
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(256)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+  JobCounters ca, cb;
+  engine_->SubmitJob(a, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    ca = c;
+  });
+  engine_->SubmitJob(b, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    cb = c;
+  });
+  sim_->Run();
+
+  // Contention changes timing, never volumes.
+  EXPECT_EQ(ca.hdfs_read_bytes, solo_a.hdfs_read_bytes);
+  EXPECT_EQ(ca.hdfs_write_bytes, solo_a.hdfs_write_bytes);
+  EXPECT_EQ(ca.shuffle_network_bytes, solo_a.shuffle_network_bytes);
+  EXPECT_EQ(cb.hdfs_read_bytes, solo_b.hdfs_read_bytes);
+  EXPECT_EQ(cb.hdfs_write_bytes, solo_b.hdfs_write_bytes);
+  EXPECT_EQ(cb.shuffle_network_bytes, solo_b.shuffle_network_bytes);
+  // And the concurrent run finishes no earlier than either solo run.
+  EXPECT_GE(ca.end_time, solo_a.end_time);
+  EXPECT_GE(cb.end_time, solo_b.end_time);
+}
+
+TEST_F(MultiJobTest, SchedulerPathMatchesSingleJobPath) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  const SimJobSpec spec = Spec("solo", "/in", "/out");
+  JobCounters via_default;
+  engine_->RunJob(spec, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    via_default = c;
+  });
+  sim_->Run();
+
+  Reset();
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  sched::FairScheduler fair;
+  engine_->SetScheduler(&fair);
+  JobCounters via_fair;
+  engine_->SubmitJob(spec, [&](Status s, const JobCounters& c) {
+    ASSERT_TRUE(s.ok());
+    via_fair = c;
+  });
+  sim_->Run();
+
+  // With one job, every policy makes the same picks as the built-in FIFO
+  // path: identical event order, hence identical timings and volumes.
+  EXPECT_EQ(via_fair.start_time, via_default.start_time);
+  EXPECT_EQ(via_fair.end_time, via_default.end_time);
+  EXPECT_EQ(via_fair.hdfs_read_bytes, via_default.hdfs_read_bytes);
+  EXPECT_EQ(via_fair.hdfs_write_bytes, via_default.hdfs_write_bytes);
+  EXPECT_EQ(via_fair.spills, via_default.spills);
+}
+
+TEST_F(MultiJobTest, ConcurrentScheduleIsDeterministic) {
+  SimTime first_a = 0, first_b = 0;
+  for (int round = 0; round < 2; ++round) {
+    Reset();
+    ASSERT_TRUE(dfs_->Preload("/inA", MiB(512)).ok());
+    ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+    sched::FairScheduler fair;
+    engine_->SetScheduler(&fair);
+    JobCounters ca, cb;
+    engine_->SubmitJob(Spec("A", "/inA", "/outA"),
+                       [&](Status s, const JobCounters& c) {
+                         ASSERT_TRUE(s.ok());
+                         ca = c;
+                       },
+                       "poolA");
+    engine_->SubmitJob(Spec("B", "/inB", "/outB"),
+                       [&](Status s, const JobCounters& c) {
+                         ASSERT_TRUE(s.ok());
+                         cb = c;
+                       },
+                       "poolB");
+    sim_->Run();
+    if (round == 0) {
+      first_a = ca.end_time;
+      first_b = cb.end_time;
+      EXPECT_GT(first_a, 0u);
+      EXPECT_GT(first_b, 0u);
+    } else {
+      EXPECT_EQ(ca.end_time, first_a);
+      EXPECT_EQ(cb.end_time, first_b);
+    }
+  }
+}
+
+TEST_F(MultiJobTest, FairPreemptReclaimsSlotsForStarvedJob) {
+  // Job A's 16 splits fill all 16 map slots; B arrives with nothing free.
+  // Under fair-preempt, B's admission marks A's slots beyond its half
+  // share, the marked tasks die at their next chunk boundary, and their
+  // splits re-run later.
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(1024)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(128)).ok());
+  sched::FairSchedulerOptions options;
+  options.preempt_speculative = true;
+  sched::FairScheduler fair(options);
+  engine_->SetScheduler(&fair);
+
+  JobCounters ca, cb;
+  Status sa = Status::Internal("not run"), sb = sa;
+  engine_->SubmitJob(Spec("A", "/inA", "/outA"),
+                     [&](Status s, const JobCounters& c) {
+                       sa = s;
+                       ca = c;
+                     },
+                     "poolA");
+  engine_->SubmitJob(Spec("B", "/inB", "/outB"),
+                     [&](Status s, const JobCounters& c) {
+                       sb = s;
+                       cb = c;
+                     },
+                     "poolB");
+  sim_->Run();
+  ASSERT_TRUE(sa.ok()) << sa.ToString();
+  ASSERT_TRUE(sb.ok()) << sb.ToString();
+  EXPECT_GT(ca.maps_preempted, 0u);
+  EXPECT_EQ(cb.maps_preempted, 0u);
+  // Every preempted attempt re-ran, so A still read its whole input (the
+  // re-reads are extra) and launched more attempts than it has splits.
+  EXPECT_EQ(ca.maps_launched, 16u + ca.maps_preempted);
+  EXPECT_GE(ca.hdfs_read_bytes, MiB(1024));
+}
+
+}  // namespace
+}  // namespace bdio::mapreduce

@@ -1,0 +1,163 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace bdio::sched {
+namespace {
+
+JobSchedState Job(uint32_t id, uint64_t seq, const std::string& pool,
+                  double weight, uint32_t runnable_maps,
+                  uint32_t running_maps) {
+  JobSchedState j;
+  j.job_id = id;
+  j.seq = seq;
+  j.pool = pool;
+  j.weight = weight;
+  j.runnable_maps = runnable_maps;
+  j.running_maps = running_maps;
+  return j;
+}
+
+TEST(FifoSchedulerTest, PicksEarliestRunnableJob) {
+  FifoScheduler fifo;
+  std::vector<JobSchedState> jobs = {
+      Job(0, 5, "a", 1, 3, 0),
+      Job(1, 2, "a", 1, 1, 7),
+      Job(2, 9, "a", 1, 2, 0),
+  };
+  EXPECT_EQ(fifo.PickJob(SlotKind::kMap, jobs), 1u);
+}
+
+TEST(FifoSchedulerTest, SkipsJobsWithNothingRunnable) {
+  FifoScheduler fifo;
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 0, 4),  // earliest, but no runnable maps
+      Job(1, 3, "a", 1, 2, 0),
+  };
+  EXPECT_EQ(fifo.PickJob(SlotKind::kMap, jobs), 1u);
+}
+
+TEST(FifoSchedulerTest, NoJobWhenNothingRunnable) {
+  FifoScheduler fifo;
+  std::vector<JobSchedState> jobs = {Job(0, 1, "a", 1, 0, 4)};
+  EXPECT_EQ(fifo.PickJob(SlotKind::kMap, jobs), Scheduler::kNoJob);
+  EXPECT_EQ(fifo.PickJob(SlotKind::kMap, {}), Scheduler::kNoJob);
+}
+
+TEST(FifoSchedulerTest, SlotKindsAreIndependent) {
+  FifoScheduler fifo;
+  std::vector<JobSchedState> jobs = {Job(0, 1, "a", 1, 2, 0)};
+  jobs[0].runnable_reduces = 0;
+  EXPECT_EQ(fifo.PickJob(SlotKind::kMap, jobs), 0u);
+  EXPECT_EQ(fifo.PickJob(SlotKind::kReduce, jobs), Scheduler::kNoJob);
+}
+
+TEST(FifoSchedulerTest, NeverPreempts) {
+  FifoScheduler fifo;
+  std::vector<JobSchedState> jobs = {Job(0, 1, "a", 1, 5, 10)};
+  EXPECT_EQ(fifo.PreemptionVictim(jobs), Scheduler::kNoJob);
+}
+
+TEST(FairSchedulerTest, MostStarvedPoolWins) {
+  FairScheduler fair;
+  // Pool "b" runs 1 task vs "a"'s 6: b is further below its share.
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 4, 6),
+      Job(1, 2, "b", 1, 4, 1),
+  };
+  EXPECT_EQ(fair.PickJob(SlotKind::kMap, jobs), 1u);
+}
+
+TEST(FairSchedulerTest, WeightScalesTheShare) {
+  FairScheduler fair;
+  // Equal running counts, but "a" weight 4 => ratio 1 vs "b"'s 4: "a" is
+  // entitled to more, so it gets the slot.
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 4.0, 2, 4),
+      Job(1, 2, "b", 1.0, 2, 4),
+  };
+  EXPECT_EQ(fair.PickJob(SlotKind::kMap, jobs), 0u);
+}
+
+TEST(FairSchedulerTest, FifoWithinPool) {
+  FairScheduler fair;
+  std::vector<JobSchedState> jobs = {
+      Job(0, 7, "a", 1, 2, 0),
+      Job(1, 3, "a", 1, 2, 0),  // same pool, earlier seq
+  };
+  EXPECT_EQ(fair.PickJob(SlotKind::kMap, jobs), 1u);
+}
+
+TEST(FairSchedulerTest, RatioTieBreaksOnEarliestPool) {
+  FairScheduler fair;
+  // Both pools at running/weight == 0; pool of seq-1 job wins.
+  std::vector<JobSchedState> jobs = {
+      Job(0, 4, "late", 1, 1, 0),
+      Job(1, 1, "early", 1, 1, 0),
+  };
+  EXPECT_EQ(fair.PickJob(SlotKind::kMap, jobs), 1u);
+}
+
+TEST(FairSchedulerTest, PoolRunningAggregatesAcrossMembers) {
+  FairScheduler fair;
+  // Pool "a" collectively runs 5 even though its runnable member runs 0;
+  // pool "b" runs 4, so "b" is more starved.
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 0, 5),
+      Job(1, 2, "a", 1, 3, 0),
+      Job(2, 3, "b", 1, 3, 4),
+  };
+  EXPECT_EQ(fair.PickJob(SlotKind::kMap, jobs), 2u);
+}
+
+TEST(FairSchedulerTest, NoPreemptionUnlessEnabled) {
+  FairScheduler fair;  // preempt_speculative defaults to false
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 0, 10),
+      Job(1, 2, "b", 1, 5, 0),
+  };
+  EXPECT_EQ(fair.PreemptionVictim(jobs), Scheduler::kNoJob);
+}
+
+TEST(FairSchedulerTest, PreemptsTheMostOverServedJob) {
+  FairSchedulerOptions options;
+  options.preempt_speculative = true;
+  FairScheduler fair(options);
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 0, 6),
+      Job(1, 2, "b", 2.0, 0, 8),  // ratio 4 < job 0's 6
+      Job(2, 3, "c", 1, 5, 0),    // the starved job; never a victim (0 < 2)
+  };
+  EXPECT_EQ(fair.PreemptionVictim(jobs), 0u);
+}
+
+TEST(FairSchedulerTest, SingleSlotHoldersAreNeverVictims) {
+  FairSchedulerOptions options;
+  options.preempt_speculative = true;
+  FairScheduler fair(options);
+  std::vector<JobSchedState> jobs = {
+      Job(0, 1, "a", 1, 0, 1),
+      Job(1, 2, "b", 1, 5, 0),
+  };
+  EXPECT_EQ(fair.PreemptionVictim(jobs), Scheduler::kNoJob);
+}
+
+TEST(MakeSchedulerTest, ResolvesPolicyNames) {
+  auto fifo = MakeScheduler("fifo");
+  auto fair = MakeScheduler("fair");
+  auto preempt = MakeScheduler("fair-preempt");
+  ASSERT_NE(fifo, nullptr);
+  ASSERT_NE(fair, nullptr);
+  ASSERT_NE(preempt, nullptr);
+  EXPECT_STREQ(fifo->name(), "fifo");
+  EXPECT_STREQ(fair->name(), "fair");
+  // fair-preempt differs from fair only in its victim rule.
+  std::vector<JobSchedState> jobs = {Job(0, 1, "a", 1, 0, 2),
+                                     Job(1, 2, "b", 1, 3, 0)};
+  EXPECT_EQ(fair->PreemptionVictim(jobs), Scheduler::kNoJob);
+  EXPECT_EQ(preempt->PreemptionVictim(jobs), 0u);
+  EXPECT_EQ(MakeScheduler("capacity"), nullptr);
+}
+
+}  // namespace
+}  // namespace bdio::sched
