@@ -1,6 +1,8 @@
 // Extension bench: fault tolerance. Hadoop's answer to a TaskTracker death
 // is re-execution — lost map outputs are recomputed and in-flight reducers
-// restart elsewhere. This bench quantifies the extra I/O and runtime a
+// restart elsewhere — and HDFS's answer to the co-hosted DataNode dying is
+// re-replication of every block the node held. This bench drives both
+// through a faults::FaultPlan and quantifies the extra I/O and runtime a
 // mid-job node failure costs TeraSort on the simulated testbed.
 
 #include <cstdio>
@@ -8,6 +10,8 @@
 #include "bench/figure_common.h"
 #include "cluster/cluster.h"
 #include "common/table.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/engine.h"
 #include "sim/simulator.h"
@@ -20,10 +24,12 @@ using namespace bdio;
 struct RunResult {
   double duration_s = 0;
   mapreduce::JobCounters counters;
+  uint64_t rereplicated_blocks = 0;
+  uint64_t rereplicated_bytes = 0;
 };
 
-RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
-                      double failure_fraction,
+RunResult RunTeraSort(const core::BenchOptions& options,
+                      const faults::FaultPlan& plan,
                       core::ExperimentResult* obs_out = nullptr) {
   Rng rng(options.seed);
   sim::Simulator sim;
@@ -35,12 +41,13 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
   workloads::PlanOptions plan_options;
   plan_options.scale = options.scale;
   plan_options.compress_intermediate = true;
-  const auto plan =
+  const auto workload =
       workloads::BuildPlan(workloads::WorkloadKind::kTeraSort, plan_options);
-  BDIO_CHECK_OK(dfs.Preload(plan.dataset_path, plan.dataset_bytes));
+  bench::PreloadOrExit(&dfs, workload.dataset_path, workload.dataset_bytes);
 
   mapreduce::MrEngine engine(&cluster, &dfs,
                              mapreduce::SlotConfig::Paper_1_8(), rng.Fork());
+  faults::FaultInjector injector(&cluster, &dfs, &engine);
 
   // When this run is the observed one, attach a registry (and a trace if
   // requested) exactly like core::RunExperiment does.
@@ -54,26 +61,23 @@ RunResult RunTeraSort(const core::BenchOptions& options, bool inject,
     cluster.AttachObs(trace.get(), metrics.get());
     dfs.AttachObs(trace.get(), metrics.get());
     engine.AttachObs(trace.get(), metrics.get());
+    injector.AttachObs(trace.get(), metrics.get());
   }
 
   RunResult result;
   bool done = false;
-  engine.RunJob(plan.jobs[0].spec,
+  engine.RunJob(workload.jobs[0].spec,
                 [&](Status s, const mapreduce::JobCounters& c) {
                   BDIO_CHECK_OK(s);
                   result.counters = c;
                   done = true;
                 });
-  if (inject) {
-    // Estimate the healthy duration once (memoized by the caller) and fail
-    // a node at the requested fraction of it.
-    const SimDuration when =
-        FromSeconds(failure_fraction);  // caller passes absolute seconds
-    sim.ScheduleAt(when, [&] { engine.InjectNodeFailure(3); });
-  }
+  BDIO_CHECK_OK(injector.Arm(plan));
   sim.Run();
   BDIO_CHECK(done);
   result.duration_s = result.counters.DurationSeconds();
+  result.rereplicated_blocks = dfs.rereplicated_blocks();
+  result.rereplicated_bytes = dfs.rereplicated_bytes();
   if (obs_out) {
     obs_out->metrics = std::move(metrics);
     obs_out->trace = std::move(trace);
@@ -90,21 +94,25 @@ int main(int argc, char** argv) {
       "Extension", "Node-failure recovery cost under TeraSort", options);
 
   // The observed run is the early-failure one: its trace shows the killed
-  // node's spans close out and the re-executed maps appear elsewhere.
+  // node's spans close out, the re-executed maps appear elsewhere, and the
+  // hdfs.rereplication.* counters tick as the DataNode's blocks re-home.
   const bool want_obs =
       !options.trace_out.empty() || !options.metrics_out.empty();
   core::ExperimentResult obs_holder;  // only label/metrics/trace are used
   obs_holder.label = "TS_fail_at_25pct";
-  const RunResult healthy = RunTeraSort(options, false, 0);
-  const RunResult early =
-      RunTeraSort(options, true, healthy.duration_s * 0.25,
-                  want_obs ? &obs_holder : nullptr);
-  const RunResult late =
-      RunTeraSort(options, true, healthy.duration_s * 0.75);
+  const RunResult healthy = RunTeraSort(options, faults::FaultPlan{});
+  const auto plan_at = [&](double fraction) {
+    return faults::FaultPlan{}.KillDataNode(
+        3, FromSeconds(healthy.duration_s * fraction));
+  };
+  const RunResult early = RunTeraSort(options, plan_at(0.25),
+                                      want_obs ? &obs_holder : nullptr);
+  const RunResult late = RunTeraSort(options, plan_at(0.75));
 
   TextTable table;
   table.SetHeader({"scenario", "duration_s", "maps launched",
-                   "hdfs read MB", "intermediate written MB"});
+                   "hdfs read MB", "intermediate written MB",
+                   "re-replicated MB"});
   auto row = [&](const char* name, const RunResult& r) {
     table.AddRow({name, TextTable::Num(r.duration_s, 1),
                   std::to_string(r.counters.maps_launched),
@@ -115,7 +123,9 @@ int main(int argc, char** argv) {
                       static_cast<double>(
                           r.counters.intermediate_write_bytes) /
                           1e6,
-                      0)});
+                      0),
+                  TextTable::Num(
+                      static_cast<double>(r.rereplicated_bytes) / 1e6, 0)});
   };
   row("healthy (10 nodes)", healthy);
   row("node fails at 25%", early);
@@ -142,5 +152,11 @@ int main(int argc, char** argv) {
   checks.push_back(core::ShapeCheck{
       "re-execution re-reads input",
       late.counters.hdfs_read_bytes > healthy.counters.hdfs_read_bytes});
+  checks.push_back(core::ShapeCheck{
+      "a healthy run re-replicates nothing",
+      healthy.rereplicated_blocks == 0});
+  checks.push_back(core::ShapeCheck{
+      "the dead DataNode's blocks re-replicate",
+      early.rereplicated_blocks > 0 && late.rereplicated_blocks > 0});
   return core::PrintShapeChecks(checks);
 }

@@ -66,7 +66,7 @@ CellResult RunCell(const core::BenchOptions& options,
                            rng.Fork());
   hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
   for (const auto& [path, bytes] : datasets) {
-    BDIO_CHECK_OK(dfs.Preload(path, bytes));
+    bench::PreloadOrExit(&dfs, path, bytes);
   }
 
   iostat::Monitor monitor(&sim, Seconds(1));
@@ -154,7 +154,7 @@ double RunDirect(const core::BenchOptions& options, const JobProfile& job,
                            rng.Fork());
   hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
   for (const auto& [path, bytes] : datasets) {
-    BDIO_CHECK_OK(dfs.Preload(path, bytes));
+    bench::PreloadOrExit(&dfs, path, bytes);
   }
   mapreduce::MrEngine engine(&cluster, &dfs,
                              mapreduce::SlotConfig::Paper_1_8(), rng.Fork());

@@ -1,6 +1,7 @@
 #include "bench/figure_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/table.h"
 #include "workloads/profile.h"
@@ -9,6 +10,17 @@ namespace bdio::bench {
 
 using core::Factors;
 using core::GridRunner;
+
+void PreloadOrExit(hdfs::Hdfs* dfs, const std::string& path,
+                   uint64_t bytes) {
+  const Status s = dfs->Preload(path, bytes);
+  if (!s.ok()) {
+    std::fprintf(stderr, "failed to preload dataset '%s' (%llu bytes): %s\n",
+                 path.c_str(), static_cast<unsigned long long>(bytes),
+                 s.ToString().c_str());
+    std::exit(2);
+  }
+}
 
 cluster::ClusterParams MakeScaledClusterParams(
     const core::BenchOptions& options) {

@@ -1,0 +1,245 @@
+#include "faults/fault_plan.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bdio::faults {
+
+namespace {
+
+/// Seconds (decimal) → SimTime, for plan text; inverse of SecondsStr.
+SimTime FromSecondsStr(double s) { return FromSeconds(s); }
+
+std::string SecondsStr(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", ToSeconds(t));
+  return buf;
+}
+
+/// Splits one plan line into whitespace-separated tokens, dropping '#'
+/// comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("fault plan line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+bool ParseU32(const std::string& s, uint32_t* out) {
+  try {
+    size_t pos = 0;
+    const unsigned long v = std::stoul(s, &pos);
+    if (pos != s.size() || v > UINT32_MAX) return false;
+    *out = static_cast<uint32_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseSeconds(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size() && *out >= 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// "x<factor>" → factor.
+bool ParseFactor(const std::string& s, double* out) {
+  if (s.size() < 2 || s[0] != 'x') return false;
+  try {
+    size_t pos = 0;
+    *out = std::stod(s.substr(1), &pos);
+    return pos == s.size() - 1 && *out > 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// "<t1>..<t2>" → [from, until]; requires t1 <= t2.
+bool ParseWindow(const std::string& s, double* from, double* until) {
+  const size_t dots = s.find("..");
+  if (dots == std::string::npos) return false;
+  if (!ParseSeconds(s.substr(0, dots), from)) return false;
+  if (!ParseSeconds(s.substr(dots + 2), until)) return false;
+  return *from <= *until;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillDataNode:
+      return "kill-datanode";
+    case FaultKind::kDegradeDisk:
+      return "degrade-disk";
+    case FaultKind::kCorruptReplica:
+      return "corrupt-replica";
+    case FaultKind::kThrottleLink:
+      return "throttle-link";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::KillDataNode(uint32_t node, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kKillDataNode;
+  e.node = node;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::DegradeDisk(uint32_t node, bool mr_disk, uint32_t disk,
+                                  double factor, SimTime from,
+                                  SimTime until) {
+  BDIO_CHECK(factor > 0);
+  BDIO_CHECK(until == 0 || until >= from);
+  FaultEvent e;
+  e.kind = FaultKind::kDegradeDisk;
+  e.node = node;
+  e.mr_disk = mr_disk;
+  e.disk = disk;
+  e.factor = factor;
+  e.at = from;
+  e.until = until;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptReplica(std::string path, uint32_t block_idx,
+                                     uint32_t replica_idx, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kCorruptReplica;
+  e.path = std::move(path);
+  e.block_idx = block_idx;
+  e.replica_idx = replica_idx;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::ThrottleLink(uint32_t node, double factor,
+                                   SimTime from, SimTime until) {
+  BDIO_CHECK(factor > 0);
+  BDIO_CHECK(until == 0 || until >= from);
+  FaultEvent e;
+  e.kind = FaultKind::kThrottleLink;
+  e.node = node;
+  e.factor = factor;
+  e.at = from;
+  e.until = until;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) continue;
+    const std::string& kind = t[0];
+    if (kind == "kill-datanode") {
+      // kill-datanode <node> @ <t>
+      uint32_t node = 0;
+      double at = 0;
+      if (t.size() != 4 || t[2] != "@" || !ParseU32(t[1], &node) ||
+          !ParseSeconds(t[3], &at)) {
+        return LineError(line_no, "expected 'kill-datanode <node> @ <t>'");
+      }
+      plan.KillDataNode(node, FromSecondsStr(at));
+    } else if (kind == "degrade-disk") {
+      // degrade-disk <node> <hdfs|mr> <disk_idx> x<factor> @ <t1>..<t2>
+      uint32_t node = 0, disk = 0;
+      double factor = 0, from = 0, until = 0;
+      if (t.size() != 7 || t[5] != "@" || !ParseU32(t[1], &node) ||
+          (t[2] != "hdfs" && t[2] != "mr") || !ParseU32(t[3], &disk) ||
+          !ParseFactor(t[4], &factor) || !ParseWindow(t[6], &from, &until)) {
+        return LineError(line_no,
+                         "expected 'degrade-disk <node> <hdfs|mr> "
+                         "<disk_idx> x<factor> @ <t1>..<t2>'");
+      }
+      plan.DegradeDisk(node, t[2] == "mr", disk, factor,
+                       FromSecondsStr(from), FromSecondsStr(until));
+    } else if (kind == "corrupt-replica") {
+      // corrupt-replica <path> <block_idx> <replica_idx> @ <t>
+      uint32_t block_idx = 0, replica_idx = 0;
+      double at = 0;
+      if (t.size() != 6 || t[4] != "@" || !ParseU32(t[2], &block_idx) ||
+          !ParseU32(t[3], &replica_idx) || !ParseSeconds(t[5], &at)) {
+        return LineError(line_no,
+                         "expected 'corrupt-replica <path> <block_idx> "
+                         "<replica_idx> @ <t>'");
+      }
+      plan.CorruptReplica(t[1], block_idx, replica_idx, FromSecondsStr(at));
+    } else if (kind == "throttle-link") {
+      // throttle-link <node> x<factor> @ <t1>..<t2>
+      uint32_t node = 0;
+      double factor = 0, from = 0, until = 0;
+      if (t.size() != 5 || t[3] != "@" || !ParseU32(t[1], &node) ||
+          !ParseFactor(t[2], &factor) || !ParseWindow(t[4], &from, &until)) {
+        return LineError(line_no,
+                         "expected 'throttle-link <node> x<factor> @ "
+                         "<t1>..<t2>'");
+      }
+      plan.ThrottleLink(node, factor, FromSecondsStr(from),
+                        FromSecondsStr(until));
+    } else {
+      return LineError(line_no, "unknown fault '" + kind + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += FaultKindToString(e.kind);
+    switch (e.kind) {
+      case FaultKind::kKillDataNode:
+        out += " " + std::to_string(e.node) + " @ " + SecondsStr(e.at);
+        break;
+      case FaultKind::kDegradeDisk: {
+        char factor[32];
+        std::snprintf(factor, sizeof(factor), "x%g", e.factor);
+        out += " " + std::to_string(e.node) +
+               (e.mr_disk ? " mr " : " hdfs ") + std::to_string(e.disk) +
+               " " + factor + " @ " + SecondsStr(e.at) + ".." +
+               SecondsStr(e.until);
+        break;
+      }
+      case FaultKind::kCorruptReplica:
+        out += " " + e.path + " " + std::to_string(e.block_idx) + " " +
+               std::to_string(e.replica_idx) + " @ " + SecondsStr(e.at);
+        break;
+      case FaultKind::kThrottleLink: {
+        char factor[32];
+        std::snprintf(factor, sizeof(factor), "x%g", e.factor);
+        out += " " + std::to_string(e.node) + " " + factor + " @ " +
+               SecondsStr(e.at) + ".." + SecondsStr(e.until);
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bdio::faults

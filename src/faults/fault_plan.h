@@ -1,0 +1,93 @@
+#ifndef BDIO_FAULTS_FAULT_PLAN_H_
+#define BDIO_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace bdio::faults {
+
+/// The fault classes the injector can drive (see docs/FAULTS.md).
+enum class FaultKind {
+  /// A DataNode/TaskTracker host dies at `at` and never returns: HDFS
+  /// strikes its replicas and re-replicates; the MR engine re-executes its
+  /// lost work.
+  kKillDataNode,
+  /// One disk of `node` serves I/O `factor`× slower over [at, until] — the
+  /// fail-slow / straggler-disk model.
+  kDegradeDisk,
+  /// One replica of one block silently rots at `at`; the next reader served
+  /// from it fails its checksum and triggers a repair.
+  kCorruptReplica,
+  /// `node`'s NIC runs at 1/`factor` of line rate over [at, until].
+  kThrottleLink,
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`;
+/// unused ones keep their defaults so plans compare and print cleanly.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillDataNode;
+  SimTime at = 0;     ///< Injection instant.
+  SimTime until = 0;  ///< End of a windowed fault (degrade/throttle); 0 = ∞.
+
+  uint32_t node = 0;     ///< Target worker (all kinds).
+  bool mr_disk = false;  ///< kDegradeDisk: MR-intermediate disk group?
+  uint32_t disk = 0;     ///< kDegradeDisk: index within the group.
+  double factor = 1.0;   ///< Slowdown multiplier (degrade/throttle), > 1.
+
+  std::string path;         ///< kCorruptReplica: HDFS file.
+  uint32_t block_idx = 0;   ///< kCorruptReplica: block within the file.
+  uint32_t replica_idx = 0; ///< kCorruptReplica: replica within the block.
+};
+
+/// A deterministic fault schedule: an ordered list of FaultEvents built in
+/// code (fluent builder) or parsed from text (one fault per line). The plan
+/// itself touches nothing — faults::FaultInjector arms it against a
+/// simulation. An empty plan is the contract for "healthy": arming it
+/// schedules no events and the run is byte-identical to one with no
+/// injector at all.
+///
+/// Text grammar (seconds as decimals; '#' starts a comment):
+///
+///   kill-datanode <node> @ <t>
+///   degrade-disk <node> <hdfs|mr> <disk_idx> x<factor> @ <t1>..<t2>
+///   corrupt-replica <path> <block_idx> <replica_idx> @ <t>
+///   throttle-link <node> x<factor> @ <t1>..<t2>
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& KillDataNode(uint32_t node, SimTime at);
+  FaultPlan& DegradeDisk(uint32_t node, bool mr_disk, uint32_t disk,
+                         double factor, SimTime from, SimTime until);
+  FaultPlan& CorruptReplica(std::string path, uint32_t block_idx,
+                            uint32_t replica_idx, SimTime at);
+  FaultPlan& ThrottleLink(uint32_t node, double factor, SimTime from,
+                          SimTime until);
+
+  /// Parses the text grammar above. Unknown directives, malformed numbers,
+  /// factors <= 0, and inverted windows are InvalidArgument (with the line
+  /// number in the message).
+  static Result<FaultPlan> Parse(const std::string& text);
+
+  /// Round-trips through the text grammar (times printed in seconds).
+  std::string ToString() const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace bdio::faults
+
+#endif  // BDIO_FAULTS_FAULT_PLAN_H_

@@ -1,0 +1,150 @@
+#include "faults/injector.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace bdio::faults {
+
+FaultInjector::FaultInjector(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
+                             mapreduce::MrEngine* engine)
+    : cluster_(cluster), hdfs_(hdfs), engine_(engine) {
+  BDIO_CHECK(cluster_ != nullptr);
+  BDIO_CHECK(hdfs_ != nullptr);
+}
+
+void FaultInjector::AttachObs(obs::TraceSession* trace,
+                              obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics) {
+    m_injected_ = metrics->GetCounter("faults.injected");
+    m_killed_ = metrics->GetCounter("faults.datanodes_killed");
+    m_degraded_ = metrics->GetCounter("faults.disks_degraded");
+    m_corrupted_ = metrics->GetCounter("faults.replicas_corrupted");
+    m_throttled_ = metrics->GetCounter("faults.links_throttled");
+  }
+}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  // Validate the whole plan first: a partially-armed plan would leave the
+  // simulation in a state no plan text describes.
+  for (const FaultEvent& e : plan.events()) {
+    if (e.node >= cluster_->num_workers()) {
+      return Status::InvalidArgument(
+          std::string(FaultKindToString(e.kind)) + ": node " +
+          std::to_string(e.node) + " out of range (cluster has " +
+          std::to_string(cluster_->num_workers()) + " workers)");
+    }
+    if (e.kind == FaultKind::kDegradeDisk) {
+      const uint32_t limit = e.mr_disk
+                                 ? cluster_->node(e.node)->num_mr_disks()
+                                 : cluster_->node(e.node)->num_hdfs_disks();
+      if (e.disk >= limit) {
+        return Status::InvalidArgument(
+            "degrade-disk: disk " + std::to_string(e.disk) +
+            " out of range (node has " + std::to_string(limit) + " " +
+            (e.mr_disk ? "mr" : "hdfs") + " disks)");
+      }
+    }
+    if ((e.kind == FaultKind::kDegradeDisk ||
+         e.kind == FaultKind::kThrottleLink) &&
+        e.factor <= 0) {
+      return Status::InvalidArgument("fault factor must be positive");
+    }
+    // A throttle's slowdown maps to the capacity fraction 1/factor, which
+    // the fabric requires in (0, 1].
+    if (e.kind == FaultKind::kThrottleLink && e.factor < 1.0) {
+      return Status::InvalidArgument(
+          "throttle-link factor must be >= 1 (a slowdown multiplier)");
+    }
+  }
+  for (const FaultEvent& e : plan.events()) {
+    cluster_->sim()->ScheduleAt(e.at, [this, e] { Fire(e); });
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Fire(const FaultEvent& e) {
+  Note(e);
+  switch (e.kind) {
+    case FaultKind::kKillDataNode:
+      ++datanodes_killed_;
+      if (m_killed_) m_killed_->Inc();
+      // Both failure domains of the shared host, DFS first so the engine's
+      // re-executed tasks already see the post-strike block map.
+      hdfs_->InjectDataNodeFailure(e.node);
+      if (engine_) engine_->InjectNodeFailure(e.node);
+      break;
+    case FaultKind::kDegradeDisk: {
+      ++disks_degraded_;
+      if (m_degraded_) m_degraded_->Inc();
+      storage::BlockDevice* dev =
+          e.mr_disk ? cluster_->node(e.node)->mr_disk(e.disk)
+                    : cluster_->node(e.node)->hdfs_disk(e.disk);
+      dev->SetServiceFactor(e.factor);
+      if (e.until > e.at) {
+        cluster_->sim()->ScheduleAt(e.until,
+                                    [dev] { dev->SetServiceFactor(1.0); });
+      }
+      break;
+    }
+    case FaultKind::kCorruptReplica: {
+      ++replicas_corrupted_;
+      if (m_corrupted_) m_corrupted_->Inc();
+      const Status s =
+          hdfs_->CorruptReplica(e.path, e.block_idx, e.replica_idx);
+      if (!s.ok()) {
+        // The target may not exist (yet, or any more) — a plan authored
+        // against one workload replayed against another. Not fatal.
+        BDIO_LOG(Warning) << "faults: corrupt-replica " << e.path
+                          << " skipped: " << s.ToString();
+      }
+      break;
+    }
+    case FaultKind::kThrottleLink: {
+      ++links_throttled_;
+      if (m_throttled_) m_throttled_->Inc();
+      net::Network* net = cluster_->network();
+      const uint32_t node = e.node;
+      // The plan speaks in slowdown multipliers (x4 = four times slower);
+      // the fabric wants the remaining capacity fraction.
+      net->SetNodeLinkFactor(node, 1.0 / e.factor);
+      if (e.until > e.at) {
+        cluster_->sim()->ScheduleAt(
+            e.until, [net, node] { net->SetNodeLinkFactor(node, 1.0); });
+      }
+      break;
+    }
+  }
+}
+
+void FaultInjector::Note(const FaultEvent& e) {
+  ++injected_;
+  if (m_injected_) m_injected_->Inc();
+  if (!trace_) return;
+  std::string args = "{\"fault\":\"" +
+                     std::string(FaultKindToString(e.kind)) + "\"";
+  switch (e.kind) {
+    case FaultKind::kKillDataNode:
+      break;
+    case FaultKind::kDegradeDisk:
+      args += ",\"group\":\"" + std::string(e.mr_disk ? "mr" : "hdfs") +
+              "\",\"disk\":" + std::to_string(e.disk) +
+              ",\"factor\":" + std::to_string(e.factor);
+      break;
+    case FaultKind::kCorruptReplica:
+      args += ",\"path\":\"" + e.path +
+              "\",\"block\":" + std::to_string(e.block_idx) +
+              ",\"replica\":" + std::to_string(e.replica_idx);
+      break;
+    case FaultKind::kThrottleLink:
+      args += ",\"factor\":" + std::to_string(e.factor);
+      break;
+  }
+  args += "}";
+  // FaultKindToString returns views of string literals (NUL-terminated).
+  trace_->Instant(e.node + 1, "faults", FaultKindToString(e.kind).data(),
+                  std::move(args));
+}
+
+}  // namespace bdio::faults

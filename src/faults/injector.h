@@ -1,0 +1,79 @@
+#ifndef BDIO_FAULTS_INJECTOR_H_
+#define BDIO_FAULTS_INJECTOR_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "faults/fault_plan.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bdio::faults {
+
+/// Arms a FaultPlan against a simulation: validates every event against the
+/// cluster shape, then schedules the injections on the simulator clock.
+/// One injector per (cluster, hdfs, engine) triple; `engine` may be null
+/// for HDFS-only experiments (kill-datanode then skips the TaskTracker
+/// side). Arming an empty plan schedules nothing — the run stays
+/// byte-identical to one without an injector, which is the subsystem's
+/// determinism contract (docs/FAULTS.md).
+///
+/// A kill-datanode event drives *both* failure domains of the shared host:
+/// hdfs::Hdfs::InjectDataNodeFailure (replica loss + re-replication) and
+/// mapreduce::MrEngine::InjectNodeFailure (task loss + re-execution) —
+/// keeping the two calls paired is the injector's main job.
+class FaultInjector {
+ public:
+  FaultInjector(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
+                mapreduce::MrEngine* engine);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Attaches observability sinks (either may be null): every fired event
+  /// becomes a trace instant on the target node's row and a faults.*
+  /// counter tick. Attach before Arm.
+  void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
+
+  /// Validates `plan` against the cluster (node/disk indices in range,
+  /// factors > 0) and schedules every event. Call before sim->Run(); may be
+  /// called more than once (plans accumulate). InvalidArgument on the first
+  /// bad event; nothing is scheduled in that case.
+  Status Arm(const FaultPlan& plan);
+
+  // Events fired so far, total and by kind. Plain fields so tests and
+  // benches read them without a registry.
+  uint64_t injected() const { return injected_; }
+  uint64_t datanodes_killed() const { return datanodes_killed_; }
+  uint64_t disks_degraded() const { return disks_degraded_; }
+  uint64_t replicas_corrupted() const { return replicas_corrupted_; }
+  uint64_t links_throttled() const { return links_throttled_; }
+
+ private:
+  void Fire(const FaultEvent& e);
+  void Note(const FaultEvent& e);  ///< Trace instant + counters.
+
+  cluster::Cluster* cluster_;
+  hdfs::Hdfs* hdfs_;
+  mapreduce::MrEngine* engine_;  ///< May be null.
+
+  uint64_t injected_ = 0;
+  uint64_t datanodes_killed_ = 0;
+  uint64_t disks_degraded_ = 0;
+  uint64_t replicas_corrupted_ = 0;
+  uint64_t links_throttled_ = 0;
+
+  obs::TraceSession* trace_ = nullptr;
+  obs::Counter* m_injected_ = nullptr;
+  obs::Counter* m_killed_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Counter* m_corrupted_ = nullptr;
+  obs::Counter* m_throttled_ = nullptr;
+};
+
+}  // namespace bdio::faults
+
+#endif  // BDIO_FAULTS_INJECTOR_H_

@@ -13,6 +13,7 @@ Hdfs::Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng)
   BDIO_CHECK(cluster != nullptr);
   BDIO_CHECK(params.block_bytes > 0);
   BDIO_CHECK(params.chunk_bytes > 0);
+  BDIO_CHECK(params.max_rereplication_streams > 0);
   name_node_ = std::make_unique<NameNode>(cluster->num_workers(),
                                           params.replication, rng_.Fork());
   for (uint32_t i = 0; i < cluster->num_workers(); ++i) {
@@ -28,6 +29,16 @@ void Hdfs::AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics) {
   m_blocks_read_ = metrics->GetCounter("hdfs.blocks_read");
   m_read_local_bytes_ = metrics->GetCounter("hdfs.read_local_bytes");
   m_read_remote_bytes_ = metrics->GetCounter("hdfs.read_remote_bytes");
+  m_repl_blocks_ = metrics->GetCounter("hdfs.rereplication.blocks");
+  m_repl_bytes_ = metrics->GetCounter("hdfs.rereplication.bytes");
+  m_lost_replicas_ = metrics->GetCounter("hdfs.rereplication.lost_replicas");
+  m_unrecoverable_ =
+      metrics->GetCounter("hdfs.rereplication.unrecoverable_blocks");
+  m_pipeline_recoveries_ =
+      metrics->GetCounter("hdfs.recovery.pipeline_recoveries");
+  m_read_failovers_ = metrics->GetCounter("hdfs.recovery.read_failovers");
+  m_checksum_failures_ =
+      metrics->GetCounter("hdfs.recovery.checksum_failures");
 }
 
 obs::Counter* Hdfs::PipelineStageCounter(size_t stage) {
@@ -58,8 +69,13 @@ struct Hdfs::WriteOp {
 struct Hdfs::ReplicaStream {
   os::FileSystem* fs;
   os::File* file;
+  std::string path;
+  uint64_t block_id;
   uint32_t holder;
   uint32_t upstream;
+  uint32_t writer;                 ///< Client; recovery source of last resort.
+  std::vector<uint32_t> pipeline;  ///< Full replica chain of this block.
+  size_t replica_idx;              ///< This leg's position in the chain.
   bool local;
   uint64_t block_bytes;
   std::function<void()> done;
@@ -73,6 +89,9 @@ struct Hdfs::BlockReadStream {
   os::File* file;
   uint32_t holder;
   bool remote;
+  bool corrupt = false;  ///< Holder's replica fails its checksum.
+  uint64_t block_id = 0;
+  size_t block_idx = 0;  ///< Index into ReadOp::blocks.
   uint64_t in_end;
   uint64_t span = 0;  ///< block-read span, ended when the stream finishes.
 };
@@ -138,7 +157,7 @@ void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
   if (m_blocks_written_) m_blocks_written_->Inc();
 
   // One latch arm per replica stream; the block is done when every replica
-  // has absorbed all chunks.
+  // has absorbed all chunks (or abandoned its leg after a DataNode death).
   auto block_done = sim::Latch::Create(loc.nodes.size(), [this, op, span] {
     if (trace_) trace_->EndSpan(span);
     WriteNextBlock(op);
@@ -152,9 +171,14 @@ void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
     auto st = std::make_shared<ReplicaStream>();
     st->fs = data_nodes_[holder]->FsOf(loc.block_id);
     st->file = file_or.value();
+    st->path = op->path;
+    st->block_id = loc.block_id;
     st->holder = holder;
     // Upstream of replica r in the pipeline (the client for r == 0).
     st->upstream = r == 0 ? op->writer : loc.nodes[r - 1];
+    st->writer = op->writer;
+    st->pipeline = loc.nodes;
+    st->replica_idx = r;
     st->local = r == 0 && st->upstream == holder;
     st->block_bytes = block_bytes;
     st->done = block_done->Arm();
@@ -168,6 +192,49 @@ void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
   if (offset >= st->block_bytes) {
     st->done();
     return;
+  }
+  if (name_node_->node_dead(st->holder)) {
+    // The receiving DataNode died mid-block: the leg is abandoned. Its
+    // replica was already struck from the namespace at injection time;
+    // re-replication repairs the count once the block completes elsewhere.
+    ++pipeline_recoveries_;
+    if (m_pipeline_recoveries_) m_pipeline_recoveries_->Inc();
+    st->done();
+    return;
+  }
+  if (!st->local && name_node_->node_dead(st->upstream)) {
+    // An upstream pipeline stage died: splice it out and stream from the
+    // nearest live predecessor, ultimately the writing client itself.
+    uint32_t source = st->writer;
+    for (size_t i = st->replica_idx; i-- > 0;) {
+      if (!name_node_->node_dead(st->pipeline[i])) {
+        source = st->pipeline[i];
+        break;
+      }
+    }
+    if (name_node_->node_dead(source)) {
+      // Even the client is gone; nobody can feed this leg. Strike the
+      // partial replica so readers never select it (the block file stays —
+      // deferred deletion — but quarantined from re-replication).
+      quarantined_.insert({st->block_id, st->holder});
+      auto entry_or = name_node_->GetMutableFile(st->path);
+      if (entry_or.ok()) {
+        for (BlockLocation& loc : entry_or.value()->blocks) {
+          if (loc.block_id != st->block_id) continue;
+          auto it =
+              std::find(loc.nodes.begin(), loc.nodes.end(), st->holder);
+          if (it != loc.nodes.end()) loc.nodes.erase(it);
+          break;
+        }
+      }
+      ++lost_replicas_;
+      if (m_lost_replicas_) m_lost_replicas_->Inc();
+      st->done();
+      return;
+    }
+    st->upstream = source;
+    ++pipeline_recoveries_;
+    if (m_pipeline_recoveries_) m_pipeline_recoveries_->Inc();
   }
   const uint64_t n = std::min(params_.chunk_bytes, st->block_bytes - offset);
   if (st->stage_bytes) st->stage_bytes->Add(n);
@@ -242,8 +309,9 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
   sim::Simulator* sim = cluster_->sim();
   // Find the next block overlapping [begin, end).
   while (op->next_block < op->blocks.size()) {
-    const BlockLocation& b = op->blocks[op->next_block];
-    const uint64_t b_start = op->block_offsets[op->next_block];
+    const size_t idx = op->next_block;
+    const BlockLocation& b = op->blocks[idx];
+    const uint64_t b_start = op->block_offsets[idx];
     const uint64_t b_end = b_start + b.bytes;
     if (b_end <= op->begin) {
       ++op->next_block;
@@ -255,9 +323,25 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
     const uint64_t in_end = std::min(op->end, b_end) - b_start;
     ++op->next_block;
 
-    // Replica choice: local if present, else random.
-    uint32_t holder = b.nodes[rng_.Uniform(b.nodes.size())];
+    // Replica choice among live holders: local if present, else random.
+    // With no dead nodes the live list equals b.nodes, preserving the
+    // healthy model's draw sequence exactly.
+    std::vector<uint32_t> live;
+    live.reserve(b.nodes.size());
     for (uint32_t n : b.nodes) {
+      if (!name_node_->node_dead(n)) live.push_back(n);
+    }
+    if (live.empty()) {
+      ++unrecoverable_blocks_;
+      if (m_unrecoverable_) m_unrecoverable_->Inc();
+      sim->ScheduleAfter(0, [op, id = b.block_id] {
+        op->done(Status::IOError("hdfs: every replica of block " +
+                                 std::to_string(id) + " is lost"));
+      });
+      return;
+    }
+    uint32_t holder = live[rng_.Uniform(live.size())];
+    for (uint32_t n : live) {
       if (n == op->reader) {
         holder = n;
         break;
@@ -271,6 +355,10 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
     st->file = file_or.value();
     st->holder = holder;
     st->remote = holder != op->reader;
+    st->corrupt =
+        !corrupt_.empty() && corrupt_.contains({b.block_id, holder});
+    st->block_id = b.block_id;
+    st->block_idx = idx;
     st->in_end = in_end;
     if (trace_) {
       st->span = trace_->BeginSpan(
@@ -294,12 +382,29 @@ void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
     ReadNextBlock(std::move(op));
     return;
   }
+  if (name_node_->node_dead(st->holder)) {
+    // The serving DataNode died mid-stream: fail over to another replica,
+    // resuming at the current position.
+    ++read_failovers_;
+    if (m_read_failovers_) m_read_failovers_->Inc();
+    if (trace_) trace_->EndSpan(st->span);
+    op->begin = op->block_offsets[st->block_idx] + pos;
+    op->next_block = st->block_idx;
+    ReadNextBlock(std::move(op));
+    return;
+  }
   const uint64_t n = std::min(params_.chunk_bytes, st->in_end - pos);
   if (m_read_local_bytes_) {
     (st->remote ? m_read_remote_bytes_ : m_read_local_bytes_)->Add(n);
   }
   obs::FlowScope flow_scope(trace_, op->flow);
   st->fs->Read(st->file, pos, n, [this, op, st, pos, n] {
+    if (st->corrupt) {
+      // The first packet off a corrupt replica fails its checksum; the
+      // bytes just read are wasted and the whole range restarts elsewhere.
+      OnChecksumFailure(std::move(op), std::move(st));
+      return;
+    }
     auto next = [this, op, st, pos, n] { ReadChunk(op, st, pos + n); };
     if (st->remote) {
       obs::FlowScope flow_scope(trace_, op->flow);
@@ -309,6 +414,36 @@ void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
       next();
     }
   });
+}
+
+void Hdfs::OnChecksumFailure(std::shared_ptr<ReadOp> op,
+                             std::shared_ptr<BlockReadStream> st) {
+  ++checksum_failures_;
+  ++lost_replicas_;
+  if (m_checksum_failures_) m_checksum_failures_->Inc();
+  if (m_lost_replicas_) m_lost_replicas_->Inc();
+  corrupt_.erase({st->block_id, st->holder});
+  // Strike the bad replica from the namespace. The physical block file is
+  // left on the DataNode (other readers may be mid-stream on it) but
+  // quarantined so re-replication never targets or sources it.
+  quarantined_.insert({st->block_id, st->holder});
+  auto entry_or = name_node_->GetMutableFile(op->path);
+  if (entry_or.ok()) {
+    for (BlockLocation& loc : entry_or.value()->blocks) {
+      if (loc.block_id != st->block_id) continue;
+      auto it = std::find(loc.nodes.begin(), loc.nodes.end(), st->holder);
+      if (it != loc.nodes.end()) loc.nodes.erase(it);
+      break;
+    }
+  }
+  // Also strike it from this op's snapshot so the retry picks elsewhere.
+  BlockLocation& local = op->blocks[st->block_idx];
+  auto it = std::find(local.nodes.begin(), local.nodes.end(), st->holder);
+  if (it != local.nodes.end()) local.nodes.erase(it);
+  EnqueueReplication(op->path, st->block_id);
+  if (trace_) trace_->EndSpan(st->span);
+  op->next_block = st->block_idx;
+  ReadNextBlock(std::move(op));
 }
 
 void Hdfs::ReadAll(const std::string& path, uint32_t reader,
@@ -328,6 +463,7 @@ Status Hdfs::Delete(const std::string& path) {
   BDIO_ASSIGN_OR_RETURN(const FileEntry* entry, name_node_->GetFile(path));
   for (const BlockLocation& b : entry->blocks) {
     for (uint32_t n : b.nodes) {
+      if (name_node_->node_dead(n)) continue;  // its blocks died with it
       BDIO_RETURN_IF_ERROR(data_nodes_[n]->DeleteBlock(b.block_id));
     }
   }
@@ -359,6 +495,223 @@ Result<std::vector<BlockLocation>> Hdfs::Locations(
     const std::string& path) const {
   BDIO_ASSIGN_OR_RETURN(const FileEntry* entry, name_node_->GetFile(path));
   return entry->blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & recovery
+// ---------------------------------------------------------------------------
+
+void Hdfs::InjectDataNodeFailure(uint32_t node) {
+  BDIO_CHECK(node < cluster_->num_workers());
+  if (name_node_->node_dead(node)) return;
+  name_node_->MarkDead(node);
+  BDIO_CHECK(name_node_->num_live() > 0) << "hdfs: every DataNode is dead";
+  auto lost = name_node_->RemoveReplicasOn(node);
+  lost_replicas_ += lost.size();
+  if (m_lost_replicas_) m_lost_replicas_->Add(lost.size());
+  if (trace_) {
+    trace_->Instant(node + 1, "faults", "datanode-dead",
+                    "{\"node\":" + std::to_string(node) + ",\"replicas\":" +
+                        std::to_string(lost.size()) + "}");
+  }
+  for (auto& [path, block_id] : lost) {
+    EnqueueReplication(path, block_id);
+  }
+}
+
+Status Hdfs::CorruptReplica(const std::string& path, size_t block_idx,
+                            size_t replica_idx) {
+  BDIO_ASSIGN_OR_RETURN(const FileEntry* entry, name_node_->GetFile(path));
+  if (block_idx >= entry->blocks.size()) {
+    return Status::OutOfRange("no block " + std::to_string(block_idx) +
+                              " in " + path);
+  }
+  const BlockLocation& loc = entry->blocks[block_idx];
+  if (replica_idx >= loc.nodes.size()) {
+    return Status::OutOfRange("block has only " +
+                              std::to_string(loc.nodes.size()) + " replicas");
+  }
+  corrupt_.insert({loc.block_id, loc.nodes[replica_idx]});
+  return Status::OK();
+}
+
+void Hdfs::EnqueueReplication(std::string path, uint64_t block_id) {
+  repl_queue_.push_back(ReplTask{std::move(path), block_id});
+  PumpReplication();
+}
+
+void Hdfs::PumpReplication() {
+  while (repl_active_ < params_.max_rereplication_streams &&
+         !repl_queue_.empty()) {
+    ReplTask task = std::move(repl_queue_.front());
+    repl_queue_.pop_front();
+    StartReplication(std::move(task));
+  }
+}
+
+/// One re-replication copy stream: surviving replica -> network -> new
+/// holder, chunk by chunk (the same extra HDFS-disk reads and pipeline
+/// writes a real recovering cluster pays).
+struct Hdfs::ReplStream {
+  std::string path;
+  uint64_t block_id;
+  uint32_t src;
+  uint32_t dst;
+  os::FileSystem* src_fs;
+  os::File* src_file;
+  os::FileSystem* dst_fs;
+  os::File* dst_file;
+  uint64_t bytes;
+  uint64_t pos = 0;
+  uint64_t span = 0;
+};
+
+void Hdfs::StartReplication(ReplTask task) {
+  auto entry_or = name_node_->GetMutableFile(task.path);
+  if (!entry_or.ok()) return;  // file deleted since the block was queued
+  BlockLocation* loc = nullptr;
+  for (BlockLocation& b : entry_or.value()->blocks) {
+    if (b.block_id == task.block_id) {
+      loc = &b;
+      break;
+    }
+  }
+  if (loc == nullptr) return;
+  const uint32_t want =
+      loc->replication > 0 ? loc->replication : name_node_->replication();
+  const uint32_t desired = std::min(want, name_node_->num_live());
+  if (loc->nodes.size() >= desired) return;  // repaired in the meantime
+
+  // Source: a live holder with an intact copy.
+  const uint32_t none = cluster_->num_workers();
+  uint32_t src = none;
+  os::File* src_file = nullptr;
+  for (uint32_t n : loc->nodes) {
+    if (name_node_->node_dead(n)) continue;
+    if (corrupt_.contains({task.block_id, n})) continue;
+    if (!data_nodes_[n]->HasBlock(task.block_id)) continue;
+    src = n;
+    src_file = data_nodes_[n]->GetBlock(task.block_id).value();
+    break;
+  }
+  if (src == none) {
+    ++unrecoverable_blocks_;
+    if (m_unrecoverable_) m_unrecoverable_->Inc();
+    BDIO_LOG(Warning) << "hdfs: block " << task.block_id << " of "
+                      << task.path << " has no intact replica left";
+    return;
+  }
+  if (src_file->size() < loc->bytes) {
+    // The surviving copy is still being streamed in (pipeline recovery in
+    // progress); retry once it has had time to complete. A copy that never
+    // completes — its writer died — is eventually declared unrecoverable.
+    constexpr uint32_t kMaxDeferrals = 60;
+    if (task.deferrals >= kMaxDeferrals) {
+      ++unrecoverable_blocks_;
+      if (m_unrecoverable_) m_unrecoverable_->Inc();
+      BDIO_LOG(Warning) << "hdfs: block " << task.block_id << " of "
+                        << task.path << " never completed; giving up";
+      return;
+    }
+    ++task.deferrals;
+    cluster_->sim()->ScheduleAfter(
+        params_.rereplication_retry_delay,
+        [this, task = std::move(task)]() mutable {
+          repl_queue_.push_back(std::move(task));
+          PumpReplication();
+        });
+    return;
+  }
+
+  // Target: a live node holding neither a current nor a quarantined copy.
+  std::vector<uint32_t> exclude = loc->nodes;
+  for (uint32_t n = 0; n < none; ++n) {
+    if (quarantined_.contains({task.block_id, n})) exclude.push_back(n);
+  }
+  auto target_or = name_node_->PickReplicationTarget(exclude);
+  if (!target_or.ok()) return;  // nowhere to put another replica
+  const uint32_t dst = target_or.value();
+  auto dst_file_or = data_nodes_[dst]->CreateBlock(task.block_id);
+  if (!dst_file_or.ok()) return;
+
+  ++repl_active_;
+  auto st = std::make_shared<ReplStream>();
+  st->path = std::move(task.path);
+  st->block_id = task.block_id;
+  st->src = src;
+  st->dst = dst;
+  st->src_fs = data_nodes_[src]->FsOf(task.block_id);
+  st->src_file = src_file;
+  st->dst_fs = data_nodes_[dst]->FsOf(task.block_id);
+  st->dst_file = dst_file_or.value();
+  st->bytes = loc->bytes;
+  if (trace_) {
+    st->span = trace_->BeginSpan(
+        dst + 1, "hdfs", "re-replicate",
+        "{\"block\":" + std::to_string(st->block_id) + ",\"src\":" +
+            std::to_string(src) + ",\"bytes\":" + std::to_string(st->bytes) +
+            "}");
+  }
+  ReplicationChunk(std::move(st));
+}
+
+void Hdfs::ReplicationChunk(std::shared_ptr<ReplStream> st) {
+  if (st->pos >= st->bytes) {
+    FinishReplication(std::move(st), /*success=*/true);
+    return;
+  }
+  if (name_node_->node_dead(st->src) || name_node_->node_dead(st->dst)) {
+    FinishReplication(std::move(st), /*success=*/false);
+    return;
+  }
+  const uint64_t n = std::min(params_.chunk_bytes, st->bytes - st->pos);
+  rereplicated_bytes_ += n;
+  if (m_repl_bytes_) m_repl_bytes_->Add(n);
+  st->src_fs->Read(st->src_file, st->pos, n, [this, st, n] {
+    cluster_->network()->Transfer(st->src, st->dst, n, [this, st, n] {
+      st->dst_fs->Append(st->dst_file, n, [this, st, n] {
+        st->pos += n;
+        ReplicationChunk(st);
+      });
+    });
+  });
+}
+
+void Hdfs::FinishReplication(std::shared_ptr<ReplStream> st, bool success) {
+  if (trace_) trace_->EndSpan(st->span);
+  BDIO_CHECK(repl_active_ > 0);
+  --repl_active_;
+  if (success) {
+    ++rereplicated_blocks_;
+    if (m_repl_blocks_) m_repl_blocks_->Inc();
+    auto entry_or = name_node_->GetMutableFile(st->path);
+    bool registered = false;
+    if (entry_or.ok()) {
+      for (BlockLocation& b : entry_or.value()->blocks) {
+        if (b.block_id != st->block_id) continue;
+        b.nodes.push_back(st->dst);
+        registered = true;
+        const uint32_t want =
+            b.replication > 0 ? b.replication : name_node_->replication();
+        if (b.nodes.size() < std::min(want, name_node_->num_live())) {
+          EnqueueReplication(st->path, st->block_id);  // still short
+        }
+        break;
+      }
+    }
+    if (!registered) {
+      // File (or block) deleted while we copied: drop the orphan.
+      data_nodes_[st->dst]->DeleteBlock(st->block_id);
+    }
+  } else {
+    // The copy lost its source or target mid-stream; drop the partial
+    // replica and queue another attempt.
+    if (!name_node_->node_dead(st->dst)) {
+      data_nodes_[st->dst]->DeleteBlock(st->block_id);
+    }
+    EnqueueReplication(st->path, st->block_id);
+  }
+  PumpReplication();
 }
 
 }  // namespace bdio::hdfs

@@ -2,9 +2,12 @@
 #define BDIO_HDFS_HDFS_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -26,6 +29,12 @@ struct HdfsParams {
   /// Client streaming granularity. Real DFS packets are 64 KiB; 1 MiB keeps
   /// event counts tractable without changing disk-visible sequentiality.
   uint64_t chunk_bytes = MiB(1);
+  /// Concurrent re-replication streams cluster-wide (the NameNode paces
+  /// recovery so it does not swamp foreground traffic).
+  uint32_t max_rereplication_streams = 2;
+  /// How long a re-replication attempt waits before retrying a block whose
+  /// only surviving replica is still being written.
+  SimDuration rereplication_retry_delay = Millis(500);
 };
 
 /// Completion callback carrying the operation outcome.
@@ -36,6 +45,13 @@ using DoneCallback = std::function<void(Status)>;
 /// replica local, others over the network); client reads prefer a local
 /// replica. The large sequential block I/O the paper observes on the "HDFS
 /// disks" is produced here.
+///
+/// Fault semantics (see docs/FAULTS.md): InjectDataNodeFailure marks a node
+/// dead, strikes its replicas and queues paced re-replication copies;
+/// in-flight write pipelines splice dead stages out; readers fail over to a
+/// surviving replica; CorruptReplica plants a checksum failure that the next
+/// reader detects and repairs. With no fault ever injected, every code path
+/// below is bit-exact with the pre-fault model.
 class Hdfs {
  public:
   Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng);
@@ -49,8 +65,8 @@ class Hdfs {
 
   /// Attaches observability sinks (either may be null): block reads/writes
   /// become spans carrying the caller's flow through every chunk, and the
-  /// registry gains block counts, per-pipeline-stage bytes, and
-  /// local/remote read bytes.
+  /// registry gains block counts, per-pipeline-stage bytes, local/remote
+  /// read bytes, and the hdfs.rereplication.* recovery counters.
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
   /// Creates `path` and streams `bytes` into it from worker `writer`,
@@ -84,11 +100,46 @@ class Hdfs {
   /// Block locations of a file (for locality-aware split scheduling).
   Result<std::vector<BlockLocation>> Locations(const std::string& path) const;
 
+  // -------------------------------------------------------------------------
+  // Fault injection & recovery
+  // -------------------------------------------------------------------------
+
+  /// Kills DataNode `node`: the NameNode marks it dead, strikes its replicas
+  /// from every block, and enqueues paced re-replication for each
+  /// under-replicated block (source: a surviving replica; target: a live
+  /// node without one). In-flight pipelines and reads touching the node
+  /// recover at their next chunk boundary. Idempotent. Callers that also
+  /// run MapReduce must separately tell the engine (see
+  /// faults::FaultInjector, which drives both).
+  void InjectDataNodeFailure(uint32_t node);
+
+  /// Plants silent corruption in replica `replica_idx` of block `block_idx`
+  /// of `path`. The next reader served from that replica fails its checksum
+  /// on the first chunk, strikes the replica, re-reads from another holder,
+  /// and queues a re-replication repair.
+  Status CorruptReplica(const std::string& path, size_t block_idx,
+                        size_t replica_idx);
+
+  // Recovery counters — plain fields always maintained (tests and benches
+  // read them without a registry); mirrored into hdfs.rereplication.* /
+  // hdfs.recovery.* registry counters when AttachObs was given one.
+  uint64_t rereplicated_blocks() const { return rereplicated_blocks_; }
+  uint64_t rereplicated_bytes() const { return rereplicated_bytes_; }
+  uint64_t lost_replicas() const { return lost_replicas_; }
+  uint64_t unrecoverable_blocks() const { return unrecoverable_blocks_; }
+  uint64_t pipeline_recoveries() const { return pipeline_recoveries_; }
+  uint64_t read_failovers() const { return read_failovers_; }
+  uint64_t checksum_failures() const { return checksum_failures_; }
+  size_t pending_rereplications() const {
+    return repl_queue_.size() + repl_active_;
+  }
+
  private:
   struct WriteOp;
   struct ReadOp;
   struct ReplicaStream;
   struct BlockReadStream;
+  struct ReplStream;
   friend struct WriteOp;
 
   void WriteNextBlock(std::shared_ptr<WriteOp> op);
@@ -96,9 +147,30 @@ class Hdfs {
   void ReadNextBlock(std::shared_ptr<ReadOp> op);
   void ReadChunk(std::shared_ptr<ReadOp> op,
                  std::shared_ptr<BlockReadStream> st, uint64_t pos);
+  /// Checksum failure on `st`: strike and quarantine the bad replica, queue
+  /// a repair, and restart the block range on another holder.
+  void OnChecksumFailure(std::shared_ptr<ReadOp> op,
+                         std::shared_ptr<BlockReadStream> st);
   /// Bytes absorbed by pipeline stage `r` (0 = first replica); null when
   /// no registry is attached. Grown lazily since replication is per-file.
   obs::Counter* PipelineStageCounter(size_t stage);
+
+  // Re-replication machinery. One block repair per task; bounded by
+  // params_.max_rereplication_streams concurrent copy streams.
+  struct ReplTask {
+    std::string path;
+    uint64_t block_id;
+    /// Attempts deferred because the only intact source was still being
+    /// written; bounded so a block whose writer died (and whose surviving
+    /// copies will never complete) is declared unrecoverable instead of
+    /// retrying forever and keeping the simulation alive.
+    uint32_t deferrals = 0;
+  };
+  void EnqueueReplication(std::string path, uint64_t block_id);
+  void PumpReplication();
+  void StartReplication(ReplTask task);
+  void ReplicationChunk(std::shared_ptr<ReplStream> st);
+  void FinishReplication(std::shared_ptr<ReplStream> st, bool success);
 
   cluster::Cluster* cluster_;
   HdfsParams params_;
@@ -107,6 +179,23 @@ class Hdfs {
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
   uint64_t preload_rr_ = 0;
 
+  std::deque<ReplTask> repl_queue_;
+  uint32_t repl_active_ = 0;
+  /// Planted-but-undetected corruption, keyed (block_id, holder).
+  std::set<std::pair<uint64_t, uint32_t>> corrupt_;
+  /// Replicas struck from the namespace whose physical block file is left
+  /// in place (deferred deletion; in-flight readers may still hold it).
+  /// Excluded from re-replication target choice.
+  std::set<std::pair<uint64_t, uint32_t>> quarantined_;
+
+  uint64_t rereplicated_blocks_ = 0;
+  uint64_t rereplicated_bytes_ = 0;
+  uint64_t lost_replicas_ = 0;
+  uint64_t unrecoverable_blocks_ = 0;
+  uint64_t pipeline_recoveries_ = 0;
+  uint64_t read_failovers_ = 0;
+  uint64_t checksum_failures_ = 0;
+
   // Observability sinks; null (the default) adds one pointer test per op.
   obs::TraceSession* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -114,6 +203,13 @@ class Hdfs {
   obs::Counter* m_blocks_read_ = nullptr;
   obs::Counter* m_read_local_bytes_ = nullptr;
   obs::Counter* m_read_remote_bytes_ = nullptr;
+  obs::Counter* m_repl_blocks_ = nullptr;
+  obs::Counter* m_repl_bytes_ = nullptr;
+  obs::Counter* m_lost_replicas_ = nullptr;
+  obs::Counter* m_unrecoverable_ = nullptr;
+  obs::Counter* m_pipeline_recoveries_ = nullptr;
+  obs::Counter* m_read_failovers_ = nullptr;
+  obs::Counter* m_checksum_failures_ = nullptr;
   std::vector<obs::Counter*> m_pipeline_stage_;
 };
 

@@ -46,22 +46,75 @@ BlockLocation NameNode::AllocateBlock(uint32_t writer, uint64_t bytes) {
 
 BlockLocation NameNode::AllocateBlock(uint32_t writer, uint64_t bytes,
                                       uint32_t replication) {
+  BDIO_CHECK(num_live_ > 0) << "no live DataNodes left to place a block on";
   BlockLocation loc;
   loc.block_id = next_block_id_++;
   loc.bytes = bytes;
-  const uint32_t replicas = std::min(replication, num_nodes_);
-  if (writer < num_nodes_) {
+  loc.replication = replication;
+  uint32_t replicas = std::min(replication, num_nodes_);
+  if (replicas > num_live_) {
+    // Not enough live nodes for distinct replicas: clamp rather than spin
+    // forever in the rejection loop below. Warn once — after a large kill
+    // this would otherwise flood the log on every block.
+    if (!clamp_warned_) {
+      clamp_warned_ = true;
+      BDIO_LOG(Warning) << "hdfs: clamping replication " << replicas << " -> "
+                        << num_live_ << " (only " << num_live_ << " of "
+                        << num_nodes_ << " DataNodes live)";
+    }
+    replicas = num_live_;
+  }
+  if (writer < num_nodes_ && !dead_[writer]) {
     loc.nodes.push_back(writer);
   }
   while (loc.nodes.size() < replicas) {
     const uint32_t candidate =
         static_cast<uint32_t>(rng_.Uniform(num_nodes_));
+    if (dead_[candidate]) continue;
     if (std::find(loc.nodes.begin(), loc.nodes.end(), candidate) ==
         loc.nodes.end()) {
       loc.nodes.push_back(candidate);
     }
   }
   return loc;
+}
+
+void NameNode::MarkDead(uint32_t node) {
+  BDIO_CHECK(node < num_nodes_);
+  if (dead_[node]) return;
+  dead_[node] = true;
+  --num_live_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> NameNode::RemoveReplicasOn(
+    uint32_t node) {
+  std::vector<std::pair<std::string, uint64_t>> lost;
+  for (auto& [path, file] : files_) {
+    for (BlockLocation& loc : file.blocks) {
+      auto it = std::find(loc.nodes.begin(), loc.nodes.end(), node);
+      if (it == loc.nodes.end()) continue;
+      loc.nodes.erase(it);
+      lost.emplace_back(path, loc.block_id);
+    }
+  }
+  return lost;
+}
+
+Result<uint32_t> NameNode::PickReplicationTarget(
+    const std::vector<uint32_t>& exclude) {
+  std::vector<uint32_t> candidates;
+  candidates.reserve(num_live_);
+  for (uint32_t n = 0; n < num_nodes_; ++n) {
+    if (dead_[n]) continue;
+    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+      continue;
+    }
+    candidates.push_back(n);
+  }
+  if (candidates.empty()) {
+    return Status::NotFound("no live node outside the current replica set");
+  }
+  return candidates[rng_.Uniform(candidates.size())];
 }
 
 std::vector<const FileEntry*> NameNode::List(

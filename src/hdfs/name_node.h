@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -17,6 +18,9 @@ struct BlockLocation {
   uint64_t block_id = 0;
   uint64_t bytes = 0;
   std::vector<uint32_t> nodes;  ///< Replica holders, pipeline order.
+  /// Replication target requested at allocation; 0 means "filesystem
+  /// default" (pre-existing locations constructed by hand).
+  uint32_t replication = 0;
 };
 
 /// Namespace entry for one HDFS file.
@@ -30,11 +34,17 @@ struct FileEntry {
 /// The HDFS master: filesystem namespace, block id allocation, and replica
 /// placement. Placement follows the Hadoop-1 default collapsed to a single
 /// rack: first replica on the writer, remaining replicas on distinct random
-/// other nodes.
+/// other nodes. DataNode deaths (MarkDead) shrink the placement pool; when
+/// fewer live nodes remain than the requested replication, the factor is
+/// clamped to the live count (warned once) instead of failing the write.
 class NameNode {
  public:
   NameNode(uint32_t num_nodes, uint32_t replication, Rng rng)
-      : num_nodes_(num_nodes), replication_(replication), rng_(rng) {}
+      : num_nodes_(num_nodes),
+        replication_(replication),
+        rng_(rng),
+        dead_(num_nodes, false),
+        num_live_(num_nodes) {}
 
   NameNode(const NameNode&) = delete;
   NameNode& operator=(const NameNode&) = delete;
@@ -48,10 +58,28 @@ class NameNode {
   /// Allocates a block id and its replica pipeline for a block written from
   /// `writer` (use num_nodes as writer for an off-cluster client: all
   /// replicas are then random). The overload taking `replication` overrides
-  /// the filesystem default for this block.
+  /// the filesystem default for this block. Dead nodes never appear in the
+  /// pipeline; a dead `writer` is treated as an off-cluster client.
   BlockLocation AllocateBlock(uint32_t writer, uint64_t bytes);
   BlockLocation AllocateBlock(uint32_t writer, uint64_t bytes,
                               uint32_t replication);
+
+  /// Marks a DataNode dead for placement purposes. Idempotent.
+  void MarkDead(uint32_t node);
+  bool node_dead(uint32_t node) const { return dead_[node]; }
+  uint32_t num_live() const { return num_live_; }
+
+  /// Strikes `node` from every block location in the namespace and returns
+  /// the (path, block_id) of each block that lost a replica, in namespace
+  /// order — the NameNode's block report diff after a DataNode death, i.e.
+  /// the deterministic re-replication work list.
+  std::vector<std::pair<std::string, uint64_t>> RemoveReplicasOn(
+      uint32_t node);
+
+  /// Picks a random live node outside `exclude` — the target of one
+  /// re-replication copy. NotFound when every live node already holds a
+  /// replica.
+  Result<uint32_t> PickReplicationTarget(const std::vector<uint32_t>& exclude);
 
   /// All files whose path starts with `prefix` (directory listing).
   std::vector<const FileEntry*> List(const std::string& prefix) const;
@@ -66,6 +94,9 @@ class NameNode {
   Rng rng_;
   uint64_t next_block_id_ = 1;
   std::map<std::string, FileEntry> files_;  ///< Ordered for List().
+  std::vector<bool> dead_;
+  uint32_t num_live_;
+  bool clamp_warned_ = false;
 };
 
 }  // namespace bdio::hdfs

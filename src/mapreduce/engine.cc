@@ -109,6 +109,9 @@ struct MrEngine::MapTask {
   uint64_t epoch = 0;  ///< Node epoch at launch; stale after a failure.
   bool local = false;
   bool preempted = false;  ///< Marked for reclaim; abandons at a boundary.
+  bool speculative = false;  ///< A backup attempt for a straggling original.
+  bool cancelled = false;  ///< Lost the commit race; abandons at a boundary.
+  SimTime start_time = 0;  ///< Launch instant (straggler detection).
   std::string input_path;
   uint64_t split_bytes = 0;
   uint64_t split_offset = 0;
@@ -150,11 +153,16 @@ struct MrEngine::Job {
   std::vector<std::deque<size_t>> node_local;  ///< May hold started entries.
   std::deque<size_t> pending;                  ///< Global FIFO.
   std::vector<bool> started;
+  /// Per split: a finished attempt has registered (or, for map-only jobs,
+  /// claimed) the output. Later-finishing rival attempts are discarded.
+  std::vector<bool> committed;
   uint32_t unstarted_maps = 0;  ///< == count of splits with started == false.
 
   uint32_t maps_done = 0;
   uint32_t running_maps = 0;
   uint32_t preempt_marked = 0;  ///< Running maps marked for reclaim.
+  uint32_t speculative_running = 0;  ///< Running backup attempts.
+  uint64_t map_duration_ns = 0;  ///< Sum over committed maps (mean baseline).
   std::vector<std::shared_ptr<MapTask>> running_map_tasks;
   std::vector<MapOutput> map_outputs;
 
@@ -207,6 +215,9 @@ void MrEngine::AttachObs(obs::TraceSession* trace,
   m_reduce_spills_ = metrics->GetCounter("mr.reduce_spills");
   m_shuffle_bytes_ = metrics->GetCounter("mr.shuffle_bytes");
   m_preempted_maps_ = metrics->GetCounter("mr.preempted_maps");
+  m_spec_launched_ = metrics->GetCounter("mr.speculative.launched");
+  m_spec_killed_ = metrics->GetCounter("mr.speculative.killed");
+  m_spec_wasted_ = metrics->GetCounter("mr.speculative.wasted_bytes");
   m_merge_width_ =
       metrics->GetHistogram("mr.merge_width", {}, {2, 4, 8, 16, 32, 64, 128});
 }
@@ -231,6 +242,7 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
         mo.bytes = 0;
         BDIO_CHECK(job->maps_done > 0);
         --job->maps_done;
+        job->committed[mo.split_idx] = false;  // the re-execution recommits
         job->started[mo.split_idx] = false;
         job->pending.push_back(mo.split_idx);
         ++job->unstarted_maps;
@@ -307,6 +319,7 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
     }
   }
   job->started.assign(job->splits.size(), false);
+  job->committed.assign(job->splits.size(), false);
   job->unstarted_maps = static_cast<uint32_t>(job->splits.size());
 
   if (spec.num_reduce_tasks == SimJobSpec::kOneWave) {
@@ -361,6 +374,7 @@ std::vector<sched::JobSchedState> MrEngine::SchedStates() const {
     s.running_maps = job->running_maps - job->preempt_marked;
     s.runnable_reduces = static_cast<uint32_t>(job->reduce_queue.size());
     s.running_reduces = job->running_reduces;
+    s.speculative_running = job->speculative_running;
     states.push_back(std::move(s));
   }
   return states;
@@ -375,7 +389,11 @@ void MrEngine::DispatchMaps() {
       if (node_dead_[node] || free_map_slots_[node] == 0) continue;
       const size_t pick = sched_->PickJob(sched::SlotKind::kMap,
                                           SchedStates());
-      if (pick == sched::Scheduler::kNoJob) return;  // no runnable map left
+      if (pick == sched::Scheduler::kNoJob) {
+        // No regular map wants a slot; spare capacity goes to backups.
+        DispatchSpeculative();
+        return;
+      }
       BDIO_CHECK(pick < jobs_.size());
       const std::shared_ptr<Job> job = jobs_[pick];
       // Node-local split first.
@@ -414,6 +432,62 @@ void MrEngine::DispatchMaps() {
       progress = true;
     }
   }
+}
+
+void MrEngine::DispatchSpeculative() {
+  if (jobs_.empty()) return;
+  const SimTime now = cluster_->sim()->Now();
+  for (uint32_t node = 0; node < cluster_->num_workers(); ++node) {
+    while (!node_dead_[node] && free_map_slots_[node] > 0) {
+      // First straggler in (admission order, launch order) that can accept
+      // a backup on this node — a pure function of engine state, so the
+      // pick is deterministic.
+      std::shared_ptr<Job> owner;
+      std::shared_ptr<MapTask> straggler;
+      for (const auto& job : jobs_) {
+        if (job->finished || !job->spec.speculative_execution) continue;
+        if (job->maps_done == 0) continue;  // no duration baseline yet
+        const double threshold =
+            static_cast<double>(job->map_duration_ns) /
+            static_cast<double>(job->maps_done) *
+            job->spec.speculative_slowdown;
+        for (const auto& mt : job->running_map_tasks) {
+          if (mt->speculative || mt->preempted || mt->cancelled) continue;
+          if (mt->epoch != node_epoch_[mt->node]) continue;
+          if (mt->node == node) continue;  // back up on a different node
+          if (job->committed[mt->split_idx]) continue;
+          if (static_cast<double>(now - mt->start_time) <= threshold) {
+            continue;
+          }
+          if (HasLiveAttempt(job, mt->split_idx, mt)) continue;  // one backup
+          owner = job;
+          straggler = mt;
+          break;
+        }
+        if (straggler) break;
+      }
+      if (!straggler) break;  // nothing for this node; try the next
+      --free_map_slots_[node];
+      ++owner->counters.maps_launched;
+      ++owner->counters.speculative_launched;
+      ++owner->speculative_running;
+      ++speculative_launched_;
+      if (m_spec_launched_) m_spec_launched_->Inc();
+      StartMapTask(owner, node, straggler->split_idx, /*speculative=*/true);
+    }
+  }
+}
+
+bool MrEngine::HasLiveAttempt(const std::shared_ptr<Job>& job,
+                              size_t split_idx,
+                              const std::shared_ptr<MapTask>& except) const {
+  for (const auto& other : job->running_map_tasks) {
+    if (other == except) continue;
+    if (other->split_idx != split_idx) continue;
+    if (other->epoch != node_epoch_[other->node]) continue;
+    return true;
+  }
+  return false;
 }
 
 void MrEngine::MaybePreemptFor(const std::shared_ptr<Job>& job) {
@@ -470,14 +544,19 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
   --job->running_maps;
   BDIO_CHECK(job->preempt_marked > 0);
   --job->preempt_marked;
+  if (mt->speculative) {
+    BDIO_CHECK(job->speculative_running > 0);
+    --job->speculative_running;
+  }
   auto& rmt = job->running_map_tasks;
   rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
   if (trace_) {
     trace_->EndSpan(mt->span);
     trace_->FlowEnd(mt->flow, mt->node + 1);
   }
-  // The attempt abandons: partial spills are purged, the split re-queues,
-  // and the slot goes back to the pool for the policy to re-grant.
+  // The attempt abandons: partial spills are purged, the split re-queues
+  // (unless it was only a backup, or is already committed), and the slot
+  // goes back to the pool for the policy to re-grant.
   for (const RunFile& r : mt->spills) {
     BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
   }
@@ -485,9 +564,67 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
   ++free_map_slots_[mt->node];
   ++job->counters.maps_preempted;
   if (m_preempted_maps_) m_preempted_maps_->Inc();
-  job->started[mt->split_idx] = false;
-  job->pending.push_back(mt->split_idx);
-  ++job->unstarted_maps;
+  if (!mt->speculative && !job->committed[mt->split_idx]) {
+    job->started[mt->split_idx] = false;
+    job->pending.push_back(mt->split_idx);
+    ++job->unstarted_maps;
+  }
+  DispatchMaps();
+}
+
+void MrEngine::CommitMapAttempt(const std::shared_ptr<Job>& job,
+                                const std::shared_ptr<MapTask>& mt) {
+  job->committed[mt->split_idx] = true;
+  for (const auto& other : job->running_map_tasks) {
+    if (other == mt || other->split_idx != mt->split_idx) continue;
+    other->cancelled = true;  // abandons at its next chunk boundary
+  }
+}
+
+void MrEngine::DiscardMapAttempt(std::shared_ptr<Job> job,
+                                 std::shared_ptr<MapTask> mt) {
+  BDIO_CHECK(mt->epoch == node_epoch_[mt->node]);
+  BDIO_CHECK(running_maps_ > 0);
+  --running_maps_;
+  BDIO_CHECK(job->running_maps > 0);
+  --job->running_maps;
+  if (mt->preempted) {
+    // Reclaim mark and commit race both hit this attempt; the mark lapses.
+    BDIO_CHECK(job->preempt_marked > 0);
+    --job->preempt_marked;
+  }
+  if (mt->speculative) {
+    BDIO_CHECK(job->speculative_running > 0);
+    --job->speculative_running;
+  }
+  auto& rmt = job->running_map_tasks;
+  rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
+  if (trace_) {
+    trace_->EndSpan(mt->span);
+    trace_->FlowEnd(mt->flow, mt->node + 1);
+  }
+  // Everything the loser did is duplicate I/O: the input bytes it read
+  // plus the spills it wrote (deleted here, as Hadoop's TaskTracker purges
+  // a killed attempt's work directory).
+  uint64_t wasted = mt->pos;
+  for (const RunFile& r : mt->spills) {
+    wasted += r.bytes;
+    BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
+  }
+  mt->spills.clear();
+  ++free_map_slots_[mt->node];
+  ++job->counters.speculative_killed;
+  job->counters.speculative_wasted_bytes += wasted;
+  ++speculative_killed_;
+  speculative_wasted_bytes_ += wasted;
+  if (m_spec_killed_) m_spec_killed_->Inc();
+  if (m_spec_wasted_) m_spec_wasted_->Add(wasted);
+  if (trace_) {
+    trace_->Instant(mt->node + 1, "mr", "speculative-killed",
+                    "{\"split\":" + std::to_string(mt->split_idx) +
+                        ",\"wasted\":" + std::to_string(wasted) +
+                        ",\"job\":\"" + job->obs_label + "\"}");
+  }
   DispatchMaps();
 }
 
@@ -536,11 +673,13 @@ void MrEngine::DispatchReduces() {
 }
 
 void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
-                            size_t split_idx) {
+                            size_t split_idx, bool speculative) {
   auto mt = std::make_shared<MapTask>();
   mt->split_idx = split_idx;
   mt->node = node;
   mt->epoch = node_epoch_[node];
+  mt->speculative = speculative;
+  mt->start_time = cluster_->sim()->Now();
   ++running_maps_;
   ++job->running_maps;
   job->running_map_tasks.push_back(mt);
@@ -567,6 +706,10 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
   // runs ahead of the map function, as in real Hadoop).
   if (mt->preempted && mt->epoch == node_epoch_[mt->node]) {
     OnMapPreempted(job, mt);
+    return;
+  }
+  if (mt->cancelled && mt->epoch == node_epoch_[mt->node]) {
+    DiscardMapAttempt(job, mt);  // lost the commit race mid-task
     return;
   }
   if (mt->pos >= mt->split_bytes) {
@@ -600,6 +743,10 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
       // Chunk boundary: a reclaimed attempt abandons here (its in-flight
       // I/O has drained, as in the failure model).
       OnMapPreempted(job, mt);
+      return;
+    }
+    if (mt->cancelled && mt->epoch == node_epoch_[mt->node]) {
+      DiscardMapAttempt(job, mt);  // a rival attempt committed this split
       return;
     }
     const double out_pre =
@@ -691,8 +838,16 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
     OnMapDone(job, mt);
     return;
   }
+  if (job->committed[mt->split_idx]) {
+    // Beaten at the finish line by a rival attempt.
+    DiscardMapAttempt(job, mt);
+    return;
+  }
   if (job->map_only()) {
-    // Map-only jobs write their output slice straight to HDFS.
+    // Map-only jobs write their output slice straight to HDFS. The split
+    // is claimed *before* the write so a rival attempt never races the
+    // same output path.
+    CommitMapAttempt(job, mt);
     const uint64_t out = static_cast<uint64_t>(
         static_cast<double>(mt->split_bytes) * job->spec.output_ratio);
     if (out == 0) {
@@ -708,8 +863,9 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
           BDIO_CHECK_OK(s);
           if (mt->epoch != node_epoch_[mt->node]) {
             // Host failed during the write: withdraw the attempt's output
-            // so the re-execution can commit its own.
+            // (and its claim) so the re-execution can commit its own.
             BDIO_CHECK_OK(hdfs_->Delete(path));
+            job->committed[mt->split_idx] = false;
             OnMapDone(job, mt);
             return;
           }
@@ -722,6 +878,7 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
   }
 
   if (mt->spills.size() <= 1) {
+    CommitMapAttempt(job, mt);
     MapOutput mo;
     mo.node = mt->node;
     mo.split_idx = mt->split_idx;
@@ -772,6 +929,17 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
       OnMapDone(job, mt);  // host failed mid-merge: discard
       return;
     }
+    if (job->committed[mt->split_idx]) {
+      // A rival committed while this attempt merged: the merged output is
+      // pure waste on top of the spills DiscardMapAttempt purges.
+      BDIO_CHECK_OK(out_fs->Delete(out->name()));
+      job->counters.speculative_wasted_bytes += total;
+      speculative_wasted_bytes_ += total;
+      if (m_spec_wasted_) m_spec_wasted_->Add(total);
+      DiscardMapAttempt(job, mt);
+      return;
+    }
+    CommitMapAttempt(job, mt);
     for (const RunFile& r : mt->spills) {
       BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
     }
@@ -828,6 +996,10 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
     BDIO_CHECK(job->preempt_marked > 0);
     --job->preempt_marked;
   }
+  if (mt->speculative) {
+    BDIO_CHECK(job->speculative_running > 0);
+    --job->speculative_running;
+  }
   auto& rmt = job->running_map_tasks;
   rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
   if (trace_) {
@@ -835,16 +1007,21 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
     trace_->FlowEnd(mt->flow, mt->node + 1);
   }
   if (mt->epoch != node_epoch_[mt->node]) {
-    // Discarded attempt: put the split back and try elsewhere. The dead
-    // node's slot is not returned.
-    job->started[mt->split_idx] = false;
-    job->pending.push_back(mt->split_idx);
-    ++job->unstarted_maps;
+    // Discarded attempt: put the split back and try elsewhere (unless a
+    // rival attempt already committed it, or still can). The dead node's
+    // slot is not returned.
+    if (!job->committed[mt->split_idx] &&
+        !HasLiveAttempt(job, mt->split_idx, mt)) {
+      job->started[mt->split_idx] = false;
+      job->pending.push_back(mt->split_idx);
+      ++job->unstarted_maps;
+    }
     DispatchMaps();
     return;
   }
   ++free_map_slots_[mt->node];
   ++job->maps_done;
+  job->map_duration_ns += cluster_->sim()->Now() - mt->start_time;
   MaybeStartReducers(job);
   DispatchReduces();
   for (auto& rt : job->reducers) {

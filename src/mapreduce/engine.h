@@ -75,6 +75,15 @@ class MrEngine {
   void InjectNodeFailure(uint32_t node);
   bool node_failed(uint32_t node) const { return node_dead_[node]; }
 
+  // Engine-wide speculative-execution totals (per-job figures live in
+  // JobCounters). Plain fields so benches and tests read them without a
+  // metrics registry; mirrored into mr.speculative.* when one is attached.
+  uint64_t speculative_launched() const { return speculative_launched_; }
+  uint64_t speculative_killed() const { return speculative_killed_; }
+  uint64_t speculative_wasted_bytes() const {
+    return speculative_wasted_bytes_;
+  }
+
   /// Cluster-wide tasks currently executing (for timeline sampling).
   uint32_t running_maps() const { return running_maps_; }
   uint32_t running_reduces() const { return running_reduces_; }
@@ -117,8 +126,12 @@ class MrEngine {
   struct Job;
 
   /// Offers free map slots (node-major, repeated passes) to the policy
-  /// until no slot or no runnable map remains.
+  /// until no slot or no runnable map remains; leftover slots are then
+  /// offered to stragglers as speculative backups.
   void DispatchMaps();
+  /// Launches backup attempts for straggling maps of speculative jobs on
+  /// the remaining free slots (Hadoop's speculative execution).
+  void DispatchSpeculative();
   /// Offers free reduce slots to the policy, one queued reducer at a time.
   void DispatchReduces();
   /// Snapshot of every active job for the policy.
@@ -129,7 +142,19 @@ class MrEngine {
   void MaybePreemptFor(const std::shared_ptr<Job>& job);
 
   void StartMapTask(std::shared_ptr<Job> job, uint32_t node,
-                    size_t split_idx);
+                    size_t split_idx, bool speculative = false);
+  /// Marks the split committed and cancels any rival attempt (it abandons
+  /// at its next chunk boundary and its spills are deleted).
+  void CommitMapAttempt(const std::shared_ptr<Job>& job,
+                        const std::shared_ptr<MapTask>& mt);
+  /// Retires an attempt that lost the commit race (cancelled mid-task or
+  /// beaten at the finish line): purges its spills, frees its slot, and
+  /// charges the duplicate I/O to the speculative-waste counters.
+  void DiscardMapAttempt(std::shared_ptr<Job> job,
+                         std::shared_ptr<MapTask> mt);
+  /// True when some live attempt of `split_idx` is still running.
+  bool HasLiveAttempt(const std::shared_ptr<Job>& job, size_t split_idx,
+                      const std::shared_ptr<MapTask>& except) const;
   void MapReadLoop(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
   void MapProcessChunk(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
                        uint64_t chunk_bytes);
@@ -166,6 +191,9 @@ class MrEngine {
   uint32_t running_maps_ = 0;
   uint32_t running_reduces_ = 0;
   uint64_t file_seq_ = 0;  ///< Unique local-file naming across jobs.
+  uint64_t speculative_launched_ = 0;
+  uint64_t speculative_killed_ = 0;
+  uint64_t speculative_wasted_bytes_ = 0;
 
   std::unique_ptr<sched::Scheduler> default_sched_;  ///< FIFO.
   sched::Scheduler* sched_;  ///< Never null; defaults to default_sched_.
@@ -178,6 +206,9 @@ class MrEngine {
   obs::Counter* m_reduce_spills_ = nullptr;
   obs::Counter* m_shuffle_bytes_ = nullptr;
   obs::Counter* m_preempted_maps_ = nullptr;
+  obs::Counter* m_spec_launched_ = nullptr;
+  obs::Counter* m_spec_killed_ = nullptr;
+  obs::Counter* m_spec_wasted_ = nullptr;
   obs::Histogram* m_merge_width_ = nullptr;
 };
 

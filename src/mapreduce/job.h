@@ -63,6 +63,18 @@ struct SimJobSpec {
   uint32_t parallel_copies = 5;          ///< Concurrent shuffle fetches.
   double reduce_slowstart = 0.05;        ///< Maps done before reducers start.
   SimDuration task_start_latency = Millis(200);  ///< JVM/task setup.
+
+  /// mapred.map.tasks.speculative.execution: when spare map slots exist and
+  /// no regular map is runnable, launch a backup attempt (on a different
+  /// node) for any map that has been running longer than
+  /// `speculative_slowdown` times the mean duration of this job's committed
+  /// maps. The first attempt to finish commits; the loser is killed and its
+  /// spills deleted — the duplicate I/O shows up in
+  /// JobCounters::speculative_wasted_bytes and mr.speculative.* metrics.
+  /// Off by default: the healthy engine is bit-exact with the
+  /// pre-speculation model.
+  bool speculative_execution = false;
+  double speculative_slowdown = 1.5;
 };
 
 /// Aggregate volume counters of a finished job.
@@ -77,6 +89,13 @@ struct JobCounters {
   uint32_t reduces_launched = 0;
   /// Map attempts reclaimed by fair-share preemption (their splits re-ran).
   uint32_t maps_preempted = 0;
+  /// Backup attempts launched for stragglers, and attempts (backup or
+  /// original) killed after losing the race to commit.
+  uint32_t speculative_launched = 0;
+  uint32_t speculative_killed = 0;
+  /// I/O the losing attempts performed for nothing: duplicate input reads
+  /// plus the spill bytes deleted at kill time.
+  uint64_t speculative_wasted_bytes = 0;
   uint64_t spills = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;

@@ -89,10 +89,29 @@ void Network::AdvanceTo(SimTime now) {
   last_advance_ = now;
 }
 
+void Network::SetNodeLinkFactor(uint32_t node, double factor) {
+  BDIO_CHECK(node < num_nodes_);
+  BDIO_CHECK(factor > 0 && factor <= 1.0);
+  if (link_factor_.empty()) {
+    if (factor == 1.0) return;  // never throttled; stay on the exact path
+    link_factor_.assign(num_nodes_, 1.0);
+  }
+  link_factor_[node] = factor;
+  // Re-split capacity among in-flight flows at the new rate.
+  AdvanceTo(sim_->Now());
+  Reschedule();
+}
+
 void Network::ComputeRates() {
   // Max-min fair water-filling over per-node egress/ingress capacities.
   std::vector<double> egress(num_nodes_, link_rate_);
   std::vector<double> ingress(num_nodes_, link_rate_);
+  if (!link_factor_.empty()) {
+    for (uint32_t n = 0; n < num_nodes_; ++n) {
+      egress[n] = link_rate_ * link_factor_[n];
+      ingress[n] = link_rate_ * link_factor_[n];
+    }
+  }
   std::vector<uint32_t> egress_count(num_nodes_, 0);
   std::vector<uint32_t> ingress_count(num_nodes_, 0);
   for (auto& [id, f] : flows_) {

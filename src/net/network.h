@@ -46,6 +46,15 @@ class Network {
   /// tx/rx byte counters feed the registry.
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
+  /// Scales node `node`'s NIC capacity (both directions) by `factor` in
+  /// (0, 1] — the fault-injection model of a flapping or auto-negotiated-
+  /// down link. In-flight flows are re-allocated immediately. Factor 1.0
+  /// (the default) leaves the fabric bit-exact with the unthrottled model.
+  void SetNodeLinkFactor(uint32_t node, double factor);
+  double node_link_factor(uint32_t node) const {
+    return link_factor_.empty() ? 1.0 : link_factor_[node];
+  }
+
   uint32_t num_nodes() const { return num_nodes_; }
   size_t active_flows() const { return flows_.size(); }
   const NodeNetStats& node_stats(uint32_t node) const {
@@ -71,6 +80,9 @@ class Network {
   sim::Simulator* sim_;
   uint32_t num_nodes_;
   double link_rate_;
+  /// Per-node capacity factors; empty until a throttle is installed so the
+  /// healthy path stays allocation-free and bit-exact.
+  std::vector<double> link_factor_;
   std::unordered_map<uint64_t, Flow> flows_;
   uint64_t next_flow_id_ = 1;
   uint64_t generation_ = 0;  ///< Invalidates stale completion events.

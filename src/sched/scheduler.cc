@@ -72,22 +72,32 @@ size_t FairScheduler::PickJob(SlotKind kind,
 size_t FairScheduler::PreemptionVictim(
     const std::vector<JobSchedState>& jobs) {
   if (!options_.preempt_speculative) return kNoJob;
-  // Reclaim from the job furthest above its weighted share. Jobs holding a
-  // single map slot are never victims — taking it would only move the
-  // starvation, not cure it.
-  size_t victim = kNoJob;
-  double victim_ratio = 0;
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].running_maps < 2) continue;
-    const double w = jobs[i].weight <= 0 ? 1.0 : jobs[i].weight;
-    const double ratio = static_cast<double>(jobs[i].running_maps) / w;
-    if (victim == kNoJob || ratio > victim_ratio ||
-        (ratio == victim_ratio && jobs[i].seq < jobs[victim].seq)) {
-      victim = i;
-      victim_ratio = ratio;
+  // Jobs holding speculative backup slots lose those first: killing a
+  // backup loses no unique work (the original attempt still runs). Among
+  // them — and failing that, among all jobs — reclaim from the job furthest
+  // above its weighted share. Jobs holding a single map slot are never
+  // victims in the fallback pass: taking it would only move the starvation,
+  // not cure it.
+  for (const bool speculative_pass : {true, false}) {
+    size_t victim = kNoJob;
+    double victim_ratio = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (speculative_pass) {
+        if (jobs[i].speculative_running == 0) continue;
+      } else {
+        if (jobs[i].running_maps < 2) continue;
+      }
+      const double w = jobs[i].weight <= 0 ? 1.0 : jobs[i].weight;
+      const double ratio = static_cast<double>(jobs[i].running_maps) / w;
+      if (victim == kNoJob || ratio > victim_ratio ||
+          (ratio == victim_ratio && jobs[i].seq < jobs[victim].seq)) {
+        victim = i;
+        victim_ratio = ratio;
+      }
     }
+    if (victim != kNoJob) return victim;
   }
-  return victim;
+  return kNoJob;
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {

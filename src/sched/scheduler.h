@@ -25,6 +25,10 @@ struct JobSchedState {
   uint32_t running_maps = 0;      ///< Map tasks currently holding slots.
   uint32_t runnable_reduces = 0;  ///< Created reducers waiting for a slot.
   uint32_t running_reduces = 0;   ///< Reduce tasks currently holding slots.
+  /// Running map slots held by speculative backup attempts. The cheapest
+  /// slots to reclaim: killing a backup loses no unique work, so preempting
+  /// policies take these first.
+  uint32_t speculative_running = 0;
 
   uint32_t runnable(SlotKind kind) const {
     return kind == SlotKind::kMap ? runnable_maps : runnable_reduces;

@@ -50,6 +50,13 @@ class BlockDevice {
     observer_ = std::move(obs);
   }
 
+  /// Degrades (factor > 1) or restores (factor == 1) the drive's service
+  /// time — the fault-injection model of a failing spindle. Requests
+  /// already accepted by the drive are unaffected; everything dispatched
+  /// after the call pays the new factor.
+  void SetServiceFactor(double factor) { model_.set_service_factor(factor); }
+  double service_factor() const { return model_.service_factor(); }
+
   /// Attaches observability sinks (either may be null). `trace_pid` is the
   /// trace-viewer process row of this device's node; `device_class` labels
   /// metrics ("hdfs" or "mr"). Queue residency and disk service become

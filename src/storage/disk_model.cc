@@ -53,7 +53,11 @@ SimDuration DiskModel::Service(const IoRequest& req) {
   const double rate = RateAtSector(req.sector);
   const SimDuration transfer = TransferTime(req.bytes(), rate);
   head_sector_ = req.end_sector();
-  return position + transfer;
+  const SimDuration healthy = position + transfer;
+  if (service_factor_ == 1.0) return healthy;  // bit-exact healthy path
+  BDIO_CHECK(service_factor_ > 0);
+  return static_cast<SimDuration>(static_cast<double>(healthy) *
+                                  service_factor_);
 }
 
 }  // namespace bdio::storage

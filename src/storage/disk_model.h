@@ -28,6 +28,13 @@ class DiskModel {
   /// `sector` — zero for an exactly sequential continuation.
   SimDuration PositioningTime(uint64_t sector);
 
+  /// Degraded-media multiplier applied to every service time (fault
+  /// injection: a failing disk with remapped sectors or media retries runs
+  /// this many times slower). 1.0 — the default — is bit-exact with the
+  /// healthy model: no arithmetic is applied at all.
+  void set_service_factor(double factor) { service_factor_ = factor; }
+  double service_factor() const { return service_factor_; }
+
   uint64_t head_sector() const { return head_sector_; }
   const DiskParameters& params() const { return params_; }
 
@@ -35,6 +42,7 @@ class DiskModel {
   DiskParameters params_;
   Rng rng_;
   uint64_t head_sector_ = 0;
+  double service_factor_ = 1.0;
 };
 
 }  // namespace bdio::storage

@@ -1,0 +1,160 @@
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace bdio::faults {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlan) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.size(), 0u);
+  EXPECT_EQ(plan.ToString(), "");
+  auto parsed = FaultPlan::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(FaultPlanTest, BuilderAccumulatesEvents) {
+  FaultPlan plan = FaultPlan{}
+                       .KillDataNode(3, Seconds(10))
+                       .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, Seconds(1),
+                                    Seconds(5))
+                       .CorruptReplica("/in/part-0", 7, 1, Seconds(2))
+                       .ThrottleLink(0, 8.0, Seconds(3), 0);
+  ASSERT_EQ(plan.size(), 4u);
+  const auto& e = plan.events();
+
+  EXPECT_EQ(e[0].kind, FaultKind::kKillDataNode);
+  EXPECT_EQ(e[0].node, 3u);
+  EXPECT_EQ(e[0].at, Seconds(10));
+
+  EXPECT_EQ(e[1].kind, FaultKind::kDegradeDisk);
+  EXPECT_EQ(e[1].node, 1u);
+  EXPECT_TRUE(e[1].mr_disk);
+  EXPECT_EQ(e[1].disk, 2u);
+  EXPECT_DOUBLE_EQ(e[1].factor, 4.0);
+  EXPECT_EQ(e[1].at, Seconds(1));
+  EXPECT_EQ(e[1].until, Seconds(5));
+
+  EXPECT_EQ(e[2].kind, FaultKind::kCorruptReplica);
+  EXPECT_EQ(e[2].path, "/in/part-0");
+  EXPECT_EQ(e[2].block_idx, 7u);
+  EXPECT_EQ(e[2].replica_idx, 1u);
+  EXPECT_EQ(e[2].at, Seconds(2));
+
+  EXPECT_EQ(e[3].kind, FaultKind::kThrottleLink);
+  EXPECT_EQ(e[3].node, 0u);
+  EXPECT_DOUBLE_EQ(e[3].factor, 8.0);
+  EXPECT_EQ(e[3].at, Seconds(3));
+  EXPECT_EQ(e[3].until, 0u);  // open-ended window
+}
+
+TEST(FaultPlanTest, ParsesFullGrammar) {
+  const std::string text =
+      "# chaos scenario: one of everything\n"
+      "kill-datanode 3 @ 12.5\n"
+      "\n"
+      "degrade-disk 1 mr 2 x4 @ 1..5   # fail-slow spindle\n"
+      "degrade-disk 0 hdfs 0 x1.5 @ 0..0\n"
+      "corrupt-replica /in/data 7 1 @ 2\n"
+      "throttle-link 2 x8 @ 3..6\n";
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& e = parsed.value().events();
+  ASSERT_EQ(e.size(), 5u);
+
+  EXPECT_EQ(e[0].kind, FaultKind::kKillDataNode);
+  EXPECT_EQ(e[0].node, 3u);
+  EXPECT_EQ(e[0].at, FromSeconds(12.5));
+
+  EXPECT_EQ(e[1].kind, FaultKind::kDegradeDisk);
+  EXPECT_TRUE(e[1].mr_disk);
+  EXPECT_EQ(e[1].disk, 2u);
+  EXPECT_DOUBLE_EQ(e[1].factor, 4.0);
+
+  EXPECT_EQ(e[2].kind, FaultKind::kDegradeDisk);
+  EXPECT_FALSE(e[2].mr_disk);
+  EXPECT_DOUBLE_EQ(e[2].factor, 1.5);
+
+  EXPECT_EQ(e[3].kind, FaultKind::kCorruptReplica);
+  EXPECT_EQ(e[3].path, "/in/data");
+  EXPECT_EQ(e[3].block_idx, 7u);
+  EXPECT_EQ(e[3].replica_idx, 1u);
+
+  EXPECT_EQ(e[4].kind, FaultKind::kThrottleLink);
+  EXPECT_EQ(e[4].node, 2u);
+  EXPECT_DOUBLE_EQ(e[4].factor, 8.0);
+  EXPECT_EQ(e[4].at, Seconds(3));
+  EXPECT_EQ(e[4].until, Seconds(6));
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const FaultPlan plan =
+      FaultPlan{}
+          .KillDataNode(3, FromSeconds(12.5))
+          .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, Seconds(1), Seconds(5))
+          .DegradeDisk(0, /*mr_disk=*/false, 0, 1.5, 0, Seconds(9))
+          .CorruptReplica("/in/data", 7, 1, Seconds(2))
+          .ThrottleLink(2, 8.0, Seconds(3), Seconds(6));
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed.value().size(), plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = reparsed.value().events()[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.at, b.at) << "event " << i;
+    EXPECT_EQ(a.until, b.until) << "event " << i;
+    EXPECT_EQ(a.node, b.node) << "event " << i;
+    EXPECT_EQ(a.mr_disk, b.mr_disk) << "event " << i;
+    EXPECT_EQ(a.disk, b.disk) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.factor, b.factor) << "event " << i;
+    EXPECT_EQ(a.path, b.path) << "event " << i;
+    EXPECT_EQ(a.block_idx, b.block_idx) << "event " << i;
+    EXPECT_EQ(a.replica_idx, b.replica_idx) << "event " << i;
+  }
+  // And the text itself is a fixed point.
+  EXPECT_EQ(reparsed.value().ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, ParseErrorsCarryLineNumbers) {
+  auto r = FaultPlan::Parse("kill-datanode 0 @ 1\nset-on-fire 3 @ 2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedLines) {
+  // Missing '@'.
+  EXPECT_FALSE(FaultPlan::Parse("kill-datanode 0 1\n").ok());
+  // Non-numeric node.
+  EXPECT_FALSE(FaultPlan::Parse("kill-datanode abc @ 1\n").ok());
+  // Negative time.
+  EXPECT_FALSE(FaultPlan::Parse("kill-datanode 0 @ -1\n").ok());
+  // Bad disk group.
+  EXPECT_FALSE(
+      FaultPlan::Parse("degrade-disk 0 ssd 0 x2 @ 0..1\n").ok());
+  // Factor without the 'x' prefix.
+  EXPECT_FALSE(FaultPlan::Parse("degrade-disk 0 mr 0 2 @ 0..1\n").ok());
+  // Zero factor.
+  EXPECT_FALSE(FaultPlan::Parse("throttle-link 0 x0 @ 0..1\n").ok());
+  // Inverted window.
+  EXPECT_FALSE(FaultPlan::Parse("throttle-link 0 x2 @ 5..1\n").ok());
+  // Trailing junk.
+  EXPECT_FALSE(FaultPlan::Parse("kill-datanode 0 @ 1 extra\n").ok());
+}
+
+TEST(FaultPlanTest, KindNames) {
+  EXPECT_EQ(FaultKindToString(FaultKind::kKillDataNode), "kill-datanode");
+  EXPECT_EQ(FaultKindToString(FaultKind::kDegradeDisk), "degrade-disk");
+  EXPECT_EQ(FaultKindToString(FaultKind::kCorruptReplica),
+            "corrupt-replica");
+  EXPECT_EQ(FaultKindToString(FaultKind::kThrottleLink), "throttle-link");
+}
+
+}  // namespace
+}  // namespace bdio::faults

@@ -1,0 +1,165 @@
+#include "faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "faults/fault_plan.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+
+namespace bdio::faults {
+namespace {
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest() {
+    cluster::ClusterParams cp;
+    cp.num_workers = 4;
+    cp.node.memory_bytes = GiB(2);
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp,
+                                                  /*total_slots=*/4, Rng(1));
+    hdfs::HdfsParams hp;
+    hp.block_bytes = MiB(16);
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hp, Rng(2));
+    engine_ = std::make_unique<mapreduce::MrEngine>(
+        cluster_.get(), dfs_.get(), mapreduce::SlotConfig{2, 2, "t"},
+        Rng(3));
+    injector_ = std::make_unique<FaultInjector>(cluster_.get(), dfs_.get(),
+                                                engine_.get());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<mapreduce::MrEngine> engine_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(InjectorTest, EmptyPlanSchedulesNothing) {
+  const size_t pending_before = sim_.pending();
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}).ok());
+  EXPECT_EQ(sim_.pending(), pending_before);
+  sim_.Run();
+  EXPECT_EQ(injector_->injected(), 0u);
+}
+
+TEST_F(InjectorTest, RejectsOutOfRangeNode) {
+  const size_t pending_before = sim_.pending();
+  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(4, Seconds(1)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(sim_.pending(), pending_before);  // nothing was scheduled
+}
+
+TEST_F(InjectorTest, RejectsOutOfRangeDisk) {
+  const uint32_t bad = cluster_->node(0)->num_hdfs_disks();
+  const Status s = injector_->Arm(FaultPlan{}.DegradeDisk(
+      0, /*mr_disk=*/false, bad, 2.0, 0, Seconds(1)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(InjectorTest, RejectsSpeedupThrottle) {
+  // A throttle's slowdown maps to capacity fraction 1/factor; factors below
+  // one would mean a faster-than-line-rate NIC.
+  const Status s =
+      injector_->Arm(FaultPlan{}.ThrottleLink(0, 0.5, 0, Seconds(1)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(InjectorTest, ValidationIsAllOrNothing) {
+  const size_t pending_before = sim_.pending();
+  const Status s = injector_->Arm(FaultPlan{}
+                                      .KillDataNode(1, Seconds(1))  // valid
+                                      .KillDataNode(9, Seconds(2)));
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(sim_.pending(), pending_before);
+  sim_.Run();
+  EXPECT_EQ(injector_->injected(), 0u);
+  EXPECT_FALSE(dfs_->name_node()->node_dead(1));
+}
+
+TEST_F(InjectorTest, DegradeDiskAppliesAndRestores) {
+  storage::BlockDevice* dev = cluster_->node(1)->hdfs_disk(0);
+  ASSERT_TRUE(injector_
+                  ->Arm(FaultPlan{}.DegradeDisk(1, /*mr_disk=*/false, 0,
+                                                4.0, Seconds(1), Seconds(2)))
+                  .ok());
+  double factor_in_window = 0;
+  sim_.ScheduleAt(FromSeconds(1.5),
+                  [&] { factor_in_window = dev->service_factor(); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(factor_in_window, 4.0);
+  EXPECT_DOUBLE_EQ(dev->service_factor(), 1.0);  // restored at window end
+  EXPECT_EQ(injector_->injected(), 1u);
+  EXPECT_EQ(injector_->disks_degraded(), 1u);
+}
+
+TEST_F(InjectorTest, OpenEndedDegradeIsNeverRestored) {
+  storage::BlockDevice* dev = cluster_->node(0)->mr_disk(1);
+  ASSERT_TRUE(injector_
+                  ->Arm(FaultPlan{}.DegradeDisk(0, /*mr_disk=*/true, 1, 6.0,
+                                                Seconds(1), /*until=*/0))
+                  .ok());
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(dev->service_factor(), 6.0);
+}
+
+TEST_F(InjectorTest, ThrottleLinkAppliesAndRestores) {
+  net::Network* net = cluster_->network();
+  ASSERT_TRUE(
+      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, Seconds(1), Seconds(2)))
+          .ok());
+  double factor_in_window = 0;
+  sim_.ScheduleAt(FromSeconds(1.5),
+                  [&] { factor_in_window = net->node_link_factor(2); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(factor_in_window, 0.25);  // x4 slowdown = 1/4 capacity
+  EXPECT_DOUBLE_EQ(net->node_link_factor(2), 1.0);
+  EXPECT_EQ(injector_->links_throttled(), 1u);
+}
+
+TEST_F(InjectorTest, KillDrivesBothFailureDomains) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(2, Millis(10))).ok());
+  sim_.Run();
+  EXPECT_TRUE(dfs_->name_node()->node_dead(2));
+  EXPECT_TRUE(engine_->node_failed(2));
+  EXPECT_EQ(injector_->datanodes_killed(), 1u);
+  EXPECT_EQ(injector_->injected(), 1u);
+}
+
+TEST_F(InjectorTest, NullEngineSkipsTaskTrackerSide) {
+  FaultInjector hdfs_only(cluster_.get(), dfs_.get(), /*engine=*/nullptr);
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  ASSERT_TRUE(hdfs_only.Arm(FaultPlan{}.KillDataNode(1, Millis(10))).ok());
+  sim_.Run();
+  EXPECT_TRUE(dfs_->name_node()->node_dead(1));
+  EXPECT_FALSE(engine_->node_failed(1));  // engine was not told
+}
+
+TEST_F(InjectorTest, MissingCorruptionTargetIsSkippedNotFatal) {
+  ASSERT_TRUE(
+      injector_->Arm(FaultPlan{}.CorruptReplica("/nope", 0, 0, Millis(5)))
+          .ok());
+  sim_.Run();
+  // The event fired (and warned) but planted nothing.
+  EXPECT_EQ(injector_->replicas_corrupted(), 1u);
+  EXPECT_EQ(dfs_->checksum_failures(), 0u);
+}
+
+TEST_F(InjectorTest, ParsedPlanArmsEndToEnd) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  auto plan = FaultPlan::Parse(
+      "kill-datanode 3 @ 0.01\n"
+      "degrade-disk 1 hdfs 0 x2 @ 0.02..0.03\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(injector_->Arm(plan.value()).ok());
+  sim_.Run();
+  EXPECT_EQ(injector_->injected(), 2u);
+  EXPECT_TRUE(dfs_->name_node()->node_dead(3));
+  EXPECT_DOUBLE_EQ(cluster_->node(1)->hdfs_disk(0)->service_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace bdio::faults

@@ -1,0 +1,196 @@
+// Recovery-path tests: DataNode death, write-pipeline recovery, checksum
+// repair, and data loss when every replica is gone. The healthy-path
+// counterpart (no fault ever injected => every recovery counter stays zero)
+// rides along in each test's baseline assertions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "hdfs/hdfs.h"
+#include "sim/simulator.h"
+
+namespace bdio::hdfs {
+namespace {
+
+class HdfsFaultsTest : public ::testing::Test {
+ protected:
+  HdfsFaultsTest() { Reset(4); }
+
+  void Reset(uint32_t workers) {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = workers;
+    cp.node.memory_bytes = GiB(2);
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  /*total_slots=*/4, Rng(1));
+    HdfsParams hp;
+    hp.block_bytes = MiB(16);
+    hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
+  }
+
+  // Asserts every block of `path` has `replicas` distinct live holders,
+  // none of them `dead_node` (pass num_workers for "no constraint").
+  void ExpectFullyReplicated(const std::string& path, size_t replicas,
+                            uint32_t dead_node) {
+    auto locs = hdfs_->Locations(path);
+    ASSERT_TRUE(locs.ok()) << locs.status().ToString();
+    for (const auto& b : locs.value()) {
+      EXPECT_EQ(b.nodes.size(), replicas) << "block " << b.block_id;
+      std::set<uint32_t> distinct(b.nodes.begin(), b.nodes.end());
+      EXPECT_EQ(distinct.size(), b.nodes.size());
+      EXPECT_FALSE(distinct.contains(dead_node)) << "block " << b.block_id;
+      for (uint32_t n : b.nodes) {
+        EXPECT_TRUE(hdfs_->data_node(n)->HasBlock(b.block_id));
+      }
+    }
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<Hdfs> hdfs_;
+};
+
+TEST_F(HdfsFaultsTest, DataNodeDeathTriggersReReplication) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(64)).ok());  // 4 x 16 MiB blocks
+  EXPECT_EQ(hdfs_->rereplicated_blocks(), 0u);  // healthy: nothing to do
+
+  hdfs_->InjectDataNodeFailure(1);
+  sim_->Run();
+
+  // Every block that held a replica on node 1 re-homed it; the namespace is
+  // back at full replication on the three survivors.
+  EXPECT_GT(hdfs_->lost_replicas(), 0u);
+  EXPECT_EQ(hdfs_->rereplicated_blocks(), hdfs_->lost_replicas());
+  EXPECT_EQ(hdfs_->rereplicated_bytes(),
+            hdfs_->rereplicated_blocks() * MiB(16));
+  EXPECT_EQ(hdfs_->pending_rereplications(), 0u);
+  EXPECT_EQ(hdfs_->unrecoverable_blocks(), 0u);
+  ExpectFullyReplicated("/in", 3, /*dead_node=*/1);
+}
+
+TEST_F(HdfsFaultsTest, InjectFailureIsIdempotent) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(64)).ok());
+  hdfs_->InjectDataNodeFailure(1);
+  sim_->Run();
+  const uint64_t once = hdfs_->rereplicated_blocks();
+  hdfs_->InjectDataNodeFailure(1);  // again: replicas already struck
+  sim_->Run();
+  EXPECT_EQ(hdfs_->rereplicated_blocks(), once);
+}
+
+TEST_F(HdfsFaultsTest, WritePipelineRecoversFromMidWriteDeath) {
+  // Throttle the writer's NIC so the remote pipeline legs pace the write:
+  // page caches would otherwise absorb them near-instantly and the kill
+  // below could never catch a remote leg mid-stream. The healthy run (same
+  // seeds => same placement and timing as the faulted one) calibrates the
+  // close() time; the kill is placed strictly inside a block's transfer.
+  cluster_->network()->SetNodeLinkFactor(0, 0.1);
+  SimTime write_close = 0;  // close() time, not queue-drain time
+  hdfs_->Write("/f", MiB(128), 0, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    write_close = sim_->Now();
+  });
+  sim_->Run();
+  ASSERT_GT(write_close, 0u);
+  EXPECT_EQ(hdfs_->pipeline_recoveries(), 0u);
+
+  Reset(4);
+  cluster_->network()->SetNodeLinkFactor(0, 0.1);
+  Status result = Status::Internal("not called");
+  uint32_t victim = 0;
+  hdfs_->Write("/f", MiB(128), 0, [&](Status s) { result = s; });
+  // Mid-write, kill a remote pipeline stage of the block that is in flight
+  // right now (the last one allocated by the NameNode).
+  sim_->ScheduleAt(write_close * 7 / 16, [&] {
+    auto now_locs = hdfs_->Locations("/f");
+    ASSERT_TRUE(now_locs.ok());
+    ASSERT_GE(now_locs.value().back().nodes.size(), 2u);
+    victim = now_locs.value().back().nodes[1];
+    hdfs_->InjectDataNodeFailure(victim);
+  });
+  sim_->Run();
+
+  // The client never saw the death: dead pipeline stages were spliced out
+  // at a chunk boundary and the write completed.
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  EXPECT_GT(hdfs_->pipeline_recoveries(), 0u);
+  // After re-replication drains, every block is back at full replication on
+  // the three survivors.
+  EXPECT_EQ(hdfs_->pending_rereplications(), 0u);
+  ExpectFullyReplicated("/f", 3, victim);
+}
+
+TEST_F(HdfsFaultsTest, ReadFailsOverWhenHolderDiesMidRead) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(128)).ok());
+  // Reader on node 0 streams the whole file; node 1 (a replica holder for
+  // some blocks) dies mid-read.
+  Status result = Status::Internal("not called");
+  hdfs_->ReadAll("/in", 0, [&](Status s) { result = s; });
+  sim_->ScheduleAt(Millis(200), [&] { hdfs_->InjectDataNodeFailure(1); });
+  sim_->Run();
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  EXPECT_EQ(hdfs_->checksum_failures(), 0u);
+  ExpectFullyReplicated("/in", 3, /*dead_node=*/1);
+}
+
+TEST_F(HdfsFaultsTest, CorruptReplicaDetectedAndRepaired) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(16)).ok());  // one block
+  auto locs = hdfs_->Locations("/in");
+  ASSERT_TRUE(locs.ok());
+  ASSERT_EQ(locs.value().size(), 1u);
+  const uint32_t corrupt_holder = locs.value()[0].nodes[0];
+  ASSERT_TRUE(hdfs_->CorruptReplica("/in", 0, 0).ok());
+
+  // Local-read preference guarantees a reader on the corrupt holder is
+  // served from the rotten replica.
+  Status result = Status::Internal("not called");
+  hdfs_->ReadAll("/in", corrupt_holder, [&](Status s) { result = s; });
+  sim_->Run();
+
+  // The read still succeeded: checksum failure detected, replica struck,
+  // the range restarted on another holder, and a repair copy queued.
+  ASSERT_TRUE(result.ok()) << result.ToString();
+  EXPECT_EQ(hdfs_->checksum_failures(), 1u);
+  EXPECT_EQ(hdfs_->lost_replicas(), 1u);
+  EXPECT_EQ(hdfs_->rereplicated_blocks(), 1u);
+  // The quarantined holder is excluded from the repair target choice.
+  ExpectFullyReplicated("/in", 3, /*dead_node=*/corrupt_holder);
+
+  // Corruption was one-shot: a second full read is clean.
+  result = Status::Internal("not called");
+  hdfs_->ReadAll("/in", corrupt_holder, [&](Status s) { result = s; });
+  sim_->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(hdfs_->checksum_failures(), 1u);
+}
+
+TEST_F(HdfsFaultsTest, CorruptReplicaValidatesTarget) {
+  ASSERT_TRUE(hdfs_->Preload("/in", MiB(16)).ok());
+  EXPECT_FALSE(hdfs_->CorruptReplica("/nope", 0, 0).ok());
+  EXPECT_FALSE(hdfs_->CorruptReplica("/in", 9, 0).ok());
+  EXPECT_FALSE(hdfs_->CorruptReplica("/in", 0, 9).ok());
+}
+
+TEST_F(HdfsFaultsTest, LosingEveryReplicaIsUnrecoverable) {
+  // A single-replica file (TeraSort-output style) on node 1 only.
+  Status wrote = Status::Internal("not called");
+  hdfs_->WriteReplicated("/f", MiB(16), /*writer=*/1, /*replication=*/1,
+                         [&](Status s) { wrote = s; });
+  sim_->Run();
+  ASSERT_TRUE(wrote.ok());
+
+  hdfs_->InjectDataNodeFailure(1);
+  sim_->Run();
+  EXPECT_GE(hdfs_->unrecoverable_blocks(), 1u);
+
+  Status read = Status::OK();
+  hdfs_->ReadAll("/f", 0, [&](Status s) { read = s; });
+  sim_->Run();
+  EXPECT_FALSE(read.ok());  // data is gone and the reader is told so
+}
+
+}  // namespace
+}  // namespace bdio::hdfs

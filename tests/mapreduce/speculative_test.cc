@@ -1,0 +1,123 @@
+// Speculative-execution tests: a straggler node's maps get backup attempts
+// on spare slots, exactly one attempt per split commits, losers are killed
+// and their spills deleted, and the whole mechanism is deterministic.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+struct SpecRun {
+  JobCounters counters;
+  uint64_t launched = 0;
+  uint64_t killed = 0;
+  uint64_t wasted_bytes = 0;
+  size_t output_files = 0;
+  size_t leftover_spills = 0;  ///< MR-disk files after the sim drained.
+};
+
+// Builds a fresh 5-node stack, makes node 4 a straggler (every disk 8x
+// slower), runs one 32-split job, and reports the engine's speculation
+// totals. Fixed seeds: two calls must produce identical results.
+SpecRun RunWithStraggler(bool speculation) {
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = 5;
+  cp.node.memory_bytes = GiB(4);
+  cp.node.daemon_bytes = MiB(256);
+  cp.node.per_slot_heap_bytes = MiB(16);
+  cluster::Cluster cluster(&sim, cp, 8, Rng(1));
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, Rng(2));
+  MrEngine engine(&cluster, &dfs, SlotConfig{4, 4, "t"}, Rng(3));
+
+  cluster::Node* straggler = cluster.node(4);
+  for (uint32_t d = 0; d < straggler->num_hdfs_disks(); ++d) {
+    straggler->hdfs_disk(d)->SetServiceFactor(8.0);
+  }
+  for (uint32_t d = 0; d < straggler->num_mr_disks(); ++d) {
+    straggler->mr_disk(d)->SetServiceFactor(8.0);
+  }
+
+  // 32 splits > 16 fast-node map slots, so the scheduler must place maps on
+  // the slow node; those become the stragglers worth backing up.
+  EXPECT_TRUE(dfs.Preload("/in", GiB(2)).ok());
+  SimJobSpec spec;
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  spec.speculative_execution = speculation;
+
+  SpecRun out;
+  Status status = Status::Internal("not run");
+  engine.RunJob(spec, [&](Status s, const JobCounters& c) {
+    status = s;
+    out.counters = c;
+  });
+  sim.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  out.launched = engine.speculative_launched();
+  out.killed = engine.speculative_killed();
+  out.wasted_bytes = engine.speculative_wasted_bytes();
+  out.output_files = dfs.name_node()->List("/out/").size();
+  for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+    for (uint32_t d = 0; d < cluster.node(n)->num_mr_disks(); ++d) {
+      out.leftover_spills += cluster.node(n)->mr_fs(d)->file_count();
+    }
+  }
+  return out;
+}
+
+TEST(SpeculativeTest, BackupsRescueStragglerNode) {
+  const SpecRun r = RunWithStraggler(/*speculation=*/true);
+  // Stragglers crossed the slowdown threshold while spare slots existed.
+  EXPECT_GT(r.launched, 0u);
+  // Every backup race ends with exactly one loser killed: no node died, so
+  // each split that got a backup had both attempts run to the finish line.
+  EXPECT_EQ(r.killed, r.launched);
+  EXPECT_EQ(r.counters.maps_launched, 32 + r.launched);
+  // The losers' duplicate input reads and deleted spills are charged.
+  EXPECT_GT(r.wasted_bytes, 0u);
+  // One commit per split: the output is exactly one reduce wave, and every
+  // loser's spill files were deleted when it was killed.
+  EXPECT_EQ(r.output_files, 20u);  // 4 reduce slots x 5 nodes
+  EXPECT_EQ(r.leftover_spills, 0u);
+}
+
+TEST(SpeculativeTest, OffByDefaultLaunchesNothing) {
+  const SpecRun r = RunWithStraggler(/*speculation=*/false);
+  EXPECT_EQ(r.launched, 0u);
+  EXPECT_EQ(r.killed, 0u);
+  EXPECT_EQ(r.wasted_bytes, 0u);
+  EXPECT_EQ(r.counters.maps_launched, 32u);
+  EXPECT_EQ(r.counters.speculative_launched, 0u);
+  EXPECT_EQ(r.output_files, 20u);
+}
+
+TEST(SpeculativeTest, SpeculationHidesTheStraggler) {
+  const SpecRun off = RunWithStraggler(/*speculation=*/false);
+  const SpecRun on = RunWithStraggler(/*speculation=*/true);
+  // Backups re-run the slow node's maps on healthy nodes, so the map phase
+  // (and the job) finishes sooner — the whole point of the mechanism.
+  EXPECT_LT(on.counters.DurationSeconds(), off.counters.DurationSeconds());
+}
+
+TEST(SpeculativeTest, SpeculationIsDeterministic) {
+  const SpecRun a = RunWithStraggler(/*speculation=*/true);
+  const SpecRun b = RunWithStraggler(/*speculation=*/true);
+  EXPECT_EQ(a.launched, b.launched);
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_EQ(a.wasted_bytes, b.wasted_bytes);
+  EXPECT_EQ(a.counters.maps_launched, b.counters.maps_launched);
+  EXPECT_EQ(a.counters.hdfs_read_bytes, b.counters.hdfs_read_bytes);
+  EXPECT_EQ(a.counters.intermediate_write_bytes,
+            b.counters.intermediate_write_bytes);
+  EXPECT_EQ(a.counters.DurationSeconds(), b.counters.DurationSeconds());
+}
+
+}  // namespace
+}  // namespace bdio::mapreduce
