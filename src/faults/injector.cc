@@ -1,6 +1,8 @@
 #include "faults/injector.h"
 
+#include <limits>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -58,9 +60,38 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
           "throttle-link factor must be >= 1 (a slowdown multiplier)");
     }
   }
+  // Windowed faults don't nest: the end-of-window restore resets the
+  // target's factor to 1.0 unconditionally, so a second window on the same
+  // disk or link would be clobbered at start or cancelled at the first
+  // window's expiry. Reject such plans, including across Arm calls.
+  std::vector<Window> windows = windows_;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind != FaultKind::kDegradeDisk &&
+        e.kind != FaultKind::kThrottleLink) {
+      continue;
+    }
+    Window w;
+    w.link = e.kind == FaultKind::kThrottleLink;
+    w.node = e.node;
+    w.mr_disk = e.mr_disk;
+    w.disk = e.disk;
+    w.at = e.at;
+    w.end = e.until > e.at ? e.until
+                           : std::numeric_limits<SimTime>::max();
+    for (const Window& o : windows) {
+      if (o.SameTarget(w) && o.at <= w.end && w.at <= o.end) {
+        return Status::InvalidArgument(
+            std::string(FaultKindToString(e.kind)) +
+            ": window overlaps an earlier one on the same target (node " +
+            std::to_string(e.node) + ")");
+      }
+    }
+    windows.push_back(w);
+  }
   for (const FaultEvent& e : plan.events()) {
     cluster_->sim()->ScheduleAt(e.at, [this, e] { Fire(e); });
   }
+  windows_ = std::move(windows);
   return Status::OK();
 }
 
@@ -142,8 +173,23 @@ void FaultInjector::Note(const FaultEvent& e) {
       break;
   }
   args += "}";
+  // Instants land on the target node's row. Corrupt-replica events carry
+  // no node field — resolve the replica's holder from the NameNode, falling
+  // back to the cluster-wide row (pid 0) when the target doesn't exist.
+  uint32_t pid = e.node + 1;
+  if (e.kind == FaultKind::kCorruptReplica) {
+    pid = 0;
+    auto entry_or = hdfs_->name_node()->GetFile(e.path);
+    if (entry_or.ok()) {
+      const hdfs::FileEntry* entry = entry_or.value();
+      if (e.block_idx < entry->blocks.size() &&
+          e.replica_idx < entry->blocks[e.block_idx].nodes.size()) {
+        pid = entry->blocks[e.block_idx].nodes[e.replica_idx] + 1;
+      }
+    }
+  }
   // FaultKindToString returns views of string literals (NUL-terminated).
-  trace_->Instant(e.node + 1, "faults", FaultKindToString(e.kind).data(),
+  trace_->Instant(pid, "faults", FaultKindToString(e.kind).data(),
                   std::move(args));
 }
 

@@ -2,6 +2,7 @@
 #define BDIO_FAULTS_INJECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/status.h"
@@ -39,9 +40,13 @@ class FaultInjector {
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
 
   /// Validates `plan` against the cluster (node/disk indices in range,
-  /// factors > 0) and schedules every event. Call before sim->Run(); may be
-  /// called more than once (plans accumulate). InvalidArgument on the first
-  /// bad event; nothing is scheduled in that case.
+  /// factors > 0, no two degrade/throttle windows touching the same disk or
+  /// link — the end-of-window restore resets the factor to 1.0, so
+  /// overlapping windows would silently cancel each other) and schedules
+  /// every event. Call before sim->Run(); may be called more than once
+  /// (plans accumulate, and the overlap check spans all armed plans).
+  /// InvalidArgument on the first bad event; nothing is scheduled in that
+  /// case.
   Status Arm(const FaultPlan& plan);
 
   // Events fired so far, total and by kind. Plain fields so tests and
@@ -53,12 +58,32 @@ class FaultInjector {
   uint64_t links_throttled() const { return links_throttled_; }
 
  private:
+  /// A windowed fault's target and extent, kept for overlap validation.
+  /// `end` is inclusive (a restore at t and a start at t race on the event
+  /// queue, so touching windows are rejected too); ∞-windows (until = 0)
+  /// use the max SimTime.
+  struct Window {
+    bool link = false;  ///< Throttle-link (else degrade-disk).
+    uint32_t node = 0;
+    bool mr_disk = false;
+    uint32_t disk = 0;
+    SimTime at = 0;
+    SimTime end = 0;
+
+    bool SameTarget(const Window& o) const {
+      if (link != o.link || node != o.node) return false;
+      return link || (mr_disk == o.mr_disk && disk == o.disk);
+    }
+  };
+
   void Fire(const FaultEvent& e);
   void Note(const FaultEvent& e);  ///< Trace instant + counters.
 
   cluster::Cluster* cluster_;
   hdfs::Hdfs* hdfs_;
   mapreduce::MrEngine* engine_;  ///< May be null.
+
+  std::vector<Window> windows_;  ///< Armed degrade/throttle windows.
 
   uint64_t injected_ = 0;
   uint64_t datanodes_killed_ = 0;

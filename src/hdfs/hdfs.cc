@@ -614,9 +614,12 @@ void Hdfs::StartReplication(ReplTask task) {
       return;
     }
     ++task.deferrals;
+    ++repl_deferred_;
     cluster_->sim()->ScheduleAfter(
         params_.rereplication_retry_delay,
         [this, task = std::move(task)]() mutable {
+          BDIO_CHECK(repl_deferred_ > 0);
+          --repl_deferred_;
           repl_queue_.push_back(std::move(task));
           PumpReplication();
         });

@@ -130,8 +130,12 @@ class Hdfs {
   uint64_t pipeline_recoveries() const { return pipeline_recoveries_; }
   uint64_t read_failovers() const { return read_failovers_; }
   uint64_t checksum_failures() const { return checksum_failures_; }
+  /// Repairs not yet finished: queued, streaming, or parked in a retry
+  /// delay (a deferred task lives only in a pending ScheduleAfter closure,
+  /// so without repl_deferred_ it would vanish from this count while the
+  /// recovery is still outstanding — fooling quiescence polls).
   size_t pending_rereplications() const {
-    return repl_queue_.size() + repl_active_;
+    return repl_queue_.size() + repl_active_ + repl_deferred_;
   }
 
  private:
@@ -181,6 +185,7 @@ class Hdfs {
 
   std::deque<ReplTask> repl_queue_;
   uint32_t repl_active_ = 0;
+  uint32_t repl_deferred_ = 0;  ///< Tasks waiting out a retry delay.
   /// Planted-but-undetected corruption, keyed (block_id, holder).
   std::set<std::pair<uint64_t, uint32_t>> corrupt_;
   /// Replicas struck from the namespace whose physical block file is left

@@ -162,6 +162,7 @@ struct MrEngine::Job {
   uint32_t running_maps = 0;
   uint32_t preempt_marked = 0;  ///< Running maps marked for reclaim.
   uint32_t speculative_running = 0;  ///< Running backup attempts.
+  uint32_t spec_preempt_marked = 0;  ///< Backups among preempt_marked.
   uint64_t map_duration_ns = 0;  ///< Sum over committed maps (mean baseline).
   std::vector<std::shared_ptr<MapTask>> running_map_tasks;
   std::vector<MapOutput> map_outputs;
@@ -359,6 +360,30 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   return job->job_id;
 }
 
+uint32_t MrEngine::free_map_slot_count() const {
+  uint32_t free = 0;
+  for (uint32_t n = 0; n < cluster_->num_workers(); ++n) {
+    if (!node_dead_[n]) free += free_map_slots_[n];
+  }
+  return free;
+}
+
+uint32_t MrEngine::stale_map_attempts() const {
+  uint32_t stale = 0;
+  for (const auto& job : jobs_) {
+    for (const auto& mt : job->running_map_tasks) {
+      if (mt->epoch != node_epoch_[mt->node]) ++stale;
+    }
+  }
+  return stale;
+}
+
+uint32_t MrEngine::speculative_running() const {
+  uint32_t running = 0;
+  for (const auto& job : jobs_) running += job->speculative_running;
+  return running;
+}
+
 std::vector<sched::JobSchedState> MrEngine::SchedStates() const {
   std::vector<sched::JobSchedState> states;
   states.reserve(jobs_.size());
@@ -374,7 +399,10 @@ std::vector<sched::JobSchedState> MrEngine::SchedStates() const {
     s.running_maps = job->running_maps - job->preempt_marked;
     s.runnable_reduces = static_cast<uint32_t>(job->reduce_queue.size());
     s.running_reduces = job->running_reduces;
-    s.speculative_running = job->speculative_running;
+    // Likewise: a backup already marked for reclaim is no longer a free
+    // slot the speculative-first pass could harvest.
+    s.speculative_running = job->speculative_running -
+                            job->spec_preempt_marked;
     states.push_back(std::move(s));
   }
   return states;
@@ -517,19 +545,25 @@ void MrEngine::MaybePreemptFor(const std::shared_ptr<Job>& job) {
     if (victim == sched::Scheduler::kNoJob) return;
     BDIO_CHECK(victim < jobs_.size());
     const std::shared_ptr<Job>& vjob = jobs_[victim];
-    // Reclaim the victim's most recently launched live attempt — it has
-    // the least work to lose.
+    // Reclaim a live speculative backup when the victim holds one — it
+    // loses no unique work (the original still runs). Otherwise the most
+    // recently launched live attempt: it has the least work to lose.
     std::shared_ptr<MapTask> target;
     for (auto it = vjob->running_map_tasks.rbegin();
          it != vjob->running_map_tasks.rend(); ++it) {
-      if (!(*it)->preempted && (*it)->epoch == node_epoch_[(*it)->node]) {
+      if ((*it)->preempted || (*it)->epoch != node_epoch_[(*it)->node]) {
+        continue;
+      }
+      if ((*it)->speculative) {
         target = *it;
         break;
       }
+      if (!target) target = *it;
     }
     if (!target) return;
     target->preempted = true;
     ++vjob->preempt_marked;
+    if (target->speculative) ++vjob->spec_preempt_marked;
     ++reclaimed;
   }
 }
@@ -547,6 +581,8 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
   if (mt->speculative) {
     BDIO_CHECK(job->speculative_running > 0);
     --job->speculative_running;
+    BDIO_CHECK(job->spec_preempt_marked > 0);
+    --job->spec_preempt_marked;
   }
   auto& rmt = job->running_map_tasks;
   rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
@@ -555,8 +591,10 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
     trace_->FlowEnd(mt->flow, mt->node + 1);
   }
   // The attempt abandons: partial spills are purged, the split re-queues
-  // (unless it was only a backup, or is already committed), and the slot
-  // goes back to the pool for the policy to re-grant.
+  // (unless it is already committed, or a rival attempt still runs — a
+  // backup whose original is gone must requeue, and an original whose
+  // backup survives must not), and the slot goes back to the pool for the
+  // policy to re-grant.
   for (const RunFile& r : mt->spills) {
     BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
   }
@@ -564,7 +602,8 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
   ++free_map_slots_[mt->node];
   ++job->counters.maps_preempted;
   if (m_preempted_maps_) m_preempted_maps_->Inc();
-  if (!mt->speculative && !job->committed[mt->split_idx]) {
+  if (!job->committed[mt->split_idx] &&
+      !HasLiveAttempt(job, mt->split_idx, mt)) {
     job->started[mt->split_idx] = false;
     job->pending.push_back(mt->split_idx);
     ++job->unstarted_maps;
@@ -592,6 +631,10 @@ void MrEngine::DiscardMapAttempt(std::shared_ptr<Job> job,
     // Reclaim mark and commit race both hit this attempt; the mark lapses.
     BDIO_CHECK(job->preempt_marked > 0);
     --job->preempt_marked;
+    if (mt->speculative) {
+      BDIO_CHECK(job->spec_preempt_marked > 0);
+      --job->spec_preempt_marked;
+    }
   }
   if (mt->speculative) {
     BDIO_CHECK(job->speculative_running > 0);
@@ -995,6 +1038,10 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
     // Marked for reclaim but completed (or died) first; the mark lapses.
     BDIO_CHECK(job->preempt_marked > 0);
     --job->preempt_marked;
+    if (mt->speculative) {
+      BDIO_CHECK(job->spec_preempt_marked > 0);
+      --job->spec_preempt_marked;
+    }
   }
   if (mt->speculative) {
     BDIO_CHECK(job->speculative_running > 0);

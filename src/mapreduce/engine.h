@@ -80,6 +80,8 @@ class MrEngine {
   // metrics registry; mirrored into mr.speculative.* when one is attached.
   uint64_t speculative_launched() const { return speculative_launched_; }
   uint64_t speculative_killed() const { return speculative_killed_; }
+  /// Backup attempts currently running across all jobs.
+  uint32_t speculative_running() const;
   uint64_t speculative_wasted_bytes() const {
     return speculative_wasted_bytes_;
   }
@@ -87,6 +89,14 @@ class MrEngine {
   /// Cluster-wide tasks currently executing (for timeline sampling).
   uint32_t running_maps() const { return running_maps_; }
   uint32_t running_reduces() const { return running_reduces_; }
+
+  /// Unoccupied map slots across live nodes (test/bench introspection).
+  uint32_t free_map_slot_count() const;
+
+  /// Map attempts stranded on failed nodes whose queued I/O has not yet
+  /// drained (their completions will be discarded). Test/bench
+  /// introspection.
+  uint32_t stale_map_attempts() const;
 
   /// Jobs submitted but not yet finished.
   uint32_t active_jobs() const { return static_cast<uint32_t>(jobs_.size()); }

@@ -119,6 +119,49 @@ TEST_F(InjectorTest, ThrottleLinkAppliesAndRestores) {
   EXPECT_EQ(injector_->links_throttled(), 1u);
 }
 
+TEST_F(InjectorTest, RejectsOverlappingWindowsOnOneTarget) {
+  // The end-of-window restore resets the factor unconditionally, so a
+  // second window overlapping the first on the same disk or link would be
+  // clobbered at start or cancelled at the first window's expiry.
+  const size_t pending_before = sim_.pending();
+  Status s = injector_->Arm(
+      FaultPlan{}
+          .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, Seconds(1), Seconds(3))
+          .DegradeDisk(1, /*mr_disk=*/false, 0, 2.0, Seconds(2), Seconds(4)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(sim_.pending(), pending_before);  // all-or-nothing
+
+  // An open-ended window (until = 0) extends forever: any later window on
+  // the same link overlaps it — including across separate Arm calls.
+  ASSERT_TRUE(
+      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, Seconds(1), 0)).ok());
+  s = injector_->Arm(FaultPlan{}.ThrottleLink(2, 2.0, Seconds(9),
+                                              Seconds(10)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(InjectorTest, DisjointWindowsPerTargetAreAccepted) {
+  // Same disk, non-touching windows; same window span on a different disk
+  // and a different node; and a link window — all legal in one plan.
+  ASSERT_TRUE(
+      injector_
+          ->Arm(FaultPlan{}
+                    .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, Seconds(1),
+                                 Seconds(2))
+                    .DegradeDisk(1, /*mr_disk=*/false, 0, 2.0,
+                                 Seconds(2) + 1, Seconds(3))
+                    .DegradeDisk(1, /*mr_disk=*/true, 0, 4.0, Seconds(1),
+                                 Seconds(2))
+                    .DegradeDisk(2, /*mr_disk=*/false, 0, 4.0, Seconds(1),
+                                 Seconds(2))
+                    .ThrottleLink(1, 4.0, Seconds(1), Seconds(2)))
+          .ok());
+  sim_.Run();
+  EXPECT_EQ(injector_->disks_degraded(), 4u);
+  EXPECT_EQ(injector_->links_throttled(), 1u);
+  EXPECT_DOUBLE_EQ(cluster_->node(1)->hdfs_disk(0)->service_factor(), 1.0);
+}
+
 TEST_F(InjectorTest, KillDrivesBothFailureDomains) {
   ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
   ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(2, Millis(10))).ok());

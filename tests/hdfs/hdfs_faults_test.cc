@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "common/random.h"
@@ -111,7 +112,29 @@ TEST_F(HdfsFaultsTest, WritePipelineRecoversFromMidWriteDeath) {
     victim = now_locs.value().back().nodes[1];
     hdfs_->InjectDataNodeFailure(victim);
   });
+  // pending_rereplications() must not report a false quiescence: repairs of
+  // the in-flight block defer (source replica still being written) and park
+  // in a retry delay, but remain counted as pending. Sample it finely and
+  // flag any 0 -> nonzero bounce after recovery started.
+  enum class Phase { kIdle, kActive, kQuiet };
+  Phase phase = Phase::kIdle;
+  bool bounced = false;
+  const SimTime horizon = write_close * 3;
+  std::function<void()> poll = [&] {
+    const size_t p = hdfs_->pending_rereplications();
+    if (p > 0) {
+      if (phase == Phase::kQuiet) bounced = true;
+      phase = Phase::kActive;
+    } else if (phase == Phase::kActive) {
+      phase = Phase::kQuiet;
+    }
+    if (sim_->Now() < horizon) sim_->ScheduleAfter(Millis(5), poll);
+  };
+  sim_->ScheduleAfter(Millis(5), poll);
   sim_->Run();
+  EXPECT_EQ(phase, Phase::kQuiet);  // recovery ran, then truly drained
+  EXPECT_FALSE(bounced) << "pending_rereplications dropped to 0 while a "
+                           "deferred repair was still outstanding";
 
   // The client never saw the death: dead pipeline stages were spliced out
   // at a chunk boundary and the write completed.

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "cluster/cluster.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/engine.h"
+#include "sched/scheduler.h"
 #include "sim/simulator.h"
 
 namespace bdio::mapreduce {
@@ -104,6 +107,125 @@ TEST(SpeculativeTest, SpeculationHidesTheStraggler) {
   // Backups re-run the slow node's maps on healthy nodes, so the map phase
   // (and the job) finishes sooner — the whole point of the mechanism.
   EXPECT_LT(on.counters.DurationSeconds(), off.counters.DurationSeconds());
+}
+
+// Regression: a split must re-queue when its backup is preempted after the
+// original attempt is already gone. Sequence: node 4's maps straggle and
+// one gets a backup; node 4 then dies, and once the dead originals' queued
+// I/O has fully drained (the backed-up split's stale completion skipped
+// re-queueing because the backup was alive — the split's only attempt is
+// now the backup), a second job is admitted with no free slot anywhere, so
+// its fair-preempt reclamation marks the backup. If OnMapPreempted then
+// drops the split because the attempt was "only a backup", no attempt and
+// no pending entry remain and the job can never finish.
+TEST(SpeculativeTest, PreemptedBackupRequeuesAfterOriginalDied) {
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = 5;
+  cp.node.memory_bytes = GiB(4);
+  cp.node.daemon_bytes = MiB(256);
+  cp.node.per_slot_heap_bytes = MiB(16);
+  cluster::Cluster cluster(&sim, cp, 8, Rng(1));
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, Rng(2));
+  MrEngine engine(&cluster, &dfs, SlotConfig{4, 4, "t"}, Rng(3));
+  sched::FairSchedulerOptions options;
+  options.preempt_speculative = true;
+  sched::FairScheduler fair(options);
+  engine.SetScheduler(&fair);
+
+  cluster::Node* straggler = cluster.node(4);
+  for (uint32_t d = 0; d < straggler->num_hdfs_disks(); ++d) {
+    straggler->hdfs_disk(d)->SetServiceFactor(8.0);
+  }
+  for (uint32_t d = 0; d < straggler->num_mr_disks(); ++d) {
+    straggler->mr_disk(d)->SetServiceFactor(8.0);
+  }
+
+  ASSERT_TRUE(dfs.Preload("/inA", GiB(2)).ok());
+  ASSERT_TRUE(dfs.Preload("/inB", MiB(128)).ok());
+  ASSERT_TRUE(dfs.Preload("/inC", GiB(2)).ok());
+  SimJobSpec a;
+  a.name = "A";
+  a.input_path = "/inA";
+  a.output_path = "/outA";
+  a.speculative_execution = true;
+  // Only the 8x-slow node-4 originals may cross the backup threshold:
+  // post-kill re-executions on healthy nodes must never earn backups of
+  // their own, so every backup alive in phase 2 is its split's only
+  // attempt (the scenario under test).
+  a.speculative_slowdown = 5.0;
+  SimJobSpec b;
+  b.name = "B";
+  b.input_path = "/inB";
+  b.output_path = "/outB";
+
+  Status sa = Status::Internal("not run"), sb = sa, sc = sa;
+  JobCounters ca, cb;
+  engine.SubmitJob(a,
+                   [&](Status s, const JobCounters& c) {
+                     sa = s;
+                     ca = c;
+                   },
+                   "poolA");
+
+  // Phase 1: as soon as a backup attempt is live, kill node 4 — every
+  // straggling original goes stale (it runs on, but its result will be
+  // discarded on completion). Its disks return to full speed so the dead
+  // originals — already most of the way through their splits — finish
+  // before the fresh backups do.
+  // Phase 2: once every stale original has drained (each skipped
+  // re-queueing its split because the backup was alive, so the backups are
+  // now the splits' only attempts) and backups still run, saturate the
+  // free slots with filler job C, then admit B: it finds no free slot, and
+  // its fair-preempt reclamation marks a backup.
+  bool killed = false, submitted = false;
+  std::function<void()> poll = [&] {
+    if (submitted || !sa.IsInternal()) return;
+    if (!killed && engine.speculative_launched() > 0) {
+      killed = true;
+      engine.InjectNodeFailure(4);
+      for (uint32_t d = 0; d < straggler->num_hdfs_disks(); ++d) {
+        straggler->hdfs_disk(d)->SetServiceFactor(1.0);
+      }
+      for (uint32_t d = 0; d < straggler->num_mr_disks(); ++d) {
+        straggler->mr_disk(d)->SetServiceFactor(1.0);
+      }
+    } else if (killed && engine.stale_map_attempts() == 0 &&
+               engine.speculative_running() > 0) {
+      submitted = true;
+      SimJobSpec c;
+      c.name = "C";
+      c.input_path = "/inC";
+      c.output_path = "/outC";
+      engine.SubmitJob(c, [&](Status s, const JobCounters&) { sc = s; },
+                       "poolC");
+      EXPECT_EQ(engine.free_map_slot_count(), 0u);  // C saturated the slots
+      EXPECT_GT(engine.speculative_running(), 0u);
+      engine.SubmitJob(b,
+                       [&](Status s, const JobCounters& c2) {
+                         sb = s;
+                         cb = c2;
+                       },
+                       "poolB");
+      return;
+    }
+    sim.ScheduleAfter(Millis(1), poll);
+  };
+  sim.ScheduleAfter(Millis(1), poll);
+  sim.Run();
+
+  ASSERT_TRUE(killed && submitted) << "trigger state never reached";
+  // Liveness is the regression: every job drains to completion.
+  ASSERT_TRUE(sa.ok()) << sa.ToString();
+  ASSERT_TRUE(sb.ok()) << sb.ToString();
+  ASSERT_TRUE(sc.ok()) << sc.ToString();
+  // B's admission found no free slot, so it preempted A (the live backup
+  // first under fair-preempt's speculative pass).
+  EXPECT_GT(ca.maps_preempted, 0u);
+  EXPECT_EQ(cb.maps_preempted, 0u);
+  // All of A's output eventually materialized despite the node loss.
+  EXPECT_FALSE(dfs.name_node()->List("/outA/").empty());
+  EXPECT_FALSE(dfs.name_node()->List("/outB/").empty());
 }
 
 TEST(SpeculativeTest, SpeculationIsDeterministic) {
