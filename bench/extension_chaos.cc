@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/figure_common.h"
+#include "check/invariants.h"
 #include "cluster/cluster.h"
 #include "common/table.h"
 #include "core/runner/thread_pool.h"
@@ -95,6 +96,11 @@ CellResult RunCell(const core::BenchOptions& options,
     engine.AttachObs(trace.get(), metrics.get());
     if (injector) injector->AttachObs(trace.get(), metrics.get());
   }
+
+  // BDIO_CHECK_INVARIANTS=1 audits every layer as the chaos runs; checks
+  // are read-only so the figure stays byte-identical either way.
+  const auto checker = invariants::MaybeAttachFromEnv(
+      &sim, &cluster, &dfs, &engine, metrics.get());
 
   mapreduce::SimJobSpec spec = workload.jobs[0].spec;
   spec.output_path += "-" + scenario.label;

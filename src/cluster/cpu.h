@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "common/units.h"
 #include "sim/simulator.h"
@@ -36,7 +36,7 @@ class CpuScheduler {
 
  private:
   struct Job {
-    double remaining;  ///< Single-core seconds of work left.
+    double remaining = 0;  ///< Single-core seconds of work left.
     std::function<void()> cb;
   };
 
@@ -46,7 +46,9 @@ class CpuScheduler {
 
   sim::Simulator* sim_;
   uint32_t cores_;
-  std::unordered_map<uint64_t, Job> jobs_;
+  /// Ordered by job id: Reschedule retires completion callbacks in
+  /// iteration order, which feeds the event queue (rule R1).
+  std::map<uint64_t, Job> jobs_;
   uint64_t next_id_ = 1;
   uint64_t generation_ = 0;
   SimTime last_advance_ = 0;

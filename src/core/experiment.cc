@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "check/invariants.h"
 #include "cluster/cluster.h"
 #include "common/io_tag.h"
 #include "common/logging.h"
@@ -125,6 +126,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   cluster.AttachObs(tr, metrics.get());
   dfs.AttachObs(tr, metrics.get());
   engine.AttachObs(tr, metrics.get());
+
+  // Debug-mode invariant auditing (BDIO_CHECK_INVARIANTS=1): read-only, so
+  // a checked run stays byte-identical to an unchecked one.
+  const auto checker = invariants::MaybeAttachFromEnv(
+      &sim, &cluster, &dfs, &engine, metrics.get());
 
   // CPU + task-concurrency sampler: per interval, the fraction of all cores
   // in use and the executing task counts. Stops rescheduling once the

@@ -34,6 +34,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+std::string ThreadPool::AuditPending() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(workers_.size());
+  for (auto& w : workers_) locks.emplace_back(w->mu);
+  uint64_t queued = 0;
+  for (auto& w : workers_) queued += w->tasks.size();
+  const uint64_t counted = pending_.load();
+  if (queued != counted) {
+    return "threadpool: pending counter " + std::to_string(counted) +
+           " but deques hold " + std::to_string(queued) + " tasks";
+  }
+  return {};
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   const unsigned target = next_.fetch_add(1) % workers_.size();
   {

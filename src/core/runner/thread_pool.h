@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -45,6 +46,16 @@ class ThreadPool {
 
   /// Enqueues a fire-and-forget task.
   void Submit(std::function<void()> task);
+
+  /// Queued-but-unclaimed tasks (racy snapshot).
+  uint64_t pending_tasks() const { return pending_.load(); }
+
+  /// Debug audit (bdio::invariants): locks every worker deque and compares
+  /// the pending-task counter against a recount. Only meaningful at a
+  /// quiescent point — no concurrent Submit and no task between claim and
+  /// counter decrement (e.g. after every outstanding future has resolved).
+  /// Returns "" when consistent.
+  std::string AuditPending();
 
   /// Enqueues a task and returns a future for its result; exceptions
   /// propagate through the future.

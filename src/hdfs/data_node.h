@@ -2,8 +2,8 @@
 #define BDIO_HDFS_DATA_NODE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "cluster/node.h"
 #include "common/io_tag.h"
@@ -42,15 +42,17 @@ class DataNode {
 
  private:
   struct Stored {
-    os::FileSystem* fs;
-    os::File* file;
+    os::FileSystem* fs = nullptr;
+    os::File* file = nullptr;
   };
   static std::string BlockFileName(uint64_t block_id) {
     return "blk_" + std::to_string(block_id);
   }
 
   cluster::Node* node_;
-  std::unordered_map<uint64_t, Stored> blocks_;
+  /// Ordered by block id so block-report-style scans are deterministic
+  /// (rule R1).
+  std::map<uint64_t, Stored> blocks_;
 };
 
 }  // namespace bdio::hdfs

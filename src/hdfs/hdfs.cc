@@ -57,9 +57,9 @@ obs::Counter* Hdfs::PipelineStageCounter(size_t stage) {
 
 struct Hdfs::WriteOp {
   std::string path;
-  uint64_t total_bytes;
-  uint32_t writer;
-  uint32_t replication;
+  uint64_t total_bytes = 0;
+  uint32_t writer = 0;
+  uint32_t replication = 0;
   DoneCallback done;
   uint64_t written = 0;  ///< Bytes of completed blocks.
   uint64_t flow = 0;     ///< Caller's trace flow, carried into every block.
@@ -67,17 +67,17 @@ struct Hdfs::WriteOp {
 
 /// State of one replica leg of a block-write pipeline.
 struct Hdfs::ReplicaStream {
-  os::FileSystem* fs;
-  os::File* file;
+  os::FileSystem* fs = nullptr;
+  os::File* file = nullptr;
   std::string path;
-  uint64_t block_id;
-  uint32_t holder;
-  uint32_t upstream;
-  uint32_t writer;                 ///< Client; recovery source of last resort.
+  uint64_t block_id = 0;
+  uint32_t holder = 0;
+  uint32_t upstream = 0;
+  uint32_t writer = 0;             ///< Client; recovery source of last resort.
   std::vector<uint32_t> pipeline;  ///< Full replica chain of this block.
-  size_t replica_idx;              ///< This leg's position in the chain.
-  bool local;
-  uint64_t block_bytes;
+  size_t replica_idx = 0;          ///< This leg's position in the chain.
+  bool local = false;
+  uint64_t block_bytes = 0;
   std::function<void()> done;
   obs::Counter* stage_bytes = nullptr;  ///< Pipeline-stage byte counter.
   uint64_t flow = 0;
@@ -85,14 +85,14 @@ struct Hdfs::ReplicaStream {
 
 /// State of one block's streaming read.
 struct Hdfs::BlockReadStream {
-  os::FileSystem* fs;
-  os::File* file;
-  uint32_t holder;
-  bool remote;
+  os::FileSystem* fs = nullptr;
+  os::File* file = nullptr;
+  uint32_t holder = 0;
+  bool remote = false;
   bool corrupt = false;  ///< Holder's replica fails its checksum.
   uint64_t block_id = 0;
   size_t block_idx = 0;  ///< Index into ReadOp::blocks.
-  uint64_t in_end;
+  uint64_t in_end = 0;
   uint64_t span = 0;  ///< block-read span, ended when the stream finishes.
 };
 
@@ -259,12 +259,12 @@ void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
 
 struct Hdfs::ReadOp {
   std::string path;
-  uint32_t reader;
+  uint32_t reader = 0;
   DoneCallback done;
   std::vector<BlockLocation> blocks;
   std::vector<uint64_t> block_offsets;  ///< Start offset of each block.
-  uint64_t begin;                       ///< Remaining range to read.
-  uint64_t end;
+  uint64_t begin = 0;                   ///< Remaining range to read.
+  uint64_t end = 0;
   size_t next_block = 0;
   uint64_t flow = 0;  ///< Caller's trace flow, carried into every block.
 };
@@ -554,14 +554,14 @@ void Hdfs::PumpReplication() {
 /// writes a real recovering cluster pays).
 struct Hdfs::ReplStream {
   std::string path;
-  uint64_t block_id;
-  uint32_t src;
-  uint32_t dst;
-  os::FileSystem* src_fs;
-  os::File* src_file;
-  os::FileSystem* dst_fs;
-  os::File* dst_file;
-  uint64_t bytes;
+  uint64_t block_id = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  os::FileSystem* src_fs = nullptr;
+  os::File* src_file = nullptr;
+  os::FileSystem* dst_fs = nullptr;
+  os::File* dst_file = nullptr;
+  uint64_t bytes = 0;
   uint64_t pos = 0;
   uint64_t span = 0;
 };
@@ -715,6 +715,47 @@ void Hdfs::FinishReplication(std::shared_ptr<ReplStream> st, bool success) {
     EnqueueReplication(st->path, st->block_id);
   }
   PumpReplication();
+}
+
+std::string Hdfs::AuditInvariants() const {
+  if (repl_active_ > params_.max_rereplication_streams) {
+    return "hdfs: repl_active_=" + std::to_string(repl_active_) +
+           " exceeds max_rereplication_streams=" +
+           std::to_string(params_.max_rereplication_streams);
+  }
+  const uint32_t num_nodes = static_cast<uint32_t>(data_nodes_.size());
+  for (const FileEntry* file : name_node_->List("")) {
+    for (const BlockLocation& b : file->blocks) {
+      const uint32_t target =
+          b.replication > 0 ? b.replication : name_node_->replication();
+      if (b.nodes.size() > target) {
+        return "hdfs: block " + std::to_string(b.block_id) + " of " +
+               file->path + " has " + std::to_string(b.nodes.size()) +
+               " replicas, target " + std::to_string(target);
+      }
+      std::set<uint32_t> seen;
+      for (uint32_t n : b.nodes) {
+        if (n >= num_nodes) {
+          return "hdfs: block " + std::to_string(b.block_id) +
+                 " references node " + std::to_string(n) + " of " +
+                 std::to_string(num_nodes);
+        }
+        if (name_node_->node_dead(n)) {
+          return "hdfs: block " + std::to_string(b.block_id) +
+                 " still lists dead node " + std::to_string(n);
+        }
+        if (!seen.insert(n).second) {
+          return "hdfs: block " + std::to_string(b.block_id) +
+                 " lists node " + std::to_string(n) + " twice";
+        }
+        if (quarantined_.contains({b.block_id, n})) {
+          return "hdfs: block " + std::to_string(b.block_id) +
+                 " lists quarantined replica on node " + std::to_string(n);
+        }
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace bdio::hdfs

@@ -138,6 +138,12 @@ class Hdfs {
     return repl_queue_.size() + repl_active_ + repl_deferred_;
   }
 
+  /// Cross-checks the namespace (bdio::invariants): every block's replica
+  /// holders are distinct live in-range nodes, none quarantined, replica
+  /// count within [0, replication target], and active re-replication
+  /// streams within their cap. Returns "" when every invariant holds.
+  std::string AuditInvariants() const;
+
  private:
   struct WriteOp;
   struct ReadOp;
@@ -163,7 +169,7 @@ class Hdfs {
   // params_.max_rereplication_streams concurrent copy streams.
   struct ReplTask {
     std::string path;
-    uint64_t block_id;
+    uint64_t block_id = 0;
     /// Attempts deferred because the only intact source was still being
     /// written; bounded so a block whose writer died (and whose surviving
     /// copies will never complete) is declared unrecoverable instead of

@@ -114,7 +114,7 @@ class Monitor {
 
  private:
   struct Tracked {
-    storage::BlockDevice* device;
+    storage::BlockDevice* device = nullptr;
     std::string group;
     storage::DiskStatsSnapshot prev;
     std::vector<Sample> samples;

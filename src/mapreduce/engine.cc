@@ -21,11 +21,11 @@ constexpr uint64_t kTaskChunk = MiB(1);
 constexpr uint64_t kShuffleChunk = KiB(64);
 
 struct StreamState {
-  os::FileSystem* fs;
-  os::File* file;
-  uint64_t offset;
-  uint64_t total;
-  uint64_t chunk;
+  os::FileSystem* fs = nullptr;
+  os::File* file = nullptr;
+  uint64_t offset = 0;
+  uint64_t total = 0;
+  uint64_t chunk = 0;
   uint64_t pos = 0;
   std::function<void()> cb;
   obs::TraceSession* trace = nullptr;
@@ -1402,6 +1402,83 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
   cluster_->sim()->ScheduleAfter(
       0, [job] { job->done(Status::OK(), job->counters); });
+}
+
+std::string MrEngine::AuditInvariants() const {
+  uint32_t maps = 0;
+  uint32_t reduces = 0;
+  // Per-node occupied slots (current-epoch attempts only; attempts stranded
+  // on a dead node hold no slot — the failure zeroed its pool).
+  std::vector<uint32_t> map_busy(free_map_slots_.size(), 0);
+  std::vector<uint32_t> reduce_busy(free_reduce_slots_.size(), 0);
+  for (const auto& job : jobs_) {
+    maps += job->running_maps;
+    reduces += job->running_reduces;
+    if (job->running_map_tasks.size() != job->running_maps) {
+      return "mr: job " + std::to_string(job->job_id) + " running_maps=" +
+             std::to_string(job->running_maps) + " but attempt list holds " +
+             std::to_string(job->running_map_tasks.size());
+    }
+    uint32_t spec = 0;
+    uint32_t marked = 0;
+    uint32_t spec_marked = 0;
+    for (const auto& mt : job->running_map_tasks) {
+      if (mt->speculative) ++spec;
+      if (mt->preempted) ++marked;
+      if (mt->preempted && mt->speculative) ++spec_marked;
+      if (mt->epoch == node_epoch_[mt->node]) ++map_busy[mt->node];
+    }
+    if (spec != job->speculative_running || marked != job->preempt_marked ||
+        spec_marked != job->spec_preempt_marked) {
+      return "mr: job " + std::to_string(job->job_id) +
+             " speculative/preempt counters disagree with attempt flags";
+    }
+    uint32_t unstarted = 0;
+    for (const bool started : job->started) {
+      if (!started) ++unstarted;
+    }
+    if (unstarted != job->unstarted_maps) {
+      return "mr: job " + std::to_string(job->job_id) + " unstarted_maps=" +
+             std::to_string(job->unstarted_maps) + " but " +
+             std::to_string(unstarted) + " splits are unstarted";
+    }
+    uint32_t running_red = 0;
+    for (const auto& rt : job->reducers) {
+      if (!rt->done && !rt->dead) {
+        ++running_red;
+        if (!node_dead_[rt->node]) ++reduce_busy[rt->node];
+      }
+    }
+    if (running_red != job->running_reduces) {
+      return "mr: job " + std::to_string(job->job_id) + " running_reduces=" +
+             std::to_string(job->running_reduces) + " but " +
+             std::to_string(running_red) + " reducers are live";
+    }
+  }
+  if (maps != running_maps_) {
+    return "mr: running_maps_=" + std::to_string(running_maps_) +
+           " but per-job counts sum to " + std::to_string(maps);
+  }
+  if (reduces != running_reduces_) {
+    return "mr: running_reduces_=" + std::to_string(running_reduces_) +
+           " but per-job counts sum to " + std::to_string(reduces);
+  }
+  for (size_t n = 0; n < free_map_slots_.size(); ++n) {
+    if (node_dead_[n]) continue;
+    if (free_map_slots_[n] + map_busy[n] != slots_.map_slots) {
+      return "mr: node " + std::to_string(n) + " map slots leak: free=" +
+             std::to_string(free_map_slots_[n]) + " busy=" +
+             std::to_string(map_busy[n]) + " configured=" +
+             std::to_string(slots_.map_slots);
+    }
+    if (free_reduce_slots_[n] + reduce_busy[n] != slots_.reduce_slots) {
+      return "mr: node " + std::to_string(n) + " reduce slots leak: free=" +
+             std::to_string(free_reduce_slots_[n]) + " busy=" +
+             std::to_string(reduce_busy[n]) + " configured=" +
+             std::to_string(slots_.reduce_slots);
+    }
+  }
+  return {};
 }
 
 }  // namespace bdio::mapreduce

@@ -103,6 +103,13 @@ class MrEngine {
 
   const SlotConfig& slots() const { return slots_; }
 
+  /// Cross-checks the JobTracker's bookkeeping (bdio::invariants): global
+  /// running-task counters vs per-job recounts, per-job counters vs the
+  /// live attempt lists, per-node slot conservation (free + occupied ==
+  /// configured) on live nodes, and split-queue accounting. Returns ""
+  /// when every invariant holds.
+  std::string AuditInvariants() const;
+
   /// Attaches observability sinks (either may be null): tasks and MR phases
   /// (spill, merge pass, shuffle fetch) become spans, each task/fetch opens
   /// a trace flow carried down into the filesystem and network layers, and

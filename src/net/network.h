@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/units.h"
@@ -64,10 +64,10 @@ class Network {
 
  private:
   struct Flow {
-    uint32_t src;
-    uint32_t dst;
-    double remaining;  ///< Bytes left.
-    double rate = 0;   ///< Bytes/sec under the current allocation.
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    double remaining = 0;  ///< Bytes left.
+    double rate = 0;       ///< Bytes/sec under the current allocation.
     std::function<void()> cb;
   };
 
@@ -83,7 +83,10 @@ class Network {
   /// Per-node capacity factors; empty until a throttle is installed so the
   /// healthy path stays allocation-free and bit-exact.
   std::vector<double> link_factor_;
-  std::unordered_map<uint64_t, Flow> flows_;
+  /// Ordered by flow id: Reschedule retires completion callbacks in
+  /// iteration order and ComputeRates accumulates doubles over it, so
+  /// iteration order must be a pure function of the flow history (rule R1).
+  std::map<uint64_t, Flow> flows_;
   uint64_t next_flow_id_ = 1;
   uint64_t generation_ = 0;  ///< Invalidates stale completion events.
   SimTime last_advance_ = 0;

@@ -103,7 +103,7 @@ class MetricsRegistry {
   struct Entry {
     std::string name;
     Labels labels;
-    Kind kind;
+    Kind kind = Kind::kCounter;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

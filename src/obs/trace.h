@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -78,25 +77,27 @@ class TraceSession {
 
  private:
   struct Event {
-    char ph;
-    uint32_t pid;
-    const char* cat;
-    const char* name;
-    SimTime ts;
-    uint64_t id;  ///< Span/flow id; 0 = none.
+    char ph = 0;
+    uint32_t pid = 0;
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    SimTime ts = 0;
+    uint64_t id = 0;  ///< Span/flow id; 0 = none.
     std::string args;
   };
   struct OpenSpan {
-    const char* cat;
-    const char* name;
-    uint32_t pid;
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    uint32_t pid = 0;
   };
 
   void FlowEvent(char ph, uint64_t flow, uint32_t pid);
 
   const sim::Simulator* sim_;
   std::vector<Event> events_;
-  std::unordered_map<uint64_t, OpenSpan> open_spans_;
+  /// Ordered (rule R1): point lookups only today, but span ids key event
+  /// emission, so any future scan must not adopt hash order.
+  std::map<uint64_t, OpenSpan> open_spans_;
   std::map<uint32_t, std::string> process_names_;
   uint64_t next_id_ = 1;
   std::vector<uint64_t> flow_stack_;

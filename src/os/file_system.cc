@@ -92,7 +92,7 @@ Result<uint64_t> FileSystem::AllocateExtent() {
     }
     uint64_t slot = scatter_rng_.Uniform(total_slots);
     while (used_slots_.contains(slot)) slot = (slot + 1) % total_slots;
-    used_slots_.emplace(slot, true);
+    used_slots_.insert(slot);
     used_bytes_ += params_.extent_bytes;
     return slot * extent_sectors;
   }

@@ -5,8 +5,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -126,11 +126,13 @@ class FileSystem {
   PageCache* cache_;
   FileSystemParams params_;
   Rng scatter_rng_;
-  std::unordered_map<std::string, std::unique_ptr<File>> files_;
+  /// Ordered by name so any future directory-scan stays deterministic
+  /// (rule R1: no hash-order iteration on the I/O attribution path).
+  std::map<std::string, std::unique_ptr<File>> files_;
   /// Free extents by start sector.
   std::map<uint64_t, uint64_t> free_extents_;
   /// Extent slots in use (scatter mode).
-  std::unordered_map<uint64_t, bool> used_slots_;
+  std::set<uint64_t> used_slots_;
   uint64_t next_sector_ = 0;
   uint64_t used_bytes_ = 0;
 };

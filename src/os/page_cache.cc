@@ -686,4 +686,84 @@ void PageCache::Drop(uint64_t file_id) {
   DrainThrottled();
 }
 
+// ---------------------------------------------------------------------------
+// Invariant audit (bdio::invariants)
+// ---------------------------------------------------------------------------
+
+std::string PageCache::AuditInvariants() const {
+  uint64_t dirty = 0;
+  uint64_t clean = 0;
+  std::map<uint64_t, uint64_t> wb_per_file;  // file id -> in-writeback units
+  for (const auto& [key, unit] : units_) {
+    switch (unit.state) {
+      case UnitState::kDirty:
+        ++dirty;
+        break;
+      case UnitState::kClean:
+        ++clean;
+        break;
+      case UnitState::kWriteback:
+      case UnitState::kWritebackRedirty:
+        ++wb_per_file[key >> 28];
+        break;
+      case UnitState::kReading:
+        break;
+    }
+  }
+  if (dirty != dirty_units_) {
+    return "pagecache: dirty_units_=" + std::to_string(dirty_units_) +
+           " but " + std::to_string(dirty) + " units are in state kDirty";
+  }
+  if (clean != lru_.size()) {
+    return "pagecache: " + std::to_string(clean) +
+           " clean units but LRU list holds " + std::to_string(lru_.size());
+  }
+  for (uint64_t key : lru_) {
+    auto it = units_.find(key);
+    if (it == units_.end()) {
+      return "pagecache: LRU references evicted unit " + std::to_string(key);
+    }
+    if (it->second.state != UnitState::kClean) {
+      return "pagecache: LRU references non-clean unit " + std::to_string(key);
+    }
+  }
+  uint64_t per_file_dirty = 0;
+  uint64_t per_file_wb = 0;
+  for (const auto& [fid, fs] : files_) {
+    per_file_dirty += fs.dirty.size();
+    per_file_wb += fs.writeback_units;
+    const auto wit = wb_per_file.find(fid);
+    const uint64_t in_wb = wit == wb_per_file.end() ? 0 : wit->second;
+    // Dropped files release their units at bio completion, so the unit
+    // recount may run behind the per-file counter between Drop and the
+    // completion event; equality is only required for live files.
+    if (!fs.dropped && fs.writeback_units != in_wb) {
+      return "pagecache: file " + std::to_string(fid) + " writeback_units=" +
+             std::to_string(fs.writeback_units) + " but " +
+             std::to_string(in_wb) + " units are in writeback states";
+    }
+  }
+  if (per_file_dirty != dirty_units_) {
+    return "pagecache: per-file dirty maps hold " +
+           std::to_string(per_file_dirty) + " units, dirty_units_=" +
+           std::to_string(dirty_units_);
+  }
+  if (writeback_inflight_ > params_.max_writeback_inflight) {
+    return "pagecache: writeback_inflight_=" +
+           std::to_string(writeback_inflight_) + " exceeds cap " +
+           std::to_string(params_.max_writeback_inflight);
+  }
+  if ((per_file_wb == 0) != (writeback_inflight_ == 0)) {
+    return "pagecache: writeback_inflight_=" +
+           std::to_string(writeback_inflight_) + " inconsistent with " +
+           std::to_string(per_file_wb) + " units in writeback";
+  }
+  if (cached_bytes() > params_.capacity_bytes && !lru_.empty()) {
+    return "pagecache: cached_bytes=" + std::to_string(cached_bytes()) +
+           " over capacity " + std::to_string(params_.capacity_bytes) +
+           " with evictable units available";
+  }
+  return {};
+}
+
 }  // namespace bdio::os

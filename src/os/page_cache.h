@@ -6,7 +6,7 @@
 #include <functional>
 #include <list>
 #include <map>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "common/io_tag.h"
@@ -125,6 +125,14 @@ class PageCache {
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics,
                  uint32_t trace_pid);
 
+  /// Cross-checks the cache's internal accounting (bdio::invariants):
+  /// dirty_units_ vs a recount over units_, per-file dirty/writeback
+  /// bookkeeping vs unit states, the LRU list vs clean-unit states,
+  /// writeback_inflight_ vs its cap, and capacity vs eviction progress.
+  /// Returns an empty string when every invariant holds, else a
+  /// description of the first violation.
+  std::string AuditInvariants() const;
+
  private:
   enum class UnitState : uint8_t {
     kClean,
@@ -158,9 +166,9 @@ class PageCache {
   };
 
   struct PendingWrite {
-    CachedFile* file;
-    uint64_t offset;
-    uint64_t len;
+    CachedFile* file = nullptr;
+    uint64_t offset = 0;
+    uint64_t len = 0;
     std::function<void()> cb;
   };
 
@@ -196,10 +204,14 @@ class PageCache {
   PageCacheParams params_;
   PageCacheStats stats_;
 
-  std::unordered_map<uint64_t, Unit> units_;
+  // Ordered containers: writeback selection iterates files_ and Drop walks
+  // units_ scheduling waiter callbacks, so iteration order feeds the event
+  // queue — unordered maps would leak hash-iteration order into event order
+  // (docs/STATIC_ANALYSIS.md, rule R1).
+  std::map<uint64_t, Unit> units_;
   std::list<uint64_t> lru_;  ///< Clean units, LRU order (front = coldest).
-  std::unordered_map<uint64_t, FileState> files_;
-  std::unordered_map<uint64_t, ReadaheadState> readahead_;
+  std::map<uint64_t, FileState> files_;
+  std::map<uint64_t, ReadaheadState> readahead_;
 
   uint64_t dirty_units_ = 0;
   uint64_t writeback_inflight_ = 0;

@@ -21,6 +21,7 @@ bool Simulator::Step() {
   now_ = ev.time;
   ++events_processed_;
   ev.fn();
+  if (post_event_hook_) post_event_hook_();
   return true;
 }
 

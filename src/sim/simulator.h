@@ -44,10 +44,18 @@ class Simulator {
   size_t pending() const { return queue_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Installs a hook called after every event callback returns (debug
+  /// checkers such as bdio::invariants). The hook must be read-only with
+  /// respect to simulation state — it must not schedule events or mutate
+  /// the model, or determinism guarantees are void. Pass nullptr to clear.
+  void SetPostEventHook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   struct Event {
-    SimTime time;
-    uint64_t seq;
+    SimTime time = 0;
+    uint64_t seq = 0;
     std::function<void()> fn;
   };
   struct Later {
@@ -61,6 +69,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::function<void()> post_event_hook_;
 };
 
 /// Registers `sim`'s clock as the calling thread's BDIO_LOG timestamp

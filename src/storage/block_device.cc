@@ -149,4 +149,29 @@ void BlockDevice::Complete(IoRequest req) {
   MaybeDispatch();
 }
 
+std::string BlockDevice::AuditInvariants() const {
+  const SimTime now = sim_->Now();
+  const DiskStatsSnapshot snap = stats_.Snapshot(now);
+  const uint64_t expected = scheduler_->size() + ncq_pool_.size() +
+                            (busy_ ? 1 : 0);
+  if (snap.in_flight != expected) {
+    return "disk " + name_ + ": in_flight=" + std::to_string(snap.in_flight) +
+           " but elevator+NCQ+service hold " + std::to_string(expected);
+  }
+  if (snap.io_ticks > now) {
+    return "disk " + name_ + ": io_ticks=" + std::to_string(snap.io_ticks) +
+           " exceeds elapsed time " + std::to_string(now) + " (util > 1)";
+  }
+  if (snap.time_in_queue < snap.io_ticks) {
+    return "disk " + name_ + ": time_in_queue=" +
+           std::to_string(snap.time_in_queue) + " below io_ticks=" +
+           std::to_string(snap.io_ticks) +
+           " (queue integral must dominate busy time)";
+  }
+  if (busy_ && snap.in_flight == 0) {
+    return "disk " + name_ + ": device busy with in_flight=0";
+  }
+  return {};
+}
+
 }  // namespace bdio::storage

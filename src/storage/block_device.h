@@ -70,6 +70,12 @@ class BlockDevice {
   size_t queued() const { return scheduler_->size(); }
   bool busy() const { return busy_; }
 
+  /// Cross-checks the /proc/diskstats accounting (bdio::invariants):
+  /// in_flight vs a recount of elevator + NCQ + in-service requests,
+  /// io_ticks <= elapsed time (utilization <= 1), and busy-time vs
+  /// queue-time ordering. Returns "" when every invariant holds.
+  std::string AuditInvariants() const;
+
  private:
   void MaybeDispatch();
   void Complete(IoRequest req);

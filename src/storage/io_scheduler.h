@@ -82,7 +82,7 @@ class DeadlineScheduler : public IoScheduler {
  private:
   struct Entry {
     IoRequest req;
-    SimTime deadline;
+    SimTime deadline = 0;
   };
   using EntryList = std::list<Entry>;
   using SortedIndex = std::multimap<uint64_t, EntryList::iterator>;

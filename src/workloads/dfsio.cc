@@ -11,8 +11,8 @@ namespace {
 
 struct DfsioRun {
   DfsioSpec spec;
-  cluster::Cluster* cluster;
-  hdfs::Hdfs* dfs;
+  cluster::Cluster* cluster = nullptr;
+  hdfs::Hdfs* dfs = nullptr;
   std::function<void(Result<DfsioResult>)> done;
   DfsioResult result;
   SimTime phase_start = 0;

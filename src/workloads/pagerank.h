@@ -1,8 +1,8 @@
 #ifndef BDIO_WORKLOADS_PAGERANK_H_
 #define BDIO_WORKLOADS_PAGERANK_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -33,9 +33,11 @@ class PageRankReducer : public mrfunc::Reducer {
   uint64_t num_nodes_;
 };
 
-/// Result of the iterative driver.
+/// Result of the iterative driver. `ranks` is ordered by node key so
+/// consumers that iterate it (reports, tests) see a deterministic order
+/// (rule R1).
 struct PageRankResult {
-  std::unordered_map<std::string, double> ranks;
+  std::map<std::string, double> ranks;
   uint32_t iterations = 0;
   std::vector<mrfunc::JobStats> iteration_stats;
 };

@@ -167,8 +167,8 @@ Calibration DefaultCalibration(WorkloadKind kind) {
 /// DESIGN.md; chosen so the four workloads land on the paper's
 /// CPU-bound/I/O-bound classification (Table 3).
 struct CpuCosts {
-  double map_ns_per_byte;
-  double reduce_ns_per_byte;
+  double map_ns_per_byte = 0;
+  double reduce_ns_per_byte = 0;
 };
 
 CpuCosts CostsFor(WorkloadKind kind, bool clustering_phase = false) {

@@ -53,6 +53,18 @@ TEST(ThreadPoolTest, SurvivesTaskExceptions) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ThreadPoolTest, PendingAccountingIsConsistentWhenQuiescent) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+  EXPECT_EQ(pool.AuditPending(), "");
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(pool.Async([]() {}));
+  for (auto& f : futures) f.get();
+  // Every future resolved => nothing queued, nothing mid-claim.
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+  EXPECT_EQ(pool.AuditPending(), "");
+}
+
 TEST(ThreadPoolTest, SingleThreadWakeupStress) {
   // The tightest wakeup schedule: one worker that goes back to sleep after
   // every task, with each Submit racing the worker's predicate-check-then-

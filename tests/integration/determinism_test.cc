@@ -1,0 +1,90 @@
+// The determinism contract, end to end: a fixed (seed, plan) produces
+// byte-identical output no matter how many sweep workers run the grid.
+// This is what bdio-lint's rules protect (docs/STATIC_ANALYSIS.md).
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/runner/sweep_runner.h"
+
+namespace bdio::core {
+namespace {
+
+using runner::SweepRunner;
+using workloads::WorkloadKind;
+
+/// Every observable byte of a result, doubles rendered as hexfloat so the
+/// comparison is exact bit equality, not print rounding.
+std::string Serialize(const ExperimentResult& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << r.label << '\n' << r.duration_s << '\n';
+  const auto series = [&out](const char* name, const TimeSeries& s) {
+    out << name;
+    for (const double v : s.samples()) out << ' ' << v;
+    out << '\n';
+  };
+  series("cpu", r.cpu_util);
+  series("maps", r.maps_running);
+  series("reduces", r.reduces_running);
+  series("hdfs_read", r.hdfs.read_mbps);
+  series("hdfs_util", r.hdfs.util);
+  series("hdfs_await", r.hdfs.await_ms);
+  series("mr_write", r.mr.write_mbps);
+  series("mr_util", r.mr.util);
+  for (const auto& [source, volumes] : r.io_sources) {
+    out << source << ' ' << volumes.disk_read_bytes << ' '
+        << volumes.disk_write_bytes << '\n';
+  }
+  // The registry covers every counter the stack maintains.
+  out << r.metrics->ToCsv();
+  return out.str();
+}
+
+TEST(DeterminismTest, TeraSortGridByteIdenticalAcrossJobCounts) {
+  // A small TeraSort grid: enough cells that four workers genuinely
+  // overlap, small enough scale to stay fast.
+  std::vector<ExperimentSpec> specs;
+  for (uint64_t seed : {7, 21, 42}) {
+    ExperimentSpec spec;
+    spec.workload = WorkloadKind::kTeraSort;
+    spec.scale = 1.0 / 512;
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+
+  SweepRunner serial(/*jobs=*/1);
+  const auto serial_results = serial.Run(specs);
+  SweepRunner parallel(/*jobs=*/4);
+  const auto parallel_results = parallel.Run(specs);
+
+  ASSERT_EQ(serial_results.size(), specs.size());
+  ASSERT_EQ(parallel_results.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(serial_results[i].ok());
+    ASSERT_TRUE(parallel_results[i].ok());
+    EXPECT_EQ(Serialize(*serial_results[i]), Serialize(*parallel_results[i]))
+        << "seed " << specs[i].seed
+        << ": --jobs 4 diverged from --jobs 1";
+  }
+}
+
+TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  ExperimentSpec spec;
+  spec.workload = WorkloadKind::kTeraSort;
+  spec.scale = 1.0 / 512;
+  spec.seed = 42;
+  auto a = RunExperiment(spec);
+  auto b = RunExperiment(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Serialize(*a), Serialize(*b));
+}
+
+}  // namespace
+}  // namespace bdio::core

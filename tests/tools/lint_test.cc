@@ -1,0 +1,246 @@
+// bdio-lint rule engine: each rule against minimal positive and negative
+// fixtures, plus the comment/string stripper and the annotation grammar.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdio_lint/lint.h"
+
+namespace bdio::lint {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& code, bool in_src = true,
+                             const std::string& sibling = {}) {
+  FileInput in;
+  in.path = in_src ? "src/fixture.cc" : "tests/fixture.cc";
+  in.content = code;
+  in.sibling = sibling;
+  in.in_src = in_src;
+  return LintFile(in);
+}
+
+size_t CountRule(const std::vector<Diagnostic>& diags,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---- StripCommentsAndStrings -------------------------------------------
+
+TEST(StripTest, RemovesCommentsAndLiteralsKeepsLines) {
+  const std::string in =
+      "int a; // rand() here\n"
+      "/* srand(1)\n"
+      "   more */ int b;\n"
+      "const char* s = \"random_device\";\n"
+      "char c = '\\'';\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("random_device"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  // Line structure intact: same newline count at the same offsets.
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(in[i] == '\n', out[i] == '\n') << "offset " << i;
+  }
+}
+
+TEST(StripTest, HandlesRawStrings) {
+  const std::string in =
+      "auto s = R\"(system_clock \" unbalanced)\";\n"
+      "high_resolution_clock x;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("system_clock"), std::string::npos);
+  EXPECT_NE(out.find("high_resolution_clock"), std::string::npos);
+}
+
+// ---- R1: hash-order iteration ------------------------------------------
+
+TEST(R1Test, FlagsRangeForOverUnorderedMap) {
+  const auto diags = Lint(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void f() { for (const auto& [k, v] : m) { (void)k; } }\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 1u);
+  EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(R1Test, FlagsExplicitIteratorLoop) {
+  const auto diags = Lint(
+      "std::unordered_set<int> s;\n"
+      "void f() { for (auto it = s.begin(); it != s.end(); ++it) {} }\n");
+  EXPECT_GE(CountRule(diags, "R1"), 1u);
+}
+
+TEST(R1Test, IgnoresOrderedContainersAndPointLookups) {
+  const auto diags = Lint(
+      "std::map<int, int> m;\n"
+      "std::unordered_map<int, int> u;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : m) { (void)k; }\n"
+      "  u.find(3); u.count(4); u[5] = 6;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 0u);
+}
+
+TEST(R1Test, SiblingHeaderDeclaresTheMember) {
+  const auto diags =
+      Lint("void C::f() { for (const auto& kv : index_) { (void)kv; } }\n",
+           true, "std::unordered_map<uint64_t, int> index_;\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 1u);
+}
+
+TEST(R1Test, AnnotationWithJustificationAllows) {
+  const auto diags = Lint(
+      "std::unordered_set<int> s;\n"
+      "// bdio-lint: order-insensitive -- summing, order cannot leak\n"
+      "void f() { for (int x : s) { (void)x; } }\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 0u);
+  EXPECT_EQ(CountRule(diags, "A0"), 0u);
+}
+
+TEST(R1Test, AnnotationWithoutJustificationIsItselfADiagnostic) {
+  const auto diags = Lint(
+      "std::unordered_set<int> s;\n"
+      "// bdio-lint: order-insensitive\n"
+      "void f() { for (int x : s) { (void)x; } }\n");
+  EXPECT_EQ(CountRule(diags, "A0"), 1u);
+}
+
+// ---- R2: wall-clock and unseeded randomness ----------------------------
+
+TEST(R2Test, FlagsBannedSources) {
+  const auto diags = Lint(
+      "int a = rand();\n"
+      "std::random_device rd;\n"
+      "auto t = std::chrono::system_clock::now();\n"
+      "auto h = std::chrono::high_resolution_clock::now();\n"
+      "time_t now = time(nullptr);\n");
+  EXPECT_EQ(CountRule(diags, "R2"), 5u);
+}
+
+TEST(R2Test, IgnoresLookalikes) {
+  const auto diags = Lint(
+      "uint64_t start_time(int x);\n"
+      "auto t = obj.time();\n"
+      "auto u = ptr->rand();\n"
+      "auto s = std::chrono::steady_clock::now();\n"
+      "int randomize = 3; (void)randomize;\n");
+  EXPECT_EQ(CountRule(diags, "R2"), 0u);
+}
+
+TEST(R2Test, AllowAnnotationSuppresses) {
+  const auto diags = Lint(
+      "// bdio-lint: allow(R2) -- wall clock for log decoration only\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(CountRule(diags, "R2"), 0u);
+}
+
+// ---- R3: pointer-keyed ordering/hashing --------------------------------
+
+TEST(R3Test, FlagsPointerKeys) {
+  const auto diags = Lint(
+      "std::map<Node*, int> by_ptr;\n"
+      "std::set<const Task*> tasks;\n"
+      "std::unordered_map<Foo*, Bar> h;\n"
+      "std::hash<void*> hasher;\n");
+  EXPECT_EQ(CountRule(diags, "R3"), 4u);
+}
+
+TEST(R3Test, IgnoresPointerValuesAndValueKeys) {
+  const auto diags = Lint(
+      "std::map<uint64_t, Node*> by_id;\n"
+      "std::map<std::string, int> names;\n"
+      "std::set<std::pair<uint64_t, uint32_t>> pairs;\n");
+  EXPECT_EQ(CountRule(diags, "R3"), 0u);
+}
+
+// ---- R4: float accumulation in threaded callbacks ----------------------
+
+TEST(R4Test, FlagsFloatAccumulationInPoolCallback) {
+  const auto diags = Lint(
+      "double total = 0;\n"
+      "void f(ThreadPool& pool) {\n"
+      "  pool.Submit([&] { total += Compute(); });\n"
+      "  pool.Async([&] { total += Compute(); });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R4"), 2u);
+}
+
+TEST(R4Test, IgnoresIntegersAndNonPoolSubmit) {
+  const auto diags = Lint(
+      "uint64_t count = 0;\n"
+      "double total = 0;\n"
+      "void f(ThreadPool& pool, BlockDevice& dev) {\n"
+      "  pool.Submit([&] { count += 1; });\n"
+      "  dev.Submit(req);\n"
+      "  total += 1.0;  // single-threaded context\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R4"), 0u);
+}
+
+// ---- R5: uninitialized POD members (src/ only) -------------------------
+
+TEST(R5Test, FlagsUninitializedScalarAndPointerMembers) {
+  const auto diags = Lint(
+      "struct S {\n"
+      "  uint64_t bytes;\n"
+      "  bool done;\n"
+      "  Node* node;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(diags, "R5"), 3u);
+}
+
+TEST(R5Test, AcceptsInitializedAndNonPodMembers) {
+  const auto diags = Lint(
+      "struct S {\n"
+      "  uint64_t bytes = 0;\n"
+      "  bool done{false};\n"
+      "  Node* node = nullptr;\n"
+      "  std::string name;\n"
+      "  std::vector<int> items;\n"
+      "  std::function<void()> cb;\n"
+      "  static constexpr int kMax = 4;\n"
+      "  uint64_t total() const { return bytes; }\n"
+      "  S() = default;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(diags, "R5"), 0u);
+}
+
+TEST(R5Test, OnlyAppliesUnderSrc) {
+  const auto diags = Lint("struct S { int x; };\n", /*in_src=*/false);
+  EXPECT_EQ(CountRule(diags, "R5"), 0u);
+}
+
+TEST(R5Test, NamesOutOfLineNestedStructs) {
+  const auto diags = Lint("struct Outer::Inner { int x; };\n");
+  ASSERT_EQ(CountRule(diags, "R5"), 1u);
+  EXPECT_NE(diags[0].message.find("Outer::Inner"), std::string::npos)
+      << diags[0].message;
+}
+
+// ---- Diagnostics never fire inside comments or strings -----------------
+
+TEST(LintTest, AnnotationInsideStringLiteralIsIgnored) {
+  // Only a real comment can carry an annotation; quoting one in a string
+  // (as this very test file does) must neither allow nor diagnose.
+  const auto diags =
+      Lint("const char* fixture = \"// bdio-lint: order-insensitive\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintTest, CommentsAndStringsAreInert) {
+  const auto diags = Lint(
+      "// rand() time(nullptr) std::unordered_map<int,int> m;\n"
+      "const char* doc = \"std::map<Node*, int> and random_device\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+}  // namespace
+}  // namespace bdio::lint

@@ -1,0 +1,810 @@
+#include "bdio_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace bdio::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// 1-based line number of byte offset `pos`.
+size_t LineOf(const std::vector<size_t>& line_starts, size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<size_t>(it - line_starts.begin());
+}
+
+std::vector<size_t> LineStarts(const std::string& s) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// True when the `len` bytes at `pos` form a whole token (no identifier
+/// character on either side).
+bool TokenAt(const std::string& s, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(s[pos - 1])) return false;
+  if (pos + len < s.size() && IsIdentChar(s[pos + len])) return false;
+  return true;
+}
+
+size_t SkipSpace(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// With s[pos] == '<', returns the offset just past the matching '>', or
+/// npos. Tracks parens so "Foo<decltype(a > b)>" does not confuse it.
+size_t SkipTemplateArgs(const std::string& s, size_t pos) {
+  int angle = 0;
+  int paren = 0;
+  for (; pos < s.size(); ++pos) {
+    const char c = s[pos];
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>') {
+      --angle;
+      if (angle == 0) return pos + 1;
+    }
+    if (c == ';') return std::string::npos;  // unbalanced (operator<)
+  }
+  return std::string::npos;
+}
+
+/// With s[pos] == '(', returns the offset just past the matching ')'.
+size_t SkipParens(const std::string& s, size_t pos) {
+  int depth = 0;
+  for (; pos < s.size(); ++pos) {
+    if (s[pos] == '(') ++depth;
+    if (s[pos] == ')') {
+      --depth;
+      if (depth == 0) return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+struct Annotation {
+  int rule = 0;  ///< 1..5; 1 for order-insensitive.
+  bool has_justification = false;
+};
+
+/// Parses "// bdio-lint: ..." annotations from the ORIGINAL source (they
+/// live in comments, so they must be read before stripping). Key: line.
+std::map<size_t, Annotation> ParseAnnotations(
+    const std::string& content, const std::string& path,
+    std::vector<Diagnostic>* diags) {
+  std::map<size_t, Annotation> out;
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t at = line.find("bdio-lint:");
+    if (at == std::string::npos) continue;
+    std::string rest = line.substr(at + std::string("bdio-lint:").size());
+    const size_t first = rest.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    rest = rest.substr(first);
+    Annotation ann;
+    if (rest.rfind("order-insensitive", 0) == 0) {
+      ann.rule = 1;
+      rest = rest.substr(std::string("order-insensitive").size());
+    } else if (rest.rfind("allow(R", 0) == 0 && rest.size() > 8 &&
+               rest[7] >= '1' && rest[7] <= '5' && rest[8] == ')') {
+      ann.rule = rest[7] - '0';
+      rest = rest.substr(9);
+    } else {
+      diags->push_back({path, lineno, "A0",
+                        "unrecognized bdio-lint annotation (expected "
+                        "'order-insensitive' or 'allow(R<1-5>)')"});
+      continue;
+    }
+    const size_t dash = rest.find("--");
+    std::string justification;
+    if (dash != std::string::npos) {
+      justification = rest.substr(dash + 2);
+      const size_t b = justification.find_first_not_of(" \t");
+      justification =
+          b == std::string::npos ? std::string() : justification.substr(b);
+    }
+    ann.has_justification = !justification.empty();
+    if (!ann.has_justification) {
+      diags->push_back({path, lineno, "A0",
+                        "bdio-lint annotation without a justification "
+                        "(write '-- <why this is safe>')"});
+    }
+    out[lineno] = ann;
+  }
+  return out;
+}
+
+/// An annotation allows findings on its own line and on the next line.
+bool Allowed(const std::map<size_t, Annotation>& anns, int rule,
+             size_t line) {
+  for (const size_t l : {line, line - 1}) {
+    const auto it = anns.find(l);
+    if (it != anns.end() && it->second.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations harvesting
+// ---------------------------------------------------------------------------
+
+/// Names declared as unordered containers in stripped source: after the
+/// closing '>' of std::unordered_* template args, the next identifier is
+/// taken as the variable name.
+void CollectUnorderedNames(const std::string& code,
+                           std::set<std::string>* names) {
+  static const char* kTypes[] = {
+      "std::unordered_map", "std::unordered_set", "std::unordered_multimap",
+      "std::unordered_multiset"};
+  for (const char* type : kTypes) {
+    const std::string t(type);
+    size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      size_t p = pos + t.size();
+      pos = p;
+      p = SkipSpace(code, p);
+      if (p >= code.size() || code[p] != '<') continue;
+      p = SkipTemplateArgs(code, p);
+      if (p == std::string::npos) continue;
+      p = SkipSpace(code, p);
+      size_t end = p;
+      while (end < code.size() && IsIdentChar(code[end])) ++end;
+      if (end > p) names->insert(code.substr(p, end - p));
+    }
+  }
+}
+
+/// Names declared float/double (members or locals) in stripped source.
+void CollectFloatNames(const std::string& code,
+                       std::set<std::string>* names) {
+  for (const char* type : {"float", "double"}) {
+    const std::string t(type);
+    size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      const size_t start = pos;
+      pos += t.size();
+      if (!TokenAt(code, start, t.size())) continue;
+      const size_t p = SkipSpace(code, start + t.size());
+      size_t end = p;
+      while (end < code.size() && IsIdentChar(code[end])) ++end;
+      if (end > p) names->insert(code.substr(p, end - p));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void CheckR1(const std::string& code, const std::set<std::string>& unordered,
+             const std::vector<size_t>& lines, const std::string& path,
+             const std::map<size_t, Annotation>& anns,
+             std::vector<Diagnostic>* diags) {
+  if (unordered.empty()) return;
+  // Range-for whose sequence expression names an unordered container.
+  size_t pos = 0;
+  while ((pos = code.find("for", pos)) != std::string::npos) {
+    const size_t kw = pos;
+    pos += 3;
+    if (!TokenAt(code, kw, 3)) continue;
+    size_t p = SkipSpace(code, kw + 3);
+    if (p >= code.size() || code[p] != '(') continue;
+    const size_t close = SkipParens(code, p);
+    if (close == std::string::npos) continue;
+    const std::string head = code.substr(p + 1, close - p - 2);
+    // The range-for ':' (ignore '::').
+    size_t colon = std::string::npos;
+    for (size_t i = 0; i < head.size(); ++i) {
+      if (head[i] != ':') continue;
+      if (i + 1 < head.size() && head[i + 1] == ':') {
+        ++i;
+        continue;
+      }
+      if (i > 0 && head[i - 1] == ':') continue;
+      colon = i;
+      break;
+    }
+    if (colon == std::string::npos) continue;
+    const std::string seq = head.substr(colon + 1);
+    for (size_t i = 0; i < seq.size();) {
+      if (!IsIdentChar(seq[i])) {
+        ++i;
+        continue;
+      }
+      size_t end = i;
+      while (end < seq.size() && IsIdentChar(seq[end])) ++end;
+      const std::string ident = seq.substr(i, end - i);
+      i = end;
+      if (unordered.contains(ident)) {
+        const size_t line = LineOf(lines, kw);
+        if (!Allowed(anns, 1, line)) {
+          diags->push_back(
+              {path, line, "R1",
+               "range-for over unordered container '" + ident +
+                   "': iteration order is hash order, which is not "
+                   "deterministic across stdlib implementations (use an "
+                   "ordered container or annotate order-insensitive)"});
+        }
+        break;
+      }
+    }
+  }
+  // Explicit iterator loops: container.begin()/cbegin()/rbegin()/crbegin().
+  for (const char* fn : {".begin", ".cbegin", ".rbegin", ".crbegin"}) {
+    const std::string f(fn);
+    pos = 0;
+    while ((pos = code.find(f, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += f.size();
+      const size_t after = SkipSpace(code, at + f.size());
+      if (after >= code.size() || code[after] != '(') continue;
+      size_t b = at;
+      while (b > 0 && IsIdentChar(code[b - 1])) --b;
+      const std::string ident = code.substr(b, at - b);
+      if (!unordered.contains(ident)) continue;
+      const size_t line = LineOf(lines, at);
+      if (!Allowed(anns, 1, line)) {
+        diags->push_back(
+            {path, line, "R1",
+             "iterator over unordered container '" + ident +
+                 "': traversal order is hash order (use an ordered "
+                 "container or annotate order-insensitive)"});
+      }
+    }
+  }
+}
+
+void CheckR2(const std::string& code, const std::vector<size_t>& lines,
+             const std::string& path,
+             const std::map<size_t, Annotation>& anns,
+             std::vector<Diagnostic>* diags) {
+  struct Banned {
+    const char* token;
+    bool call_only;  ///< Must be followed by '(' to fire.
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      {"rand", true, "use sim::Rng (seeded, deterministic)"},
+      {"srand", true, "use sim::Rng (seeded, deterministic)"},
+      {"random_device", false, "use sim::Rng (seeded, deterministic)"},
+      {"time", true, "use the simulator clock (sim::Simulator::Now)"},
+      {"system_clock", false, "use the simulator clock"},
+      {"high_resolution_clock", false, "use the simulator clock"},
+  };
+  for (const Banned& b : kBanned) {
+    const std::string t(b.token);
+    size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += t.size();
+      if (!TokenAt(code, at, t.size())) continue;
+      // Member access is someone else's function, not the libc one.
+      if (at > 0 && (code[at - 1] == '.' ||
+                     (at > 1 && code[at - 2] == '-' && code[at - 1] == '>'))) {
+        continue;
+      }
+      if (b.call_only) {
+        const size_t after = SkipSpace(code, at + t.size());
+        if (after >= code.size() || code[after] != '(') continue;
+      }
+      const size_t line = LineOf(lines, at);
+      if (!Allowed(anns, 2, line)) {
+        diags->push_back({path, line, "R2",
+                          "non-deterministic source '" + t + "': " + b.why});
+      }
+    }
+  }
+}
+
+void CheckR3(const std::string& code, const std::vector<size_t>& lines,
+             const std::string& path,
+             const std::map<size_t, Annotation>& anns,
+             std::vector<Diagnostic>* diags) {
+  static const char* kKeyed[] = {
+      "std::map",           "std::set",
+      "std::multimap",      "std::multiset",
+      "std::unordered_map", "std::unordered_set",
+      "std::unordered_multimap", "std::unordered_multiset",
+      "std::hash"};
+  for (const char* type : kKeyed) {
+    const std::string t(type);
+    size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += t.size();
+      // "std::map" must not match inside "std::multimap".
+      if (at + t.size() < code.size() && IsIdentChar(code[at + t.size()])) {
+        continue;
+      }
+      size_t p = SkipSpace(code, at + t.size());
+      if (p >= code.size() || code[p] != '<') continue;
+      // First template argument: up to a depth-0 ',' or the closing '>'.
+      int angle = 0;
+      size_t arg_start = p + 1;
+      size_t arg_end = std::string::npos;
+      for (size_t i = p; i < code.size(); ++i) {
+        if (code[i] == '<') ++angle;
+        if (code[i] == '>') {
+          --angle;
+          if (angle == 0) {
+            arg_end = i;
+            break;
+          }
+        }
+        if (code[i] == ',' && angle == 1) {
+          arg_end = i;
+          break;
+        }
+        if (code[i] == ';') break;
+      }
+      if (arg_end == std::string::npos) continue;
+      std::string key = code.substr(arg_start, arg_end - arg_start);
+      while (!key.empty() &&
+             std::isspace(static_cast<unsigned char>(key.back())) != 0) {
+        key.pop_back();
+      }
+      if (key.empty() || key.back() != '*') continue;
+      const size_t line = LineOf(lines, at);
+      if (!Allowed(anns, 3, line)) {
+        diags->push_back(
+            {path, line, "R3",
+             t + " keyed by pointer '" + key +
+                 "': pointer order/hash depends on allocation addresses, "
+                 "which vary run to run (key by a stable id instead)"});
+      }
+    }
+  }
+}
+
+void CheckR4(const std::string& code, const std::set<std::string>& floats,
+             const std::vector<size_t>& lines, const std::string& path,
+             const std::map<size_t, Annotation>& anns,
+             std::vector<Diagnostic>* diags) {
+  if (floats.empty()) return;
+  // Receiver-qualified thread-pool entry points: anything .Async(/->Async(,
+  // and .Submit(/->Submit( whose receiver names a pool. BlockDevice::Submit
+  // (simulated I/O, single-threaded) is deliberately out of scope.
+  size_t pos = 0;
+  while (pos < code.size()) {
+    size_t async_at = code.find("Async", pos);
+    size_t submit_at = code.find("Submit", pos);
+    size_t at;
+    size_t len;
+    if (async_at == std::string::npos && submit_at == std::string::npos) {
+      break;
+    }
+    if (async_at != std::string::npos &&
+        (submit_at == std::string::npos || async_at < submit_at)) {
+      at = async_at;
+      len = 5;
+    } else {
+      at = submit_at;
+      len = 6;
+    }
+    pos = at + len;
+    if (!TokenAt(code, at, len)) continue;
+    if (at == 0) continue;
+    const bool dot = code[at - 1] == '.';
+    const bool arrow = at > 1 && code[at - 2] == '-' && code[at - 1] == '>';
+    if (!dot && !arrow) continue;
+    if (len == 6) {  // Submit: receiver must look like a thread pool
+      size_t b = at - (dot ? 1 : 2);
+      while (b > 0 && (IsIdentChar(code[b - 1]) || code[b - 1] == '_')) --b;
+      std::string recv = code.substr(b, at - (dot ? 1 : 2) - b);
+      std::transform(recv.begin(), recv.end(), recv.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (recv.find("pool") == std::string::npos) continue;
+    }
+    const size_t open = SkipSpace(code, at + len);
+    if (open >= code.size() || code[open] != '(') continue;
+    const size_t close = SkipParens(code, open);
+    if (close == std::string::npos) continue;
+    // Flag "<float-name> +=" inside the callback region.
+    for (size_t i = open; i < close; ++i) {
+      if (!IsIdentChar(code[i])) continue;
+      size_t end = i;
+      while (end < close && IsIdentChar(code[end])) ++end;
+      const std::string ident = code.substr(i, end - i);
+      size_t after = SkipSpace(code, end);
+      if (after + 1 < code.size() && code[after] == '+' &&
+          code[after + 1] == '=' && floats.contains(ident)) {
+        const size_t line = LineOf(lines, i);
+        if (!Allowed(anns, 4, line)) {
+          diags->push_back(
+              {path, line, "R4",
+               "floating-point accumulation '" + ident +
+                   " +=' inside a thread-pool callback: summation order "
+                   "depends on task interleaving (accumulate per task and "
+                   "reduce in a deterministic order)"});
+        }
+      }
+      i = end;
+    }
+    pos = close;
+  }
+}
+
+bool StartsWithToken(const std::string& s, const std::string& tok) {
+  return s.rfind(tok, 0) == 0 &&
+         (s.size() == tok.size() || !IsIdentChar(s[tok.size()]));
+}
+
+void CheckR5Struct(const std::string& code, size_t body_start,
+                   size_t body_end, const std::string& struct_name,
+                   const std::vector<size_t>& lines, const std::string& path,
+                   const std::map<size_t, Annotation>& anns,
+                   std::vector<Diagnostic>* diags) {
+  static const std::set<std::string> kScalar = {
+      "bool",    "char",    "wchar_t",  "short",    "int",      "long",
+      "unsigned", "signed", "float",    "double",   "size_t",   "ptrdiff_t",
+      "int8_t",  "int16_t", "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+      "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "SimTime",
+      "SimDuration"};
+  size_t i = body_start;
+  size_t stmt_start = body_start;
+  std::string stmt;
+  auto reset = [&](size_t next) {
+    stmt.clear();
+    stmt_start = next;
+  };
+  while (i < body_end) {
+    const char c = code[i];
+    if (c == '{') {
+      // Either a nested scope (function body, nested type — skip it; nested
+      // structs are scanned by their own top-level pass) or a brace
+      // initializer (the member IS initialized — skip the statement).
+      int depth = 0;
+      size_t j = i;
+      for (; j < body_end; ++j) {
+        if (code[j] == '{') ++depth;
+        if (code[j] == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      i = j + 1;
+      // A nested body may be followed by ';' (type definition) — swallow it.
+      const size_t after = SkipSpace(code, i);
+      i = (after < body_end && code[after] == ';') ? after + 1 : i;
+      reset(i);
+      continue;
+    }
+    if (c == ';') {
+      // Classify the accumulated statement.
+      std::string s = stmt;
+      const size_t b = s.find_first_not_of(" \t\n");
+      s = b == std::string::npos ? std::string() : s.substr(b);
+      // Access labels glue to the next statement ("public: int x").
+      for (const char* label : {"public:", "private:", "protected:"}) {
+        if (s.rfind(label, 0) == 0) s = s.substr(std::string(label).size());
+      }
+      const size_t b2 = s.find_first_not_of(" \t\n");
+      s = b2 == std::string::npos ? std::string() : s.substr(b2);
+      bool skip = s.empty();
+      for (const char* kw :
+           {"static", "constexpr", "using", "typedef", "friend", "template",
+            "virtual", "explicit", "operator", "struct", "class", "enum",
+            "union", "inline"}) {
+        if (StartsWithToken(s, kw)) skip = true;
+      }
+      if (s.find('(') != std::string::npos ||
+          s.find('=') != std::string::npos ||
+          s.find('[') != std::string::npos ||
+          s.find('&') != std::string::npos) {
+        skip = true;
+      }
+      if (!skip) {
+        // Tokenize: qualifiers, type tokens, stars, member name(s).
+        std::vector<std::string> tokens;
+        size_t stars = 0;
+        for (size_t k = 0; k < s.size();) {
+          if (s[k] == '*') {
+            ++stars;
+            ++k;
+            continue;
+          }
+          if (!IsIdentChar(s[k]) && s[k] != ':') {
+            ++k;
+            continue;
+          }
+          size_t e = k;
+          while (e < s.size() && (IsIdentChar(s[e]) || s[e] == ':')) ++e;
+          tokens.push_back(s.substr(k, e - k));
+          k = e;
+        }
+        while (!tokens.empty() &&
+               (tokens.front() == "const" || tokens.front() == "volatile" ||
+                tokens.front() == "mutable")) {
+          tokens.erase(tokens.begin());
+        }
+        // Need at least "type name"; compound builtin types collapse.
+        if (tokens.size() >= 2) {
+          size_t type_end = 1;
+          static const std::set<std::string> kCompound = {
+              "unsigned", "signed", "long", "short"};
+          while (type_end < tokens.size() - 1 &&
+                 kCompound.contains(tokens[type_end - 1]) &&
+                 (kCompound.contains(tokens[type_end]) ||
+                  tokens[type_end] == "int" || tokens[type_end] == "char" ||
+                  tokens[type_end] == "double")) {
+            ++type_end;
+          }
+          const std::string& base = tokens[type_end - 1];
+          std::string base_name = base;
+          const size_t q = base_name.rfind("::");
+          if (q != std::string::npos) base_name = base_name.substr(q + 2);
+          const bool pod = stars > 0 || kScalar.contains(base_name);
+          if (pod && tokens.size() > type_end) {
+            const size_t line = LineOf(lines, stmt_start);
+            if (!Allowed(anns, 5, line)) {
+              for (size_t m = type_end; m < tokens.size(); ++m) {
+                diags->push_back(
+                    {path, line, "R5",
+                     "member '" + tokens[m] + "' of struct '" + struct_name +
+                         "' has no default initializer: an instance left "
+                         "partially uninitialized reads indeterminate "
+                         "values (add '= ...' or '{}')"});
+              }
+            }
+          }
+        }
+      }
+      i += 1;
+      reset(i);
+      continue;
+    }
+    stmt.push_back(c);
+    if (stmt.size() == 1) stmt_start = i;
+    ++i;
+  }
+}
+
+void CheckR5(const std::string& code, const std::vector<size_t>& lines,
+             const std::string& path,
+             const std::map<size_t, Annotation>& anns,
+             std::vector<Diagnostic>* diags) {
+  size_t pos = 0;
+  while ((pos = code.find("struct", pos)) != std::string::npos) {
+    const size_t kw = pos;
+    pos += 6;
+    if (!TokenAt(code, kw, 6)) continue;
+    size_t p = SkipSpace(code, kw + 6);
+    size_t name_end = p;
+    while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+    if (name_end == p) continue;  // anonymous
+    std::string name = code.substr(p, name_end - p);
+    // Out-of-line nested definitions: struct Outer::Inner { ... }.
+    while (name_end + 1 < code.size() && code[name_end] == ':' &&
+           code[name_end + 1] == ':') {
+      size_t seg = name_end + 2;
+      size_t seg_end = seg;
+      while (seg_end < code.size() && IsIdentChar(code[seg_end])) ++seg_end;
+      if (seg_end == seg) break;
+      name += "::" + code.substr(seg, seg_end - seg);
+      name_end = seg_end;
+    }
+    p = SkipSpace(code, name_end);
+    if (p < code.size() && code[p] == ':') {  // base clause
+      while (p < code.size() && code[p] != '{' && code[p] != ';') ++p;
+    }
+    if (p >= code.size() || code[p] != '{') continue;  // fwd decl etc.
+    int depth = 0;
+    size_t end = p;
+    for (; end < code.size(); ++end) {
+      if (code[end] == '{') ++depth;
+      if (code[end] == '}') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (end >= code.size()) continue;
+    CheckR5Struct(code, p + 1, end, name, lines, path, anns, diags);
+  }
+}
+
+std::string ReadFile(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Shared stripper: string/char literals always blank to spaces; comments
+/// blank only when `strip_comments` (annotation parsing keeps them — an
+/// annotation is only valid inside a real comment, never inside a string).
+std::string Strip(const std::string& content, bool strip_comments) {
+  std::string out = content;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator of a raw string
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when R directly abuts the quote and
+          // is not the tail of an identifier.
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(content[i - 2]))) {
+            size_t d = i + 1;
+            while (d < content.size() && content[d] != '(') ++d;
+            raw_delim = ")" + content.substr(i + 1, d - i - 1) + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (strip_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n' && strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < content.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < content.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k + 1 < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  return Strip(content, /*strip_comments=*/true);
+}
+
+std::vector<Diagnostic> LintFile(const FileInput& input) {
+  std::vector<Diagnostic> diags;
+  // Annotations are read with strings blanked but comments intact: only a
+  // real comment can carry one (the linter's own test fixtures quote
+  // annotation text inside string literals).
+  const std::map<size_t, Annotation> anns = ParseAnnotations(
+      Strip(input.content, /*strip_comments=*/false), input.path, &diags);
+  const std::string code = StripCommentsAndStrings(input.content);
+  const std::vector<size_t> lines = LineStarts(code);
+
+  std::set<std::string> unordered;
+  CollectUnorderedNames(code, &unordered);
+  if (!input.sibling.empty()) {
+    CollectUnorderedNames(StripCommentsAndStrings(input.sibling), &unordered);
+  }
+  std::set<std::string> floats;
+  CollectFloatNames(code, &floats);
+  if (!input.sibling.empty()) {
+    CollectFloatNames(StripCommentsAndStrings(input.sibling), &floats);
+  }
+
+  CheckR1(code, unordered, lines, input.path, anns, &diags);
+  CheckR2(code, lines, input.path, anns, &diags);
+  CheckR3(code, lines, input.path, anns, &diags);
+  CheckR4(code, floats, lines, input.path, anns, &diags);
+  if (input.in_src) CheckR5(code, lines, input.path, anns, &diags);
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return diags;
+}
+
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    if (!fs::exists(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_scanned != nullptr) *files_scanned = files.size();
+
+  std::vector<Diagnostic> diags;
+  for (const fs::path& p : files) {
+    FileInput in;
+    in.path = p.generic_string();
+    in.content = ReadFile(p);
+    in.in_src = in.path.rfind("src/", 0) == 0 ||
+                in.path.find("/src/") != std::string::npos;
+    if (p.extension() == ".cc") {
+      fs::path sib = p;
+      sib.replace_extension(".h");
+      if (fs::exists(sib)) in.sibling = ReadFile(sib);
+    }
+    std::vector<Diagnostic> file_diags = LintFile(in);
+    diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+  }
+  return diags;
+}
+
+}  // namespace bdio::lint

@@ -1,0 +1,51 @@
+#ifndef BDIO_TOOLS_BDIO_LINT_LINT_H_
+#define BDIO_TOOLS_BDIO_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bdio::lint {
+
+/// One finding. `rule` is "R1".."R5" (or "A0" for a malformed annotation).
+struct Diagnostic {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Input for one translation unit. `sibling` carries the contents of the
+/// matching header (foo.h for foo.cc) so member containers declared in the
+/// header are known when the .cc iterates them; empty when there is none.
+/// `in_src` enables R5 (default-member-initializer enforcement), which
+/// applies to structs under src/ only.
+struct FileInput {
+  std::string path;
+  std::string content;
+  std::string sibling;
+  bool in_src = false;
+};
+
+/// Replaces comments and string/character literals with spaces, preserving
+/// the line structure, so rule patterns never fire inside prose or data.
+/// Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+/// Runs every rule over one file. See docs/STATIC_ANALYSIS.md for the rule
+/// catalogue and the annotation grammar:
+///   // bdio-lint: order-insensitive -- <justification>   (allows R1)
+///   // bdio-lint: allow(R<k>) -- <justification>         (allows rule k)
+/// An annotation allows findings on its own line and on the following
+/// line; an annotation with no justification is itself a diagnostic.
+std::vector<Diagnostic> LintFile(const FileInput& input);
+
+/// Lints every .h/.cc file under `roots` (recursively, sorted order).
+/// Returns all diagnostics; `files_scanned`, if non-null, receives the
+/// file count.
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 size_t* files_scanned = nullptr);
+
+}  // namespace bdio::lint
+
+#endif  // BDIO_TOOLS_BDIO_LINT_LINT_H_
