@@ -44,7 +44,15 @@ struct CheckerConfig {
 ///
 /// Every check is read-only: an attached checker performs no allocation in
 /// the simulation's control flow, schedules no events, and draws no random
-/// numbers, so checked runs remain byte-identical to unchecked runs.
+/// numbers, so checked runs remain byte-identical to unchecked runs. This
+/// is the contract `Simulator::SetPostEventHook` documents; it is what
+/// makes the CI chaos smoke's checked-vs-unchecked `cmp` sound.
+///
+/// The hook fires after the event's node has already been recycled (the
+/// kernel frees pooled EventNodes before invoking callbacks — see
+/// src/sim/event_pool.h and docs/PERFORMANCE.md), so audits must only read
+/// subsystem state through the Watch* pointers, never simulator queue
+/// internals.
 class InvariantChecker {
  public:
   /// Attaches to `sim`'s post-event hook. The checker must outlive neither

@@ -21,7 +21,7 @@ double CpuScheduler::RatePerJob() const {
                            static_cast<double>(jobs_.size()));
 }
 
-void CpuScheduler::Run(SimDuration cpu_time, std::function<void()> cb) {
+void CpuScheduler::Run(SimDuration cpu_time, InlineFn cb) {
   if (cpu_time == 0) {
     sim_->ScheduleAfter(0, std::move(cb));
     return;
@@ -51,7 +51,7 @@ void CpuScheduler::AdvanceTo(SimTime now) {
 
 void CpuScheduler::Reschedule() {
   // Retire finished jobs.
-  std::vector<std::function<void()>> done;
+  std::vector<InlineFn> done;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->second.remaining <= 1e-12) {
       done.push_back(std::move(it->second.cb));

@@ -2,9 +2,9 @@
 #define BDIO_CLUSTER_CPU_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 
+#include "common/inline_fn.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 
@@ -25,7 +25,7 @@ class CpuScheduler {
 
   /// Runs `cpu_time` of single-core work; `cb` fires when it has received
   /// that much CPU service.
-  void Run(SimDuration cpu_time, std::function<void()> cb);
+  void Run(SimDuration cpu_time, InlineFn cb);
 
   uint32_t cores() const { return cores_; }
   size_t runnable() const { return jobs_.size(); }
@@ -37,7 +37,7 @@ class CpuScheduler {
  private:
   struct Job {
     double remaining = 0;  ///< Single-core seconds of work left.
-    std::function<void()> cb;
+    InlineFn cb;
   };
 
   void AdvanceTo(SimTime now);

@@ -1,0 +1,178 @@
+#ifndef BDIO_COMMON_FLAT_MAP_H_
+#define BDIO_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bdio {
+
+/// Sorted-vector replacements for the hot-path `std::map`/`std::multimap`s
+/// (page-cache dirty sets, HDFS block maps, scheduler tables).
+///
+/// Why: a red-black tree pays one allocation per node and chases pointers
+/// on every lookup; the simulator's hot maps are small-to-medium, keyed by
+/// monotonically growing ids (append-friendly), and iterated far more often
+/// than they are mutated. A sorted vector keeps the same deterministic
+/// iteration order (ascending by key — bdio-lint rule R1 stays satisfied)
+/// with contiguous memory and zero per-entry allocation.
+///
+/// API: the subset of std::map/std::multimap the call sites use — find /
+/// lower_bound / upper_bound / equal_range / emplace / erase — with the
+/// same semantics, including multimap equal-key behaviour (insertion order
+/// preserved; find returns the leftmost equal entry, as libstdc++ does).
+///
+/// THE difference from std::map: iterators and references are invalidated
+/// by any insert or erase. Call sites must not hold them across mutations
+/// — conversions in this tree were audited for that.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }
+
+  iterator lower_bound(const K& k) {
+    return std::lower_bound(v_.begin(), v_.end(), k, KeyLess{});
+  }
+  const_iterator lower_bound(const K& k) const {
+    return std::lower_bound(v_.begin(), v_.end(), k, KeyLess{});
+  }
+  iterator upper_bound(const K& k) {
+    return std::upper_bound(v_.begin(), v_.end(), k, LessKey{});
+  }
+
+  iterator find(const K& k) {
+    iterator it = lower_bound(k);
+    return (it != v_.end() && it->first == k) ? it : v_.end();
+  }
+  const_iterator find(const K& k) const {
+    const_iterator it = lower_bound(k);
+    return (it != v_.end() && it->first == k) ? it : v_.end();
+  }
+  size_t count(const K& k) const { return find(k) != v_.end() ? 1 : 0; }
+  bool contains(const K& k) const { return find(k) != v_.end(); }
+
+  /// No-overwrite insert, like std::map::emplace. Appending in key order
+  /// (the common pattern: ids grow monotonically) is O(1) amortized.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& k, Args&&... args) {
+    if (v_.empty() || v_.back().first < k) {
+      v_.emplace_back(std::piecewise_construct, std::forward_as_tuple(k),
+                      std::forward_as_tuple(std::forward<Args>(args)...));
+      return {std::prev(v_.end()), true};
+    }
+    iterator it = lower_bound(k);
+    if (it != v_.end() && it->first == k) return {it, false};
+    it = v_.emplace(it, std::piecewise_construct, std::forward_as_tuple(k),
+                    std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  V& operator[](const K& k) { return emplace(k).first->second; }
+
+  iterator erase(iterator it) { return v_.erase(it); }
+  iterator erase(iterator first, iterator last) {
+    return v_.erase(first, last);
+  }
+  size_t erase(const K& k) {
+    iterator it = find(k);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const value_type& a, const K& b) const {
+      return a.first < b;
+    }
+  };
+  struct LessKey {
+    bool operator()(const K& a, const value_type& b) const {
+      return a < b.first;
+    }
+  };
+
+  std::vector<value_type> v_;
+};
+
+/// Multimap counterpart: equal keys allowed, insertion order among equal
+/// keys preserved (insert lands at upper_bound, exactly like the tree
+/// multimap), find returns the leftmost equal entry. Same iterator
+/// invalidation caveat as FlatMap.
+template <typename K, typename V>
+class FlatMultiMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }
+
+  iterator lower_bound(const K& k) {
+    return std::lower_bound(v_.begin(), v_.end(), k, KeyLess{});
+  }
+  iterator upper_bound(const K& k) {
+    return std::upper_bound(v_.begin(), v_.end(), k, LessKey{});
+  }
+  std::pair<iterator, iterator> equal_range(const K& k) {
+    return {lower_bound(k), upper_bound(k)};
+  }
+  iterator find(const K& k) {
+    iterator it = lower_bound(k);
+    return (it != v_.end() && it->first == k) ? it : v_.end();
+  }
+
+  template <typename... Args>
+  iterator emplace(const K& k, Args&&... args) {
+    if (v_.empty() || !(k < v_.back().first)) {
+      v_.emplace_back(std::piecewise_construct, std::forward_as_tuple(k),
+                      std::forward_as_tuple(std::forward<Args>(args)...));
+      return std::prev(v_.end());
+    }
+    return v_.emplace(upper_bound(k), std::piecewise_construct,
+                      std::forward_as_tuple(k),
+                      std::forward_as_tuple(std::forward<Args>(args)...));
+  }
+
+  iterator erase(iterator it) { return v_.erase(it); }
+  iterator erase(iterator first, iterator last) {
+    return v_.erase(first, last);
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const value_type& a, const K& b) const {
+      return a.first < b;
+    }
+  };
+  struct LessKey {
+    bool operator()(const K& a, const value_type& b) const {
+      return a < b.first;
+    }
+  };
+
+  std::vector<value_type> v_;
+};
+
+}  // namespace bdio
+
+#endif  // BDIO_COMMON_FLAT_MAP_H_

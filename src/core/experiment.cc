@@ -207,6 +207,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   BDIO_CHECK(all_done) << "simulation drained before the workload finished";
 
   result.duration_s = ToSeconds(sim.Now());
+  result.events_processed = sim.events_processed();
   result.hdfs = ObserveGroup(monitor, "hdfs");
   result.mr = ObserveGroup(monitor, "mr");
   result.cpu_util = std::move(cpu_series);

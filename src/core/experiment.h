@@ -103,6 +103,11 @@ struct IoSourceVolumes {
 struct ExperimentResult {
   std::string label;
   double duration_s = 0;
+  /// Simulator events executed by this run — the denominator of the
+  /// events/sec trajectory tracked by bench/perf_events (BENCH_perf.json).
+  /// Deterministic: a pure function of the spec, byte-identical across
+  /// hosts and --jobs levels.
+  uint64_t events_processed = 0;
   GroupObservation hdfs;
   GroupObservation mr;
   std::vector<mapreduce::JobCounters> jobs;

@@ -2,10 +2,10 @@
 #define BDIO_HDFS_DATA_NODE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "cluster/node.h"
+#include "common/flat_map.h"
 #include "common/io_tag.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -51,8 +51,8 @@ class DataNode {
 
   cluster::Node* node_;
   /// Ordered by block id so block-report-style scans are deterministic
-  /// (rule R1).
-  std::map<uint64_t, Stored> blocks_;
+  /// (rule R1). Flat: block ids grow monotonically, so inserts append.
+  FlatMap<uint64_t, Stored> blocks_;
 };
 
 }  // namespace bdio::hdfs

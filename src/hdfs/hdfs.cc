@@ -78,7 +78,7 @@ struct Hdfs::ReplicaStream {
   size_t replica_idx = 0;          ///< This leg's position in the chain.
   bool local = false;
   uint64_t block_bytes = 0;
-  std::function<void()> done;
+  InlineFn done;
   obs::Counter* stage_bytes = nullptr;  ///< Pipeline-stage byte counter.
   uint64_t flow = 0;
 };

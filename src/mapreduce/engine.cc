@@ -817,9 +817,9 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
     if (job->m_hdfs_read) job->m_hdfs_read->Add(next_n);
     obs::FlowScope flow_scope(trace_, mt->flow);
     hdfs_->Read(mt->input_path, mt->split_offset + next_pos, next_n,
-                mt->node, [arm = cont->Arm()](Status s) {
+                mt->node, [cont](Status s) {
                   BDIO_CHECK_OK(s);
-                  arm();
+                  cont->Arrive();
                 });
   } else {
     cont->Arrive();
@@ -1271,7 +1271,7 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
   // Picks the next on-disk chunk (round-robin over the runs) and starts its
   // read; returns false when all runs are drained.
   auto read_next = [this, job, ms,
-                    flow = rt->flow](std::function<void()> on_ready) -> bool {
+                    flow = rt->flow](InlineFn on_ready) -> bool {
     size_t picked = SIZE_MAX;
     for (size_t k = 0; k < ms->inputs.size(); ++k) {
       const size_t i = (ms->cursor + k) % ms->inputs.size();

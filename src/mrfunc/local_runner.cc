@@ -33,21 +33,24 @@ struct Spill {
   std::vector<std::pair<uint32_t, KeyValue>> records;
 };
 
-/// Applies the combiner to a (partition, key)-sorted record run.
+/// Applies the combiner to a (partition, key)-sorted record run. Consumes
+/// `sorted` (group values are moved out, not copied — the spill path runs
+/// once per sort-buffer fill, so the copies it saves are the large ones).
 std::vector<std::pair<uint32_t, KeyValue>> Combine(
-    Reducer* combiner,
-    const std::vector<std::pair<uint32_t, KeyValue>>& sorted) {
+    Reducer* combiner, std::vector<std::pair<uint32_t, KeyValue>>&& sorted) {
   std::vector<std::pair<uint32_t, KeyValue>> out;
+  std::vector<std::string> values;   // reused across groups
+  std::vector<KeyValue> combined;    // reused across groups
   size_t i = 0;
   while (i < sorted.size()) {
     size_t j = i;
-    std::vector<std::string> values;
+    values.clear();
     while (j < sorted.size() && sorted[j].first == sorted[i].first &&
            sorted[j].second.key == sorted[i].second.key) {
-      values.push_back(sorted[j].second.value);
+      values.push_back(std::move(sorted[j].second.value));
       ++j;
     }
-    std::vector<KeyValue> combined;
+    combined.clear();
     Emitter em(&combined);
     combiner->Reduce(sorted[i].second.key, values, &em);
     for (auto& kv : combined) {
@@ -128,23 +131,30 @@ Result<JobStats> LocalJobRunner::Run(const std::vector<KeyValue>& input,
                          return a.second.key < b.second.key;
                        });
       if (effective_combiner != nullptr) {
-        buffer = Combine(effective_combiner, buffer);
+        buffer = Combine(effective_combiner, std::move(buffer));
       }
       // Account spill volume (per partition, as Hadoop writes one
-      // partition-segmented spill file).
-      std::vector<KeyValue> flat;
-      flat.reserve(buffer.size());
-      for (auto& [p, kv] : buffer) flat.push_back(kv);
-      const std::string serialized = SerializeRecords(flat);
-      pre_codec_bytes += serialized.size();
+      // partition-segmented spill file). Without a codec the byte count is
+      // a sum of per-record sizes — no need to materialize the spill image.
       if (codec) {
+        std::string serialized;
+        for (auto& [p, kv] : buffer) {
+          AppendVarint(&serialized, kv.key.size());
+          serialized += kv.key;
+          AppendVarint(&serialized, kv.value.size());
+          serialized += kv.value;
+        }
+        pre_codec_bytes += serialized.size();
         std::string compressed;
         BDIO_CHECK_OK(codec->Compress(serialized, &compressed));
         post_codec_bytes += compressed.size();
         stats.spilled_bytes += compressed.size();
       } else {
-        post_codec_bytes += serialized.size();
-        stats.spilled_bytes += serialized.size();
+        uint64_t serialized_size = 0;
+        for (auto& [p, kv] : buffer) serialized_size += SerializedSize(kv);
+        pre_codec_bytes += serialized_size;
+        post_codec_bytes += serialized_size;
+        stats.spilled_bytes += serialized_size;
       }
       ++stats.spill_count;
       spills.push_back(Spill{std::move(buffer)});
@@ -152,10 +162,11 @@ Result<JobStats> LocalJobRunner::Run(const std::vector<KeyValue>& input,
       buffer_bytes = 0;
     };
 
+    std::vector<KeyValue> mapped;  // reused across input records
     for (size_t i = begin; i < end; ++i) {
       ++stats.map_input_records;
       stats.map_input_bytes += SerializedSize(input[i]);
-      std::vector<KeyValue> mapped;
+      mapped.clear();
       Emitter em(&mapped);
       mapper->Map(input[i], &em);
       for (auto& kv : mapped) {
@@ -200,16 +211,20 @@ Result<JobStats> LocalJobRunner::Run(const std::vector<KeyValue>& input,
                        return a.key < b.key;
                      });
     size_t i = 0;
+    std::vector<std::string> values;  // reused across groups
+    std::vector<KeyValue> reduced;    // reused across groups
     while (i < part.size()) {
       size_t j = i;
-      std::vector<std::string> values;
+      values.clear();
       while (j < part.size() && part[j].key == part[i].key) {
-        values.push_back(part[j].value);
+        // The partition buffer is discarded after this pass, so group
+        // values move out instead of copying.
+        values.push_back(std::move(part[j].value));
         ++j;
       }
       ++stats.reduce_input_groups;
       stats.reduce_input_records += values.size();
-      std::vector<KeyValue> reduced;
+      reduced.clear();
       Emitter em(&reduced);
       reducer->Reduce(part[i].key, values, &em);
       for (auto& kv : reduced) {

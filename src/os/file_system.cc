@@ -119,7 +119,7 @@ uint64_t FileSystem::free_bytes() const {
   return bump_free + free_extents_.size() * params_.extent_bytes;
 }
 
-void FileSystem::Append(File* file, uint64_t len, std::function<void()> cb) {
+void FileSystem::Append(File* file, uint64_t len, InlineFn cb) {
   BDIO_CHECK(file != nullptr);
   BDIO_CHECK(len > 0);
   const uint64_t offset = file->size_;
@@ -135,12 +135,12 @@ void FileSystem::Append(File* file, uint64_t len, std::function<void()> cb) {
 }
 
 void FileSystem::Read(File* file, uint64_t offset, uint64_t len,
-                      std::function<void()> cb) {
+                      InlineFn cb) {
   BDIO_CHECK(file != nullptr);
   cache_->Read(file, offset, len, std::move(cb));
 }
 
-void FileSystem::Sync(File* file, std::function<void()> cb) {
+void FileSystem::Sync(File* file, InlineFn cb) {
   BDIO_CHECK(file != nullptr);
   cache_->Sync(file, std::move(cb));
 }

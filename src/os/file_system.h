@@ -102,14 +102,13 @@ class FileSystem {
 
   /// Appends `len` bytes (buffered); `cb` fires when the write is accepted
   /// by the page cache (possibly throttled first).
-  void Append(File* file, uint64_t len, std::function<void()> cb);
+  void Append(File* file, uint64_t len, InlineFn cb);
 
   /// Reads [offset, offset+len); `cb` fires when the data is in cache.
-  void Read(File* file, uint64_t offset, uint64_t len,
-            std::function<void()> cb);
+  void Read(File* file, uint64_t offset, uint64_t len, InlineFn cb);
 
   /// Flushes the file's dirty pages to disk.
-  void Sync(File* file, std::function<void()> cb);
+  void Sync(File* file, InlineFn cb);
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t free_bytes() const;

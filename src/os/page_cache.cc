@@ -56,21 +56,19 @@ void PageCache::SchedulePeriodicFlush() {
   });
 }
 
-void PageCache::TouchLru(uint64_t key, Unit* unit) {
+void PageCache::TouchLru(Unit* unit) {
   BDIO_CHECK(unit->state == UnitState::kClean);
-  lru_.erase(unit->lru_it);
-  lru_.push_back(key);
-  unit->lru_it = std::prev(lru_.end());
+  // Splice instead of erase+push_back: moves the existing list node to the
+  // tail without freeing and reallocating it. lru_it stays valid.
+  lru_.splice(lru_.end(), lru_, unit->lru_it);
 }
 
 void PageCache::EvictIfNeeded() {
   while (cached_bytes() > params_.capacity_bytes && !lru_.empty()) {
-    const uint64_t key = lru_.front();
+    const auto uit = lru_.front();
     lru_.pop_front();
-    auto it = units_.find(key);
-    BDIO_CHECK(it != units_.end());
-    BDIO_CHECK(it->second.state == UnitState::kClean);
-    units_.erase(it);
+    BDIO_CHECK(uit->second.state == UnitState::kClean);
+    units_.erase(uit);
     ++stats_.evicted_units;
     if (m_evicted_) m_evicted_->Inc();
   }
@@ -81,7 +79,7 @@ void PageCache::EvictIfNeeded() {
 // ---------------------------------------------------------------------------
 
 void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
-                     std::function<void()> cb) {
+                     InlineFn cb) {
   BDIO_CHECK(len > 0);
   BDIO_CHECK(offset + len <= file->size())
       << "read past EOF: off=" << offset << " len=" << len
@@ -118,7 +116,7 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
   std::shared_ptr<uint64_t> span;
   if (trace_) {
     span = std::make_shared<uint64_t>(0);
-    cb = [this, span, inner = std::move(cb)] {
+    cb = [this, span, inner = std::move(cb)]() mutable {
       trace_->EndSpan(*span);
       if (inner) inner();
     };
@@ -126,13 +124,19 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
 
   auto latch = sim::Latch::Create(1, std::move(cb));  // 1 = scan guard
 
-  std::vector<uint64_t> to_fetch;  // unit indices needing a device read
+  // The scanned keys are consecutive integers (Key packs unit into the low
+  // bits), so one lower_bound plus an in-step iterator walk replaces a
+  // per-unit find; misses insert at the walk position (amortized O(1)).
+  // Nothing in the loop body erases from units_, so `it` stays valid.
+  std::vector<uint64_t>& to_fetch = scratch_fetch_;  // miss unit indices
+  to_fetch.clear();
+  auto it = units_.lower_bound(Key(fid, first));
   for (uint64_t u = first; u < prefetch_end; ++u) {
     const bool required = u <= last;
     const uint64_t key = Key(fid, u);
-    auto it = units_.find(key);
-    if (it != units_.end()) {
+    if (it != units_.end() && it->first == key) {
       Unit& unit = it->second;
+      ++it;  // keep the walk one step ahead; the reference stays valid
       if (unit.state == UnitState::kReading) {
         if (required) {
           latch->Extend(1);
@@ -142,7 +146,7 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
         continue;
       }
       // Resident in any other state.
-      if (unit.state == UnitState::kClean) TouchLru(key, &unit);
+      if (unit.state == UnitState::kClean) TouchLru(&unit);
       if (required) ++stats_.read_hits;
       continue;
     }
@@ -156,7 +160,8 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
     } else {
       ++stats_.readahead_units;
     }
-    units_.emplace(key, std::move(unit));
+    it = units_.emplace_hint(it, key, std::move(unit));
+    ++it;
     to_fetch.push_back(u);
   }
 
@@ -189,16 +194,17 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
     const uint64_t start_unit = to_fetch[i];
     uint64_t sector = file->SectorFor(start_unit * params_.unit_bytes);
     uint64_t bytes = params_.unit_bytes;
-    std::vector<uint64_t> bio_units{start_unit};
     size_t j = i + 1;
     while (j < to_fetch.size() && to_fetch[j] == to_fetch[j - 1] + 1 &&
            bytes + params_.unit_bytes <= max_bytes &&
            file->SectorFor(to_fetch[j] * params_.unit_bytes) ==
                sector + bytes / kSectorSize) {
       bytes += params_.unit_bytes;
-      bio_units.push_back(to_fetch[j]);
       ++j;
     }
+    // The bio covers the consecutive run [start_unit, start_unit + n); a
+    // (start, count) pair keeps the completion closure allocation-free.
+    const uint64_t n_units = j - i;
     stats_.disk_read_bytes += bytes;
     if (m_disk_read_bytes_) {
       m_disk_read_bytes_->Add(bytes);
@@ -208,22 +214,25 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
     }
     dev->Submit(
         IoType::kRead, sector, bytes / kSectorSize,
-        [this, fid, units = std::move(bio_units)] {
+        [this, fid, start_unit, n_units] {
           // Waiters may re-enter the cache and mutate units_, so collect
           // them first and run them only after this loop's references die.
-          std::vector<std::function<void()>> waiters;
-          for (uint64_t u : units) {
-            auto uit = units_.find(Key(fid, u));
-            if (uit == units_.end()) continue;  // dropped meanwhile
+          // The bio's units are consecutive, so one lower_bound plus a
+          // forward walk covers them; gaps mean units dropped meanwhile.
+          std::vector<InlineFn> waiters;
+          const uint64_t end_key = Key(fid, start_unit + n_units);
+          for (auto uit = units_.lower_bound(Key(fid, start_unit));
+               uit != units_.end() && uit->first < end_key; ++uit) {
             Unit& unit = uit->second;
-            if (unit.state != UnitState::kReading) continue;
-            unit.state = UnitState::kClean;
-            lru_.push_back(Key(fid, u));
-            unit.lru_it = std::prev(lru_.end());
-            for (auto& w : unit.read_waiters) {
-              waiters.push_back(std::move(w));
+            if (unit.state == UnitState::kReading) {
+              unit.state = UnitState::kClean;
+              lru_.push_back(uit);
+              unit.lru_it = std::prev(lru_.end());
+              for (auto& w : unit.read_waiters) {
+                waiters.push_back(std::move(w));
+              }
+              unit.read_waiters.clear();
             }
-            unit.read_waiters.clear();
           }
           EvictIfNeeded();
           for (auto& w : waiters) w();
@@ -241,7 +250,7 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
 // ---------------------------------------------------------------------------
 
 void PageCache::Write(CachedFile* file, uint64_t offset, uint64_t len,
-                      std::function<void()> cb) {
+                      InlineFn cb) {
   BDIO_CHECK(len > 0);
   if (dirty_bytes() > dirty_limit()) {
     // balance_dirty_pages(): the writer sleeps until writeback catches up.
@@ -263,35 +272,44 @@ void PageCache::Write(CachedFile* file, uint64_t offset, uint64_t len,
 void PageCache::DoWrite(CachedFile* file, uint64_t offset, uint64_t len) {
   const uint64_t first = UnitOf(offset);
   const uint64_t last = UnitOf(offset + len - 1);
+  const uint64_t fid = file->file_id();
+  // One file-state lookup and one units_ lower_bound for the whole write:
+  // the written keys are consecutive, so the iterator walks in step with
+  // `u` (same pattern as the Read scan). References stay valid — the loop
+  // only inserts into units_, never erases.
+  FileState& fs = files_[fid];
+  fs.file = file;
+  auto it = units_.lower_bound(Key(fid, first));
   for (uint64_t u = first; u <= last; ++u) {
-    MarkDirty(file, u);
+    const uint64_t key = Key(fid, u);
+    if (it != units_.end() && it->first == key) {
+      Unit& unit = it->second;
+      ++it;
+      MarkDirtyResident(fid, fs, unit, u);
+      continue;
+    }
+    Unit unit;
+    unit.state = UnitState::kDirty;
+    unit.dirty_since = sim_->Now();
+    it = units_.emplace_hint(it, key, std::move(unit));
+    ++it;
+    NoteDirtyInsert(fid, fs);
+    fs.dirty.emplace(u, sim_->Now());
+    ++dirty_units_;
+    SchedulePeriodicFlush();
   }
   EvictIfNeeded();
   if (dirty_bytes() > dirty_background_limit()) PumpWriteback();
 }
 
-void PageCache::MarkDirty(CachedFile* file, uint64_t unit_idx) {
-  const uint64_t fid = file->file_id();
-  FileState& fs = files_[fid];
-  fs.file = file;
-  const uint64_t key = Key(fid, unit_idx);
-  auto it = units_.find(key);
-  if (it == units_.end()) {
-    Unit unit;
-    unit.state = UnitState::kDirty;
-    unit.dirty_since = sim_->Now();
-    units_.emplace(key, std::move(unit));
-    fs.dirty.emplace(unit_idx, sim_->Now());
-    ++dirty_units_;
-    SchedulePeriodicFlush();
-    return;
-  }
-  Unit& unit = it->second;
+void PageCache::MarkDirtyResident(uint64_t fid, FileState& fs, Unit& unit,
+                                  uint64_t unit_idx) {
   switch (unit.state) {
     case UnitState::kClean:
       lru_.erase(unit.lru_it);
       unit.state = UnitState::kDirty;
       unit.dirty_since = sim_->Now();
+      NoteDirtyInsert(fid, fs);
       fs.dirty.emplace(unit_idx, sim_->Now());
       ++dirty_units_;
       SchedulePeriodicFlush();
@@ -302,6 +320,7 @@ void PageCache::MarkDirty(CachedFile* file, uint64_t unit_idx) {
       // Overwrite while a read is in flight: data now newer than disk.
       unit.state = UnitState::kDirty;
       unit.dirty_since = sim_->Now();
+      NoteDirtyInsert(fid, fs);
       fs.dirty.emplace(unit_idx, sim_->Now());
       ++dirty_units_;
       SchedulePeriodicFlush();
@@ -344,25 +363,23 @@ void PageCache::PumpWriteback() {
     // Sync requests are always serviced; otherwise a flush goal must be
     // active.
     bool submitted = false;
-    // First pass: files with explicit sync requests.
-    for (auto& [fid, fs] : files_) {
+    // First pass: files with explicit sync requests. dirty_files_ is the
+    // ascending subset of files_ with dirty data, so iterating it visits
+    // the same candidates in the same order as a full files_ scan.
+    for (uint64_t fid : dirty_files_) {
+      FileState& fs = files_.find(fid)->second;
       if (fs.sync_requested && !fs.dirty.empty()) {
         if (SubmitWritebackBio(fid, &fs, /*aged_only=*/false)) {
           submitted = true;
-          break;
+          break;  // break before the iterator can see the submit's erase
         }
       }
     }
     if (!submitted) {
       if (!WritebackGoalActive() || dirty_units_ == 0) break;
-      // Round-robin over files with dirty data.
-      std::vector<uint64_t> fids;
-      fids.reserve(files_.size());
-      for (auto& [fid, fs] : files_) {
-        if (!fs.dirty.empty()) fids.push_back(fid);
-      }
+      // Round-robin over files with dirty data (ascending, as before).
+      std::vector<uint64_t> fids(dirty_files_.begin(), dirty_files_.end());
       if (fids.empty()) break;
-      std::sort(fids.begin(), fids.end());
       const uint64_t pick = fids[wb_cursor_++ % fids.size()];
       const bool aged_only =
           periodic_pass_ && dirty_bytes() <= dirty_background_limit() &&
@@ -465,7 +482,7 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
   const uint64_t start_sector =
       file->SectorFor(start_unit * params_.unit_bytes);
   uint64_t bytes = params_.unit_bytes;
-  std::vector<uint64_t> bio_units{start_unit};
+  uint64_t n_units = 1;  // the bio covers [start_unit, start_unit + n)
 
   auto next_it = std::next(start_it);
   uint64_t expect = start_unit + 1;
@@ -473,22 +490,27 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
          bytes + params_.unit_bytes <= max_bytes &&
          file->SectorFor(expect * params_.unit_bytes) ==
              start_sector + bytes / kSectorSize) {
-    bio_units.push_back(expect);
+    ++n_units;
     bytes += params_.unit_bytes;
     ++expect;
     ++next_it;
   }
 
-  // Transition units to writeback.
-  for (uint64_t u : bio_units) {
-    fs->dirty.erase(u);
-    auto uit = units_.find(Key(file_id, u));
-    BDIO_CHECK(uit != units_.end());
+  // Transition units to writeback. The bio covers consecutive entries of
+  // the dirty map starting at start_it, so one range erase suffices — and
+  // the matching units_ keys are consecutive and all present, so one
+  // lower_bound plus increments replaces per-unit finds.
+  auto uit = units_.lower_bound(Key(file_id, start_unit));
+  for (uint64_t u = start_unit; u < start_unit + n_units; ++u) {
+    BDIO_CHECK(uit != units_.end() && uit->first == Key(file_id, u));
     BDIO_CHECK(uit->second.state == UnitState::kDirty);
     uit->second.state = UnitState::kWriteback;
     --dirty_units_;
     ++fs->writeback_units;
+    ++uit;
   }
+  fs->dirty.erase(start_it, start_it + static_cast<ptrdiff_t>(n_units));
+  if (fs->dirty.empty()) dirty_files_.erase(file_id);
   ++writeback_inflight_;
   stats_.writeback_bytes += bytes;
   if (m_writeback_bytes_) {
@@ -506,52 +528,61 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
     trace_->Instant(trace_pid_, "pagecache", "writeback",
                     "{\"file\":" + std::to_string(file_id) + ",\"bytes\":" +
                         std::to_string(bytes) + ",\"units\":" +
-                        std::to_string(bio_units.size()) + "}");
+                        std::to_string(n_units) + "}");
     trace_->FlowStart(flow, trace_pid_);
   }
   obs::FlowScope flow_scope(trace_, flow);
 
   dev->Submit(
       IoType::kWrite, start_sector, bytes / kSectorSize,
-      [this, file_id, units = std::move(bio_units)]() mutable {
-        OnWritebackDone(file_id, std::move(units));
+      [this, file_id, start_unit, n_units] {
+        OnWritebackDone(file_id, start_unit, n_units);
       },
       /*io_context=*/file_id);
   return true;
 }
 
-void PageCache::OnWritebackDone(uint64_t file_id,
-                                std::vector<uint64_t> unit_indices) {
+void PageCache::OnWritebackDone(uint64_t file_id, uint64_t start_unit,
+                                uint64_t n) {
   BDIO_CHECK(writeback_inflight_ > 0);
   --writeback_inflight_;
   auto fit = files_.find(file_id);
   const bool dropped = fit != files_.end() && fit->second.dropped;
-  for (uint64_t u : unit_indices) {
+  // The bio's units are consecutive and ascending: walk units_ once from
+  // the first key instead of re-finding each one (gaps = units dropped
+  // while the bio was in flight).
+  auto uit = units_.lower_bound(Key(file_id, start_unit));
+  for (uint64_t u = start_unit; u < start_unit + n; ++u) {
     if (fit != files_.end()) {
       BDIO_CHECK(fit->second.writeback_units > 0);
       --fit->second.writeback_units;
     }
-    auto uit = units_.find(Key(file_id, u));
-    if (uit == units_.end()) continue;  // file dropped while in flight
+    const uint64_t key = Key(file_id, u);
+    while (uit != units_.end() && uit->first < key) ++uit;
+    if (uit == units_.end() || uit->first != key) {
+      continue;  // file dropped while in flight
+    }
     Unit& unit = uit->second;
     if (dropped) {
       // The file was deleted mid-flush: discard the unit entirely.
-      units_.erase(uit);
+      uit = units_.erase(uit);
       continue;
     }
     if (unit.state == UnitState::kWritebackRedirty) {
       unit.state = UnitState::kDirty;
       unit.dirty_since = sim_->Now();
       if (fit != files_.end()) {
+        NoteDirtyInsert(file_id, fit->second);
         fit->second.dirty.emplace(u, sim_->Now());
       }
       ++dirty_units_;
       SchedulePeriodicFlush();
     } else if (unit.state == UnitState::kWriteback) {
       unit.state = UnitState::kClean;
-      lru_.push_back(Key(file_id, u));
+      lru_.push_back(uit);
       unit.lru_it = std::prev(lru_.end());
     }
+    ++uit;
   }
   if (dropped && fit->second.writeback_units == 0) {
     for (auto& w : fit->second.sync_waiters) {
@@ -598,7 +629,7 @@ void PageCache::DrainThrottled() {
 // Sync / drop
 // ---------------------------------------------------------------------------
 
-void PageCache::Sync(CachedFile* file, std::function<void()> cb) {
+void PageCache::Sync(CachedFile* file, InlineFn cb) {
   const uint64_t fid = file->file_id();
   FileState& fs = files_[fid];
   fs.file = file;
@@ -611,24 +642,22 @@ void PageCache::Sync(CachedFile* file, std::function<void()> cb) {
   PumpWriteback();
 }
 
-void PageCache::SyncAll(std::function<void()> cb) {
+void PageCache::SyncAll(InlineFn cb) {
   if (dirty_units_ == 0 && writeback_inflight_ == 0) {
     if (cb) sim_->ScheduleAfter(0, std::move(cb));
     return;
   }
   if (cb) sync_all_waiters_.push_back(std::move(cb));
-  for (auto& [fid, fs] : files_) {
-    if (!fs.dirty.empty()) fs.sync_requested = true;
+  for (uint64_t fid : dirty_files_) {
+    files_.find(fid)->second.sync_requested = true;
   }
   PumpWriteback();
 }
 
 void PageCache::DropClean() {
-  for (uint64_t key : lru_) {
-    auto it = units_.find(key);
-    BDIO_CHECK(it != units_.end());
-    BDIO_CHECK(it->second.state == UnitState::kClean);
-    units_.erase(it);
+  for (const auto& uit : lru_) {
+    BDIO_CHECK(uit->second.state == UnitState::kClean);
+    units_.erase(uit);
   }
   lru_.clear();
   readahead_.clear();
@@ -651,6 +680,7 @@ void PageCache::Drop(uint64_t file_id) {
     // Discard dirty bookkeeping; in-flight writeback completions notice the
     // missing units and skip them.
     dirty_units_ -= fit->second.dirty.size();
+    dirty_files_.erase(file_id);
     if (fit->second.writeback_units == 0) {
       for (auto& w : fit->second.sync_waiters) {
         sim_->ScheduleAfter(0, std::move(w));
@@ -718,20 +748,29 @@ std::string PageCache::AuditInvariants() const {
     return "pagecache: " + std::to_string(clean) +
            " clean units but LRU list holds " + std::to_string(lru_.size());
   }
-  for (uint64_t key : lru_) {
-    auto it = units_.find(key);
-    if (it == units_.end()) {
-      return "pagecache: LRU references evicted unit " + std::to_string(key);
-    }
-    if (it->second.state != UnitState::kClean) {
-      return "pagecache: LRU references non-clean unit " + std::to_string(key);
+  // The LRU holds live units_ iterators (an entry for an erased unit would
+  // already be UB to dereference), so the audit checks the state invariant;
+  // the clean-count match above catches stale or missing entries.
+  for (const auto& uit : lru_) {
+    if (uit->second.state != UnitState::kClean) {
+      return "pagecache: LRU references non-clean unit " +
+             std::to_string(uit->first);
     }
   }
   uint64_t per_file_dirty = 0;
   uint64_t per_file_wb = 0;
+  uint64_t files_with_dirty = 0;
   for (const auto& [fid, fs] : files_) {
     per_file_dirty += fs.dirty.size();
     per_file_wb += fs.writeback_units;
+    if (!fs.dirty.empty()) ++files_with_dirty;
+    if (fs.dirty.empty() != (dirty_files_.count(fid) == 0)) {
+      return "pagecache: dirty_files_ " +
+             std::string(fs.dirty.empty() ? "contains" : "is missing") +
+             " file " + std::to_string(fid) +
+             (fs.dirty.empty() ? " which has no dirty units"
+                               : " which has dirty units");
+    }
     const auto wit = wb_per_file.find(fid);
     const uint64_t in_wb = wit == wb_per_file.end() ? 0 : wit->second;
     // Dropped files release their units at bio completion, so the unit
@@ -742,6 +781,11 @@ std::string PageCache::AuditInvariants() const {
              std::to_string(fs.writeback_units) + " but " +
              std::to_string(in_wb) + " units are in writeback states";
     }
+  }
+  if (files_with_dirty != dirty_files_.size()) {
+    return "pagecache: dirty_files_ holds " +
+           std::to_string(dirty_files_.size()) + " entries but " +
+           std::to_string(files_with_dirty) + " files have dirty units";
   }
   if (per_file_dirty != dirty_units_) {
     return "pagecache: per-file dirty maps hold " +

@@ -6,9 +6,12 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/inline_fn.h"
 #include "common/io_tag.h"
 #include "common/units.h"
 #include "obs/metrics.h"
@@ -83,20 +86,18 @@ class PageCache {
 
   /// Reads [offset, offset+len) of `file`; `cb` fires once all requested
   /// bytes are cache-resident. May prefetch beyond the range.
-  void Read(CachedFile* file, uint64_t offset, uint64_t len,
-            std::function<void()> cb);
+  void Read(CachedFile* file, uint64_t offset, uint64_t len, InlineFn cb);
 
   /// Buffers a write of [offset, offset+len); `cb` fires as soon as the
   /// dirty units are accepted (possibly delayed by dirty throttling).
-  void Write(CachedFile* file, uint64_t offset, uint64_t len,
-             std::function<void()> cb);
+  void Write(CachedFile* file, uint64_t offset, uint64_t len, InlineFn cb);
 
   /// Durably flushes all of `file`'s dirty units; `cb` fires when none of
   /// its units are dirty or in writeback.
-  void Sync(CachedFile* file, std::function<void()> cb);
+  void Sync(CachedFile* file, InlineFn cb);
 
   /// Flushes everything; `cb` fires when the whole cache is clean.
-  void SyncAll(std::function<void()> cb);
+  void SyncAll(InlineFn cb);
 
   /// Invalidates all units of a (deleted) file; dirty data is discarded.
   void Drop(uint64_t file_id);
@@ -142,20 +143,32 @@ class PageCache {
     kWritebackRedirty,  ///< Written again while the flush bio is in flight.
   };
 
+  struct Unit;
+  /// Node-based on purpose: references and iterators into units_ are held
+  /// across inserts (FileState&, LRU entries) — see the container comment
+  /// below.
+  using UnitMap = std::map<uint64_t, Unit>;
+  /// The LRU holds map iterators, not keys: eviction and clean-drop then
+  /// erase in O(1) amortized instead of re-finding each key. std::map
+  /// iterators stay valid until their element is erased, so every list
+  /// entry is live by the invariant "LRU contents == clean units".
+  using LruList = std::list<UnitMap::iterator>;
+
   struct Unit {
     UnitState state = UnitState::kClean;
-    std::list<uint64_t>::iterator lru_it{};
+    LruList::iterator lru_it{};
     SimTime dirty_since = 0;
-    std::vector<std::function<void()>> read_waiters;
+    std::vector<InlineFn> read_waiters;
   };
 
   struct FileState {
     CachedFile* file = nullptr;
     /// unit index -> time it became dirty; ordered for elevator-friendly
-    /// writeback.
-    std::map<uint64_t, SimTime> dirty;
+    /// writeback. Flat: streams dirty units in ascending order (append
+    /// fast path) and writeback erases contiguous runs.
+    FlatMap<uint64_t, SimTime> dirty;
     uint64_t writeback_units = 0;
-    std::vector<std::function<void()>> sync_waiters;
+    std::vector<InlineFn> sync_waiters;
     bool sync_requested = false;
     bool dropped = false;  ///< File deleted while writeback was in flight.
   };
@@ -169,7 +182,7 @@ class PageCache {
     CachedFile* file = nullptr;
     uint64_t offset = 0;
     uint64_t len = 0;
-    std::function<void()> cb;
+    InlineFn cb;
   };
 
   static uint64_t Key(uint64_t file_id, uint64_t unit) {
@@ -187,14 +200,25 @@ class PageCache {
   }
 
   void DoWrite(CachedFile* file, uint64_t offset, uint64_t len);
-  void MarkDirty(CachedFile* file, uint64_t unit);
-  void TouchLru(uint64_t key, Unit* unit);
+  /// Dirties a unit already resident in units_ (the missing-unit case is
+  /// inlined into DoWrite's ordered walk).
+  void MarkDirtyResident(uint64_t fid, FileState& fs, Unit& unit,
+                         uint64_t unit_idx);
+  /// Records a dirty-map insert for dirty_files_ maintenance; call before
+  /// the fs.dirty.emplace that may take the map from empty to non-empty.
+  void NoteDirtyInsert(uint64_t fid, const FileState& fs) {
+    if (fs.dirty.empty()) dirty_files_.insert(fid);
+  }
+  void TouchLru(Unit* unit);
   void EvictIfNeeded();
   void PumpWriteback();
   /// Selects and submits one writeback bio from `fs`; returns false if the
   /// file has no flushable unit under the current goal.
   bool SubmitWritebackBio(uint64_t file_id, FileState* fs, bool aged_only);
-  void OnWritebackDone(uint64_t file_id, std::vector<uint64_t> unit_indices);
+  /// Completion of a writeback bio covering units [start_unit,
+  /// start_unit + n) of `file_id` (bios always cover a consecutive run, so
+  /// a range beats materializing an index vector per bio).
+  void OnWritebackDone(uint64_t file_id, uint64_t start_unit, uint64_t n);
   void CheckSyncWaiters(uint64_t file_id);
   void DrainThrottled();
   void SchedulePeriodicFlush();
@@ -207,11 +231,23 @@ class PageCache {
   // Ordered containers: writeback selection iterates files_ and Drop walks
   // units_ scheduling waiter callbacks, so iteration order feeds the event
   // queue — unordered maps would leak hash-iteration order into event order
-  // (docs/STATIC_ANALYSIS.md, rule R1).
-  std::map<uint64_t, Unit> units_;
-  std::list<uint64_t> lru_;  ///< Clean units, LRU order (front = coldest).
+  // (docs/STATIC_ANALYSIS.md, rule R1). units_/files_ stay node-based
+  // std::maps on purpose: references into them are held across mutations
+  // (e.g. FileState& across unit inserts), which a flat map would
+  // invalidate — see docs/PERFORMANCE.md for the audit.
+  UnitMap units_;
+  LruList lru_;  ///< Clean units, LRU order (front = coldest).
   std::map<uint64_t, FileState> files_;
-  std::map<uint64_t, ReadaheadState> readahead_;
+  /// Exactly the files whose FileState::dirty is non-empty, ascending.
+  /// files_ accumulates an entry per file ever written, so writeback
+  /// selection iterates this (usually tiny) set instead — same ascending
+  /// order, so the round-robin picks are unchanged. Maintained at every
+  /// dirty-map transition; cross-checked by AuditInvariants.
+  std::set<uint64_t> dirty_files_;
+  FlatMap<uint64_t, ReadaheadState> readahead_;
+  /// Read's scratch for miss unit indices, reused across calls (the scan
+  /// completes before any completion can re-enter the cache).
+  std::vector<uint64_t> scratch_fetch_;
 
   uint64_t dirty_units_ = 0;
   uint64_t writeback_inflight_ = 0;
@@ -222,7 +258,7 @@ class PageCache {
                                   ///< background limit once triggered.
   bool flush_timer_armed_ = false;
   std::deque<PendingWrite> throttled_;
-  std::vector<std::function<void()>> sync_all_waiters_;
+  std::vector<InlineFn> sync_all_waiters_;
   uint64_t next_file_id_ = 1;
 
   // Observability sinks; null (the default) keeps the hot paths at one

@@ -1,6 +1,6 @@
 #include "sched/scheduler.h"
 
-#include <map>
+#include "common/flat_map.h"
 
 namespace bdio::sched {
 
@@ -15,11 +15,14 @@ struct PoolState {
   uint64_t first_seq = 0;
 };
 
-std::map<std::string, PoolState> AggregatePools(
+/// Pools keyed by name in a flat map: the fair pick below iterates it in
+/// the same ascending order the tree map gave (rule R1), without per-pool
+/// node allocations on every scheduling decision.
+FlatMap<std::string, PoolState> AggregatePools(
     SlotKind kind, const std::vector<JobSchedState>& jobs) {
-  std::map<std::string, PoolState> pools;
+  FlatMap<std::string, PoolState> pools;
   for (const JobSchedState& j : jobs) {
-    auto [it, inserted] = pools.try_emplace(
+    auto [it, inserted] = pools.emplace(
         j.pool, PoolState{j.weight <= 0 ? 1.0 : j.weight, 0, false, j.seq});
     it->second.running += j.running(kind);
     if (j.runnable(kind) > 0) it->second.has_runnable = true;

@@ -1,0 +1,92 @@
+#ifndef BDIO_SIM_CALENDAR_QUEUE_H_
+#define BDIO_SIM_CALENDAR_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/event_pool.h"
+
+namespace bdio::sim {
+
+/// Calendar-queue pending-event set (Brown 1988) over pooled EventNodes.
+///
+/// Time is divided into power-of-two-width buckets ("days") that wrap over
+/// a power-of-two bucket array (a "year"); an event lands in bucket
+/// `(time >> shift) & (nbuckets - 1)`. Each bucket keeps its events in a
+/// binary min-heap ordered by (time, seq), so extraction scans forward from
+/// the current day and pops the head of the first bucket holding an event
+/// of that day. With the bucket width tracking the mean event spacing
+/// (recomputed on resize), push and pop are O(1) amortized versus the
+/// O(log n) sift of a global binary heap — and the bucket heaps stay small
+/// and cache-resident.
+///
+/// Determinism: (time, seq) is a total order over events — seq is unique —
+/// so any correct priority queue, this one included, yields the exact same
+/// pop sequence as the reference heap. Equal-time events share a bucket by
+/// construction and their heap breaks the tie by seq.
+///
+/// Ownership: the queue holds raw EventNode pointers; nodes are owned by
+/// the Simulator's EventPool and must stay live from Push until Pop.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  void Push(EventNode* n);
+
+  /// Returns the (time, seq)-minimal node, or nullptr when empty. Advances
+  /// internal search state but not queue contents.
+  EventNode* PeekMin();
+
+  /// Removes and returns the minimal node, or nullptr when empty.
+  EventNode* PopMin();
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Introspection for tests and the performance handbook.
+  size_t bucket_count() const { return buckets_.size(); }
+  uint32_t bucket_shift() const { return shift_; }
+
+ private:
+  using Bucket = std::vector<EventNode*>;
+
+  static bool Earlier(const EventNode* a, const EventNode* b) {
+    if (a->time != b->time) return a->time < b->time;
+    return a->seq < b->seq;
+  }
+  /// std heap comparator: "less" = later, so the heap front is earliest.
+  struct HeapCmp {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      return Earlier(b, a);
+    }
+  };
+
+  uint64_t EpochOf(SimTime t) const { return t >> shift_; }
+  size_t BucketIndex(uint64_t epoch) const {
+    return static_cast<size_t>(epoch) & (buckets_.size() - 1);
+  }
+
+  /// Locates the minimal node: scans one full year from cur_epoch_, then
+  /// falls back to a direct sweep when events are sparser than a year.
+  /// Leaves cur_epoch_ at the found node's epoch.
+  EventNode* FindMin();
+
+  /// Rebuckets every node into `nbuckets` buckets, re-deriving the bucket
+  /// width from the observed event-time span.
+  void Resize(size_t nbuckets);
+
+  std::vector<Bucket> buckets_;
+  uint32_t shift_ = 20;  ///< Bucket width = 2^shift_ ns (~1 ms initially).
+  size_t size_ = 0;
+  /// Lower bound on the minimal pending event's epoch (time >> shift_):
+  /// the extraction scan starts here. Pushing an earlier event rewinds it.
+  uint64_t cur_epoch_ = 0;
+};
+
+}  // namespace bdio::sim
+
+#endif  // BDIO_SIM_CALENDAR_QUEUE_H_

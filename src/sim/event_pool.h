@@ -1,0 +1,83 @@
+#ifndef BDIO_SIM_EVENT_POOL_H_
+#define BDIO_SIM_EVENT_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/inline_fn.h"
+#include "common/units.h"
+
+namespace bdio::sim {
+
+/// One scheduled event. Nodes live in EventPool blocks: they are allocated
+/// and recycled through the pool's freelist and NEVER move, so the calendar
+/// queue can hold raw pointers across its own rebucketing.
+///
+/// Pool lifetime rules (also see docs/PERFORMANCE.md):
+///  - a node is owned by the scheduler queue from Push until Pop;
+///  - Simulator::Step moves `fn` out and frees the node BEFORE invoking the
+///    callback, so a callback scheduling new events may reuse the node it
+///    was carried by — never touch an EventNode after Free;
+///  - `free_next` is meaningful only while the node sits on the freelist.
+struct EventNode {
+  SimTime time = 0;
+  uint64_t seq = 0;           ///< Tie-break: insertion order.
+  EventNode* free_next = nullptr;
+  InlineFn fn;
+};
+
+/// Bump-then-freelist allocator for EventNodes. Nodes are carved from
+/// fixed-size aligned blocks (256 nodes, ~28 KiB — a few cache-resident
+/// pages) and recycled LIFO so the hot scheduling loop keeps hitting the
+/// same warm nodes instead of the global allocator.
+class EventPool {
+ public:
+  static constexpr size_t kBlockNodes = 256;
+
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  EventNode* Alloc() {
+    if (free_ == nullptr) Grow();
+    EventNode* n = free_;
+    free_ = n->free_next;
+    return n;
+  }
+
+  /// Returns a node to the freelist. The node's `fn` must already be empty
+  /// (moved out) or is destroyed here; the caller must hold no other
+  /// pointers to the node.
+  void Free(EventNode* n) {
+    n->fn.reset();
+    n->free_next = free_;
+    free_ = n;
+  }
+
+  /// Nodes ever allocated (capacity, not live count) — for stats/tests.
+  size_t capacity() const { return blocks_.size() * kBlockNodes; }
+
+ private:
+  struct alignas(64) Block {
+    EventNode nodes[kBlockNodes];
+  };
+
+  void Grow() {
+    blocks_.push_back(std::make_unique<Block>());
+    Block* b = blocks_.back().get();
+    // Link the fresh nodes in address order; LIFO reuse keeps recency.
+    for (size_t i = kBlockNodes; i > 0; --i) {
+      b->nodes[i - 1].free_next = free_;
+      free_ = &b->nodes[i - 1];
+    }
+  }
+
+  EventNode* free_ = nullptr;
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace bdio::sim
+
+#endif  // BDIO_SIM_EVENT_POOL_H_

@@ -2,10 +2,10 @@
 #define BDIO_SIM_LATCH_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <utility>
 
+#include "common/inline_fn.h"
 #include "common/logging.h"
 
 namespace bdio::sim {
@@ -18,8 +18,7 @@ class Latch : public std::enable_shared_from_this<Latch> {
  public:
   /// Creates a latch expecting `count` arrivals. A zero-count latch fires
   /// immediately.
-  static std::shared_ptr<Latch> Create(uint64_t count,
-                                       std::function<void()> on_done) {
+  static std::shared_ptr<Latch> Create(uint64_t count, InlineFn on_done) {
     auto latch =
         std::shared_ptr<Latch>(new Latch(count, std::move(on_done)));
     if (count == 0) latch->Fire();
@@ -27,10 +26,10 @@ class Latch : public std::enable_shared_from_this<Latch> {
   }
 
   /// Returns a callable that counts down this latch once; the callable keeps
-  /// the latch alive.
-  std::function<void()> Arm() {
+  /// the latch alive. Small enough to stay in InlineFn's inline buffer.
+  InlineFn Arm() {
     auto self = shared_from_this();
-    return [self]() { self->Arrive(); };
+    return InlineFn([self]() { self->Arrive(); });
   }
 
   void Arrive() {
@@ -48,14 +47,14 @@ class Latch : public std::enable_shared_from_this<Latch> {
   bool fired() const { return fired_; }
 
  private:
-  Latch(uint64_t count, std::function<void()> on_done)
+  Latch(uint64_t count, InlineFn on_done)
       : remaining_(count), on_done_(std::move(on_done)) {}
 
   void Fire() {
     if (fired_) return;
     fired_ = true;
     if (on_done_) {
-      auto cb = std::move(on_done_);
+      InlineFn cb = std::move(on_done_);
       on_done_ = nullptr;
       cb();
     }
@@ -63,7 +62,7 @@ class Latch : public std::enable_shared_from_this<Latch> {
 
   uint64_t remaining_;
   bool fired_ = false;
-  std::function<void()> on_done_;
+  InlineFn on_done_;
 };
 
 }  // namespace bdio::sim

@@ -1,26 +1,20 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 #include "common/logging.h"
 
 namespace bdio::sim {
 
-void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  BDIO_CHECK(t >= now_) << "cannot schedule in the past: t=" << t
-                        << " now=" << now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is copied out so the callback
-  // can schedule further events (including at the same timestamp).
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
+  EventNode* n = queue_.PopMin();
+  if (n == nullptr) return false;
+  now_ = n->time;
   ++events_processed_;
-  ev.fn();
+  // Move the callback out and recycle the node before invoking: the
+  // callback is free to schedule new events (including at the same
+  // timestamp) and they may reuse this very node.
+  InlineFn fn = std::move(n->fn);
+  pool_.Free(n);
+  if (fn) fn();  // a null callback is a valid no-op event
   if (post_event_hook_) post_event_hook_();
   return true;
 }
@@ -31,7 +25,8 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  for (EventNode* head = queue_.PeekMin();
+       head != nullptr && head->time <= t; head = queue_.PeekMin()) {
     Step();
   }
   if (now_ < t) now_ = t;

@@ -3,16 +3,34 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "common/inline_fn.h"
+#include "common/logging.h"
 #include "common/units.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_pool.h"
 
 namespace bdio::sim {
 
 /// Discrete-event simulation kernel. Events are (time, callback) pairs kept
-/// in a priority queue; ties are broken by insertion order so runs are fully
-/// deterministic. Single-threaded by design.
+/// in a calendar queue; ties are broken by insertion order (a per-simulator
+/// sequence number) so runs are fully deterministic. Single-threaded by
+/// design: one Simulator per experiment, experiments parallelized across
+/// threads never share one.
+///
+/// Hot-path design (see docs/PERFORMANCE.md for the full map):
+///  - callbacks are type-erased into InlineFn (80-byte inline capture), so
+///    scheduling a closure does not allocate;
+///  - event nodes come from an EventPool freelist (fixed-size aligned
+///    blocks), so neither Push nor Pop touches the global allocator;
+///  - the pending set is a CalendarQueue: O(1) amortized schedule/extract
+///    versus the binary heap's O(log n) sift.
+///
+/// Pool lifetime rule: Step() moves the callback out of its EventNode and
+/// frees the node *before* invoking it, so a callback may (and usually
+/// does) schedule new events that reuse the node that carried it. Code
+/// outside the kernel never sees EventNodes.
 class Simulator {
  public:
   Simulator() = default;
@@ -23,12 +41,23 @@ class Simulator {
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= Now()).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (>= Now()). `fn` is any void()
+  /// callable; captures up to InlineFn::kInlineSize bytes stay inline.
+  template <typename F>
+  void ScheduleAt(SimTime t, F&& fn) {
+    BDIO_CHECK(t >= now_) << "cannot schedule in the past: t=" << t
+                          << " now=" << now_;
+    EventNode* n = pool_.Alloc();
+    n->time = t;
+    n->seq = next_seq_++;
+    n->fn = InlineFn(std::forward<F>(fn));
+    queue_.Push(n);
+  }
 
   /// Schedules `fn` after `d` has elapsed.
-  void ScheduleAfter(SimDuration d, std::function<void()> fn) {
-    ScheduleAt(now_ + d, std::move(fn));
+  template <typename F>
+  void ScheduleAfter(SimDuration d, F&& fn) {
+    ScheduleAt(now_ + d, std::forward<F>(fn));
   }
 
   /// Runs the next event, if any. Returns false when the queue is empty.
@@ -38,37 +67,30 @@ class Simulator {
   void Run();
 
   /// Runs until simulated time reaches `t` or the queue drains. The clock is
-  /// advanced to `t` even if the queue drains earlier.
+  /// advanced to `t` even if the queue drains earlier; a `t` at or before
+  /// Now() runs nothing and leaves the clock unchanged.
   void RunUntil(SimTime t);
 
   size_t pending() const { return queue_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
   /// Installs a hook called after every event callback returns (debug
-  /// checkers such as bdio::invariants). The hook must be read-only with
-  /// respect to simulation state — it must not schedule events or mutate
-  /// the model, or determinism guarantees are void. Pass nullptr to clear.
+  /// checkers such as bdio::invariants — see src/check/invariants.h). The
+  /// hook must be read-only with respect to simulation state: it must not
+  /// schedule events or mutate the model, or determinism guarantees are
+  /// void. It may alert (log/abort) on violated invariants. Pass nullptr
+  /// to clear. Hook dispatch is one branch when unset, so release runs
+  /// pay nothing.
   void SetPostEventHook(std::function<void()> hook) {
     post_event_hook_ = std::move(hook);
   }
 
  private:
-  struct Event {
-    SimTime time = 0;
-    uint64_t seq = 0;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventPool pool_;
+  CalendarQueue queue_;
   std::function<void()> post_event_hook_;
 };
 

@@ -38,8 +38,7 @@ void BlockDevice::AttachObs(obs::TraceSession* trace,
 }
 
 void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
-                         std::function<void()> on_complete,
-                         uint64_t io_context) {
+                         InlineFn on_complete, uint64_t io_context) {
   BDIO_CHECK(sectors > 0) << name_ << ": zero-length bio";
   BDIO_CHECK(sectors <= params_.max_request_sectors)
       << name_ << ": bio exceeds max request size (" << sectors
@@ -47,19 +46,19 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
   BDIO_CHECK(sector + sectors <= params_.TotalSectors())
       << name_ << ": bio beyond device end";
 
-  IoRequest bio;
-  bio.type = type;
-  bio.sector = sector;
-  bio.sectors = sectors;
-  bio.io_context = io_context;
-  bio.submit_time = sim_->Now();
-  if (on_complete) bio.on_complete.push_back(std::move(on_complete));
-  if (trace_) bio.trace_flow = trace_->current_flow();
+  IoRequest* bio = pool_.Alloc();
+  bio->type = type;
+  bio->sector = sector;
+  bio->sectors = sectors;
+  bio->io_context = io_context;
+  bio->submit_time = sim_->Now();
+  if (on_complete) bio->on_complete.push_back(std::move(on_complete));
+  if (trace_) bio->trace_flow = trace_->current_flow();
   if (m_queue_depth_) {
     m_queue_depth_->Observe(static_cast<double>(scheduler_->size()));
   }
 
-  if (scheduler_->TryMerge(&bio)) {
+  if (scheduler_->TryMerge(bio)) {
     stats_.OnMerge(type, sim_->Now());
     if (m_merges_) m_merges_->Inc();
     if (trace_) {
@@ -68,21 +67,22 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
                           std::to_string(sectors) + "}");
       // The merged bio's identity dissolves into the surviving request;
       // its flow terminates at the merge point.
-      trace_->FlowEnd(bio.trace_flow, trace_pid_);
+      trace_->FlowEnd(bio->trace_flow, trace_pid_);
     }
+    pool_.Release(bio);
   } else {
-    bio.id = next_id_++;
+    bio->id = next_id_++;
     stats_.OnSubmit(sim_->Now());
     if (m_requests_) m_requests_->Inc();
     if (trace_) {
-      bio.queue_span = trace_->BeginSpan(
+      bio->queue_span = trace_->BeginSpan(
           trace_pid_, "sched", type == IoType::kRead ? "queue-read"
                                                      : "queue-write",
           "{\"dev\":\"" + name_ + "\",\"sector\":" + std::to_string(sector) +
               ",\"sectors\":" + std::to_string(sectors) + "}");
-      trace_->FlowStep(bio.trace_flow, trace_pid_);
+      trace_->FlowStep(bio->trace_flow, trace_pid_);
     }
-    scheduler_->Add(std::move(bio));
+    scheduler_->Add(bio);
   }
   MaybeDispatch();
 }
@@ -94,7 +94,7 @@ size_t BlockDevice::PickSptf() const {
     // Estimate positioning deterministically by distance only (the random
     // rotational component is drawn at service time).
     const uint64_t head = model_.head_sector();
-    const uint64_t s = ncq_pool_[i].sector;
+    const uint64_t s = ncq_pool_[i]->sector;
     const uint64_t dist = s > head ? s - head : head - s;
     if (dist < best_cost) {
       best_cost = dist;
@@ -107,45 +107,46 @@ size_t BlockDevice::PickSptf() const {
 void BlockDevice::MaybeDispatch() {
   // Refill the drive's internal queue from the elevator.
   while (ncq_pool_.size() < params_.ncq_depth && !scheduler_->empty()) {
-    IoRequest pulled = scheduler_->PopNext(sim_->Now());
-    pulled.dispatch_time = sim_->Now();
-    ncq_pool_.push_back(std::move(pulled));
+    IoRequest* pulled = scheduler_->PopNext(sim_->Now());
+    pulled->dispatch_time = sim_->Now();
+    ncq_pool_.push_back(pulled);
   }
   if (busy_ || ncq_pool_.empty()) return;
   const size_t pick = params_.ncq_depth > 1 ? PickSptf() : 0;
-  IoRequest req = std::move(ncq_pool_[pick]);
+  IoRequest* req = ncq_pool_[pick];
   ncq_pool_.erase(ncq_pool_.begin() + static_cast<ptrdiff_t>(pick));
   busy_ = true;
   if (trace_) {
-    trace_->EndSpan(req.queue_span);
-    req.service_span = trace_->BeginSpan(
+    trace_->EndSpan(req->queue_span);
+    req->service_span = trace_->BeginSpan(
         trace_pid_, "disk",
-        req.is_read() ? "service-read" : "service-write",
+        req->is_read() ? "service-read" : "service-write",
         "{\"dev\":\"" + name_ + "\",\"sectors\":" +
-            std::to_string(req.sectors) + ",\"bios\":" +
-            std::to_string(req.bio_count) + "}");
-    trace_->FlowStep(req.trace_flow, trace_pid_);
+            std::to_string(req->sectors) + ",\"bios\":" +
+            std::to_string(req->bio_count) + "}");
+    trace_->FlowStep(req->trace_flow, trace_pid_);
   }
-  const SimDuration service = model_.Service(req);
-  sim_->ScheduleAfter(service, [this, r = std::move(req)]() mutable {
-    Complete(std::move(r));
-  });
+  const SimDuration service = model_.Service(*req);
+  sim_->ScheduleAfter(service, [this, req] { Complete(req); });
 }
 
-void BlockDevice::Complete(IoRequest req) {
-  req.complete_time = sim_->Now();
-  stats_.OnComplete(req, sim_->Now());
+void BlockDevice::Complete(IoRequest* req) {
+  req->complete_time = sim_->Now();
+  stats_.OnComplete(*req, sim_->Now());
   busy_ = false;
-  if (trace_) trace_->EndSpan(req.service_span);
+  if (trace_) trace_->EndSpan(req->service_span);
   if (m_requests_) {  // registry attached
-    (req.is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req.bytes());
-    m_request_sectors_->Observe(static_cast<double>(req.sectors));
-    m_await_ms_->Observe(ToMillis(req.complete_time - req.submit_time));
+    (req->is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req->bytes());
+    m_request_sectors_->Observe(static_cast<double>(req->sectors));
+    m_await_ms_->Observe(ToMillis(req->complete_time - req->submit_time));
   }
-  if (observer_) observer_(req);
-  for (auto& cb : req.on_complete) {
+  if (observer_) observer_(*req);
+  // Completion callbacks may Submit follow-on bios, which can allocate from
+  // the pool — so the request is recycled only after they ran.
+  for (auto& cb : req->on_complete) {
     if (cb) cb();
   }
+  pool_.Release(req);
   MaybeDispatch();
 }
 

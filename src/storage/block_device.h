@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/inline_fn.h"
 #include "common/random.h"
 #include "common/units.h"
 #include "obs/metrics.h"
@@ -38,9 +39,10 @@ class BlockDevice {
   /// Submits a bio. `sectors` must be in (0, max_request_sectors];
   /// `on_complete` fires when the (possibly merged) request finishes.
   /// `io_context` identifies the issuing stream for fairness-aware
-  /// elevators (0 = anonymous).
+  /// elevators (0 = anonymous). The request is drawn from this device's
+  /// pool and recycled after completion — callbacks must not retain it.
   void Submit(IoType type, uint64_t sector, uint64_t sectors,
-              std::function<void()> on_complete, uint64_t io_context = 0);
+              InlineFn on_complete, uint64_t io_context = 0);
 
   /// Counter snapshot as of the current simulated time.
   DiskStatsSnapshot Stats() const { return stats_.Snapshot(sim_->Now()); }
@@ -78,7 +80,7 @@ class BlockDevice {
 
  private:
   void MaybeDispatch();
-  void Complete(IoRequest req);
+  void Complete(IoRequest* req);
   /// Index into ncq_pool_ of the request the head can reach fastest.
   size_t PickSptf() const;
 
@@ -91,8 +93,10 @@ class BlockDevice {
   std::function<void(const IoRequest&)> observer_;
   uint64_t next_id_ = 1;
   bool busy_ = false;
+  /// Backing storage for every in-flight request on this device.
+  IoRequestPool pool_;
   /// Requests accepted by the drive awaiting SPTF selection (NCQ).
-  std::vector<IoRequest> ncq_pool_;
+  std::vector<IoRequest*> ncq_pool_;
 
   // Observability sinks; null (the default) keeps the hot path at a single
   // pointer test per event.

@@ -2,9 +2,10 @@
 #define BDIO_STORAGE_IO_REQUEST_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/inline_fn.h"
 #include "common/units.h"
 
 namespace bdio::storage {
@@ -20,6 +21,13 @@ inline const char* IoTypeName(IoType t) {
 /// Requests are created by the OS layer (page cache / filesystem), possibly
 /// merged by the elevator, serviced by the disk model, and completed via
 /// callbacks.
+///
+/// Lifetime: requests are pool objects. BlockDevice::Submit allocates one
+/// from its IoRequestPool; it travels the elevator → NCQ → service →
+/// Complete pipeline *by pointer* (no moves, no per-request allocation)
+/// and returns to the pool after its completion callbacks ran. Nothing
+/// outside that pipeline may retain the pointer: after Release the same
+/// node will carry an unrelated request.
 struct IoRequest {
   uint64_t id = 0;          ///< Unique per device, assigned on submit.
   IoType type = IoType::kRead;
@@ -33,6 +41,9 @@ struct IoRequest {
   SimTime dispatch_time = 0;  ///< When the device started servicing it.
   SimTime complete_time = 0;  ///< When service finished.
 
+  /// Expiry used by deadline-style elevators (submit_time + class expiry).
+  SimTime deadline = 0;
+
   /// Number of bios folded into this request (1 + merges).
   uint32_t bio_count = 1;
 
@@ -41,12 +52,67 @@ struct IoRequest {
   uint64_t queue_span = 0;   ///< Open scheduler-queue span id.
   uint64_t service_span = 0; ///< Open disk-service span id.
 
+  // --- Intrusive links (owned by whichever queue holds the request). -----
+  IoRequest* qprev = nullptr;  ///< Scheduler FIFO neighbour.
+  IoRequest* qnext = nullptr;  ///< Scheduler FIFO neighbour / freelist link.
+
   /// Completion continuations (one per merged bio).
-  std::vector<std::function<void()>> on_complete;
+  std::vector<InlineFn> on_complete;
 
   uint64_t end_sector() const { return sector + sectors; }
   uint64_t bytes() const { return sectors * kSectorSize; }
   bool is_read() const { return type == IoType::kRead; }
+};
+
+/// Freelist pool of IoRequests in fixed-size blocks. Release keeps each
+/// node's on_complete vector capacity, so a warm pool services the steady
+/// state with zero allocator traffic.
+class IoRequestPool {
+ public:
+  static constexpr size_t kBlockRequests = 64;
+
+  IoRequestPool() = default;
+  IoRequestPool(const IoRequestPool&) = delete;
+  IoRequestPool& operator=(const IoRequestPool&) = delete;
+
+  /// Returns a request with every field at its default and an empty (but
+  /// possibly pre-reserved) callback list.
+  IoRequest* Alloc() {
+    if (free_ == nullptr) Grow();
+    IoRequest* r = free_;
+    free_ = r->qnext;
+    r->qnext = nullptr;
+    return r;
+  }
+
+  /// Recycles `r`. The caller must have dropped every pointer to it.
+  void Release(IoRequest* r) {
+    r->on_complete.clear();  // destroys callbacks, keeps capacity
+    std::vector<InlineFn> keep = std::move(r->on_complete);
+    *r = IoRequest{};
+    r->on_complete = std::move(keep);
+    r->qnext = free_;
+    free_ = r;
+  }
+
+  size_t capacity() const { return blocks_.size() * kBlockRequests; }
+
+ private:
+  struct alignas(64) Block {
+    IoRequest reqs[kBlockRequests];
+  };
+
+  void Grow() {
+    blocks_.push_back(std::make_unique<Block>());
+    Block* b = blocks_.back().get();
+    for (size_t i = kBlockRequests; i > 0; --i) {
+      b->reqs[i - 1].qnext = free_;
+      free_ = &b->reqs[i - 1];
+    }
+  }
+
+  IoRequest* free_ = nullptr;
+  std::vector<std::unique_ptr<Block>> blocks_;
 };
 
 }  // namespace bdio::storage

@@ -38,22 +38,26 @@ void FoldBio(IoRequest* req, IoRequest* bio, bool front) {
 
 bool NoopScheduler::TryMerge(IoRequest* bio) {
   if (fifo_.empty()) return false;
-  IoRequest& tail = fifo_.back();
-  if (tail.type != bio->type) return false;
-  if (tail.end_sector() == bio->sector &&
-      tail.sectors + bio->sectors <= max_request_sectors_) {
-    FoldBio(&tail, bio, /*front=*/false);
+  IoRequest* tail = fifo_.back();
+  if (tail->type != bio->type) return false;
+  if (tail->end_sector() == bio->sector &&
+      tail->sectors + bio->sectors <= max_request_sectors_) {
+    FoldBio(tail, bio, /*front=*/false);
     return true;
   }
   return false;
 }
 
-void NoopScheduler::Add(IoRequest req) { fifo_.push_back(std::move(req)); }
+void NoopScheduler::Add(IoRequest* req) {
+  fifo_.push_back(req);
+  ++size_;
+}
 
-IoRequest NoopScheduler::PopNext(SimTime /*now*/) {
+IoRequest* NoopScheduler::PopNext(SimTime /*now*/) {
   BDIO_CHECK(!fifo_.empty());
-  IoRequest req = std::move(fifo_.front());
-  fifo_.pop_front();
+  IoRequest* req = fifo_.front();
+  fifo_.erase(req);
+  --size_;
   return req;
 }
 
@@ -65,22 +69,22 @@ bool DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
   // Back merge: a queued request ending exactly where the bio starts.
   auto back = q->by_end.find(bio->sector);
   if (back != q->by_end.end()) {
-    auto it = back->second;
-    if (it->req.sectors + bio->sectors <= max_request_sectors_) {
+    IoRequest* req = back->second;
+    if (req->sectors + bio->sectors <= max_request_sectors_) {
       q->by_end.erase(back);
-      FoldBio(&it->req, bio, /*front=*/false);
-      q->by_end.emplace(it->req.end_sector(), it);
+      FoldBio(req, bio, /*front=*/false);
+      q->by_end.emplace(req->end_sector(), req);
       return true;
     }
   }
   // Front merge: a queued request starting exactly where the bio ends.
   auto front = q->by_start.find(bio->end_sector());
   if (front != q->by_start.end()) {
-    auto it = front->second;
-    if (it->req.sectors + bio->sectors <= max_request_sectors_) {
+    IoRequest* req = front->second;
+    if (req->sectors + bio->sectors <= max_request_sectors_) {
       q->by_start.erase(front);
-      FoldBio(&it->req, bio, /*front=*/true);
-      q->by_start.emplace(it->req.sector, it);
+      FoldBio(req, bio, /*front=*/true);
+      q->by_start.emplace(req->sector, req);
       return true;
     }
   }
@@ -91,45 +95,41 @@ bool DeadlineScheduler::TryMerge(IoRequest* bio) {
   return TryMergeDir(&queues_[static_cast<int>(bio->type)], bio);
 }
 
-void DeadlineScheduler::Add(IoRequest req) {
-  DirQueue& q = queues_[static_cast<int>(req.type)];
-  const SimDuration expiry = req.is_read() ? kReadExpiry : kWriteExpiry;
-  const SimTime deadline = req.submit_time + expiry;
-  q.fifo.push_back(Entry{std::move(req), deadline});
-  auto it = std::prev(q.fifo.end());
-  q.by_start.emplace(it->req.sector, it);
-  q.by_end.emplace(it->req.end_sector(), it);
+void DeadlineScheduler::Add(IoRequest* req) {
+  DirQueue& q = queues_[static_cast<int>(req->type)];
+  const SimDuration expiry = req->is_read() ? kReadExpiry : kWriteExpiry;
+  req->deadline = req->submit_time + expiry;
+  q.fifo.push_back(req);
+  q.by_start.emplace(req->sector, req);
+  q.by_end.emplace(req->end_sector(), req);
   ++size_;
 }
 
-IoRequest DeadlineScheduler::Extract(DirQueue* q, EntryList::iterator it) {
-  // Erase the matching index entries (multimap: find the exact iterator).
-  auto range = q->by_start.equal_range(it->req.sector);
+void DeadlineScheduler::Extract(DirQueue* q, IoRequest* req) {
+  // Erase the matching index entries (multimap: find the exact pointer).
+  auto range = q->by_start.equal_range(req->sector);
   for (auto i = range.first; i != range.second; ++i) {
-    if (i->second == it) {
+    if (i->second == req) {
       q->by_start.erase(i);
       break;
     }
   }
-  range = q->by_end.equal_range(it->req.end_sector());
+  range = q->by_end.equal_range(req->end_sector());
   for (auto i = range.first; i != range.second; ++i) {
-    if (i->second == it) {
+    if (i->second == req) {
       q->by_end.erase(i);
       break;
     }
   }
-  IoRequest req = std::move(it->req);
-  q->fifo.erase(it);
+  q->fifo.erase(req);
   --size_;
-  return req;
 }
 
-DeadlineScheduler::EntryList::iterator DeadlineScheduler::Select(
-    DirQueue* q, SimTime now) {
+IoRequest* DeadlineScheduler::Select(DirQueue* q, SimTime now) {
   BDIO_CHECK(!q->fifo.empty());
   // Expired FIFO head takes priority (the "deadline" in deadline).
-  if (q->fifo.front().deadline <= now) {
-    return q->fifo.begin();
+  if (q->fifo.front()->deadline <= now) {
+    return q->fifo.front();
   }
   // Otherwise one-way elevator: smallest start sector >= elevator position,
   // wrapping to the smallest overall.
@@ -138,7 +138,7 @@ DeadlineScheduler::EntryList::iterator DeadlineScheduler::Select(
   return it->second;
 }
 
-IoRequest DeadlineScheduler::PopNext(SimTime now) {
+IoRequest* DeadlineScheduler::PopNext(SimTime now) {
   BDIO_CHECK(size_ > 0);
   DirQueue& reads = queues_[static_cast<int>(IoType::kRead)];
   DirQueue& writes = queues_[static_cast<int>(IoType::kWrite)];
@@ -157,7 +157,7 @@ IoRequest DeadlineScheduler::PopNext(SimTime now) {
     if (batch_remaining_ > 0 &&
         !queues_[static_cast<int>(batch_dir_)].fifo.empty()) {
       dir = batch_dir_;
-    } else if (writes.fifo.front().deadline <= now ||
+    } else if (writes.fifo.front()->deadline <= now ||
                starved_batches_ >= kWritesStarved) {
       dir = IoType::kWrite;
     } else {
@@ -178,9 +178,9 @@ IoRequest DeadlineScheduler::PopNext(SimTime now) {
   --batch_remaining_;
 
   DirQueue& q = queues_[static_cast<int>(dir)];
-  auto it = Select(&q, now);
-  IoRequest req = Extract(&q, it);
-  next_sector_ = req.end_sector();
+  IoRequest* req = Select(&q, now);
+  Extract(&q, req);
+  next_sector_ = req->end_sector();
   return req;
 }
 
@@ -198,51 +198,47 @@ bool CfqScheduler::TryMerge(IoRequest* bio) {
   if (back != q.by_end.end()) {
     auto range = q.by_start.equal_range(back->second);
     for (auto it = range.first; it != range.second; ++it) {
-      IoRequest& req = it->second;
-      if (req.type == bio->type &&
-          req.end_sector() == bio->sector &&
-          req.sectors + bio->sectors <= max_request_sectors_) {
+      IoRequest* req = it->second;
+      if (req->type == bio->type &&
+          req->end_sector() == bio->sector &&
+          req->sectors + bio->sectors <= max_request_sectors_) {
         q.by_end.erase(back);
-        FoldBio(&req, bio, /*front=*/false);
-        q.by_end.emplace(req.end_sector(), req.sector);
+        FoldBio(req, bio, /*front=*/false);
+        q.by_end.emplace(req->end_sector(), req->sector);
         return true;
       }
     }
   }
   // Front merge: a queued request starting where the bio ends.
   auto front = q.by_start.find(bio->end_sector());
-  if (front != q.by_start.end() && front->second.type == bio->type &&
-      front->second.sectors + bio->sectors <= max_request_sectors_) {
-    IoRequest req = std::move(front->second);
+  if (front != q.by_start.end() && front->second->type == bio->type &&
+      front->second->sectors + bio->sectors <= max_request_sectors_) {
+    IoRequest* req = front->second;
     // Remove old index entries.
-    auto erange = q.by_end.equal_range(req.end_sector());
+    auto erange = q.by_end.equal_range(req->end_sector());
     for (auto it = erange.first; it != erange.second; ++it) {
-      if (it->second == req.sector) {
+      if (it->second == req->sector) {
         q.by_end.erase(it);
         break;
       }
     }
     q.by_start.erase(front);
-    FoldBio(&req, bio, /*front=*/true);
-    const uint64_t start = req.sector;
-    const uint64_t end = req.end_sector();
-    q.by_start.emplace(start, std::move(req));
-    q.by_end.emplace(end, start);
+    FoldBio(req, bio, /*front=*/true);
+    q.by_start.emplace(req->sector, req);
+    q.by_end.emplace(req->end_sector(), req->sector);
     return true;
   }
   return false;
 }
 
-void CfqScheduler::Add(IoRequest req) {
-  CtxQueue& q = contexts_[req.io_context];
-  const uint64_t start = req.sector;
-  const uint64_t end = req.end_sector();
-  q.by_start.emplace(start, std::move(req));
-  q.by_end.emplace(end, start);
+void CfqScheduler::Add(IoRequest* req) {
+  CtxQueue& q = contexts_[req->io_context];
+  q.by_start.emplace(req->sector, req);
+  q.by_end.emplace(req->end_sector(), req->sector);
   ++size_;
 }
 
-IoRequest CfqScheduler::PopNext(SimTime /*now*/) {
+IoRequest* CfqScheduler::PopNext(SimTime /*now*/) {
   BDIO_CHECK(size_ > 0);
   // Keep the active context while its quantum lasts and it has requests;
   // otherwise rotate to the next non-empty context.
@@ -265,17 +261,17 @@ IoRequest CfqScheduler::PopNext(SimTime /*now*/) {
   // Ascending from the context's elevator position, wrapping.
   auto it = q.by_start.lower_bound(q.last_dispatched_end);
   if (it == q.by_start.end()) it = q.by_start.begin();
-  IoRequest req = std::move(it->second);
+  IoRequest* req = it->second;
   // Erase the matching by_end entry.
-  auto erange = q.by_end.equal_range(req.end_sector());
+  auto erange = q.by_end.equal_range(req->end_sector());
   for (auto e = erange.first; e != erange.second; ++e) {
-    if (e->second == req.sector) {
+    if (e->second == req->sector) {
       q.by_end.erase(e);
       break;
     }
   }
   q.by_start.erase(it);
-  q.last_dispatched_end = req.end_sector();
+  q.last_dispatched_end = req->end_sector();
   --size_;
   if (q.by_start.empty()) contexts_.erase(cit);
   return req;

@@ -2,19 +2,53 @@
 #define BDIO_STORAGE_IO_SCHEDULER_H_
 
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/flat_map.h"
 #include "common/units.h"
 #include "storage/io_request.h"
 
 namespace bdio::storage {
 
+/// Intrusive FIFO over IoRequest::qprev/qnext: the elevator's
+/// insertion-order list without std::list's node allocations. A request is
+/// on at most one ReqList at a time (the links belong to whichever queue
+/// holds it).
+class ReqList {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  IoRequest* front() const { return head_; }
+  IoRequest* back() const { return tail_; }
+
+  void push_back(IoRequest* r) {
+    r->qprev = tail_;
+    r->qnext = nullptr;
+    if (tail_ != nullptr) {
+      tail_->qnext = r;
+    } else {
+      head_ = r;
+    }
+    tail_ = r;
+  }
+
+  void erase(IoRequest* r) {
+    (r->qprev != nullptr ? r->qprev->qnext : head_) = r->qnext;
+    (r->qnext != nullptr ? r->qnext->qprev : tail_) = r->qprev;
+    r->qprev = nullptr;
+    r->qnext = nullptr;
+  }
+
+ private:
+  IoRequest* head_ = nullptr;
+  IoRequest* tail_ = nullptr;
+};
+
 /// Elevator interface. The device hands incoming bios to the scheduler,
 /// which may merge them into queued requests (front/back merge, like the
-/// Linux block layer) and decides dispatch order.
+/// Linux block layer) and decides dispatch order. Requests pass through by
+/// pointer; the device's IoRequestPool owns the storage.
 class IoScheduler {
  public:
   virtual ~IoScheduler() = default;
@@ -22,16 +56,18 @@ class IoScheduler {
   /// Attempts to fold `bio` into an already-queued request of the same
   /// direction (back merge: bio starts where a request ends; front merge:
   /// bio ends where a request starts). On success the bio's completion
-  /// callbacks are moved into the queued request and true is returned.
+  /// callbacks are moved into the queued request and true is returned;
+  /// the caller then releases the bio.
   virtual bool TryMerge(IoRequest* bio) = 0;
 
-  /// Enqueues a request (after TryMerge returned false).
-  virtual void Add(IoRequest req) = 0;
+  /// Enqueues a request (after TryMerge returned false). The scheduler
+  /// holds the pointer until PopNext hands it back.
+  virtual void Add(IoRequest* req) = 0;
 
   /// Removes and returns the next request to service. Must not be called on
   /// an empty scheduler. `now` lets deadline-style schedulers detect expired
   /// requests.
-  virtual IoRequest PopNext(SimTime now) = 0;
+  virtual IoRequest* PopNext(SimTime now) = 0;
 
   virtual bool empty() const = 0;
   virtual size_t size() const = 0;
@@ -46,15 +82,16 @@ class NoopScheduler : public IoScheduler {
       : max_request_sectors_(max_request_sectors) {}
 
   bool TryMerge(IoRequest* bio) override;
-  void Add(IoRequest req) override;
-  IoRequest PopNext(SimTime now) override;
-  bool empty() const override { return fifo_.empty(); }
-  size_t size() const override { return fifo_.size(); }
+  void Add(IoRequest* req) override;
+  IoRequest* PopNext(SimTime now) override;
+  bool empty() const override { return size_ == 0; }
+  size_t size() const override { return size_; }
   std::string name() const override { return "noop"; }
 
  private:
   uint64_t max_request_sectors_;
-  std::list<IoRequest> fifo_;
+  ReqList fifo_;
+  size_t size_ = 0;
 };
 
 /// Single-direction-batching elevator with per-request deadlines — the
@@ -73,32 +110,29 @@ class DeadlineScheduler : public IoScheduler {
       : max_request_sectors_(max_request_sectors) {}
 
   bool TryMerge(IoRequest* bio) override;
-  void Add(IoRequest req) override;
-  IoRequest PopNext(SimTime now) override;
+  void Add(IoRequest* req) override;
+  IoRequest* PopNext(SimTime now) override;
   bool empty() const override { return size_ == 0; }
   size_t size() const override { return size_; }
   std::string name() const override { return "deadline"; }
 
  private:
-  struct Entry {
-    IoRequest req;
-    SimTime deadline = 0;
-  };
-  using EntryList = std::list<Entry>;
-  using SortedIndex = std::multimap<uint64_t, EntryList::iterator>;
+  /// Sector-sorted indices into the FIFO; values are queue-held request
+  /// pointers (keys are sectors — stable ids, per bdio-lint rule R3).
+  using SortedIndex = FlatMultiMap<uint64_t, IoRequest*>;
 
   struct DirQueue {
-    EntryList fifo;       // insertion order (deadline order)
-    SortedIndex by_start;  // start sector -> entry
-    SortedIndex by_end;    // end sector -> entry
+    ReqList fifo;          ///< insertion order (deadline order)
+    SortedIndex by_start;  ///< start sector -> request
+    SortedIndex by_end;    ///< end sector -> request
   };
 
-  /// Removes `it` from all of `q`'s indices and returns its request.
-  IoRequest Extract(DirQueue* q, EntryList::iterator it);
+  /// Removes `req` from all of `q`'s indices.
+  void Extract(DirQueue* q, IoRequest* req);
   bool TryMergeDir(DirQueue* q, IoRequest* bio);
-  /// Picks the next entry in `q`: the expired FIFO head if any, otherwise
-  /// the first entry at or after the elevator position (wrapping).
-  EntryList::iterator Select(DirQueue* q, SimTime now);
+  /// Picks the next request in `q`: the expired FIFO head if any, otherwise
+  /// the first request at or after the elevator position (wrapping).
+  IoRequest* Select(DirQueue* q, SimTime now);
 
   uint64_t max_request_sectors_;
   DirQueue queues_[2];
@@ -122,8 +156,8 @@ class CfqScheduler : public IoScheduler {
       : max_request_sectors_(max_request_sectors) {}
 
   bool TryMerge(IoRequest* bio) override;
-  void Add(IoRequest req) override;
-  IoRequest PopNext(SimTime now) override;
+  void Add(IoRequest* req) override;
+  IoRequest* PopNext(SimTime now) override;
   bool empty() const override { return size_ == 0; }
   size_t size() const override { return size_; }
   std::string name() const override { return "cfq"; }
@@ -131,14 +165,14 @@ class CfqScheduler : public IoScheduler {
  private:
   struct CtxQueue {
     /// start sector -> request (ascending service within the slice).
-    std::multimap<uint64_t, IoRequest> by_start;
+    FlatMultiMap<uint64_t, IoRequest*> by_start;
     /// end sector -> start sector (back-merge lookup).
-    std::multimap<uint64_t, uint64_t> by_end;
+    FlatMultiMap<uint64_t, uint64_t> by_end;
     uint64_t last_dispatched_end = 0;  ///< Elevator position per context.
   };
 
   uint64_t max_request_sectors_;
-  std::map<uint64_t, CtxQueue> contexts_;
+  FlatMap<uint64_t, CtxQueue> contexts_;
   size_t size_ = 0;
   uint64_t active_ctx_ = 0;
   int quantum_left_ = 0;

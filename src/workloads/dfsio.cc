@@ -40,9 +40,9 @@ void StartReadPhase(std::shared_ptr<DfsioRun> run) {
     uint32_t reader = i % workers;
     if (run->spec.remote_readers) reader = (reader + 1) % workers;
     run->dfs->ReadAll(FileName(run->spec, i), reader,
-                      [arm = all_read->Arm()](Status s) {
+                      [all_read](Status s) {
                         BDIO_CHECK_OK(s);
-                        arm();
+                        all_read->Arrive();
                       });
   }
 }
@@ -100,9 +100,9 @@ void RunDfsio(cluster::Cluster* cluster, hdfs::Hdfs* dfs,
   for (uint32_t i = 0; i < spec.num_files; ++i) {
     dfs->WriteReplicated(FileName(spec, i), spec.file_bytes, i % workers,
                          spec.replication,
-                         [arm = all_written->Arm()](Status s) {
+                         [all_written](Status s) {
                            BDIO_CHECK_OK(s);
-                           arm();
+                           all_written->Arrive();
                          });
   }
 }

@@ -45,7 +45,7 @@ TEST(LatchTest, ExtendAddsArrivals) {
 
 TEST(LatchTest, ArmsKeepLatchAlive) {
   bool done = false;
-  std::function<void()> arm;
+  InlineFn arm;
   {
     auto latch = Latch::Create(1, [&] { done = true; });
     arm = latch->Arm();

@@ -5,21 +5,27 @@
 #include "common/random.h"
 #include "sim/simulator.h"
 #include "storage/block_device.h"
+#include "storage/io_request.h"
 #include "storage/io_scheduler.h"
 
 namespace bdio::storage {
 namespace {
 
-IoRequest Bio(IoType t, uint64_t sector, uint64_t sectors, uint64_t ctx) {
-  IoRequest r;
-  r.type = t;
-  r.sector = sector;
-  r.sectors = sectors;
-  r.io_context = ctx;
-  return r;
-}
+class CfqSchedulerTest : public ::testing::Test {
+ protected:
+  IoRequest* Bio(IoType t, uint64_t sector, uint64_t sectors, uint64_t ctx) {
+    IoRequest* r = pool_.Alloc();
+    r->type = t;
+    r->sector = sector;
+    r->sectors = sectors;
+    r->io_context = ctx;
+    return r;
+  }
 
-TEST(CfqSchedulerTest, RoundRobinsBetweenContexts) {
+  IoRequestPool pool_;
+};
+
+TEST_F(CfqSchedulerTest, RoundRobinsBetweenContexts) {
   CfqScheduler s(1024);
   // Two streams, plenty of requests each.
   for (int i = 0; i < 3 * CfqScheduler::kQuantum; ++i) {
@@ -29,7 +35,7 @@ TEST(CfqSchedulerTest, RoundRobinsBetweenContexts) {
   // Track the order of contexts served.
   std::vector<uint64_t> served;
   while (!s.empty()) {
-    served.push_back(s.PopNext(0).io_context);
+    served.push_back(s.PopNext(0)->io_context);
   }
   // Slices alternate: after at most kQuantum requests of one stream, the
   // other gets service.
@@ -44,49 +50,46 @@ TEST(CfqSchedulerTest, RoundRobinsBetweenContexts) {
   EXPECT_EQ(served.size(), size_t{6 * CfqScheduler::kQuantum});
 }
 
-TEST(CfqSchedulerTest, AscendingWithinSlice) {
+TEST_F(CfqSchedulerTest, AscendingWithinSlice) {
   CfqScheduler s(1024);
   s.Add(Bio(IoType::kRead, 500, 8, 1));
   s.Add(Bio(IoType::kRead, 100, 8, 1));
   s.Add(Bio(IoType::kRead, 300, 8, 1));
-  EXPECT_EQ(s.PopNext(0).sector, 100u);
-  EXPECT_EQ(s.PopNext(0).sector, 300u);
-  EXPECT_EQ(s.PopNext(0).sector, 500u);
+  EXPECT_EQ(s.PopNext(0)->sector, 100u);
+  EXPECT_EQ(s.PopNext(0)->sector, 300u);
+  EXPECT_EQ(s.PopNext(0)->sector, 500u);
 }
 
-TEST(CfqSchedulerTest, MergesOnlyWithinContext) {
+TEST_F(CfqSchedulerTest, MergesOnlyWithinContext) {
   CfqScheduler s(1024);
   s.Add(Bio(IoType::kWrite, 100, 8, 1));
-  IoRequest same_ctx = Bio(IoType::kWrite, 108, 8, 1);
-  EXPECT_TRUE(s.TryMerge(&same_ctx));
-  IoRequest other_ctx = Bio(IoType::kWrite, 116, 8, 2);
-  EXPECT_FALSE(s.TryMerge(&other_ctx));
-  s.Add(std::move(other_ctx));
+  EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 108, 8, 1)));
+  IoRequest* other_ctx = Bio(IoType::kWrite, 116, 8, 2);
+  EXPECT_FALSE(s.TryMerge(other_ctx));
+  s.Add(other_ctx);
   EXPECT_EQ(s.size(), 2u);
   // Front merge within context 1.
-  IoRequest front = Bio(IoType::kWrite, 92, 8, 1);
-  EXPECT_TRUE(s.TryMerge(&front));
+  EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 92, 8, 1)));
   bool saw_merged = false;
   while (!s.empty()) {
-    IoRequest r = s.PopNext(0);
-    if (r.io_context == 1) {
-      EXPECT_EQ(r.sector, 92u);
-      EXPECT_EQ(r.sectors, 24u);
-      EXPECT_EQ(r.bio_count, 3u);
+    IoRequest* r = s.PopNext(0);
+    if (r->io_context == 1) {
+      EXPECT_EQ(r->sector, 92u);
+      EXPECT_EQ(r->sectors, 24u);
+      EXPECT_EQ(r->bio_count, 3u);
       saw_merged = true;
     }
   }
   EXPECT_TRUE(saw_merged);
 }
 
-TEST(CfqSchedulerTest, NoMergeAcrossDirections) {
+TEST_F(CfqSchedulerTest, NoMergeAcrossDirections) {
   CfqScheduler s(1024);
   s.Add(Bio(IoType::kWrite, 100, 8, 1));
-  IoRequest read = Bio(IoType::kRead, 108, 8, 1);
-  EXPECT_FALSE(s.TryMerge(&read));
+  EXPECT_FALSE(s.TryMerge(Bio(IoType::kRead, 108, 8, 1)));
 }
 
-TEST(CfqSchedulerTest, SingleContextDegeneratesToElevator) {
+TEST_F(CfqSchedulerTest, SingleContextDegeneratesToElevator) {
   CfqScheduler s(1024);
   Rng rng(1);
   std::vector<uint64_t> sectors;
@@ -99,7 +102,7 @@ TEST(CfqSchedulerTest, SingleContextDegeneratesToElevator) {
   uint64_t prev = 0;
   int descents = 0;
   while (!s.empty()) {
-    const uint64_t cur = s.PopNext(0).sector;
+    const uint64_t cur = s.PopNext(0)->sector;
     if (cur < prev) ++descents;
     prev = cur;
   }
@@ -117,13 +120,13 @@ TEST(CfqDeviceTest, TwoStreamsShareSeekyDisk) {
   int done_near = 0, done_far = 0;
   for (int i = 0; i < 64; ++i) {
     dev.Submit(IoType::kRead, 1000 + i * 1024, 128,
-               [&, i] {
+               [&] {
                  ++done_near;
                  last_done[1] = sim.Now();
                },
                /*ctx=*/1);
     dev.Submit(IoType::kRead, far_base + i * 1024, 128,
-               [&, i] {
+               [&] {
                  ++done_far;
                  last_done[2] = sim.Now();
                },

@@ -4,82 +4,91 @@
 
 #include <vector>
 
+#include "storage/io_request.h"
+
 namespace bdio::storage {
 namespace {
 
-IoRequest Bio(IoType t, uint64_t sector, uint64_t sectors,
-              SimTime submit = 0) {
-  IoRequest r;
-  r.type = t;
-  r.sector = sector;
-  r.sectors = sectors;
-  r.submit_time = submit;
-  return r;
-}
+/// Test fixture owning the request pool the scheduler-bound bios live in
+/// (mirrors BlockDevice, which owns the pool in production).
+class SchedTest : public ::testing::Test {
+ protected:
+  IoRequest* Bio(IoType t, uint64_t sector, uint64_t sectors,
+                 SimTime submit = 0) {
+    IoRequest* r = pool_.Alloc();
+    r->type = t;
+    r->sector = sector;
+    r->sectors = sectors;
+    r->submit_time = submit;
+    return r;
+  }
 
-TEST(NoopSchedulerTest, FifoOrder) {
+  IoRequestPool pool_;
+};
+
+using NoopSchedulerTest = SchedTest;
+using DeadlineSchedulerTest = SchedTest;
+
+TEST_F(NoopSchedulerTest, FifoOrder) {
   NoopScheduler s(1024);
   s.Add(Bio(IoType::kRead, 100, 8));
   s.Add(Bio(IoType::kRead, 0, 8));
   EXPECT_EQ(s.size(), 2u);
-  EXPECT_EQ(s.PopNext(0).sector, 100u);
-  EXPECT_EQ(s.PopNext(0).sector, 0u);
+  EXPECT_EQ(s.PopNext(0)->sector, 100u);
+  EXPECT_EQ(s.PopNext(0)->sector, 0u);
   EXPECT_TRUE(s.empty());
 }
 
-TEST(NoopSchedulerTest, BackMergesOntoTail) {
-  NoopScheduler s(1024);
-  IoRequest first = Bio(IoType::kWrite, 0, 8);
-  s.Add(std::move(first));
-  IoRequest next = Bio(IoType::kWrite, 8, 8);
-  EXPECT_TRUE(s.TryMerge(&next));
-  EXPECT_EQ(s.size(), 1u);
-  IoRequest merged = s.PopNext(0);
-  EXPECT_EQ(merged.sectors, 16u);
-  EXPECT_EQ(merged.bio_count, 2u);
-}
-
-TEST(NoopSchedulerTest, NoMergeAcrossDirections) {
+TEST_F(NoopSchedulerTest, BackMergesOntoTail) {
   NoopScheduler s(1024);
   s.Add(Bio(IoType::kWrite, 0, 8));
-  IoRequest next = Bio(IoType::kRead, 8, 8);
-  EXPECT_FALSE(s.TryMerge(&next));
+  IoRequest* next = Bio(IoType::kWrite, 8, 8);
+  EXPECT_TRUE(s.TryMerge(next));
+  EXPECT_EQ(s.size(), 1u);
+  IoRequest* merged = s.PopNext(0);
+  EXPECT_EQ(merged->sectors, 16u);
+  EXPECT_EQ(merged->bio_count, 2u);
 }
 
-TEST(NoopSchedulerTest, MergeRespectsMaxSize) {
+TEST_F(NoopSchedulerTest, NoMergeAcrossDirections) {
+  NoopScheduler s(1024);
+  s.Add(Bio(IoType::kWrite, 0, 8));
+  EXPECT_FALSE(s.TryMerge(Bio(IoType::kRead, 8, 8)));
+}
+
+TEST_F(NoopSchedulerTest, MergeRespectsMaxSize) {
   NoopScheduler s(16);
   s.Add(Bio(IoType::kWrite, 0, 12));
-  IoRequest next = Bio(IoType::kWrite, 12, 8);
-  EXPECT_FALSE(s.TryMerge(&next));  // 20 > 16
+  EXPECT_FALSE(s.TryMerge(Bio(IoType::kWrite, 12, 8)));  // 20 > 16
 }
 
-TEST(DeadlineSchedulerTest, SortsBySectorWithinBatch) {
+TEST_F(DeadlineSchedulerTest, SortsBySectorWithinBatch) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kRead, 500, 8, 0));
   s.Add(Bio(IoType::kRead, 100, 8, 0));
   s.Add(Bio(IoType::kRead, 300, 8, 0));
   // No deadline expired at t=1ms: elevator order from position 0.
-  EXPECT_EQ(s.PopNext(Millis(1)).sector, 100u);
-  EXPECT_EQ(s.PopNext(Millis(1)).sector, 300u);
-  EXPECT_EQ(s.PopNext(Millis(1)).sector, 500u);
+  EXPECT_EQ(s.PopNext(Millis(1))->sector, 100u);
+  EXPECT_EQ(s.PopNext(Millis(1))->sector, 300u);
+  EXPECT_EQ(s.PopNext(Millis(1))->sector, 500u);
 }
 
-TEST(DeadlineSchedulerTest, ExpiredReadJumpsQueue) {
+TEST_F(DeadlineSchedulerTest, ExpiredReadJumpsQueue) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kRead, 900, 8, 0));  // oldest, far sector
   s.Add(Bio(IoType::kRead, 10, 8, Millis(400)));
   // At t=600ms the first bio (submit 0, expiry 500ms) is expired.
-  EXPECT_EQ(s.PopNext(Millis(600)).sector, 900u);
+  EXPECT_EQ(s.PopNext(Millis(600))->sector, 900u);
 }
 
-TEST(DeadlineSchedulerTest, ReadsPreferredOverWrites) {
+TEST_F(DeadlineSchedulerTest, ReadsPreferredOverWrites) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kWrite, 50, 8, 0));
   s.Add(Bio(IoType::kRead, 700, 8, 0));
-  EXPECT_TRUE(s.PopNext(Millis(1)).is_read());
+  EXPECT_TRUE(s.PopNext(Millis(1))->is_read());
 }
 
-TEST(DeadlineSchedulerTest, WritesNotStarvedForever) {
+TEST_F(DeadlineSchedulerTest, WritesNotStarvedForever) {
   DeadlineScheduler s(1024);
   // Keep a write queued while many read batches pass.
   s.Add(Bio(IoType::kWrite, 1, 8, 0));
@@ -91,9 +100,9 @@ TEST(DeadlineSchedulerTest, WritesNotStarvedForever) {
       s.Add(Bio(IoType::kRead, 1000 + 8 * (batch * 32 + i), 8, Millis(1)));
     }
     for (int i = 0; i < DeadlineScheduler::kFifoBatch; ++i) {
-      IoRequest r = s.PopNext(Millis(2));
+      IoRequest* r = s.PopNext(Millis(2));
       ++pops_until_write;
-      if (!r.is_read()) {
+      if (!r->is_read()) {
         saw_write = true;
         break;
       }
@@ -106,41 +115,39 @@ TEST(DeadlineSchedulerTest, WritesNotStarvedForever) {
                 DeadlineScheduler::kFifoBatch);
 }
 
-TEST(DeadlineSchedulerTest, BackAndFrontMerge) {
+TEST_F(DeadlineSchedulerTest, BackAndFrontMerge) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kWrite, 100, 8));
-  IoRequest back = Bio(IoType::kWrite, 108, 8);
-  EXPECT_TRUE(s.TryMerge(&back));
-  IoRequest front = Bio(IoType::kWrite, 92, 8);
-  EXPECT_TRUE(s.TryMerge(&front));
+  EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 108, 8)));
+  EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 92, 8)));
   EXPECT_EQ(s.size(), 1u);
-  IoRequest merged = s.PopNext(0);
-  EXPECT_EQ(merged.sector, 92u);
-  EXPECT_EQ(merged.sectors, 24u);
-  EXPECT_EQ(merged.bio_count, 3u);
+  IoRequest* merged = s.PopNext(0);
+  EXPECT_EQ(merged->sector, 92u);
+  EXPECT_EQ(merged->sectors, 24u);
+  EXPECT_EQ(merged->bio_count, 3u);
 }
 
-TEST(DeadlineSchedulerTest, MergedCallbacksAllFire) {
+TEST_F(DeadlineSchedulerTest, MergedCallbacksAllFire) {
   DeadlineScheduler s(1024);
   int fired = 0;
-  IoRequest a = Bio(IoType::kWrite, 0, 8);
-  a.on_complete.push_back([&] { ++fired; });
-  s.Add(std::move(a));
-  IoRequest b = Bio(IoType::kWrite, 8, 8);
-  b.on_complete.push_back([&] { ++fired; });
-  ASSERT_TRUE(s.TryMerge(&b));
-  IoRequest merged = s.PopNext(0);
-  for (auto& cb : merged.on_complete) cb();
+  IoRequest* a = Bio(IoType::kWrite, 0, 8);
+  a->on_complete.push_back(InlineFn([&] { ++fired; }));
+  s.Add(a);
+  IoRequest* b = Bio(IoType::kWrite, 8, 8);
+  b->on_complete.push_back(InlineFn([&] { ++fired; }));
+  ASSERT_TRUE(s.TryMerge(b));
+  IoRequest* merged = s.PopNext(0);
+  for (auto& cb : merged->on_complete) cb();
   EXPECT_EQ(fired, 2);
 }
 
-TEST(DeadlineSchedulerTest, ElevatorWrapsAround) {
+TEST_F(DeadlineSchedulerTest, ElevatorWrapsAround) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kRead, 100, 8));
-  EXPECT_EQ(s.PopNext(0).sector, 100u);  // position now 108
+  EXPECT_EQ(s.PopNext(0)->sector, 100u);  // position now 108
   s.Add(Bio(IoType::kRead, 50, 8));
   // Only request is below the position: elevator wraps.
-  EXPECT_EQ(s.PopNext(0).sector, 50u);
+  EXPECT_EQ(s.PopNext(0)->sector, 50u);
 }
 
 TEST(MakeSchedulerTest, FactoryNames) {

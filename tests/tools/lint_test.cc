@@ -213,6 +213,18 @@ TEST(R5Test, AcceptsInitializedAndNonPodMembers) {
   EXPECT_EQ(CountRule(diags, "R5"), 0u);
 }
 
+TEST(R5Test, TemplateMembersWithPointerArgumentsAreNotFlagged) {
+  // Class-template instances default-construct; the comma and '*' inside
+  // the template arguments must not be misread as extra POD members.
+  const auto diags = Lint(
+      "struct S {\n"
+      "  FlatMultiMap<uint64_t, IoRequest*> by_start;\n"
+      "  FlatMultiMap<uint64_t, uint64_t> by_end;\n"
+      "  std::map<uint64_t, Unit*> units;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(diags, "R5"), 0u);
+}
+
 TEST(R5Test, OnlyAppliesUnderSrc) {
   const auto diags = Lint("struct S { int x; };\n", /*in_src=*/false);
   EXPECT_EQ(CountRule(diags, "R5"), 0u);

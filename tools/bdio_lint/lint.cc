@@ -515,7 +515,12 @@ void CheckR5Struct(const std::string& code, size_t body_start,
       if (s.find('(') != std::string::npos ||
           s.find('=') != std::string::npos ||
           s.find('[') != std::string::npos ||
-          s.find('&') != std::string::npos) {
+          s.find('&') != std::string::npos ||
+          s.find('<') != std::string::npos) {
+        // '<' marks a class-template member (e.g. FlatMap<uint64_t, T*>):
+        // class types default-construct, so R5's uninitialized-POD concern
+        // does not apply — and the tokenizer would misread the template
+        // arguments as member names.
         skip = true;
       }
       if (!skip) {
