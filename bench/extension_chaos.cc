@@ -86,6 +86,7 @@ CellResult RunCell(const core::BenchOptions& options,
 
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TraceSession> trace;
+  std::shared_ptr<obs::BlktraceSession> blktrace;
   if (obs_out) {
     metrics = std::make_shared<obs::MetricsRegistry>();
     if (!options.trace_out.empty()) {
@@ -95,6 +96,11 @@ CellResult RunCell(const core::BenchOptions& options,
     dfs.AttachObs(trace.get(), metrics.get());
     engine.AttachObs(trace.get(), metrics.get());
     if (injector) injector->AttachObs(trace.get(), metrics.get());
+    if (!options.blktrace_out.empty()) {
+      blktrace = std::make_shared<obs::BlktraceSession>(&sim);
+      blktrace->AttachMetrics(metrics.get());
+      cluster.AttachBlktrace(blktrace.get());
+    }
   }
 
   // BDIO_CHECK_INVARIANTS=1 audits every layer as the chaos runs; checks
@@ -130,6 +136,7 @@ CellResult RunCell(const core::BenchOptions& options,
   if (obs_out) {
     obs_out->metrics = std::move(metrics);
     obs_out->trace = std::move(trace);
+    obs_out->blktrace = std::move(blktrace);
   }
   return result;
 }
@@ -203,8 +210,9 @@ int main(int argc, char** argv) {
     return scenarios;
   };
 
-  const bool want_obs =
-      !options.trace_out.empty() || !options.metrics_out.empty();
+  const bool want_obs = !options.trace_out.empty() ||
+                        !options.metrics_out.empty() ||
+                        !options.blktrace_out.empty();
   core::ExperimentResult obs_holder;
   obs_holder.label = "TS_kill_dn3";
 

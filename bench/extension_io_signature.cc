@@ -1,0 +1,187 @@
+// Extension bench: the I/O signature matrix. Every workload runs with the
+// block-layer lifecycle tracer attached; the bdio-blkparse analyzer then
+// distills each run into a feature vector (request mix, avgrq-sz,
+// sequentiality, merge efficiency, await decomposition) per device class
+// and per IoTag. The matrix makes the paper's central contrast visible in
+// one table: TeraSort streams large sequential requests through the HDFS
+// disks while its shuffle hammers the intermediate disks with small
+// scattered I/O.
+//
+// The analyzer's class-level await and avgrq-sz are cross-checked against
+// the registry instruments the devices bump independently
+// (disk.await_ms / disk.request_sectors) — both are sums over the same
+// per-request values, so they must agree to rounding.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bdio_blkparse/blkparse.h"
+#include "bench/figure_common.h"
+#include "common/io_tag.h"
+#include "common/table.h"
+
+namespace {
+
+// FP-rounding-only tolerance: the two sides sum identical doubles in
+// different orders.
+bool SameToRounding(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+const bdio::blkparse::ScopeSummary* FindTag(
+    const bdio::blkparse::Report& report, bdio::IoTag tag) {
+  auto it = report.tags.find(static_cast<uint32_t>(tag));
+  return it == report.tags.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bdio;
+  core::BenchOptions options = core::BenchOptions::Parse(argc, argv);
+  core::PrintFigureHeader(
+      "Extension", "Block-layer I/O signatures per workload", options);
+
+  const core::Factors factors = core::SlotsLevels()[0];  // 1_8, 16G, on
+  if (!options.trace_out.empty() || !options.blktrace_out.empty()) {
+    options.trace_label = factors.Label(workloads::AllWorkloads().front());
+  }
+  // Force lifecycle tracing on for every cell — this bench analyzes the
+  // trace in-process, no --blktrace-out needed.
+  core::GridRunner grid(options, [](const core::ExperimentSpec& spec) {
+    core::ExperimentSpec traced = spec;
+    traced.collect_blktrace = true;
+    return core::RunExperiment(traced);
+  });
+  grid.PrefetchAll({factors});
+
+  std::map<workloads::WorkloadKind, blkparse::Report> reports;
+  TextTable classes;
+  classes.SetHeader({"workload", "class", "requests", "avgrq-sz", "read",
+                     "seq", "merge", "await ms", "p95 ms"});
+  TextTable tags;
+  tags.SetHeader({"workload", "source", "requests", "avgrq-sz", "read",
+                  "merge", "await ms"});
+  for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+    const auto& res = grid.Get(w, factors);
+    const blkparse::Report report =
+        blkparse::Analyze(blkparse::FromSession(*res.blktrace));
+    for (const auto& [cls, s] : report.classes) {
+      classes.AddRow({workloads::WorkloadShortName(w), cls,
+                      std::to_string(s.requests),
+                      TextTable::Num(s.avgrq_sectors, 1),
+                      TextTable::Percent(s.read_fraction, 0),
+                      TextTable::Num(s.seq_score, 3),
+                      TextTable::Num(s.merge_ratio, 3),
+                      TextTable::Num(s.await_ms.mean, 2),
+                      TextTable::Num(s.await_ms.p95, 2)});
+    }
+    for (const auto& [tag, s] : report.tags) {
+      if (tag == 0) continue;  // unattributed (preload) noise
+      tags.AddRow({workloads::WorkloadShortName(w),
+                   IoTagName(static_cast<IoTag>(tag)),
+                   std::to_string(s.requests),
+                   TextTable::Num(s.avgrq_sectors, 1),
+                   TextTable::Percent(s.read_fraction, 0),
+                   TextTable::Num(s.merge_ratio, 3),
+                   TextTable::Num(s.await_ms.mean, 2)});
+    }
+    reports.emplace(w, report);
+  }
+  std::fputs(classes.ToString().c_str(), stdout);
+  std::printf("\nper I/O source:\n");
+  std::fputs(tags.ToString().c_str(), stdout);
+
+  if (!options.trace_out.empty() || !options.metrics_out.empty() ||
+      !options.blktrace_out.empty()) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
+    for (workloads::WorkloadKind w : workloads::AllWorkloads()) {
+      const auto& res = grid.Get(w, factors);
+      obs.emplace_back(res.label, &res);
+    }
+    core::WriteObsArtifacts(options, obs);
+  }
+
+  using workloads::WorkloadKind;
+  const blkparse::Report& ts = reports.at(WorkloadKind::kTeraSort);
+  const blkparse::ScopeSummary& ts_hdfs = ts.classes.at("hdfs");
+  const blkparse::ScopeSummary& ts_mr = ts.classes.at("mr");
+  const blkparse::ScopeSummary* ts_input = FindTag(ts, IoTag::kHdfsInput);
+  const blkparse::ScopeSummary* ts_shuffle = FindTag(ts, IoTag::kShuffleRun);
+  const blkparse::ScopeSummary* ts_spill = FindTag(ts, IoTag::kMapSpill);
+
+  uint64_t dropped = 0;
+  uint64_t merges_anywhere = 0;
+  bool all_shapes_sane = true;
+  for (const auto& [w, report] : reports) {
+    dropped += report.dropped_records;
+    // Lifecycle sanity: every trace carries queued/dispatched/completed
+    // records. Merges are workload-dependent (AGG/KM legitimately see
+    // none), so they are only required to appear somewhere in the matrix —
+    // and they need queue contention, so scales finer than ~1/256 can
+    // legitimately miss that one check.
+    all_shapes_sane = all_shapes_sane &&
+                      report.action_totals[obs::BlkActionIndex(
+                          obs::BlkAction::kQueue)] > 0 &&
+                      report.action_totals[obs::BlkActionIndex(
+                          obs::BlkAction::kDispatch)] > 0 &&
+                      report.action_totals[obs::BlkActionIndex(
+                          obs::BlkAction::kComplete)] > 0;
+    merges_anywhere +=
+        report.action_totals[obs::BlkActionIndex(obs::BlkAction::kMerge)];
+  }
+
+  // Registry cross-check on the TeraSort run: the analyzer's class-level
+  // await mean and avgrq-sz must reproduce the device-side instruments.
+  const auto& ts_res = grid.Get(WorkloadKind::kTeraSort, factors);
+  bool await_matches = true;
+  bool avgrq_matches = true;
+  for (const char* cls : {"hdfs", "mr"}) {
+    const obs::Labels labels{{"class", cls}};
+    const obs::Histogram* await =
+        ts_res.metrics->GetHistogram("disk.await_ms", labels, {});
+    const obs::Histogram* rqsz =
+        ts_res.metrics->GetHistogram("disk.request_sectors", labels, {});
+    const blkparse::ScopeSummary& s = ts.classes.at(cls);
+    await_matches = await_matches && SameToRounding(await->Mean(),
+                                                    s.await_ms.mean);
+    avgrq_matches = avgrq_matches && SameToRounding(rqsz->Mean(),
+                                                    s.avgrq_sectors);
+    std::printf(
+        "cross-check %s: analyzer await %.6f ms vs registry %.6f ms, "
+        "avgrq %.3f vs %.3f sectors\n",
+        cls, s.await_ms.mean, await->Mean(), s.avgrq_sectors, rqsz->Mean());
+  }
+
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back(core::ShapeCheck{
+      "all four traces carry Q/D/C records", all_shapes_sane});
+  checks.push_back(core::ShapeCheck{
+      "elevator merges show up in the matrix (M records)",
+      merges_anywhere > 0});
+  checks.push_back(
+      core::ShapeCheck{"no trace dropped records", dropped == 0});
+  checks.push_back(core::ShapeCheck{
+      "TS is sequential-heavy on HDFS disks vs intermediate disks",
+      ts_hdfs.seq_score > ts_mr.seq_score});
+  checks.push_back(core::ShapeCheck{
+      "TS HDFS requests are larger than intermediate-disk requests",
+      ts_hdfs.avgrq_sectors > ts_mr.avgrq_sectors});
+  checks.push_back(core::ShapeCheck{
+      "TS input scanning is read-only",
+      ts_input != nullptr && ts_input->read_fraction == 1.0});
+  checks.push_back(core::ShapeCheck{
+      "TS shuffle runs are smaller than input scans (small-random shuffle)",
+      ts_shuffle != nullptr && ts_input != nullptr &&
+          ts_shuffle->avgrq_sectors < ts_input->avgrq_sectors});
+  checks.push_back(core::ShapeCheck{
+      "TS map spills write (mixed or write-heavy source)",
+      ts_spill != nullptr && ts_spill->read_fraction < 1.0});
+  checks.push_back(core::ShapeCheck{
+      "analyzer await reproduces registry disk.await_ms", await_matches});
+  checks.push_back(core::ShapeCheck{
+      "analyzer avgrq-sz reproduces registry disk.request_sectors",
+      avgrq_matches});
+  return core::PrintShapeChecks(checks);
+}

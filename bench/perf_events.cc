@@ -19,6 +19,11 @@
 //   perf_events [--quick] [--out=BENCH_perf.json]
 //               [--baseline=<file> [--tolerance=0.2]]
 //               [--scale=N] [--seed=N] [--workers=N]
+//               [--trace-out=F] [--metrics-out=F] [--blktrace-out=F]
+//
+// The observability flags attach the corresponding collectors to the
+// TeraSort grid and write the artifacts after the scoreboard; they perturb
+// wall-clock, so don't combine them with --baseline gating.
 // Exit code: 0 on success, 1 if --baseline was given and any workload's
 // events/sec regressed by more than --tolerance (default 20%).
 
@@ -90,7 +95,12 @@ struct WorkloadScore {
 
 // --- Workloads -----------------------------------------------------------
 
-WorkloadScore RunTeraSortGrid(const core::BenchOptions& options) {
+/// `retained`, when non-null, receives every cell's full result so main can
+/// write the observability artifacts (--trace-out/--metrics-out/
+/// --blktrace-out). Retention is opt-in: keeping results alive inflates
+/// peak_rss_mib, so perf-measurement runs pass nullptr.
+WorkloadScore RunTeraSortGrid(const core::BenchOptions& options,
+                              std::vector<core::ExperimentResult>* retained) {
   WorkloadScore score;
   score.name = "terasort_grid";
   const std::vector<core::Factors> levels =
@@ -99,12 +109,13 @@ WorkloadScore RunTeraSortGrid(const core::BenchOptions& options) {
   for (const core::Factors& f : levels) {
     const core::ExperimentSpec spec =
         options.MakeSpec(workloads::WorkloadKind::kTeraSort, f);
-    const Result<core::ExperimentResult> r = core::RunExperiment(spec);
+    Result<core::ExperimentResult> r = core::RunExperiment(spec);
     BDIO_CHECK(r.ok()) << "terasort grid cell failed: "
                        << r.status().ToString();
     ++score.runs;
     score.events += r.value().events_processed;
     score.sim_seconds += r.value().duration_s;
+    if (retained != nullptr) retained->push_back(std::move(r.value()));
   }
   score.Finish(timer);
   return score;
@@ -345,10 +356,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(options.seed),
               options.num_workers, quick ? "quick" : "full");
 
+  // Observability artifacts ride on the TeraSort grid: traces go to the
+  // first grid cell (trace_label), metrics dump covers every cell. Results
+  // are only retained when an artifact was requested — see RunTeraSortGrid.
+  const bool want_obs = !options.trace_out.empty() ||
+                        !options.metrics_out.empty() ||
+                        !options.blktrace_out.empty();
+  if ((!options.trace_out.empty() || !options.blktrace_out.empty()) &&
+      options.trace_label.empty()) {
+    options.trace_label =
+        bench::LevelsFor(bench::FactorContext::kSlots)
+            .front()
+            .Label(workloads::WorkloadKind::kTeraSort);
+  }
+  std::vector<core::ExperimentResult> retained;
   std::vector<WorkloadScore> scores;
-  scores.push_back(RunTeraSortGrid(options));
+  scores.push_back(RunTeraSortGrid(options, want_obs ? &retained : nullptr));
   scores.push_back(RunDfsio(options));
   scores.push_back(RunChaos(options));
+  if (want_obs) {
+    std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;
+    for (const core::ExperimentResult& r : retained) {
+      obs.emplace_back(r.label, &r);
+    }
+    core::WriteObsArtifacts(options, obs);
+  }
   for (const WorkloadScore& s : scores) {
     std::printf("%-14s runs=%d events=%llu sim_s=%.1f wall_s=%.3f "
                 "ev/s=%.0f rss=%.1fMiB\n",

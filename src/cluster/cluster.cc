@@ -40,4 +40,20 @@ void Cluster::AttachObs(obs::TraceSession* trace,
   network_->AttachObs(trace, metrics);
 }
 
+void Cluster::AttachBlktrace(obs::BlktraceSession* session) {
+  if (session == nullptr) return;
+  for (uint32_t n = 0; n < num_workers(); ++n) {
+    for (uint32_t d = 0; d < nodes_[n]->num_hdfs_disks(); ++d) {
+      storage::BlockDevice* dev = nodes_[n]->hdfs_disk(d);
+      dev->AttachBlktrace(session,
+                          session->RegisterDevice(dev->name(), "hdfs", n));
+    }
+    for (uint32_t d = 0; d < nodes_[n]->num_mr_disks(); ++d) {
+      storage::BlockDevice* dev = nodes_[n]->mr_disk(d);
+      dev->AttachBlktrace(session,
+                          session->RegisterDevice(dev->name(), "mr", n));
+    }
+  }
+}
+
 }  // namespace bdio::cluster

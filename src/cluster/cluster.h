@@ -8,6 +8,7 @@
 #include "cluster/node.h"
 #include "common/random.h"
 #include "net/network.h"
+#include "obs/blktrace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -45,6 +46,12 @@ class Cluster {
   /// and names the trace process rows (pid 0 = cluster, pid i+1 = node i).
   /// Callers attach the layers above (HDFS, MR engine) themselves.
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics);
+
+  /// Registers every data disk with `session` (node-major, hdfs disks
+  /// before mr disks — a fixed order, so artifacts are byte-identical
+  /// across runs) and attaches the per-device lifecycle hooks. No-op when
+  /// `session` is null.
+  void AttachBlktrace(obs::BlktraceSession* session);
 
  private:
   sim::Simulator* sim_;

@@ -126,6 +126,13 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   cluster.AttachObs(tr, metrics.get());
   dfs.AttachObs(tr, metrics.get());
   engine.AttachObs(tr, metrics.get());
+  std::shared_ptr<obs::BlktraceSession> blktrace;
+  if (spec.collect_blktrace) {
+    blktrace = std::make_shared<obs::BlktraceSession>(
+        &sim, spec.blktrace_max_records);
+    blktrace->AttachMetrics(metrics.get());
+    cluster.AttachBlktrace(blktrace.get());
+  }
 
   // Debug-mode invariant auditing (BDIO_CHECK_INVARIANTS=1): read-only, so
   // a checked run stays byte-identical to an unchecked one.
@@ -230,6 +237,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   }
   result.metrics = std::move(metrics);
   result.trace = std::move(trace);
+  result.blktrace = std::move(blktrace);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "iostat/iostat.h"
 #include "mapreduce/job.h"
+#include "obs/blktrace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workloads/profile.h"
@@ -70,6 +71,15 @@ struct ExperimentSpec {
   /// never perturbs the simulation, but event storage is proportional to
   /// simulated I/O.
   bool collect_trace = false;
+
+  /// Record a block-layer Q/M/D/C lifecycle trace of every data disk
+  /// (docs/BLKTRACE.md), returned in ExperimentResult::blktrace. Off by
+  /// default for the same reason as collect_trace; recording never
+  /// perturbs the simulation.
+  bool collect_blktrace = false;
+  /// Per-device ring capacity when collect_blktrace is set; overwrites are
+  /// counted in the "blktrace.dropped_records" registry counter.
+  uint64_t blktrace_max_records = 1ull << 20;
 };
 
 /// Per-disk-class observation of one run: every iostat metric as a
@@ -131,6 +141,10 @@ struct ExperimentResult {
 
   /// Chrome-trace session of the run; null unless spec.collect_trace.
   std::shared_ptr<obs::TraceSession> trace;
+
+  /// Block-layer lifecycle trace of every data disk; null unless
+  /// spec.collect_blktrace.
+  std::shared_ptr<obs::BlktraceSession> blktrace;
 
   const GroupObservation& group(const std::string& name) const {
     return name == "hdfs" ? hdfs : mr;

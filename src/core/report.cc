@@ -96,6 +96,8 @@ BenchOptions BenchOptions::Parse(
       options.trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--blktrace-out=", 0) == 0) {
+      options.blktrace_out = arg.substr(15);
     } else if (arg == "--calibrate") {
       options.calibrate = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -103,7 +105,7 @@ BenchOptions BenchOptions::Parse(
                    "usage: %s [--scale=<denominator|fraction>] [--seed=N]\n"
                    "          [--workers=N] [--jobs=N] [--csv] [--calibrate]\n"
                    "          [--outdir=<dir>] [--trace-out=<file>]\n"
-                   "          [--metrics-out=<file>]\n"
+                   "          [--metrics-out=<file>] [--blktrace-out=<file>]\n"
                    "  --jobs=N  run up to N simulations in parallel\n"
                    "            (default: BDIO_JOBS env var, else all cores)\n"
                    "  --trace-out=<file>    write a Chrome/Perfetto trace of\n"
@@ -111,6 +113,10 @@ BenchOptions BenchOptions::Parse(
                    "  --metrics-out=<file>  dump every experiment's metrics\n"
                    "                        (.csv => CSV, else JSON;\n"
                    "                        env BDIO_METRICS_OUT)\n"
+                   "  --blktrace-out=<file> write the block-layer Q/M/D/C\n"
+                   "                        lifecycle trace of one experiment\n"
+                   "                        for tools/bdio-blkparse\n"
+                   "                        (env BDIO_BLKTRACE_OUT)\n"
                    "%s",
                    argv[0], extra_usage.c_str());
       std::exit(0);
@@ -131,6 +137,11 @@ BenchOptions BenchOptions::Parse(
       options.metrics_out = env;
     }
   }
+  if (options.blktrace_out.empty()) {
+    if (const char* env = std::getenv("BDIO_BLKTRACE_OUT")) {
+      options.blktrace_out = env;
+    }
+  }
   return options;
 }
 
@@ -149,9 +160,10 @@ ExperimentSpec BenchOptions::MakeSpec(workloads::WorkloadKind workload,
   spec.calibrate = calibrate;
   // Trace exactly one experiment per run: the one whose label matches
   // trace_label (every experiment when no label was chosen).
-  spec.collect_trace =
-      !trace_out.empty() &&
-      (trace_label.empty() || trace_label == factors.Label(workload));
+  const bool label_match =
+      trace_label.empty() || trace_label == factors.Label(workload);
+  spec.collect_trace = !trace_out.empty() && label_match;
+  spec.collect_blktrace = !blktrace_out.empty() && label_match;
   return spec;
 }
 
@@ -332,6 +344,26 @@ void WriteObsArtifacts(
       std::fprintf(stderr,
                    "warning: --trace-out was set but no experiment carried a "
                    "trace\n");
+    }
+  }
+  if (!options.blktrace_out.empty()) {
+    bool wrote = false;
+    for (const auto& [label, res] : results) {
+      if (res == nullptr || res->blktrace == nullptr) continue;
+      const Status s = res->blktrace->WriteFile(options.blktrace_out);
+      BDIO_CHECK(s.ok()) << s.ToString();
+      std::printf(
+          "wrote %s (blktrace of %s, %llu records, %llu dropped)\n",
+          options.blktrace_out.c_str(), label.c_str(),
+          static_cast<unsigned long long>(res->blktrace->num_records()),
+          static_cast<unsigned long long>(res->blktrace->dropped_records()));
+      wrote = true;
+      break;  // one blktrace per run, matching the span-trace policy
+    }
+    if (!wrote) {
+      std::fprintf(stderr,
+                   "warning: --blktrace-out was set but no experiment "
+                   "carried a blktrace\n");
     }
   }
   if (!options.metrics_out.empty()) {

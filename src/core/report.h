@@ -32,17 +32,20 @@ struct BenchOptions {
   /// If set, dump every experiment's metrics registry here (.csv => CSV,
   /// anything else => JSON).
   std::string metrics_out;
-  /// Experiment label to trace when trace_out is set; empty = the bench's
-  /// first grid cell (set by the bench, not a flag).
+  /// If set, write the binary block-layer Q/M/D/C lifecycle trace of one
+  /// experiment here (analyze with tools/bdio-blkparse; docs/BLKTRACE.md).
+  std::string blktrace_out;
+  /// Experiment label to trace when trace_out/blktrace_out is set; empty =
+  /// the bench's first grid cell (set by the bench, not a flag).
   std::string trace_label;
 
   /// Parses --scale=<den|frac>, --seed=, --workers=, --jobs=N (also
   /// "--jobs N"), --csv, --calibrate, --outdir=<dir>, --trace-out=<file>,
-  /// --metrics-out=<file> (the last two also read the BDIO_TRACE_OUT /
-  /// BDIO_METRICS_OUT env vars). Numeric flag values are validated: a
-  /// malformed or out-of-range --scale/--seed/--workers/--jobs aborts with
-  /// exit code 2 instead of silently wrapping. Unknown flags abort with a
-  /// usage message.
+  /// --metrics-out=<file>, --blktrace-out=<file> (the last three also read
+  /// the BDIO_TRACE_OUT / BDIO_METRICS_OUT / BDIO_BLKTRACE_OUT env vars).
+  /// Numeric flag values are validated: a malformed or out-of-range
+  /// --scale/--seed/--workers/--jobs aborts with exit code 2 instead of
+  /// silently wrapping. Unknown flags abort with a usage message.
   static BenchOptions Parse(int argc, char** argv);
 
   /// Parse variant for benches with extra flags: `extra` sees each unknown
@@ -148,12 +151,14 @@ void PrintSeriesCsv(const std::string& label, const TimeSeries& series);
 std::string WriteSeriesCsv(const std::string& outdir, const std::string& name,
                            const TimeSeries& series);
 
-/// Writes the observability artifacts the options ask for (no-op when
-/// neither --trace-out nor --metrics-out is set): the first result carrying
-/// a trace is written as Chrome trace-event JSON to options.trace_out, and
-/// every result's metrics registry is dumped to options.metrics_out (CSV
-/// when the path ends in ".csv", else a JSON document keyed by label).
-/// Prints one "wrote ..." line per file.
+/// Writes the observability artifacts the options ask for (no-op when none
+/// of --trace-out/--metrics-out/--blktrace-out is set): the first result
+/// carrying a trace is written as Chrome trace-event JSON to
+/// options.trace_out, the first result carrying a blktrace is written as
+/// the binary lifecycle artifact to options.blktrace_out, and every
+/// result's metrics registry is dumped to options.metrics_out (CSV when
+/// the path ends in ".csv", else a JSON document keyed by label). Prints
+/// one "wrote ..." line per file.
 void WriteObsArtifacts(
     const BenchOptions& options,
     const std::vector<std::pair<std::string, const ExperimentResult*>>&

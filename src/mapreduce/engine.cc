@@ -854,6 +854,7 @@ void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
   auto file = fs->Create("spill_" + std::to_string(file_seq_++));
   BDIO_CHECK(file.ok()) << file.status().ToString();
   file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapSpill));
+  file.value()->set_owner_job(job->job_id + 1);
   ++job->counters.spills;
   job->counters.intermediate_write_bytes += post;
   if (m_map_spills_) m_map_spills_->Inc();
@@ -943,6 +944,7 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
   auto out_file = out_fs->Create("map_out_" + std::to_string(file_seq_++));
   BDIO_CHECK(out_file.ok()) << out_file.status().ToString();
   out_file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kMapOutput));
+  out_file.value()->set_owner_job(job->job_id + 1);
   if (m_merge_width_) {
     m_merge_width_->Observe(static_cast<double>(mt->spills.size()));
   }
@@ -1167,6 +1169,7 @@ void MrEngine::ReduceSpill(std::shared_ptr<Job> job,
   auto file = fs->Create("shuffle_run_" + std::to_string(file_seq_++));
   BDIO_CHECK(file.ok()) << file.status().ToString();
   file.value()->set_io_tag(static_cast<uint32_t>(IoTag::kShuffleRun));
+  file.value()->set_owner_job(job->job_id + 1);
   job->counters.intermediate_write_bytes += bytes;
   if (m_reduce_spills_) m_reduce_spills_->Inc();
   if (job->m_spills) job->m_spills->Inc();

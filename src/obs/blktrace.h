@@ -1,0 +1,183 @@
+#ifndef BDIO_OBS_BLKTRACE_H_
+#define BDIO_OBS_BLKTRACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace bdio::obs {
+
+/// Block-layer lifecycle actions, mirroring the subset of Linux blktrace
+/// events the paper's methodology needs. Values are the ASCII letters
+/// blkparse prints, so a hex dump of the binary trace reads naturally.
+enum class BlkAction : uint8_t {
+  kQueue = 'Q',     ///< Bio entered the elevator as a new request.
+  kMerge = 'M',     ///< Bio folded into a queued request (front or back).
+  kDispatch = 'D',  ///< Request left the elevator for the drive (NCQ).
+  kComplete = 'C',  ///< Drive finished servicing the request.
+};
+
+/// Index of an action in per-device count arrays (Q=0, M=1, D=2, C=3).
+inline constexpr uint32_t kNumBlkActions = 4;
+inline uint32_t BlkActionIndex(BlkAction a) {
+  switch (a) {
+    case BlkAction::kQueue:
+      return 0;
+    case BlkAction::kMerge:
+      return 1;
+    case BlkAction::kDispatch:
+      return 2;
+    case BlkAction::kComplete:
+      return 3;
+  }
+  return 0;
+}
+
+/// One lifecycle transition, 40 bytes, written to the binary trace verbatim
+/// (host little-endian, fixed layout — see docs/BLKTRACE.md).
+///
+/// `request_id` links the lifecycle together: Q assigns it (the device's
+/// request id), M carries the id of the *surviving* request the bio folded
+/// into, and D/C repeat the id, so an analyzer can join Q->D->C per request
+/// and attribute merged bios. `queue_depth` is the elevator's size after
+/// the transition was applied. `job` is 1 + the MapReduce job id that owns
+/// the file (0 = unattributed, e.g. HDFS block files and dataset preload).
+struct BlktraceRecord {
+  uint64_t time_ns = 0;      ///< Simulated time of the transition.
+  uint64_t sector = 0;       ///< First sector of the bio/request.
+  uint32_t sectors = 0;      ///< Length in 512 B sectors.
+  uint32_t queue_depth = 0;  ///< Elevator occupancy after the transition.
+  uint32_t request_id = 0;   ///< Device-local request id (see above).
+  uint32_t tag = 0;          ///< IoTag of the issuing file (0 = unknown).
+  uint32_t job = 0;          ///< Owning job id + 1; 0 = unattributed.
+  uint16_t device = 0;       ///< Session-local device index.
+  uint8_t action = 0;        ///< BlkAction letter ('Q','M','D','C').
+  uint8_t dir = 0;           ///< 0 = read, 1 = write.
+};
+static_assert(sizeof(BlktraceRecord) == 40, "record layout is part of the "
+                                            "on-disk format");
+static_assert(std::is_trivially_copyable_v<BlktraceRecord>);
+
+/// Per-device state: identity, drop accounting, per-action totals, and the
+/// bounded record ring.
+struct BlktraceDevice {
+  std::string name;
+  std::string dev_class;  ///< "hdfs" or "mr" — the paper's central split.
+  uint32_t node = 0;      ///< Worker node index.
+  /// Records lost to ring overwrite (oldest-first). Counted even though the
+  /// per-action totals below keep counting, so an analyzer can tell a
+  /// complete trace (dropped == 0) from a truncated one.
+  uint64_t dropped = 0;
+  /// Totals per action (Q,M,D,C), maintained for every Record call whether
+  /// or not the record survived the ring — these are the counters the
+  /// invariant checker cross-checks against DiskStats.
+  uint64_t counts[kNumBlkActions] = {};
+
+  /// Bounded ring: the newest `ring.size()` records; `head` is the index of
+  /// the oldest once the ring has wrapped.
+  std::vector<BlktraceRecord> ring;
+  size_t head = 0;
+};
+
+/// Per-experiment block-layer lifecycle tracer (the repo's blktrace).
+/// BlockDevice calls Record on every Q/M/D/C transition; the session keeps
+/// a bounded per-device ring and serializes to a compact binary artifact
+/// that tools/bdio-blkparse analyzes offline.
+///
+/// Determinism: records carry only simulated time and simulation state, and
+/// devices are registered in a fixed iteration order
+/// (cluster::Cluster::AttachBlktrace), so the serialized artifact is
+/// byte-identical across hosts and --jobs levels. Recording performs no
+/// event scheduling and draws no randomness; an attached session never
+/// perturbs the run.
+class BlktraceSession {
+ public:
+  /// Default per-device ring capacity. A record is 40 bytes, so the default
+  /// bounds a 60-device cluster at ~2.4 GiB worst case but in practice
+  /// paper-scale runs stay far below it (drops are counted, not silent).
+  static constexpr size_t kDefaultMaxRecordsPerDevice = size_t{1} << 20;
+
+  explicit BlktraceSession(
+      const sim::Simulator* sim,
+      size_t max_records_per_device = kDefaultMaxRecordsPerDevice);
+
+  BlktraceSession(const BlktraceSession&) = delete;
+  BlktraceSession& operator=(const BlktraceSession&) = delete;
+
+  /// Registers a device and returns its session-local index (the `device`
+  /// field of its records). Call order defines artifact order.
+  uint16_t RegisterDevice(const std::string& name,
+                          const std::string& dev_class, uint32_t node);
+
+  /// Surfaces drop accounting in the registry: "blktrace.dropped_records"
+  /// counts ring overwrites across all devices (satellite: overflow is
+  /// loud, never silent).
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  /// Appends one lifecycle record to `device`'s ring. Hot path: one bounds
+  /// check + struct store; overwrites the oldest record when full.
+  void Record(uint16_t device, BlkAction action, uint8_t dir, uint64_t sector,
+              uint32_t sectors, uint32_t request_id, uint32_t tag,
+              uint32_t job, uint32_t queue_depth) {
+    BlktraceDevice& d = devices_[device];
+    ++d.counts[BlkActionIndex(action)];
+    BlktraceRecord rec;
+    rec.time_ns = sim_->Now();
+    rec.sector = sector;
+    rec.sectors = sectors;
+    rec.queue_depth = queue_depth;
+    rec.request_id = request_id;
+    rec.tag = tag;
+    rec.job = job;
+    rec.device = device;
+    rec.action = static_cast<uint8_t>(action);
+    rec.dir = dir;
+    if (d.ring.size() < max_records_per_device_) {
+      d.ring.push_back(rec);
+    } else {
+      d.ring[d.head] = rec;
+      d.head = (d.head + 1) % d.ring.size();
+      ++d.dropped;
+      if (m_dropped_ != nullptr) m_dropped_->Inc();
+    }
+  }
+
+  size_t num_devices() const { return devices_.size(); }
+  const BlktraceDevice& device(size_t i) const { return devices_[i]; }
+  size_t max_records_per_device() const { return max_records_per_device_; }
+
+  /// Total records currently retained across all rings.
+  uint64_t num_records() const;
+  /// Total records lost to ring overwrite across all devices.
+  uint64_t dropped_records() const;
+  /// Total Record() calls for `action` on `device` (drop-independent).
+  uint64_t ActionCount(uint16_t device, BlkAction action) const {
+    return devices_[device].counts[BlkActionIndex(action)];
+  }
+
+  /// `device`'s retained records, oldest first (the ring unwound).
+  std::vector<BlktraceRecord> DeviceRecords(uint16_t device) const;
+
+  /// The complete binary artifact (magic, device table, record streams) —
+  /// the byte string WriteFile persists. See docs/BLKTRACE.md.
+  std::string Serialize() const;
+
+  /// Writes Serialize() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  const sim::Simulator* sim_;
+  size_t max_records_per_device_;
+  std::vector<BlktraceDevice> devices_;
+  Counter* m_dropped_ = nullptr;
+};
+
+}  // namespace bdio::obs
+
+#endif  // BDIO_OBS_BLKTRACE_H_

@@ -32,9 +32,13 @@ class File : public CachedFile {
   uint64_t SectorFor(uint64_t byte_offset) const override;
   uint64_t size() const override { return size_; }
   uint32_t io_tag() const override { return io_tag_; }
+  uint32_t owner_job() const override { return owner_job_; }
 
   /// Labels this file's I/O-demand source (an IoTag value) for attribution.
   void set_io_tag(uint32_t tag) { io_tag_ = tag; }
+  /// Labels this file's owning MapReduce job (job id + 1; 0 = none) for
+  /// blktrace attribution.
+  void set_owner_job(uint32_t job) { owner_job_ = job; }
 
   const std::string& name() const { return name_; }
   size_t extent_count() const { return extent_start_sectors_.size(); }
@@ -53,6 +57,7 @@ class File : public CachedFile {
   storage::BlockDevice* device_;
   uint64_t extent_bytes_;
   uint32_t io_tag_ = 0;
+  uint32_t owner_job_ = 0;
   uint64_t size_ = 0;
   std::vector<uint64_t> extent_start_sectors_;
 };

@@ -206,10 +206,10 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
     // (start, count) pair keeps the completion closure allocation-free.
     const uint64_t n_units = j - i;
     stats_.disk_read_bytes += bytes;
+    uint32_t tag = file->io_tag();
+    if (tag >= kNumIoTags) tag = 0;
     if (m_disk_read_bytes_) {
       m_disk_read_bytes_->Add(bytes);
-      uint32_t tag = file->io_tag();
-      if (tag >= kNumIoTags) tag = 0;
       tag_read_bytes_[tag]->Add(bytes);
     }
     dev->Submit(
@@ -237,7 +237,7 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
           EvictIfNeeded();
           for (auto& w : waiters) w();
         },
-        /*io_context=*/fid);
+        /*io_context=*/fid, tag, file->owner_job());
     i = j;
   }
 
@@ -513,10 +513,10 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
   if (fs->dirty.empty()) dirty_files_.erase(file_id);
   ++writeback_inflight_;
   stats_.writeback_bytes += bytes;
+  uint32_t tag = file->io_tag();
+  if (tag >= kNumIoTags) tag = 0;
   if (m_writeback_bytes_) {
     m_writeback_bytes_->Add(bytes);
-    uint32_t tag = file->io_tag();
-    if (tag >= kNumIoTags) tag = 0;
     tag_write_bytes_[tag]->Add(bytes);
   }
   // Writeback is the page cache's own I/O: it originates a fresh flow here
@@ -538,7 +538,7 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
       [this, file_id, start_unit, n_units] {
         OnWritebackDone(file_id, start_unit, n_units);
       },
-      /*io_context=*/file_id);
+      /*io_context=*/file_id, tag, file->owner_job());
   return true;
 }
 

@@ -36,6 +36,11 @@ class CachedFile {
   /// High-level I/O-demand source (an IoTag value) used for attribution;
   /// 0 = unknown.
   virtual uint32_t io_tag() const { return 0; }
+  /// Owning MapReduce job (job id + 1) for blktrace attribution;
+  /// 0 = unattributed (HDFS block files, preloaded datasets). Stamped at
+  /// file creation, so async writeback stays correctly attributed — unlike
+  /// real blktrace, which charges flusher-thread I/O to the flusher.
+  virtual uint32_t owner_job() const { return 0; }
 };
 
 /// Tunables mirroring the Linux VM of the Hadoop-1 era (values scaled to the

@@ -37,8 +37,15 @@ void BlockDevice::AttachObs(obs::TraceSession* trace,
       {0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
 }
 
+void BlockDevice::AttachBlktrace(obs::BlktraceSession* session,
+                                 uint16_t device_index) {
+  blktrace_ = session;
+  blktrace_dev_ = device_index;
+}
+
 void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
-                         InlineFn on_complete, uint64_t io_context) {
+                         InlineFn on_complete, uint64_t io_context,
+                         uint32_t tag, uint32_t job) {
   BDIO_CHECK(sectors > 0) << name_ << ": zero-length bio";
   BDIO_CHECK(sectors <= params_.max_request_sectors)
       << name_ << ": bio exceeds max request size (" << sectors
@@ -51,6 +58,8 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
   bio->sector = sector;
   bio->sectors = sectors;
   bio->io_context = io_context;
+  bio->tag = tag;
+  bio->job = job;
   bio->submit_time = sim_->Now();
   if (on_complete) bio->on_complete.push_back(std::move(on_complete));
   if (trace_) bio->trace_flow = trace_->current_flow();
@@ -58,9 +67,19 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
     m_queue_depth_->Observe(static_cast<double>(scheduler_->size()));
   }
 
-  if (scheduler_->TryMerge(bio)) {
+  if (IoRequest* into = scheduler_->TryMerge(bio)) {
     stats_.OnMerge(type, sim_->Now());
     if (m_merges_) m_merges_->Inc();
+    if (blktrace_) {
+      // The M record carries the merged bio's own geometry and attribution
+      // but the *surviving* request's id, so the analyzer can credit the
+      // bio to the request it dissolved into.
+      blktrace_->Record(blktrace_dev_, obs::BlkAction::kMerge,
+                        type == IoType::kWrite, sector,
+                        static_cast<uint32_t>(sectors),
+                        static_cast<uint32_t>(into->id), tag, job,
+                        static_cast<uint32_t>(scheduler_->size()));
+    }
     if (trace_) {
       trace_->Instant(trace_pid_, "sched", "merge",
                       "{\"dev\":\"" + name_ + "\",\"sectors\":" +
@@ -83,6 +102,13 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
       trace_->FlowStep(bio->trace_flow, trace_pid_);
     }
     scheduler_->Add(bio);
+    if (blktrace_) {
+      blktrace_->Record(blktrace_dev_, obs::BlkAction::kQueue,
+                        type == IoType::kWrite, sector,
+                        static_cast<uint32_t>(sectors),
+                        static_cast<uint32_t>(bio->id), tag, job,
+                        static_cast<uint32_t>(scheduler_->size()));
+    }
   }
   MaybeDispatch();
 }
@@ -109,6 +135,16 @@ void BlockDevice::MaybeDispatch() {
   while (ncq_pool_.size() < params_.ncq_depth && !scheduler_->empty()) {
     IoRequest* pulled = scheduler_->PopNext(sim_->Now());
     pulled->dispatch_time = sim_->Now();
+    if (blktrace_) {
+      // D: the (possibly merged) request leaves the elevator for the
+      // drive. Geometry is the merged request's, not the founding bio's.
+      blktrace_->Record(blktrace_dev_, obs::BlkAction::kDispatch,
+                        pulled->type == IoType::kWrite, pulled->sector,
+                        static_cast<uint32_t>(pulled->sectors),
+                        static_cast<uint32_t>(pulled->id), pulled->tag,
+                        pulled->job,
+                        static_cast<uint32_t>(scheduler_->size()));
+    }
     ncq_pool_.push_back(pulled);
   }
   if (busy_ || ncq_pool_.empty()) return;
@@ -134,6 +170,13 @@ void BlockDevice::Complete(IoRequest* req) {
   req->complete_time = sim_->Now();
   stats_.OnComplete(*req, sim_->Now());
   busy_ = false;
+  if (blktrace_) {
+    blktrace_->Record(blktrace_dev_, obs::BlkAction::kComplete,
+                      req->type == IoType::kWrite, req->sector,
+                      static_cast<uint32_t>(req->sectors),
+                      static_cast<uint32_t>(req->id), req->tag, req->job,
+                      static_cast<uint32_t>(scheduler_->size()));
+  }
   if (trace_) trace_->EndSpan(req->service_span);
   if (m_requests_) {  // registry attached
     (req->is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req->bytes());
@@ -171,6 +214,34 @@ std::string BlockDevice::AuditInvariants() const {
   }
   if (busy_ && snap.in_flight == 0) {
     return "disk " + name_ + ": device busy with in_flight=0";
+  }
+  if (blktrace_ != nullptr) {
+    // The lifecycle trace and /proc/diskstats are two views of the same
+    // transitions: every merged bio is one M record, every new request one
+    // Q record, every completion one C record.
+    const uint64_t m_records =
+        blktrace_->ActionCount(blktrace_dev_, obs::BlkAction::kMerge);
+    const uint64_t merges = snap.merges[0] + snap.merges[1];
+    if (merges != m_records) {
+      return "disk " + name_ + ": diskstats merges=" +
+             std::to_string(merges) + " but blktrace holds " +
+             std::to_string(m_records) + " M records";
+    }
+    const uint64_t q_records =
+        blktrace_->ActionCount(blktrace_dev_, obs::BlkAction::kQueue);
+    if (q_records + 1 != next_id_) {
+      return "disk " + name_ + ": " + std::to_string(next_id_ - 1) +
+             " requests created but blktrace holds " +
+             std::to_string(q_records) + " Q records";
+    }
+    const uint64_t c_records =
+        blktrace_->ActionCount(blktrace_dev_, obs::BlkAction::kComplete);
+    if (c_records != snap.ios[0] + snap.ios[1]) {
+      return "disk " + name_ + ": diskstats ios=" +
+             std::to_string(snap.ios[0] + snap.ios[1]) +
+             " but blktrace holds " + std::to_string(c_records) +
+             " C records";
+    }
   }
   return {};
 }

@@ -10,6 +10,7 @@
 #include "common/inline_fn.h"
 #include "common/random.h"
 #include "common/units.h"
+#include "obs/blktrace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -39,10 +40,14 @@ class BlockDevice {
   /// Submits a bio. `sectors` must be in (0, max_request_sectors];
   /// `on_complete` fires when the (possibly merged) request finishes.
   /// `io_context` identifies the issuing stream for fairness-aware
-  /// elevators (0 = anonymous). The request is drawn from this device's
-  /// pool and recycled after completion — callbacks must not retain it.
+  /// elevators (0 = anonymous). `tag`/`job` attribute the bio to its
+  /// high-level source (an IoTag value and owning job id + 1) for blktrace
+  /// records; both default to 0 = unattributed. The request is drawn from
+  /// this device's pool and recycled after completion — callbacks must not
+  /// retain it.
   void Submit(IoType type, uint64_t sector, uint64_t sectors,
-              InlineFn on_complete, uint64_t io_context = 0);
+              InlineFn on_complete, uint64_t io_context = 0,
+              uint32_t tag = 0, uint32_t job = 0);
 
   /// Counter snapshot as of the current simulated time.
   DiskStatsSnapshot Stats() const { return stats_.Snapshot(sim_->Now()); }
@@ -67,6 +72,12 @@ class BlockDevice {
   void AttachObs(obs::TraceSession* trace, obs::MetricsRegistry* metrics,
                  uint32_t trace_pid, const std::string& device_class);
 
+  /// Attaches a block-layer lifecycle tracer: every bio queue (Q), elevator
+  /// merge (M), dispatch (D), and completion (C) on this device emits one
+  /// record to `session` under this device's registered index. Recording
+  /// is passive — it never schedules events or perturbs the run.
+  void AttachBlktrace(obs::BlktraceSession* session, uint16_t device_index);
+
   const std::string& name() const { return name_; }
   const DiskParameters& params() const { return params_; }
   size_t queued() const { return scheduler_->size(); }
@@ -74,8 +85,10 @@ class BlockDevice {
 
   /// Cross-checks the /proc/diskstats accounting (bdio::invariants):
   /// in_flight vs a recount of elevator + NCQ + in-service requests,
-  /// io_ticks <= elapsed time (utilization <= 1), and busy-time vs
-  /// queue-time ordering. Returns "" when every invariant holds.
+  /// io_ticks <= elapsed time (utilization <= 1), busy-time vs queue-time
+  /// ordering, and — when a blktrace session is attached — DiskStats
+  /// merge/request/completion counters vs the session's M/Q/C record
+  /// totals. Returns "" when every invariant holds.
   std::string AuditInvariants() const;
 
  private:
@@ -100,6 +113,8 @@ class BlockDevice {
 
   // Observability sinks; null (the default) keeps the hot path at a single
   // pointer test per event.
+  obs::BlktraceSession* blktrace_ = nullptr;
+  uint16_t blktrace_dev_ = 0;
   obs::TraceSession* trace_ = nullptr;
   uint32_t trace_pid_ = 0;
   obs::Counter* m_requests_ = nullptr;

@@ -37,6 +37,13 @@ struct IoRequest {
   /// Fairness-aware elevators (CFQ) schedule per context; others ignore it.
   uint64_t io_context = 0;
 
+  /// Attribution carried down from the issuing file for blktrace records
+  /// (bdio::obs::BlktraceSession): the file's IoTag and owning job id + 1
+  /// (0 = unattributed). On a merged request these keep the founding bio's
+  /// values; the M record carries the merged bio's own.
+  uint32_t tag = 0;
+  uint32_t job = 0;
+
   SimTime submit_time = 0;    ///< When the request entered the queue.
   SimTime dispatch_time = 0;  ///< When the device started servicing it.
   SimTime complete_time = 0;  ///< When service finished.

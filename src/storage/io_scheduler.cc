@@ -36,16 +36,16 @@ void FoldBio(IoRequest* req, IoRequest* bio, bool front) {
 // NoopScheduler
 // ---------------------------------------------------------------------------
 
-bool NoopScheduler::TryMerge(IoRequest* bio) {
-  if (fifo_.empty()) return false;
+IoRequest* NoopScheduler::TryMerge(IoRequest* bio) {
+  if (fifo_.empty()) return nullptr;
   IoRequest* tail = fifo_.back();
-  if (tail->type != bio->type) return false;
+  if (tail->type != bio->type) return nullptr;
   if (tail->end_sector() == bio->sector &&
       tail->sectors + bio->sectors <= max_request_sectors_) {
     FoldBio(tail, bio, /*front=*/false);
-    return true;
+    return tail;
   }
-  return false;
+  return nullptr;
 }
 
 void NoopScheduler::Add(IoRequest* req) {
@@ -65,7 +65,7 @@ IoRequest* NoopScheduler::PopNext(SimTime /*now*/) {
 // DeadlineScheduler
 // ---------------------------------------------------------------------------
 
-bool DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
+IoRequest* DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
   // Back merge: a queued request ending exactly where the bio starts.
   auto back = q->by_end.find(bio->sector);
   if (back != q->by_end.end()) {
@@ -74,7 +74,7 @@ bool DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
       q->by_end.erase(back);
       FoldBio(req, bio, /*front=*/false);
       q->by_end.emplace(req->end_sector(), req);
-      return true;
+      return req;
     }
   }
   // Front merge: a queued request starting exactly where the bio ends.
@@ -85,13 +85,13 @@ bool DeadlineScheduler::TryMergeDir(DirQueue* q, IoRequest* bio) {
       q->by_start.erase(front);
       FoldBio(req, bio, /*front=*/true);
       q->by_start.emplace(req->sector, req);
-      return true;
+      return req;
     }
   }
-  return false;
+  return nullptr;
 }
 
-bool DeadlineScheduler::TryMerge(IoRequest* bio) {
+IoRequest* DeadlineScheduler::TryMerge(IoRequest* bio) {
   return TryMergeDir(&queues_[static_cast<int>(bio->type)], bio);
 }
 
@@ -188,9 +188,9 @@ IoRequest* DeadlineScheduler::PopNext(SimTime now) {
 // CfqScheduler
 // ---------------------------------------------------------------------------
 
-bool CfqScheduler::TryMerge(IoRequest* bio) {
+IoRequest* CfqScheduler::TryMerge(IoRequest* bio) {
   auto cit = contexts_.find(bio->io_context);
-  if (cit == contexts_.end()) return false;
+  if (cit == contexts_.end()) return nullptr;
   CtxQueue& q = cit->second;
   // Back merge: a queued request of the same stream and direction ending
   // where the bio starts.
@@ -205,7 +205,7 @@ bool CfqScheduler::TryMerge(IoRequest* bio) {
         q.by_end.erase(back);
         FoldBio(req, bio, /*front=*/false);
         q.by_end.emplace(req->end_sector(), req->sector);
-        return true;
+        return req;
       }
     }
   }
@@ -226,9 +226,9 @@ bool CfqScheduler::TryMerge(IoRequest* bio) {
     FoldBio(req, bio, /*front=*/true);
     q.by_start.emplace(req->sector, req);
     q.by_end.emplace(req->end_sector(), req->sector);
-    return true;
+    return req;
   }
-  return false;
+  return nullptr;
 }
 
 void CfqScheduler::Add(IoRequest* req) {

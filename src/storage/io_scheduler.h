@@ -56,9 +56,11 @@ class IoScheduler {
   /// Attempts to fold `bio` into an already-queued request of the same
   /// direction (back merge: bio starts where a request ends; front merge:
   /// bio ends where a request starts). On success the bio's completion
-  /// callbacks are moved into the queued request and true is returned;
-  /// the caller then releases the bio.
-  virtual bool TryMerge(IoRequest* bio) = 0;
+  /// callbacks are moved into the queued request and the *surviving*
+  /// request is returned (so the device can attribute the merge in its
+  /// blktrace records); the caller then releases the bio. Returns nullptr
+  /// when no queued request can absorb the bio.
+  virtual IoRequest* TryMerge(IoRequest* bio) = 0;
 
   /// Enqueues a request (after TryMerge returned false). The scheduler
   /// holds the pointer until PopNext hands it back.
@@ -81,7 +83,7 @@ class NoopScheduler : public IoScheduler {
   explicit NoopScheduler(uint64_t max_request_sectors)
       : max_request_sectors_(max_request_sectors) {}
 
-  bool TryMerge(IoRequest* bio) override;
+  IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
   IoRequest* PopNext(SimTime now) override;
   bool empty() const override { return size_ == 0; }
@@ -109,7 +111,7 @@ class DeadlineScheduler : public IoScheduler {
   explicit DeadlineScheduler(uint64_t max_request_sectors)
       : max_request_sectors_(max_request_sectors) {}
 
-  bool TryMerge(IoRequest* bio) override;
+  IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
   IoRequest* PopNext(SimTime now) override;
   bool empty() const override { return size_ == 0; }
@@ -129,7 +131,7 @@ class DeadlineScheduler : public IoScheduler {
 
   /// Removes `req` from all of `q`'s indices.
   void Extract(DirQueue* q, IoRequest* req);
-  bool TryMergeDir(DirQueue* q, IoRequest* bio);
+  IoRequest* TryMergeDir(DirQueue* q, IoRequest* bio);
   /// Picks the next request in `q`: the expired FIFO head if any, otherwise
   /// the first request at or after the elevator position (wrapping).
   IoRequest* Select(DirQueue* q, SimTime now);
@@ -155,7 +157,7 @@ class CfqScheduler : public IoScheduler {
   explicit CfqScheduler(uint64_t max_request_sectors)
       : max_request_sectors_(max_request_sectors) {}
 
-  bool TryMerge(IoRequest* bio) override;
+  IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
   IoRequest* PopNext(SimTime now) override;
   bool empty() const override { return size_ == 0; }

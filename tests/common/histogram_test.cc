@@ -70,6 +70,35 @@ TEST(HistogramTest, MonotonePercentiles) {
   EXPECT_LE(prev, h.max());
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  // Empty: every percentile is 0, including the boundaries.
+  Histogram empty;
+  EXPECT_EQ(empty.ValueAtPercentile(0), 0.0);
+  EXPECT_EQ(empty.ValueAtPercentile(100), 0.0);
+
+  // p=0 and p=100 are clamped into the observed range — never below min
+  // or above max, even though the bucket edges extend past both.
+  Histogram h;
+  for (double v : {3.0, 5.0, 7.0}) h.Add(v);
+  EXPECT_GE(h.ValueAtPercentile(0), h.min());
+  EXPECT_EQ(h.ValueAtPercentile(100), h.max());
+  double prev = 0;
+  for (double p : {0.0, 50.0, 100.0}) {
+    const double v = h.ValueAtPercentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+
+  // All mass in a single bucket: every percentile collapses onto the one
+  // observed value (the min/max clamp, not the bucket edges).
+  Histogram single;
+  for (int i = 0; i < 100; ++i) single.Add(42.0);
+  EXPECT_EQ(single.ValueAtPercentile(0), 42.0);
+  EXPECT_EQ(single.ValueAtPercentile(50), 42.0);
+  EXPECT_EQ(single.ValueAtPercentile(99.9), 42.0);
+  EXPECT_EQ(single.ValueAtPercentile(100), 42.0);
+}
+
 TEST(HistogramTest, ToStringContainsSummary) {
   Histogram h;
   h.Add(1);

@@ -73,6 +73,21 @@ TEST(PercentileTest, MultiCutSharesSort) {
   EXPECT_DOUBLE_EQ(ps[2], 5.0);
 }
 
+TEST(PercentileTest, MultiCutEdgeCases) {
+  // Empty input: every cut point is 0 (mirrors Percentile({}, p)).
+  const auto none = Percentiles({}, {0, 50, 100});
+  ASSERT_EQ(none.size(), 3u);
+  for (double v : none) EXPECT_EQ(v, 0.0);
+
+  // One element: every cut point returns it, boundaries included.
+  const auto one = Percentiles({7.5}, {0, 1, 50, 99, 100});
+  ASSERT_EQ(one.size(), 5u);
+  for (double v : one) EXPECT_DOUBLE_EQ(v, 7.5);
+
+  // No cut points: an empty result, not a crash.
+  EXPECT_TRUE(Percentiles({1.0, 2.0}, {}).empty());
+}
+
 TEST(FractionAboveTest, CountsStrictlyGreater) {
   std::vector<double> v{1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(FractionAbove(v, 2.0), 0.5);

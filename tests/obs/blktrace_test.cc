@@ -1,0 +1,173 @@
+// BlktraceSession coverage: recording, ring-overflow accounting, serialized
+// artifact determinism across --jobs, and the iostat-reproduction guarantee
+// (the trace carries enough to recompute await/avgrq-sz exactly).
+
+#include "obs/blktrace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace bdio::obs {
+namespace {
+
+TEST(BlktraceSessionTest, RecordsCarryDeviceAndSimTime) {
+  sim::Simulator sim;
+  BlktraceSession session(&sim);
+  const uint16_t sda = session.RegisterDevice("sda", "hdfs", 0);
+  const uint16_t sdb = session.RegisterDevice("sdb", "mr", 0);
+  EXPECT_EQ(sda, 0);
+  EXPECT_EQ(sdb, 1);
+  ASSERT_EQ(session.num_devices(), 2u);
+  EXPECT_EQ(session.device(sdb).dev_class, "mr");
+
+  session.Record(sda, BlkAction::kQueue, 0, 100, 8, 1, 2, 3, 1);
+  sim.ScheduleAfter(Millis(2), [&] {
+    session.Record(sda, BlkAction::kComplete, 0, 100, 8, 1, 2, 3, 0);
+  });
+  sim.Run();
+
+  EXPECT_EQ(session.num_records(), 2u);
+  EXPECT_EQ(session.ActionCount(sda, BlkAction::kQueue), 1u);
+  EXPECT_EQ(session.ActionCount(sda, BlkAction::kComplete), 1u);
+  EXPECT_EQ(session.ActionCount(sdb, BlkAction::kQueue), 0u);
+
+  const auto records = session.DeviceRecords(sda);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].action, 'Q');
+  EXPECT_EQ(records[0].time_ns, 0u);
+  EXPECT_EQ(records[0].device, sda);
+  EXPECT_EQ(records[0].tag, 2u);
+  EXPECT_EQ(records[0].job, 3u);
+  EXPECT_EQ(records[1].action, 'C');
+  EXPECT_EQ(records[1].time_ns, Millis(2));
+}
+
+TEST(BlktraceSessionTest, RingOverflowCountsDropsLoudly) {
+  sim::Simulator sim;
+  MetricsRegistry metrics;
+  BlktraceSession session(&sim, /*max_records_per_device=*/4);
+  session.AttachMetrics(&metrics);
+  const uint16_t dev = session.RegisterDevice("sda", "hdfs", 0);
+
+  for (uint32_t i = 0; i < 6; ++i) {
+    session.Record(dev, BlkAction::kQueue, 0, i * 8, 8, i, 0, 0, 1);
+  }
+  // The two oldest records were overwritten; totals keep counting.
+  EXPECT_EQ(session.num_records(), 4u);
+  EXPECT_EQ(session.dropped_records(), 2u);
+  EXPECT_EQ(session.device(dev).dropped, 2u);
+  EXPECT_EQ(session.ActionCount(dev, BlkAction::kQueue), 6u);
+  EXPECT_EQ(metrics.CounterValue("blktrace.dropped_records"), 2u);
+
+  // The ring unwinds oldest-first: ids 2,3,4,5 survive in order.
+  const auto records = session.DeviceRecords(dev);
+  ASSERT_EQ(records.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].request_id, i + 2);
+  }
+}
+
+TEST(BlktraceSessionTest, SerializeIsDeterministicAndTagged) {
+  sim::Simulator sim;
+  BlktraceSession session(&sim);
+  session.RegisterDevice("sda", "hdfs", 3);
+  session.Record(0, BlkAction::kQueue, 1, 64, 8, 1, 0, 0, 1);
+
+  const std::string bytes = session.Serialize();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "BDIOBLK1");
+  EXPECT_EQ(bytes, session.Serialize());  // repeat-stable
+}
+
+// Runs the small TeraSort cell with lifecycle tracing on, exactly as a
+// bench with --blktrace-out does.
+core::ExperimentResult BlktraceAtJobs(uint32_t jobs) {
+  core::BenchOptions options;
+  options.scale = 1.0 / 512;  // tiny for test speed
+  options.jobs = jobs;
+  // Nonempty blktrace_out (no trace_label filter) makes every grid cell
+  // collect lifecycle records; nothing is written to this path here.
+  options.blktrace_out = "enabled";
+  core::GridRunner grid(options);
+  const core::Factors factors = core::SlotsLevels()[0];
+  // Two experiments in flight so jobs=4 actually runs them concurrently.
+  grid.Prefetch(workloads::WorkloadKind::kTeraSort, factors);
+  grid.Prefetch(workloads::WorkloadKind::kAggregation, factors);
+  core::ExperimentResult copy = grid.Get(workloads::WorkloadKind::kTeraSort,
+                                         factors);
+  return copy;
+}
+
+TEST(BlktraceDeterminismTest, ArtifactByteIdenticalAcrossJobs) {
+  const core::ExperimentResult serial = BlktraceAtJobs(1);
+  const core::ExperimentResult parallel = BlktraceAtJobs(4);
+  ASSERT_NE(serial.blktrace, nullptr);
+  ASSERT_NE(parallel.blktrace, nullptr);
+  EXPECT_GT(serial.blktrace->num_records(), 0u);
+  EXPECT_EQ(serial.blktrace->dropped_records(), 0u);
+  // The tentpole determinism guarantee.
+  EXPECT_EQ(serial.blktrace->Serialize(), parallel.blktrace->Serialize());
+}
+
+TEST(BlktraceDeterminismTest, TraceReproducesIostatAwaitAndAvgrq) {
+  const core::ExperimentResult res = BlktraceAtJobs(1);
+  ASSERT_NE(res.blktrace, nullptr);
+  ASSERT_NE(res.metrics, nullptr);
+
+  // Recompute iostat's await and avgrq-sz per device class purely from the
+  // trace: join each C to its Q by request id, sum the deltas.
+  struct ClassAgg {
+    double await_ms_sum = 0;
+    uint64_t sectors = 0;
+    uint64_t requests = 0;
+  };
+  std::map<std::string, ClassAgg> agg;
+  const BlktraceSession& session = *res.blktrace;
+  for (size_t i = 0; i < session.num_devices(); ++i) {
+    ClassAgg& a = agg[session.device(i).dev_class];
+    std::map<uint32_t, uint64_t> queued_at;
+    for (const BlktraceRecord& rec :
+         session.DeviceRecords(static_cast<uint16_t>(i))) {
+      if (rec.action == 'Q') {
+        queued_at[rec.request_id] = rec.time_ns;
+      } else if (rec.action == 'C') {
+        auto it = queued_at.find(rec.request_id);
+        ASSERT_NE(it, queued_at.end());
+        a.await_ms_sum +=
+            static_cast<double>(rec.time_ns - it->second) / 1e6;
+        a.sectors += rec.sectors;
+        ++a.requests;
+        queued_at.erase(it);
+      }
+    }
+    EXPECT_TRUE(queued_at.empty()) << "requests left open in the trace";
+  }
+
+  for (const char* cls : {"hdfs", "mr"}) {
+    SCOPED_TRACE(cls);
+    const ClassAgg& a = agg[cls];
+    ASSERT_GT(a.requests, 0u);
+    const Labels labels{{"class", cls}};
+    Histogram* await = res.metrics->GetHistogram("disk.await_ms", labels, {});
+    Histogram* rqsz =
+        res.metrics->GetHistogram("disk.request_sectors", labels, {});
+    ASSERT_EQ(await->count(), a.requests);
+    // Identical values summed in different orders: rounding-only slack.
+    EXPECT_NEAR(await->Mean(),
+                a.await_ms_sum / static_cast<double>(a.requests),
+                1e-9 * await->Mean());
+    EXPECT_NEAR(rqsz->Mean(),
+                static_cast<double>(a.sectors) /
+                    static_cast<double>(a.requests),
+                1e-9 * rqsz->Mean());
+  }
+}
+
+}  // namespace
+}  // namespace bdio::obs

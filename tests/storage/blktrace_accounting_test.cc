@@ -1,0 +1,119 @@
+// Regression coverage for the blktrace <-> DiskStats accounting contract:
+// every elevator merge emits exactly one M record, every request exactly
+// one Q and one C, and BlockDevice::AuditInvariants (the hook
+// check::InvariantChecker runs per device) cross-checks the two ledgers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "obs/blktrace.h"
+#include "sim/simulator.h"
+#include "storage/block_device.h"
+
+namespace bdio::storage {
+namespace {
+
+class BlktraceAccountingTest : public ::testing::Test {
+ protected:
+  BlktraceAccountingTest() {
+    dev_idx_ = session_.RegisterDevice("sda", "hdfs", 0);
+    dev_.AttachBlktrace(&session_, dev_idx_);
+  }
+
+  sim::Simulator sim_;
+  obs::BlktraceSession session_{&sim_};
+  BlockDevice dev_{&sim_, "sda", DiskParameters{}, Rng(1)};
+  uint16_t dev_idx_ = 0;
+};
+
+TEST_F(BlktraceAccountingTest, MergesEqualMRecords) {
+  // Sequential bios merge in the elevator (cf. BlockDeviceTest
+  // AdjacentBiosMerge); interleave random ones so not everything folds.
+  Rng rng(2);
+  for (int burst = 0; burst < 4; ++burst) {
+    const uint64_t base = rng.Uniform(100000) * 8;
+    for (int i = 0; i < 8; ++i) {
+      dev_.Submit(IoType::kWrite, base + i * 8, 8, nullptr);
+    }
+    dev_.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8, nullptr);
+  }
+  sim_.Run();
+
+  const DiskStatsSnapshot st = dev_.Stats();
+  EXPECT_GT(st.merges[1], 0u);
+  EXPECT_EQ(st.merges[0] + st.merges[1],
+            session_.ActionCount(dev_idx_, obs::BlkAction::kMerge));
+  EXPECT_EQ(st.ios[0] + st.ios[1],
+            session_.ActionCount(dev_idx_, obs::BlkAction::kComplete));
+  EXPECT_EQ(session_.ActionCount(dev_idx_, obs::BlkAction::kQueue),
+            session_.ActionCount(dev_idx_, obs::BlkAction::kDispatch));
+  // The invariant checker's per-device audit accepts the matched ledgers.
+  EXPECT_EQ(dev_.AuditInvariants(), "");
+}
+
+TEST_F(BlktraceAccountingTest, LifecycleJoinsPerRequestId) {
+  dev_.Submit(IoType::kRead, 512, 8, nullptr);
+  sim_.Run();
+
+  const auto records = session_.DeviceRecords(dev_idx_);
+  ASSERT_EQ(records.size(), 3u);  // Q, D, C — no merges possible
+  EXPECT_EQ(records[0].action, 'Q');
+  EXPECT_EQ(records[1].action, 'D');
+  EXPECT_EQ(records[2].action, 'C');
+  // One request id threads the lifecycle; time is monotone through it.
+  EXPECT_EQ(records[0].request_id, records[1].request_id);
+  EXPECT_EQ(records[1].request_id, records[2].request_id);
+  EXPECT_LE(records[0].time_ns, records[1].time_ns);
+  EXPECT_LT(records[1].time_ns, records[2].time_ns);
+  EXPECT_EQ(records[0].dir, 0);  // read
+  EXPECT_EQ(records[2].sectors, 8u);
+
+  // The C-Q delta is exactly the await DiskStats accumulated.
+  const DiskStatsSnapshot st = dev_.Stats();
+  EXPECT_EQ(st.ticks[0], records[2].time_ns - records[0].time_ns);
+}
+
+TEST_F(BlktraceAccountingTest, MergedBiosKeepTheirOwnGeometry) {
+  // Two blockers fill the drive (one in service + one staged in the NCQ
+  // pool at ncq_depth 1), so the two adjacent writes behind them sit in
+  // the elevator long enough for the second to fold into the first. The M
+  // record must carry the merged bio's own sector/length but the
+  // *surviving* request's id.
+  dev_.Submit(IoType::kRead, 500000, 8, nullptr);  // blocker, in service
+  dev_.Submit(IoType::kRead, 600000, 8, nullptr);  // blocker, staged
+  dev_.Submit(IoType::kWrite, 1000, 8, nullptr);
+  dev_.Submit(IoType::kWrite, 1008, 8, nullptr);
+  sim_.Run();
+
+  const auto records = session_.DeviceRecords(dev_idx_);
+  std::map<char, obs::BlktraceRecord> merged;  // the merged request's rows
+  uint32_t merges = 0;
+  uint32_t survivor_id = 0;
+  for (const auto& r : records) {
+    if (r.action == 'M') {
+      ++merges;
+      survivor_id = r.request_id;
+      merged['M'] = r;
+    }
+  }
+  ASSERT_EQ(merges, 1u);
+  for (const auto& r : records) {
+    if (r.request_id == survivor_id && r.action != 'M') {
+      merged[static_cast<char>(r.action)] = r;
+    }
+  }
+  EXPECT_EQ(merged['Q'].sector, 1000u);
+  EXPECT_EQ(merged['M'].sector, 1008u);
+  EXPECT_EQ(merged['M'].sectors, 8u);
+  EXPECT_EQ(merged['M'].dir, 1);  // write
+  // The dispatched/completed request covers the merged span.
+  EXPECT_EQ(merged['D'].sector, 1000u);
+  EXPECT_EQ(merged['D'].sectors, 16u);
+  EXPECT_EQ(merged['C'].sectors, 16u);
+  EXPECT_EQ(dev_.AuditInvariants(), "");
+}
+
+}  // namespace
+}  // namespace bdio::storage

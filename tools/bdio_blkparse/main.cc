@@ -1,0 +1,63 @@
+// bdio-blkparse: offline analyzer for bdio block-layer lifecycle traces.
+//
+//   bdio-blkparse <trace.bin>              # human-readable report
+//   bdio-blkparse <trace.bin> --signature  # I/O-signature JSON
+//
+// The input is the binary artifact a bench writes via --blktrace-out
+// (format: docs/BLKTRACE.md). Exit code 0 on success, 2 on usage or
+// parse errors.
+
+#include <cstdio>
+#include <string>
+
+#include "bdio_blkparse/blkparse.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.bin> [--signature]\n"
+               "  --signature  emit the I/O feature-vector JSON instead of\n"
+               "               the human-readable report\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool signature = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--signature") {
+      signature = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "extra positional argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  bdio::Result<bdio::blkparse::BlktraceFile> file =
+      bdio::blkparse::ParseFile(path);
+  if (!file.ok()) {
+    std::fprintf(stderr, "bdio-blkparse: %s\n",
+                 file.status().ToString().c_str());
+    return 2;
+  }
+  const bdio::blkparse::Report report = bdio::blkparse::Analyze(file.value());
+  const std::string out = signature
+                              ? bdio::blkparse::RenderSignatureJson(report)
+                              : bdio::blkparse::RenderText(report);
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
