@@ -77,6 +77,10 @@ std::string InvariantChecker::RunAudit() const {
     std::string v = engine_->AuditInvariants();
     if (!v.empty()) return v;
   }
+  if (dag_ != nullptr) {
+    std::string v = dag_->AuditInvariants();
+    if (!v.empty()) return v;
+  }
   if (metrics_ != nullptr) {
     // Per-IoTag attribution completeness: the page cache bumps the tagged
     // and untagged counters together, so the tagged family must sum to the

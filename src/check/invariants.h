@@ -7,6 +7,7 @@
 
 #include "cluster/cluster.h"
 #include "common/units.h"
+#include "dag/job_dag.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/engine.h"
 #include "obs/metrics.h"
@@ -39,6 +40,8 @@ struct CheckerConfig {
 ///    stream cap (Hdfs audit);
 ///  - MapReduce: running-task counters vs attempt lists, per-node slot
 ///    conservation (MrEngine audit);
+///  - JobDag: no orphaned intermediate blocks after a round is retired,
+///    iteration counters monotone across audits (JobDag audit);
 ///  - metrics: per-IoTag physical-byte attribution is complete — the
 ///    tagged pagecache counters sum to the untagged totals.
 ///
@@ -69,6 +72,9 @@ class InvariantChecker {
   void WatchCluster(cluster::Cluster* cluster) { cluster_ = cluster; }
   void WatchHdfs(hdfs::Hdfs* hdfs) { hdfs_ = hdfs; }
   void WatchEngine(mapreduce::MrEngine* engine) { engine_ = engine; }
+  /// Registered by dag-driving runners after MaybeAttachFromEnv (the dag
+  /// is constructed later than the core subsystems).
+  void WatchDag(const dag::JobDag* jobdag) { dag_ = jobdag; }
   void WatchMetrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Runs the full audit immediately (aborts or records per config.fatal).
@@ -93,6 +99,7 @@ class InvariantChecker {
   cluster::Cluster* cluster_ = nullptr;
   hdfs::Hdfs* hdfs_ = nullptr;
   mapreduce::MrEngine* engine_ = nullptr;
+  const dag::JobDag* dag_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   SimTime last_now_ = 0;
   uint64_t events_checked_ = 0;

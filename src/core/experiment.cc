@@ -8,6 +8,7 @@
 #include "common/io_tag.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "dag/job_dag.h"
 #include "hdfs/hdfs.h"
 #include "mapreduce/engine.h"
 #include "sim/latch.h"
@@ -25,6 +26,41 @@ std::string Factors::Label(workloads::WorkloadKind workload) const {
 }
 
 namespace {
+
+/// Applies the spec's Hadoop tuning overrides to one job spec (the same
+/// patch BuildPlan's static jobs get below).
+void ApplyJobOverrides(const ExperimentSpec& spec,
+                       mapreduce::SimJobSpec* job) {
+  if (spec.sort_buffer_bytes > 0) {
+    job->sort_buffer_bytes = spec.sort_buffer_bytes;
+  }
+  if (spec.parallel_copies > 0) {
+    job->parallel_copies = spec.parallel_copies;
+  }
+  if (spec.reduce_slowstart >= 0) {
+    job->reduce_slowstart = spec.reduce_slowstart;
+  }
+}
+
+/// Wraps a workload's iteration controller so controller-emitted rounds
+/// carry the same tuning overrides as the statically planned jobs.
+class SpecPatchController : public dag::IterationController {
+ public:
+  SpecPatchController(std::shared_ptr<dag::IterationController> inner,
+                      const ExperimentSpec* spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  std::vector<dag::DagNode> NextRound(
+      const dag::RoundResult& completed) override {
+    std::vector<dag::DagNode> nodes = inner_->NextRound(completed);
+    for (dag::DagNode& node : nodes) ApplyJobOverrides(*spec_, &node.spec);
+    return nodes;
+  }
+
+ private:
+  std::shared_ptr<dag::IterationController> inner_;
+  const ExperimentSpec* spec_;
+};
 
 GroupObservation ObserveGroup(const iostat::Monitor& monitor,
                               const std::string& group) {
@@ -84,6 +120,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   options.scale = spec.scale;
   options.kmeans_iterations = spec.kmeans_iterations;
   options.pagerank_iterations = spec.pagerank_iterations;
+  options.pagerank_epsilon = spec.pagerank_epsilon;
+  options.seed = spec.seed;
   workloads::Calibration calibration;
   if (spec.calibrate) {
     calibration = workloads::CalibrateWorkload(spec.workload, spec.seed);
@@ -91,15 +129,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
   }
   workloads::WorkloadPlan plan = workloads::BuildPlan(spec.workload, options);
   for (workloads::PlannedJob& job : plan.jobs) {
-    if (spec.sort_buffer_bytes > 0) {
-      job.spec.sort_buffer_bytes = spec.sort_buffer_bytes;
-    }
-    if (spec.parallel_copies > 0) {
-      job.spec.parallel_copies = spec.parallel_copies;
-    }
-    if (spec.reduce_slowstart >= 0) {
-      job.spec.reduce_slowstart = spec.reduce_slowstart;
-    }
+    ApplyJobOverrides(spec, &job.spec);
   }
   BDIO_RETURN_IF_ERROR(dfs.Preload(plan.dataset_path, plan.dataset_bytes));
 
@@ -134,10 +164,31 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
     cluster.AttachBlktrace(blktrace.get());
   }
 
+  // The workload dag: static plan jobs as a linear dependency chain (the
+  // pre-dag chained semantics); iterative workloads grow the dag round by
+  // round through their controller. Constructed before the invariant
+  // checker so the checker's final detach-time audit still has a live dag.
+  dag::DagSpec dag_spec;
+  dag_spec.name = plan.short_name;
+  dag_spec.expire_intermediates = plan.expire_intermediates;
+  for (size_t i = 0; i < plan.jobs.size(); ++i) {
+    dag::DagNode node;
+    node.spec = plan.jobs[i].spec;
+    if (i > 0) node.deps.push_back(static_cast<dag::NodeId>(i - 1));
+    dag_spec.nodes.push_back(std::move(node));
+  }
+  if (plan.iteration != nullptr) {
+    dag_spec.controller =
+        std::make_shared<SpecPatchController>(plan.iteration, &spec);
+  }
+  dag::JobDag jobdag(&sim, &engine, &dfs, std::move(dag_spec));
+  jobdag.AttachObs(metrics.get());
+
   // Debug-mode invariant auditing (BDIO_CHECK_INVARIANTS=1): read-only, so
   // a checked run stays byte-identical to an unchecked one.
   const auto checker = invariants::MaybeAttachFromEnv(
       &sim, &cluster, &dfs, &engine, metrics.get());
+  if (checker != nullptr) checker->WatchDag(&jobdag);
 
   // CPU + task-concurrency sampler: per interval, the fraction of all cores
   // in use and the executing task counts. Stops rescheduling once the
@@ -174,44 +225,36 @@ Result<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
     });
   }
 
-  // ---- Execute the chained jobs. ----------------------------------------
+  // ---- Execute the workload through the JobDag driver. ------------------
   ExperimentResult result;
   result.label = spec.factors.Label(spec.workload);
 
   Status job_status = Status::OK();
-  size_t next_job = 0;
-  std::function<void()> run_next = [&] {
-    if (next_job >= plan.jobs.size()) {
-      // Flush trailing writeback so the tail of the workload's writes is
-      // charged to the measurement window, then stop sampling.
-      auto flushed = sim::Latch::Create(cluster.num_workers(), [&] {
-        monitor.Stop();
-        all_done = true;
-      });
-      for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
-        cluster.node(n)->cache()->SyncAll(flushed->Arm());
-      }
+  jobdag.Run([&](Status s) {
+    if (!s.ok()) {
+      job_status = s;
+      monitor.Stop();
+      all_done = true;
       return;
     }
-    const mapreduce::SimJobSpec& job = plan.jobs[next_job].spec;
-    ++next_job;
-    engine.RunJob(job, [&](Status s, const mapreduce::JobCounters& counters) {
-      result.jobs.push_back(counters);
-      if (!s.ok()) {
-        job_status = s;
-        monitor.Stop();
-        all_done = true;
-        return;
-      }
-      run_next();
+    // Flush trailing writeback so the tail of the workload's writes is
+    // charged to the measurement window, then stop sampling.
+    auto flushed = sim::Latch::Create(cluster.num_workers(), [&] {
+      monitor.Stop();
+      all_done = true;
     });
-  };
-  run_next();
+    for (uint32_t n = 0; n < cluster.num_workers(); ++n) {
+      cluster.node(n)->cache()->SyncAll(flushed->Arm());
+    }
+  });
   sim.Run();
   *sample_cpu = nullptr;  // break the sampler's self-reference
 
   if (!job_status.ok()) return job_status;
   BDIO_CHECK(all_done) << "simulation drained before the workload finished";
+  for (const dag::NodeRecord& record : jobdag.node_records()) {
+    result.jobs.push_back(record.counters);
+  }
 
   result.duration_s = ToSeconds(sim.Now());
   result.events_processed = sim.events_processed();

@@ -47,6 +47,9 @@ struct ExperimentSpec {
   SimDuration iostat_interval = Seconds(1);
   uint32_t kmeans_iterations = 3;
   uint32_t pagerank_iterations = 3;
+  /// If > 0, PageRank converges on the model run's rank delta instead of
+  /// running a fixed iteration count (see PlanOptions::pagerank_epsilon).
+  double pagerank_epsilon = 0;
   /// Calibrate volume ratios with the functional engine instead of the
   /// baked-in defaults (slower, exercises the full pipeline).
   bool calibrate = false;

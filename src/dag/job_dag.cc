@@ -1,0 +1,383 @@
+#include "dag/job_dag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "hdfs/name_node.h"
+
+namespace bdio::dag {
+namespace {
+
+/// True when `path` is `root` itself or a file under `root`/ — the boundary
+/// check keeps /x/iter1 from claiming /x/iter10's files.
+bool UnderPath(const std::string& path, const std::string& root) {
+  if (path == root) return true;
+  if (path.size() <= root.size() + 1) return false;
+  return path.compare(0, root.size(), root) == 0 && path[root.size()] == '/';
+}
+
+}  // namespace
+
+JobDag::JobDag(sim::Simulator* sim, mapreduce::MrEngine* engine,
+               hdfs::Hdfs* hdfs, DagSpec spec)
+    : sim_(sim), engine_(engine), hdfs_(hdfs), spec_(std::move(spec)) {
+  BDIO_CHECK(sim_ != nullptr);
+  BDIO_CHECK(engine_ != nullptr);
+  BDIO_CHECK(hdfs_ != nullptr);
+  BDIO_CHECK(spec_.max_rounds > 0);
+}
+
+void JobDag::AttachObs(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  BDIO_CHECK(!running_);
+  const obs::Labels labels = {{"dag", spec_.name}};
+  m_nodes_submitted_ = metrics->GetCounter("mr.dag.nodes_submitted", labels);
+  m_nodes_completed_ = metrics->GetCounter("mr.dag.nodes_completed", labels);
+  m_rounds_ = metrics->GetCounter("mr.dag.rounds_completed", labels);
+  m_published_bytes_ =
+      metrics->GetCounter("mr.dag.intermediate_published_bytes", labels);
+  m_expired_bytes_ =
+      metrics->GetCounter("mr.dag.intermediate_expired_bytes", labels);
+  m_expired_files_ =
+      metrics->GetCounter("mr.dag.intermediate_expired_files", labels);
+}
+
+void JobDag::Run(DoneCallback done) {
+  BDIO_CHECK(done != nullptr);
+  BDIO_CHECK(!running_);
+  running_ = true;
+  done_ = std::move(done);
+  engine_->AddJobCompletionHook(
+      [this](uint32_t job_id, const Status& status,
+             const mapreduce::JobCounters& counters) {
+        auto it = engine_job_to_node_.find(job_id);
+        if (it == engine_job_to_node_.end()) return;  // Not one of ours.
+        OnNodeDone(it->second, status, counters);
+      });
+  std::vector<DagNode> initial = std::move(spec_.nodes);
+  spec_.nodes.clear();
+  if (initial.empty()) {
+    sim_->ScheduleAfter(0, [this] { done_(Status::OK()); });
+    return;
+  }
+  round_start_ = sim_->Now();
+  AppendRound(std::move(initial), /*round=*/0);
+  round_remaining_ = static_cast<uint32_t>(nodes_.size());
+  SubmitReady();
+}
+
+void JobDag::AppendRound(std::vector<DagNode> batch, uint32_t round) {
+  const NodeId first_new_id = static_cast<NodeId>(nodes_.size());
+  for (DagNode& node : batch) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    NodeState state;
+    state.round = round;
+    if (round > 0) {
+      // Controller batches carry intra-batch indices; rebase to ids.
+      for (NodeId& dep : node.deps) {
+        BDIO_CHECK(first_new_id + dep < id);
+        dep += first_new_id;
+      }
+    } else {
+      for (const NodeId dep : node.deps) BDIO_CHECK(dep < id);
+    }
+    state.pending_deps = static_cast<uint32_t>(node.deps.size());
+    for (const NodeId dep : node.deps) nodes_[dep].dependents.push_back(id);
+    BDIO_CHECK(!node.spec.output_path.empty());
+    auto [pit, inserted] = produced_.emplace(node.spec.output_path, Produced{});
+    BDIO_CHECK(inserted);  // Two nodes writing one path would shadow blocks.
+    pit->second.producer = id;
+    state.node = std::move(node);
+    nodes_.push_back(std::move(state));
+    NodeRecord record;
+    record.id = id;
+    record.round = round;
+    record.name = nodes_[id].node.spec.name;
+    node_records_.push_back(std::move(record));
+    RegisterConsumer(id);
+  }
+}
+
+void JobDag::RegisterConsumer(NodeId id) {
+  const std::string& input = nodes_[id].node.spec.input_path;
+  for (auto& [path, produced] : produced_) {
+    if (produced.producer == id) continue;
+    if (!UnderPath(input, path)) continue;
+    BDIO_CHECK(!produced.expired);  // Reading a retired round is a plan bug.
+    ++produced.consumers_total;
+    nodes_[id].consumed_paths.push_back(path);
+    MaybePublish(path, &produced);
+  }
+}
+
+void JobDag::MaybePublish(const std::string& path, Produced* produced) {
+  if (produced->published || !produced->producer_done ||
+      produced->consumers_total == 0) {
+    return;
+  }
+  const auto [bytes, files] = MeasurePath(path);
+  produced->published = true;
+  produced->bytes = bytes;
+  published_bytes_ += bytes;
+  if (m_published_bytes_ != nullptr) m_published_bytes_->Add(bytes);
+  (void)files;
+}
+
+void JobDag::SubmitReady() {
+  if (failed_) return;
+  // Ascending NodeId is the fixed tie-break: ready nodes always reach the
+  // engine (and therefore the scheduler's admission order) in id order.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    NodeState& state = nodes_[id];
+    if (state.submitted || state.pending_deps != 0) continue;
+    state.submitted = true;
+    ++nodes_submitted_;
+    ++in_flight_;
+    if (m_nodes_submitted_ != nullptr) m_nodes_submitted_->Add(1);
+    const uint32_t job_id = engine_->SubmitJob(
+        state.node.spec, [](Status, const mapreduce::JobCounters&) {},
+        state.node.pool, state.node.weight);
+    engine_job_to_node_.emplace(job_id, id);
+  }
+}
+
+void JobDag::OnNodeDone(NodeId id, const Status& status,
+                        const mapreduce::JobCounters& counters) {
+  NodeState& state = nodes_[id];
+  BDIO_CHECK(state.submitted && !state.done);
+  state.done = true;
+  ++nodes_completed_;
+  BDIO_CHECK(in_flight_ > 0);
+  --in_flight_;
+  BDIO_CHECK(round_remaining_ > 0);
+  --round_remaining_;
+  if (m_nodes_completed_ != nullptr) m_nodes_completed_->Add(1);
+  node_records_[id].counters = counters;
+  if (!status.ok() && !failed_) {
+    failed_ = true;
+    first_error_ = Status(status.code(), "dag '" + spec_.name + "' node '" +
+                                             state.node.spec.name +
+                                             "': " + status.message());
+  }
+
+  // Producer side: the node's output is closed; publish it if a consumer is
+  // already registered (static dags), else publication waits for the
+  // controller to emit one.
+  auto pit = produced_.find(state.node.spec.output_path);
+  BDIO_CHECK(pit != produced_.end());
+  pit->second.producer_done = true;
+  MaybePublish(pit->first, &pit->second);
+
+  // Consumer side: release every input this node held; fully-consumed
+  // published paths expire (the per-round intermediate churn).
+  for (const std::string& path : state.consumed_paths) {
+    auto it = produced_.find(path);
+    BDIO_CHECK(it != produced_.end());
+    Produced& produced = it->second;
+    BDIO_CHECK(produced.consumers_done < produced.consumers_total);
+    ++produced.consumers_done;
+    if (spec_.expire_intermediates && produced.published &&
+        !produced.expired &&
+        produced.consumers_done == produced.consumers_total) {
+      ExpirePath(path, &produced);
+    }
+  }
+
+  for (const NodeId dependent : state.dependents) {
+    BDIO_CHECK(nodes_[dependent].pending_deps > 0);
+    --nodes_[dependent].pending_deps;
+  }
+
+  if (round_remaining_ == 0 && !failed_) {
+    FinishRound();
+  }
+  SubmitReady();
+  MaybeFinish();
+}
+
+void JobDag::FinishRound() {
+  RoundRecord record;
+  record.round = current_round_;
+  record.start_time = round_start_;
+  record.end_time = sim_->Now();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].round != current_round_) continue;
+    record.nodes.push_back(id);
+    const mapreduce::JobCounters& c = node_records_[id].counters;
+    record.hdfs_read_bytes += c.hdfs_read_bytes;
+    record.hdfs_write_bytes += c.hdfs_write_bytes;
+    record.intermediate_write_bytes += c.intermediate_write_bytes;
+    record.shuffle_network_bytes += c.shuffle_network_bytes;
+  }
+  auto pending = pending_expired_.find(current_round_);
+  if (pending != pending_expired_.end()) {
+    record.expired_bytes = pending->second.first;
+    record.expired_files = pending->second.second;
+    pending_expired_.erase(pending);
+  }
+  round_records_.push_back(std::move(record));
+  if (m_rounds_ != nullptr) m_rounds_->Add(1);
+
+  if (spec_.controller == nullptr) return;
+  if (current_round_ + 1 >= spec_.max_rounds) return;
+  RoundResult result;
+  result.round = current_round_;
+  result.nodes = round_records_.back().nodes;
+  for (const NodeId id : result.nodes) {
+    result.counters.push_back(node_records_[id].counters);
+  }
+  std::vector<DagNode> next = spec_.controller->NextRound(result);
+  if (next.empty()) return;  // Converged.
+  ++current_round_;
+  round_start_ = sim_->Now();
+  const size_t before = nodes_.size();
+  AppendRound(std::move(next), current_round_);
+  round_remaining_ = static_cast<uint32_t>(nodes_.size() - before);
+}
+
+void JobDag::ExpirePath(const std::string& path, Produced* produced) {
+  BDIO_CHECK(!produced->expired);
+  // Collect first: List() hands out pointers into the namespace map that
+  // Delete() invalidates.
+  std::vector<std::pair<std::string, uint64_t>> victims;
+  for (const hdfs::FileEntry* entry : hdfs_->name_node()->List(path)) {
+    if (!UnderPath(entry->path, path)) continue;
+    victims.emplace_back(entry->path, entry->bytes);
+  }
+  uint64_t bytes = 0;
+  for (const auto& [file, file_bytes] : victims) {
+    BDIO_CHECK_OK(hdfs_->Delete(file));
+    bytes += file_bytes;
+  }
+  const uint64_t files = victims.size();
+  produced->expired = true;
+  expired_bytes_ += bytes;
+  expired_files_ += files;
+  if (m_expired_bytes_ != nullptr) m_expired_bytes_->Add(bytes);
+  if (m_expired_files_ != nullptr) m_expired_files_->Add(files);
+  // Charge the churn to the round that *produced* the data. That round's
+  // record usually exists by now (consumers live in a later round); inside a
+  // static single-round dag it does not yet, so park the charge.
+  const uint32_t producer_round = nodes_[produced->producer].round;
+  if (producer_round < round_records_.size()) {
+    round_records_[producer_round].expired_bytes += bytes;
+    round_records_[producer_round].expired_files += files;
+  } else {
+    auto& slot = pending_expired_[producer_round];
+    slot.first += bytes;
+    slot.second += files;
+  }
+}
+
+std::pair<uint64_t, uint64_t> JobDag::MeasurePath(
+    const std::string& path) const {
+  uint64_t bytes = 0;
+  uint64_t files = 0;
+  for (const hdfs::FileEntry* entry : hdfs_->name_node()->List(path)) {
+    if (!UnderPath(entry->path, path)) continue;
+    bytes += entry->bytes;
+    ++files;
+  }
+  return {bytes, files};
+}
+
+void JobDag::MaybeFinish() {
+  if (done_ == nullptr || in_flight_ > 0) return;
+  if (failed_) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done(first_error_);
+    return;
+  }
+  if (nodes_completed_ == nodes_.size()) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done(Status::OK());
+  }
+}
+
+std::string JobDag::AuditInvariants() const {
+  std::ostringstream problems;
+  uint32_t submitted = 0;
+  uint32_t completed = 0;
+  for (const NodeState& state : nodes_) {
+    if (state.submitted) ++submitted;
+    if (state.done) ++completed;
+    if (state.done && !state.submitted) {
+      problems << "dag " << spec_.name << ": node done without submission; ";
+    }
+  }
+  if (submitted != nodes_submitted_ || completed != nodes_completed_) {
+    problems << "dag " << spec_.name << ": node recount mismatch (submitted "
+             << submitted << " vs " << nodes_submitted_ << ", completed "
+             << completed << " vs " << nodes_completed_ << "); ";
+  }
+  if (nodes_completed_ > nodes_submitted_ ||
+      nodes_submitted_ > nodes_.size()) {
+    problems << "dag " << spec_.name << ": counter ordering violated ("
+             << nodes_completed_ << " done, " << nodes_submitted_
+             << " submitted, " << nodes_.size() << " nodes); ";
+  }
+  if (in_flight_ != nodes_submitted_ - nodes_completed_) {
+    problems << "dag " << spec_.name << ": in_flight " << in_flight_
+             << " != submitted - completed; ";
+  }
+  if (expired_bytes_ > published_bytes_) {
+    problems << "dag " << spec_.name << ": expired bytes " << expired_bytes_
+             << " exceed published " << published_bytes_ << "; ";
+  }
+  for (const auto& [path, produced] : produced_) {
+    if (produced.consumers_done > produced.consumers_total) {
+      problems << "dag " << spec_.name << ": path " << path
+               << " has more consumers done than registered; ";
+    }
+    if (produced.expired) {
+      if (!produced.producer_done ||
+          produced.consumers_done != produced.consumers_total ||
+          produced.consumers_total == 0) {
+        problems << "dag " << spec_.name << ": path " << path
+                 << " expired before being fully consumed; ";
+      }
+      // The load-bearing lifecycle check: a retired round must leave no
+      // orphaned blocks in the namespace.
+      const auto [bytes, files] = MeasurePath(path);
+      if (bytes != 0 || files != 0) {
+        problems << "dag " << spec_.name << ": expired path " << path
+                 << " still holds " << files << " files / " << bytes
+                 << " bytes; ";
+      }
+    }
+  }
+  uint32_t prev_round = 0;
+  SimTime prev_end = 0;
+  bool first = true;
+  for (const RoundRecord& record : round_records_) {
+    if (record.end_time < record.start_time) {
+      problems << "dag " << spec_.name << ": round " << record.round
+               << " ends before it starts; ";
+    }
+    if (!first && (record.round != prev_round + 1 ||
+                   record.start_time < prev_end)) {
+      problems << "dag " << spec_.name << ": round sequence broken at round "
+               << record.round << "; ";
+    }
+    prev_round = record.round;
+    prev_end = record.end_time;
+    first = false;
+  }
+  // Iteration counters must be monotone between audits.
+  if (rounds_completed() < audit_rounds_seen_ ||
+      nodes_completed_ < audit_completed_seen_ ||
+      expired_bytes_ < audit_expired_seen_) {
+    problems << "dag " << spec_.name
+             << ": iteration counters moved backwards since last audit; ";
+  }
+  audit_rounds_seen_ = rounds_completed();
+  audit_completed_seen_ = nodes_completed_;
+  audit_expired_seen_ = expired_bytes_;
+  return problems.str();
+}
+
+}  // namespace bdio::dag

@@ -1,0 +1,268 @@
+#ifndef BDIO_DAG_JOB_DAG_H_
+#define BDIO_DAG_JOB_DAG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace bdio::dag {
+
+/// Index of a node within a JobDag; assigned in append order and stable for
+/// the dag's lifetime.
+using NodeId = uint32_t;
+
+/// One vertex of the dag: a simulated MR job plus its scheduling identity.
+struct DagNode {
+  mapreduce::SimJobSpec spec;
+  /// Nodes that must complete before this one is submitted. For nodes in
+  /// DagSpec::nodes the entries are absolute ids and must be smaller than
+  /// the node's own index (acyclic by construction); for nodes returned by
+  /// an IterationController they are 0-based indices *within the returned
+  /// batch* (intra-round ordering) — dependencies on all earlier rounds are
+  /// implicit, because a round is only built after the previous one
+  /// completed.
+  std::vector<NodeId> deps;
+  /// Scheduler pool/weight the node's job is submitted under (fair-share
+  /// policies split slots per pool; see docs/SCHEDULING.md).
+  std::string pool = "default";
+  double weight = 1.0;
+};
+
+/// What one completed round looked like, handed to the controller so the
+/// convergence predicate can read the simulated job counters.
+struct RoundResult {
+  uint32_t round = 0;
+  std::vector<NodeId> nodes;  ///< Ascending id order.
+  /// Per-node counters, parallel to `nodes`.
+  std::vector<mapreduce::JobCounters> counters;
+};
+
+/// Data-driven iteration: after every round completes, NextRound decides —
+/// from the round's job counters and whatever workload model the controller
+/// carries — whether to enqueue another round. Returning an empty vector
+/// means the iteration converged and the dag drains.
+class IterationController {
+ public:
+  virtual ~IterationController() = default;
+  virtual std::vector<DagNode> NextRound(const RoundResult& completed) = 0;
+};
+
+/// A dag execution request: the static round-0 nodes, an optional iteration
+/// controller growing the dag round by round, and the intermediate-data
+/// lifecycle policy.
+struct DagSpec {
+  std::string name = "dag";
+  std::vector<DagNode> nodes;  ///< Round 0.
+  /// Null = static dag (the round-0 nodes are the whole dag).
+  std::shared_ptr<IterationController> controller;
+  /// Delete a node's HDFS output once every consumer of it completed (a
+  /// consumer is a node whose input_path is the output_path or a file under
+  /// it). Outputs nothing consumes are final results and always retained.
+  bool expire_intermediates = true;
+  /// Hard cap on controller-built rounds (including round 0) — a safety net
+  /// against non-converging predicates, not a tuning knob.
+  uint32_t max_rounds = 64;
+};
+
+/// Ledger entry for one node (introspection for benches/tests).
+struct NodeRecord {
+  NodeId id = 0;
+  uint32_t round = 0;
+  std::string name;
+  mapreduce::JobCounters counters;
+};
+
+/// Ledger entry for one completed round: sim-time extent, member nodes, the
+/// round's aggregate volumes, and the intermediate-data churn attributed to
+/// it (bytes of *this round's outputs* deleted once consumed).
+struct RoundRecord {
+  uint32_t round = 0;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  std::vector<NodeId> nodes;
+  uint64_t hdfs_read_bytes = 0;
+  uint64_t hdfs_write_bytes = 0;
+  uint64_t intermediate_write_bytes = 0;
+  uint64_t shuffle_network_bytes = 0;
+  uint64_t expired_bytes = 0;
+  uint64_t expired_files = 0;
+};
+
+/// Deterministic dependency-dag driver over MrEngine's multi-job core.
+///
+/// Responsibilities (the iteration machinery every chained workload needs,
+/// hoisted out of the workloads themselves):
+///  - submits nodes whose dependencies completed, always in ascending
+///    NodeId order — the fixed tie-break that keeps execution byte-identical
+///    across --jobs levels and repeated runs;
+///  - runs the IterationController after each round's barrier, appending
+///    the returned nodes as the next round (data-driven iteration);
+///  - manages the per-round HDFS lifecycle: a round's outputs are published
+///    to the next round as inputs, and once the last consumer of an output
+///    completes the files are deleted (the intermediate-data churn of
+///    iterative jobs), charged to the mr.dag.* counters.
+///
+/// Contract for iterative dags: a round may read only preloaded datasets or
+/// the *immediately preceding* round's outputs. Registering a consumer for
+/// an already-expired path is a plan bug and aborts.
+///
+/// One JobDag per (sim, engine) run; not reusable after Run.
+class JobDag {
+ public:
+  JobDag(sim::Simulator* sim, mapreduce::MrEngine* engine, hdfs::Hdfs* hdfs,
+         DagSpec spec);
+
+  JobDag(const JobDag&) = delete;
+  JobDag& operator=(const JobDag&) = delete;
+
+  /// Attaches a metrics registry (may be null): the dag mirrors its plain
+  /// counters into mr.dag.* counters labelled {dag="<name>"}. Call before
+  /// Run.
+  void AttachObs(obs::MetricsRegistry* metrics);
+
+  using DoneCallback = std::function<void(Status)>;
+
+  /// Starts the dag. `done` fires (in a scheduled event) once every node
+  /// completed, or with the first failure once in-flight nodes drained (no
+  /// further nodes are submitted after a failure). Call once.
+  void Run(DoneCallback done);
+
+  // --- Introspection (stable after `done` fired) -------------------------
+  const std::string& name() const { return spec_.name; }
+  uint32_t nodes_submitted() const { return nodes_submitted_; }
+  uint32_t nodes_completed() const { return nodes_completed_; }
+  uint32_t rounds_completed() const {
+    return static_cast<uint32_t>(round_records_.size());
+  }
+  /// Per-node ledger in NodeId order (includes not-yet-finished nodes).
+  const std::vector<NodeRecord>& node_records() const {
+    return node_records_;
+  }
+  /// Per-round ledger in completion (= round) order.
+  const std::vector<RoundRecord>& round_records() const {
+    return round_records_;
+  }
+  /// Bytes of dag outputs handed to a later node as input (the per-round
+  /// publish volume), and the subset already deleted after consumption.
+  uint64_t intermediate_published_bytes() const {
+    return published_bytes_;
+  }
+  uint64_t intermediate_expired_bytes() const { return expired_bytes_; }
+  uint64_t intermediate_expired_files() const { return expired_files_; }
+
+  /// Cross-checks the dag's bookkeeping (bdio::invariants):
+  ///  - counters consistent: completed <= submitted <= node count, expiry
+  ///    never exceeds publication, recounts match the node states;
+  ///  - no orphaned intermediates: an expired path has no files left in the
+  ///    HDFS namespace (every block of a retired round is gone);
+  ///  - producer/consumer ledger sane (consumers_done bounded, expired
+  ///    implies fully consumed);
+  ///  - iteration counters monotone across audits (rounds/nodes/bytes never
+  ///    move backwards between two calls).
+  /// Read-only with respect to simulation state; returns "" when every
+  /// invariant holds.
+  std::string AuditInvariants() const;
+
+ private:
+  /// Per-node execution state.
+  struct NodeState {
+    DagNode node;
+    uint32_t round = 0;
+    uint32_t pending_deps = 0;
+    bool submitted = false;
+    bool done = false;
+    std::vector<NodeId> dependents;
+    /// Produced paths this node reads (its side of the consumer ledger).
+    std::vector<std::string> consumed_paths;
+  };
+  /// Lifecycle of one dag-produced HDFS path.
+  struct Produced {
+    NodeId producer = 0;
+    bool producer_done = false;
+    bool published = false;  ///< Had >= 1 consumer when the producer closed.
+    bool expired = false;
+    uint32_t consumers_total = 0;
+    uint32_t consumers_done = 0;
+    uint64_t bytes = 0;  ///< Final size, measured at publish time.
+  };
+
+  /// Appends `batch` as round `round`, translating intra-batch deps to
+  /// absolute ids and registering producers/consumers.
+  void AppendRound(std::vector<DagNode> batch, uint32_t round);
+  /// Registers `id` as consumer of any produced path its input matches.
+  void RegisterConsumer(NodeId id);
+  /// Publishes a closed output once its first consumer exists: measures the
+  /// final size and charges it to the published-bytes counters.
+  void MaybePublish(const std::string& path, Produced* produced);
+  void SubmitReady();
+  void OnNodeDone(NodeId id, const Status& status,
+                  const mapreduce::JobCounters& counters);
+  /// Seals the current round's record and asks the controller for the next.
+  void FinishRound();
+  /// Deletes every HDFS file under a fully-consumed path and charges the
+  /// churn to the producer round's record.
+  void ExpirePath(const std::string& path, Produced* produced);
+  /// (bytes, files) currently in the namespace under `path` (exact match or
+  /// "<path>/..." — prefix-with-boundary, so /x/iter1 never sweeps
+  /// /x/iter10).
+  std::pair<uint64_t, uint64_t> MeasurePath(const std::string& path) const;
+  void MaybeFinish();
+
+  sim::Simulator* sim_;
+  mapreduce::MrEngine* engine_;
+  hdfs::Hdfs* hdfs_;
+  DagSpec spec_;
+  DoneCallback done_;
+  bool running_ = false;
+  bool failed_ = false;
+  Status first_error_;
+
+  std::vector<NodeState> nodes_;
+  std::vector<NodeRecord> node_records_;
+  std::vector<RoundRecord> round_records_;
+  /// Nodes of the newest round not yet completed (the round barrier).
+  uint32_t round_remaining_ = 0;
+  uint32_t current_round_ = 0;
+  SimTime round_start_ = 0;
+  uint32_t in_flight_ = 0;
+  uint32_t nodes_submitted_ = 0;
+  uint32_t nodes_completed_ = 0;
+  uint64_t published_bytes_ = 0;
+  uint64_t expired_bytes_ = 0;
+  uint64_t expired_files_ = 0;
+  /// Output-path lifecycle ledger; ordered so every sweep is deterministic.
+  std::map<std::string, Produced> produced_;
+  /// Engine job id -> NodeId, resolved by the completion hook.
+  std::map<uint32_t, NodeId> engine_job_to_node_;
+  /// Churn charged to a round whose record is not sealed yet (static dags
+  /// expiring within their own round): round -> (bytes, files).
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> pending_expired_;
+
+  // Monotonicity watermarks for AuditInvariants (audit bookkeeping only —
+  // never read by the simulation, so audits stay behavior-neutral).
+  mutable uint32_t audit_rounds_seen_ = 0;
+  mutable uint32_t audit_completed_seen_ = 0;
+  mutable uint64_t audit_expired_seen_ = 0;
+
+  // Optional mr.dag.* mirrors.
+  obs::Counter* m_nodes_submitted_ = nullptr;
+  obs::Counter* m_nodes_completed_ = nullptr;
+  obs::Counter* m_rounds_ = nullptr;
+  obs::Counter* m_published_bytes_ = nullptr;
+  obs::Counter* m_expired_bytes_ = nullptr;
+  obs::Counter* m_expired_files_ = nullptr;
+};
+
+}  // namespace bdio::dag
+
+#endif  // BDIO_DAG_JOB_DAG_H_

@@ -1,0 +1,5 @@
+namespace bdio::dag {
+
+const char* ModuleName() { return "dag"; }
+
+}  // namespace bdio::dag

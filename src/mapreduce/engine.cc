@@ -294,10 +294,11 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   const std::vector<const hdfs::FileEntry*> files =
       hdfs_->name_node()->List(spec.input_path);
   if (files.empty()) {
-    cluster_->sim()->ScheduleAfter(0, [job] {
-      job->done(Status::NotFound("no input files under " +
-                                 job->spec.input_path),
-                job->counters);
+    cluster_->sim()->ScheduleAfter(0, [this, job] {
+      const Status status =
+          Status::NotFound("no input files under " + job->spec.input_path);
+      job->done(status, job->counters);
+      FireCompletionHooks(job->job_id, status, job->counters);
     });
     return job->job_id;
   }
@@ -330,9 +331,11 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   }
 
   if (job->splits.empty()) {
-    cluster_->sim()->ScheduleAfter(0, [job] {
+    cluster_->sim()->ScheduleAfter(0, [this, job] {
       job->counters.end_time = 0;
-      job->done(Status::InvalidArgument("empty input"), job->counters);
+      const Status status = Status::InvalidArgument("empty input");
+      job->done(status, job->counters);
+      FireCompletionHooks(job->job_id, status, job->counters);
     });
     return job->job_id;
   }
@@ -1403,8 +1406,22 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
   }
   job->counters.end_time = cluster_->sim()->Now();
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
-  cluster_->sim()->ScheduleAfter(
-      0, [job] { job->done(Status::OK(), job->counters); });
+  cluster_->sim()->ScheduleAfter(0, [this, job] {
+    job->done(Status::OK(), job->counters);
+    FireCompletionHooks(job->job_id, Status::OK(), job->counters);
+  });
+}
+
+void MrEngine::AddJobCompletionHook(JobCompletionHook hook) {
+  BDIO_CHECK(hook != nullptr);
+  completion_hooks_.push_back(std::move(hook));
+}
+
+void MrEngine::FireCompletionHooks(uint32_t job_id, const Status& status,
+                                   const JobCounters& counters) {
+  for (const JobCompletionHook& hook : completion_hooks_) {
+    hook(job_id, status, counters);
+  }
 }
 
 std::string MrEngine::AuditInvariants() const {

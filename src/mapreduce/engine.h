@@ -22,6 +22,12 @@ namespace bdio::mapreduce {
 /// Result callback of a simulated job.
 using JobCallback = std::function<void(Status, const JobCounters&)>;
 
+/// Engine-wide observer of every job completion (success or failure).
+/// Fired after the job's own JobCallback, in the same scheduled event, so a
+/// hook sees the world after any chained submission the callback performed.
+using JobCompletionHook =
+    std::function<void(uint32_t job_id, const Status&, const JobCounters&)>;
+
 /// The Hadoop-1 execution engine simulator: a JobTracker with per-node
 /// map/reduce slots, locality-aware split scheduling, map-side sort/spill/
 /// merge on the intermediate-data disks, slow-start shuffle with bounded
@@ -63,6 +69,14 @@ class MrEngine {
   void RunJob(const SimJobSpec& spec, JobCallback done) {
     SubmitJob(spec, std::move(done));
   }
+
+  /// Registers an engine-wide completion observer: `hook` fires once per
+  /// submitted job, after that job's own callback, with the engine-assigned
+  /// job id — including the early failure paths (missing/empty input).
+  /// Hooks run in registration order and must not be unregistered; drivers
+  /// layered on the engine (src/dag) and tests use them for cross-job
+  /// bookkeeping without wrapping every JobCallback.
+  void AddJobCompletionHook(JobCompletionHook hook);
 
   /// Simulates a TaskTracker failure at the current instant (Hadoop-1 fault
   /// handling): the node receives no further tasks, its in-flight tasks'
@@ -194,6 +208,9 @@ class MrEngine {
   void OnReduceDone(std::shared_ptr<Job> job,
                     std::shared_ptr<ReduceTask> rt);
   void MaybeFinishJob(std::shared_ptr<Job> job);
+  /// Runs every registered completion hook for a finished job.
+  void FireCompletionHooks(uint32_t job_id, const Status& status,
+                           const JobCounters& counters);
 
   cluster::Cluster* cluster_;
   hdfs::Hdfs* hdfs_;
@@ -214,6 +231,7 @@ class MrEngine {
 
   std::unique_ptr<sched::Scheduler> default_sched_;  ///< FIFO.
   sched::Scheduler* sched_;  ///< Never null; defaults to default_sched_.
+  std::vector<JobCompletionHook> completion_hooks_;
 
   // Observability sinks; null (the default) keeps task paths at one pointer
   // test per site.

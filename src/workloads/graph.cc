@@ -1,0 +1,367 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bdio::workloads {
+
+namespace {
+
+std::vector<std::string> SplitSpace(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Splits "<head>|<flag>|<adj>" into its three parts. Returns false on
+/// malformed records (they are dropped, matching Hadoop's bad-record
+/// tolerance).
+bool SplitState(const std::string& value, std::string* head, bool* frontier,
+                std::string* adj) {
+  const size_t bar1 = value.find('|');
+  if (bar1 == std::string::npos) return false;
+  const size_t bar2 = value.find('|', bar1 + 1);
+  if (bar2 == std::string::npos) return false;
+  *head = value.substr(0, bar1);
+  *frontier = value[bar1 + 1] == '1';
+  *adj = value.substr(bar2 + 1);
+  return true;
+}
+
+std::string JoinState(const std::string& head, bool frontier,
+                      const std::string& adj) {
+  return head + (frontier ? "|1|" : "|0|") + adj;
+}
+
+uint64_t ParseDist(const std::string& s) {
+  if (s == "INF") return kInfDist;
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::string FormatDist(uint64_t dist) {
+  if (dist == kInfDist) return "INF";
+  return std::to_string(dist);
+}
+
+/// Key for an undirected edge/wedge pair, endpoints in numeric order.
+std::string PairKey(const std::string& a, const std::string& b) {
+  if (NumericLess(a, b)) return a + "," + b;
+  return b + "," + a;
+}
+
+}  // namespace
+
+bool NumericLess(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+// --- Symmetrize ----------------------------------------------------------
+
+void SymmetrizeMapper::Map(const mrfunc::KeyValue& record,
+                           mrfunc::Emitter* out) {
+  out->Emit(record.key, "");  // Self marker: isolated nodes survive.
+  for (const std::string& succ : SplitSpace(record.value)) {
+    if (succ == record.key) continue;  // Self loops add nothing undirected.
+    out->Emit(record.key, succ);
+    out->Emit(succ, record.key);
+  }
+}
+
+void SymmetrizeReducer::Reduce(const std::string& key,
+                               const std::vector<std::string>& values,
+                               mrfunc::Emitter* out) {
+  std::vector<std::string> neighbors;
+  for (const std::string& v : values) {
+    if (!v.empty()) neighbors.push_back(v);
+  }
+  std::sort(neighbors.begin(), neighbors.end(), NumericLess);
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  std::string adj;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    if (i) adj += ' ';
+    adj += neighbors[i];
+  }
+  out->Emit(key, adj);
+}
+
+// --- SSSP ----------------------------------------------------------------
+
+void SsspMapper::Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) {
+  std::string dist_s;
+  std::string adj;
+  bool frontier = false;
+  if (!SplitState(record.value, &dist_s, &frontier, &adj)) return;
+  out->Emit(record.key, "S|" + dist_s + "|" + adj);
+  if (!frontier) return;
+  const uint64_t dist = ParseDist(dist_s);
+  if (dist == kInfDist) return;  // Unreached nodes never expand.
+  const std::string candidate = "D|" + FormatDist(dist + 1);
+  for (const std::string& succ : SplitSpace(adj)) out->Emit(succ, candidate);
+}
+
+void SsspReducer::Reduce(const std::string& key,
+                         const std::vector<std::string>& values,
+                         mrfunc::Emitter* out) {
+  uint64_t dist = kInfDist;
+  uint64_t best_candidate = kInfDist;
+  std::string adj;
+  bool saw_structure = false;
+  for (const std::string& v : values) {
+    if (v.size() >= 2 && v[0] == 'S' && v[1] == '|') {
+      const size_t bar = v.find('|', 2);
+      if (bar == std::string::npos) continue;
+      dist = ParseDist(v.substr(2, bar - 2));
+      adj = v.substr(bar + 1);
+      saw_structure = true;
+    } else if (v.size() >= 2 && v[0] == 'D' && v[1] == '|') {
+      best_candidate = std::min(best_candidate, ParseDist(v.substr(2)));
+    }
+  }
+  if (!saw_structure) return;  // Candidate for a node outside the graph.
+  const bool improved = best_candidate < dist;
+  if (improved) dist = best_candidate;
+  out->Emit(key, JoinState(FormatDist(dist), improved, adj));
+}
+
+// --- Connected components ------------------------------------------------
+
+void CcMapper::Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) {
+  std::string label;
+  std::string adj;
+  bool frontier = false;
+  if (!SplitState(record.value, &label, &frontier, &adj)) return;
+  out->Emit(record.key, "S|" + label + "|" + adj);
+  if (!frontier) return;
+  const std::string candidate = "D|" + label;
+  for (const std::string& succ : SplitSpace(adj)) out->Emit(succ, candidate);
+}
+
+void CcReducer::Reduce(const std::string& key,
+                       const std::vector<std::string>& values,
+                       mrfunc::Emitter* out) {
+  std::string label;
+  std::string best_candidate;
+  std::string adj;
+  bool saw_structure = false;
+  for (const std::string& v : values) {
+    if (v.size() >= 2 && v[0] == 'S' && v[1] == '|') {
+      const size_t bar = v.find('|', 2);
+      if (bar == std::string::npos) continue;
+      label = v.substr(2, bar - 2);
+      adj = v.substr(bar + 1);
+      saw_structure = true;
+    } else if (v.size() >= 2 && v[0] == 'D' && v[1] == '|') {
+      const std::string candidate = v.substr(2);
+      if (best_candidate.empty() || NumericLess(candidate, best_candidate)) {
+        best_candidate = candidate;
+      }
+    }
+  }
+  if (!saw_structure) return;
+  const bool improved =
+      !best_candidate.empty() && NumericLess(best_candidate, label);
+  if (improved) label = best_candidate;
+  out->Emit(key, JoinState(label, improved, adj));
+}
+
+// --- Triangle counting ---------------------------------------------------
+
+void TriangleMapper::Map(const mrfunc::KeyValue& record,
+                         mrfunc::Emitter* out) {
+  const std::vector<std::string> neighbors = SplitSpace(record.value);
+  for (const std::string& n : neighbors) {
+    // Each undirected edge appears in both endpoints' lists; emit the
+    // marker from the smaller endpoint only so every edge key gets exactly
+    // one "E".
+    if (NumericLess(record.key, n)) out->Emit(PairKey(record.key, n), "E");
+  }
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      out->Emit(PairKey(neighbors[i], neighbors[j]), "W");
+    }
+  }
+}
+
+void TriangleReducer::Reduce(const std::string& key,
+                             const std::vector<std::string>& values,
+                             mrfunc::Emitter* out) {
+  uint64_t wedges = 0;
+  bool has_edge = false;
+  for (const std::string& v : values) {
+    if (v == "W") {
+      ++wedges;
+    } else if (v == "E") {
+      has_edge = true;
+    }
+  }
+  if (has_edge && wedges > 0) out->Emit(key, std::to_string(wedges));
+}
+
+// --- State builders ------------------------------------------------------
+
+std::vector<mrfunc::KeyValue> MakeSsspState(
+    const std::vector<mrfunc::KeyValue>& adjacency,
+    const std::string& source) {
+  std::vector<mrfunc::KeyValue> state;
+  state.reserve(adjacency.size());
+  for (const auto& kv : adjacency) {
+    const bool is_source = kv.key == source;
+    state.push_back(mrfunc::KeyValue{
+        kv.key, JoinState(is_source ? "0" : "INF", is_source, kv.value)});
+  }
+  return state;
+}
+
+std::vector<mrfunc::KeyValue> MakeCcState(
+    const std::vector<mrfunc::KeyValue>& adjacency) {
+  std::vector<mrfunc::KeyValue> state;
+  state.reserve(adjacency.size());
+  for (const auto& kv : adjacency) {
+    state.push_back(mrfunc::KeyValue{kv.key, JoinState(kv.key, true,
+                                                       kv.value)});
+  }
+  return state;
+}
+
+// --- Drivers -------------------------------------------------------------
+
+namespace {
+
+/// Counts frontier flags in a state record set.
+uint64_t CountFrontier(const std::vector<mrfunc::KeyValue>& state) {
+  uint64_t frontier = 0;
+  for (const auto& kv : state) {
+    std::string head;
+    std::string adj;
+    bool flag = false;
+    if (SplitState(kv.value, &head, &flag, &adj) && flag) ++frontier;
+  }
+  return frontier;
+}
+
+Result<std::vector<mrfunc::KeyValue>> Symmetrize(
+    const std::vector<mrfunc::KeyValue>& graph,
+    const mrfunc::JobConfig& config, mrfunc::JobStats* stats) {
+  mrfunc::LocalJobRunner runner;
+  SymmetrizeMapper mapper;
+  SymmetrizeReducer reducer;
+  std::vector<mrfunc::KeyValue> undirected;
+  BDIO_ASSIGN_OR_RETURN(
+      *stats, runner.Run(graph, &mapper, &reducer, config, &undirected));
+  return undirected;
+}
+
+}  // namespace
+
+Result<SsspResult> RunSssp(const std::vector<mrfunc::KeyValue>& graph,
+                           const std::string& source,
+                           const mrfunc::JobConfig& config,
+                           uint32_t max_rounds) {
+  if (graph.empty()) return Status::InvalidArgument("empty graph");
+  SsspResult result;
+  BDIO_ASSIGN_OR_RETURN(
+      std::vector<mrfunc::KeyValue> undirected,
+      Symmetrize(graph, config, &result.prepare_stats));
+  std::vector<mrfunc::KeyValue> state = MakeSsspState(undirected, source);
+
+  mrfunc::LocalJobRunner runner;
+  SsspMapper mapper;
+  SsspReducer reducer;
+  for (uint32_t round = 1; round <= max_rounds; ++round) {
+    std::vector<mrfunc::KeyValue> next;
+    GraphRoundStats rs;
+    rs.round = round;
+    BDIO_ASSIGN_OR_RETURN(
+        rs.stats, runner.Run(state, &mapper, &reducer, config, &next));
+    state = std::move(next);
+    rs.frontier = CountFrontier(state);
+    rs.updated = rs.frontier;  // SSSP flags exactly the improved nodes.
+    result.round_stats.push_back(rs);
+    ++result.rounds;
+    if (rs.frontier == 0) break;
+  }
+  for (const auto& kv : state) {
+    std::string head;
+    std::string adj;
+    bool flag = false;
+    if (!SplitState(kv.value, &head, &flag, &adj)) continue;
+    const uint64_t dist = ParseDist(head);
+    result.distance[kv.key] = dist;
+    if (dist != kInfDist) ++result.reached;
+  }
+  return result;
+}
+
+Result<CcResult> RunConnectedComponents(
+    const std::vector<mrfunc::KeyValue>& graph,
+    const mrfunc::JobConfig& config, uint32_t max_rounds) {
+  if (graph.empty()) return Status::InvalidArgument("empty graph");
+  CcResult result;
+  BDIO_ASSIGN_OR_RETURN(
+      std::vector<mrfunc::KeyValue> undirected,
+      Symmetrize(graph, config, &result.prepare_stats));
+  std::vector<mrfunc::KeyValue> state = MakeCcState(undirected);
+
+  mrfunc::LocalJobRunner runner;
+  CcMapper mapper;
+  CcReducer reducer;
+  for (uint32_t round = 1; round <= max_rounds; ++round) {
+    std::vector<mrfunc::KeyValue> next;
+    GraphRoundStats rs;
+    rs.round = round;
+    BDIO_ASSIGN_OR_RETURN(
+        rs.stats, runner.Run(state, &mapper, &reducer, config, &next));
+    state = std::move(next);
+    rs.frontier = CountFrontier(state);
+    rs.updated = rs.frontier;  // Flags mark exactly the relabelled nodes.
+    result.round_stats.push_back(rs);
+    ++result.rounds;
+    if (rs.frontier == 0) break;
+  }
+  std::map<std::string, uint64_t> component_sizes;
+  for (const auto& kv : state) {
+    std::string label;
+    std::string adj;
+    bool flag = false;
+    if (!SplitState(kv.value, &label, &flag, &adj)) continue;
+    result.label[kv.key] = label;
+    ++component_sizes[label];
+  }
+  result.components = component_sizes.size();
+  return result;
+}
+
+Result<TriResult> RunTriangleCount(const std::vector<mrfunc::KeyValue>& graph,
+                                   const mrfunc::JobConfig& config) {
+  if (graph.empty()) return Status::InvalidArgument("empty graph");
+  TriResult result;
+  BDIO_ASSIGN_OR_RETURN(
+      std::vector<mrfunc::KeyValue> undirected,
+      Symmetrize(graph, config, &result.prepare_stats));
+
+  mrfunc::LocalJobRunner runner;
+  TriangleMapper mapper;
+  TriangleReducer reducer;
+  // No combiner: the closure reduce is not algebraic over raw W/E markers.
+  mrfunc::JobConfig count_config = config;
+  count_config.use_combiner = false;
+  std::vector<mrfunc::KeyValue> closures;
+  BDIO_ASSIGN_OR_RETURN(result.count_stats,
+                        runner.Run(undirected, &mapper, &reducer,
+                                   count_config, &closures));
+  for (const auto& kv : closures) {
+    result.closed_wedges += std::strtoull(kv.value.c_str(), nullptr, 10);
+  }
+  BDIO_CHECK(result.closed_wedges % 3 == 0);
+  result.triangles = result.closed_wedges / 3;
+  return result;
+}
+
+}  // namespace bdio::workloads

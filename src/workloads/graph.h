@@ -1,0 +1,171 @@
+#ifndef BDIO_WORKLOADS_GRAPH_H_
+#define BDIO_WORKLOADS_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mrfunc/api.h"
+#include "mrfunc/local_runner.h"
+
+namespace bdio::workloads {
+
+/// Iterative graph analytics over the preferential-attachment web graph
+/// (GenWebGraph), in the MR-MPI style: each round is one MapReduce job over
+/// per-node state records, and a driver loops until the frontier drains.
+/// These functional implementations are the correctness reference and the
+/// calibration source for the simulated graph dags (graph_profile.h).
+///
+/// Record formats (all node ids are plain decimal strings, compared
+/// numerically):
+///  - adjacency (GenWebGraph / symmetrize output): key = node,
+///    value = "succ1 succ2 ..."
+///  - SSSP state: key = node, value = "<dist>|<frontier>|<adj>" where dist
+///    is a hop count (kInfDist = unreached) and frontier is 1 iff the node's
+///    distance improved last round
+///  - CC state: key = node, value = "<label>|<frontier>|<adj>" where label
+///    is the smallest node id seen in the node's component so far
+
+/// Sentinel distance for unreached nodes.
+inline constexpr uint64_t kInfDist = ~0ull;
+
+/// Numeric order for decimal node-id strings ("9" < "10").
+bool NumericLess(const std::string& a, const std::string& b);
+
+// --- Prepare: symmetrize the directed graph ------------------------------
+
+/// Emits both directions of every arc plus a self marker so isolated nodes
+/// survive the reduce.
+class SymmetrizeMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Dedupes neighbors and emits the undirected adjacency list in numeric
+/// order (deterministic output for any input order).
+class SymmetrizeReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+// --- SSSP (BFS frontier expansion, min-distance reduce) ------------------
+
+/// Re-emits node structure ("S|<dist>|<adj>") and, for frontier nodes, a
+/// distance candidate ("D|<dist+1>") to every neighbor.
+class SsspMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Min-reduce over distance candidates; sets the frontier flag iff the
+/// node's distance improved (it will expand next round).
+class SsspReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+// --- Connected components (min-label propagation) ------------------------
+
+/// Re-emits structure and, for frontier nodes, the node's current label to
+/// every neighbor.
+class CcMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Keeps the numerically smallest label seen; flags the node when its label
+/// shrank (label delta still propagating).
+class CcReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+// --- Triangle counting (wedge generation + edge-marker closure) ----------
+
+/// For each node: emits a wedge marker ("W") keyed by every neighbor pair
+/// and an edge marker ("E") keyed by every incident edge (both keys
+/// "lo,hi" in numeric order). One job closes wedges against edges.
+class TriangleMapper : public mrfunc::Mapper {
+ public:
+  void Map(const mrfunc::KeyValue& record, mrfunc::Emitter* out) override;
+};
+
+/// Emits the number of closed wedges per edge key; every triangle closes
+/// exactly three wedges, so triangles = sum(closures) / 3.
+class TriangleReducer : public mrfunc::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mrfunc::Emitter* out) override;
+};
+
+// --- State builders and functional drivers -------------------------------
+
+/// Attaches SSSP state to an undirected adjacency list: source at distance
+/// 0 in the frontier, everyone else unreached.
+std::vector<mrfunc::KeyValue> MakeSsspState(
+    const std::vector<mrfunc::KeyValue>& adjacency, const std::string& source);
+
+/// Attaches CC state: every node labelled with its own id, all in the
+/// frontier.
+std::vector<mrfunc::KeyValue> MakeCcState(
+    const std::vector<mrfunc::KeyValue>& adjacency);
+
+/// Per-round accounting of an iterative driver: the frontier/update sizes
+/// the convergence predicate reads, plus the round's MR volume counters.
+struct GraphRoundStats {
+  uint32_t round = 0;       ///< 1-based round number.
+  uint64_t frontier = 0;    ///< Nodes flagged for expansion *after* the round.
+  uint64_t updated = 0;     ///< Nodes whose state changed this round.
+  mrfunc::JobStats stats;
+};
+
+struct SsspResult {
+  /// Final hop distance per node (kInfDist = unreachable), node-key order.
+  std::map<std::string, uint64_t> distance;
+  uint32_t rounds = 0;
+  std::vector<GraphRoundStats> round_stats;
+  mrfunc::JobStats prepare_stats;
+  uint64_t reached = 0;  ///< Nodes at finite distance.
+};
+
+struct CcResult {
+  /// Final component label per node, node-key order.
+  std::map<std::string, std::string> label;
+  uint64_t components = 0;
+  uint32_t rounds = 0;
+  std::vector<GraphRoundStats> round_stats;
+  mrfunc::JobStats prepare_stats;
+};
+
+struct TriResult {
+  uint64_t triangles = 0;
+  uint64_t closed_wedges = 0;  ///< == 3 * triangles.
+  mrfunc::JobStats prepare_stats;
+  mrfunc::JobStats count_stats;
+};
+
+/// Symmetrizes `graph` (one MR job) and runs BFS SSSP rounds from `source`
+/// until the frontier is empty or `max_rounds` is hit.
+Result<SsspResult> RunSssp(const std::vector<mrfunc::KeyValue>& graph,
+                           const std::string& source,
+                           const mrfunc::JobConfig& config,
+                           uint32_t max_rounds = 64);
+
+/// Symmetrizes `graph` and propagates minimum labels until no label
+/// changes or `max_rounds` is hit.
+Result<CcResult> RunConnectedComponents(
+    const std::vector<mrfunc::KeyValue>& graph,
+    const mrfunc::JobConfig& config, uint32_t max_rounds = 64);
+
+/// Symmetrizes `graph` and counts triangles with one wedge-closure job.
+Result<TriResult> RunTriangleCount(const std::vector<mrfunc::KeyValue>& graph,
+                                   const mrfunc::JobConfig& config);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_GRAPH_H_

@@ -1,0 +1,256 @@
+#include "workloads/graph_profile.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "workloads/datagen.h"
+#include "workloads/graph.h"
+
+namespace bdio::workloads {
+
+const char* GraphWorkloadShortName(GraphWorkload workload) {
+  switch (workload) {
+    case GraphWorkload::kSssp:
+      return "SSSP";
+    case GraphWorkload::kConnectedComponents:
+      return "CC";
+    case GraphWorkload::kTriangleCount:
+      return "TRI";
+  }
+  return "?";
+}
+
+std::vector<GraphWorkload> AllGraphWorkloads() {
+  return {GraphWorkload::kSssp, GraphWorkload::kConnectedComponents,
+          GraphWorkload::kTriangleCount};
+}
+
+uint64_t PaperGraphInputBytes() { return GiB(64); }
+
+namespace {
+
+/// Per-byte CPU costs (same cost-model family as profile.cc's CostsFor):
+/// traversal rounds are lighter than PageRank's float math; the wedge
+/// explosion of triangle counting is cheap per byte because most bytes are
+/// tiny emitted markers.
+struct GraphCpuCosts {
+  double map_ns_per_byte = 0;
+  double reduce_ns_per_byte = 0;
+};
+
+GraphCpuCosts GraphCostsFor(GraphWorkload workload) {
+  switch (workload) {
+    case GraphWorkload::kSssp:
+      return {60.0, 25.0};
+    case GraphWorkload::kConnectedComponents:
+      return {60.0, 25.0};
+    case GraphWorkload::kTriangleCount:
+      return {45.0, 12.0};
+  }
+  return {60.0, 25.0};
+}
+
+/// Volume ratios of one measured functional job.
+struct RoundRatios {
+  double map_output_ratio = 1.0;
+  double output_ratio = 1.0;
+  double compress_ratio = 0.5;
+};
+
+RoundRatios RatiosFrom(const mrfunc::JobStats& stats) {
+  RoundRatios ratios;
+  BDIO_CHECK(stats.map_input_bytes > 0);
+  ratios.map_output_ratio = static_cast<double>(stats.map_output_bytes) /
+                            static_cast<double>(stats.map_input_bytes);
+  ratios.output_ratio = static_cast<double>(stats.reduce_output_bytes) /
+                        static_cast<double>(stats.map_input_bytes);
+  ratios.compress_ratio = stats.intermediate_compression_ratio;
+  return ratios;
+}
+
+/// Builds one simulated round/prepare job spec from measured ratios.
+mapreduce::SimJobSpec MakeSpecFromRatios(const std::string& name,
+                                         const RoundRatios& ratios,
+                                         GraphWorkload workload,
+                                         const GraphPlanOptions& options) {
+  mapreduce::SimJobSpec spec;
+  spec.name = name;
+  spec.map_output_ratio = ratios.map_output_ratio;
+  spec.combine_ratio = 1.0;  // No combiner in the graph jobs.
+  spec.output_ratio = ratios.output_ratio;
+  spec.compress_intermediate = options.compress_intermediate;
+  spec.compress_ratio = ratios.compress_ratio;
+  const GraphCpuCosts costs = GraphCostsFor(workload);
+  spec.map_cpu_ns_per_byte = costs.map_ns_per_byte;
+  spec.reduce_cpu_ns_per_byte = costs.reduce_ns_per_byte;
+  // Same per-task sizing rationale as profile.cc's base_spec: splits keep
+  // their real size, the heap-resident shuffle buffer scales with memory.
+  spec.shuffle_buffer_bytes = std::max<uint64_t>(
+      KiB(128),
+      static_cast<uint64_t>(static_cast<double>(MiB(140)) * options.scale));
+  return spec;
+}
+
+/// Replays the model run's remaining rounds as dag rounds: round k's spec
+/// carries the ratios the functional round k measured, reading round k-1's
+/// published output. Converges when the model's schedule ends — or earlier,
+/// if the simulated counters say a round produced no state to read.
+class ReplayRoundsController : public dag::IterationController {
+ public:
+  ReplayRoundsController(std::vector<mapreduce::SimJobSpec> round_specs,
+                         std::string out_root, uint32_t emitted)
+      : round_specs_(std::move(round_specs)),
+        out_root_(std::move(out_root)),
+        next_round_(emitted) {}
+
+  void set_pool(std::string pool, double weight) {
+    pool_ = std::move(pool);
+    weight_ = weight;
+  }
+
+  std::vector<dag::DagNode> NextRound(
+      const dag::RoundResult& completed) override {
+    if (next_round_ >= round_specs_.size()) return {};  // Model converged.
+    // Counter predicate: the next round reads the just-completed round's
+    // HDFS output; nothing written means the frontier drained for real.
+    uint64_t written = 0;
+    for (const mapreduce::JobCounters& counters : completed.counters) {
+      written += counters.hdfs_write_bytes;
+    }
+    if (written == 0) return {};
+    dag::DagNode node;
+    node.spec = round_specs_[next_round_];
+    node.spec.input_path = out_root_ + "/round" + std::to_string(next_round_);
+    node.spec.output_path =
+        out_root_ + "/round" + std::to_string(next_round_ + 1);
+    node.pool = pool_;
+    node.weight = weight_;
+    ++next_round_;
+    return {node};
+  }
+
+ private:
+  std::vector<mapreduce::SimJobSpec> round_specs_;  ///< By round index.
+  std::string out_root_;
+  size_t next_round_;  ///< Index of the next round to emit.
+  std::string pool_ = "default";
+  double weight_ = 1.0;
+};
+
+}  // namespace
+
+GraphDagPlan BuildGraphDag(GraphWorkload workload,
+                           const GraphPlanOptions& options) {
+  BDIO_CHECK(options.model_nodes > 1);
+  BDIO_CHECK(options.max_rounds > 0);
+
+  GraphDagPlan plan;
+  plan.workload = workload;
+  plan.short_name = GraphWorkloadShortName(workload);
+  plan.dataset_path = std::string("/input/") + plan.short_name;
+  plan.dataset_bytes = static_cast<uint64_t>(
+      static_cast<double>(PaperGraphInputBytes()) * options.scale);
+  plan.dataset_bytes = std::max<uint64_t>(plan.dataset_bytes, MiB(64));
+  plan.dag.name = plan.short_name;
+  plan.dag.expire_intermediates = true;
+  plan.dag.max_rounds = options.max_rounds + 1;  // +1: the prepare round.
+
+  // Execute the functional algorithm at model scale; its measured per-round
+  // stats parameterize the simulated jobs.
+  Rng rng(options.seed);
+  std::vector<mrfunc::KeyValue> graph = GenWebGraph(&rng, options.model_nodes);
+  mrfunc::JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 4;
+  config.sort_buffer_bytes = KiB(512);
+  config.compress_map_output = true;  // Measure the real codec's ratio.
+
+  const std::string out_root = std::string("/out/") + plan.short_name;
+  mrfunc::JobStats prepare_stats;
+  std::vector<mrfunc::JobStats> round_stats;
+
+  switch (workload) {
+    case GraphWorkload::kSssp: {
+      auto result = RunSssp(graph, "0", config, options.max_rounds);
+      BDIO_CHECK(result.ok());
+      const SsspResult& sssp = result.value();
+      prepare_stats = sssp.prepare_stats;
+      for (const GraphRoundStats& rs : sssp.round_stats) {
+        round_stats.push_back(rs.stats);
+        plan.model_rounds.push_back(
+            GraphRoundModel{rs.round, rs.frontier, rs.updated});
+      }
+      plan.model_reached = sssp.reached;
+      break;
+    }
+    case GraphWorkload::kConnectedComponents: {
+      auto result = RunConnectedComponents(graph, config, options.max_rounds);
+      BDIO_CHECK(result.ok());
+      const CcResult& cc = result.value();
+      prepare_stats = cc.prepare_stats;
+      for (const GraphRoundStats& rs : cc.round_stats) {
+        round_stats.push_back(rs.stats);
+        plan.model_rounds.push_back(
+            GraphRoundModel{rs.round, rs.frontier, rs.updated});
+      }
+      plan.model_components = cc.components;
+      break;
+    }
+    case GraphWorkload::kTriangleCount: {
+      auto result = RunTriangleCount(graph, config);
+      BDIO_CHECK(result.ok());
+      const TriResult& tri = result.value();
+      prepare_stats = tri.prepare_stats;
+      round_stats.push_back(tri.count_stats);
+      plan.model_triangles = tri.triangles;
+      break;
+    }
+  }
+  BDIO_CHECK(!round_stats.empty());
+
+  // Static nodes: prepare (symmetrize) + the first compute round.
+  dag::DagNode prepare;
+  prepare.spec = MakeSpecFromRatios(plan.short_name + "-prepare",
+                                    RatiosFrom(prepare_stats), workload,
+                                    options);
+  prepare.spec.input_path = plan.dataset_path;
+  prepare.spec.output_path = out_root + "/prepared";
+  prepare.pool = options.pool;
+  prepare.weight = options.weight;
+  plan.dag.nodes.push_back(std::move(prepare));
+
+  std::vector<mapreduce::SimJobSpec> round_specs;
+  round_specs.reserve(round_stats.size());
+  for (size_t r = 0; r < round_stats.size(); ++r) {
+    const std::string name =
+        (workload == GraphWorkload::kTriangleCount)
+            ? plan.short_name + "-count"
+            : plan.short_name + "-round" + std::to_string(r + 1);
+    round_specs.push_back(MakeSpecFromRatios(name, RatiosFrom(round_stats[r]),
+                                             workload, options));
+  }
+
+  dag::DagNode first_round;
+  first_round.spec = round_specs[0];
+  first_round.spec.input_path = out_root + "/prepared";
+  first_round.spec.output_path = (workload == GraphWorkload::kTriangleCount)
+                                     ? out_root + "/triangles"
+                                     : out_root + "/round1";
+  first_round.deps.push_back(0);  // After prepare.
+  first_round.pool = options.pool;
+  first_round.weight = options.weight;
+  plan.dag.nodes.push_back(std::move(first_round));
+
+  if (round_specs.size() > 1) {
+    auto controller = std::make_shared<ReplayRoundsController>(
+        std::move(round_specs), out_root, /*emitted=*/1);
+    controller->set_pool(options.pool, options.weight);
+    plan.dag.controller = std::move(controller);
+  }
+  return plan;
+}
+
+}  // namespace bdio::workloads

@@ -1,0 +1,78 @@
+#ifndef BDIO_WORKLOADS_GRAPH_PROFILE_H_
+#define BDIO_WORKLOADS_GRAPH_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/job_dag.h"
+
+namespace bdio::workloads {
+
+/// The iterative graph family simulated through the JobDag driver (beyond
+/// the paper's four one-pass workloads; ROADMAP item 2). Each plan is built
+/// by *executing* the functional algorithms (graph.h) on a model-scale web
+/// graph, then replaying the measured per-round volume ratios and frontier
+/// decay as a dag of simulated jobs.
+enum class GraphWorkload { kSssp, kConnectedComponents, kTriangleCount };
+
+/// Short names: SSSP, CC, TRI.
+const char* GraphWorkloadShortName(GraphWorkload workload);
+/// All three, in presentation order (SSSP, CC, TRI).
+std::vector<GraphWorkload> AllGraphWorkloads();
+
+/// Paper-scale graph dataset size before scaling (the PageRank web-graph
+/// size from Table 3 — the same adjacency data feeds all graph workloads).
+uint64_t PaperGraphInputBytes();
+
+struct GraphPlanOptions {
+  /// Scale factor applied to the paper-scale dataset (see PlanOptions).
+  double scale = 1.0 / 64;
+  bool compress_intermediate = false;
+  /// Cap on simulated rounds (also the functional model's round cap).
+  uint32_t max_rounds = 32;
+  /// Model-graph size the functional run executes at. Frontier decay and
+  /// per-round ratios come from this run; bigger = smoother decay curves,
+  /// slower planning.
+  uint32_t model_nodes = 2048;
+  uint64_t seed = 42;
+  /// Scheduler pool/weight every node of the dag is submitted under.
+  std::string pool = "default";
+  double weight = 1.0;
+};
+
+/// One model round, kept for reporting next to the simulated rounds.
+struct GraphRoundModel {
+  uint32_t round = 0;     ///< 1-based.
+  uint64_t frontier = 0;  ///< Frontier size after the round.
+  uint64_t updated = 0;   ///< Nodes whose state changed in the round.
+};
+
+/// A graph workload planned as a JobDag: dataset to preload + the dag spec
+/// (prepare node, first round, and a controller replaying the remaining
+/// model rounds), plus the model-run ground truth for shape checks.
+struct GraphDagPlan {
+  GraphWorkload workload = GraphWorkload::kSssp;
+  std::string short_name;
+  std::string dataset_path;    ///< HDFS path the runner preloads.
+  uint64_t dataset_bytes = 0;  ///< Scaled input size.
+  dag::DagSpec dag;
+  /// Per-round frontier/update sizes of the functional model run
+  /// (empty for triangle counting, which is not iterative).
+  std::vector<GraphRoundModel> model_rounds;
+  uint64_t model_reached = 0;     ///< SSSP: nodes at finite distance.
+  uint64_t model_components = 0;  ///< CC: final component count.
+  uint64_t model_triangles = 0;   ///< TRI: exact triangle count.
+};
+
+/// Runs the functional workload at model scale and builds the simulated
+/// dag plan. Deterministic for fixed options. The convergence predicate of
+/// the returned controller re-checks the *simulated* counters each round
+/// (a round that wrote no state stops the iteration) on top of the model's
+/// frontier-drain schedule.
+GraphDagPlan BuildGraphDag(GraphWorkload workload,
+                           const GraphPlanOptions& options);
+
+}  // namespace bdio::workloads
+
+#endif  // BDIO_WORKLOADS_GRAPH_PROFILE_H_

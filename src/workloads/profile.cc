@@ -1,6 +1,10 @@
 #include "workloads/profile.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -171,6 +175,100 @@ struct CpuCosts {
   double reduce_ns_per_byte = 0;
 };
 
+/// PageRank's iteration driver, expressed as a dag controller: each round
+/// is one job reading the previous round's state output. Convergence is
+/// fixed-round by default; with epsilon > 0 the predicate executes the
+/// functional PageRank one model iteration per round and stops once the max
+/// per-node rank delta drops to epsilon (data-driven iteration). Either
+/// way a round that wrote no state stops the chain (counter predicate).
+class PageRankController : public dag::IterationController {
+ public:
+  PageRankController(mapreduce::SimJobSpec template_spec,
+                     const PlanOptions& options)
+      : template_spec_(std::move(template_spec)),
+        fixed_iterations_(options.pagerank_iterations),
+        epsilon_(options.pagerank_epsilon),
+        model_nodes_(options.pagerank_model_nodes),
+        seed_(options.seed) {}
+
+  std::vector<dag::DagNode> NextRound(
+      const dag::RoundResult& completed) override {
+    const uint32_t next = next_iter_;
+    if (epsilon_ > 0) {
+      if (ModelConverged(next)) return {};
+    } else if (next >= fixed_iterations_) {
+      return {};
+    }
+    uint64_t written = 0;
+    for (const mapreduce::JobCounters& counters : completed.counters) {
+      written += counters.hdfs_write_bytes;
+    }
+    if (written == 0) return {};  // Nothing for the next round to read.
+    dag::DagNode node;
+    node.spec = template_spec_;
+    node.spec.name = "PR-iter" + std::to_string(next);
+    node.spec.input_path = "/out/PR/iter" + std::to_string(next - 1);
+    node.spec.output_path = "/out/PR/iter" + std::to_string(next);
+    ++next_iter_;
+    return {node};
+  }
+
+ private:
+  /// Advances the model run so it has executed `iters` iterations and
+  /// reports whether the last one moved any rank by more than epsilon.
+  bool ModelConverged(uint32_t iters) {
+    if (state_.empty()) {
+      // Lazy init: epsilon mode only, so fixed-round plans never pay for a
+      // model graph.
+      Rng rng(seed_);
+      const auto graph = GenWebGraph(&rng, model_nodes_);
+      const double initial = 1.0 / static_cast<double>(graph.size());
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10f", initial);
+      for (const auto& kv : graph) {
+        state_.push_back(
+            mrfunc::KeyValue{kv.key, std::string(buf) + "|" + kv.value});
+        ranks_[kv.key] = initial;
+      }
+      num_nodes_ = graph.size();
+    }
+    while (model_iters_ < iters) {
+      mrfunc::JobConfig config;
+      config.num_map_tasks = 4;
+      config.num_reduce_tasks = 4;
+      config.sort_buffer_bytes = KiB(512);
+      PageRankMapper mapper;
+      PageRankReducer reducer(/*damping=*/0.85, num_nodes_);
+      mrfunc::LocalJobRunner runner;
+      std::vector<mrfunc::KeyValue> next;
+      auto stats = runner.Run(state_, &mapper, &reducer, config, &next);
+      BDIO_CHECK(stats.ok());
+      state_ = std::move(next);
+      last_delta_ = 0;
+      for (const auto& kv : state_) {
+        const double rank = std::atof(kv.value.c_str());
+        last_delta_ = std::max(last_delta_, std::abs(rank - ranks_[kv.key]));
+        ranks_[kv.key] = rank;
+      }
+      ++model_iters_;
+    }
+    return last_delta_ <= epsilon_;
+  }
+
+  mapreduce::SimJobSpec template_spec_;
+  uint32_t fixed_iterations_;
+  double epsilon_;
+  uint32_t model_nodes_;
+  uint64_t seed_;
+  uint32_t next_iter_ = 1;  ///< iter0 is in WorkloadPlan::jobs.
+  // Model state (epsilon mode only).
+  std::vector<mrfunc::KeyValue> state_;
+  std::map<std::string, double> ranks_;
+  uint64_t num_nodes_ = 0;
+  uint32_t model_iters_ = 0;
+  double last_delta_ = 0;
+};
+
 CpuCosts CostsFor(WorkloadKind kind, bool clustering_phase = false) {
   switch (kind) {
     case WorkloadKind::kTeraSort:
@@ -259,14 +357,18 @@ WorkloadPlan BuildPlan(WorkloadKind kind, const PlanOptions& options) {
       break;
     }
     case WorkloadKind::kPageRank: {
-      std::string input = plan.dataset_path;
-      for (uint32_t i = 0; i < options.pagerank_iterations; ++i) {
-        mapreduce::SimJobSpec spec = base_spec("PR-iter" + std::to_string(i));
-        spec.input_path = input;
-        spec.output_path = "/out/PR/iter" + std::to_string(i);
-        input = spec.output_path;  // next iteration reads this state
-        plan.jobs.push_back(PlannedJob{std::move(spec)});
+      // Only the first iteration is planned statically; the controller
+      // appends iter1.. through the JobDag driver, retiring each round's
+      // state once the next round consumed it.
+      mapreduce::SimJobSpec spec = base_spec("PR-iter0");
+      spec.input_path = plan.dataset_path;
+      spec.output_path = "/out/PR/iter0";
+      plan.jobs.push_back(PlannedJob{std::move(spec)});
+      if (options.pagerank_iterations > 1 || options.pagerank_epsilon > 0) {
+        plan.iteration = std::make_shared<PageRankController>(
+            base_spec("PR-iter"), options);
       }
+      plan.expire_intermediates = true;
       break;
     }
   }

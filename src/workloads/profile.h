@@ -2,10 +2,12 @@
 #define BDIO_WORKLOADS_PROFILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "dag/job_dag.h"
 #include "mapreduce/job.h"
 
 namespace bdio::workloads {
@@ -39,6 +41,14 @@ struct PlanOptions {
   double scale = 1.0 / 64;
   uint32_t kmeans_iterations = 3;
   uint32_t pagerank_iterations = 3;
+  /// If > 0, PageRank iterates until the model run's max per-node rank
+  /// delta drops to `pagerank_epsilon` (data-driven convergence through the
+  /// dag controller) instead of running `pagerank_iterations` fixed rounds.
+  double pagerank_epsilon = 0;
+  /// Model-graph size the epsilon predicate executes PageRank at.
+  uint32_t pagerank_model_nodes = 2048;
+  /// Seed for the model run backing the convergence predicate.
+  uint64_t seed = 42;
   /// If set, use these measured ratios instead of the built-in defaults.
   const Calibration* calibration = nullptr;
 };
@@ -48,13 +58,21 @@ struct PlannedJob {
   mapreduce::SimJobSpec spec;
 };
 
-/// A workload's full execution plan: dataset to preload + chained jobs.
+/// A workload's full execution plan: dataset to preload + the initial jobs
+/// (executed as a linear dependency chain through the JobDag driver) plus,
+/// for iterative workloads, a controller that appends further rounds.
 struct WorkloadPlan {
   WorkloadKind kind;
   std::string short_name;
   std::string dataset_path;   ///< HDFS path the runner preloads.
   uint64_t dataset_bytes = 0; ///< Scaled input size.
   std::vector<PlannedJob> jobs;
+  /// Non-null for iterative workloads (PageRank): emits the next round's
+  /// jobs after each round completes, until the convergence predicate says
+  /// stop. jobs[] then holds only the first round.
+  std::shared_ptr<dag::IterationController> iteration;
+  /// Delete a round's HDFS output once the next round consumed it.
+  bool expire_intermediates = false;
 };
 
 /// Paper-scale input size (Table 3) before scaling.

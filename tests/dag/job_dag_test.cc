@@ -1,0 +1,338 @@
+// JobDag driver semantics: dependency ordering, controller-driven rounds,
+// the publish/expire lifecycle of intermediate outputs, failure draining,
+// and the AuditInvariants contract.
+
+#include "dag/job_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+
+namespace bdio::dag {
+namespace {
+
+class JobDagTest : public ::testing::Test {
+ protected:
+  JobDagTest() {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = 4;
+    cp.node.memory_bytes = GiB(4);
+    cp.node.daemon_bytes = MiB(256);
+    cp.node.per_slot_heap_bytes = MiB(16);
+    const mapreduce::SlotConfig slots{4, 4, "test"};
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  slots.total(), Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+    engine_ = std::make_unique<mapreduce::MrEngine>(cluster_.get(),
+                                                    dfs_.get(), slots,
+                                                    Rng(3));
+  }
+
+  static DagNode Node(const std::string& name, const std::string& in,
+                      const std::string& out) {
+    DagNode node;
+    node.spec.name = name;
+    node.spec.input_path = in;
+    node.spec.output_path = out;
+    node.spec.num_reduce_tasks = 2;
+    return node;
+  }
+
+  /// Bytes left in the namespace exactly under `root` (boundary match).
+  uint64_t BytesUnder(const std::string& root) {
+    uint64_t bytes = 0;
+    for (const hdfs::FileEntry* file : dfs_->name_node()->List(root)) {
+      if (file->path != root &&
+          file->path.compare(0, root.size() + 1, root + "/") != 0) {
+        continue;
+      }
+      bytes += file->bytes;
+    }
+    return bytes;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<mapreduce::MrEngine> engine_;
+};
+
+TEST_F(JobDagTest, EmptyDagCompletesImmediately) {
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), DagSpec{});
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  sim_->Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(jobdag.nodes_completed(), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, LinearChainPublishesAndExpiresIntermediates) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  DagSpec spec;
+  spec.name = "chain";
+  spec.nodes.push_back(Node("a", "/in", "/mid"));
+  DagNode b = Node("b", "/mid", "/out");
+  b.deps.push_back(0);
+  spec.nodes.push_back(std::move(b));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+
+  EXPECT_EQ(jobdag.nodes_completed(), 2u);
+  EXPECT_EQ(jobdag.rounds_completed(), 1u);
+  // /mid was published to b, then expired once b finished; /out survives.
+  EXPECT_GT(jobdag.intermediate_published_bytes(), 0u);
+  EXPECT_EQ(jobdag.intermediate_expired_bytes(),
+            jobdag.intermediate_published_bytes());
+  EXPECT_GT(jobdag.intermediate_expired_files(), 0u);
+  EXPECT_EQ(BytesUnder("/mid"), 0u);
+  EXPECT_GT(BytesUnder("/out"), 0u);
+  // The dependent ran strictly after its producer.
+  const auto& records = jobdag.node_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GE(records[1].counters.start_time, records[0].counters.end_time);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, RetainsIntermediatesWhenExpiryDisabled) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  DagSpec spec;
+  spec.expire_intermediates = false;
+  spec.nodes.push_back(Node("a", "/in", "/mid"));
+  DagNode b = Node("b", "/mid", "/out");
+  b.deps.push_back(0);
+  spec.nodes.push_back(std::move(b));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  jobdag.Run([](Status s) { EXPECT_TRUE(s.ok()); });
+  sim_->Run();
+  EXPECT_GT(jobdag.intermediate_published_bytes(), 0u);
+  EXPECT_EQ(jobdag.intermediate_expired_bytes(), 0u);
+  EXPECT_GT(BytesUnder("/mid"), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, DiamondRunsFanOutConcurrentlyAndJoins) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  DagSpec spec;
+  spec.nodes.push_back(Node("src", "/in", "/stage"));
+  DagNode left = Node("left", "/stage", "/left");
+  left.deps.push_back(0);
+  spec.nodes.push_back(std::move(left));
+  DagNode right = Node("right", "/stage", "/right");
+  right.deps.push_back(0);
+  spec.nodes.push_back(std::move(right));
+  DagNode join = Node("join", "/left", "/joined");
+  join.deps = {1, 2};
+  spec.nodes.push_back(std::move(join));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+  const auto& records = jobdag.node_records();
+  ASSERT_EQ(records.size(), 4u);
+  // left and right both start after src and overlap each other (they share
+  // the cluster concurrently rather than serializing).
+  EXPECT_GE(records[1].counters.start_time, records[0].counters.end_time);
+  EXPECT_GE(records[2].counters.start_time, records[0].counters.end_time);
+  EXPECT_LT(records[1].counters.start_time, records[2].counters.end_time);
+  EXPECT_LT(records[2].counters.start_time, records[1].counters.end_time);
+  // join waits for both.
+  EXPECT_GE(records[3].counters.start_time, records[1].counters.end_time);
+  EXPECT_GE(records[3].counters.start_time, records[2].counters.end_time);
+  // /stage fed two consumers; expired only after both closed. /right was
+  // published to nobody — it is a final output and survives.
+  EXPECT_EQ(BytesUnder("/stage"), 0u);
+  EXPECT_GT(BytesUnder("/right"), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+/// Emits `rounds` extra single-node rounds, chaining /r<k> -> /r<k+1>.
+class CountingController : public IterationController {
+ public:
+  explicit CountingController(uint32_t rounds) : rounds_(rounds) {}
+
+  std::vector<DagNode> NextRound(const RoundResult& completed) override {
+    observed_rounds_.push_back(completed.round);
+    uint64_t written = 0;
+    for (const auto& counters : completed.counters) {
+      written += counters.hdfs_write_bytes;
+    }
+    EXPECT_GT(written, 0u);  // Every round writes state in this test.
+    if (next_ > rounds_) return {};
+    DagNode node;
+    node.spec.name = "iter" + std::to_string(next_);
+    node.spec.input_path = "/r" + std::to_string(next_ - 1);
+    node.spec.output_path = "/r" + std::to_string(next_);
+    node.spec.num_reduce_tasks = 2;
+    ++next_;
+    return {node};
+  }
+
+  const std::vector<uint32_t>& observed_rounds() const {
+    return observed_rounds_;
+  }
+
+ private:
+  uint32_t rounds_;
+  uint32_t next_ = 1;
+  std::vector<uint32_t> observed_rounds_;
+};
+
+TEST_F(JobDagTest, ControllerAppendsRoundsUntilConverged) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  auto controller = std::make_shared<CountingController>(3);
+  DagSpec spec;
+  spec.name = "iter";
+  spec.nodes.push_back(Node("iter0", "/in", "/r0"));
+  spec.controller = controller;
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+  // Rounds 0..3 ran (1 static + 3 appended); the controller saw each one.
+  EXPECT_EQ(jobdag.rounds_completed(), 4u);
+  EXPECT_EQ(jobdag.nodes_completed(), 4u);
+  EXPECT_EQ(controller->observed_rounds(),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  // Iteration state expired round by round; the last output survives.
+  EXPECT_EQ(BytesUnder("/r0"), 0u);
+  EXPECT_EQ(BytesUnder("/r1"), 0u);
+  EXPECT_EQ(BytesUnder("/r2"), 0u);
+  EXPECT_GT(BytesUnder("/r3"), 0u);
+  const auto& rounds = jobdag.round_records();
+  ASSERT_EQ(rounds.size(), 4u);
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r].round, r);
+    EXPECT_GT(rounds[r].hdfs_write_bytes, 0u);
+    if (r + 1 < rounds.size()) {
+      // Every round's state was consumed and expired by the next round.
+      EXPECT_GT(rounds[r].expired_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, MaxRoundsCapsARunawayController) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  auto controller = std::make_shared<CountingController>(1000);
+  DagSpec spec;
+  spec.nodes.push_back(Node("iter0", "/in", "/r0"));
+  spec.controller = controller;
+  spec.max_rounds = 3;
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(jobdag.rounds_completed(), 3u);
+}
+
+TEST_F(JobDagTest, MissingInputFailsTheDagAfterDraining) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  DagSpec spec;
+  spec.name = "bad";
+  spec.nodes.push_back(Node("ok", "/in", "/out1"));
+  spec.nodes.push_back(Node("broken", "/missing", "/out2"));
+  DagNode never = Node("never", "/out1", "/out3");
+  never.deps = {0, 1};
+  spec.nodes.push_back(std::move(never));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  Status status = Status::OK();
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    status = s;
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // The failure names the dag and the node.
+  EXPECT_NE(status.message().find("bad"), std::string::npos);
+  EXPECT_NE(status.message().find("broken"), std::string::npos);
+  // No further submissions after the failure: "never" stayed unsubmitted.
+  EXPECT_EQ(jobdag.nodes_submitted(), 2u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, ObsCountersMirrorTheLedger) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  obs::MetricsRegistry metrics;
+  DagSpec spec;
+  spec.name = "obsdag";
+  spec.nodes.push_back(Node("a", "/in", "/mid"));
+  DagNode b = Node("b", "/mid", "/out");
+  b.deps.push_back(0);
+  spec.nodes.push_back(std::move(b));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  jobdag.AttachObs(&metrics);
+  jobdag.Run([](Status s) { EXPECT_TRUE(s.ok()); });
+  sim_->Run();
+
+  const obs::Labels labels{{"dag", "obsdag"}};
+  EXPECT_EQ(metrics.CounterValue("mr.dag.nodes_submitted", labels), 2u);
+  EXPECT_EQ(metrics.CounterValue("mr.dag.nodes_completed", labels), 2u);
+  EXPECT_EQ(metrics.CounterValue("mr.dag.rounds_completed", labels), 1u);
+  EXPECT_EQ(
+      metrics.CounterValue("mr.dag.intermediate_published_bytes", labels),
+      jobdag.intermediate_published_bytes());
+  EXPECT_EQ(metrics.CounterValue("mr.dag.intermediate_expired_bytes", labels),
+            jobdag.intermediate_expired_bytes());
+  EXPECT_EQ(metrics.CounterValue("mr.dag.intermediate_expired_files", labels),
+            jobdag.intermediate_expired_files());
+}
+
+TEST_F(JobDagTest, PathBoundaryNeverSweepsSiblingPrefixes) {
+  // /x/iter1 expiring must not delete /x/iter10 (prefix with boundary).
+  ASSERT_TRUE(dfs_->Preload("/x/iter10", MiB(16)).ok());
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  DagSpec spec;
+  spec.nodes.push_back(Node("a", "/in", "/x/iter1"));
+  DagNode b = Node("b", "/x/iter1", "/x/out");
+  b.deps.push_back(0);
+  spec.nodes.push_back(std::move(b));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  jobdag.Run([](Status s) { EXPECT_TRUE(s.ok()); });
+  sim_->Run();
+  EXPECT_EQ(BytesUnder("/x/iter1"), 0u);     // Expired.
+  EXPECT_EQ(BytesUnder("/x/iter10"), MiB(16));  // Untouched.
+}
+
+}  // namespace
+}  // namespace bdio::dag

@@ -1,0 +1,173 @@
+// Engine-wide job-completion hooks (MrEngine::AddJobCompletionHook): the
+// observer API the JobDag driver is built on. The contract under test:
+// exactly one firing per submitted job — including the early failure paths
+// that never launch a task — after the job's own callback, in registration
+// order, with the engine-assigned job id.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+class CompletionHookTest : public ::testing::Test {
+ protected:
+  CompletionHookTest() {
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster::ClusterParams cp;
+    cp.num_workers = 4;
+    cp.node.memory_bytes = GiB(4);
+    cp.node.daemon_bytes = MiB(256);
+    cp.node.per_slot_heap_bytes = MiB(16);
+    const SlotConfig slots{4, 4, "test"};
+    cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
+                                                  slots.total(), Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+    engine_ = std::make_unique<MrEngine>(cluster_.get(), dfs_.get(), slots,
+                                         Rng(3));
+  }
+
+  static SimJobSpec Spec(const std::string& name, const std::string& in,
+                         const std::string& out) {
+    SimJobSpec spec;
+    spec.name = name;
+    spec.input_path = in;
+    spec.output_path = out;
+    spec.num_reduce_tasks = 4;
+    return spec;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<MrEngine> engine_;
+};
+
+TEST_F(CompletionHookTest, FiresOncePerJobUnderConcurrentSubmission) {
+  ASSERT_TRUE(dfs_->Preload("/inA", MiB(128)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inB", MiB(64)).ok());
+  ASSERT_TRUE(dfs_->Preload("/inC", MiB(32)).ok());
+
+  std::vector<uint32_t> hook_ids;
+  std::vector<bool> hook_after_callback;
+  std::vector<bool> callback_done(3, false);
+  engine_->AddJobCompletionHook(
+      [&](uint32_t job_id, const Status& s, const JobCounters& counters) {
+        EXPECT_TRUE(s.ok());
+        EXPECT_GT(counters.hdfs_read_bytes, 0u);
+        hook_ids.push_back(job_id);
+        // The hook contract: fired after the job's own callback.
+        hook_after_callback.push_back(callback_done[job_id]);
+      });
+
+  // Three jobs in flight at once, sharing the slot pool.
+  const SimJobSpec specs[] = {Spec("A", "/inA", "/outA"),
+                              Spec("B", "/inB", "/outB"),
+                              Spec("C", "/inC", "/outC")};
+  for (uint32_t j = 0; j < 3; ++j) {
+    const uint32_t id = engine_->SubmitJob(
+        specs[j], [&, j](Status s, const JobCounters&) {
+          EXPECT_TRUE(s.ok());
+          callback_done[j] = true;
+        });
+    EXPECT_EQ(id, j);  // Ids are monotone in submission order.
+  }
+  sim_->Run();
+
+  ASSERT_EQ(hook_ids.size(), 3u);  // Once per job, no more.
+  std::vector<uint32_t> sorted = hook_ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint32_t>{0, 1, 2}));
+  for (const bool after : hook_after_callback) EXPECT_TRUE(after);
+}
+
+TEST_F(CompletionHookTest, FiresOnMissingAndEmptyInputFailures) {
+  ASSERT_TRUE(dfs_->Preload("/empty", 0).ok());
+
+  std::vector<std::pair<uint32_t, StatusCode>> fired;
+  engine_->AddJobCompletionHook(
+      [&](uint32_t job_id, const Status& s, const JobCounters&) {
+        fired.emplace_back(job_id, s.code());
+      });
+
+  int callbacks = 0;
+  engine_->SubmitJob(Spec("missing", "/does-not-exist", "/out1"),
+                     [&](Status s, const JobCounters&) {
+                       EXPECT_EQ(s.code(), StatusCode::kNotFound);
+                       ++callbacks;
+                     });
+  engine_->SubmitJob(Spec("empty", "/empty", "/out2"),
+                     [&](Status s, const JobCounters&) {
+                       // Zero-byte input is rejected before any task runs.
+                       EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+                       ++callbacks;
+                     });
+  sim_->Run();
+
+  EXPECT_EQ(callbacks, 2);
+  ASSERT_EQ(fired.size(), 2u);  // The early-exit paths still fire hooks.
+  EXPECT_EQ(fired[0].first, 0u);
+  EXPECT_EQ(fired[0].second, StatusCode::kNotFound);
+  EXPECT_EQ(fired[1].first, 1u);
+  EXPECT_EQ(fired[1].second, StatusCode::kInvalidArgument);
+}
+
+TEST_F(CompletionHookTest, HooksRunInRegistrationOrder) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  std::vector<int> order;
+  engine_->AddJobCompletionHook(
+      [&](uint32_t, const Status&, const JobCounters&) {
+        order.push_back(1);
+      });
+  engine_->AddJobCompletionHook(
+      [&](uint32_t, const Status&, const JobCounters&) {
+        order.push_back(2);
+      });
+  engine_->RunJob(Spec("J", "/in", "/out"),
+                  [](Status s, const JobCounters&) { EXPECT_TRUE(s.ok()); });
+  sim_->Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(CompletionHookTest, HookSeesChainedSubmissionFromCallback) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  // A callback that chains the next job (the pre-dag iteration idiom): the
+  // hook fires in the same event, after the chain submitted — so a driver
+  // keyed on job ids observes the successor already registered.
+  uint32_t chained_id = 0;
+  bool second_done = false;
+  std::vector<uint32_t> hook_ids;
+  engine_->AddJobCompletionHook(
+      [&](uint32_t job_id, const Status&, const JobCounters&) {
+        hook_ids.push_back(job_id);
+        if (job_id == 0) {
+          // The chained job must already exist when the hook runs.
+          EXPECT_EQ(chained_id, 1u);
+        }
+      });
+  engine_->SubmitJob(Spec("first", "/in", "/stage1"),
+                     [&](Status s, const JobCounters&) {
+                       ASSERT_TRUE(s.ok());
+                       chained_id = engine_->SubmitJob(
+                           Spec("second", "/stage1", "/stage2"),
+                           [&](Status s2, const JobCounters&) {
+                             EXPECT_TRUE(s2.ok());
+                             second_done = true;
+                           });
+                     });
+  sim_->Run();
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(hook_ids, (std::vector<uint32_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace bdio::mapreduce

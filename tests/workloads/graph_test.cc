@@ -1,0 +1,253 @@
+// Functional graph algorithms (workloads/graph.h) against independent
+// reference implementations: MR SSSP vs plain BFS, MR label propagation vs
+// union-find, MR wedge-closure triangle counting vs brute force — all on
+// the preferential-attachment generator and on small hand-built graphs.
+
+#include "workloads/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workloads/datagen.h"
+#include "workloads/graph_profile.h"
+
+namespace bdio::workloads {
+namespace {
+
+mrfunc::JobConfig SmallConfig() {
+  mrfunc::JobConfig config;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 3;
+  config.sort_buffer_bytes = KiB(256);
+  return config;
+}
+
+/// Undirected adjacency sets from directed "key -> succ1 succ2 ..." records
+/// (self-loops dropped) — the same symmetrization the prepare job performs.
+std::map<std::string, std::set<std::string>> Symmetrize(
+    const std::vector<mrfunc::KeyValue>& graph) {
+  std::map<std::string, std::set<std::string>> adj;
+  for (const mrfunc::KeyValue& record : graph) {
+    adj[record.key];  // Isolated nodes survive.
+    size_t pos = 0;
+    while (pos < record.value.size()) {
+      size_t end = record.value.find(' ', pos);
+      if (end == std::string::npos) end = record.value.size();
+      const std::string neighbor = record.value.substr(pos, end - pos);
+      if (!neighbor.empty() && neighbor != record.key) {
+        adj[record.key].insert(neighbor);
+        adj[neighbor].insert(record.key);
+      }
+      pos = end + 1;
+    }
+  }
+  return adj;
+}
+
+std::map<std::string, uint64_t> ReferenceBfs(
+    const std::map<std::string, std::set<std::string>>& adj,
+    const std::string& source) {
+  std::map<std::string, uint64_t> dist;
+  for (const auto& [node, neighbors] : adj) dist[node] = kInfDist;
+  dist[source] = 0;
+  std::queue<std::string> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::string u = frontier.front();
+    frontier.pop();
+    for (const std::string& v : adj.at(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+uint64_t ReferenceTriangles(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  uint64_t triangles = 0;
+  for (const auto& [u, neighbors] : adj) {
+    for (const std::string& v : neighbors) {
+      if (!NumericLess(u, v)) continue;
+      for (const std::string& w : neighbors) {
+        if (!NumericLess(v, w)) continue;
+        if (adj.at(v).count(w) > 0) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<mrfunc::KeyValue> TestGraph() {
+  Rng rng(7);
+  return GenWebGraph(&rng, 200, /*avg_out_degree=*/4.0);
+}
+
+TEST(NumericLessTest, OrdersDecimalStringsNumerically) {
+  EXPECT_TRUE(NumericLess("9", "10"));
+  EXPECT_FALSE(NumericLess("10", "9"));
+  EXPECT_TRUE(NumericLess("2", "100"));
+  EXPECT_FALSE(NumericLess("5", "5"));
+  EXPECT_TRUE(NumericLess("99", "100"));
+}
+
+TEST(GraphStateTest, SsspStateMarksOnlyTheSource) {
+  const std::vector<mrfunc::KeyValue> adjacency = {
+      {"0", "1 2"}, {"1", "0"}, {"2", "0"}};
+  const auto state = MakeSsspState(adjacency, "0");
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_EQ(state[0].value, "0|1|1 2");      // Source: dist 0, in frontier.
+  EXPECT_EQ(state[1].value, "INF|0|0");      // Unreached.
+  EXPECT_EQ(state[2].value, "INF|0|0");
+}
+
+TEST(GraphStateTest, CcStateLabelsEveryNodeWithItself) {
+  const std::vector<mrfunc::KeyValue> adjacency = {{"4", "7"}, {"7", "4"}};
+  const auto state = MakeCcState(adjacency);
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_EQ(state[0].value, "4|1|7");
+  EXPECT_EQ(state[1].value, "7|1|4");
+}
+
+TEST(GraphSsspTest, MatchesReferenceBfsOnWebGraph) {
+  const auto graph = TestGraph();
+  const auto result = RunSssp(graph, "0", SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SsspResult& sssp = result.value();
+
+  const auto reference = ReferenceBfs(Symmetrize(graph), "0");
+  ASSERT_EQ(sssp.distance.size(), reference.size());
+  for (const auto& [node, dist] : reference) {
+    ASSERT_TRUE(sssp.distance.count(node)) << node;
+    EXPECT_EQ(sssp.distance.at(node), dist) << "node " << node;
+  }
+  uint64_t reference_reached = 0;
+  for (const auto& [node, dist] : reference) {
+    if (dist != kInfDist) ++reference_reached;
+  }
+  EXPECT_EQ(sssp.reached, reference_reached);
+  // Converged: the last round's frontier is empty.
+  ASSERT_FALSE(sssp.round_stats.empty());
+  EXPECT_EQ(sssp.round_stats.back().frontier, 0u);
+}
+
+TEST(GraphSsspTest, DisconnectedNodesStayUnreached) {
+  // 0-1 and an island 5-6.
+  const std::vector<mrfunc::KeyValue> graph = {{"0", "1"}, {"5", "6"}};
+  const auto result = RunSssp(graph, "0", SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reached, 2u);
+  EXPECT_EQ(result.value().distance.at("5"), kInfDist);
+  EXPECT_EQ(result.value().distance.at("6"), kInfDist);
+}
+
+TEST(GraphCcTest, MatchesComponentsOnDisconnectedGraph) {
+  // Three components: {0,1,2}, {10,11}, {20}.
+  const std::vector<mrfunc::KeyValue> graph = {
+      {"0", "1 2"}, {"1", "2"}, {"10", "11"}, {"20", ""}};
+  const auto result = RunConnectedComponents(graph, SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CcResult& cc = result.value();
+  EXPECT_EQ(cc.components, 3u);
+  // Every component is labelled by its numerically smallest member.
+  EXPECT_EQ(cc.label.at("0"), "0");
+  EXPECT_EQ(cc.label.at("1"), "0");
+  EXPECT_EQ(cc.label.at("2"), "0");
+  EXPECT_EQ(cc.label.at("10"), "10");
+  EXPECT_EQ(cc.label.at("11"), "10");
+  EXPECT_EQ(cc.label.at("20"), "20");
+}
+
+TEST(GraphCcTest, WebGraphIsOneComponent) {
+  // Preferential attachment links every new node to an earlier one, so the
+  // symmetrized graph is connected.
+  const auto result = RunConnectedComponents(TestGraph(), SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().components, 1u);
+  for (const auto& [node, label] : result.value().label) {
+    EXPECT_EQ(label, "0") << node;
+  }
+  ASSERT_FALSE(result.value().round_stats.empty());
+  EXPECT_EQ(result.value().round_stats.back().frontier, 0u);
+}
+
+TEST(GraphTriangleTest, CountsHandBuiltGraphs) {
+  // A triangle plus a pendant edge: exactly one triangle.
+  const std::vector<mrfunc::KeyValue> one = {
+      {"0", "1 2"}, {"1", "2"}, {"2", "3"}};
+  auto result = RunTriangleCount(one, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().triangles, 1u);
+  EXPECT_EQ(result.value().closed_wedges, 3u);
+
+  // K4: four triangles.
+  const std::vector<mrfunc::KeyValue> k4 = {
+      {"0", "1 2 3"}, {"1", "2 3"}, {"2", "3"}};
+  result = RunTriangleCount(k4, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().triangles, 4u);
+
+  // A path has none.
+  const std::vector<mrfunc::KeyValue> path = {{"0", "1"}, {"1", "2"}};
+  result = RunTriangleCount(path, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().triangles, 0u);
+}
+
+TEST(GraphTriangleTest, MatchesBruteForceOnWebGraph) {
+  const auto graph = TestGraph();
+  const auto result = RunTriangleCount(graph, SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const uint64_t reference = ReferenceTriangles(Symmetrize(graph));
+  EXPECT_EQ(result.value().triangles, reference);
+  EXPECT_GT(reference, 0u);  // PA graphs close wedges around early hubs.
+}
+
+TEST(GraphProfileTest, BuildsDagsForEveryWorkload) {
+  GraphPlanOptions options;
+  options.model_nodes = 128;
+  options.scale = 1.0 / 512;
+  for (GraphWorkload workload : AllGraphWorkloads()) {
+    const GraphDagPlan plan = BuildGraphDag(workload, options);
+    EXPECT_EQ(plan.short_name, GraphWorkloadShortName(workload));
+    ASSERT_EQ(plan.dag.nodes.size(), 2u);  // Prepare + first round.
+    EXPECT_EQ(plan.dag.nodes[0].spec.input_path, plan.dataset_path);
+    ASSERT_EQ(plan.dag.nodes[1].deps.size(), 1u);
+    EXPECT_EQ(plan.dag.nodes[1].deps[0], 0u);
+    EXPECT_TRUE(plan.dag.expire_intermediates);
+    if (workload == GraphWorkload::kTriangleCount) {
+      EXPECT_EQ(plan.dag.controller, nullptr);  // One-shot, no iteration.
+      EXPECT_GT(plan.model_triangles, 0u);
+    } else {
+      EXPECT_NE(plan.dag.controller, nullptr);
+      ASSERT_FALSE(plan.model_rounds.empty());
+      EXPECT_EQ(plan.model_rounds.back().frontier, 0u);  // Converged.
+    }
+  }
+}
+
+TEST(GraphProfileTest, PlanningIsDeterministic) {
+  GraphPlanOptions options;
+  options.model_nodes = 128;
+  const GraphDagPlan a = BuildGraphDag(GraphWorkload::kSssp, options);
+  const GraphDagPlan b = BuildGraphDag(GraphWorkload::kSssp, options);
+  ASSERT_EQ(a.model_rounds.size(), b.model_rounds.size());
+  for (size_t r = 0; r < a.model_rounds.size(); ++r) {
+    EXPECT_EQ(a.model_rounds[r].frontier, b.model_rounds[r].frontier);
+  }
+  EXPECT_EQ(a.model_reached, b.model_reached);
+  ASSERT_EQ(a.dag.nodes.size(), b.dag.nodes.size());
+  EXPECT_DOUBLE_EQ(a.dag.nodes[1].spec.map_output_ratio,
+                   b.dag.nodes[1].spec.map_output_ratio);
+}
+
+}  // namespace
+}  // namespace bdio::workloads

@@ -47,11 +47,43 @@ TEST(ProfileTest, PlanShapesPerWorkload) {
   EXPECT_GT(km.jobs[0].spec.map_cpu_ns_per_byte,
             5 * km.jobs[3].spec.map_cpu_ns_per_byte);
 
+  // PageRank plans only the first iteration statically; the dag controller
+  // appends iter1.. and each round's state expires once consumed.
   const WorkloadPlan pr = BuildPlan(WorkloadKind::kPageRank, options);
-  ASSERT_EQ(pr.jobs.size(), 4u);
-  // Each iteration reads the previous iteration's output.
-  EXPECT_EQ(pr.jobs[1].spec.input_path, pr.jobs[0].spec.output_path);
-  EXPECT_EQ(pr.jobs[3].spec.input_path, pr.jobs[2].spec.output_path);
+  ASSERT_EQ(pr.jobs.size(), 1u);
+  EXPECT_EQ(pr.jobs[0].spec.input_path, pr.dataset_path);
+  EXPECT_EQ(pr.jobs[0].spec.output_path, "/out/PR/iter0");
+  ASSERT_NE(pr.iteration, nullptr);
+  EXPECT_TRUE(pr.expire_intermediates);
+  // Drive the controller as the dag would: each round emits one job
+  // reading the previous round's output, until the fixed count is hit.
+  dag::RoundResult completed;
+  completed.round = 0;
+  completed.nodes = {0};
+  mapreduce::JobCounters counters;
+  counters.hdfs_write_bytes = MiB(1);
+  completed.counters = {counters};
+  for (uint32_t i = 1; i < 4; ++i) {
+    auto batch = pr.iteration->NextRound(completed);
+    ASSERT_EQ(batch.size(), 1u) << "iteration " << i;
+    EXPECT_EQ(batch[0].spec.input_path,
+              "/out/PR/iter" + std::to_string(i - 1));
+    EXPECT_EQ(batch[0].spec.output_path, "/out/PR/iter" + std::to_string(i));
+    completed.round = i;
+  }
+  EXPECT_TRUE(pr.iteration->NextRound(completed).empty());  // 4 rounds done.
+}
+
+TEST(ProfileTest, PageRankControllerStopsWhenRoundWroteNothing) {
+  PlanOptions options;
+  options.pagerank_iterations = 4;
+  const WorkloadPlan pr = BuildPlan(WorkloadKind::kPageRank, options);
+  ASSERT_NE(pr.iteration, nullptr);
+  dag::RoundResult completed;
+  completed.round = 0;
+  completed.nodes = {0};
+  completed.counters = {mapreduce::JobCounters{}};  // wrote zero bytes
+  EXPECT_TRUE(pr.iteration->NextRound(completed).empty());
 }
 
 TEST(ProfileTest, ScaleAppliesToDatasetAndShuffleBuffer) {
