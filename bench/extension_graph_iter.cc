@@ -58,6 +58,11 @@ struct GraphCell {
 
   std::vector<RoundRow> rounds;
   uint32_t nodes_completed = 0;
+  uint32_t node_retries = 0;
+  uint32_t nodes_skipped = 0;
+  /// Names and attempt counts of nodes that failed, retried, or were
+  /// skipped ("none" on a healthy run), from the per-node ledger.
+  std::string churned_nodes;
   double makespan_s = 0;
   uint64_t published_bytes = 0;
   uint64_t expired_bytes = 0;
@@ -205,6 +210,17 @@ GraphCell RunSolo(const core::BenchOptions& options,
         std::max(cell.makespan_s, ToSeconds(node.counters.end_time));
   }
   cell.nodes_completed = jobdag.nodes_completed();
+  cell.node_retries = jobdag.node_retries();
+  cell.nodes_skipped = jobdag.nodes_skipped();
+  for (const dag::NodeRecord& node : jobdag.node_records()) {
+    if (node.attempts <= 1 && node.failures == 0 && !node.skipped) continue;
+    if (!cell.churned_nodes.empty()) cell.churned_nodes += " ";
+    cell.churned_nodes +=
+        node.skipped ? node.name + "(skipped)"
+                     : node.name + "(x" + std::to_string(node.attempts) +
+                           "," + std::to_string(node.failures) + "f)";
+  }
+  if (cell.churned_nodes.empty()) cell.churned_nodes = "none";
   cell.published_bytes = jobdag.intermediate_published_bytes();
   cell.expired_bytes = jobdag.intermediate_expired_bytes();
   cell.expired_files = jobdag.intermediate_expired_files();
@@ -434,8 +450,8 @@ int main(int argc, char** argv) {
 
   TextTable summary;
   summary.SetHeader({"workload", "rounds", "makespan_s", "published_MB",
-                     "expired_MB", "expired_files", "final_MB",
-                     "hdfs util%"});
+                     "expired_MB", "expired_files", "final_MB", "hdfs util%",
+                     "retries", "failed/retried nodes"});
   for (const GraphCell& cell : cells) {
     summary.AddRow(
         {cell.short_name, std::to_string(cell.rounds.size()),
@@ -444,7 +460,8 @@ int main(int argc, char** argv) {
          TextTable::Num(static_cast<double>(cell.expired_bytes) / 1e6, 1),
          std::to_string(cell.expired_files),
          TextTable::Num(static_cast<double>(cell.final_bytes) / 1e6, 1),
-         TextTable::Num(cell.hdfs_util_mean, 1)});
+         TextTable::Num(cell.hdfs_util_mean, 1),
+         std::to_string(cell.node_retries), cell.churned_nodes});
   }
   std::fputs(summary.ToString().c_str(), stdout);
 
@@ -561,6 +578,15 @@ int main(int argc, char** argv) {
       "sharing one cluster costs: combined makespan >= slowest solo run, "
       "but fair pools overlap: < sum of solo runs",
       combined.makespan_s >= solo_max && combined.makespan_s < solo_sum});
+
+  bool no_churn = true;
+  for (const GraphCell& cell : cells) {
+    no_churn = no_churn && cell.node_retries == 0 &&
+               cell.nodes_skipped == 0 && cell.churned_nodes == "none";
+  }
+  checks.push_back(core::ShapeCheck{
+      "healthy dags finish with zero node retries, failures, or skips",
+      no_churn});
 
   bool audits_clean = true;
   for (const GraphCell& cell : cells) {

@@ -216,6 +216,59 @@ WorkloadScore RunChaos(const core::BenchOptions& options) {
   return score;
 }
 
+WorkloadScore RunChaosRetry(const core::BenchOptions& options) {
+  WorkloadScore score;
+  score.name = "chaos_retry";
+  WallTimer timer;
+
+  Rng rng(options.seed);
+  sim::Simulator sim;
+  sim::ScopedLogClock log_clock(&sim);
+  cluster::Cluster cluster(&sim, bench::MakeScaledClusterParams(options), 16,
+                           rng.Fork());
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, rng.Fork());
+
+  workloads::PlanOptions plan_options;
+  plan_options.scale = options.scale;
+  plan_options.compress_intermediate = true;
+  const auto workload =
+      workloads::BuildPlan(workloads::WorkloadKind::kTeraSort, plan_options);
+  bench::PreloadOrExit(&dfs, workload.dataset_path, workload.dataset_bytes);
+
+  mapreduce::MrEngine engine(&cluster, &dfs,
+                             mapreduce::SlotConfig::Paper_1_8(), rng.Fork());
+  mapreduce::FaultToleranceConfig ft;
+  ft.blacklist_strikes = 3;
+  ft.blacklist_decay = Seconds(30);
+  engine.SetFaultTolerance(ft);
+  faults::FaultInjector injector(&cluster, &dfs, &engine);
+
+  // The compute-side failure domain: a TaskTracker death (lost-map
+  // re-execution) plus a crash-task volley (attempt budgets, backoff,
+  // blacklist strikes). Early, so the scenario bites at every --scale.
+  faults::FaultPlan plan;
+  plan.KillTaskTracker(3, Seconds(2));
+  plan.CrashTask(5, Seconds(1));
+
+  bool done = false;
+  engine.RunJob(workload.jobs[0].spec,
+                [&](Status s, const mapreduce::JobCounters&) {
+                  BDIO_CHECK_OK(s);
+                  done = true;
+                });
+  BDIO_CHECK_OK(injector.Arm(plan));
+  sim.Run();
+  BDIO_CHECK(done);
+  // The scenario must actually exercise the retry machinery.
+  BDIO_CHECK(engine.maps_reexecuted() > 0 || engine.task_failures() > 0);
+
+  score.runs = 1;
+  score.events = sim.events_processed();
+  score.sim_seconds = ToSeconds(sim.Now());
+  score.Finish(timer);
+  return score;
+}
+
 WorkloadScore RunGraphSssp(const core::BenchOptions& options) {
   WorkloadScore score;
   score.name = "graph_sssp";
@@ -417,6 +470,7 @@ int main(int argc, char** argv) {
   scores.push_back(RunTeraSortGrid(options, want_obs ? &retained : nullptr));
   scores.push_back(RunDfsio(options));
   scores.push_back(RunChaos(options));
+  scores.push_back(RunChaosRetry(options));
   scores.push_back(RunGraphSssp(options));
   if (want_obs) {
     std::vector<std::pair<std::string, const core::ExperimentResult*>> obs;

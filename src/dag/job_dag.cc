@@ -42,6 +42,9 @@ void JobDag::AttachObs(obs::MetricsRegistry* metrics) {
       metrics->GetCounter("mr.dag.intermediate_expired_bytes", labels);
   m_expired_files_ =
       metrics->GetCounter("mr.dag.intermediate_expired_files", labels);
+  m_retries_ = metrics->GetCounter("mr.dag.node_retries", labels);
+  m_failures_ = metrics->GetCounter("mr.dag.node_failures", labels);
+  m_skipped_ = metrics->GetCounter("mr.dag.nodes_skipped", labels);
 }
 
 void JobDag::Run(DoneCallback done) {
@@ -123,6 +126,13 @@ void JobDag::MaybePublish(const std::string& path, Produced* produced) {
   published_bytes_ += bytes;
   if (m_published_bytes_ != nullptr) m_published_bytes_->Add(bytes);
   (void)files;
+  // Every consumer may already have released its claim — skipped subtrees
+  // release before their producer finishes. Nobody will ever read this
+  // path, so it expires the instant it is published.
+  if (spec_.expire_intermediates &&
+      produced->consumers_done == produced->consumers_total) {
+    ExpirePath(path, produced);
+  }
 }
 
 void JobDag::SubmitReady() {
@@ -131,22 +141,47 @@ void JobDag::SubmitReady() {
   // engine (and therefore the scheduler's admission order) in id order.
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     NodeState& state = nodes_[id];
-    if (state.submitted || state.pending_deps != 0) continue;
+    if (state.submitted || state.skipped || state.pending_deps != 0) {
+      continue;
+    }
     state.submitted = true;
     ++nodes_submitted_;
     ++in_flight_;
     if (m_nodes_submitted_ != nullptr) m_nodes_submitted_->Add(1);
-    const uint32_t job_id = engine_->SubmitJob(
-        state.node.spec, [](Status, const mapreduce::JobCounters&) {},
-        state.node.pool, state.node.weight);
-    engine_job_to_node_.emplace(job_id, id);
+    SubmitNode(id);
   }
+}
+
+void JobDag::SubmitNode(NodeId id) {
+  NodeState& state = nodes_[id];
+  ++node_records_[id].attempts;
+  const uint32_t job_id = engine_->SubmitJob(
+      state.node.spec, [](Status, const mapreduce::JobCounters&) {},
+      state.node.pool, state.node.weight);
+  engine_job_to_node_.emplace(job_id, id);
 }
 
 void JobDag::OnNodeDone(NodeId id, const Status& status,
                         const mapreduce::JobCounters& counters) {
   NodeState& state = nodes_[id];
   BDIO_CHECK(state.submitted && !state.done);
+  node_records_[id].counters = counters;
+  if (!status.ok()) {
+    ++state.failures;
+    ++node_failures_;
+    node_records_[id].failures = state.failures;
+    node_records_[id].last_error = status.message();
+    if (m_failures_ != nullptr) m_failures_->Add(1);
+    if (!failed_ && state.failures <= spec_.retry.max_node_retries) {
+      // Retry: resubmit the same spec under the same scheduling identity.
+      // The node stays in flight — none of its barrier, producer, or
+      // consumer bookkeeping moves until an attempt settles it for good.
+      ++node_retries_;
+      if (m_retries_ != nullptr) m_retries_->Add(1);
+      SubmitNode(id);
+      return;
+    }
+  }
   state.done = true;
   ++nodes_completed_;
   BDIO_CHECK(in_flight_ > 0);
@@ -154,12 +189,18 @@ void JobDag::OnNodeDone(NodeId id, const Status& status,
   BDIO_CHECK(round_remaining_ > 0);
   --round_remaining_;
   if (m_nodes_completed_ != nullptr) m_nodes_completed_->Add(1);
-  node_records_[id].counters = counters;
-  if (!status.ok() && !failed_) {
-    failed_ = true;
-    first_error_ = Status(status.code(), "dag '" + spec_.name + "' node '" +
-                                             state.node.spec.name +
-                                             "': " + status.message());
+  if (!status.ok()) {
+    ++nodes_written_off_;
+    if (spec_.retry.on_exhausted == RetryPolicy::OnExhausted::kSkipSubtree &&
+        !failed_) {
+      SkipSubtree(id);
+    } else if (!failed_) {
+      failed_ = true;
+      first_error_ =
+          Status(status.code(), "dag '" + spec_.name + "' node '" +
+                                    state.node.spec.name +
+                                    "': " + status.message());
+    }
   }
 
   // Producer side: the node's output is closed; publish it if a consumer is
@@ -172,6 +213,22 @@ void JobDag::OnNodeDone(NodeId id, const Status& status,
 
   // Consumer side: release every input this node held; fully-consumed
   // published paths expire (the per-round intermediate churn).
+  ReleaseConsumed(state);
+
+  for (const NodeId dependent : state.dependents) {
+    if (nodes_[dependent].skipped) continue;  // Already written off.
+    BDIO_CHECK(nodes_[dependent].pending_deps > 0);
+    --nodes_[dependent].pending_deps;
+  }
+
+  if (round_remaining_ == 0 && !failed_) {
+    FinishRound();
+  }
+  SubmitReady();
+  MaybeFinish();
+}
+
+void JobDag::ReleaseConsumed(const NodeState& state) {
   for (const std::string& path : state.consumed_paths) {
     auto it = produced_.find(path);
     BDIO_CHECK(it != produced_.end());
@@ -184,17 +241,34 @@ void JobDag::OnNodeDone(NodeId id, const Status& status,
       ExpirePath(path, &produced);
     }
   }
+}
 
-  for (const NodeId dependent : state.dependents) {
-    BDIO_CHECK(nodes_[dependent].pending_deps > 0);
-    --nodes_[dependent].pending_deps;
+void JobDag::SkipSubtree(NodeId root) {
+  // Depth-first over dependents in declaration order — a fixed traversal,
+  // so the HDFS deletions ReleaseConsumed may trigger happen in the same
+  // order every run. Dependents of a failed node were never submitted
+  // (their dep on `root` was never released), so every write-off retires a
+  // live entry of the current round's barrier. Skipped consumers release
+  // their input claims: the data they will never read must still expire.
+  std::vector<NodeId> worklist = {root};
+  while (!worklist.empty()) {
+    const NodeId id = worklist.back();
+    worklist.pop_back();
+    for (const NodeId dep_id : nodes_[id].dependents) {
+      NodeState& dependent = nodes_[dep_id];
+      if (dependent.skipped) continue;
+      BDIO_CHECK(!dependent.submitted);
+      BDIO_CHECK(dependent.round == current_round_);
+      dependent.skipped = true;
+      node_records_[dep_id].skipped = true;
+      ++nodes_skipped_;
+      if (m_skipped_ != nullptr) m_skipped_->Add(1);
+      BDIO_CHECK(round_remaining_ > 0);
+      --round_remaining_;
+      ReleaseConsumed(dependent);
+      worklist.push_back(dep_id);
+    }
   }
-
-  if (round_remaining_ == 0 && !failed_) {
-    FinishRound();
-  }
-  SubmitReady();
-  MaybeFinish();
 }
 
 void JobDag::FinishRound() {
@@ -210,6 +284,10 @@ void JobDag::FinishRound() {
     record.hdfs_write_bytes += c.hdfs_write_bytes;
     record.intermediate_write_bytes += c.intermediate_write_bytes;
     record.shuffle_network_bytes += c.shuffle_network_bytes;
+    const NodeRecord& nr = node_records_[id];
+    if (nr.attempts > 1) record.retries += nr.attempts - 1;
+    record.failures += nr.failures;
+    if (nr.skipped) ++record.skipped;
   }
   auto pending = pending_expired_.find(current_round_);
   if (pending != pending_expired_.end()) {
@@ -291,7 +369,9 @@ void JobDag::MaybeFinish() {
     done(first_error_);
     return;
   }
-  if (nodes_completed_ == nodes_.size()) {
+  // Skipped nodes never complete; a degraded dag (kSkipSubtree) finishes
+  // OK once everything else has.
+  if (nodes_completed_ + nodes_skipped_ == nodes_.size()) {
     DoneCallback done = std::move(done_);
     done_ = nullptr;
     done(Status::OK());
@@ -308,6 +388,42 @@ std::string JobDag::AuditInvariants() const {
     if (state.done && !state.submitted) {
       problems << "dag " << spec_.name << ": node done without submission; ";
     }
+  }
+  uint32_t skipped = 0;
+  uint32_t retries = 0;
+  uint32_t failures = 0;
+  uint32_t written_off = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const NodeState& state = nodes_[id];
+    const NodeRecord& record = node_records_[id];
+    if (state.skipped) {
+      ++skipped;
+      if (state.submitted || state.done || record.attempts != 0) {
+        problems << "dag " << spec_.name << ": node " << id
+                 << " skipped despite being submitted; ";
+      }
+    }
+    if (record.failures > record.attempts) {
+      problems << "dag " << spec_.name << ": node " << id
+               << " records more failures than attempts; ";
+    }
+    if (record.attempts > 1) retries += record.attempts - 1;
+    failures += record.failures;
+    // A written-off node is a completed node every attempt of which failed
+    // (success settles a node immediately, so a survivor always has
+    // failures < attempts).
+    if (state.done && record.attempts > 0 &&
+        record.failures == record.attempts) {
+      ++written_off;
+    }
+  }
+  if (skipped != nodes_skipped_ || retries != node_retries_ ||
+      failures != node_failures_ || written_off != nodes_written_off_) {
+    problems << "dag " << spec_.name << ": retry ledger recount mismatch ("
+             << skipped << "/" << nodes_skipped_ << " skipped, " << retries
+             << "/" << node_retries_ << " retries, " << failures << "/"
+             << node_failures_ << " failures, " << written_off << "/"
+             << nodes_written_off_ << " written off); ";
   }
   if (submitted != nodes_submitted_ || completed != nodes_completed_) {
     problems << "dag " << spec_.name << ": node recount mismatch (submitted "
@@ -332,6 +448,12 @@ std::string JobDag::AuditInvariants() const {
     if (produced.consumers_done > produced.consumers_total) {
       problems << "dag " << spec_.name << ": path " << path
                << " has more consumers done than registered; ";
+    }
+    if (spec_.expire_intermediates && produced.published &&
+        !produced.expired &&
+        produced.consumers_done == produced.consumers_total) {
+      problems << "dag " << spec_.name << ": path " << path
+               << " is fully consumed but never expired; ";
     }
     if (produced.expired) {
       if (!produced.producer_done ||

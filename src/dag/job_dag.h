@@ -57,9 +57,26 @@ class IterationController {
   virtual std::vector<DagNode> NextRound(const RoundResult& completed) = 0;
 };
 
+/// What the dag does when a node's job completes with an error.
+struct RetryPolicy {
+  /// Resubmissions allowed per node beyond its first attempt. 0 (the
+  /// default) is fail-fast: the first node failure ends the dag, exactly
+  /// the pre-policy behavior.
+  uint32_t max_node_retries = 0;
+  enum class OnExhausted {
+    /// Stop submitting, drain in-flight nodes, finish with the first error.
+    kFailDag,
+    /// Write the node off, transitively skip its not-yet-submitted
+    /// dependents, and keep going — the dag finishes OK but degraded
+    /// (JobDag::degraded(), per-node ledger flags).
+    kSkipSubtree,
+  };
+  OnExhausted on_exhausted = OnExhausted::kFailDag;
+};
+
 /// A dag execution request: the static round-0 nodes, an optional iteration
-/// controller growing the dag round by round, and the intermediate-data
-/// lifecycle policy.
+/// controller growing the dag round by round, the intermediate-data
+/// lifecycle policy, and the node-failure policy.
 struct DagSpec {
   std::string name = "dag";
   std::vector<DagNode> nodes;  ///< Round 0.
@@ -72,6 +89,8 @@ struct DagSpec {
   /// Hard cap on controller-built rounds (including round 0) — a safety net
   /// against non-converging predicates, not a tuning knob.
   uint32_t max_rounds = 64;
+  /// Node-failure handling (retries, then fail-dag or skip-subtree).
+  RetryPolicy retry;
 };
 
 /// Ledger entry for one node (introspection for benches/tests).
@@ -79,7 +98,17 @@ struct NodeRecord {
   NodeId id = 0;
   uint32_t round = 0;
   std::string name;
+  /// Counters of the node's *last* attempt (earlier failed attempts'
+  /// wasted I/O is visible in the engine's mr.retry.* totals).
   mapreduce::JobCounters counters;
+  uint32_t attempts = 0;  ///< Engine submissions; > 1 means it was retried.
+  uint32_t failures = 0;  ///< Attempts that completed with an error.
+  /// Never submitted: written off because an ancestor exhausted its retry
+  /// budget under RetryPolicy::OnExhausted::kSkipSubtree.
+  bool skipped = false;
+  /// Message of the most recent failed attempt ("" if none failed). An
+  /// exhausted node reads failures == attempts > 0 here.
+  std::string last_error;
 };
 
 /// Ledger entry for one completed round: sim-time extent, member nodes, the
@@ -96,6 +125,11 @@ struct RoundRecord {
   uint64_t shuffle_network_bytes = 0;
   uint64_t expired_bytes = 0;
   uint64_t expired_files = 0;
+  // Compute-churn attributed to the round: resubmissions, failed attempts,
+  // and nodes written off without running.
+  uint32_t retries = 0;
+  uint32_t failures = 0;
+  uint32_t skipped = 0;
 };
 
 /// Deterministic dependency-dag driver over MrEngine's multi-job core.
@@ -133,8 +167,11 @@ class JobDag {
   using DoneCallback = std::function<void(Status)>;
 
   /// Starts the dag. `done` fires (in a scheduled event) once every node
-  /// completed, or with the first failure once in-flight nodes drained (no
-  /// further nodes are submitted after a failure). Call once.
+  /// completed or was skipped. A node failure is first retried up to
+  /// RetryPolicy::max_node_retries times; once exhausted, kFailDag drains
+  /// in-flight nodes and reports the first error, while kSkipSubtree writes
+  /// the node and its unsubmitted dependents off and finishes OK but
+  /// degraded. Call once.
   void Run(DoneCallback done);
 
   // --- Introspection (stable after `done` fired) -------------------------
@@ -143,6 +180,19 @@ class JobDag {
   uint32_t nodes_completed() const { return nodes_completed_; }
   uint32_t rounds_completed() const {
     return static_cast<uint32_t>(round_records_.size());
+  }
+  /// Node resubmissions (retry events) across the whole dag.
+  uint32_t node_retries() const { return node_retries_; }
+  /// Node attempts that completed with an error.
+  uint32_t node_failures() const { return node_failures_; }
+  /// Nodes that exhausted their retry budget.
+  uint32_t nodes_written_off() const { return nodes_written_off_; }
+  /// Nodes never submitted (skip-subtree write-offs).
+  uint32_t nodes_skipped() const { return nodes_skipped_; }
+  /// True once any node was written off or skipped — the dag's result is
+  /// partial even if Run reported OK (kSkipSubtree).
+  bool degraded() const {
+    return nodes_written_off_ > 0 || nodes_skipped_ > 0;
   }
   /// Per-node ledger in NodeId order (includes not-yet-finished nodes).
   const std::vector<NodeRecord>& node_records() const {
@@ -168,7 +218,10 @@ class JobDag {
   ///  - producer/consumer ledger sane (consumers_done bounded, expired
   ///    implies fully consumed);
   ///  - iteration counters monotone across audits (rounds/nodes/bytes never
-  ///    move backwards between two calls).
+  ///    move backwards between two calls);
+  ///  - retry ledger sane: skipped nodes were never submitted, per-record
+  ///    attempt/failure tallies match the dag totals, and a written-off
+  ///    node exhausted exactly its budget.
   /// Read-only with respect to simulation state; returns "" when every
   /// invariant holds.
   std::string AuditInvariants() const;
@@ -181,6 +234,8 @@ class JobDag {
     uint32_t pending_deps = 0;
     bool submitted = false;
     bool done = false;
+    uint32_t failures = 0;  ///< Failed attempts so far (retry budget).
+    bool skipped = false;   ///< Written off without being submitted.
     std::vector<NodeId> dependents;
     /// Produced paths this node reads (its side of the consumer ledger).
     std::vector<std::string> consumed_paths;
@@ -207,6 +262,15 @@ class JobDag {
   void SubmitReady();
   void OnNodeDone(NodeId id, const Status& status,
                   const mapreduce::JobCounters& counters);
+  /// Submits node `id`'s job to the engine (first attempt and retries).
+  void SubmitNode(NodeId id);
+  /// Releases every input `state` holds on the consumer ledger, expiring
+  /// fully-consumed published paths (shared by completion and skip).
+  void ReleaseConsumed(const NodeState& state);
+  /// Transitively writes off every not-yet-submitted dependent of `root`
+  /// (kSkipSubtree): marks them skipped, releases their consumer claims,
+  /// and retires them from the round barrier.
+  void SkipSubtree(NodeId root);
   /// Seals the current round's record and asks the controller for the next.
   void FinishRound();
   /// Deletes every HDFS file under a fully-consumed path and charges the
@@ -237,6 +301,10 @@ class JobDag {
   uint32_t in_flight_ = 0;
   uint32_t nodes_submitted_ = 0;
   uint32_t nodes_completed_ = 0;
+  uint32_t node_retries_ = 0;
+  uint32_t node_failures_ = 0;
+  uint32_t nodes_written_off_ = 0;
+  uint32_t nodes_skipped_ = 0;
   uint64_t published_bytes_ = 0;
   uint64_t expired_bytes_ = 0;
   uint64_t expired_files_ = 0;
@@ -261,6 +329,9 @@ class JobDag {
   obs::Counter* m_published_bytes_ = nullptr;
   obs::Counter* m_expired_bytes_ = nullptr;
   obs::Counter* m_expired_files_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_failures_ = nullptr;
+  obs::Counter* m_skipped_ = nullptr;
 };
 
 }  // namespace bdio::dag

@@ -90,6 +90,10 @@ std::string_view FaultKindToString(FaultKind kind) {
       return "corrupt-replica";
     case FaultKind::kThrottleLink:
       return "throttle-link";
+    case FaultKind::kKillTaskTracker:
+      return "kill-tasktracker";
+    case FaultKind::kCrashTask:
+      return "crash-task";
   }
   return "unknown";
 }
@@ -127,6 +131,24 @@ FaultPlan& FaultPlan::CorruptReplica(std::string path, uint32_t block_idx,
   e.path = std::move(path);
   e.block_idx = block_idx;
   e.replica_idx = replica_idx;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::KillTaskTracker(uint32_t node, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kKillTaskTracker;
+  e.node = node;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashTask(uint32_t node, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrashTask;
+  e.node = node;
   e.at = at;
   events_.push_back(std::move(e));
   return *this;
@@ -201,6 +223,25 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
       }
       plan.ThrottleLink(node, factor, FromSecondsStr(from),
                         FromSecondsStr(until));
+    } else if (kind == "kill-tasktracker") {
+      // kill-tasktracker <node> @ <t>
+      uint32_t node = 0;
+      double at = 0;
+      if (t.size() != 4 || t[2] != "@" || !ParseU32(t[1], &node) ||
+          !ParseSeconds(t[3], &at)) {
+        return LineError(line_no,
+                         "expected 'kill-tasktracker <node> @ <t>'");
+      }
+      plan.KillTaskTracker(node, FromSecondsStr(at));
+    } else if (kind == "crash-task") {
+      // crash-task <node> @ <t>
+      uint32_t node = 0;
+      double at = 0;
+      if (t.size() != 4 || t[2] != "@" || !ParseU32(t[1], &node) ||
+          !ParseSeconds(t[3], &at)) {
+        return LineError(line_no, "expected 'crash-task <node> @ <t>'");
+      }
+      plan.CrashTask(node, FromSecondsStr(at));
     } else {
       return LineError(line_no, "unknown fault '" + kind + "'");
     }
@@ -214,6 +255,8 @@ std::string FaultPlan::ToString() const {
     out += FaultKindToString(e.kind);
     switch (e.kind) {
       case FaultKind::kKillDataNode:
+      case FaultKind::kKillTaskTracker:
+      case FaultKind::kCrashTask:
         out += " " + std::to_string(e.node) + " @ " + SecondsStr(e.at);
         break;
       case FaultKind::kDegradeDisk: {

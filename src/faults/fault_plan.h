@@ -26,6 +26,15 @@ enum class FaultKind {
   kCorruptReplica,
   /// `node`'s NIC runs at 1/`factor` of line rate over [at, until].
   kThrottleLink,
+  /// Only the node's *compute* side dies at `at` (the TaskTracker process,
+  /// not the DataNode): running attempts abort, completed map outputs on
+  /// its local disks are lost and re-execute, but its HDFS replicas stay
+  /// healthy — no re-replication.
+  kKillTaskTracker,
+  /// Every map attempt running on `node` at `at` crashes (a FAILED
+  /// attempt): the budget is charged, the node is struck toward the
+  /// blacklist, and the splits retry after backoff. The node stays alive.
+  kCrashTask,
 };
 
 std::string_view FaultKindToString(FaultKind kind);
@@ -60,6 +69,8 @@ struct FaultEvent {
 ///   degrade-disk <node> <hdfs|mr> <disk_idx> x<factor> @ <t1>..<t2>
 ///   corrupt-replica <path> <block_idx> <replica_idx> @ <t>
 ///   throttle-link <node> x<factor> @ <t1>..<t2>
+///   kill-tasktracker <node> @ <t>
+///   crash-task <node> @ <t>
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -71,6 +82,8 @@ class FaultPlan {
                             uint32_t replica_idx, SimTime at);
   FaultPlan& ThrottleLink(uint32_t node, double factor, SimTime from,
                           SimTime until);
+  FaultPlan& KillTaskTracker(uint32_t node, SimTime at);
+  FaultPlan& CrashTask(uint32_t node, SimTime at);
 
   /// Parses the text grammar above. Unknown directives, malformed numbers,
   /// factors <= 0, and inverted windows are InvalidArgument (with the line

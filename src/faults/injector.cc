@@ -24,7 +24,20 @@ void FaultInjector::AttachObs(obs::TraceSession* trace,
     m_degraded_ = metrics->GetCounter("faults.disks_degraded");
     m_corrupted_ = metrics->GetCounter("faults.replicas_corrupted");
     m_throttled_ = metrics->GetCounter("faults.links_throttled");
+    m_tt_killed_ = metrics->GetCounter("faults.tasktrackers_killed");
+    m_crashed_ = metrics->GetCounter("faults.tasks_crashed");
   }
+}
+
+bool FaultInjector::OneShot::Conflicts(const OneShot& o) const {
+  if (kind == FaultKind::kCorruptReplica ||
+      o.kind == FaultKind::kCorruptReplica) {
+    return kind == o.kind && path == o.path && block_idx == o.block_idx &&
+           replica_idx == o.replica_idx;
+  }
+  // kill-datanode / kill-tasktracker: any two kills of the same host
+  // conflict (the DataNode kill takes the TaskTracker down with it).
+  return node == o.node;
 }
 
 Status FaultInjector::Arm(const FaultPlan& plan) {
@@ -59,6 +72,44 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
       return Status::InvalidArgument(
           "throttle-link factor must be >= 1 (a slowdown multiplier)");
     }
+    if ((e.kind == FaultKind::kKillTaskTracker ||
+         e.kind == FaultKind::kCrashTask) &&
+        engine_ == nullptr) {
+      return Status::InvalidArgument(
+          std::string(FaultKindToString(e.kind)) +
+          " targets the compute side, but this injector has no MR engine");
+    }
+  }
+  // One-shot verbs arm at most once per target, across Arm calls: a second
+  // kill of an already-doomed node (or DataNode + TaskTracker kills on the
+  // same shared host, in either order) and a re-corruption of the same
+  // replica describe nothing the first event doesn't.
+  std::vector<OneShot> one_shots = one_shots_;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind != FaultKind::kKillDataNode &&
+        e.kind != FaultKind::kKillTaskTracker &&
+        e.kind != FaultKind::kCorruptReplica) {
+      continue;
+    }
+    OneShot shot;
+    shot.kind = e.kind;
+    shot.node = e.node;
+    shot.path = e.path;
+    shot.block_idx = e.block_idx;
+    shot.replica_idx = e.replica_idx;
+    for (const OneShot& o : one_shots) {
+      if (shot.Conflicts(o)) {
+        return Status::InvalidArgument(
+            std::string(FaultKindToString(e.kind)) +
+            ": duplicate one-shot fault against the same target (" +
+            (e.kind == FaultKind::kCorruptReplica
+                 ? e.path + " block " + std::to_string(e.block_idx) +
+                       " replica " + std::to_string(e.replica_idx)
+                 : "node " + std::to_string(e.node)) +
+            ")");
+      }
+    }
+    one_shots.push_back(std::move(shot));
   }
   // Windowed faults don't nest: the end-of-window restore resets the
   // target's factor to 1.0 unconditionally, so a second window on the same
@@ -92,6 +143,7 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
     cluster_->sim()->ScheduleAt(e.at, [this, e] { Fire(e); });
   }
   windows_ = std::move(windows);
+  one_shots_ = std::move(one_shots);
   return Status::OK();
 }
 
@@ -146,6 +198,17 @@ void FaultInjector::Fire(const FaultEvent& e) {
       }
       break;
     }
+    case FaultKind::kKillTaskTracker:
+      ++tasktrackers_killed_;
+      if (m_tt_killed_) m_tt_killed_->Inc();
+      // Compute side only: the DataNode (and its replicas) stays healthy.
+      engine_->InjectNodeFailure(e.node);
+      break;
+    case FaultKind::kCrashTask:
+      ++tasks_crashed_;
+      if (m_crashed_) m_crashed_->Inc();
+      engine_->InjectTaskCrash(e.node);
+      break;
   }
 }
 
@@ -157,6 +220,8 @@ void FaultInjector::Note(const FaultEvent& e) {
                      std::string(FaultKindToString(e.kind)) + "\"";
   switch (e.kind) {
     case FaultKind::kKillDataNode:
+    case FaultKind::kKillTaskTracker:
+    case FaultKind::kCrashTask:
       break;
     case FaultKind::kDegradeDisk:
       args += ",\"group\":\"" + std::string(e.mr_disk ? "mr" : "hdfs") +

@@ -42,11 +42,14 @@ class FaultInjector {
   /// Validates `plan` against the cluster (node/disk indices in range,
   /// factors > 0, no two degrade/throttle windows touching the same disk or
   /// link — the end-of-window restore resets the factor to 1.0, so
-  /// overlapping windows would silently cancel each other) and schedules
-  /// every event. Call before sim->Run(); may be called more than once
-  /// (plans accumulate, and the overlap check spans all armed plans).
-  /// InvalidArgument on the first bad event; nothing is scheduled in that
-  /// case.
+  /// overlapping windows would silently cancel each other; one-shot verbs
+  /// armed at most once per target — a second kill of an already-doomed
+  /// node or a re-corruption of the same replica describes nothing) and
+  /// schedules every event. Compute-side verbs (kill-tasktracker,
+  /// crash-task) require an engine. Call before sim->Run(); may be called
+  /// more than once (plans accumulate, and the overlap and duplicate
+  /// checks span all armed plans). InvalidArgument on the first bad event;
+  /// nothing is scheduled in that case.
   Status Arm(const FaultPlan& plan);
 
   // Events fired so far, total and by kind. Plain fields so tests and
@@ -56,6 +59,8 @@ class FaultInjector {
   uint64_t disks_degraded() const { return disks_degraded_; }
   uint64_t replicas_corrupted() const { return replicas_corrupted_; }
   uint64_t links_throttled() const { return links_throttled_; }
+  uint64_t tasktrackers_killed() const { return tasktrackers_killed_; }
+  uint64_t tasks_crashed() const { return tasks_crashed_; }
 
  private:
   /// A windowed fault's target and extent, kept for overlap validation.
@@ -76,6 +81,20 @@ class FaultInjector {
     }
   };
 
+  /// An armed one-shot fault's target, kept for duplicate rejection (a
+  /// node dies once; a replica rots once). A kill-datanode subsumes a
+  /// kill-tasktracker on the same host (shared-host failure domains), so
+  /// the pair conflicts in either order. crash-task may repeat freely.
+  struct OneShot {
+    FaultKind kind = FaultKind::kKillDataNode;
+    uint32_t node = 0;
+    std::string path;          ///< kCorruptReplica only.
+    uint32_t block_idx = 0;    ///< kCorruptReplica only.
+    uint32_t replica_idx = 0;  ///< kCorruptReplica only.
+
+    bool Conflicts(const OneShot& o) const;
+  };
+
   void Fire(const FaultEvent& e);
   void Note(const FaultEvent& e);  ///< Trace instant + counters.
 
@@ -83,13 +102,16 @@ class FaultInjector {
   hdfs::Hdfs* hdfs_;
   mapreduce::MrEngine* engine_;  ///< May be null.
 
-  std::vector<Window> windows_;  ///< Armed degrade/throttle windows.
+  std::vector<Window> windows_;    ///< Armed degrade/throttle windows.
+  std::vector<OneShot> one_shots_; ///< Armed one-shot targets.
 
   uint64_t injected_ = 0;
   uint64_t datanodes_killed_ = 0;
   uint64_t disks_degraded_ = 0;
   uint64_t replicas_corrupted_ = 0;
   uint64_t links_throttled_ = 0;
+  uint64_t tasktrackers_killed_ = 0;
+  uint64_t tasks_crashed_ = 0;
 
   obs::TraceSession* trace_ = nullptr;
   obs::Counter* m_injected_ = nullptr;
@@ -97,6 +119,8 @@ class FaultInjector {
   obs::Counter* m_degraded_ = nullptr;
   obs::Counter* m_corrupted_ = nullptr;
   obs::Counter* m_throttled_ = nullptr;
+  obs::Counter* m_tt_killed_ = nullptr;
+  obs::Counter* m_crashed_ = nullptr;
 };
 
 }  // namespace bdio::faults

@@ -111,6 +111,8 @@ struct MrEngine::MapTask {
   bool preempted = false;  ///< Marked for reclaim; abandons at a boundary.
   bool speculative = false;  ///< A backup attempt for a straggling original.
   bool cancelled = false;  ///< Lost the commit race; abandons at a boundary.
+  bool crashed = false;  ///< crash-task fault; fails at the next boundary.
+  bool reexec = false;   ///< Re-executing a lost committed map (charging).
   SimTime start_time = 0;  ///< Launch instant (straggler detection).
   std::string input_path;
   uint64_t split_bytes = 0;
@@ -156,7 +158,21 @@ struct MrEngine::Job {
   /// Per split: a finished attempt has registered (or, for map-only jobs,
   /// claimed) the output. Later-finishing rival attempts are discarded.
   std::vector<bool> committed;
+  /// Per split: waiting out a retry backoff (started stays true so the
+  /// scheduler never sees a parked split as runnable).
+  std::vector<bool> parked;
+  /// Per split: FAILED (crashed) attempts charged against the budget.
+  std::vector<uint32_t> split_failures;
+  /// Per split: committed output was lost with its node; the re-execution
+  /// attempt's input reads and spill writes charge mr.reexec.*.
+  std::vector<bool> reexec;
   uint32_t unstarted_maps = 0;  ///< == count of splits with started == false.
+  uint32_t parked_splits = 0;   ///< == count of splits with parked == true.
+  /// Attempt budget exhausted beyond max_failures_percent: the job drains
+  /// (remaining splits written off, attempts cancelled) and reports
+  /// `failure` instead of OK.
+  bool failing = false;
+  Status failure = Status::OK();
 
   uint32_t maps_done = 0;
   uint32_t running_maps = 0;
@@ -197,6 +213,9 @@ MrEngine::MrEngine(cluster::Cluster* cluster, hdfs::Hdfs* hdfs,
   free_reduce_slots_.assign(cluster->num_workers(), slots.reduce_slots);
   node_dead_.assign(cluster->num_workers(), false);
   node_epoch_.assign(cluster->num_workers(), 0);
+  node_strikes_.assign(cluster->num_workers(), 0);
+  node_blacklisted_.assign(cluster->num_workers(), false);
+  retry_rng_ = rng_.Fork();
   default_sched_ = std::make_unique<sched::FifoScheduler>();
   sched_ = default_sched_.get();
 }
@@ -219,6 +238,14 @@ void MrEngine::AttachObs(obs::TraceSession* trace,
   m_spec_launched_ = metrics->GetCounter("mr.speculative.launched");
   m_spec_killed_ = metrics->GetCounter("mr.speculative.killed");
   m_spec_wasted_ = metrics->GetCounter("mr.speculative.wasted_bytes");
+  m_retry_failures_ = metrics->GetCounter("mr.retry.task_failures");
+  m_retry_scheduled_ = metrics->GetCounter("mr.retry.scheduled");
+  m_retry_blacklisted_ = metrics->GetCounter("mr.retry.nodes_blacklisted");
+  m_retry_abandoned_ = metrics->GetCounter("mr.retry.splits_abandoned");
+  m_retry_wasted_ = metrics->GetCounter("mr.retry.wasted_work_bytes");
+  m_reexec_maps_ = metrics->GetCounter("mr.reexec.maps");
+  m_reexec_read_ = metrics->GetCounter("mr.reexec.read_bytes");
+  m_reexec_write_ = metrics->GetCounter("mr.reexec.write_bytes");
   m_merge_width_ =
       metrics->GetHistogram("mr.merge_width", {}, {2, 4, 8, 16, 32, 64, 128});
 }
@@ -230,14 +257,25 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
   ++node_epoch_[node];
   free_map_slots_[node] = 0;
   free_reduce_slots_[node] = 0;
+  // A dead node's blacklist entry is moot (and must not resurrect it).
+  node_blacklisted_[node] = false;
+  node_strikes_[node] = 0;
 
   const std::vector<std::shared_ptr<Job>> active = jobs_;
   for (const auto& job : active) {
     if (job->finished) continue;
     // Completed map outputs on the dead node are gone: re-execute their
-    // maps.
+    // maps. The lost bytes are wasted work; the re-execution attempt's
+    // duplicate input reads and spill writes charge mr.reexec.*.
     for (MapOutput& mo : job->map_outputs) {
       if (mo.node == node && mo.file != nullptr) {
+        ++job->counters.maps_reexecuted;
+        ++maps_reexecuted_;
+        if (m_reexec_maps_) m_reexec_maps_->Inc();
+        job->counters.wasted_work_bytes += mo.bytes;
+        wasted_work_bytes_ += mo.bytes;
+        if (m_retry_wasted_) m_retry_wasted_->Add(mo.bytes);
+        job->reexec[mo.split_idx] = true;
         mo.file = nullptr;
         mo.fs = nullptr;
         mo.bytes = 0;
@@ -249,10 +287,14 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
         ++job->unstarted_maps;
       }
     }
-    // Running reducers on the node restart elsewhere.
+    // Running reducers on the node restart elsewhere; the segments the dead
+    // attempt already copied are re-fetched by its replacement.
     for (auto& rt : job->reducers) {
       if (rt->node == node && !rt->done && !rt->dead) {
         rt->dead = true;
+        job->counters.wasted_work_bytes += rt->fetched_bytes;
+        wasted_work_bytes_ += rt->fetched_bytes;
+        if (m_retry_wasted_) m_retry_wasted_->Add(rt->fetched_bytes);
         if (trace_) {
           // The attempt's spans end here; the replacement opens fresh ones.
           trace_->EndSpan(rt->merge_span);
@@ -276,6 +318,45 @@ void MrEngine::InjectNodeFailure(uint32_t node) {
     if (!job->finished) MaybeStartReducers(job);
   }
   DispatchReduces();
+}
+
+void MrEngine::InjectTaskCrash(uint32_t node) {
+  BDIO_CHECK(node < cluster_->num_workers());
+  if (node_dead_[node]) return;
+  for (const auto& job : jobs_) {
+    if (job->finished) continue;
+    for (const auto& mt : job->running_map_tasks) {
+      if (mt->node != node) continue;
+      if (mt->epoch != node_epoch_[node]) continue;
+      if (mt->preempted || mt->cancelled || mt->crashed) continue;
+      // The attempt fails at its next chunk boundary (in-flight I/O
+      // drains first, as in the node-failure model).
+      mt->crashed = true;
+    }
+  }
+}
+
+void MrEngine::StrikeNode(uint32_t node) {
+  if (node_dead_[node] || node_blacklisted_[node]) return;
+  ++node_strikes_[node];
+  if (node_strikes_[node] < ft_config_.blacklist_strikes) return;
+  node_blacklisted_[node] = true;
+  ++nodes_blacklisted_;
+  if (m_retry_blacklisted_) m_retry_blacklisted_->Inc();
+  if (trace_) {
+    trace_->Instant(node + 1, "mr", "node-blacklisted",
+                    "{\"strikes\":" + std::to_string(node_strikes_[node]) +
+                        "}");
+  }
+  // The node rejoins placement (with a clean slate) after the decay
+  // window — unless it died outright in the meantime.
+  cluster_->sim()->ScheduleAfter(ft_config_.blacklist_decay, [this, node] {
+    if (node_dead_[node] || !node_blacklisted_[node]) return;
+    node_blacklisted_[node] = false;
+    node_strikes_[node] = 0;
+    DispatchMaps();
+    DispatchReduces();
+  });
 }
 
 uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
@@ -322,6 +403,9 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   }
   job->started.assign(job->splits.size(), false);
   job->committed.assign(job->splits.size(), false);
+  job->parked.assign(job->splits.size(), false);
+  job->split_failures.assign(job->splits.size(), 0);
+  job->reexec.assign(job->splits.size(), false);
   job->unstarted_maps = static_cast<uint32_t>(job->splits.size());
 
   if (spec.num_reduce_tasks == SimJobSpec::kOneWave) {
@@ -417,7 +501,10 @@ void MrEngine::DispatchMaps() {
   while (progress) {
     progress = false;
     for (uint32_t node = 0; node < cluster_->num_workers(); ++node) {
-      if (node_dead_[node] || free_map_slots_[node] == 0) continue;
+      if (node_dead_[node] || node_blacklisted_[node] ||
+          free_map_slots_[node] == 0) {
+        continue;
+      }
       const size_t pick = sched_->PickJob(sched::SlotKind::kMap,
                                           SchedStates());
       if (pick == sched::Scheduler::kNoJob) {
@@ -469,7 +556,8 @@ void MrEngine::DispatchSpeculative() {
   if (jobs_.empty()) return;
   const SimTime now = cluster_->sim()->Now();
   for (uint32_t node = 0; node < cluster_->num_workers(); ++node) {
-    while (!node_dead_[node] && free_map_slots_[node] > 0) {
+    while (!node_dead_[node] && !node_blacklisted_[node] &&
+           free_map_slots_[node] > 0) {
       // First straggler in (admission order, launch order) that can accept
       // a backup on this node — a pure function of engine state, so the
       // pick is deterministic.
@@ -483,7 +571,10 @@ void MrEngine::DispatchSpeculative() {
             static_cast<double>(job->maps_done) *
             job->spec.speculative_slowdown;
         for (const auto& mt : job->running_map_tasks) {
-          if (mt->speculative || mt->preempted || mt->cancelled) continue;
+          if (mt->speculative || mt->preempted || mt->cancelled ||
+              mt->crashed) {
+            continue;
+          }
           if (mt->epoch != node_epoch_[mt->node]) continue;
           if (mt->node == node) continue;  // back up on a different node
           if (job->committed[mt->split_idx]) continue;
@@ -554,7 +645,8 @@ void MrEngine::MaybePreemptFor(const std::shared_ptr<Job>& job) {
     std::shared_ptr<MapTask> target;
     for (auto it = vjob->running_map_tasks.rbegin();
          it != vjob->running_map_tasks.rend(); ++it) {
-      if ((*it)->preempted || (*it)->epoch != node_epoch_[(*it)->node]) {
+      if ((*it)->preempted || (*it)->crashed ||
+          (*it)->epoch != node_epoch_[(*it)->node]) {
         continue;
       }
       if ((*it)->speculative) {
@@ -612,11 +704,192 @@ void MrEngine::OnMapPreempted(std::shared_ptr<Job> job,
     ++job->unstarted_maps;
   }
   DispatchMaps();
+  MaybeFinishJob(job);  // a failing job may have been waiting on this drain
+}
+
+void MrEngine::OnMapFailed(std::shared_ptr<Job> job,
+                           std::shared_ptr<MapTask> mt) {
+  BDIO_CHECK(mt->crashed);
+  BDIO_CHECK(mt->epoch == node_epoch_[mt->node]);
+  BDIO_CHECK(running_maps_ > 0);
+  --running_maps_;
+  BDIO_CHECK(job->running_maps > 0);
+  --job->running_maps;
+  if (mt->preempted) {
+    // Reclaim mark and crash both hit this attempt; the mark lapses.
+    BDIO_CHECK(job->preempt_marked > 0);
+    --job->preempt_marked;
+    if (mt->speculative) {
+      BDIO_CHECK(job->spec_preempt_marked > 0);
+      --job->spec_preempt_marked;
+    }
+  }
+  if (mt->speculative) {
+    BDIO_CHECK(job->speculative_running > 0);
+    --job->speculative_running;
+  }
+  auto& rmt = job->running_map_tasks;
+  rmt.erase(std::remove(rmt.begin(), rmt.end(), mt), rmt.end());
+  if (trace_) {
+    trace_->EndSpan(mt->span);
+    trace_->FlowEnd(mt->flow, mt->node + 1);
+  }
+  // Everything the crashed attempt did is wasted work: its input reads
+  // plus the spills purged here (the TaskTracker cleans a FAILED attempt's
+  // work directory).
+  uint64_t wasted = mt->pos;
+  for (const RunFile& r : mt->spills) {
+    wasted += r.bytes;
+    BDIO_CHECK_OK(r.fs->Delete(r.file->name()));
+  }
+  mt->spills.clear();
+  ++free_map_slots_[mt->node];
+  ++job->counters.task_failures;
+  ++task_failures_;
+  if (m_retry_failures_) m_retry_failures_->Inc();
+  job->counters.wasted_work_bytes += wasted;
+  wasted_work_bytes_ += wasted;
+  if (m_retry_wasted_) m_retry_wasted_->Add(wasted);
+  if (trace_) {
+    trace_->Instant(mt->node + 1, "mr", "task-crashed",
+                    "{\"split\":" + std::to_string(mt->split_idx) +
+                        ",\"wasted\":" + std::to_string(wasted) +
+                        ",\"job\":\"" + job->obs_label + "\"}");
+  }
+  StrikeNode(mt->node);
+  const size_t idx = mt->split_idx;
+  ++job->split_failures[idx];
+  if (job->failing || job->committed[idx] || HasLiveAttempt(job, idx, mt)) {
+    // The split is settled (or a rival attempt still runs): a FAILED
+    // attempt of a settled split charges the budget but re-queues nothing.
+  } else if (job->split_failures[idx] < job->spec.max_task_attempts) {
+    ParkSplit(job, idx);
+  } else if (static_cast<double>(job->counters.splits_abandoned + 1) *
+                 100.0 <=
+             job->spec.max_failures_percent *
+                 static_cast<double>(job->splits.size())) {
+    AbandonSplit(job, idx);
+  } else {
+    FailJob(job, idx);
+  }
+  DispatchMaps();
+  MaybeFinishJob(job);
+}
+
+void MrEngine::ParkSplit(std::shared_ptr<Job> job, size_t split_idx) {
+  BDIO_CHECK(job->started[split_idx]);
+  BDIO_CHECK(!job->parked[split_idx]);
+  job->parked[split_idx] = true;
+  ++job->parked_splits;
+  ++job->counters.retries_scheduled;
+  ++retries_scheduled_;
+  if (m_retry_scheduled_) m_retry_scheduled_->Inc();
+  // Capped exponential backoff: base << (failures-1), clamped, plus a
+  // small jitter from the engine's forked Rng (drawn in sim-event order,
+  // so the schedule is identical at every --jobs level).
+  const uint32_t failures = job->split_failures[split_idx];
+  SimDuration delay = job->spec.retry_backoff_base;
+  for (uint32_t k = 1; k < failures && delay < job->spec.retry_backoff_cap;
+       ++k) {
+    delay *= 2;
+  }
+  delay = std::min(delay, job->spec.retry_backoff_cap);
+  delay += retry_rng_.Uniform(
+      std::max<uint64_t>(1, job->spec.retry_backoff_base / 8));
+  cluster_->sim()->ScheduleAfter(delay, [this, job, split_idx] {
+    if (job->finished || job->failing) return;
+    if (!job->parked[split_idx]) return;  // abandoned or written off
+    job->parked[split_idx] = false;
+    --job->parked_splits;
+    if (job->committed[split_idx]) return;
+    job->started[split_idx] = false;
+    job->pending.push_back(split_idx);
+    ++job->unstarted_maps;
+    DispatchMaps();
+  });
+}
+
+void MrEngine::AbandonSplit(const std::shared_ptr<Job>& job,
+                            size_t split_idx) {
+  BDIO_CHECK(!job->committed[split_idx]);
+  if (!job->started[split_idx]) {
+    job->started[split_idx] = true;
+    BDIO_CHECK(job->unstarted_maps > 0);
+    --job->unstarted_maps;
+  }
+  if (job->parked[split_idx]) {
+    job->parked[split_idx] = false;
+    --job->parked_splits;
+  }
+  // The split counts as done with no output: the job commits with partial
+  // input (Hadoop's mapred.max.map.failures.percent).
+  job->committed[split_idx] = true;
+  ++job->maps_done;
+  ++job->counters.splits_abandoned;
+  ++splits_abandoned_;
+  if (m_retry_abandoned_) m_retry_abandoned_->Inc();
+  if (trace_) {
+    trace_->Instant(0, "mr", "split-abandoned",
+                    "{\"split\":" + std::to_string(split_idx) +
+                        ",\"job\":\"" + job->obs_label + "\"}");
+  }
+  for (const auto& other : job->running_map_tasks) {
+    if (other->split_idx == split_idx) other->cancelled = true;
+  }
+  MaybeStartReducers(job);
+  DispatchReduces();
+  for (auto& rt : job->reducers) {
+    PumpShuffle(job, rt);
+    MaybeFinishShuffle(job, rt);
+  }
+}
+
+void MrEngine::FailJob(const std::shared_ptr<Job>& job, size_t split_idx) {
+  BDIO_CHECK(!job->failing);
+  job->failing = true;
+  job->failure = Status::ResourceExhausted(
+      "map task " + std::to_string(split_idx) + " of job '" +
+      job->obs_label + "' exhausted " +
+      std::to_string(job->spec.max_task_attempts) + " attempts");
+  if (trace_) {
+    trace_->Instant(0, "mr", "job-failed",
+                    "{\"split\":" + std::to_string(split_idx) +
+                        ",\"job\":\"" + job->obs_label + "\"}");
+  }
+  // Write off every unfinished split so the shuffle barrier opens and the
+  // job drains: reducers (and in-flight committed writes) complete with
+  // the partial data they have, then MaybeFinishJob reports the failure.
+  for (size_t i = 0; i < job->splits.size(); ++i) {
+    if (job->committed[i]) continue;
+    if (!job->started[i]) {
+      job->started[i] = true;
+      BDIO_CHECK(job->unstarted_maps > 0);
+      --job->unstarted_maps;
+    }
+    if (job->parked[i]) {
+      job->parked[i] = false;
+      --job->parked_splits;
+    }
+    job->committed[i] = true;
+    ++job->maps_done;
+  }
+  // Running attempts abandon at their next boundary; their I/O becomes
+  // wasted work (not speculative waste) in DiscardMapAttempt.
+  for (const auto& mt : job->running_map_tasks) {
+    if (!mt->preempted && !mt->crashed) mt->cancelled = true;
+  }
+  MaybeStartReducers(job);
+  DispatchReduces();
+  for (auto& rt : job->reducers) {
+    PumpShuffle(job, rt);
+    MaybeFinishShuffle(job, rt);
+  }
 }
 
 void MrEngine::CommitMapAttempt(const std::shared_ptr<Job>& job,
                                 const std::shared_ptr<MapTask>& mt) {
   job->committed[mt->split_idx] = true;
+  job->reexec[mt->split_idx] = false;  // the lost output has been remade
   for (const auto& other : job->running_map_tasks) {
     if (other == mt || other->split_idx != mt->split_idx) continue;
     other->cancelled = true;  // abandons at its next chunk boundary
@@ -659,19 +932,28 @@ void MrEngine::DiscardMapAttempt(std::shared_ptr<Job> job,
   }
   mt->spills.clear();
   ++free_map_slots_[mt->node];
-  ++job->counters.speculative_killed;
-  job->counters.speculative_wasted_bytes += wasted;
-  ++speculative_killed_;
-  speculative_wasted_bytes_ += wasted;
-  if (m_spec_killed_) m_spec_killed_->Inc();
-  if (m_spec_wasted_) m_spec_wasted_->Add(wasted);
-  if (trace_) {
-    trace_->Instant(mt->node + 1, "mr", "speculative-killed",
-                    "{\"split\":" + std::to_string(mt->split_idx) +
-                        ",\"wasted\":" + std::to_string(wasted) +
-                        ",\"job\":\"" + job->obs_label + "\"}");
+  if (job->failing) {
+    // Aborted by the job's failure drain, not a speculative race: the
+    // attempt's I/O is wasted work, not speculation accounting.
+    job->counters.wasted_work_bytes += wasted;
+    wasted_work_bytes_ += wasted;
+    if (m_retry_wasted_) m_retry_wasted_->Add(wasted);
+  } else {
+    ++job->counters.speculative_killed;
+    job->counters.speculative_wasted_bytes += wasted;
+    ++speculative_killed_;
+    speculative_wasted_bytes_ += wasted;
+    if (m_spec_killed_) m_spec_killed_->Inc();
+    if (m_spec_wasted_) m_spec_wasted_->Add(wasted);
+    if (trace_) {
+      trace_->Instant(mt->node + 1, "mr", "speculative-killed",
+                      "{\"split\":" + std::to_string(mt->split_idx) +
+                          ",\"wasted\":" + std::to_string(wasted) +
+                          ",\"job\":\"" + job->obs_label + "\"}");
+    }
   }
   DispatchMaps();
+  MaybeFinishJob(job);  // a failing job may have been waiting on this drain
 }
 
 void MrEngine::DispatchReduces() {
@@ -687,7 +969,7 @@ void MrEngine::DispatchReduces() {
     for (uint32_t k = 0; k < cluster_->num_workers(); ++k) {
       const uint32_t cand =
           (job->next_reduce_node + k) % cluster_->num_workers();
-      if (free_reduce_slots_[cand] > 0) {
+      if (!node_blacklisted_[cand] && free_reduce_slots_[cand] > 0) {
         node = cand;
         break;
       }
@@ -725,6 +1007,7 @@ void MrEngine::StartMapTask(std::shared_ptr<Job> job, uint32_t node,
   mt->node = node;
   mt->epoch = node_epoch_[node];
   mt->speculative = speculative;
+  mt->reexec = job->reexec[split_idx];
   mt->start_time = cluster_->sim()->Now();
   ++running_maps_;
   ++job->running_maps;
@@ -758,6 +1041,10 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
     DiscardMapAttempt(job, mt);  // lost the commit race mid-task
     return;
   }
+  if (mt->crashed && mt->epoch == node_epoch_[mt->node]) {
+    OnMapFailed(job, mt);  // crash-task fault hit this attempt
+    return;
+  }
   if (mt->pos >= mt->split_bytes) {
     MapSpill(job, mt, [this, job, mt] { MapFinish(job, mt); });
     return;
@@ -769,6 +1056,11 @@ void MrEngine::MapReadLoop(std::shared_ptr<Job> job,
                 BDIO_CHECK_OK(s);
                 job->counters.hdfs_read_bytes += n;
                 if (job->m_hdfs_read) job->m_hdfs_read->Add(n);
+                if (mt->reexec) {
+                  job->counters.reexec_read_bytes += n;
+                  reexec_read_bytes_ += n;
+                  if (m_reexec_read_) m_reexec_read_->Add(n);
+                }
                 MapProcessChunk(job, mt, n);
               });
 }
@@ -795,6 +1087,10 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
       DiscardMapAttempt(job, mt);  // a rival attempt committed this split
       return;
     }
+    if (mt->crashed && mt->epoch == node_epoch_[mt->node]) {
+      OnMapFailed(job, mt);  // crash-task fault hit this attempt
+      return;
+    }
     const double out_pre =
         static_cast<double>(chunk_bytes) * job->spec.map_output_ratio;
     auto proceed = [this, job, mt, next_n] {
@@ -818,6 +1114,11 @@ void MrEngine::MapProcessChunk(std::shared_ptr<Job> job,
   if (next_n > 0) {
     job->counters.hdfs_read_bytes += next_n;
     if (job->m_hdfs_read) job->m_hdfs_read->Add(next_n);
+    if (mt->reexec) {
+      job->counters.reexec_read_bytes += next_n;
+      reexec_read_bytes_ += next_n;
+      if (m_reexec_read_) m_reexec_read_->Add(next_n);
+    }
     obs::FlowScope flow_scope(trace_, mt->flow);
     hdfs_->Read(mt->input_path, mt->split_offset + next_pos, next_n,
                 mt->node, [cont](Status s) {
@@ -860,6 +1161,11 @@ void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
   file.value()->set_owner_job(job->job_id + 1);
   ++job->counters.spills;
   job->counters.intermediate_write_bytes += post;
+  if (mt->reexec) {
+    job->counters.reexec_write_bytes += post;
+    reexec_write_bytes_ += post;
+    if (m_reexec_write_) m_reexec_write_->Add(post);
+  }
   if (m_map_spills_) m_map_spills_->Inc();
   if (job->m_spills) job->m_spills->Inc();
   uint64_t span = 0;
@@ -888,6 +1194,12 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
   if (job->committed[mt->split_idx]) {
     // Beaten at the finish line by a rival attempt.
     DiscardMapAttempt(job, mt);
+    return;
+  }
+  if (mt->crashed) {
+    // The crash landed between the last chunk and the commit: the attempt
+    // still fails (Hadoop reports the attempt lost, not its output).
+    OnMapFailed(job, mt);
     return;
   }
   if (job->map_only()) {
@@ -981,9 +1293,15 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
       // A rival committed while this attempt merged: the merged output is
       // pure waste on top of the spills DiscardMapAttempt purges.
       BDIO_CHECK_OK(out_fs->Delete(out->name()));
-      job->counters.speculative_wasted_bytes += total;
-      speculative_wasted_bytes_ += total;
-      if (m_spec_wasted_) m_spec_wasted_->Add(total);
+      if (job->failing) {
+        job->counters.wasted_work_bytes += total;
+        wasted_work_bytes_ += total;
+        if (m_retry_wasted_) m_retry_wasted_->Add(total);
+      } else {
+        job->counters.speculative_wasted_bytes += total;
+        speculative_wasted_bytes_ += total;
+        if (m_spec_wasted_) m_spec_wasted_->Add(total);
+      }
       DiscardMapAttempt(job, mt);
       return;
     }
@@ -1061,7 +1379,13 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
   if (mt->epoch != node_epoch_[mt->node]) {
     // Discarded attempt: put the split back and try elsewhere (unless a
     // rival attempt already committed it, or still can). The dead node's
-    // slot is not returned.
+    // slot is not returned. Everything the stranded attempt read and
+    // spilled drained for nothing.
+    uint64_t wasted = mt->pos;
+    for (const RunFile& r : mt->spills) wasted += r.bytes;
+    job->counters.wasted_work_bytes += wasted;
+    wasted_work_bytes_ += wasted;
+    if (m_retry_wasted_) m_retry_wasted_->Add(wasted);
     if (!job->committed[mt->split_idx] &&
         !HasLiveAttempt(job, mt->split_idx, mt)) {
       job->started[mt->split_idx] = false;
@@ -1069,6 +1393,7 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
       ++job->unstarted_maps;
     }
     DispatchMaps();
+    MaybeFinishJob(job);  // a failing job may have been waiting this drain
     return;
   }
   ++free_map_slots_[mt->node];
@@ -1385,6 +1710,10 @@ void MrEngine::OnReduceDone(std::shared_ptr<Job> job,
 void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
   if (job->finished) return;
   if (job->maps_done < job->splits.size()) return;
+  // A failing job must drain its cancelled attempts before reporting (the
+  // healthy path keeps its original timing: a cancelled speculative
+  // straggler never outlives the reduce phase).
+  if (job->failing && job->running_maps > 0) return;
   if (job->map_only()) {
     // All maps done; their HDFS writes complete inside OnMapDone's chain,
     // so maps_done implies outputs written.
@@ -1404,11 +1733,22 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
       BDIO_CHECK_OK(mo.fs->Delete(mo.file->name()));
     }
   }
+  if (job->failing) {
+    // A failed job's partial HDFS output is withdrawn (OutputCommitter
+    // abort). Collect-then-delete: Delete mutates the namespace.
+    std::vector<std::string> paths;
+    for (const hdfs::FileEntry* f :
+         hdfs_->name_node()->List(job->spec.output_path)) {
+      paths.push_back(f->path);
+    }
+    for (const std::string& p : paths) BDIO_CHECK_OK(hdfs_->Delete(p));
+  }
+  const Status status = job->failing ? job->failure : Status::OK();
   job->counters.end_time = cluster_->sim()->Now();
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
-  cluster_->sim()->ScheduleAfter(0, [this, job] {
-    job->done(Status::OK(), job->counters);
-    FireCompletionHooks(job->job_id, Status::OK(), job->counters);
+  cluster_->sim()->ScheduleAfter(0, [this, job, status] {
+    job->done(status, job->counters);
+    FireCompletionHooks(job->job_id, status, job->counters);
   });
 }
 
@@ -1462,6 +1802,26 @@ std::string MrEngine::AuditInvariants() const {
              std::to_string(job->unstarted_maps) + " but " +
              std::to_string(unstarted) + " splits are unstarted";
     }
+    uint32_t parked = 0;
+    for (size_t i = 0; i < job->parked.size(); ++i) {
+      if (!job->parked[i]) continue;
+      ++parked;
+      if (!job->started[i] || job->committed[i]) {
+        return "mr: job " + std::to_string(job->job_id) + " split " +
+               std::to_string(i) + " is parked but started=" +
+               std::to_string(job->started[i]) + " committed=" +
+               std::to_string(job->committed[i]);
+      }
+    }
+    if (parked != job->parked_splits) {
+      return "mr: job " + std::to_string(job->job_id) + " parked_splits=" +
+             std::to_string(job->parked_splits) + " but " +
+             std::to_string(parked) + " splits carry the flag";
+    }
+    if (job->failing && job->parked_splits != 0) {
+      return "mr: failing job " + std::to_string(job->job_id) +
+             " still holds parked splits";
+    }
     uint32_t running_red = 0;
     for (const auto& rt : job->reducers) {
       if (!rt->done && !rt->dead) {
@@ -1496,6 +1856,19 @@ std::string MrEngine::AuditInvariants() const {
              std::to_string(free_reduce_slots_[n]) + " busy=" +
              std::to_string(reduce_busy[n]) + " configured=" +
              std::to_string(slots_.reduce_slots);
+    }
+    if (!node_blacklisted_[n] && ft_config_.blacklist_strikes > 0 &&
+        node_strikes_[n] >= ft_config_.blacklist_strikes) {
+      return "mr: node " + std::to_string(n) + " holds " +
+             std::to_string(node_strikes_[n]) +
+             " strikes but is not blacklisted (threshold " +
+             std::to_string(ft_config_.blacklist_strikes) + ")";
+    }
+  }
+  for (size_t n = 0; n < node_dead_.size(); ++n) {
+    if (node_dead_[n] && node_blacklisted_[n]) {
+      return "mr: node " + std::to_string(n) +
+             " is both dead and blacklisted";
     }
   }
   return {};

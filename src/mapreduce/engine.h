@@ -28,6 +28,18 @@ using JobCallback = std::function<void(Status, const JobCounters&)>;
 using JobCompletionHook =
     std::function<void(uint32_t job_id, const Status&, const JobCounters&)>;
 
+/// Engine-wide fault-tolerance policy (the JobTracker side of Hadoop's
+/// mapred.max.tracker.failures / blacklist machinery). Per-job knobs —
+/// attempt budgets, backoff, max_failures_percent — live on SimJobSpec.
+struct FaultToleranceConfig {
+  /// Task failures on a node before it is blacklisted (excluded from map,
+  /// speculative, and reduce placement; running tasks are not killed).
+  uint32_t blacklist_strikes = 3;
+  /// A blacklisted node rejoins the placement pool after this window and
+  /// its strike count resets (Hadoop's day-scale decay, compressed).
+  SimDuration blacklist_decay = Seconds(60);
+};
+
 /// The Hadoop-1 execution engine simulator: a JobTracker with per-node
 /// map/reduce slots, locality-aware split scheduling, map-side sort/spill/
 /// merge on the intermediate-data disks, slow-start shuffle with bounded
@@ -88,6 +100,34 @@ class MrEngine {
   /// re-executed one. Affects every job in flight.
   void InjectNodeFailure(uint32_t node);
   bool node_failed(uint32_t node) const { return node_dead_[node]; }
+
+  /// Crashes every running map attempt on `node` at the current instant
+  /// (the crash-task fault verb): each attempt aborts at its next chunk
+  /// boundary as a FAILED attempt — it charges the task's attempt budget,
+  /// strikes the node toward blacklisting, and re-queues the split after a
+  /// deterministic exponential backoff. The node itself stays alive.
+  void InjectTaskCrash(uint32_t node);
+
+  /// Replaces the blacklist policy. Call before submitting jobs.
+  void SetFaultTolerance(const FaultToleranceConfig& config) {
+    ft_config_ = config;
+  }
+  const FaultToleranceConfig& fault_tolerance() const { return ft_config_; }
+  bool node_blacklisted(uint32_t node) const {
+    return node_blacklisted_[node];
+  }
+
+  // Engine-wide fault-tolerance totals (per-job figures live in
+  // JobCounters); mirrored into mr.retry.* / mr.reexec.* when a registry
+  // is attached.
+  uint64_t task_failures() const { return task_failures_; }
+  uint64_t retries_scheduled() const { return retries_scheduled_; }
+  uint64_t maps_reexecuted() const { return maps_reexecuted_; }
+  uint64_t reexec_read_bytes() const { return reexec_read_bytes_; }
+  uint64_t reexec_write_bytes() const { return reexec_write_bytes_; }
+  uint64_t wasted_work_bytes() const { return wasted_work_bytes_; }
+  uint64_t nodes_blacklisted() const { return nodes_blacklisted_; }
+  uint64_t splits_abandoned() const { return splits_abandoned_; }
 
   // Engine-wide speculative-execution totals (per-job figures live in
   // JobCounters). Plain fields so benches and tests read them without a
@@ -196,6 +236,24 @@ class MrEngine {
   /// A preempted attempt abandons: spills are purged, the split re-queues,
   /// and the slot returns to the pool.
   void OnMapPreempted(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+  /// A crashed attempt abandons as a FAILED attempt: its I/O is charged to
+  /// wasted-work, the node is struck, and the split either re-queues after
+  /// backoff, is abandoned under max_failures_percent, or fails the job.
+  void OnMapFailed(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt);
+  /// Parks `split_idx` for a capped exponential backoff, then re-queues it.
+  void ParkSplit(std::shared_ptr<Job> job, size_t split_idx);
+  /// Gives up on `split_idx` (budget exhausted, within the job's
+  /// max_failures_percent allowance): the split counts as done with no
+  /// output, so the job commits with partial input.
+  void AbandonSplit(const std::shared_ptr<Job>& job, size_t split_idx);
+  /// Budget exhausted beyond the allowance: the job transitions to failing
+  /// — every other unfinished split is written off, running attempts are
+  /// cancelled, and MaybeFinishJob reports ResourceExhausted once the
+  /// drain completes.
+  void FailJob(const std::shared_ptr<Job>& job, size_t split_idx);
+  /// Charges a task failure against `node`; blacklists it at the strike
+  /// threshold and arms the decay timer.
+  void StrikeNode(uint32_t node);
 
   void MaybeStartReducers(std::shared_ptr<Job> job);
   void PumpShuffle(std::shared_ptr<Job> job, std::shared_ptr<ReduceTask> rt);
@@ -220,6 +278,9 @@ class MrEngine {
   std::vector<uint32_t> free_reduce_slots_;
   std::vector<bool> node_dead_;
   std::vector<uint64_t> node_epoch_;  ///< Bumped per failure.
+  FaultToleranceConfig ft_config_;
+  std::vector<uint32_t> node_strikes_;    ///< Failures since last decay.
+  std::vector<bool> node_blacklisted_;
   std::vector<std::shared_ptr<Job>> jobs_;  ///< Active, admission order.
   uint32_t next_job_id_ = 0;
   uint32_t running_maps_ = 0;
@@ -228,6 +289,17 @@ class MrEngine {
   uint64_t speculative_launched_ = 0;
   uint64_t speculative_killed_ = 0;
   uint64_t speculative_wasted_bytes_ = 0;
+  uint64_t task_failures_ = 0;
+  uint64_t retries_scheduled_ = 0;
+  uint64_t maps_reexecuted_ = 0;
+  uint64_t reexec_read_bytes_ = 0;
+  uint64_t reexec_write_bytes_ = 0;
+  uint64_t wasted_work_bytes_ = 0;
+  uint64_t nodes_blacklisted_ = 0;
+  uint64_t splits_abandoned_ = 0;
+  /// Backoff jitter stream, forked from the engine seed at construction so
+  /// draws happen in deterministic sim-event order (never the wall clock).
+  Rng retry_rng_;
 
   std::unique_ptr<sched::Scheduler> default_sched_;  ///< FIFO.
   sched::Scheduler* sched_;  ///< Never null; defaults to default_sched_.
@@ -244,6 +316,14 @@ class MrEngine {
   obs::Counter* m_spec_launched_ = nullptr;
   obs::Counter* m_spec_killed_ = nullptr;
   obs::Counter* m_spec_wasted_ = nullptr;
+  obs::Counter* m_retry_failures_ = nullptr;
+  obs::Counter* m_retry_scheduled_ = nullptr;
+  obs::Counter* m_retry_blacklisted_ = nullptr;
+  obs::Counter* m_retry_abandoned_ = nullptr;
+  obs::Counter* m_retry_wasted_ = nullptr;
+  obs::Counter* m_reexec_maps_ = nullptr;
+  obs::Counter* m_reexec_read_ = nullptr;
+  obs::Counter* m_reexec_write_ = nullptr;
   obs::Histogram* m_merge_width_ = nullptr;
 };
 

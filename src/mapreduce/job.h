@@ -75,6 +75,22 @@ struct SimJobSpec {
   /// pre-speculation model.
   bool speculative_execution = false;
   double speculative_slowdown = 1.5;
+
+  /// mapred.map.max.attempts: total attempts a map task may consume before
+  /// the job gives up on it. Crashed attempts (crash-task fault) count;
+  /// attempts lost to a TaskTracker death are KILLED, not FAILED, and do
+  /// not charge the budget — exactly Hadoop 1.x semantics.
+  uint32_t max_task_attempts = 4;
+  /// Failed tasks re-queue after a capped exponential backoff:
+  /// min(cap, base << (failures-1)) plus a small deterministic jitter drawn
+  /// from the engine's forked Rng (never the wall clock).
+  SimDuration retry_backoff_base = Millis(500);
+  SimDuration retry_backoff_cap = Seconds(10);
+  /// mapred.max.map.failures.percent: the fraction (0..100) of map tasks a
+  /// job may abandon after exhausting their attempt budgets and still
+  /// commit with partial input. 0 (the default) fails the job on the first
+  /// exhausted task.
+  double max_failures_percent = 0.0;
 };
 
 /// Aggregate volume counters of a finished job.
@@ -96,6 +112,22 @@ struct JobCounters {
   /// I/O the losing attempts performed for nothing: duplicate input reads
   /// plus the spill bytes deleted at kill time.
   uint64_t speculative_wasted_bytes = 0;
+  /// Attempts that crashed (crash-task fault) and charged the budget.
+  uint32_t task_failures = 0;
+  /// Backoff re-schedules armed for failed tasks.
+  uint32_t retries_scheduled = 0;
+  /// Completed maps whose local output died with its node and re-executed.
+  uint32_t maps_reexecuted = 0;
+  /// HDFS re-reads and spill re-writes performed by re-execution attempts.
+  uint64_t reexec_read_bytes = 0;
+  uint64_t reexec_write_bytes = 0;
+  /// Splits abandoned under max_failures_percent (partial-input commit).
+  uint32_t splits_abandoned = 0;
+  /// I/O discarded by the failure paths: crashed attempts' reads + purged
+  /// spills, lost map outputs, dead reducers' fetched segments, and the
+  /// aborted attempts of a failing job. Disjoint from
+  /// speculative_wasted_bytes.
+  uint64_t wasted_work_bytes = 0;
   uint64_t spills = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;

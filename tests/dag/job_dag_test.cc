@@ -334,5 +334,148 @@ TEST_F(JobDagTest, PathBoundaryNeverSweepsSiblingPrefixes) {
   EXPECT_EQ(BytesUnder("/x/iter10"), MiB(16));  // Untouched.
 }
 
+TEST_F(JobDagTest, NodeRetryRecoversFromAnExhaustedAttemptBudget) {
+  // A one-shot crash-task volley exhausts node a's single task attempt, so
+  // its first engine job fails ResourceExhausted; the dag-level retry
+  // resubmits the same spec and the second run — no crash armed — lands.
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  DagSpec spec;
+  spec.name = "recover";
+  spec.retry.max_node_retries = 1;
+  DagNode a = Node("a", "/in", "/out");
+  a.spec.max_task_attempts = 1;
+  spec.nodes.push_back(std::move(a));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  Status status = Status::Internal("not run");
+  jobdag.Run([&](Status s) { status = s; });
+  sim_->ScheduleAt(Millis(600), [&] {
+    for (uint32_t node = 0; node < 4; ++node) {
+      engine_->InjectTaskCrash(node);
+    }
+  });
+  sim_->Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(jobdag.node_retries(), 1u);
+  EXPECT_EQ(jobdag.node_failures(), 1u);
+  EXPECT_EQ(jobdag.nodes_written_off(), 0u);
+  EXPECT_FALSE(jobdag.degraded());
+  const auto& records = jobdag.node_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].attempts, 2u);
+  EXPECT_EQ(records[0].failures, 1u);
+  EXPECT_FALSE(records[0].skipped);
+  EXPECT_GT(BytesUnder("/out"), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, ExhaustedRetriesFailTheDagByDefault) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  obs::MetricsRegistry metrics;
+  DagSpec spec;
+  spec.name = "retrydag";
+  spec.retry.max_node_retries = 2;  // default on_exhausted: kFailDag
+  spec.nodes.push_back(Node("ok", "/in", "/out1"));
+  spec.nodes.push_back(Node("poison", "/missing", "/out2"));
+  DagNode never = Node("never", "/out2", "/out3");
+  never.deps = {1};
+  spec.nodes.push_back(std::move(never));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  jobdag.AttachObs(&metrics);
+  Status status = Status::OK();
+  bool done = false;
+  jobdag.Run([&](Status s) {
+    status = s;
+    done = true;
+  });
+  sim_->Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // Every retry re-ran the poisoned node; the budget is attempts - 1.
+  EXPECT_EQ(jobdag.node_retries(), 2u);
+  EXPECT_EQ(jobdag.node_failures(), 3u);
+  EXPECT_EQ(jobdag.nodes_written_off(), 1u);
+  EXPECT_EQ(jobdag.nodes_skipped(), 0u);
+  EXPECT_EQ(jobdag.nodes_submitted(), 2u);  // "never" stayed unsubmitted
+  const auto& records = jobdag.node_records();
+  EXPECT_EQ(records[1].attempts, 3u);
+  EXPECT_EQ(records[1].failures, 3u);
+  EXPECT_NE(records[1].last_error.find("no input"), std::string::npos)
+      << records[1].last_error;
+  const obs::Labels labels{{"dag", "retrydag"}};
+  EXPECT_EQ(metrics.CounterValue("mr.dag.node_retries", labels), 2u);
+  EXPECT_EQ(metrics.CounterValue("mr.dag.node_failures", labels), 3u);
+  EXPECT_EQ(metrics.CounterValue("mr.dag.nodes_skipped", labels), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, SkipSubtreePolicyDegradesButCompletes) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  DagSpec spec;
+  spec.name = "degrade";
+  spec.retry.max_node_retries = 1;
+  spec.retry.on_exhausted = RetryPolicy::OnExhausted::kSkipSubtree;
+  spec.nodes.push_back(Node("a", "/in", "/outa"));         // 0: healthy
+  spec.nodes.push_back(Node("b", "/missing", "/outb"));    // 1: poisoned
+  DagNode c = Node("c", "/outb", "/outc");                 // 2: starved
+  c.deps = {1};
+  spec.nodes.push_back(std::move(c));
+  DagNode d = Node("d", "/outa", "/outd");                 // 3: unaffected
+  d.deps = {0};
+  spec.nodes.push_back(std::move(d));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  Status status = Status::Internal("not run");
+  jobdag.Run([&](Status s) { status = s; });
+  sim_->Run();
+  // The dag finishes OK — degraded, not dead.
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(jobdag.degraded());
+  EXPECT_EQ(jobdag.node_retries(), 1u);
+  EXPECT_EQ(jobdag.nodes_written_off(), 1u);
+  EXPECT_EQ(jobdag.nodes_skipped(), 1u);
+  EXPECT_EQ(jobdag.nodes_submitted(), 3u);  // a, b, d — never c
+  const auto& records = jobdag.node_records();
+  EXPECT_EQ(records[1].attempts, 2u);
+  EXPECT_FALSE(records[1].skipped);  // written off, not skipped
+  EXPECT_TRUE(records[2].skipped);
+  EXPECT_EQ(records[2].attempts, 0u);
+  // The healthy branch ran to completion.
+  EXPECT_GT(BytesUnder("/outd"), 0u);
+  EXPECT_EQ(BytesUnder("/outc"), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
+TEST_F(JobDagTest, SkippedConsumersStillExpireTheirIntermediates) {
+  // c is skipped (its other parent is poisoned) while a — the producer of
+  // c's input — is still running. c's claim on /mid is released before
+  // /mid is published; /mid must still expire the moment a publishes it,
+  // or the dead round's data would leak in the namespace forever.
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
+  DagSpec spec;
+  spec.name = "skipexpire";
+  spec.retry.on_exhausted = RetryPolicy::OnExhausted::kSkipSubtree;
+  spec.nodes.push_back(Node("a", "/in", "/mid"));        // 0: slow producer
+  spec.nodes.push_back(Node("p", "/missing", "/pout"));  // 1: fails at t~0
+  DagNode c = Node("c", "/mid", "/out");
+  c.deps = {0, 1};
+  spec.nodes.push_back(std::move(c));
+
+  JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
+  Status status = Status::Internal("not run");
+  jobdag.Run([&](Status s) { status = s; });
+  sim_->Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(jobdag.degraded());
+  EXPECT_EQ(jobdag.nodes_skipped(), 1u);
+  // /mid was published, then expired unread.
+  EXPECT_GT(jobdag.intermediate_published_bytes(), 0u);
+  EXPECT_EQ(jobdag.intermediate_expired_bytes(),
+            jobdag.intermediate_published_bytes());
+  EXPECT_EQ(BytesUnder("/mid"), 0u);
+  EXPECT_EQ(jobdag.AuditInvariants(), "");
+}
+
 }  // namespace
 }  // namespace bdio::dag

@@ -154,6 +154,48 @@ TEST(FaultPlanTest, KindNames) {
   EXPECT_EQ(FaultKindToString(FaultKind::kCorruptReplica),
             "corrupt-replica");
   EXPECT_EQ(FaultKindToString(FaultKind::kThrottleLink), "throttle-link");
+  EXPECT_EQ(FaultKindToString(FaultKind::kKillTaskTracker),
+            "kill-tasktracker");
+  EXPECT_EQ(FaultKindToString(FaultKind::kCrashTask), "crash-task");
+}
+
+TEST(FaultPlanTest, ParsesComputeVerbs) {
+  auto parsed = FaultPlan::Parse(
+      "kill-tasktracker 3 @ 12.5  # compute side only\n"
+      "crash-task 5 @ 2\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& e = parsed.value().events();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].kind, FaultKind::kKillTaskTracker);
+  EXPECT_EQ(e[0].node, 3u);
+  EXPECT_EQ(e[0].at, FromSeconds(12.5));
+  EXPECT_EQ(e[1].kind, FaultKind::kCrashTask);
+  EXPECT_EQ(e[1].node, 5u);
+  EXPECT_EQ(e[1].at, Seconds(2));
+}
+
+TEST(FaultPlanTest, ComputeVerbsRoundTrip) {
+  const FaultPlan plan = FaultPlan{}
+                             .KillTaskTracker(3, FromSeconds(12.5))
+                             .CrashTask(5, Seconds(2));
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed.value().size(), 2u);
+  EXPECT_EQ(reparsed.value().events()[0].kind, FaultKind::kKillTaskTracker);
+  EXPECT_EQ(reparsed.value().events()[0].at, FromSeconds(12.5));
+  EXPECT_EQ(reparsed.value().events()[1].kind, FaultKind::kCrashTask);
+  EXPECT_EQ(reparsed.value().ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedComputeVerbs) {
+  // Missing '@'.
+  EXPECT_FALSE(FaultPlan::Parse("kill-tasktracker 0 1\n").ok());
+  // Non-numeric node.
+  EXPECT_FALSE(FaultPlan::Parse("crash-task abc @ 1\n").ok());
+  // Negative time.
+  EXPECT_FALSE(FaultPlan::Parse("kill-tasktracker 0 @ -1\n").ok());
+  // Trailing junk.
+  EXPECT_FALSE(FaultPlan::Parse("crash-task 0 @ 1 extra\n").ok());
 }
 
 }  // namespace

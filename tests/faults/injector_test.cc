@@ -191,6 +191,88 @@ TEST_F(InjectorTest, MissingCorruptionTargetIsSkippedNotFatal) {
   EXPECT_EQ(dfs_->checksum_failures(), 0u);
 }
 
+TEST_F(InjectorTest, KillTaskTrackerTouchesOnlyTheComputeSide) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
+  ASSERT_TRUE(
+      injector_->Arm(FaultPlan{}.KillTaskTracker(2, Millis(10))).ok());
+  sim_.Run();
+  EXPECT_TRUE(engine_->node_failed(2));
+  EXPECT_FALSE(dfs_->name_node()->node_dead(2));  // replicas stay healthy
+  EXPECT_EQ(injector_->tasktrackers_killed(), 1u);
+  EXPECT_EQ(injector_->datanodes_killed(), 0u);
+}
+
+TEST_F(InjectorTest, CrashTaskFiresWithoutKillingTheNode) {
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.CrashTask(1, Millis(10))).ok());
+  sim_.Run();
+  EXPECT_EQ(injector_->tasks_crashed(), 1u);
+  EXPECT_FALSE(engine_->node_failed(1));
+  EXPECT_FALSE(dfs_->name_node()->node_dead(1));
+}
+
+TEST_F(InjectorTest, ComputeVerbsRequireAnEngine) {
+  FaultInjector hdfs_only(cluster_.get(), dfs_.get(), /*engine=*/nullptr);
+  const size_t pending_before = sim_.pending();
+  Status s = hdfs_only.Arm(FaultPlan{}.KillTaskTracker(1, Millis(10)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = hdfs_only.Arm(FaultPlan{}.CrashTask(1, Millis(10)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(sim_.pending(), pending_before);
+}
+
+TEST_F(InjectorTest, RejectsDuplicateOneShotsInOnePlan) {
+  // A node dies once; a replica rots once. The second event describes
+  // nothing the first doesn't, so the plan is rejected whole.
+  const size_t pending_before = sim_.pending();
+  Status s = injector_->Arm(FaultPlan{}
+                                .KillDataNode(1, Seconds(1))
+                                .KillDataNode(1, Seconds(2)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = injector_->Arm(FaultPlan{}
+                         .CorruptReplica("/in", 0, 0, Seconds(1))
+                         .CorruptReplica("/in", 0, 0, Seconds(2)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(sim_.pending(), pending_before);
+}
+
+TEST_F(InjectorTest, RejectsDuplicateOneShotsAcrossArmCalls) {
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(1, Seconds(1))).ok());
+  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(1, Seconds(5)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(InjectorTest, DataNodeKillSubsumesTaskTrackerKillOnOneHost) {
+  // The DataNode kill already takes the shared host's TaskTracker down, so
+  // the pair conflicts in either order.
+  Status s = injector_->Arm(FaultPlan{}
+                                .KillDataNode(2, Seconds(1))
+                                .KillTaskTracker(2, Seconds(2)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = injector_->Arm(FaultPlan{}
+                         .KillTaskTracker(2, Seconds(1))
+                         .KillDataNode(2, Seconds(2)));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // Different hosts don't conflict.
+  EXPECT_TRUE(injector_
+                  ->Arm(FaultPlan{}
+                            .KillDataNode(1, Seconds(1))
+                            .KillTaskTracker(3, Seconds(1)))
+                  .ok());
+}
+
+TEST_F(InjectorTest, CrashTaskAndDistinctCorruptionsMayRepeat) {
+  // crash-task is re-armable (each firing crashes whatever runs then), and
+  // corrupting two different replicas of one block is two distinct faults.
+  EXPECT_TRUE(injector_
+                  ->Arm(FaultPlan{}
+                            .CrashTask(1, Seconds(1))
+                            .CrashTask(1, Seconds(2))
+                            .CorruptReplica("/in", 0, 0, Seconds(1))
+                            .CorruptReplica("/in", 0, 1, Seconds(1))
+                            .CorruptReplica("/in", 1, 0, Seconds(1)))
+                  .ok());
+}
+
 TEST_F(InjectorTest, ParsedPlanArmsEndToEnd) {
   ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
   auto plan = FaultPlan::Parse(

@@ -1,0 +1,250 @@
+// Task-retry tests: crashed attempts charge budgets and retry after a
+// deterministic backoff; exhausted budgets fail the job (or abandon the
+// split under max_failures_percent); strikes blacklist the node and decay;
+// none of it may perturb determinism across thread schedules.
+
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/runner/thread_pool.h"
+#include "hdfs/hdfs.h"
+#include "mapreduce/engine.h"
+#include "sim/simulator.h"
+
+namespace bdio::mapreduce {
+namespace {
+
+class RetryTest : public ::testing::Test {
+ protected:
+  RetryTest() {
+    cluster::ClusterParams cp;
+    cp.num_workers = 5;
+    cp.node.memory_bytes = GiB(4);
+    cp.node.daemon_bytes = MiB(256);
+    cp.node.per_slot_heap_bytes = MiB(16);
+    cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp, 8, Rng(1));
+    dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hdfs::HdfsParams{},
+                                        Rng(2));
+    engine_ = std::make_unique<MrEngine>(cluster_.get(), dfs_.get(),
+                                         SlotConfig{4, 4, "t"}, Rng(3));
+  }
+
+  SimJobSpec BasicSpec() const {
+    SimJobSpec spec;
+    spec.name = "retry";
+    spec.input_path = "/in";
+    spec.output_path = "/out";
+    return spec;
+  }
+
+  /// Runs `spec` with a crash-task injection on `node` at `when`; returns
+  /// the completion status through `status`.
+  JobCounters RunWithCrashAt(const SimJobSpec& spec, uint32_t node,
+                             SimDuration when, Status* status) {
+    *status = Status::Internal("not run");
+    JobCounters counters;
+    engine_->RunJob(spec, [&](Status s, const JobCounters& c) {
+      *status = s;
+      counters = c;
+    });
+    sim_.ScheduleAt(when, [&, node] { engine_->InjectTaskCrash(node); });
+    sim_.Run();
+    return counters;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::Hdfs> dfs_;
+  std::unique_ptr<MrEngine> engine_;
+};
+
+TEST_F(RetryTest, CrashedAttemptsRetryAndTheJobSucceeds) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  Status status;
+  const JobCounters c =
+      RunWithCrashAt(BasicSpec(), 2, Millis(600), &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(c.task_failures, 0u);
+  EXPECT_EQ(c.retries_scheduled, c.task_failures);
+  EXPECT_GT(c.wasted_work_bytes, 0u);
+  // Crashed attempts re-ran: more launches than splits.
+  EXPECT_GT(c.maps_launched, 8u);
+  EXPECT_EQ(c.maps_launched, 8u + c.task_failures);
+  // The node stays alive — it was the attempts that died.
+  EXPECT_FALSE(engine_->node_failed(2));
+  // All output present.
+  EXPECT_EQ(dfs_->name_node()->List("/out/").size(), 20u);
+}
+
+TEST_F(RetryTest, CrashAfterMapPhaseIsHarmless) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(256)).ok());
+  Status status;
+  const JobCounters c =
+      RunWithCrashAt(BasicSpec(), 2, Seconds(3600), &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(c.task_failures, 0u);  // nothing was running by then
+}
+
+TEST_F(RetryTest, ExhaustedBudgetFailsTheJobCleanly) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  SimJobSpec spec = BasicSpec();
+  spec.max_task_attempts = 1;  // the first crash exhausts the budget
+  Status status;
+  const JobCounters c = RunWithCrashAt(spec, 2, Millis(600), &status);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  EXPECT_GT(c.task_failures, 0u);
+  EXPECT_EQ(c.retries_scheduled, 0u);
+  // Failing attempts' I/O is written off, partial output deleted.
+  EXPECT_GT(c.wasted_work_bytes, 0u);
+  EXPECT_TRUE(dfs_->name_node()->List("/out/").empty());
+  // The engine drained clean: a follow-up job on the same engine works.
+  SimJobSpec again = BasicSpec();
+  again.output_path = "/out2";
+  Status second = Status::Internal("not run");
+  engine_->RunJob(again, [&](Status s, const JobCounters&) { second = s; });
+  sim_.Run();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(dfs_->name_node()->List("/out2/").size(), 20u);
+}
+
+TEST_F(RetryTest, MaxFailuresPercentCommitsWithPartialInput) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  SimJobSpec spec = BasicSpec();
+  spec.max_task_attempts = 1;
+  spec.max_failures_percent = 50.0;  // may abandon up to 4 of 8 splits
+  Status status;
+  const JobCounters c = RunWithCrashAt(spec, 2, Millis(600), &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(c.splits_abandoned, 0u);
+  EXPECT_LE(c.splits_abandoned, 4u);
+  EXPECT_EQ(c.splits_abandoned, c.task_failures);
+  // Abandoned splits were never re-read: the job read less than the input.
+  EXPECT_LT(c.hdfs_read_bytes, MiB(512));
+  EXPECT_EQ(dfs_->name_node()->List("/out/").size(), 20u);
+}
+
+TEST_F(RetryTest, StrikesBlacklistTheNodeAndDecayRestoresIt) {
+  ASSERT_TRUE(dfs_->Preload("/in", GiB(1)).ok());
+  FaultToleranceConfig ft;
+  ft.blacklist_strikes = 2;
+  ft.blacklist_decay = Seconds(5);
+  engine_->SetFaultTolerance(ft);
+  Status status;
+  bool blacklisted_during_run = false;
+  sim_.ScheduleAt(Millis(700),
+                  [&] { blacklisted_during_run = engine_->node_blacklisted(2); });
+  const JobCounters c =
+      RunWithCrashAt(BasicSpec(), 2, Millis(600), &status);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(c.task_failures, 2u);
+  EXPECT_TRUE(blacklisted_during_run);
+  EXPECT_EQ(engine_->nodes_blacklisted(), 1u);
+  // The decay window has long passed by job end.
+  EXPECT_FALSE(engine_->node_blacklisted(2));
+}
+
+TEST_F(RetryTest, TaskTrackerDeathDoesNotChargeTheBudget) {
+  // Hadoop semantics: attempts lost to a TaskTracker death are KILLED, not
+  // FAILED — even a budget of one survives the node loss.
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  SimJobSpec spec = BasicSpec();
+  spec.max_task_attempts = 1;
+  Status status = Status::Internal("not run");
+  JobCounters c;
+  engine_->RunJob(spec, [&](Status s, const JobCounters& counters) {
+    status = s;
+    c = counters;
+  });
+  sim_.ScheduleAt(Millis(600), [&] { engine_->InjectNodeFailure(2); });
+  sim_.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(c.task_failures, 0u);
+  EXPECT_GE(c.maps_launched, 8u);
+}
+
+TEST_F(RetryTest, LostOutputsReexecuteWithChargedCounters) {
+  ASSERT_TRUE(dfs_->Preload("/in", MiB(512)).ok());
+  Status status = Status::Internal("not run");
+  JobCounters c;
+  engine_->RunJob(BasicSpec(), [&](Status s, const JobCounters& counters) {
+    status = s;
+    c = counters;
+  });
+  // Late enough that node 1 committed maps, early enough that reducers
+  // still need their outputs.
+  sim_.ScheduleAt(Seconds(3), [&] { engine_->InjectNodeFailure(1); });
+  sim_.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(c.maps_reexecuted, 0u);
+  EXPECT_GT(c.reexec_read_bytes, 0u);   // fresh HDFS reads
+  EXPECT_GT(c.reexec_write_bytes, 0u);  // fresh spills
+  EXPECT_GT(c.wasted_work_bytes, 0u);   // the outputs that died
+  EXPECT_GE(c.hdfs_read_bytes, MiB(512) + c.reexec_read_bytes / 2);
+}
+
+/// One full crash-retry scenario as a summary string — every field that
+/// could drift if backoff jitter or event ordering were nondeterministic.
+std::string CrashScenarioSummary(uint64_t seed) {
+  sim::Simulator sim;
+  cluster::ClusterParams cp;
+  cp.num_workers = 5;
+  cp.node.memory_bytes = GiB(4);
+  cp.node.daemon_bytes = MiB(256);
+  cp.node.per_slot_heap_bytes = MiB(16);
+  cluster::Cluster cluster(&sim, cp, 8, Rng(seed));
+  hdfs::Hdfs dfs(&cluster, hdfs::HdfsParams{}, Rng(seed + 1));
+  MrEngine engine(&cluster, &dfs, SlotConfig{4, 4, "t"}, Rng(seed + 2));
+  EXPECT_TRUE(dfs.Preload("/in", MiB(512)).ok());
+  SimJobSpec spec;
+  spec.name = "det";
+  spec.input_path = "/in";
+  spec.output_path = "/out";
+  Status status = Status::Internal("not run");
+  JobCounters c;
+  engine.RunJob(spec, [&](Status s, const JobCounters& counters) {
+    status = s;
+    c = counters;
+  });
+  sim.ScheduleAt(Millis(600), [&] { engine.InjectTaskCrash(2); });
+  sim.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  std::ostringstream out;
+  out << c.end_time << "/" << c.maps_launched << "/" << c.task_failures
+      << "/" << c.retries_scheduled << "/" << c.hdfs_read_bytes << "/"
+      << c.wasted_work_bytes << "/" << engine.retries_scheduled();
+  return out.str();
+}
+
+TEST(RetryDeterminismTest, BackoffIsIdenticalSerialAndPooledAcrossSeeds) {
+  // The retry backoff draws jitter from a forked Rng in sim-event order —
+  // never from the wall clock or the host thread schedule. A serial run
+  // and four concurrent runs in a thread pool must agree byte for byte,
+  // for every seed.
+  const std::vector<uint64_t> seeds = {1, 7, 13, 101};
+  std::vector<std::string> serial;
+  for (const uint64_t seed : seeds) {
+    serial.push_back(CrashScenarioSummary(seed));
+  }
+  core::runner::ThreadPool pool(4);
+  std::vector<std::future<std::string>> pooled;
+  for (const uint64_t seed : seeds) {
+    pooled.push_back(
+        pool.Async([seed] { return CrashScenarioSummary(seed); }));
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(pooled[i].get(), serial[i]) << "seed " << seeds[i];
+  }
+  // And the scenario is genuinely exercising the machinery.
+  for (const std::string& summary : serial) {
+    EXPECT_NE(summary.find('/'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bdio::mapreduce
