@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
   auto scenarios_for = [&](workloads::WorkloadKind kind,
                            const CellResult& base) {
     const auto plan = workloads::BuildPlan(kind, plan_options);
-    const uint64_t block_bytes = hdfs::HdfsParams{}.block_bytes;
+    const uint64_t block_bytes = hdfs::HdfsParams{}.block_bytes.bytes();
     const uint32_t num_blocks = static_cast<uint32_t>(
         (plan.dataset_bytes + block_bytes - 1) / block_bytes);
     std::vector<Scenario> scenarios;
@@ -186,14 +186,14 @@ int main(int argc, char** argv) {
     scenarios.push_back(Scenario{
         "kill-dn3",
         faults::FaultPlan{}.KillDataNode(
-            3, FromSeconds(base.duration_s * 0.25)),
+            3, TimeAt(FromSeconds(base.duration_s * 0.25))),
         true, false});
     // Bitrot: the first replica of every input block rots before the job
     // reads it; local-replica preference means a large share of the reads
     // hit a bad copy, fail the checksum, fail over, and queue repairs.
     faults::FaultPlan bitrot;
     for (uint32_t b = 0; b < num_blocks; ++b) {
-      bitrot.CorruptReplica(plan.dataset_path, b, 0, FromSeconds(0.25));
+      bitrot.CorruptReplica(plan.dataset_path, b, 0, TimeAt(FromSeconds(0.25)));
     }
     scenarios.push_back(Scenario{"bitrot-input", std::move(bitrot), true,
                                  false});
@@ -202,8 +202,8 @@ int main(int argc, char** argv) {
     // and once with speculative backups.
     faults::FaultPlan slow;
     for (uint32_t d = 0; d < 3; ++d) {
-      slow.DegradeDisk(2, /*mr_disk=*/false, d, 6.0, 0, 0);
-      slow.DegradeDisk(2, /*mr_disk=*/true, d, 6.0, 0, 0);
+      slow.DegradeDisk(2, /*mr_disk=*/false, d, 6.0, SimTime{}, SimTime{});
+      slow.DegradeDisk(2, /*mr_disk=*/true, d, 6.0, SimTime{}, SimTime{});
     }
     scenarios.push_back(Scenario{"slow-node2", slow, true, false});
     scenarios.push_back(Scenario{"slow-node2+spec", slow, true, true});

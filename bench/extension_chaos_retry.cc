@@ -108,7 +108,7 @@ TsCell RunTeraSort(const core::BenchOptions& options,
     done = true;
   });
   if (injector && scenario.faulted) {
-    const SimTime t = FromSeconds(healthy_s * scenario.kill_frac);
+    const SimTime t = TimeAt(FromSeconds(healthy_s * scenario.kill_frac));
     faults::FaultPlan plan;
     plan.KillTaskTracker(3, t).CrashTask(5, t);
     BDIO_CHECK_OK(injector->Arm(plan));
@@ -171,7 +171,7 @@ DagCell RunSssp(const core::BenchOptions& options, bool faulted,
   });
   faults::FaultPlan fault_plan;
   if (faulted) {
-    fault_plan.KillTaskTracker(3, FromSeconds(healthy_s * kill_frac));
+    fault_plan.KillTaskTracker(3, TimeAt(FromSeconds(healthy_s * kill_frac)));
   }
   BDIO_CHECK_OK(injector.Arm(fault_plan));
   sim.Run();

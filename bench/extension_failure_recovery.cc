@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
   const RunResult healthy = RunTeraSort(options, faults::FaultPlan{});
   const auto plan_at = [&](double fraction) {
     return faults::FaultPlan{}.KillDataNode(
-        3, FromSeconds(healthy.duration_s * fraction));
+        3, TimeAt(FromSeconds(healthy.duration_s * fraction)));
   };
   const RunResult early = RunTeraSort(options, plan_at(0.25),
                                       want_obs ? &obs_holder : nullptr);

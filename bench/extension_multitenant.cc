@@ -116,7 +116,7 @@ CellResult RunCell(const core::BenchOptions& options,
       });
   queue->OnDrained([&] { monitor.Stop(); });
   for (size_t j = 0; j < stream.size(); ++j) {
-    queue->Submit(Seconds(2.0 * static_cast<double>(j)));
+    queue->Submit(TimeAt(Seconds(2.0 * static_cast<double>(j))));
   }
   sim.Run();
   BDIO_CHECK(queue->completed() == stream.size());

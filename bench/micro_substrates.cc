@@ -58,7 +58,7 @@ void BM_DiskRandomReads(benchmark::State& state) {
     storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{}, Rng(3));
     Rng rng(4);
     for (int i = 0; i < 256; ++i) {
-      dev.Submit(storage::IoType::kRead, rng.Uniform(1000000) * 8, 8,
+      dev.Submit(storage::IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8),
                  nullptr);
     }
     sim.Run();

@@ -193,9 +193,9 @@ WorkloadScore RunChaos(const core::BenchOptions& options) {
   // (re-replication + task re-execution) plus a fail-slow MR disk with
   // speculation picking up the stragglers.
   faults::FaultPlan plan;
-  plan.KillDataNode(3, Seconds(2));
-  plan.DegradeDisk(5, /*mr_disk=*/true, 0, /*factor=*/4.0, Seconds(1),
-                   Seconds(60));
+  plan.KillDataNode(3, TimeAt(Seconds(2)));
+  plan.DegradeDisk(5, /*mr_disk=*/true, 0, /*factor=*/4.0, TimeAt(Seconds(1)),
+                   TimeAt(Seconds(60)));
 
   mapreduce::SimJobSpec spec = workload.jobs[0].spec;
   spec.speculative_execution = true;
@@ -247,8 +247,8 @@ WorkloadScore RunChaosRetry(const core::BenchOptions& options) {
   // re-execution) plus a crash-task volley (attempt budgets, backoff,
   // blacklist strikes). Early, so the scenario bites at every --scale.
   faults::FaultPlan plan;
-  plan.KillTaskTracker(3, Seconds(2));
-  plan.CrashTask(5, Seconds(1));
+  plan.KillTaskTracker(3, TimeAt(Seconds(2)));
+  plan.CrashTask(5, TimeAt(Seconds(1)));
 
   bool done = false;
   engine.RunJob(workload.jobs[0].spec,

@@ -32,8 +32,8 @@ void InvariantChecker::OnEvent() {
   ++events_checked_;
   const SimTime now = sim_->Now();
   if (now < last_now_) {
-    Report("sim: clock moved backwards: " + std::to_string(now) + " after " +
-           std::to_string(last_now_));
+    Report("sim: clock moved backwards: " + std::to_string(now.ns()) + " after " +
+           std::to_string(last_now_.ns()));
   }
   last_now_ = now;
   if (events_checked_ % config_.audit_interval == 0) CheckNow();

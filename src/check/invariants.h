@@ -101,7 +101,7 @@ class InvariantChecker {
   mapreduce::MrEngine* engine_ = nullptr;
   const dag::JobDag* dag_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
-  SimTime last_now_ = 0;
+  SimTime last_now_;
   uint64_t events_checked_ = 0;
   uint64_t audits_run_ = 0;
   std::string last_violation_;

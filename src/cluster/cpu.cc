@@ -22,8 +22,8 @@ double CpuScheduler::RatePerJob() const {
 }
 
 void CpuScheduler::Run(SimDuration cpu_time, InlineFn cb) {
-  if (cpu_time == 0) {
-    sim_->ScheduleAfter(0, std::move(cb));
+  if (cpu_time == SimDuration{}) {
+    sim_->ScheduleAfter(SimDuration{}, std::move(cb));
     return;
   }
   AdvanceTo(sim_->Now());
@@ -61,7 +61,7 @@ void CpuScheduler::Reschedule() {
     }
   }
   for (auto& cb : done) {
-    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    if (cb) sim_->ScheduleAfter(SimDuration{}, std::move(cb));
   }
   if (jobs_.empty()) return;
   const double rate = RatePerJob();
@@ -70,7 +70,7 @@ void CpuScheduler::Reschedule() {
     min_t = std::min(min_t, j.remaining / rate);
   }
   const uint64_t gen = ++generation_;
-  sim_->ScheduleAfter(FromSeconds(min_t) + 1, [this, gen] {
+  sim_->ScheduleAfter(FromSeconds(min_t) + kNanosecond, [this, gen] {
     if (gen != generation_) return;
     AdvanceTo(sim_->Now());
     Reschedule();

@@ -51,7 +51,7 @@ class CpuScheduler {
   std::map<uint64_t, Job> jobs_;
   uint64_t next_id_ = 1;
   uint64_t generation_ = 0;
-  SimTime last_advance_ = 0;
+  SimTime last_advance_;
   double used_seconds_ = 0;
 };
 

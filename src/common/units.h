@@ -1,9 +1,242 @@
 #ifndef BDIO_COMMON_UNITS_H_
 #define BDIO_COMMON_UNITS_H_
 
+#include <compare>
 #include <cstdint>
+#include <limits>
+#include <ostream>
 
 namespace bdio {
+
+// ---------------------------------------------------------------------------
+// Strong unit types.
+//
+// SimTime / SimDuration / Bytes / Sectors are single-word wrappers that make
+// unit mistakes a compile error instead of a wrong figure: a sector count
+// cannot be added to a byte count, an absolute time cannot be added to
+// another absolute time, and nothing converts implicitly to or from raw
+// integers. Construction is explicit; `.ns()` / `.bytes()` / `.count()` are
+// the deliberate escape hatches at serialization and formatting boundaries
+// (and the residual raw-integer seams those hatches open are covered by
+// bdio-lint rule R7 — see docs/STATIC_ANALYSIS.md).
+//
+// The wrappers are trivially copyable, zero-initialized by default, and
+// compile to the exact same code as the uint64_t typedefs they replaced;
+// operator<< prints the raw count so log and table output is unchanged.
+// ---------------------------------------------------------------------------
+
+/// Simulated duration in nanoseconds (a vector on the sim timeline).
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  explicit constexpr SimDuration(uint64_t ns) : ns_(ns) {}
+
+  /// Escape hatch: raw nanosecond count.
+  constexpr uint64_t ns() const { return ns_; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator*=(uint64_t k) {
+    ns_ *= k;
+    return *this;
+  }
+  constexpr SimDuration& operator/=(uint64_t k) {
+    ns_ /= k;
+    return *this;
+  }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns_ + b.ns_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns_ - b.ns_);
+  }
+  friend constexpr SimDuration operator*(SimDuration d, uint64_t k) {
+    return SimDuration(d.ns_ * k);
+  }
+  friend constexpr SimDuration operator*(uint64_t k, SimDuration d) {
+    return SimDuration(d.ns_ * k);
+  }
+  friend constexpr SimDuration operator/(SimDuration d, uint64_t k) {
+    return SimDuration(d.ns_ / k);
+  }
+  /// Ratio of two durations (how many `b` fit in `a`).
+  friend constexpr uint64_t operator/(SimDuration a, SimDuration b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr SimDuration operator%(SimDuration a, SimDuration b) {
+    return SimDuration(a.ns_ % b.ns_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimDuration d) {
+    return os << d.ns_;
+  }
+
+  static constexpr SimDuration Max() {
+    return SimDuration(std::numeric_limits<uint64_t>::max());
+  }
+
+ private:
+  uint64_t ns_ = 0;
+};
+
+/// Absolute simulated time: nanoseconds since simulation start (a point on
+/// the sim timeline). Points subtract to a SimDuration; only a SimDuration
+/// can be added to a point.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  explicit constexpr SimTime(uint64_t ns) : ns_(ns) {}
+
+  /// Escape hatch: raw nanoseconds since simulation start.
+  constexpr uint64_t ns() const { return ns_; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimDuration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimDuration d) {
+    ns_ -= d.ns();
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.ns_ + d.ns());
+  }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) {
+    return SimTime(t.ns_ + d.ns());
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime(t.ns_ - d.ns());
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration(a.ns_ - b.ns_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.ns_;
+  }
+
+  static constexpr SimTime Max() {
+    return SimTime(std::numeric_limits<uint64_t>::max());
+  }
+
+ private:
+  uint64_t ns_ = 0;
+};
+
+/// A byte quantity (size, offset, or transferred volume).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(uint64_t n) : v_(n) {}
+
+  /// Escape hatch: raw byte count.
+  constexpr uint64_t bytes() const { return v_; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.v_ + b.v_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.v_ - b.v_);
+  }
+  friend constexpr Bytes operator*(Bytes b, uint64_t k) {
+    return Bytes(b.v_ * k);
+  }
+  friend constexpr Bytes operator*(uint64_t k, Bytes b) {
+    return Bytes(b.v_ * k);
+  }
+  friend constexpr Bytes operator/(Bytes b, uint64_t k) {
+    return Bytes(b.v_ / k);
+  }
+  /// Ratio of two byte quantities.
+  friend constexpr uint64_t operator/(Bytes a, Bytes b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) {
+    return Bytes(a.v_ % b.v_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Bytes b) {
+    return os << b.v_;
+  }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+/// A sector quantity (512 B units): an LBA position or a run length.
+class Sectors {
+ public:
+  constexpr Sectors() = default;
+  explicit constexpr Sectors(uint64_t n) : v_(n) {}
+
+  /// Escape hatch: raw sector count.
+  constexpr uint64_t count() const { return v_; }
+
+  constexpr auto operator<=>(const Sectors&) const = default;
+
+  constexpr Sectors& operator+=(Sectors o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Sectors& operator-=(Sectors o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  friend constexpr Sectors operator+(Sectors a, Sectors b) {
+    return Sectors(a.v_ + b.v_);
+  }
+  friend constexpr Sectors operator-(Sectors a, Sectors b) {
+    return Sectors(a.v_ - b.v_);
+  }
+  friend constexpr Sectors operator*(Sectors s, uint64_t k) {
+    return Sectors(s.v_ * k);
+  }
+  friend constexpr Sectors operator*(uint64_t k, Sectors s) {
+    return Sectors(s.v_ * k);
+  }
+  friend constexpr Sectors operator/(Sectors s, uint64_t k) {
+    return Sectors(s.v_ / k);
+  }
+  friend constexpr uint64_t operator/(Sectors a, Sectors b) {
+    return a.v_ / b.v_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Sectors s) {
+    return os << s.v_;
+  }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+/// Absolute distance between two sector positions (seek length).
+constexpr Sectors SectorGap(Sectors a, Sectors b) {
+  return a.count() >= b.count() ? a - b : b - a;
+}
 
 // ---------------------------------------------------------------------------
 // Byte quantities.
@@ -25,41 +258,65 @@ constexpr uint64_t TiB(uint64_t n) { return n * kTiB; }
 constexpr double BytesToMiB(uint64_t bytes) {
   return static_cast<double>(bytes) / static_cast<double>(kMiB);
 }
+constexpr double BytesToMiB(Bytes bytes) { return BytesToMiB(bytes.bytes()); }
 constexpr uint64_t BytesToSectors(uint64_t bytes) {
   return (bytes + kSectorSize - 1) / kSectorSize;
 }
 
+/// Bytes -> sectors, rounding the tail sector up.
+constexpr Sectors ToSectors(Bytes b) {
+  return Sectors(BytesToSectors(b.bytes()));
+}
+/// Sectors -> bytes (exact).
+constexpr Bytes ToBytes(Sectors s) { return Bytes(s.count() * kSectorSize); }
+
 // ---------------------------------------------------------------------------
-// Simulated time: unsigned 64-bit nanoseconds since simulation start.
+// Simulated time helpers.
 // ---------------------------------------------------------------------------
 
-using SimTime = uint64_t;      ///< Absolute simulated time, ns.
-using SimDuration = uint64_t;  ///< Simulated duration, ns.
+inline constexpr SimDuration kNanosecond{1ULL};
+inline constexpr SimDuration kMicrosecond{1000ULL};
+inline constexpr SimDuration kMillisecond{1000ULL * 1000ULL};
+inline constexpr SimDuration kSecond{1000ULL * 1000ULL * 1000ULL};
 
-inline constexpr SimDuration kNanosecond = 1ULL;
-inline constexpr SimDuration kMicrosecond = 1000ULL;
-inline constexpr SimDuration kMillisecond = 1000ULL * kMicrosecond;
-inline constexpr SimDuration kSecond = 1000ULL * kMillisecond;
-
+constexpr SimDuration Nanos(uint64_t n) { return SimDuration(n); }
 constexpr SimDuration Micros(uint64_t n) { return n * kMicrosecond; }
 constexpr SimDuration Millis(uint64_t n) { return n * kMillisecond; }
 constexpr SimDuration Seconds(uint64_t n) { return n * kSecond; }
 
 constexpr double ToSeconds(SimDuration d) {
-  return static_cast<double>(d) / static_cast<double>(kSecond);
+  return static_cast<double>(d.ns()) / static_cast<double>(kSecond.ns());
+}
+/// Seconds since simulation start.
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t.ns()) / static_cast<double>(kSecond.ns());
 }
 constexpr double ToMillis(SimDuration d) {
-  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+  return static_cast<double>(d.ns()) /
+         static_cast<double>(kMillisecond.ns());
 }
 /// Converts fractional seconds to a SimDuration, rounding to nearest ns.
 constexpr SimDuration FromSeconds(double seconds) {
-  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond) +
-                                  0.5);
+  return SimDuration(static_cast<uint64_t>(
+      seconds * static_cast<double>(kSecond.ns()) + 0.5));
 }
+
+/// Converts fractional milliseconds to a SimDuration. Defined in terms of
+/// FromSeconds so configuration values written either way round the same.
+constexpr SimDuration FromMillis(double ms) {
+  return FromSeconds(ms / 1000.0);
+}
+
+/// Absolute sim time `d` after simulation start — for plan/config literals
+/// ("kill the node at t = 5 s" -> TimeAt(Seconds(5))).
+constexpr SimTime TimeAt(SimDuration d) { return SimTime(d.ns()); }
 
 /// Duration to move `bytes` at `bytes_per_second`.
 constexpr SimDuration TransferTime(uint64_t bytes, double bytes_per_second) {
   return FromSeconds(static_cast<double>(bytes) / bytes_per_second);
+}
+constexpr SimDuration TransferTime(Bytes bytes, double bytes_per_second) {
+  return TransferTime(bytes.bytes(), bytes_per_second);
 }
 
 }  // namespace bdio

@@ -62,7 +62,7 @@ void JobDag::Run(DoneCallback done) {
   std::vector<DagNode> initial = std::move(spec_.nodes);
   spec_.nodes.clear();
   if (initial.empty()) {
-    sim_->ScheduleAfter(0, [this] { done_(Status::OK()); });
+    sim_->ScheduleAfter(SimDuration{}, [this] { done_(Status::OK()); });
     return;
   }
   round_start_ = sim_->Now();
@@ -473,7 +473,7 @@ std::string JobDag::AuditInvariants() const {
     }
   }
   uint32_t prev_round = 0;
-  SimTime prev_end = 0;
+  SimTime prev_end;
   bool first = true;
   for (const RoundRecord& record : round_records_) {
     if (record.end_time < record.start_time) {

@@ -116,8 +116,8 @@ struct NodeRecord {
 /// it (bytes of *this round's outputs* deleted once consumed).
 struct RoundRecord {
   uint32_t round = 0;
-  SimTime start_time = 0;
-  SimTime end_time = 0;
+  SimTime start_time;
+  SimTime end_time;
   std::vector<NodeId> nodes;
   uint64_t hdfs_read_bytes = 0;
   uint64_t hdfs_write_bytes = 0;
@@ -297,7 +297,7 @@ class JobDag {
   /// Nodes of the newest round not yet completed (the round barrier).
   uint32_t round_remaining_ = 0;
   uint32_t current_round_ = 0;
-  SimTime round_start_ = 0;
+  SimTime round_start_;
   uint32_t in_flight_ = 0;
   uint32_t nodes_submitted_ = 0;
   uint32_t nodes_completed_ = 0;

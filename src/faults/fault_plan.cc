@@ -12,7 +12,7 @@ namespace bdio::faults {
 namespace {
 
 /// Seconds (decimal) → SimTime, for plan text; inverse of SecondsStr.
-SimTime FromSecondsStr(double s) { return FromSeconds(s); }
+SimTime FromSecondsStr(double s) { return SimTime{} + FromSeconds(s); }
 
 std::string SecondsStr(SimTime t) {
   char buf[32];
@@ -111,7 +111,7 @@ FaultPlan& FaultPlan::DegradeDisk(uint32_t node, bool mr_disk, uint32_t disk,
                                   double factor, SimTime from,
                                   SimTime until) {
   BDIO_CHECK(factor > 0);
-  BDIO_CHECK(until == 0 || until >= from);
+  BDIO_CHECK(until == SimTime{} || until >= from);
   FaultEvent e;
   e.kind = FaultKind::kDegradeDisk;
   e.node = node;
@@ -157,7 +157,7 @@ FaultPlan& FaultPlan::CrashTask(uint32_t node, SimTime at) {
 FaultPlan& FaultPlan::ThrottleLink(uint32_t node, double factor,
                                    SimTime from, SimTime until) {
   BDIO_CHECK(factor > 0);
-  BDIO_CHECK(until == 0 || until >= from);
+  BDIO_CHECK(until == SimTime{} || until >= from);
   FaultEvent e;
   e.kind = FaultKind::kThrottleLink;
   e.node = node;

@@ -43,8 +43,8 @@ std::string_view FaultKindToString(FaultKind kind);
 /// unused ones keep their defaults so plans compare and print cleanly.
 struct FaultEvent {
   FaultKind kind = FaultKind::kKillDataNode;
-  SimTime at = 0;     ///< Injection instant.
-  SimTime until = 0;  ///< End of a windowed fault (degrade/throttle); 0 = ∞.
+  SimTime at;     ///< Injection instant.
+  SimTime until;  ///< End of a windowed fault (degrade/throttle); 0 = ∞.
 
   uint32_t node = 0;     ///< Target worker (all kinds).
   bool mr_disk = false;  ///< kDegradeDisk: MR-intermediate disk group?

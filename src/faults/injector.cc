@@ -127,8 +127,7 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
     w.mr_disk = e.mr_disk;
     w.disk = e.disk;
     w.at = e.at;
-    w.end = e.until > e.at ? e.until
-                           : std::numeric_limits<SimTime>::max();
+    w.end = e.until > e.at ? e.until : SimTime::Max();
     for (const Window& o : windows) {
       if (o.SameTarget(w) && o.at <= w.end && w.at <= o.end) {
         return Status::InvalidArgument(

@@ -72,8 +72,8 @@ class FaultInjector {
     uint32_t node = 0;
     bool mr_disk = false;
     uint32_t disk = 0;
-    SimTime at = 0;
-    SimTime end = 0;
+    SimTime at;
+    SimTime end;
 
     bool SameTarget(const Window& o) const {
       if (link != o.link || node != o.node) return false;

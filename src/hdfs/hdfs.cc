@@ -11,8 +11,8 @@ namespace bdio::hdfs {
 Hdfs::Hdfs(cluster::Cluster* cluster, const HdfsParams& params, Rng rng)
     : cluster_(cluster), params_(params), rng_(rng) {
   BDIO_CHECK(cluster != nullptr);
-  BDIO_CHECK(params.block_bytes > 0);
-  BDIO_CHECK(params.chunk_bytes > 0);
+  BDIO_CHECK(params.block_bytes > Bytes{});
+  BDIO_CHECK(params.chunk_bytes > Bytes{});
   BDIO_CHECK(params.max_rereplication_streams > 0);
   name_node_ = std::make_unique<NameNode>(cluster->num_workers(),
                                           params.replication, rng_.Fork());
@@ -110,7 +110,7 @@ void Hdfs::WriteReplicated(const std::string& path, uint64_t bytes,
   auto entry = name_node_->CreateFile(path);
   if (!entry.ok()) {
     cluster_->sim()->ScheduleAfter(
-        0, [done = std::move(done), s = entry.status()] { done(s); });
+        SimDuration{}, [done = std::move(done), s = entry.status()] { done(s); });
     return;
   }
   auto op = std::make_shared<WriteOp>();
@@ -122,7 +122,7 @@ void Hdfs::WriteReplicated(const std::string& path, uint64_t bytes,
   if (trace_) op->flow = trace_->current_flow();
   if (bytes == 0) {
     name_node_->GetMutableFile(path).value()->complete = true;
-    cluster_->sim()->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    cluster_->sim()->ScheduleAfter(SimDuration{}, [op] { op->done(Status::OK()); });
     return;
   }
   WriteNextBlock(std::move(op));
@@ -133,11 +133,11 @@ void Hdfs::WriteNextBlock(std::shared_ptr<WriteOp> op) {
   if (op->written >= op->total_bytes) {
     FileEntry* entry = name_node_->GetMutableFile(op->path).value();
     entry->complete = true;
-    sim->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    sim->ScheduleAfter(SimDuration{}, [op] { op->done(Status::OK()); });
     return;
   }
   const uint64_t block_bytes =
-      std::min(params_.block_bytes, op->total_bytes - op->written);
+      std::min(params_.block_bytes.bytes(), op->total_bytes - op->written);
   BlockLocation loc =
       name_node_->AllocateBlock(op->writer, block_bytes, op->replication);
   FileEntry* entry = name_node_->GetMutableFile(op->path).value();
@@ -236,7 +236,7 @@ void Hdfs::WriteChunk(std::shared_ptr<ReplicaStream> st, uint64_t offset) {
     ++pipeline_recoveries_;
     if (m_pipeline_recoveries_) m_pipeline_recoveries_->Inc();
   }
-  const uint64_t n = std::min(params_.chunk_bytes, st->block_bytes - offset);
+  const uint64_t n = std::min(params_.chunk_bytes.bytes(), st->block_bytes - offset);
   if (st->stage_bytes) st->stage_bytes->Add(n);
   auto append = [this, st, offset, n] {
     obs::FlowScope flow_scope(trace_, st->flow);
@@ -275,12 +275,12 @@ void Hdfs::Read(const std::string& path, uint64_t offset, uint64_t len,
   auto entry = name_node_->GetFile(path);
   if (!entry.ok()) {
     cluster_->sim()->ScheduleAfter(
-        0, [done = std::move(done), s = entry.status()] { done(s); });
+        SimDuration{}, [done = std::move(done), s = entry.status()] { done(s); });
     return;
   }
   const FileEntry* file = entry.value();
   if (offset + len > file->bytes) {
-    cluster_->sim()->ScheduleAfter(0, [done = std::move(done)] {
+    cluster_->sim()->ScheduleAfter(SimDuration{}, [done = std::move(done)] {
       done(Status::OutOfRange("hdfs read past EOF"));
     });
     return;
@@ -299,7 +299,7 @@ void Hdfs::Read(const std::string& path, uint64_t offset, uint64_t len,
     off += b.bytes;
   }
   if (len == 0) {
-    cluster_->sim()->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+    cluster_->sim()->ScheduleAfter(SimDuration{}, [op] { op->done(Status::OK()); });
     return;
   }
   ReadNextBlock(std::move(op));
@@ -334,7 +334,7 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
     if (live.empty()) {
       ++unrecoverable_blocks_;
       if (m_unrecoverable_) m_unrecoverable_->Inc();
-      sim->ScheduleAfter(0, [op, id = b.block_id] {
+      sim->ScheduleAfter(SimDuration{}, [op, id = b.block_id] {
         op->done(Status::IOError("hdfs: every replica of block " +
                                  std::to_string(id) + " is lost"));
       });
@@ -372,7 +372,7 @@ void Hdfs::ReadNextBlock(std::shared_ptr<ReadOp> op) {
     ReadChunk(std::move(op), std::move(st), in_start);
     return;  // continue from the stream's completion
   }
-  sim->ScheduleAfter(0, [op] { op->done(Status::OK()); });
+  sim->ScheduleAfter(SimDuration{}, [op] { op->done(Status::OK()); });
 }
 
 void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
@@ -393,7 +393,7 @@ void Hdfs::ReadChunk(std::shared_ptr<ReadOp> op,
     ReadNextBlock(std::move(op));
     return;
   }
-  const uint64_t n = std::min(params_.chunk_bytes, st->in_end - pos);
+  const uint64_t n = std::min(params_.chunk_bytes.bytes(), st->in_end - pos);
   if (m_read_local_bytes_) {
     (st->remote ? m_read_remote_bytes_ : m_read_local_bytes_)->Add(n);
   }
@@ -451,7 +451,7 @@ void Hdfs::ReadAll(const std::string& path, uint32_t reader,
   auto entry = name_node_->GetFile(path);
   if (!entry.ok()) {
     cluster_->sim()->ScheduleAfter(
-        0, [done = std::move(done), s = entry.status()] { done(s); });
+        SimDuration{}, [done = std::move(done), s = entry.status()] { done(s); });
     return;
   }
   Read(path, 0, entry.value()->bytes, reader, std::move(done));
@@ -474,7 +474,7 @@ Status Hdfs::Preload(const std::string& path, uint64_t bytes) {
   BDIO_ASSIGN_OR_RETURN(FileEntry * entry, name_node_->CreateFile(path));
   uint64_t remaining = bytes;
   while (remaining > 0) {
-    const uint64_t block_bytes = std::min(params_.block_bytes, remaining);
+    const uint64_t block_bytes = std::min(params_.block_bytes.bytes(), remaining);
     const uint32_t writer =
         static_cast<uint32_t>(preload_rr_++ % cluster_->num_workers());
     BlockLocation loc = name_node_->AllocateBlock(writer, block_bytes);
@@ -667,7 +667,7 @@ void Hdfs::ReplicationChunk(std::shared_ptr<ReplStream> st) {
     FinishReplication(std::move(st), /*success=*/false);
     return;
   }
-  const uint64_t n = std::min(params_.chunk_bytes, st->bytes - st->pos);
+  const uint64_t n = std::min(params_.chunk_bytes.bytes(), st->bytes - st->pos);
   rereplicated_bytes_ += n;
   if (m_repl_bytes_) m_repl_bytes_->Add(n);
   st->src_fs->Read(st->src_file, st->pos, n, [this, st, n] {

@@ -24,11 +24,11 @@ namespace bdio::hdfs {
 
 /// HDFS configuration (Hadoop-1 defaults).
 struct HdfsParams {
-  uint64_t block_bytes = MiB(64);
+  Bytes block_bytes = Bytes(MiB(64));
   uint32_t replication = 3;
   /// Client streaming granularity. Real DFS packets are 64 KiB; 1 MiB keeps
   /// event counts tractable without changing disk-visible sequentiality.
-  uint64_t chunk_bytes = MiB(1);
+  Bytes chunk_bytes = Bytes(MiB(1));
   /// Concurrent re-replication streams cluster-wide (the NameNode paces
   /// recovery so it does not swamp foreground traffic).
   uint32_t max_rereplication_streams = 2;

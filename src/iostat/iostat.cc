@@ -62,7 +62,7 @@ const char* MetricName(Metric m) {
 Sample ComputeSample(const storage::DiskStatsSnapshot& prev,
                      const storage::DiskStatsSnapshot& cur,
                      SimDuration interval) {
-  BDIO_CHECK(interval > 0);
+  BDIO_CHECK(interval > SimDuration{});
   const double itv_s = ToSeconds(interval);
 
   const double d_rios = static_cast<double>(cur.ios[0] - prev.ios[0]);
@@ -99,7 +99,7 @@ Sample ComputeSample(const storage::DiskStatsSnapshot& prev,
 Monitor::Monitor(sim::Simulator* sim, SimDuration interval)
     : sim_(sim), interval_(interval) {
   BDIO_CHECK(sim != nullptr);
-  BDIO_CHECK(interval > 0);
+  BDIO_CHECK(interval > SimDuration{});
 }
 
 void Monitor::AddDevice(storage::BlockDevice* device,

@@ -64,7 +64,7 @@ void AppendStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
                   uint64_t total, uint64_t chunk, std::function<void()> cb,
                   obs::TraceSession* trace, uint64_t flow) {
   if (total == 0) {
-    sim->ScheduleAfter(0, std::move(cb));
+    sim->ScheduleAfter(SimDuration{}, std::move(cb));
     return;
   }
   auto st = std::make_shared<StreamState>();
@@ -84,7 +84,7 @@ void ReadStream(sim::Simulator* sim, os::FileSystem* fs, os::File* file,
                 std::function<void()> cb, obs::TraceSession* trace,
                 uint64_t flow) {
   if (total == 0) {
-    sim->ScheduleAfter(0, std::move(cb));
+    sim->ScheduleAfter(SimDuration{}, std::move(cb));
     return;
   }
   auto st = std::make_shared<StreamState>();
@@ -113,7 +113,7 @@ struct MrEngine::MapTask {
   bool cancelled = false;  ///< Lost the commit race; abandons at a boundary.
   bool crashed = false;  ///< crash-task fault; fails at the next boundary.
   bool reexec = false;   ///< Re-executing a lost committed map (charging).
-  SimTime start_time = 0;  ///< Launch instant (straggler detection).
+  SimTime start_time;  ///< Launch instant (straggler detection).
   std::string input_path;
   uint64_t split_bytes = 0;
   uint64_t split_offset = 0;
@@ -179,7 +179,7 @@ struct MrEngine::Job {
   uint32_t preempt_marked = 0;  ///< Running maps marked for reclaim.
   uint32_t speculative_running = 0;  ///< Running backup attempts.
   uint32_t spec_preempt_marked = 0;  ///< Backups among preempt_marked.
-  uint64_t map_duration_ns = 0;  ///< Sum over committed maps (mean baseline).
+  SimDuration map_duration;     ///< Sum over committed maps (mean baseline).
   std::vector<std::shared_ptr<MapTask>> running_map_tasks;
   std::vector<MapOutput> map_outputs;
 
@@ -375,7 +375,7 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   const std::vector<const hdfs::FileEntry*> files =
       hdfs_->name_node()->List(spec.input_path);
   if (files.empty()) {
-    cluster_->sim()->ScheduleAfter(0, [this, job] {
+    cluster_->sim()->ScheduleAfter(SimDuration{}, [this, job] {
       const Status status =
           Status::NotFound("no input files under " + job->spec.input_path);
       job->done(status, job->counters);
@@ -415,8 +415,8 @@ uint32_t MrEngine::SubmitJob(const SimJobSpec& spec, JobCallback done,
   }
 
   if (job->splits.empty()) {
-    cluster_->sim()->ScheduleAfter(0, [this, job] {
-      job->counters.end_time = 0;
+    cluster_->sim()->ScheduleAfter(SimDuration{}, [this, job] {
+      job->counters.end_time = SimTime{};
       const Status status = Status::InvalidArgument("empty input");
       job->done(status, job->counters);
       FireCompletionHooks(job->job_id, status, job->counters);
@@ -567,7 +567,7 @@ void MrEngine::DispatchSpeculative() {
         if (job->finished || !job->spec.speculative_execution) continue;
         if (job->maps_done == 0) continue;  // no duration baseline yet
         const double threshold =
-            static_cast<double>(job->map_duration_ns) /
+            static_cast<double>(job->map_duration.ns()) /
             static_cast<double>(job->maps_done) *
             job->spec.speculative_slowdown;
         for (const auto& mt : job->running_map_tasks) {
@@ -578,7 +578,7 @@ void MrEngine::DispatchSpeculative() {
           if (mt->epoch != node_epoch_[mt->node]) continue;
           if (mt->node == node) continue;  // back up on a different node
           if (job->committed[mt->split_idx]) continue;
-          if (static_cast<double>(now - mt->start_time) <= threshold) {
+          if (static_cast<double>((now - mt->start_time).ns()) <= threshold) {
             continue;
           }
           if (HasLiveAttempt(job, mt->split_idx, mt)) continue;  // one backup
@@ -794,8 +794,8 @@ void MrEngine::ParkSplit(std::shared_ptr<Job> job, size_t split_idx) {
     delay *= 2;
   }
   delay = std::min(delay, job->spec.retry_backoff_cap);
-  delay += retry_rng_.Uniform(
-      std::max<uint64_t>(1, job->spec.retry_backoff_base / 8));
+  delay += SimDuration(retry_rng_.Uniform(
+      std::max<uint64_t>(1, (job->spec.retry_backoff_base / 8).ns())));
   cluster_->sim()->ScheduleAfter(delay, [this, job, split_idx] {
     if (job->finished || job->failing) return;
     if (!job->parked[split_idx]) return;  // abandoned or written off
@@ -1146,7 +1146,7 @@ void MrEngine::MapSpill(std::shared_ptr<Job> job, std::shared_ptr<MapTask> mt,
   const uint64_t pre = mt->buffer_bytes;
   mt->buffer_bytes = 0;
   if (pre == 0 || job->map_only()) {
-    cluster_->sim()->ScheduleAfter(0, std::move(then));
+    cluster_->sim()->ScheduleAfter(SimDuration{}, std::move(then));
     return;
   }
   double post_d = static_cast<double>(pre) * job->spec.combine_ratio;
@@ -1330,7 +1330,7 @@ void MrEngine::MapFinish(std::shared_ptr<Job> job,
       }
     }
     if (picked == SIZE_MAX) {
-      cluster_->sim()->ScheduleAfter(0, finish);
+      cluster_->sim()->ScheduleAfter(SimDuration{}, finish);
       return;
     }
     ms->cursor = picked + 1;
@@ -1398,7 +1398,7 @@ void MrEngine::OnMapDone(std::shared_ptr<Job> job,
   }
   ++free_map_slots_[mt->node];
   ++job->maps_done;
-  job->map_duration_ns += cluster_->sim()->Now() - mt->start_time;
+  job->map_duration += cluster_->sim()->Now() - mt->start_time;
   MaybeStartReducers(job);
   DispatchReduces();
   for (auto& rt : job->reducers) {
@@ -1489,7 +1489,7 @@ void MrEngine::ReduceSpill(std::shared_ptr<Job> job,
   const uint64_t bytes = rt->mem_bytes;
   rt->mem_bytes = 0;
   if (bytes == 0) {
-    cluster_->sim()->ScheduleAfter(0, std::move(then));
+    cluster_->sim()->ScheduleAfter(SimDuration{}, std::move(then));
     return;
   }
   rt->spilling = true;
@@ -1642,7 +1642,7 @@ void MrEngine::ReduceMergeAndRun(std::shared_ptr<Job> job,
       if (!read_next([step] {
             if (*step) (*step)();
           })) {
-        cluster_->sim()->ScheduleAfter(0, finish);
+        cluster_->sim()->ScheduleAfter(SimDuration{}, finish);
       }
       return;
     }
@@ -1746,7 +1746,7 @@ void MrEngine::MaybeFinishJob(std::shared_ptr<Job> job) {
   const Status status = job->failing ? job->failure : Status::OK();
   job->counters.end_time = cluster_->sim()->Now();
   jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
-  cluster_->sim()->ScheduleAfter(0, [this, job, status] {
+  cluster_->sim()->ScheduleAfter(SimDuration{}, [this, job, status] {
     job->done(status, job->counters);
     FireCompletionHooks(job->job_id, status, job->counters);
   });

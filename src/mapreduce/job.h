@@ -129,8 +129,8 @@ struct JobCounters {
   /// speculative_wasted_bytes.
   uint64_t wasted_work_bytes = 0;
   uint64_t spills = 0;
-  SimTime start_time = 0;
-  SimTime end_time = 0;
+  SimTime start_time;
+  SimTime end_time;
 
   double DurationSeconds() const { return ToSeconds(end_time - start_time); }
 };

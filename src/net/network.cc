@@ -169,7 +169,7 @@ void Network::Reschedule() {
   }
   if (!done.empty()) {
     for (auto& cb : done) {
-      if (cb) sim_->ScheduleAfter(0, std::move(cb));
+      if (cb) sim_->ScheduleAfter(SimDuration{}, std::move(cb));
     }
     if (!flows_.empty()) ComputeRates();  // allocation changed
   }

@@ -89,7 +89,7 @@ class Network {
   std::map<uint64_t, Flow> flows_;
   uint64_t next_flow_id_ = 1;
   uint64_t generation_ = 0;  ///< Invalidates stale completion events.
-  SimTime last_advance_ = 0;
+  SimTime last_advance_;
   std::vector<NodeNetStats> node_stats_;
   uint64_t total_bytes_ = 0;
 

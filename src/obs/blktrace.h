@@ -128,7 +128,7 @@ class BlktraceSession {
     BlktraceDevice& d = devices_[device];
     ++d.counts[BlkActionIndex(action)];
     BlktraceRecord rec;
-    rec.time_ns = sim_->Now();
+    rec.time_ns = sim_->Now().ns();
     rec.sector = sector;
     rec.sectors = sectors;
     rec.queue_depth = queue_depth;

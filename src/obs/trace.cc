@@ -15,8 +15,8 @@ namespace {
 void AppendTimestamp(std::string* out, SimTime ns) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%llu.%03llu",
-                static_cast<unsigned long long>(ns / 1000),
-                static_cast<unsigned long long>(ns % 1000));
+                static_cast<unsigned long long>(ns.ns() / 1000),
+                static_cast<unsigned long long>(ns.ns() % 1000));
   *out += buf;
 }
 

@@ -81,7 +81,7 @@ class TraceSession {
     uint32_t pid = 0;
     const char* cat = nullptr;
     const char* name = nullptr;
-    SimTime ts = 0;
+    SimTime ts;
     uint64_t id = 0;  ///< Span/flow id; 0 = none.
     std::string args;
   };

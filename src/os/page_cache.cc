@@ -213,7 +213,7 @@ void PageCache::Read(CachedFile* file, uint64_t offset, uint64_t len,
       tag_read_bytes_[tag]->Add(bytes);
     }
     dev->Submit(
-        IoType::kRead, sector, bytes / kSectorSize,
+        IoType::kRead, Sectors(sector), Sectors(bytes / kSectorSize),
         [this, fid, start_unit, n_units] {
           // Waiters may re-enter the cache and mutate units_, so collect
           // them first and run them only after this loop's references die.
@@ -266,7 +266,7 @@ void PageCache::Write(CachedFile* file, uint64_t offset, uint64_t len,
     return;
   }
   DoWrite(file, offset, len);
-  if (cb) sim_->ScheduleAfter(0, std::move(cb));
+  if (cb) sim_->ScheduleAfter(SimDuration{}, std::move(cb));
 }
 
 void PageCache::DoWrite(CachedFile* file, uint64_t offset, uint64_t len) {
@@ -327,7 +327,7 @@ void PageCache::MarkDirtyResident(uint64_t fid, FileState& fs, Unit& unit,
       // Defer waiters: they may re-enter the cache while our references
       // into units_/files_ are live.
       for (auto& w : unit.read_waiters) {
-        sim_->ScheduleAfter(0, std::move(w));
+        sim_->ScheduleAfter(SimDuration{}, std::move(w));
       }
       unit.read_waiters.clear();
       break;
@@ -534,7 +534,7 @@ bool PageCache::SubmitWritebackBio(uint64_t file_id, FileState* fs,
   obs::FlowScope flow_scope(trace_, flow);
 
   dev->Submit(
-      IoType::kWrite, start_sector, bytes / kSectorSize,
+      IoType::kWrite, Sectors(start_sector), Sectors(bytes / kSectorSize),
       [this, file_id, start_unit, n_units] {
         OnWritebackDone(file_id, start_unit, n_units);
       },
@@ -586,7 +586,7 @@ void PageCache::OnWritebackDone(uint64_t file_id, uint64_t start_unit,
   }
   if (dropped && fit->second.writeback_units == 0) {
     for (auto& w : fit->second.sync_waiters) {
-      sim_->ScheduleAfter(0, std::move(w));
+      sim_->ScheduleAfter(SimDuration{}, std::move(w));
     }
     files_.erase(fit);
   }
@@ -599,7 +599,7 @@ void PageCache::OnWritebackDone(uint64_t file_id, uint64_t start_unit,
       writeback_inflight_ == 0) {
     auto waiters = std::move(sync_all_waiters_);
     sync_all_waiters_.clear();
-    for (auto& w : waiters) sim_->ScheduleAfter(0, std::move(w));
+    for (auto& w : waiters) sim_->ScheduleAfter(SimDuration{}, std::move(w));
   }
 }
 
@@ -612,7 +612,7 @@ void PageCache::CheckSyncWaiters(uint64_t file_id) {
     auto waiters = std::move(fs.sync_waiters);
     fs.sync_waiters.clear();
     fs.sync_requested = false;
-    for (auto& w : waiters) sim_->ScheduleAfter(0, std::move(w));
+    for (auto& w : waiters) sim_->ScheduleAfter(SimDuration{}, std::move(w));
   }
 }
 
@@ -621,7 +621,7 @@ void PageCache::DrainThrottled() {
     PendingWrite pw = std::move(throttled_.front());
     throttled_.pop_front();
     DoWrite(pw.file, pw.offset, pw.len);
-    if (pw.cb) sim_->ScheduleAfter(0, std::move(pw.cb));
+    if (pw.cb) sim_->ScheduleAfter(SimDuration{}, std::move(pw.cb));
   }
 }
 
@@ -634,7 +634,7 @@ void PageCache::Sync(CachedFile* file, InlineFn cb) {
   FileState& fs = files_[fid];
   fs.file = file;
   if (fs.dirty.empty() && fs.writeback_units == 0) {
-    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    if (cb) sim_->ScheduleAfter(SimDuration{}, std::move(cb));
     return;
   }
   fs.sync_requested = true;
@@ -644,7 +644,7 @@ void PageCache::Sync(CachedFile* file, InlineFn cb) {
 
 void PageCache::SyncAll(InlineFn cb) {
   if (dirty_units_ == 0 && writeback_inflight_ == 0) {
-    if (cb) sim_->ScheduleAfter(0, std::move(cb));
+    if (cb) sim_->ScheduleAfter(SimDuration{}, std::move(cb));
     return;
   }
   if (cb) sync_all_waiters_.push_back(std::move(cb));
@@ -669,7 +669,7 @@ void PageCache::Drop(uint64_t file_id) {
   // continuations still run.
   for (auto it = throttled_.begin(); it != throttled_.end();) {
     if (it->file->file_id() == file_id) {
-      if (it->cb) sim_->ScheduleAfter(0, std::move(it->cb));
+      if (it->cb) sim_->ScheduleAfter(SimDuration{}, std::move(it->cb));
       it = throttled_.erase(it);
     } else {
       ++it;
@@ -683,7 +683,7 @@ void PageCache::Drop(uint64_t file_id) {
     dirty_files_.erase(file_id);
     if (fit->second.writeback_units == 0) {
       for (auto& w : fit->second.sync_waiters) {
-        sim_->ScheduleAfter(0, std::move(w));
+        sim_->ScheduleAfter(SimDuration{}, std::move(w));
       }
       files_.erase(fit);
     } else {
@@ -699,7 +699,7 @@ void PageCache::Drop(uint64_t file_id) {
       }
       if (it->second.state == UnitState::kReading) {
         for (auto& w : it->second.read_waiters) {
-          sim_->ScheduleAfter(0, std::move(w));
+          sim_->ScheduleAfter(SimDuration{}, std::move(w));
         }
       }
       if (it->second.state == UnitState::kWriteback ||

@@ -162,7 +162,7 @@ class PageCache {
   struct Unit {
     UnitState state = UnitState::kClean;
     LruList::iterator lru_it{};
-    SimTime dirty_since = 0;
+    SimTime dirty_since;
     std::vector<InlineFn> read_waiters;
   };
 

@@ -13,7 +13,7 @@ JobQueue::JobQueue(sim::Simulator* sim, uint32_t max_concurrent,
 
 size_t JobQueue::Submit(SimTime arrival) {
   const size_t index = arrivals_.size();
-  arrivals_.push_back(Arrival{arrival, 0, false, false});
+  arrivals_.push_back(Arrival{arrival, SimTime{}, false, false});
   sim_->ScheduleAt(arrival, [this, index] { Arrived(index); });
   return index;
 }

@@ -56,8 +56,8 @@ class JobQueue {
 
  private:
   struct Arrival {
-    SimTime arrival = 0;
-    SimTime admit = 0;
+    SimTime arrival;
+    SimTime admit;
     bool admitted = false;
     bool done = false;
   };

@@ -80,8 +80,8 @@ EventNode* CalendarQueue::PopMin() {
 void CalendarQueue::Resize(size_t nbuckets) {
   std::vector<EventNode*> all;
   all.reserve(size_);
-  SimTime lo = ~SimTime{0};
-  SimTime hi = 0;
+  SimTime lo = SimTime::Max();
+  SimTime hi;
   for (Bucket& b : buckets_) {
     for (EventNode* n : b) {
       lo = std::min(lo, n->time);
@@ -94,7 +94,7 @@ void CalendarQueue::Resize(size_t nbuckets) {
   // operating point where both push (short heap) and pop (short scan) are
   // O(1) amortized.
   if (all.size() > 1) {
-    const uint64_t gap = (hi - lo) / all.size();
+    const uint64_t gap = (hi - lo).ns() / all.size();
     shift_ = std::clamp(static_cast<uint32_t>(std::bit_width(gap)),
                         kMinShift, kMaxShift);
   }

@@ -65,7 +65,7 @@ class CalendarQueue {
     }
   };
 
-  uint64_t EpochOf(SimTime t) const { return t >> shift_; }
+  uint64_t EpochOf(SimTime t) const { return t.ns() >> shift_; }
   size_t BucketIndex(uint64_t epoch) const {
     return static_cast<size_t>(epoch) & (buckets_.size() - 1);
   }

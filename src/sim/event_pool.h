@@ -22,7 +22,7 @@ namespace bdio::sim {
 ///    was carried by — never touch an EventNode after Free;
 ///  - `free_next` is meaningful only while the node sits on the freelist.
 struct EventNode {
-  SimTime time = 0;
+  SimTime time;
   uint64_t seq = 0;           ///< Tie-break: insertion order.
   EventNode* free_next = nullptr;
   InlineFn fn;

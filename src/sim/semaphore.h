@@ -29,7 +29,7 @@ class Semaphore {
   void Acquire(std::function<void()> on_granted) {
     if (available_ > 0) {
       --available_;
-      sim_->ScheduleAfter(0, std::move(on_granted));
+      sim_->ScheduleAfter(SimDuration{}, std::move(on_granted));
     } else {
       waiters_.push_back(std::move(on_granted));
     }
@@ -40,7 +40,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto next = std::move(waiters_.front());
       waiters_.pop_front();
-      sim_->ScheduleAfter(0, std::move(next));
+      sim_->ScheduleAfter(SimDuration{}, std::move(next));
     } else {
       ++available_;
       BDIO_CHECK(available_ <= capacity_) << "semaphore over-released";

@@ -35,7 +35,7 @@ void Simulator::RunUntil(SimTime t) {
 ScopedLogClock::ScopedLogClock(const Simulator* sim) {
   SetThreadLogClock(
       [](const void* ctx) {
-        return static_cast<const Simulator*>(ctx)->Now();
+        return static_cast<const Simulator*>(ctx)->Now().ns();
       },
       sim);
 }

@@ -86,7 +86,7 @@ class Simulator {
   }
 
  private:
-  SimTime now_ = 0;
+  SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   EventPool pool_;

@@ -43,14 +43,14 @@ void BlockDevice::AttachBlktrace(obs::BlktraceSession* session,
   blktrace_dev_ = device_index;
 }
 
-void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
+void BlockDevice::Submit(IoType type, Sectors sector, Sectors sectors,
                          InlineFn on_complete, uint64_t io_context,
                          uint32_t tag, uint32_t job) {
-  BDIO_CHECK(sectors > 0) << name_ << ": zero-length bio";
-  BDIO_CHECK(sectors <= params_.max_request_sectors)
+  BDIO_CHECK(sectors > Sectors{}) << name_ << ": zero-length bio";
+  BDIO_CHECK(sectors.count() <= params_.max_request_sectors)
       << name_ << ": bio exceeds max request size (" << sectors
       << " sectors); split it in the block layer";
-  BDIO_CHECK(sector + sectors <= params_.TotalSectors())
+  BDIO_CHECK((sector + sectors).count() <= params_.TotalSectors())
       << name_ << ": bio beyond device end";
 
   IoRequest* bio = pool_.Alloc();
@@ -75,15 +75,15 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
       // but the *surviving* request's id, so the analyzer can credit the
       // bio to the request it dissolved into.
       blktrace_->Record(blktrace_dev_, obs::BlkAction::kMerge,
-                        type == IoType::kWrite, sector,
-                        static_cast<uint32_t>(sectors),
+                        type == IoType::kWrite, sector.count(),
+                        static_cast<uint32_t>(sectors.count()),
                         static_cast<uint32_t>(into->id), tag, job,
                         static_cast<uint32_t>(scheduler_->size()));
     }
     if (trace_) {
       trace_->Instant(trace_pid_, "sched", "merge",
                       "{\"dev\":\"" + name_ + "\",\"sectors\":" +
-                          std::to_string(sectors) + "}");
+                          std::to_string(sectors.count()) + "}");
       // The merged bio's identity dissolves into the surviving request;
       // its flow terminates at the merge point.
       trace_->FlowEnd(bio->trace_flow, trace_pid_);
@@ -97,15 +97,15 @@ void BlockDevice::Submit(IoType type, uint64_t sector, uint64_t sectors,
       bio->queue_span = trace_->BeginSpan(
           trace_pid_, "sched", type == IoType::kRead ? "queue-read"
                                                      : "queue-write",
-          "{\"dev\":\"" + name_ + "\",\"sector\":" + std::to_string(sector) +
-              ",\"sectors\":" + std::to_string(sectors) + "}");
+          "{\"dev\":\"" + name_ + "\",\"sector\":" + std::to_string(sector.count()) +
+              ",\"sectors\":" + std::to_string(sectors.count()) + "}");
       trace_->FlowStep(bio->trace_flow, trace_pid_);
     }
     scheduler_->Add(bio);
     if (blktrace_) {
       blktrace_->Record(blktrace_dev_, obs::BlkAction::kQueue,
-                        type == IoType::kWrite, sector,
-                        static_cast<uint32_t>(sectors),
+                        type == IoType::kWrite, sector.count(),
+                        static_cast<uint32_t>(sectors.count()),
                         static_cast<uint32_t>(bio->id), tag, job,
                         static_cast<uint32_t>(scheduler_->size()));
     }
@@ -119,9 +119,9 @@ size_t BlockDevice::PickSptf() const {
   for (size_t i = 0; i < ncq_pool_.size(); ++i) {
     // Estimate positioning deterministically by distance only (the random
     // rotational component is drawn at service time).
-    const uint64_t head = model_.head_sector();
-    const uint64_t s = ncq_pool_[i]->sector;
-    const uint64_t dist = s > head ? s - head : head - s;
+    const Sectors head = model_.head_sector();
+    const Sectors s = ncq_pool_[i]->sector;
+    const uint64_t dist = SectorGap(s, head).count();
     if (dist < best_cost) {
       best_cost = dist;
       best = i;
@@ -139,8 +139,8 @@ void BlockDevice::MaybeDispatch() {
       // D: the (possibly merged) request leaves the elevator for the
       // drive. Geometry is the merged request's, not the founding bio's.
       blktrace_->Record(blktrace_dev_, obs::BlkAction::kDispatch,
-                        pulled->type == IoType::kWrite, pulled->sector,
-                        static_cast<uint32_t>(pulled->sectors),
+                        pulled->type == IoType::kWrite, pulled->sector.count(),
+                        static_cast<uint32_t>(pulled->sectors.count()),
                         static_cast<uint32_t>(pulled->id), pulled->tag,
                         pulled->job,
                         static_cast<uint32_t>(scheduler_->size()));
@@ -158,7 +158,7 @@ void BlockDevice::MaybeDispatch() {
         trace_pid_, "disk",
         req->is_read() ? "service-read" : "service-write",
         "{\"dev\":\"" + name_ + "\",\"sectors\":" +
-            std::to_string(req->sectors) + ",\"bios\":" +
+            std::to_string(req->sectors.count()) + ",\"bios\":" +
             std::to_string(req->bio_count) + "}");
     trace_->FlowStep(req->trace_flow, trace_pid_);
   }
@@ -172,15 +172,15 @@ void BlockDevice::Complete(IoRequest* req) {
   busy_ = false;
   if (blktrace_) {
     blktrace_->Record(blktrace_dev_, obs::BlkAction::kComplete,
-                      req->type == IoType::kWrite, req->sector,
-                      static_cast<uint32_t>(req->sectors),
+                      req->type == IoType::kWrite, req->sector.count(),
+                      static_cast<uint32_t>(req->sectors.count()),
                       static_cast<uint32_t>(req->id), req->tag, req->job,
                       static_cast<uint32_t>(scheduler_->size()));
   }
   if (trace_) trace_->EndSpan(req->service_span);
   if (m_requests_) {  // registry attached
-    (req->is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req->bytes());
-    m_request_sectors_->Observe(static_cast<double>(req->sectors));
+    (req->is_read() ? m_read_bytes_ : m_write_bytes_)->Add(req->bytes().bytes());
+    m_request_sectors_->Observe(static_cast<double>(req->sectors.count()));
     m_await_ms_->Observe(ToMillis(req->complete_time - req->submit_time));
   }
   if (observer_) observer_(*req);
@@ -202,14 +202,15 @@ std::string BlockDevice::AuditInvariants() const {
     return "disk " + name_ + ": in_flight=" + std::to_string(snap.in_flight) +
            " but elevator+NCQ+service hold " + std::to_string(expected);
   }
-  if (snap.io_ticks > now) {
-    return "disk " + name_ + ": io_ticks=" + std::to_string(snap.io_ticks) +
-           " exceeds elapsed time " + std::to_string(now) + " (util > 1)";
+  if (snap.io_ticks.ns() > now.ns()) {
+    return "disk " + name_ + ": io_ticks=" +
+           std::to_string(snap.io_ticks.ns()) + " exceeds elapsed time " +
+           std::to_string(now.ns()) + " (util > 1)";
   }
   if (snap.time_in_queue < snap.io_ticks) {
     return "disk " + name_ + ": time_in_queue=" +
-           std::to_string(snap.time_in_queue) + " below io_ticks=" +
-           std::to_string(snap.io_ticks) +
+           std::to_string(snap.time_in_queue.ns()) + " below io_ticks=" +
+           std::to_string(snap.io_ticks.ns()) +
            " (queue integral must dominate busy time)";
   }
   if (busy_ && snap.in_flight == 0) {

@@ -45,7 +45,7 @@ class BlockDevice {
   /// records; both default to 0 = unattributed. The request is drawn from
   /// this device's pool and recycled after completion — callbacks must not
   /// retain it.
-  void Submit(IoType type, uint64_t sector, uint64_t sectors,
+  void Submit(IoType type, Sectors sector, Sectors sectors,
               InlineFn on_complete, uint64_t io_context = 0,
               uint32_t tag = 0, uint32_t job = 0);
 

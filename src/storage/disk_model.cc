@@ -7,8 +7,8 @@
 
 namespace bdio::storage {
 
-double DiskModel::RateAtSector(uint64_t sector) const {
-  const double frac = static_cast<double>(sector) /
+double DiskModel::RateAtSector(Sectors sector) const {
+  const double frac = static_cast<double>(sector.count()) /
                       static_cast<double>(params_.TotalSectors());
   const double mb_s = params_.outer_rate_mb_s +
                       (params_.inner_rate_mb_s - params_.outer_rate_mb_s) *
@@ -16,20 +16,20 @@ double DiskModel::RateAtSector(uint64_t sector) const {
   return mb_s * 1e6;
 }
 
-SimDuration DiskModel::PositioningTime(uint64_t sector) {
+SimDuration DiskModel::PositioningTime(Sectors sector) {
   if (params_.solid_state) {
     // Flash: flat access latency, position-independent.
-    return FromSeconds(params_.access_latency_ms / 1000.0);
+    return FromMillis(params_.access_latency_ms);
   }
   if (sector == head_sector_) {
     // Sequential continuation: the head is already there and (by the usual
     // streaming assumption) rotationally aligned.
-    return 0;
+    return SimDuration{};
   }
   const double total = static_cast<double>(params_.TotalSectors());
   const double dist =
-      std::abs(static_cast<double>(sector) -
-               static_cast<double>(head_sector_)) /
+      std::abs(static_cast<double>(sector.count()) -
+               static_cast<double>(head_sector_.count())) /
       total;
   double seek_ms;
   if (dist < 1e-6) {
@@ -46,8 +46,8 @@ SimDuration DiskModel::PositioningTime(uint64_t sector) {
 }
 
 SimDuration DiskModel::Service(const IoRequest& req) {
-  BDIO_CHECK(req.sectors > 0);
-  BDIO_CHECK(req.end_sector() <= params_.TotalSectors())
+  BDIO_CHECK(req.sectors > Sectors{});
+  BDIO_CHECK(req.end_sector().count() <= params_.TotalSectors())
       << "request beyond device: end=" << req.end_sector();
   const SimDuration position = PositioningTime(req.sector);
   const double rate = RateAtSector(req.sector);
@@ -56,8 +56,8 @@ SimDuration DiskModel::Service(const IoRequest& req) {
   const SimDuration healthy = position + transfer;
   if (service_factor_ == 1.0) return healthy;  // bit-exact healthy path
   BDIO_CHECK(service_factor_ > 0);
-  return static_cast<SimDuration>(static_cast<double>(healthy) *
-                                  service_factor_);
+  return SimDuration(static_cast<uint64_t>(
+      static_cast<double>(healthy.ns()) * service_factor_));
 }
 
 }  // namespace bdio::storage

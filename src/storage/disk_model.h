@@ -22,11 +22,11 @@ class DiskModel {
 
   /// Transfer rate (bytes/s) at the given sector (zoned: outer tracks are
   /// faster).
-  double RateAtSector(uint64_t sector) const;
+  double RateAtSector(Sectors sector) const;
 
   /// Positioning cost (ns) to move the head from the current position to
   /// `sector` — zero for an exactly sequential continuation.
-  SimDuration PositioningTime(uint64_t sector);
+  SimDuration PositioningTime(Sectors sector);
 
   /// Degraded-media multiplier applied to every service time (fault
   /// injection: a failing disk with remapped sectors or media retries runs
@@ -35,13 +35,13 @@ class DiskModel {
   void set_service_factor(double factor) { service_factor_ = factor; }
   double service_factor() const { return service_factor_; }
 
-  uint64_t head_sector() const { return head_sector_; }
+  Sectors head_sector() const { return head_sector_; }
   const DiskParameters& params() const { return params_; }
 
  private:
   DiskParameters params_;
   Rng rng_;
-  uint64_t head_sector_ = 0;
+  Sectors head_sector_;
   double service_factor_ = 1.0;
 };
 

@@ -7,7 +7,7 @@ namespace bdio::storage {
 void DiskStats::Advance(SimTime now) {
   BDIO_CHECK(now >= last_update_);
   const SimDuration elapsed = now - last_update_;
-  if (elapsed > 0 && stats_.in_flight > 0) {
+  if (elapsed > SimDuration{} && stats_.in_flight > 0) {
     stats_.io_ticks += elapsed;
     stats_.time_in_queue += elapsed * stats_.in_flight;
   }
@@ -30,7 +30,7 @@ void DiskStats::OnComplete(const IoRequest& req, SimTime now) {
   Advance(now);
   const int d = static_cast<int>(req.type);
   ++stats_.ios[d];
-  stats_.sectors[d] += req.sectors;
+  stats_.sectors[d] += req.sectors.count();
   BDIO_CHECK(now >= req.submit_time);
   stats_.ticks[d] += now - req.submit_time;
   BDIO_CHECK(stats_.in_flight > 0);
@@ -42,7 +42,7 @@ DiskStatsSnapshot DiskStats::Snapshot(SimTime now) const {
   DiskStatsSnapshot snap = stats_;
   BDIO_CHECK(now >= last_update_);
   const SimDuration elapsed = now - last_update_;
-  if (elapsed > 0 && snap.in_flight > 0) {
+  if (elapsed > SimDuration{} && snap.in_flight > 0) {
     snap.io_ticks += elapsed;
     snap.time_in_queue += elapsed * snap.in_flight;
   }

@@ -17,11 +17,11 @@ struct DiskStatsSnapshot {
   uint64_t ios[2] = {0, 0};      ///< Completed requests.
   uint64_t merges[2] = {0, 0};   ///< Bios merged into existing requests.
   uint64_t sectors[2] = {0, 0};  ///< Sectors transferred.
-  SimDuration ticks[2] = {0, 0};  ///< Sum of request latencies (submit->done).
+  SimDuration ticks[2];  ///< Sum of request latencies (submit->done).
 
   uint64_t in_flight = 0;        ///< Requests in queue + being serviced.
-  SimDuration io_ticks = 0;      ///< Total time the device was busy.
-  SimDuration time_in_queue = 0; ///< Integral of in_flight over time.
+  SimDuration io_ticks;      ///< Total time the device was busy.
+  SimDuration time_in_queue; ///< Integral of in_flight over time.
 
   uint64_t TotalIos() const { return ios[0] + ios[1]; }
   uint64_t TotalSectors() const { return sectors[0] + sectors[1]; }
@@ -46,7 +46,7 @@ class DiskStats {
   void Advance(SimTime now);
 
   DiskStatsSnapshot stats_;
-  SimTime last_update_ = 0;
+  SimTime last_update_;
 };
 
 }  // namespace bdio::storage

@@ -31,8 +31,8 @@ inline const char* IoTypeName(IoType t) {
 struct IoRequest {
   uint64_t id = 0;          ///< Unique per device, assigned on submit.
   IoType type = IoType::kRead;
-  uint64_t sector = 0;      ///< First sector (512 B units).
-  uint64_t sectors = 0;     ///< Length in sectors; > 0.
+  Sectors sector;           ///< First sector (512 B units).
+  Sectors sectors;          ///< Length in sectors; > 0.
   /// Issuing stream (io-context): the page cache stamps the file id here.
   /// Fairness-aware elevators (CFQ) schedule per context; others ignore it.
   uint64_t io_context = 0;
@@ -44,12 +44,12 @@ struct IoRequest {
   uint32_t tag = 0;
   uint32_t job = 0;
 
-  SimTime submit_time = 0;    ///< When the request entered the queue.
-  SimTime dispatch_time = 0;  ///< When the device started servicing it.
-  SimTime complete_time = 0;  ///< When service finished.
+  SimTime submit_time;    ///< When the request entered the queue.
+  SimTime dispatch_time;  ///< When the device started servicing it.
+  SimTime complete_time;  ///< When service finished.
 
   /// Expiry used by deadline-style elevators (submit_time + class expiry).
-  SimTime deadline = 0;
+  SimTime deadline;
 
   /// Number of bios folded into this request (1 + merges).
   uint32_t bio_count = 1;
@@ -66,8 +66,8 @@ struct IoRequest {
   /// Completion continuations (one per merged bio).
   std::vector<InlineFn> on_complete;
 
-  uint64_t end_sector() const { return sector + sectors; }
-  uint64_t bytes() const { return sectors * kSectorSize; }
+  Sectors end_sector() const { return sector + sectors; }
+  Bytes bytes() const { return ToBytes(sectors); }
   bool is_read() const { return type == IoType::kRead; }
 };
 

@@ -81,7 +81,7 @@ class IoScheduler {
 class NoopScheduler : public IoScheduler {
  public:
   explicit NoopScheduler(uint64_t max_request_sectors)
-      : max_request_sectors_(max_request_sectors) {}
+      : max_request_sectors_(Sectors(max_request_sectors)) {}
 
   IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
@@ -91,7 +91,7 @@ class NoopScheduler : public IoScheduler {
   std::string name() const override { return "noop"; }
 
  private:
-  uint64_t max_request_sectors_;
+  Sectors max_request_sectors_;
   ReqList fifo_;
   size_t size_ = 0;
 };
@@ -109,7 +109,7 @@ class DeadlineScheduler : public IoScheduler {
   static constexpr int kWritesStarved = 2;
 
   explicit DeadlineScheduler(uint64_t max_request_sectors)
-      : max_request_sectors_(max_request_sectors) {}
+      : max_request_sectors_(Sectors(max_request_sectors)) {}
 
   IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
@@ -121,7 +121,7 @@ class DeadlineScheduler : public IoScheduler {
  private:
   /// Sector-sorted indices into the FIFO; values are queue-held request
   /// pointers (keys are sectors — stable ids, per bdio-lint rule R3).
-  using SortedIndex = FlatMultiMap<uint64_t, IoRequest*>;
+  using SortedIndex = FlatMultiMap<Sectors, IoRequest*>;
 
   struct DirQueue {
     ReqList fifo;          ///< insertion order (deadline order)
@@ -136,13 +136,13 @@ class DeadlineScheduler : public IoScheduler {
   /// the first request at or after the elevator position (wrapping).
   IoRequest* Select(DirQueue* q, SimTime now);
 
-  uint64_t max_request_sectors_;
+  Sectors max_request_sectors_;
   DirQueue queues_[2];
   size_t size_ = 0;
   int batch_remaining_ = 0;
   int starved_batches_ = 0;
   IoType batch_dir_ = IoType::kRead;
-  uint64_t next_sector_ = 0;  ///< Elevator position.
+  Sectors next_sector_;          ///< Elevator position.
 };
 
 /// Completely-fair-queueing-style elevator: requests are grouped by their
@@ -155,7 +155,7 @@ class CfqScheduler : public IoScheduler {
   static constexpr int kQuantum = 8;  ///< Dispatches per context slice.
 
   explicit CfqScheduler(uint64_t max_request_sectors)
-      : max_request_sectors_(max_request_sectors) {}
+      : max_request_sectors_(Sectors(max_request_sectors)) {}
 
   IoRequest* TryMerge(IoRequest* bio) override;
   void Add(IoRequest* req) override;
@@ -167,13 +167,13 @@ class CfqScheduler : public IoScheduler {
  private:
   struct CtxQueue {
     /// start sector -> request (ascending service within the slice).
-    FlatMultiMap<uint64_t, IoRequest*> by_start;
+    FlatMultiMap<Sectors, IoRequest*> by_start;
     /// end sector -> start sector (back-merge lookup).
-    FlatMultiMap<uint64_t, uint64_t> by_end;
-    uint64_t last_dispatched_end = 0;  ///< Elevator position per context.
+    FlatMultiMap<Sectors, Sectors> by_end;
+    Sectors last_dispatched_end;       ///< Elevator position per context.
   };
 
-  uint64_t max_request_sectors_;
+  Sectors max_request_sectors_;
   FlatMap<uint64_t, CtxQueue> contexts_;
   size_t size_ = 0;
   uint64_t active_ctx_ = 0;

@@ -10,7 +10,7 @@ namespace bdio::trace {
 Status Replayer::Replay(const std::vector<TraceEvent>& events,
                         std::function<void()> done) {
   if (events.empty()) {
-    sim_->ScheduleAfter(0, std::move(done));
+    sim_->ScheduleAfter(SimDuration{}, std::move(done));
     return Status::OK();
   }
   const uint64_t total_sectors = device_->params().TotalSectors();
@@ -29,11 +29,11 @@ Status Replayer::Replay(const std::vector<TraceEvent>& events,
 
   auto latch = sim::Latch::Create(events.size(), std::move(done));
   for (const TraceEvent& e : events) {
-    const SimDuration offset = static_cast<SimDuration>(
-        static_cast<double>(e.submit_time - first) * time_scale_);
+    const SimDuration offset = SimDuration(static_cast<uint64_t>(
+        static_cast<double>((e.submit_time - first).ns()) * time_scale_));
     sim_->ScheduleAfter(offset, [this, e, latch] {
       ++submitted_;
-      device_->Submit(e.type, e.sector, e.sectors, [this, latch] {
+      device_->Submit(e.type, Sectors(e.sector), Sectors(e.sectors), [this, latch] {
         ++completed_;
         latch->Arrive();
       });

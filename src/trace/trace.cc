@@ -19,8 +19,8 @@ void Recorder::Attach(storage::BlockDevice* device) {
         TraceEvent ev;
         ev.device = name;
         ev.type = req.type;
-        ev.sector = req.sector;
-        ev.sectors = req.sectors;
+        ev.sector = req.sector.count();
+        ev.sectors = req.sectors.count();
         ev.bio_count = req.bio_count;
         ev.submit_time = req.submit_time;
         ev.dispatch_time = req.dispatch_time;
@@ -47,10 +47,16 @@ Result<std::vector<TraceEvent>> ReadTrace(std::istream& is) {
     std::istringstream ls(line);
     TraceEvent e;
     std::string type;
+    uint64_t submit_ns = 0;
+    uint64_t dispatch_ns = 0;
+    uint64_t complete_ns = 0;
     if (!(ls >> e.device >> type >> e.sector >> e.sectors >> e.bio_count >>
-          e.submit_time >> e.dispatch_time >> e.complete_time)) {
+          submit_ns >> dispatch_ns >> complete_ns)) {
       return Status::Corruption("bad trace line " + std::to_string(line_no));
     }
+    e.submit_time = SimTime(submit_ns);
+    e.dispatch_time = SimTime(dispatch_ns);
+    e.complete_time = SimTime(complete_ns);
     if (type == "R") {
       e.type = storage::IoType::kRead;
     } else if (type == "W") {
@@ -87,7 +93,7 @@ Analyzer::Analyzer(const std::vector<TraceEvent>& events) {
     auto st = last_submit.find(e.device);
     if (st != last_submit.end() && e.submit_time >= st->second) {
       interarrival_hist_.Add(
-          static_cast<double>(e.submit_time - st->second) / 1000.0);
+          static_cast<double>((e.submit_time - st->second).ns()) / 1000.0);
     }
     last_submit[e.device] = e.submit_time;
   }

@@ -22,9 +22,9 @@ struct TraceEvent {
   uint64_t sector = 0;
   uint64_t sectors = 0;
   uint32_t bio_count = 1;
-  SimTime submit_time = 0;
-  SimTime dispatch_time = 0;
-  SimTime complete_time = 0;
+  SimTime submit_time;
+  SimTime dispatch_time;
+  SimTime complete_time;
 
   SimDuration latency() const { return complete_time - submit_time; }
   SimDuration queue_wait() const { return dispatch_time - submit_time; }

@@ -15,7 +15,7 @@ struct DfsioRun {
   hdfs::Hdfs* dfs = nullptr;
   std::function<void(Result<DfsioResult>)> done;
   DfsioResult result;
-  SimTime phase_start = 0;
+  SimTime phase_start;
 };
 
 std::string FileName(const DfsioSpec& spec, uint32_t i) {
@@ -55,7 +55,7 @@ void RunDfsio(cluster::Cluster* cluster, hdfs::Hdfs* dfs,
   BDIO_CHECK(cluster != nullptr);
   BDIO_CHECK(dfs != nullptr);
   if (spec.num_files == 0 || spec.file_bytes == 0) {
-    cluster->sim()->ScheduleAfter(0, [done = std::move(done)] {
+    cluster->sim()->ScheduleAfter(SimDuration{}, [done = std::move(done)] {
       done(Status::InvalidArgument("num_files and file_bytes must be > 0"));
     });
     return;

@@ -43,7 +43,7 @@ TEST(CpuSchedulerTest, LateArrivalSharesFairly) {
   CpuScheduler cpu(&sim, 1);
   double first_done = 0, second_done = 0;
   cpu.Run(Seconds(2), [&] { first_done = ToSeconds(sim.Now()); });
-  sim.RunUntil(Seconds(1));
+  sim.RunUntil(TimeAt(Seconds(1)));
   cpu.Run(Seconds(2), [&] { second_done = ToSeconds(sim.Now()); });
   sim.Run();
   // First job: 1 s alone + 2 s shared (gets 1 more CPU-s) => done at 3 s.
@@ -56,7 +56,7 @@ TEST(CpuSchedulerTest, ZeroWorkCompletesImmediately) {
   sim::Simulator sim;
   CpuScheduler cpu(&sim, 2);
   bool done = false;
-  cpu.Run(0, [&] { done = true; });
+  cpu.Run(SimDuration{}, [&] { done = true; });
   sim.Run();
   EXPECT_TRUE(done);
   EXPECT_LT(ToSeconds(sim.Now()), 0.001);

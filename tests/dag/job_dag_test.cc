@@ -349,7 +349,7 @@ TEST_F(JobDagTest, NodeRetryRecoversFromAnExhaustedAttemptBudget) {
   JobDag jobdag(sim_.get(), engine_.get(), dfs_.get(), std::move(spec));
   Status status = Status::Internal("not run");
   jobdag.Run([&](Status s) { status = s; });
-  sim_->ScheduleAt(Millis(600), [&] {
+  sim_->ScheduleAt(TimeAt(Millis(600)), [&] {
     for (uint32_t node = 0; node < 4; ++node) {
       engine_->InjectTaskCrash(node);
     }

@@ -19,37 +19,37 @@ TEST(FaultPlanTest, EmptyPlan) {
 
 TEST(FaultPlanTest, BuilderAccumulatesEvents) {
   FaultPlan plan = FaultPlan{}
-                       .KillDataNode(3, Seconds(10))
-                       .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, Seconds(1),
-                                    Seconds(5))
-                       .CorruptReplica("/in/part-0", 7, 1, Seconds(2))
-                       .ThrottleLink(0, 8.0, Seconds(3), 0);
+                       .KillDataNode(3, TimeAt(Seconds(10)))
+                       .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, TimeAt(Seconds(1)),
+                                    TimeAt(Seconds(5)))
+                       .CorruptReplica("/in/part-0", 7, 1, TimeAt(Seconds(2)))
+                       .ThrottleLink(0, 8.0, TimeAt(Seconds(3)), SimTime{});
   ASSERT_EQ(plan.size(), 4u);
   const auto& e = plan.events();
 
   EXPECT_EQ(e[0].kind, FaultKind::kKillDataNode);
   EXPECT_EQ(e[0].node, 3u);
-  EXPECT_EQ(e[0].at, Seconds(10));
+  EXPECT_EQ(e[0].at, TimeAt(Seconds(10)));
 
   EXPECT_EQ(e[1].kind, FaultKind::kDegradeDisk);
   EXPECT_EQ(e[1].node, 1u);
   EXPECT_TRUE(e[1].mr_disk);
   EXPECT_EQ(e[1].disk, 2u);
   EXPECT_DOUBLE_EQ(e[1].factor, 4.0);
-  EXPECT_EQ(e[1].at, Seconds(1));
-  EXPECT_EQ(e[1].until, Seconds(5));
+  EXPECT_EQ(e[1].at, TimeAt(Seconds(1)));
+  EXPECT_EQ(e[1].until, TimeAt(Seconds(5)));
 
   EXPECT_EQ(e[2].kind, FaultKind::kCorruptReplica);
   EXPECT_EQ(e[2].path, "/in/part-0");
   EXPECT_EQ(e[2].block_idx, 7u);
   EXPECT_EQ(e[2].replica_idx, 1u);
-  EXPECT_EQ(e[2].at, Seconds(2));
+  EXPECT_EQ(e[2].at, TimeAt(Seconds(2)));
 
   EXPECT_EQ(e[3].kind, FaultKind::kThrottleLink);
   EXPECT_EQ(e[3].node, 0u);
   EXPECT_DOUBLE_EQ(e[3].factor, 8.0);
-  EXPECT_EQ(e[3].at, Seconds(3));
-  EXPECT_EQ(e[3].until, 0u);  // open-ended window
+  EXPECT_EQ(e[3].at, TimeAt(Seconds(3)));
+  EXPECT_EQ(e[3].until, SimTime{});  // open-ended window
 }
 
 TEST(FaultPlanTest, ParsesFullGrammar) {
@@ -68,7 +68,7 @@ TEST(FaultPlanTest, ParsesFullGrammar) {
 
   EXPECT_EQ(e[0].kind, FaultKind::kKillDataNode);
   EXPECT_EQ(e[0].node, 3u);
-  EXPECT_EQ(e[0].at, FromSeconds(12.5));
+  EXPECT_EQ(e[0].at, TimeAt(FromSeconds(12.5)));
 
   EXPECT_EQ(e[1].kind, FaultKind::kDegradeDisk);
   EXPECT_TRUE(e[1].mr_disk);
@@ -87,18 +87,18 @@ TEST(FaultPlanTest, ParsesFullGrammar) {
   EXPECT_EQ(e[4].kind, FaultKind::kThrottleLink);
   EXPECT_EQ(e[4].node, 2u);
   EXPECT_DOUBLE_EQ(e[4].factor, 8.0);
-  EXPECT_EQ(e[4].at, Seconds(3));
-  EXPECT_EQ(e[4].until, Seconds(6));
+  EXPECT_EQ(e[4].at, TimeAt(Seconds(3)));
+  EXPECT_EQ(e[4].until, TimeAt(Seconds(6)));
 }
 
 TEST(FaultPlanTest, ToStringRoundTrips) {
   const FaultPlan plan =
       FaultPlan{}
-          .KillDataNode(3, FromSeconds(12.5))
-          .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, Seconds(1), Seconds(5))
-          .DegradeDisk(0, /*mr_disk=*/false, 0, 1.5, 0, Seconds(9))
-          .CorruptReplica("/in/data", 7, 1, Seconds(2))
-          .ThrottleLink(2, 8.0, Seconds(3), Seconds(6));
+          .KillDataNode(3, TimeAt(FromSeconds(12.5)))
+          .DegradeDisk(1, /*mr_disk=*/true, 2, 4.0, TimeAt(Seconds(1)), TimeAt(Seconds(5)))
+          .DegradeDisk(0, /*mr_disk=*/false, 0, 1.5, SimTime{}, TimeAt(Seconds(9)))
+          .CorruptReplica("/in/data", 7, 1, TimeAt(Seconds(2)))
+          .ThrottleLink(2, 8.0, TimeAt(Seconds(3)), TimeAt(Seconds(6)));
   auto reparsed = FaultPlan::Parse(plan.ToString());
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   ASSERT_EQ(reparsed.value().size(), plan.size());
@@ -168,21 +168,21 @@ TEST(FaultPlanTest, ParsesComputeVerbs) {
   ASSERT_EQ(e.size(), 2u);
   EXPECT_EQ(e[0].kind, FaultKind::kKillTaskTracker);
   EXPECT_EQ(e[0].node, 3u);
-  EXPECT_EQ(e[0].at, FromSeconds(12.5));
+  EXPECT_EQ(e[0].at, TimeAt(FromSeconds(12.5)));
   EXPECT_EQ(e[1].kind, FaultKind::kCrashTask);
   EXPECT_EQ(e[1].node, 5u);
-  EXPECT_EQ(e[1].at, Seconds(2));
+  EXPECT_EQ(e[1].at, TimeAt(Seconds(2)));
 }
 
 TEST(FaultPlanTest, ComputeVerbsRoundTrip) {
   const FaultPlan plan = FaultPlan{}
-                             .KillTaskTracker(3, FromSeconds(12.5))
-                             .CrashTask(5, Seconds(2));
+                             .KillTaskTracker(3, TimeAt(FromSeconds(12.5)))
+                             .CrashTask(5, TimeAt(Seconds(2)));
   auto reparsed = FaultPlan::Parse(plan.ToString());
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   ASSERT_EQ(reparsed.value().size(), 2u);
   EXPECT_EQ(reparsed.value().events()[0].kind, FaultKind::kKillTaskTracker);
-  EXPECT_EQ(reparsed.value().events()[0].at, FromSeconds(12.5));
+  EXPECT_EQ(reparsed.value().events()[0].at, TimeAt(FromSeconds(12.5)));
   EXPECT_EQ(reparsed.value().events()[1].kind, FaultKind::kCrashTask);
   EXPECT_EQ(reparsed.value().ToString(), plan.ToString());
 }

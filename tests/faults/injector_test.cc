@@ -21,7 +21,7 @@ class InjectorTest : public ::testing::Test {
     cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp,
                                                   /*total_slots=*/4, Rng(1));
     hdfs::HdfsParams hp;
-    hp.block_bytes = MiB(16);
+    hp.block_bytes = Bytes(MiB(16));
     dfs_ = std::make_unique<hdfs::Hdfs>(cluster_.get(), hp, Rng(2));
     engine_ = std::make_unique<mapreduce::MrEngine>(
         cluster_.get(), dfs_.get(), mapreduce::SlotConfig{2, 2, "t"},
@@ -47,7 +47,7 @@ TEST_F(InjectorTest, EmptyPlanSchedulesNothing) {
 
 TEST_F(InjectorTest, RejectsOutOfRangeNode) {
   const size_t pending_before = sim_.pending();
-  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(4, Seconds(1)));
+  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(4, TimeAt(Seconds(1))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   EXPECT_EQ(sim_.pending(), pending_before);  // nothing was scheduled
 }
@@ -55,7 +55,7 @@ TEST_F(InjectorTest, RejectsOutOfRangeNode) {
 TEST_F(InjectorTest, RejectsOutOfRangeDisk) {
   const uint32_t bad = cluster_->node(0)->num_hdfs_disks();
   const Status s = injector_->Arm(FaultPlan{}.DegradeDisk(
-      0, /*mr_disk=*/false, bad, 2.0, 0, Seconds(1)));
+      0, /*mr_disk=*/false, bad, 2.0, SimTime{}, TimeAt(Seconds(1))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
 }
 
@@ -63,15 +63,15 @@ TEST_F(InjectorTest, RejectsSpeedupThrottle) {
   // A throttle's slowdown maps to capacity fraction 1/factor; factors below
   // one would mean a faster-than-line-rate NIC.
   const Status s =
-      injector_->Arm(FaultPlan{}.ThrottleLink(0, 0.5, 0, Seconds(1)));
+      injector_->Arm(FaultPlan{}.ThrottleLink(0, 0.5, SimTime{}, TimeAt(Seconds(1))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
 }
 
 TEST_F(InjectorTest, ValidationIsAllOrNothing) {
   const size_t pending_before = sim_.pending();
   const Status s = injector_->Arm(FaultPlan{}
-                                      .KillDataNode(1, Seconds(1))  // valid
-                                      .KillDataNode(9, Seconds(2)));
+                                      .KillDataNode(1, TimeAt(Seconds(1)))  // valid
+                                      .KillDataNode(9, TimeAt(Seconds(2))));
   EXPECT_TRUE(s.IsInvalidArgument());
   EXPECT_EQ(sim_.pending(), pending_before);
   sim_.Run();
@@ -83,10 +83,10 @@ TEST_F(InjectorTest, DegradeDiskAppliesAndRestores) {
   storage::BlockDevice* dev = cluster_->node(1)->hdfs_disk(0);
   ASSERT_TRUE(injector_
                   ->Arm(FaultPlan{}.DegradeDisk(1, /*mr_disk=*/false, 0,
-                                                4.0, Seconds(1), Seconds(2)))
+                                                4.0, TimeAt(Seconds(1)), TimeAt(Seconds(2))))
                   .ok());
   double factor_in_window = 0;
-  sim_.ScheduleAt(FromSeconds(1.5),
+  sim_.ScheduleAt(TimeAt(FromSeconds(1.5)),
                   [&] { factor_in_window = dev->service_factor(); });
   sim_.Run();
   EXPECT_DOUBLE_EQ(factor_in_window, 4.0);
@@ -99,7 +99,7 @@ TEST_F(InjectorTest, OpenEndedDegradeIsNeverRestored) {
   storage::BlockDevice* dev = cluster_->node(0)->mr_disk(1);
   ASSERT_TRUE(injector_
                   ->Arm(FaultPlan{}.DegradeDisk(0, /*mr_disk=*/true, 1, 6.0,
-                                                Seconds(1), /*until=*/0))
+                                                TimeAt(Seconds(1)), /*until=*/SimTime{}))
                   .ok());
   sim_.Run();
   EXPECT_DOUBLE_EQ(dev->service_factor(), 6.0);
@@ -108,10 +108,10 @@ TEST_F(InjectorTest, OpenEndedDegradeIsNeverRestored) {
 TEST_F(InjectorTest, ThrottleLinkAppliesAndRestores) {
   net::Network* net = cluster_->network();
   ASSERT_TRUE(
-      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, Seconds(1), Seconds(2)))
+      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, TimeAt(Seconds(1)), TimeAt(Seconds(2))))
           .ok());
   double factor_in_window = 0;
-  sim_.ScheduleAt(FromSeconds(1.5),
+  sim_.ScheduleAt(TimeAt(FromSeconds(1.5)),
                   [&] { factor_in_window = net->node_link_factor(2); });
   sim_.Run();
   EXPECT_DOUBLE_EQ(factor_in_window, 0.25);  // x4 slowdown = 1/4 capacity
@@ -126,17 +126,17 @@ TEST_F(InjectorTest, RejectsOverlappingWindowsOnOneTarget) {
   const size_t pending_before = sim_.pending();
   Status s = injector_->Arm(
       FaultPlan{}
-          .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, Seconds(1), Seconds(3))
-          .DegradeDisk(1, /*mr_disk=*/false, 0, 2.0, Seconds(2), Seconds(4)));
+          .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, TimeAt(Seconds(1)), TimeAt(Seconds(3)))
+          .DegradeDisk(1, /*mr_disk=*/false, 0, 2.0, TimeAt(Seconds(2)), TimeAt(Seconds(4))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   EXPECT_EQ(sim_.pending(), pending_before);  // all-or-nothing
 
   // An open-ended window (until = 0) extends forever: any later window on
   // the same link overlaps it — including across separate Arm calls.
   ASSERT_TRUE(
-      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, Seconds(1), 0)).ok());
-  s = injector_->Arm(FaultPlan{}.ThrottleLink(2, 2.0, Seconds(9),
-                                              Seconds(10)));
+      injector_->Arm(FaultPlan{}.ThrottleLink(2, 4.0, TimeAt(Seconds(1)), SimTime{})).ok());
+  s = injector_->Arm(FaultPlan{}.ThrottleLink(2, 2.0, TimeAt(Seconds(9)),
+                                              TimeAt(Seconds(10))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
 }
 
@@ -146,15 +146,15 @@ TEST_F(InjectorTest, DisjointWindowsPerTargetAreAccepted) {
   ASSERT_TRUE(
       injector_
           ->Arm(FaultPlan{}
-                    .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, Seconds(1),
-                                 Seconds(2))
+                    .DegradeDisk(1, /*mr_disk=*/false, 0, 4.0, TimeAt(Seconds(1)),
+                                 TimeAt(Seconds(2)))
                     .DegradeDisk(1, /*mr_disk=*/false, 0, 2.0,
-                                 Seconds(2) + 1, Seconds(3))
-                    .DegradeDisk(1, /*mr_disk=*/true, 0, 4.0, Seconds(1),
-                                 Seconds(2))
-                    .DegradeDisk(2, /*mr_disk=*/false, 0, 4.0, Seconds(1),
-                                 Seconds(2))
-                    .ThrottleLink(1, 4.0, Seconds(1), Seconds(2)))
+                                 TimeAt(Seconds(2) + kNanosecond), TimeAt(Seconds(3)))
+                    .DegradeDisk(1, /*mr_disk=*/true, 0, 4.0, TimeAt(Seconds(1)),
+                                 TimeAt(Seconds(2)))
+                    .DegradeDisk(2, /*mr_disk=*/false, 0, 4.0, TimeAt(Seconds(1)),
+                                 TimeAt(Seconds(2)))
+                    .ThrottleLink(1, 4.0, TimeAt(Seconds(1)), TimeAt(Seconds(2))))
           .ok());
   sim_.Run();
   EXPECT_EQ(injector_->disks_degraded(), 4u);
@@ -164,7 +164,7 @@ TEST_F(InjectorTest, DisjointWindowsPerTargetAreAccepted) {
 
 TEST_F(InjectorTest, KillDrivesBothFailureDomains) {
   ASSERT_TRUE(dfs_->Preload("/in", MiB(64)).ok());
-  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(2, Millis(10))).ok());
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(2, TimeAt(Millis(10)))).ok());
   sim_.Run();
   EXPECT_TRUE(dfs_->name_node()->node_dead(2));
   EXPECT_TRUE(engine_->node_failed(2));
@@ -175,7 +175,7 @@ TEST_F(InjectorTest, KillDrivesBothFailureDomains) {
 TEST_F(InjectorTest, NullEngineSkipsTaskTrackerSide) {
   FaultInjector hdfs_only(cluster_.get(), dfs_.get(), /*engine=*/nullptr);
   ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
-  ASSERT_TRUE(hdfs_only.Arm(FaultPlan{}.KillDataNode(1, Millis(10))).ok());
+  ASSERT_TRUE(hdfs_only.Arm(FaultPlan{}.KillDataNode(1, TimeAt(Millis(10)))).ok());
   sim_.Run();
   EXPECT_TRUE(dfs_->name_node()->node_dead(1));
   EXPECT_FALSE(engine_->node_failed(1));  // engine was not told
@@ -183,7 +183,7 @@ TEST_F(InjectorTest, NullEngineSkipsTaskTrackerSide) {
 
 TEST_F(InjectorTest, MissingCorruptionTargetIsSkippedNotFatal) {
   ASSERT_TRUE(
-      injector_->Arm(FaultPlan{}.CorruptReplica("/nope", 0, 0, Millis(5)))
+      injector_->Arm(FaultPlan{}.CorruptReplica("/nope", 0, 0, TimeAt(Millis(5))))
           .ok());
   sim_.Run();
   // The event fired (and warned) but planted nothing.
@@ -194,7 +194,7 @@ TEST_F(InjectorTest, MissingCorruptionTargetIsSkippedNotFatal) {
 TEST_F(InjectorTest, KillTaskTrackerTouchesOnlyTheComputeSide) {
   ASSERT_TRUE(dfs_->Preload("/in", MiB(32)).ok());
   ASSERT_TRUE(
-      injector_->Arm(FaultPlan{}.KillTaskTracker(2, Millis(10))).ok());
+      injector_->Arm(FaultPlan{}.KillTaskTracker(2, TimeAt(Millis(10)))).ok());
   sim_.Run();
   EXPECT_TRUE(engine_->node_failed(2));
   EXPECT_FALSE(dfs_->name_node()->node_dead(2));  // replicas stay healthy
@@ -203,7 +203,7 @@ TEST_F(InjectorTest, KillTaskTrackerTouchesOnlyTheComputeSide) {
 }
 
 TEST_F(InjectorTest, CrashTaskFiresWithoutKillingTheNode) {
-  ASSERT_TRUE(injector_->Arm(FaultPlan{}.CrashTask(1, Millis(10))).ok());
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.CrashTask(1, TimeAt(Millis(10)))).ok());
   sim_.Run();
   EXPECT_EQ(injector_->tasks_crashed(), 1u);
   EXPECT_FALSE(engine_->node_failed(1));
@@ -213,9 +213,9 @@ TEST_F(InjectorTest, CrashTaskFiresWithoutKillingTheNode) {
 TEST_F(InjectorTest, ComputeVerbsRequireAnEngine) {
   FaultInjector hdfs_only(cluster_.get(), dfs_.get(), /*engine=*/nullptr);
   const size_t pending_before = sim_.pending();
-  Status s = hdfs_only.Arm(FaultPlan{}.KillTaskTracker(1, Millis(10)));
+  Status s = hdfs_only.Arm(FaultPlan{}.KillTaskTracker(1, TimeAt(Millis(10))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
-  s = hdfs_only.Arm(FaultPlan{}.CrashTask(1, Millis(10)));
+  s = hdfs_only.Arm(FaultPlan{}.CrashTask(1, TimeAt(Millis(10))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   EXPECT_EQ(sim_.pending(), pending_before);
 }
@@ -225,19 +225,19 @@ TEST_F(InjectorTest, RejectsDuplicateOneShotsInOnePlan) {
   // nothing the first doesn't, so the plan is rejected whole.
   const size_t pending_before = sim_.pending();
   Status s = injector_->Arm(FaultPlan{}
-                                .KillDataNode(1, Seconds(1))
-                                .KillDataNode(1, Seconds(2)));
+                                .KillDataNode(1, TimeAt(Seconds(1)))
+                                .KillDataNode(1, TimeAt(Seconds(2))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   s = injector_->Arm(FaultPlan{}
-                         .CorruptReplica("/in", 0, 0, Seconds(1))
-                         .CorruptReplica("/in", 0, 0, Seconds(2)));
+                         .CorruptReplica("/in", 0, 0, TimeAt(Seconds(1)))
+                         .CorruptReplica("/in", 0, 0, TimeAt(Seconds(2))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   EXPECT_EQ(sim_.pending(), pending_before);
 }
 
 TEST_F(InjectorTest, RejectsDuplicateOneShotsAcrossArmCalls) {
-  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(1, Seconds(1))).ok());
-  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(1, Seconds(5)));
+  ASSERT_TRUE(injector_->Arm(FaultPlan{}.KillDataNode(1, TimeAt(Seconds(1)))).ok());
+  const Status s = injector_->Arm(FaultPlan{}.KillDataNode(1, TimeAt(Seconds(5))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
 }
 
@@ -245,18 +245,18 @@ TEST_F(InjectorTest, DataNodeKillSubsumesTaskTrackerKillOnOneHost) {
   // The DataNode kill already takes the shared host's TaskTracker down, so
   // the pair conflicts in either order.
   Status s = injector_->Arm(FaultPlan{}
-                                .KillDataNode(2, Seconds(1))
-                                .KillTaskTracker(2, Seconds(2)));
+                                .KillDataNode(2, TimeAt(Seconds(1)))
+                                .KillTaskTracker(2, TimeAt(Seconds(2))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   s = injector_->Arm(FaultPlan{}
-                         .KillTaskTracker(2, Seconds(1))
-                         .KillDataNode(2, Seconds(2)));
+                         .KillTaskTracker(2, TimeAt(Seconds(1)))
+                         .KillDataNode(2, TimeAt(Seconds(2))));
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
   // Different hosts don't conflict.
   EXPECT_TRUE(injector_
                   ->Arm(FaultPlan{}
-                            .KillDataNode(1, Seconds(1))
-                            .KillTaskTracker(3, Seconds(1)))
+                            .KillDataNode(1, TimeAt(Seconds(1)))
+                            .KillTaskTracker(3, TimeAt(Seconds(1))))
                   .ok());
 }
 
@@ -265,11 +265,11 @@ TEST_F(InjectorTest, CrashTaskAndDistinctCorruptionsMayRepeat) {
   // corrupting two different replicas of one block is two distinct faults.
   EXPECT_TRUE(injector_
                   ->Arm(FaultPlan{}
-                            .CrashTask(1, Seconds(1))
-                            .CrashTask(1, Seconds(2))
-                            .CorruptReplica("/in", 0, 0, Seconds(1))
-                            .CorruptReplica("/in", 0, 1, Seconds(1))
-                            .CorruptReplica("/in", 1, 0, Seconds(1)))
+                            .CrashTask(1, TimeAt(Seconds(1)))
+                            .CrashTask(1, TimeAt(Seconds(2)))
+                            .CorruptReplica("/in", 0, 0, TimeAt(Seconds(1)))
+                            .CorruptReplica("/in", 0, 1, TimeAt(Seconds(1)))
+                            .CorruptReplica("/in", 1, 0, TimeAt(Seconds(1))))
                   .ok());
 }
 

@@ -17,7 +17,7 @@ class HdfsExtraTest : public ::testing::Test {
     cp.node.memory_bytes = GiB(2);
     cluster_ = std::make_unique<cluster::Cluster>(&sim_, cp, 4, Rng(1));
     HdfsParams hp;
-    hp.block_bytes = MiB(8);
+    hp.block_bytes = Bytes(MiB(8));
     hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
   }
 

@@ -28,7 +28,7 @@ class HdfsFaultsTest : public ::testing::Test {
     cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
                                                   /*total_slots=*/4, Rng(1));
     HdfsParams hp;
-    hp.block_bytes = MiB(16);
+    hp.block_bytes = Bytes(MiB(16));
     hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
   }
 
@@ -89,13 +89,13 @@ TEST_F(HdfsFaultsTest, WritePipelineRecoversFromMidWriteDeath) {
   // seeds => same placement and timing as the faulted one) calibrates the
   // close() time; the kill is placed strictly inside a block's transfer.
   cluster_->network()->SetNodeLinkFactor(0, 0.1);
-  SimTime write_close = 0;  // close() time, not queue-drain time
+  SimTime write_close;  // close() time, not queue-drain time
   hdfs_->Write("/f", MiB(128), 0, [&](Status s) {
     ASSERT_TRUE(s.ok());
     write_close = sim_->Now();
   });
   sim_->Run();
-  ASSERT_GT(write_close, 0u);
+  ASSERT_GT(write_close, SimTime{});
   EXPECT_EQ(hdfs_->pipeline_recoveries(), 0u);
 
   Reset(4);
@@ -105,7 +105,7 @@ TEST_F(HdfsFaultsTest, WritePipelineRecoversFromMidWriteDeath) {
   hdfs_->Write("/f", MiB(128), 0, [&](Status s) { result = s; });
   // Mid-write, kill a remote pipeline stage of the block that is in flight
   // right now (the last one allocated by the NameNode).
-  sim_->ScheduleAt(write_close * 7 / 16, [&] {
+  sim_->ScheduleAt(SimTime(write_close.ns() * 7 / 16), [&] {
     auto now_locs = hdfs_->Locations("/f");
     ASSERT_TRUE(now_locs.ok());
     ASSERT_GE(now_locs.value().back().nodes.size(), 2u);
@@ -119,7 +119,7 @@ TEST_F(HdfsFaultsTest, WritePipelineRecoversFromMidWriteDeath) {
   enum class Phase { kIdle, kActive, kQuiet };
   Phase phase = Phase::kIdle;
   bool bounced = false;
-  const SimTime horizon = write_close * 3;
+  const SimTime horizon = SimTime(write_close.ns() * 3);
   std::function<void()> poll = [&] {
     const size_t p = hdfs_->pending_rereplications();
     if (p > 0) {
@@ -152,7 +152,7 @@ TEST_F(HdfsFaultsTest, ReadFailsOverWhenHolderDiesMidRead) {
   // some blocks) dies mid-read.
   Status result = Status::Internal("not called");
   hdfs_->ReadAll("/in", 0, [&](Status s) { result = s; });
-  sim_->ScheduleAt(Millis(200), [&] { hdfs_->InjectDataNodeFailure(1); });
+  sim_->ScheduleAt(TimeAt(Millis(200)), [&] { hdfs_->InjectDataNodeFailure(1); });
   sim_->Run();
   ASSERT_TRUE(result.ok()) << result.ToString();
   EXPECT_EQ(hdfs_->checksum_failures(), 0u);

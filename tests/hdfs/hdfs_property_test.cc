@@ -19,7 +19,7 @@ TEST_P(HdfsProperty, RandomWorkloadKeepsInvariants) {
   cp.node.memory_bytes = GiB(2);
   cluster::Cluster cluster(&sim, cp, 8, Rng(1));
   HdfsParams hp;
-  hp.block_bytes = MiB(8);
+  hp.block_bytes = Bytes(MiB(8));
   Hdfs dfs(&cluster, hp, Rng(GetParam()));
   Rng rng(GetParam() * 31 + 5);
 

@@ -21,7 +21,7 @@ class HdfsTest : public ::testing::Test {
     cluster_ = std::make_unique<cluster::Cluster>(sim_.get(), cp,
                                                   /*total_slots=*/4, Rng(1));
     HdfsParams hp;
-    hp.block_bytes = MiB(16);
+    hp.block_bytes = Bytes(MiB(16));
     hdfs_ = std::make_unique<Hdfs>(cluster_.get(), hp, Rng(2));
   }
 

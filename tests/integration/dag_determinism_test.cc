@@ -48,9 +48,9 @@ std::string RunFaultedGraphDag(uint64_t seed) {
 
   faults::FaultInjector injector(&cluster, &dfs, &engine);
   faults::FaultPlan chaos;
-  chaos.KillDataNode(3, Seconds(2));
-  chaos.DegradeDisk(5, /*mr_disk=*/true, 0, /*factor=*/4.0, Seconds(1),
-                    Seconds(60));
+  chaos.KillDataNode(3, TimeAt(Seconds(2)));
+  chaos.DegradeDisk(5, /*mr_disk=*/true, 0, /*factor=*/4.0, TimeAt(Seconds(1)),
+                    TimeAt(Seconds(60)));
 
   JobDag jobdag(&sim, &engine, &dfs, std::move(plan.dag));
   bool done = false;

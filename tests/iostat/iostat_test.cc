@@ -54,7 +54,7 @@ TEST(ComputeSampleTest, IdleDeviceIsAllZero) {
 
 TEST(ComputeSampleTest, UtilCappedAt100) {
   storage::DiskStatsSnapshot prev;
-  auto cur = Snap(1, 0, 8, 0, Millis(1), 0, Millis(1500), Millis(1500));
+  auto cur = Snap(1, 0, 8, 0, Millis(1), SimDuration{}, Millis(1500), Millis(1500));
   Sample s = ComputeSample(prev, cur, Seconds(1));
   EXPECT_DOUBLE_EQ(s.util_pct, 100.0);
 }
@@ -88,11 +88,11 @@ TEST_F(MonitorTest, SamplesAtInterval) {
   monitor_.Start();
   // Issue I/O over ~3 s of simulated time.
   for (int i = 0; i < 30; ++i) {
-    sim_.ScheduleAt(Millis(100 * i), [this, i] {
-      dev_a_.Submit(storage::IoType::kRead, 100000 + i * 1024, 128, nullptr);
+    sim_.ScheduleAt(TimeAt(Millis(100 * i)), [this, i] {
+      dev_a_.Submit(storage::IoType::kRead, Sectors(100000 + i * 1024), Sectors(128), nullptr);
     });
   }
-  sim_.RunUntil(Seconds(3) + Millis(500));
+  sim_.RunUntil(TimeAt(Seconds(3)) + Millis(500));
   monitor_.Stop();
   sim_.Run();
   EXPECT_GE(monitor_.num_samples(), 3u);
@@ -108,11 +108,11 @@ TEST_F(MonitorTest, GroupAggregation) {
   monitor_.AddDevice(&dev_a_, "hdfs");
   monitor_.AddDevice(&dev_b_, "hdfs");
   monitor_.Start();
-  sim_.ScheduleAt(Millis(100), [this] {
-    dev_a_.Submit(storage::IoType::kWrite, 0, 1024, nullptr);
-    dev_b_.Submit(storage::IoType::kWrite, 0, 1024, nullptr);
+  sim_.ScheduleAt(TimeAt(Millis(100)), [this] {
+    dev_a_.Submit(storage::IoType::kWrite, Sectors(0), Sectors(1024), nullptr);
+    dev_b_.Submit(storage::IoType::kWrite, Sectors(0), Sectors(1024), nullptr);
   });
-  sim_.RunUntil(Seconds(2));
+  sim_.RunUntil(TimeAt(Seconds(2)));
   monitor_.Stop();
   sim_.Run();
   TimeSeries mean = monitor_.GroupMean("hdfs", Metric::kWriteMBps);
@@ -125,12 +125,12 @@ TEST_F(MonitorTest, ActiveMeanIgnoresIdleDisks) {
   monitor_.AddDevice(&dev_a_, "hdfs");
   monitor_.AddDevice(&dev_b_, "hdfs");  // stays idle
   monitor_.Start();
-  sim_.ScheduleAt(Millis(10), [this] {
+  sim_.ScheduleAt(TimeAt(Millis(10)), [this] {
     for (int i = 0; i < 8; ++i) {
-      dev_a_.Submit(storage::IoType::kRead, i * 1024, 1024, nullptr);
+      dev_a_.Submit(storage::IoType::kRead, Sectors(i * 1024), Sectors(1024), nullptr);
     }
   });
-  sim_.RunUntil(Seconds(1) + Millis(1));
+  sim_.RunUntil(TimeAt(Seconds(1)) + Millis(1));
   monitor_.Stop();
   sim_.Run();
   const TimeSeries plain = monitor_.GroupMean("hdfs", Metric::kAvgRqSz);
@@ -148,10 +148,10 @@ TEST_F(MonitorTest, UtilFractionAboveThreshold) {
   // Saturate the disk with random I/O for ~2 s, then idle for ~2 s.
   Rng rng(3);
   for (int i = 0; i < 300; ++i) {
-    dev_a_.Submit(storage::IoType::kRead, rng.Uniform(1000000) * 8, 8,
+    dev_a_.Submit(storage::IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8),
                   nullptr);
   }
-  sim_.RunUntil(Seconds(4));
+  sim_.RunUntil(TimeAt(Seconds(4)));
   monitor_.Stop();
   sim_.Run();
   const double above90 = monitor_.GroupUtilFractionAbove("mr", 90.0);
@@ -163,10 +163,10 @@ TEST_F(MonitorTest, UtilFractionAboveThreshold) {
 TEST_F(MonitorTest, ReportFormatting) {
   monitor_.AddDevice(&dev_a_, "hdfs");
   monitor_.Start();
-  sim_.ScheduleAt(Millis(1), [this] {
-    dev_a_.Submit(storage::IoType::kRead, 0, 8, nullptr);
+  sim_.ScheduleAt(TimeAt(Millis(1)), [this] {
+    dev_a_.Submit(storage::IoType::kRead, Sectors(0), Sectors(8), nullptr);
   });
-  sim_.RunUntil(Seconds(1) + Millis(1));
+  sim_.RunUntil(TimeAt(Seconds(1)) + Millis(1));
   monitor_.Stop();
   sim_.Run();
   std::string report = monitor_.LatestReport();

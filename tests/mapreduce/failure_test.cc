@@ -34,7 +34,7 @@ class FailureTest : public ::testing::Test {
       status = s;
       counters = c;
     });
-    sim_.ScheduleAt(when, [&] { engine_->InjectNodeFailure(node); });
+    sim_.ScheduleAt(TimeAt(when), [&] { engine_->InjectNodeFailure(node); });
     sim_.Run();
     EXPECT_TRUE(status.ok()) << status.ToString();
     return counters;
@@ -120,7 +120,7 @@ TEST_F(FailureTest, DoubleInjectionIsIdempotent) {
   spec.output_path = "/out";
   Status status = Status::Internal("x");
   engine_->RunJob(spec, [&](Status s, const JobCounters&) { status = s; });
-  sim_.ScheduleAt(Millis(500), [&] {
+  sim_.ScheduleAt(TimeAt(Millis(500)), [&] {
     engine_->InjectNodeFailure(2);
     engine_->InjectNodeFailure(2);
   });
@@ -135,8 +135,8 @@ TEST_F(FailureTest, TwoNodeFailures) {
   spec.output_path = "/out";
   Status status = Status::Internal("x");
   engine_->RunJob(spec, [&](Status s, const JobCounters&) { status = s; });
-  sim_.ScheduleAt(Millis(800), [&] { engine_->InjectNodeFailure(0); });
-  sim_.ScheduleAt(Seconds(4), [&] { engine_->InjectNodeFailure(1); });
+  sim_.ScheduleAt(TimeAt(Millis(800)), [&] { engine_->InjectNodeFailure(0); });
+  sim_.ScheduleAt(TimeAt(Seconds(4)), [&] { engine_->InjectNodeFailure(1); });
   sim_.Run();
   EXPECT_TRUE(status.ok()) << status.ToString();
   // Reducers land on the surviving 3 nodes only: 12 partitions... the wave

@@ -166,7 +166,7 @@ TEST_F(MultiJobTest, SchedulerPathMatchesSingleJobPath) {
 }
 
 TEST_F(MultiJobTest, ConcurrentScheduleIsDeterministic) {
-  SimTime first_a = 0, first_b = 0;
+  SimTime first_a, first_b;
   for (int round = 0; round < 2; ++round) {
     Reset();
     ASSERT_TRUE(dfs_->Preload("/inA", MiB(512)).ok());
@@ -190,8 +190,8 @@ TEST_F(MultiJobTest, ConcurrentScheduleIsDeterministic) {
     if (round == 0) {
       first_a = ca.end_time;
       first_b = cb.end_time;
-      EXPECT_GT(first_a, 0u);
-      EXPECT_GT(first_b, 0u);
+      EXPECT_GT(first_a, SimTime{});
+      EXPECT_GT(first_b, SimTime{});
     } else {
       EXPECT_EQ(ca.end_time, first_a);
       EXPECT_EQ(cb.end_time, first_b);

@@ -53,7 +53,7 @@ class RetryTest : public ::testing::Test {
       *status = s;
       counters = c;
     });
-    sim_.ScheduleAt(when, [&, node] { engine_->InjectTaskCrash(node); });
+    sim_.ScheduleAt(TimeAt(when), [&, node] { engine_->InjectTaskCrash(node); });
     sim_.Run();
     return counters;
   }
@@ -137,7 +137,7 @@ TEST_F(RetryTest, StrikesBlacklistTheNodeAndDecayRestoresIt) {
   engine_->SetFaultTolerance(ft);
   Status status;
   bool blacklisted_during_run = false;
-  sim_.ScheduleAt(Millis(700),
+  sim_.ScheduleAt(TimeAt(Millis(700)),
                   [&] { blacklisted_during_run = engine_->node_blacklisted(2); });
   const JobCounters c =
       RunWithCrashAt(BasicSpec(), 2, Millis(600), &status);
@@ -161,7 +161,7 @@ TEST_F(RetryTest, TaskTrackerDeathDoesNotChargeTheBudget) {
     status = s;
     c = counters;
   });
-  sim_.ScheduleAt(Millis(600), [&] { engine_->InjectNodeFailure(2); });
+  sim_.ScheduleAt(TimeAt(Millis(600)), [&] { engine_->InjectNodeFailure(2); });
   sim_.Run();
   EXPECT_TRUE(status.ok()) << status.ToString();
   EXPECT_EQ(c.task_failures, 0u);
@@ -178,7 +178,7 @@ TEST_F(RetryTest, LostOutputsReexecuteWithChargedCounters) {
   });
   // Late enough that node 1 committed maps, early enough that reducers
   // still need their outputs.
-  sim_.ScheduleAt(Seconds(3), [&] { engine_->InjectNodeFailure(1); });
+  sim_.ScheduleAt(TimeAt(Seconds(3)), [&] { engine_->InjectNodeFailure(1); });
   sim_.Run();
   EXPECT_TRUE(status.ok()) << status.ToString();
   EXPECT_GT(c.maps_reexecuted, 0u);
@@ -211,7 +211,7 @@ std::string CrashScenarioSummary(uint64_t seed) {
     status = s;
     c = counters;
   });
-  sim.ScheduleAt(Millis(600), [&] { engine.InjectTaskCrash(2); });
+  sim.ScheduleAt(TimeAt(Millis(600)), [&] { engine.InjectTaskCrash(2); });
   sim.Run();
   EXPECT_TRUE(status.ok()) << status.ToString();
   std::ostringstream out;

@@ -26,7 +26,7 @@ TEST_P(NetworkProperty, RandomFlowSetConservesAndCompletes) {
     const uint32_t src = static_cast<uint32_t>(rng.Uniform(nodes));
     const uint32_t dst = static_cast<uint32_t>(rng.Uniform(nodes));
     const uint64_t bytes = KiB(64) + rng.Uniform(MiB(8));
-    const SimDuration at = rng.Uniform(Seconds(2));
+    const SimTime at = SimTime(rng.Uniform(Seconds(2).ns()));
     total += bytes;
     sent[src] += bytes;
     received[dst] += bytes;

@@ -23,7 +23,7 @@ TEST(NetworkTest, LoopbackIsNearInstant) {
   net.Transfer(1, 1, GiB(1), [&] { done = true; });
   sim.Run();
   EXPECT_TRUE(done);
-  EXPECT_LT(sim.Now(), Millis(1));
+  EXPECT_LT(sim.Now(), TimeAt(Millis(1)));
 }
 
 TEST(NetworkTest, TwoFlowsShareEgressLink) {
@@ -69,7 +69,7 @@ TEST(NetworkTest, LateFlowFinishesAfterShare) {
   std::vector<double> finish(2);
   const uint64_t bytes = 118'000'000;
   net.Transfer(0, 1, bytes, [&] { finish[0] = ToSeconds(sim.Now()); });
-  sim.RunUntil(Millis(500));
+  sim.RunUntil(TimeAt(Millis(500)));
   net.Transfer(0, 1, bytes, [&] { finish[1] = ToSeconds(sim.Now()); });
   sim.Run();
   // First flow: 0.5 s alone + ~1 s shared = ~1.5 s total at completion.

@@ -45,7 +45,7 @@ TEST(BlktraceSessionTest, RecordsCarryDeviceAndSimTime) {
   EXPECT_EQ(records[0].tag, 2u);
   EXPECT_EQ(records[0].job, 3u);
   EXPECT_EQ(records[1].action, 'C');
-  EXPECT_EQ(records[1].time_ns, Millis(2));
+  EXPECT_EQ(records[1].time_ns, Millis(2).ns());
 }
 
 TEST(BlktraceSessionTest, RingOverflowCountsDropsLoudly) {

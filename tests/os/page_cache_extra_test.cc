@@ -35,7 +35,7 @@ class PageCacheExtraTest : public ::testing::Test {
 TEST_F(PageCacheExtraTest, DropCleanEmptiesCleanUnitsOnly) {
   auto f = fs_.Create("f").value();
   fs_.Append(f, MiB(4), nullptr);
-  sim_.RunUntil(Millis(10));  // accepted, still dirty
+  sim_.RunUntil(TimeAt(Millis(10)));  // accepted, still dirty
   const uint64_t dirty = cache_.dirty_bytes();
   ASSERT_GT(dirty, 0u);
   cache_.DropClean();
@@ -95,7 +95,8 @@ TEST_F(PageCacheExtraTest, UnalignedAccessRoundsToUnits) {
   sim_.Run();
   EXPECT_EQ(cache_.dirty_bytes(), 0u);  // flushed by drain
   // The device saw whole cache units.
-  EXPECT_EQ(dev_.Stats().sectors[1] % (cache_.params().unit_bytes / 512),
+  EXPECT_EQ(dev_.Stats().sectors[1] %
+                (cache_.params().unit_bytes / kSectorSize),
             0u);
 }
 

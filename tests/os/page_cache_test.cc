@@ -81,7 +81,7 @@ TEST_F(PageCacheTest, DirtyDataEventuallyWrittenBack) {
   EXPECT_GT(cache_->dirty_bytes(), 0u);
   (void)f;
   // Run past the periodic flush period.
-  sim_->RunUntil(Seconds(60));
+  sim_->RunUntil(TimeAt(Seconds(60)));
   sim_->Run();
   EXPECT_EQ(cache_->dirty_bytes(), 0u);
   EXPECT_GT(dev_->Stats().sectors[1], 0u);

@@ -31,32 +31,32 @@ struct Harness {
 TEST(JobQueueTest, UnlimitedAdmitsAtArrival) {
   sim::Simulator sim;
   Harness h(&sim, 0, Seconds(10));
-  h.queue->Submit(Seconds(0));
-  h.queue->Submit(Seconds(1));
-  h.queue->Submit(Seconds(2));
+  h.queue->Submit(TimeAt(Seconds(0)));
+  h.queue->Submit(TimeAt(Seconds(1)));
+  h.queue->Submit(TimeAt(Seconds(2)));
   sim.Run();
   ASSERT_EQ(h.launches.size(), 3u);
   for (size_t j = 0; j < 3; ++j) {
     EXPECT_EQ(h.launches[j].first, j);
-    EXPECT_EQ(h.launches[j].second, Seconds(j));
-    EXPECT_EQ(h.queue->QueueWait(j), 0u);
+    EXPECT_EQ(h.launches[j].second, TimeAt(Seconds(j)));
+    EXPECT_EQ(h.queue->QueueWait(j), SimDuration{});
   }
 }
 
 TEST(JobQueueTest, TokenLimitSerializesAdmission) {
   sim::Simulator sim;
   Harness h(&sim, 1, Seconds(10));
-  h.queue->Submit(Seconds(0));
-  h.queue->Submit(Seconds(0));
-  h.queue->Submit(Seconds(0));
+  h.queue->Submit(TimeAt(Seconds(0)));
+  h.queue->Submit(TimeAt(Seconds(0)));
+  h.queue->Submit(TimeAt(Seconds(0)));
   sim.Run();
   ASSERT_EQ(h.launches.size(), 3u);
   // One at a time, in submission order, back to back.
   for (size_t j = 0; j < 3; ++j) {
     EXPECT_EQ(h.launches[j].first, j);
-    EXPECT_EQ(h.launches[j].second, Seconds(10 * j));
+    EXPECT_EQ(h.launches[j].second, TimeAt(Seconds(10 * j)));
   }
-  EXPECT_EQ(h.queue->QueueWait(0), 0u);
+  EXPECT_EQ(h.queue->QueueWait(0), SimDuration{});
   EXPECT_EQ(h.queue->QueueWait(1), Seconds(10));
   EXPECT_EQ(h.queue->QueueWait(2), Seconds(20));
 }
@@ -64,16 +64,16 @@ TEST(JobQueueTest, TokenLimitSerializesAdmission) {
 TEST(JobQueueTest, FreedTokenGoesToEarliestWaiter) {
   sim::Simulator sim;
   Harness h(&sim, 2, Seconds(10));
-  h.queue->Submit(Seconds(0));  // admitted
-  h.queue->Submit(Seconds(0));  // admitted
-  h.queue->Submit(Seconds(5));  // waits; arrived first
-  h.queue->Submit(Seconds(6));  // waits
+  h.queue->Submit(TimeAt(Seconds(0)));  // admitted
+  h.queue->Submit(TimeAt(Seconds(0)));  // admitted
+  h.queue->Submit(TimeAt(Seconds(5)));  // waits; arrived first
+  h.queue->Submit(TimeAt(Seconds(6)));  // waits
   sim.Run();
   ASSERT_EQ(h.launches.size(), 4u);
   EXPECT_EQ(h.launches[2].first, 2u);
-  EXPECT_EQ(h.launches[2].second, Seconds(10));
+  EXPECT_EQ(h.launches[2].second, TimeAt(Seconds(10)));
   EXPECT_EQ(h.launches[3].first, 3u);
-  EXPECT_EQ(h.launches[3].second, Seconds(10));
+  EXPECT_EQ(h.launches[3].second, TimeAt(Seconds(10)));
   EXPECT_EQ(h.queue->QueueWait(2), Seconds(5));
   EXPECT_EQ(h.queue->QueueWait(3), Seconds(4));
 }
@@ -81,11 +81,11 @@ TEST(JobQueueTest, FreedTokenGoesToEarliestWaiter) {
 TEST(JobQueueTest, CountersTrackLifecycle) {
   sim::Simulator sim;
   Harness h(&sim, 1, Seconds(10));
-  h.queue->Submit(Seconds(0));
-  h.queue->Submit(Seconds(0));
+  h.queue->Submit(TimeAt(Seconds(0)));
+  h.queue->Submit(TimeAt(Seconds(0)));
   EXPECT_EQ(h.queue->submitted(), 2u);
   EXPECT_EQ(h.queue->admitted(), 0u);
-  sim.RunUntil(Seconds(1));
+  sim.RunUntil(TimeAt(Seconds(1)));
   EXPECT_EQ(h.queue->admitted(), 1u);
   EXPECT_EQ(h.queue->waiting(), 1u);
   EXPECT_EQ(h.queue->completed(), 0u);
@@ -99,16 +99,16 @@ TEST(JobQueueTest, DrainedFiresOnceAfterLastCompletion) {
   sim::Simulator sim;
   Harness h(&sim, 2, Seconds(3));
   int drained = 0;
-  SimTime drain_time = 0;
+  SimTime drain_time;
   h.queue->OnDrained([&] {
     ++drained;
     drain_time = sim.Now();
   });
-  h.queue->Submit(Seconds(0));
-  h.queue->Submit(Seconds(1));
+  h.queue->Submit(TimeAt(Seconds(0)));
+  h.queue->Submit(TimeAt(Seconds(1)));
   sim.Run();
   EXPECT_EQ(drained, 1);
-  EXPECT_EQ(drain_time, Seconds(4));  // last arrival 1s + 3s service
+  EXPECT_EQ(drain_time, TimeAt(Seconds(4)));  // last arrival 1s + 3s service
 }
 
 TEST(JobQueueTest, AdmissionOrderIndependentOfCompletionOrder) {
@@ -123,15 +123,15 @@ TEST(JobQueueTest, AdmissionOrderIndependentOfCompletionOrder) {
     sim.ScheduleAfter(index == 0 ? Seconds(100) : Seconds(1),
                       [&queue, index] { queue->OnJobDone(index); });
   });
-  queue->Submit(Seconds(0));
-  queue->Submit(Seconds(0));
-  queue->Submit(Seconds(0));
-  queue->Submit(Seconds(0));
+  queue->Submit(TimeAt(Seconds(0)));
+  queue->Submit(TimeAt(Seconds(0)));
+  queue->Submit(TimeAt(Seconds(0)));
+  queue->Submit(TimeAt(Seconds(0)));
   sim.Run();
   EXPECT_EQ(admitted, (std::vector<size_t>{0, 1, 2, 3}));
   // Fast chain: job 1 done at 1s frees a token for job 2, etc.
-  EXPECT_EQ(queue->AdmitTime(2), Seconds(1));
-  EXPECT_EQ(queue->AdmitTime(3), Seconds(2));
+  EXPECT_EQ(queue->AdmitTime(2), TimeAt(Seconds(1)));
+  EXPECT_EQ(queue->AdmitTime(3), TimeAt(Seconds(2)));
 }
 
 }  // namespace

@@ -42,13 +42,13 @@ class CalendarQueueTest : public ::testing::Test {
 
 TEST_F(CalendarQueueTest, PopsInTimeOrder) {
   CalendarQueue q;
-  q.Push(Node(Millis(5)));
-  q.Push(Node(Millis(1)));
-  q.Push(Node(Millis(3)));
+  q.Push(Node(TimeAt(Millis(5))));
+  q.Push(Node(TimeAt(Millis(1))));
+  q.Push(Node(TimeAt(Millis(3))));
   EXPECT_EQ(q.size(), 3u);
-  EXPECT_EQ(q.PopMin()->time, Millis(1));
-  EXPECT_EQ(q.PopMin()->time, Millis(3));
-  EXPECT_EQ(q.PopMin()->time, Millis(5));
+  EXPECT_EQ(q.PopMin()->time, TimeAt(Millis(1)));
+  EXPECT_EQ(q.PopMin()->time, TimeAt(Millis(3)));
+  EXPECT_EQ(q.PopMin()->time, TimeAt(Millis(5)));
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.PopMin(), nullptr);
 }
@@ -57,7 +57,7 @@ TEST_F(CalendarQueueTest, SameTimestampBreaksTiesBySeq) {
   CalendarQueue q;
   // All in one bucket, inserted out of heap order.
   std::vector<EventNode*> nodes;
-  for (int i = 0; i < 16; ++i) nodes.push_back(Node(Millis(7)));
+  for (int i = 0; i < 16; ++i) nodes.push_back(Node(TimeAt(Millis(7))));
   // Push in a scrambled order; pops must still follow insertion seq.
   for (int i : {5, 0, 12, 3, 15, 8, 1, 9, 2, 14, 6, 11, 4, 13, 10, 7}) {
     q.Push(nodes[i]);
@@ -75,19 +75,19 @@ TEST_F(CalendarQueueTest, MatchesReferenceHeapOnRandomSchedules) {
   // and time scales (nanosecond-dense through multi-second-sparse) so both
   // the dense fast path and the sparse fallback sweep get exercised.
   for (uint64_t seed : {1u, 2u, 3u, 4u}) {
-    for (uint64_t span : {uint64_t{1000}, Millis(1), Seconds(2)}) {
+    for (uint64_t span : {uint64_t{1000}, Millis(1).ns(), Seconds(2).ns()}) {
       CalendarQueue q;
       RefQueue ref;
       EventPool pool;
       Rng rng(seed);
       uint64_t seq = 0;
-      SimTime now = 0;
+      SimTime now;
       for (int round = 0; round < 2000; ++round) {
         // Bursty arrivals: sometimes push a clump, sometimes drain a bit.
         const uint64_t pushes = rng.Uniform(4);
         for (uint64_t i = 0; i < pushes; ++i) {
           EventNode* n = pool.Alloc();
-          n->time = now + rng.Uniform(span);
+          n->time = now + SimDuration(rng.Uniform(span));
           n->seq = seq++;
           ref.emplace(n->time, n->seq);
           q.Push(n);
@@ -123,10 +123,10 @@ TEST_F(CalendarQueueTest, SurvivesResizeCrossings) {
   CalendarQueue q;
   Rng rng(9);
   const int n = 20000;  // >> initial 16 buckets * 2
-  for (int i = 0; i < n; ++i) q.Push(Node(rng.Uniform(Seconds(1))));
+  for (int i = 0; i < n; ++i) q.Push(Node(SimTime(rng.Uniform(Seconds(1).ns()))));
   const size_t grown = q.bucket_count();
   EXPECT_GT(grown, 16u);
-  SimTime prev = 0;
+  SimTime prev;
   uint64_t prev_seq = 0;
   for (int i = 0; i < n; ++i) {
     EventNode* node = q.PopMin();
@@ -146,24 +146,24 @@ TEST_F(CalendarQueueTest, DistantThenNearEventsBothFound) {
   // found via the sparse sweep; a near event pushed later (epoch rewind)
   // must still pop first.
   CalendarQueue q;
-  q.Push(Node(Seconds(3600)));
-  EXPECT_EQ(q.PeekMin()->time, Seconds(3600));
-  q.Push(Node(Millis(1)));
-  EXPECT_EQ(q.PopMin()->time, Millis(1));
-  EXPECT_EQ(q.PopMin()->time, Seconds(3600));
+  q.Push(Node(TimeAt(Seconds(3600))));
+  EXPECT_EQ(q.PeekMin()->time, TimeAt(Seconds(3600)));
+  q.Push(Node(TimeAt(Millis(1))));
+  EXPECT_EQ(q.PopMin()->time, TimeAt(Millis(1)));
+  EXPECT_EQ(q.PopMin()->time, TimeAt(Seconds(3600)));
 }
 
 TEST(SimulatorQueueTest, RunUntilWithDrainedQueueAdvancesClock) {
   Simulator sim;
   int fired = 0;
   sim.ScheduleAfter(Millis(1), [&] { ++fired; });
-  sim.RunUntil(Millis(10));
+  sim.RunUntil(TimeAt(Millis(10)));
   EXPECT_EQ(fired, 1);
-  EXPECT_EQ(sim.Now(), Millis(10));  // clock reaches t even after drain
+  EXPECT_EQ(sim.Now(), TimeAt(Millis(10)));  // clock reaches t even after drain
   EXPECT_EQ(sim.pending(), 0u);
   // RunUntil at or before Now() is a no-op.
-  sim.RunUntil(Millis(5));
-  EXPECT_EQ(sim.Now(), Millis(10));
+  sim.RunUntil(TimeAt(Millis(5)));
+  EXPECT_EQ(sim.Now(), TimeAt(Millis(10)));
 }
 
 TEST(SimulatorQueueTest, PoolRecyclesNodesAcrossSelfScheduling) {
@@ -172,9 +172,9 @@ TEST(SimulatorQueueTest, PoolRecyclesNodesAcrossSelfScheduling) {
   Simulator sim;
   int hops = 0;
   std::function<void()> chain = [&] {
-    if (++hops < 10000) sim.ScheduleAfter(1, chain);
+    if (++hops < 10000) sim.ScheduleAfter(kNanosecond, chain);
   };
-  sim.ScheduleAfter(0, chain);
+  sim.ScheduleAfter(SimDuration{}, chain);
   sim.Run();
   EXPECT_EQ(hops, 10000);
   EXPECT_EQ(sim.events_processed(), 10000u);

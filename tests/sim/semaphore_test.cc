@@ -60,7 +60,7 @@ TEST(SemaphoreTest, PipelinedAcquireRelease) {
   }
   sim.Run();
   EXPECT_EQ(completed, 6);
-  EXPECT_EQ(sim.Now(), Seconds(3));
+  EXPECT_EQ(sim.Now(), TimeAt(Seconds(3)));
   EXPECT_EQ(sem.available(), 2u);
 }
 

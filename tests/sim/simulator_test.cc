@@ -9,26 +9,26 @@ namespace {
 
 TEST(SimulatorTest, StartsAtZero) {
   Simulator sim;
-  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.Now(), SimTime{});
   EXPECT_EQ(sim.pending(), 0u);
 }
 
 TEST(SimulatorTest, EventsRunInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
-  sim.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
-  sim.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  sim.ScheduleAt(TimeAt(Seconds(3)), [&] { order.push_back(3); });
+  sim.ScheduleAt(TimeAt(Seconds(1)), [&] { order.push_back(1); });
+  sim.ScheduleAt(TimeAt(Seconds(2)), [&] { order.push_back(2); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(sim.Now(), Seconds(3));
+  EXPECT_EQ(sim.Now(), TimeAt(Seconds(3)));
 }
 
 TEST(SimulatorTest, TiesBreakByInsertionOrder) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sim.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+    sim.ScheduleAt(TimeAt(Seconds(1)), [&order, i] { order.push_back(i); });
   }
   sim.Run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -40,20 +40,20 @@ TEST(SimulatorTest, CallbacksCanScheduleMore) {
   std::function<void()> chain = [&] {
     if (++count < 5) sim.ScheduleAfter(Millis(10), chain);
   };
-  sim.ScheduleAfter(0, chain);
+  sim.ScheduleAfter(SimDuration{}, chain);
   sim.Run();
   EXPECT_EQ(count, 5);
-  EXPECT_EQ(sim.Now(), Millis(40));
+  EXPECT_EQ(sim.Now(), TimeAt(Millis(40)));
 }
 
 TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   int ran = 0;
-  sim.ScheduleAt(Seconds(1), [&] { ++ran; });
-  sim.ScheduleAt(Seconds(10), [&] { ++ran; });
-  sim.RunUntil(Seconds(5));
+  sim.ScheduleAt(TimeAt(Seconds(1)), [&] { ++ran; });
+  sim.ScheduleAt(TimeAt(Seconds(10)), [&] { ++ran; });
+  sim.RunUntil(TimeAt(Seconds(5)));
   EXPECT_EQ(ran, 1);
-  EXPECT_EQ(sim.Now(), Seconds(5));
+  EXPECT_EQ(sim.Now(), TimeAt(Seconds(5)));
   EXPECT_EQ(sim.pending(), 1u);
   sim.Run();
   EXPECT_EQ(ran, 2);
@@ -62,7 +62,7 @@ TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
 TEST(SimulatorTest, SameTimeScheduleFromCallbackRuns) {
   Simulator sim;
   bool inner = false;
-  sim.ScheduleAt(Seconds(1), [&] {
+  sim.ScheduleAt(TimeAt(Seconds(1)), [&] {
     sim.ScheduleAt(sim.Now(), [&] { inner = true; });
   });
   sim.Run();
@@ -71,7 +71,7 @@ TEST(SimulatorTest, SameTimeScheduleFromCallbackRuns) {
 
 TEST(SimulatorTest, EventsProcessedCounter) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.ScheduleAfter(i, [] {});
+  for (int i = 0; i < 7; ++i) sim.ScheduleAfter(Nanos(static_cast<uint64_t>(i)), [] {});
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 7u);
 }

@@ -35,9 +35,9 @@ TEST_F(BlktraceAccountingTest, MergesEqualMRecords) {
   for (int burst = 0; burst < 4; ++burst) {
     const uint64_t base = rng.Uniform(100000) * 8;
     for (int i = 0; i < 8; ++i) {
-      dev_.Submit(IoType::kWrite, base + i * 8, 8, nullptr);
+      dev_.Submit(IoType::kWrite, Sectors(base + i * 8), Sectors(8), nullptr);
     }
-    dev_.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8, nullptr);
+    dev_.Submit(IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8), nullptr);
   }
   sim_.Run();
 
@@ -54,7 +54,7 @@ TEST_F(BlktraceAccountingTest, MergesEqualMRecords) {
 }
 
 TEST_F(BlktraceAccountingTest, LifecycleJoinsPerRequestId) {
-  dev_.Submit(IoType::kRead, 512, 8, nullptr);
+  dev_.Submit(IoType::kRead, Sectors(512), Sectors(8), nullptr);
   sim_.Run();
 
   const auto records = session_.DeviceRecords(dev_idx_);
@@ -72,7 +72,7 @@ TEST_F(BlktraceAccountingTest, LifecycleJoinsPerRequestId) {
 
   // The C-Q delta is exactly the await DiskStats accumulated.
   const DiskStatsSnapshot st = dev_.Stats();
-  EXPECT_EQ(st.ticks[0], records[2].time_ns - records[0].time_ns);
+  EXPECT_EQ(st.ticks[0].ns(), records[2].time_ns - records[0].time_ns);
 }
 
 TEST_F(BlktraceAccountingTest, MergedBiosKeepTheirOwnGeometry) {
@@ -81,10 +81,10 @@ TEST_F(BlktraceAccountingTest, MergedBiosKeepTheirOwnGeometry) {
   // the elevator long enough for the second to fold into the first. The M
   // record must carry the merged bio's own sector/length but the
   // *surviving* request's id.
-  dev_.Submit(IoType::kRead, 500000, 8, nullptr);  // blocker, in service
-  dev_.Submit(IoType::kRead, 600000, 8, nullptr);  // blocker, staged
-  dev_.Submit(IoType::kWrite, 1000, 8, nullptr);
-  dev_.Submit(IoType::kWrite, 1008, 8, nullptr);
+  dev_.Submit(IoType::kRead, Sectors(500000), Sectors(8), nullptr);  // blocker, in service
+  dev_.Submit(IoType::kRead, Sectors(600000), Sectors(8), nullptr);  // blocker, staged
+  dev_.Submit(IoType::kWrite, Sectors(1000), Sectors(8), nullptr);
+  dev_.Submit(IoType::kWrite, Sectors(1008), Sectors(8), nullptr);
   sim_.Run();
 
   const auto records = session_.DeviceRecords(dev_idx_);

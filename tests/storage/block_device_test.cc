@@ -17,14 +17,14 @@ class BlockDeviceTest : public ::testing::Test {
 
 TEST_F(BlockDeviceTest, SingleReadCompletes) {
   bool done = false;
-  dev_.Submit(IoType::kRead, 0, 8, [&] { done = true; });
+  dev_.Submit(IoType::kRead, Sectors(0), Sectors(8), [&] { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
   auto st = dev_.Stats();
   EXPECT_EQ(st.ios[0], 1u);
   EXPECT_EQ(st.sectors[0], 8u);
   EXPECT_EQ(st.in_flight, 0u);
-  EXPECT_GT(st.io_ticks, 0u);
+  EXPECT_GT(st.io_ticks, SimDuration{});
 }
 
 TEST_F(BlockDeviceTest, AwaitAtLeastServiceTime) {
@@ -32,7 +32,7 @@ TEST_F(BlockDeviceTest, AwaitAtLeastServiceTime) {
   Rng rng(2);
   int remaining = 200;
   for (int i = 0; i < 200; ++i) {
-    dev_.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8,
+    dev_.Submit(IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8),
                 [&] { --remaining; });
   }
   sim_.Run();
@@ -40,9 +40,9 @@ TEST_F(BlockDeviceTest, AwaitAtLeastServiceTime) {
   auto st = dev_.Stats();
   EXPECT_EQ(st.ios[0], 200u);
   const double await =
-      static_cast<double>(st.ticks[0]) / static_cast<double>(st.ios[0]);
+      static_cast<double>(st.ticks[0].ns()) / static_cast<double>(st.ios[0]);
   const double svctm =
-      static_cast<double>(st.io_ticks) / static_cast<double>(st.ios[0]);
+      static_cast<double>(st.io_ticks.ns()) / static_cast<double>(st.ios[0]);
   EXPECT_GE(await, svctm * 0.999);
   // With a deep queue, waiting dominates service.
   EXPECT_GT(await, 2 * svctm);
@@ -51,19 +51,19 @@ TEST_F(BlockDeviceTest, AwaitAtLeastServiceTime) {
 TEST_F(BlockDeviceTest, UtilizationBoundedByWallClock) {
   Rng rng(3);
   for (int i = 0; i < 50; ++i) {
-    dev_.Submit(IoType::kWrite, rng.Uniform(100000) * 8, 16, nullptr);
+    dev_.Submit(IoType::kWrite, Sectors(rng.Uniform(100000) * 8), Sectors(16), nullptr);
   }
   sim_.Run();
   auto st = dev_.Stats();
-  EXPECT_LE(st.io_ticks, sim_.Now());
-  EXPECT_GT(st.io_ticks, 0u);
+  EXPECT_LE(st.io_ticks.ns(), sim_.Now().ns());
+  EXPECT_GT(st.io_ticks, SimDuration{});
 }
 
 TEST_F(BlockDeviceTest, AdjacentBiosMerge) {
   // Sequential 4 KiB bios submitted together should merge in the elevator.
   int completions = 0;
   for (int i = 0; i < 16; ++i) {
-    dev_.Submit(IoType::kWrite, 1000 + i * 8, 8, [&] { ++completions; });
+    dev_.Submit(IoType::kWrite, Sectors(1000 + i * 8), Sectors(8), [&] { ++completions; });
   }
   sim_.Run();
   EXPECT_EQ(completions, 16);
@@ -79,23 +79,23 @@ TEST_F(BlockDeviceTest, SequentialFasterThanRandom) {
   BlockDevice rnd(&sim_rnd, "rnd", params_, Rng(4));
   const int n = 100;
   for (int i = 0; i < n; ++i) {
-    seq.Submit(IoType::kRead, i * 128, 128, nullptr);
+    seq.Submit(IoType::kRead, Sectors(i * 128), Sectors(128), nullptr);
   }
   Rng rng(5);
   for (int i = 0; i < n; ++i) {
-    rnd.Submit(IoType::kRead, rng.Uniform(1000000) * 128, 128, nullptr);
+    rnd.Submit(IoType::kRead, Sectors(rng.Uniform(1000000) * 128), Sectors(128), nullptr);
   }
   sim_seq.Run();
   sim_rnd.Run();
-  EXPECT_LT(sim_seq.Now(), sim_rnd.Now() / 5);
+  EXPECT_LT(sim_seq.Now().ns(), sim_rnd.Now().ns() / 5);
 }
 
 TEST_F(BlockDeviceTest, CompletionObserverSeesRequests) {
   std::vector<uint64_t> sizes;
   dev_.SetCompletionObserver(
-      [&](const IoRequest& r) { sizes.push_back(r.sectors); });
-  dev_.Submit(IoType::kRead, 0, 8, nullptr);
-  dev_.Submit(IoType::kWrite, 5000, 16, nullptr);
+      [&](const IoRequest& r) { sizes.push_back(r.sectors.count()); });
+  dev_.Submit(IoType::kRead, Sectors(0), Sectors(8), nullptr);
+  dev_.Submit(IoType::kWrite, Sectors(5000), Sectors(16), nullptr);
   sim_.Run();
   ASSERT_EQ(sizes.size(), 2u);
 }
@@ -104,7 +104,7 @@ TEST_F(BlockDeviceTest, TimeInQueueGrowsWithDepth) {
   // Submit a burst; weighted queue time must exceed busy time when depth>1.
   Rng rng(6);
   for (int i = 0; i < 64; ++i) {
-    dev_.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8, nullptr);
+    dev_.Submit(IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8), nullptr);
   }
   sim_.Run();
   auto st = dev_.Stats();
@@ -114,10 +114,10 @@ TEST_F(BlockDeviceTest, TimeInQueueGrowsWithDepth) {
 TEST_F(BlockDeviceTest, StatsSnapshotIsMonotone) {
   Rng rng(7);
   for (int i = 0; i < 32; ++i) {
-    dev_.Submit(IoType::kRead, rng.Uniform(100000) * 8, 8, nullptr);
+    dev_.Submit(IoType::kRead, Sectors(rng.Uniform(100000) * 8), Sectors(8), nullptr);
   }
   uint64_t last_ios = 0;
-  SimDuration last_ticks = 0;
+  SimDuration last_ticks;
   while (sim_.Step()) {
     auto st = dev_.Stats();
     EXPECT_GE(st.TotalIos(), last_ios);

@@ -16,8 +16,8 @@ class CfqSchedulerTest : public ::testing::Test {
   IoRequest* Bio(IoType t, uint64_t sector, uint64_t sectors, uint64_t ctx) {
     IoRequest* r = pool_.Alloc();
     r->type = t;
-    r->sector = sector;
-    r->sectors = sectors;
+    r->sector = Sectors(sector);
+    r->sectors = Sectors(sectors);
     r->io_context = ctx;
     return r;
   }
@@ -35,7 +35,7 @@ TEST_F(CfqSchedulerTest, RoundRobinsBetweenContexts) {
   // Track the order of contexts served.
   std::vector<uint64_t> served;
   while (!s.empty()) {
-    served.push_back(s.PopNext(0)->io_context);
+    served.push_back(s.PopNext(SimTime{})->io_context);
   }
   // Slices alternate: after at most kQuantum requests of one stream, the
   // other gets service.
@@ -55,9 +55,9 @@ TEST_F(CfqSchedulerTest, AscendingWithinSlice) {
   s.Add(Bio(IoType::kRead, 500, 8, 1));
   s.Add(Bio(IoType::kRead, 100, 8, 1));
   s.Add(Bio(IoType::kRead, 300, 8, 1));
-  EXPECT_EQ(s.PopNext(0)->sector, 100u);
-  EXPECT_EQ(s.PopNext(0)->sector, 300u);
-  EXPECT_EQ(s.PopNext(0)->sector, 500u);
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(100));
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(300));
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(500));
 }
 
 TEST_F(CfqSchedulerTest, MergesOnlyWithinContext) {
@@ -72,10 +72,10 @@ TEST_F(CfqSchedulerTest, MergesOnlyWithinContext) {
   EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 92, 8, 1)));
   bool saw_merged = false;
   while (!s.empty()) {
-    IoRequest* r = s.PopNext(0);
+    IoRequest* r = s.PopNext(SimTime{});
     if (r->io_context == 1) {
-      EXPECT_EQ(r->sector, 92u);
-      EXPECT_EQ(r->sectors, 24u);
+      EXPECT_EQ(r->sector, Sectors(92));
+      EXPECT_EQ(r->sectors, Sectors(24));
       EXPECT_EQ(r->bio_count, 3u);
       saw_merged = true;
     }
@@ -102,7 +102,7 @@ TEST_F(CfqSchedulerTest, SingleContextDegeneratesToElevator) {
   uint64_t prev = 0;
   int descents = 0;
   while (!s.empty()) {
-    const uint64_t cur = s.PopNext(0)->sector;
+    const uint64_t cur = s.PopNext(SimTime{})->sector.count();
     if (cur < prev) ++descents;
     prev = cur;
   }
@@ -119,13 +119,13 @@ TEST(CfqDeviceTest, TwoStreamsShareSeekyDisk) {
   std::map<uint64_t, SimTime> last_done;
   int done_near = 0, done_far = 0;
   for (int i = 0; i < 64; ++i) {
-    dev.Submit(IoType::kRead, 1000 + i * 1024, 128,
+    dev.Submit(IoType::kRead, Sectors(1000 + i * 1024), Sectors(128),
                [&] {
                  ++done_near;
                  last_done[1] = sim.Now();
                },
                /*ctx=*/1);
-    dev.Submit(IoType::kRead, far_base + i * 1024, 128,
+    dev.Submit(IoType::kRead, Sectors(far_base + i * 1024), Sectors(128),
                [&] {
                  ++done_far;
                  last_done[2] = sim.Now();

@@ -11,8 +11,8 @@ namespace {
 IoRequest MakeReq(IoType t, uint64_t sector, uint64_t sectors) {
   IoRequest r;
   r.type = t;
-  r.sector = sector;
-  r.sectors = sectors;
+  r.sector = Sectors(sector);
+  r.sectors = Sectors(sectors);
   return r;
 }
 
@@ -22,7 +22,7 @@ TEST(DiskModelTest, SequentialStreamHitsSustainedRate) {
   // Stream 256 MiB in 512 KiB requests from sector 0.
   const uint64_t req_sectors = 1024;
   uint64_t sector = 0;
-  SimDuration total = 0;
+  SimDuration total;
   // First request pays positioning once.
   for (int i = 0; i < 512; ++i) {
     total += model.Service(MakeReq(IoType::kRead, sector, req_sectors));
@@ -40,7 +40,7 @@ TEST(DiskModelTest, RandomAccessAveragesSeekPlusRotation) {
   DiskParameters p;
   DiskModel model(p, Rng(2));
   Rng rng(3);
-  SimDuration total = 0;
+  SimDuration total;
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
     const uint64_t sector =
@@ -56,8 +56,8 @@ TEST(DiskModelTest, RandomAccessAveragesSeekPlusRotation) {
 TEST(DiskModelTest, InnerZoneSlowerThanOuter) {
   DiskParameters p;
   DiskModel model(p, Rng(4));
-  const double outer = model.RateAtSector(0);
-  const double inner = model.RateAtSector(p.TotalSectors() - 1);
+  const double outer = model.RateAtSector(Sectors(0));
+  const double inner = model.RateAtSector(Sectors(p.TotalSectors() - 1));
   EXPECT_NEAR(outer, 150e6, 1e6);
   EXPECT_NEAR(inner, 75e6, 1e6);
   EXPECT_GT(outer, inner);
@@ -67,9 +67,9 @@ TEST(DiskModelTest, SequentialContinuationHasZeroPositioning) {
   DiskParameters p;
   DiskModel model(p, Rng(5));
   model.Service(MakeReq(IoType::kWrite, 1000, 100));
-  EXPECT_EQ(model.head_sector(), 1100u);
-  EXPECT_EQ(model.PositioningTime(1100), 0u);
-  EXPECT_GT(model.PositioningTime(5000000), 0u);
+  EXPECT_EQ(model.head_sector(), Sectors(1100));
+  EXPECT_EQ(model.PositioningTime(Sectors(1100)), SimDuration{});
+  EXPECT_GT(model.PositioningTime(Sectors(5000000)), SimDuration{});
 }
 
 TEST(DiskModelTest, LongerSeeksCostMore) {
@@ -82,11 +82,11 @@ TEST(DiskModelTest, LongerSeeksCostMore) {
     DiskModel near_model(p, Rng(100 + i));
     near_model.Service(MakeReq(IoType::kRead, 0, 8));
     near_total += static_cast<double>(
-        near_model.PositioningTime(p.TotalSectors() / 100));
+        near_model.PositioningTime(Sectors(p.TotalSectors() / 100)).ns());
     DiskModel far_model(p, Rng(100 + i));
     far_model.Service(MakeReq(IoType::kRead, 0, 8));
     far_total += static_cast<double>(
-        far_model.PositioningTime(p.TotalSectors() - 8));
+        far_model.PositioningTime(Sectors(p.TotalSectors() - 8)).ns());
   }
   EXPECT_GT(far_total, near_total * 1.5);
 }
@@ -97,7 +97,7 @@ TEST(DiskModelTest, WholeDiskScanTakesHours) {
   DiskModel model(p, Rng(6));
   // Extrapolate from a 1 GiB scan at the outer edge (fastest zone).
   uint64_t sector = 0;
-  SimDuration total = 0;
+  SimDuration total;
   for (int i = 0; i < 2048; ++i) {
     total += model.Service(MakeReq(IoType::kRead, sector, 1024));
     sector += 1024;

@@ -14,11 +14,11 @@ namespace {
 class SchedTest : public ::testing::Test {
  protected:
   IoRequest* Bio(IoType t, uint64_t sector, uint64_t sectors,
-                 SimTime submit = 0) {
+                 SimTime submit = SimTime{}) {
     IoRequest* r = pool_.Alloc();
     r->type = t;
-    r->sector = sector;
-    r->sectors = sectors;
+    r->sector = Sectors(sector);
+    r->sectors = Sectors(sectors);
     r->submit_time = submit;
     return r;
   }
@@ -34,8 +34,8 @@ TEST_F(NoopSchedulerTest, FifoOrder) {
   s.Add(Bio(IoType::kRead, 100, 8));
   s.Add(Bio(IoType::kRead, 0, 8));
   EXPECT_EQ(s.size(), 2u);
-  EXPECT_EQ(s.PopNext(0)->sector, 100u);
-  EXPECT_EQ(s.PopNext(0)->sector, 0u);
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(100));
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(0));
   EXPECT_TRUE(s.empty());
 }
 
@@ -45,8 +45,8 @@ TEST_F(NoopSchedulerTest, BackMergesOntoTail) {
   IoRequest* next = Bio(IoType::kWrite, 8, 8);
   EXPECT_TRUE(s.TryMerge(next));
   EXPECT_EQ(s.size(), 1u);
-  IoRequest* merged = s.PopNext(0);
-  EXPECT_EQ(merged->sectors, 16u);
+  IoRequest* merged = s.PopNext(SimTime{});
+  EXPECT_EQ(merged->sectors, Sectors(16));
   EXPECT_EQ(merged->bio_count, 2u);
 }
 
@@ -64,43 +64,43 @@ TEST_F(NoopSchedulerTest, MergeRespectsMaxSize) {
 
 TEST_F(DeadlineSchedulerTest, SortsBySectorWithinBatch) {
   DeadlineScheduler s(1024);
-  s.Add(Bio(IoType::kRead, 500, 8, 0));
-  s.Add(Bio(IoType::kRead, 100, 8, 0));
-  s.Add(Bio(IoType::kRead, 300, 8, 0));
+  s.Add(Bio(IoType::kRead, 500, 8, SimTime{}));
+  s.Add(Bio(IoType::kRead, 100, 8, SimTime{}));
+  s.Add(Bio(IoType::kRead, 300, 8, SimTime{}));
   // No deadline expired at t=1ms: elevator order from position 0.
-  EXPECT_EQ(s.PopNext(Millis(1))->sector, 100u);
-  EXPECT_EQ(s.PopNext(Millis(1))->sector, 300u);
-  EXPECT_EQ(s.PopNext(Millis(1))->sector, 500u);
+  EXPECT_EQ(s.PopNext(TimeAt(Millis(1)))->sector, Sectors(100));
+  EXPECT_EQ(s.PopNext(TimeAt(Millis(1)))->sector, Sectors(300));
+  EXPECT_EQ(s.PopNext(TimeAt(Millis(1)))->sector, Sectors(500));
 }
 
 TEST_F(DeadlineSchedulerTest, ExpiredReadJumpsQueue) {
   DeadlineScheduler s(1024);
-  s.Add(Bio(IoType::kRead, 900, 8, 0));  // oldest, far sector
-  s.Add(Bio(IoType::kRead, 10, 8, Millis(400)));
+  s.Add(Bio(IoType::kRead, 900, 8, SimTime{}));  // oldest, far sector
+  s.Add(Bio(IoType::kRead, 10, 8, TimeAt(Millis(400))));
   // At t=600ms the first bio (submit 0, expiry 500ms) is expired.
-  EXPECT_EQ(s.PopNext(Millis(600))->sector, 900u);
+  EXPECT_EQ(s.PopNext(TimeAt(Millis(600)))->sector, Sectors(900));
 }
 
 TEST_F(DeadlineSchedulerTest, ReadsPreferredOverWrites) {
   DeadlineScheduler s(1024);
-  s.Add(Bio(IoType::kWrite, 50, 8, 0));
-  s.Add(Bio(IoType::kRead, 700, 8, 0));
-  EXPECT_TRUE(s.PopNext(Millis(1))->is_read());
+  s.Add(Bio(IoType::kWrite, 50, 8, SimTime{}));
+  s.Add(Bio(IoType::kRead, 700, 8, SimTime{}));
+  EXPECT_TRUE(s.PopNext(TimeAt(Millis(1)))->is_read());
 }
 
 TEST_F(DeadlineSchedulerTest, WritesNotStarvedForever) {
   DeadlineScheduler s(1024);
   // Keep a write queued while many read batches pass.
-  s.Add(Bio(IoType::kWrite, 1, 8, 0));
+  s.Add(Bio(IoType::kWrite, 1, 8, SimTime{}));
   int pops_until_write = 0;
   bool saw_write = false;
   for (int batch = 0; batch < 64 && !saw_write; ++batch) {
     // Top up reads so the read queue is never empty.
     for (int i = 0; i < DeadlineScheduler::kFifoBatch; ++i) {
-      s.Add(Bio(IoType::kRead, 1000 + 8 * (batch * 32 + i), 8, Millis(1)));
+      s.Add(Bio(IoType::kRead, 1000 + 8 * (batch * 32 + i), 8, TimeAt(Millis(1))));
     }
     for (int i = 0; i < DeadlineScheduler::kFifoBatch; ++i) {
-      IoRequest* r = s.PopNext(Millis(2));
+      IoRequest* r = s.PopNext(TimeAt(Millis(2)));
       ++pops_until_write;
       if (!r->is_read()) {
         saw_write = true;
@@ -121,9 +121,9 @@ TEST_F(DeadlineSchedulerTest, BackAndFrontMerge) {
   EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 108, 8)));
   EXPECT_TRUE(s.TryMerge(Bio(IoType::kWrite, 92, 8)));
   EXPECT_EQ(s.size(), 1u);
-  IoRequest* merged = s.PopNext(0);
-  EXPECT_EQ(merged->sector, 92u);
-  EXPECT_EQ(merged->sectors, 24u);
+  IoRequest* merged = s.PopNext(SimTime{});
+  EXPECT_EQ(merged->sector, Sectors(92));
+  EXPECT_EQ(merged->sectors, Sectors(24));
   EXPECT_EQ(merged->bio_count, 3u);
 }
 
@@ -136,7 +136,7 @@ TEST_F(DeadlineSchedulerTest, MergedCallbacksAllFire) {
   IoRequest* b = Bio(IoType::kWrite, 8, 8);
   b->on_complete.push_back(InlineFn([&] { ++fired; }));
   ASSERT_TRUE(s.TryMerge(b));
-  IoRequest* merged = s.PopNext(0);
+  IoRequest* merged = s.PopNext(SimTime{});
   for (auto& cb : merged->on_complete) cb();
   EXPECT_EQ(fired, 2);
 }
@@ -144,10 +144,10 @@ TEST_F(DeadlineSchedulerTest, MergedCallbacksAllFire) {
 TEST_F(DeadlineSchedulerTest, ElevatorWrapsAround) {
   DeadlineScheduler s(1024);
   s.Add(Bio(IoType::kRead, 100, 8));
-  EXPECT_EQ(s.PopNext(0)->sector, 100u);  // position now 108
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(100));  // position now 108
   s.Add(Bio(IoType::kRead, 50, 8));
   // Only request is below the position: elevator wraps.
-  EXPECT_EQ(s.PopNext(0)->sector, 50u);
+  EXPECT_EQ(s.PopNext(SimTime{})->sector, Sectors(50));
 }
 
 TEST(MakeSchedulerTest, FactoryNames) {

@@ -22,7 +22,7 @@ SimTime RunRandomLoad(uint32_t ncq_depth, uint64_t seed,
   // actually matters.
   const uint64_t slots = p.TotalSectors() / 8 - 1;
   for (int i = 0; i < 400; ++i) {
-    dev.Submit(IoType::kRead, rng.Uniform(slots) * 8, 8,
+    dev.Submit(IoType::kRead, Sectors(rng.Uniform(slots) * 8), Sectors(8),
                [&] { --remaining; });
   }
   sim.Run();
@@ -34,7 +34,7 @@ TEST(NcqTest, SptfImprovesRandomThroughput) {
   const SimTime fifo = RunRandomLoad(1, 7);
   const SimTime ncq = RunRandomLoad(32, 7);
   // Shortest-positioning-first among 32 candidates cuts seek distance.
-  EXPECT_LT(ncq, fifo * 7 / 10);
+  EXPECT_LT(ncq.ns(), fifo.ns() * 7 / 10);
 }
 
 TEST(NcqTest, SptfAddsLittleOverSortingElevator) {
@@ -42,7 +42,7 @@ TEST(NcqTest, SptfAddsLittleOverSortingElevator) {
   // the drive's SPTF must not make things worse.
   const SimTime plain = RunRandomLoad(1, 9, "deadline");
   const SimTime ncq = RunRandomLoad(32, 9, "deadline");
-  EXPECT_LE(ncq, plain * 105 / 100);
+  EXPECT_LE(ncq.ns(), plain.ns() * 105 / 100);
 }
 
 TEST(NcqTest, AllRequestsStillComplete) {
@@ -54,7 +54,7 @@ TEST(NcqTest, AllRequestsStillComplete) {
   int done = 0;
   for (int i = 0; i < 100; ++i) {
     dev.Submit(rng.Bernoulli(0.5) ? IoType::kRead : IoType::kWrite,
-               rng.Uniform(100000) * 8, 8, [&] { ++done; });
+               Sectors(rng.Uniform(100000) * 8), Sectors(8), [&] { ++done; });
   }
   sim.Run();
   EXPECT_EQ(done, 100);
@@ -78,15 +78,15 @@ TEST(NcqTest, StatsInvariantsHoldUnderReordering) {
   BlockDevice dev(&sim, "sda", p, Rng(4));
   Rng rng(5);
   for (int i = 0; i < 200; ++i) {
-    dev.Submit(IoType::kRead, rng.Uniform(500000) * 8, 8, nullptr);
+    dev.Submit(IoType::kRead, Sectors(rng.Uniform(500000) * 8), Sectors(8), nullptr);
   }
   sim.Run();
   auto st = dev.Stats();
-  EXPECT_LE(st.io_ticks, sim.Now());
+  EXPECT_LE(st.io_ticks.ns(), sim.Now().ns());
   // await >= svctm even with out-of-order service.
-  const double await = static_cast<double>(st.ticks[0]) /
+  const double await = static_cast<double>(st.ticks[0].ns()) /
                        static_cast<double>(st.ios[0]);
-  const double svctm = static_cast<double>(st.io_ticks) /
+  const double svctm = static_cast<double>(st.io_ticks.ns()) /
                        static_cast<double>(st.ios[0]);
   EXPECT_GE(await, svctm * 0.999);
 }

@@ -11,17 +11,17 @@ namespace {
 IoRequest Req(IoType t, uint64_t sector, uint64_t sectors) {
   IoRequest r;
   r.type = t;
-  r.sector = sector;
-  r.sectors = sectors;
+  r.sector = Sectors(sector);
+  r.sectors = Sectors(sectors);
   return r;
 }
 
 TEST(SsdTest, FlatPositioningLatency) {
   DiskParameters p = DiskParameters::SataSsd2013();
   DiskModel model(p, Rng(1));
-  const SimDuration near = model.PositioningTime(8);
+  const SimDuration near = model.PositioningTime(Sectors(8));
   model.Service(Req(IoType::kRead, 0, 8));
-  const SimDuration far = model.PositioningTime(p.TotalSectors() - 8);
+  const SimDuration far = model.PositioningTime(Sectors(p.TotalSectors() - 8));
   EXPECT_EQ(near, far);
   EXPECT_EQ(ToMillis(near), p.access_latency_ms);
 }
@@ -29,9 +29,9 @@ TEST(SsdTest, FlatPositioningLatency) {
 TEST(SsdTest, UniformTransferRateAcrossLba) {
   DiskParameters p = DiskParameters::SataSsd2013();
   DiskModel model(p, Rng(2));
-  EXPECT_DOUBLE_EQ(model.RateAtSector(0),
-                   model.RateAtSector(p.TotalSectors() - 1));
-  EXPECT_NEAR(model.RateAtSector(0), 500e6, 1e6);
+  EXPECT_DOUBLE_EQ(model.RateAtSector(Sectors(0)),
+                   model.RateAtSector(Sectors(p.TotalSectors() - 1)));
+  EXPECT_NEAR(model.RateAtSector(Sectors(0)), 500e6, 1e6);
 }
 
 TEST(SsdTest, RandomIoVastlyFasterThanHdd) {
@@ -41,21 +41,21 @@ TEST(SsdTest, RandomIoVastlyFasterThanHdd) {
     Rng rng(4);
     const uint64_t slots = p.TotalSectors() / 8 - 1;
     for (int i = 0; i < 300; ++i) {
-      dev.Submit(IoType::kRead, rng.Uniform(slots) * 8, 8, nullptr);
+      dev.Submit(IoType::kRead, Sectors(rng.Uniform(slots) * 8), Sectors(8), nullptr);
     }
     sim.Run();
     return sim.Now();
   };
   const SimTime hdd = run(DiskParameters::Seagate1TB7200());
   const SimTime ssd = run(DiskParameters::SataSsd2013());
-  EXPECT_LT(ssd * 20, hdd);  // > 20x on 4 KiB random reads
+  EXPECT_LT(ssd.ns() * 20, hdd.ns());  // > 20x on 4 KiB random reads
 }
 
 TEST(SsdTest, SequentialThroughputNearSpec) {
   sim::Simulator sim;
   BlockDevice dev(&sim, "d", DiskParameters::SataSsd2013(), Rng(5));
   for (int i = 0; i < 256; ++i) {
-    dev.Submit(IoType::kRead, static_cast<uint64_t>(i) * 1024, 1024,
+    dev.Submit(IoType::kRead, Sectors(static_cast<uint64_t>(i) * 1024), Sectors(1024),
                nullptr);
   }
   sim.Run();
@@ -69,7 +69,7 @@ TEST(SsdTest, AwaitTinyUnderRandomLoad) {
   BlockDevice dev(&sim, "d", DiskParameters::SataSsd2013(), Rng(6));
   Rng rng(7);
   for (int i = 0; i < 100; ++i) {
-    dev.Submit(IoType::kRead, rng.Uniform(1000000) * 8, 8, nullptr);
+    dev.Submit(IoType::kRead, Sectors(rng.Uniform(1000000) * 8), Sectors(8), nullptr);
   }
   sim.Run();
   auto st = dev.Stats();

@@ -68,7 +68,7 @@ TEST_P(StorageProperty, BatchCompletesWithConsistentAccounting) {
         break;
     }
     submitted_sectors += sectors;
-    dev.Submit(type, sector, sectors, [&] { ++completions; });
+    dev.Submit(type, Sectors(sector), Sectors(sectors), [&] { ++completions; });
   }
   sim.Run();
 
@@ -82,8 +82,8 @@ TEST_P(StorageProperty, BatchCompletesWithConsistentAccounting) {
             static_cast<uint64_t>(kBios));
   EXPECT_EQ(st.in_flight, 0u);
   // Busy time bounded by wall clock and positive.
-  EXPECT_GT(st.io_ticks, 0u);
-  EXPECT_LE(st.io_ticks, sim.Now());
+  EXPECT_GT(st.io_ticks, SimDuration{});
+  EXPECT_LE(st.io_ticks.ns(), sim.Now().ns());
   // Latency accounting: total latency >= total busy time (queueing >= 0).
   EXPECT_GE(st.ticks[0] + st.ticks[1], st.io_ticks);
   // Weighted queue time >= busy time whenever anything queued.
@@ -115,7 +115,7 @@ TEST_P(SeqThroughputProperty, SequentialStreamNearSustainedRate) {
   // 128 MiB sequential read in 512 KiB bios.
   int completions = 0;
   for (int i = 0; i < 256; ++i) {
-    dev.Submit(IoType::kRead, static_cast<uint64_t>(i) * 1024, 1024,
+    dev.Submit(IoType::kRead, Sectors(static_cast<uint64_t>(i) * 1024), Sectors(1024),
                [&] { ++completions; });
   }
   sim.Run();

@@ -254,5 +254,388 @@ TEST(LintTest, CommentsAndStringsAreInert) {
   EXPECT_TRUE(diags.empty());
 }
 
+// ---- R6: pooled-object lifetime ----------------------------------------
+
+TEST(R6Test, FlagsUseAfterUnconditionalRelease) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  pool_.Release(e);\n"
+      "  e->Fire();\n"
+      "}\n");
+  ASSERT_EQ(CountRule(diags, "R6"), 1u);
+  EXPECT_EQ(diags[0].line, 4u);
+  EXPECT_NE(diags[0].message.find("used after Release"), std::string::npos);
+}
+
+TEST(R6Test, UseAfterReleaseReportsOncePerPointer) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  pool_.Release(e);\n"
+      "  e->Fire();\n"
+      "  e->Fire();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 1u);
+}
+
+TEST(R6Test, FlagsDoubleRelease) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  IoRequest* r = req_pool_.Alloc();\n"
+      "  req_pool_.Release(r);\n"
+      "  req_pool_.Release(r);\n"
+      "}\n");
+  ASSERT_EQ(CountRule(diags, "R6"), 1u);
+  EXPECT_EQ(diags[0].line, 4u);
+  EXPECT_NE(diags[0].message.find("released twice"), std::string::npos);
+}
+
+TEST(R6Test, FlagsScopeExitWhileStillAllocated) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  e->deadline = t;\n"
+      "}\n");
+  ASSERT_EQ(CountRule(diags, "R6"), 1u);
+  EXPECT_EQ(diags[0].line, 2u);  // reported at the allocation
+  EXPECT_NE(diags[0].message.find("out of scope"), std::string::npos);
+}
+
+TEST(R6Test, ReleaseInNestedScopeIsConditionalNotFlagged) {
+  // A release inside a branch may or may not run; neither the later use
+  // nor the scope exit is certain enough to flag.
+  const auto diags = Lint(
+      "void f(bool ok) {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  if (ok) { pool_.Release(e); return; }\n"
+      "  e->Fire();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 0u);
+}
+
+TEST(R6Test, HandOffAsCallArgumentEndsTracking) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  queue_.Push(e);\n"
+      "}\n"
+      "Event* g() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  return e;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 0u);
+}
+
+TEST(R6Test, ReassignmentDropsTheOldPointer) {
+  // After `e = other;` the tracked pool block is no longer reachable via
+  // e, so neither the release nor the use refers to the tracked object.
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  queue_.Push(e);\n"
+      "  e = queue_.Pop();\n"
+      "  e->Fire();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 0u);
+}
+
+TEST(R6Test, NonPoolAllocIsNotTracked) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  Buffer* b = arena_.Alloc();\n"
+      "  (void)b;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 0u);
+}
+
+TEST(R6Test, AllowAnnotationSuppressesTheLeak) {
+  const auto diags = Lint(
+      "void f() {\n"
+      "  // bdio-lint: allow(R6) -- registry teardown releases it\n"
+      "  Event* e = pool_.Alloc();\n"
+      "  e->deadline = t;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R6"), 0u);
+  EXPECT_EQ(CountRule(diags, "A1"), 0u);  // annotation was used, not stale
+}
+
+// ---- R7: unit-suffix safety --------------------------------------------
+
+TEST(R7Test, FlagsCrossFamilyArithmetic) {
+  const auto diags = Lint(
+      "uint64_t f(uint64_t submit_ms, uint64_t delay_ns) {\n"
+      "  return submit_ms + delay_ns;\n"
+      "}\n");
+  ASSERT_EQ(CountRule(diags, "R7"), 1u);
+  EXPECT_EQ(diags[0].line, 2u);
+  EXPECT_NE(diags[0].message.find("unit mismatch"), std::string::npos);
+}
+
+TEST(R7Test, FlagsCrossFamilyComparisonAndAssignment) {
+  const auto diags = Lint(
+      "void f(uint64_t total_bytes, uint64_t span_sectors) {\n"
+      "  if (total_bytes < span_sectors) { total_bytes = span_sectors; }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R7"), 2u);
+}
+
+TEST(R7Test, SameFamilyAndMemberSuffixesAreFine) {
+  // Trailing member underscores strip before classification, so
+  // total_bytes_ and chunk_bytes are the same family.
+  const auto diags = Lint(
+      "void f(uint64_t chunk_bytes) {\n"
+      "  total_bytes_ += chunk_bytes;\n"
+      "  if (elapsed_ns_ > budget_ns_) { return; }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R7"), 0u);
+}
+
+TEST(R7Test, FlagsLiteralScaleFactors) {
+  const auto diags = Lint(
+      "uint64_t f(uint64_t timeout_ms, uint64_t len_bytes) {\n"
+      "  uint64_t a = timeout_ms * 1000000;\n"
+      "  uint64_t b = len_bytes / 512;\n"
+      "  return a + b;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R7"), 2u);
+}
+
+TEST(R7Test, UnsuffixedLiteralsAndScalingAreFine) {
+  const auto diags = Lint(
+      "uint64_t f(uint64_t count_ms) {\n"
+      "  return count_ms * 2;\n"  // doubling is not a unit conversion
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R7"), 0u);
+}
+
+TEST(R7Test, UnitsHeaderIsExempt) {
+  FileInput in;
+  in.path = "src/common/units.h";
+  in.content = "constexpr uint64_t M(uint64_t v_ms) { return v_ms * 1000000; }\n";
+  in.in_src = true;
+  EXPECT_EQ(CountRule(LintFile(in), "R7"), 0u);
+}
+
+TEST(R7Test, AllowAnnotationSuppresses) {
+  const auto diags = Lint(
+      "uint64_t f(uint64_t raw_ms) {\n"
+      "  // bdio-lint: allow(R7) -- wire format stores scaled integers\n"
+      "  return raw_ms * 1000;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(diags, "R7"), 0u);
+}
+
+// ---- Annotation grammar edge cases -------------------------------------
+
+TEST(AnnotationTest, StaleAllowIsReported) {
+  const auto diags = Lint(
+      "// bdio-lint: allow(R2) -- nothing clock-related follows\n"
+      "int x = 0;\n");
+  ASSERT_EQ(CountRule(diags, "A1"), 1u);
+  EXPECT_EQ(diags[0].line, 1u);
+}
+
+TEST(AnnotationTest, MultipleAnnotationsOnOneLineEachApply) {
+  const auto diags = Lint(
+      "std::unordered_set<int> s;\n"
+      "// bdio-lint: order-insensitive -- summing only "
+      "bdio-lint: allow(R2) -- log decoration\n"
+      "void f() { for (int x : s) { (void)x; } "
+      "auto t = std::chrono::system_clock::now(); (void)t; }\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 0u);
+  EXPECT_EQ(CountRule(diags, "R2"), 0u);
+  EXPECT_EQ(CountRule(diags, "A0"), 0u);
+  EXPECT_EQ(CountRule(diags, "A1"), 0u);
+}
+
+TEST(AnnotationTest, MissingJustificationOnSecondAnnotationIsA0) {
+  const auto diags = Lint(
+      "std::unordered_set<int> s;\n"
+      "// bdio-lint: order-insensitive -- summing only "
+      "bdio-lint: allow(R2)\n"
+      "void f() { for (int x : s) { (void)x; } }\n");
+  EXPECT_EQ(CountRule(diags, "R1"), 0u);  // first annotation still works
+  EXPECT_EQ(CountRule(diags, "A0"), 1u);  // second lacks a justification
+}
+
+TEST(AnnotationTest, JustificationMayContainDoubleDash) {
+  // Only the first "--" separates the rule list from the justification.
+  const auto diags = Lint(
+      "// bdio-lint: allow(R2) -- mirrors the --wall-clock CLI flag\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(CountRule(diags, "R2"), 0u);
+  EXPECT_EQ(CountRule(diags, "A0"), 0u);
+}
+
+// ---- R8: metric call-site harvesting and schema audit ------------------
+
+MetricsSchema MakeSchema(std::vector<MetricSchemaEntry> entries) {
+  MetricsSchema s;
+  s.path = "docs/metrics_schema.json";
+  s.entries = std::move(entries);
+  return s;
+}
+
+TEST(R8Test, CollectsCallSitesWithInlineLabels) {
+  FileInput in;
+  in.path = "src/storage/fixture.cc";
+  in.content =
+      "void f(obs::MetricsRegistry& m, const std::string& cls) {\n"
+      "  m.GetCounter(\"disk.read_bytes\", {{\"class\", cls}})->Add(1);\n"
+      "  m.GetHistogram(\"disk.await_ms\", {{\"class\", cls}}, b_)\n"
+      "      ->Observe(1.0);\n"
+      "}\n";
+  in.in_src = true;
+  const auto sites = CollectMetricCalls(in);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].kind, "counter");
+  EXPECT_EQ(sites[0].name, "disk.read_bytes");
+  ASSERT_TRUE(sites[0].labels_known);
+  EXPECT_EQ(sites[0].label_keys, std::vector<std::string>{"class"});
+  EXPECT_EQ(sites[1].kind, "histogram");
+  EXPECT_EQ(sites[1].name, "disk.await_ms");
+}
+
+TEST(R8Test, ResolvesLocalLabelsVariable) {
+  FileInput in;
+  in.path = "src/mr/fixture.cc";
+  in.content =
+      "void f(obs::MetricsRegistry& m) {\n"
+      "  const obs::Labels labels = {{\"job\", name_}};\n"
+      "  m.GetGauge(\"mr.job.slots\", labels)->Set(1);\n"
+      "}\n";
+  in.in_src = true;
+  const auto sites = CollectMetricCalls(in);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].kind, "gauge");
+  ASSERT_TRUE(sites[0].labels_known);
+  EXPECT_EQ(sites[0].label_keys, std::vector<std::string>{"job"});
+}
+
+TEST(R8Test, UnknownMetricNameIsFlagged) {
+  FileInput in;
+  in.path = "src/fixture.cc";
+  in.content = "void f(obs::MetricsRegistry& m) {\n"
+               "  m.GetCounter(\"disk.read_byte\")->Add(1);\n"  // typo
+               "}\n";
+  in.in_src = true;
+  const auto schema = MakeSchema(
+      {{"disk.read_bytes", "counter", {}, "storage", "doc", 4}});
+  const auto diags = CheckMetricsSchema(schema, CollectMetricCalls(in));
+  // The typo'd name is unknown AND the real entry has no call site left.
+  ASSERT_EQ(CountRule(diags, "R8"), 2u);
+  EXPECT_NE(diags[0].message.find("unknown metric"), std::string::npos);
+}
+
+TEST(R8Test, KindMismatchIsFlagged) {
+  FileInput in;
+  in.path = "src/fixture.cc";
+  in.content = "void f(obs::MetricsRegistry& m) {\n"
+               "  m.GetGauge(\"disk.requests\")->Set(1);\n"
+               "}\n";
+  in.in_src = true;
+  const auto schema = MakeSchema(
+      {{"disk.requests", "counter", {}, "storage", "doc", 4}});
+  const auto diags = CheckMetricsSchema(schema, CollectMetricCalls(in));
+  ASSERT_EQ(CountRule(diags, "R8"), 1u);
+  EXPECT_NE(diags[0].message.find("fetched as a gauge"), std::string::npos);
+}
+
+TEST(R8Test, LabelKeyMismatchIsFlagged) {
+  FileInput in;
+  in.path = "src/fixture.cc";
+  in.content =
+      "void f(obs::MetricsRegistry& m) {\n"
+      "  m.GetCounter(\"disk.requests\", {{\"device\", d_}})->Add(1);\n"
+      "}\n";
+  in.in_src = true;
+  const auto schema = MakeSchema(
+      {{"disk.requests", "counter", {"class"}, "storage", "doc", 4}});
+  const auto diags = CheckMetricsSchema(schema, CollectMetricCalls(in));
+  ASSERT_EQ(CountRule(diags, "R8"), 1u);
+  EXPECT_NE(diags[0].message.find("label keys"), std::string::npos);
+}
+
+TEST(R8Test, SchemaEntryWithNoCallSiteIsFlaggedAtTheSchema) {
+  const auto schema = MakeSchema(
+      {{"mr.ghost_metric", "counter", {}, "mapreduce", "doc", 12}});
+  const auto diags = CheckMetricsSchema(schema, {});
+  ASSERT_EQ(CountRule(diags, "R8"), 1u);
+  EXPECT_EQ(diags[0].file, "docs/metrics_schema.json");
+  EXPECT_EQ(diags[0].line, 12u);
+  EXPECT_NE(diags[0].message.find("no call site"), std::string::npos);
+}
+
+TEST(R8Test, NonLiteralNameIsFlagged) {
+  FileInput in;
+  in.path = "src/fixture.cc";
+  in.content = "void f(obs::MetricsRegistry& m, const std::string& n) {\n"
+               "  m.GetCounter(n)->Add(1);\n"
+               "}\n";
+  in.in_src = true;
+  const auto diags = CheckMetricsSchema(MakeSchema({}), CollectMetricCalls(in));
+  ASSERT_EQ(CountRule(diags, "R8"), 1u);
+  EXPECT_NE(diags[0].message.find("not a string literal"), std::string::npos);
+}
+
+TEST(R8Test, ParseRejectsMalformedSchema) {
+  MetricsSchema out;
+  std::string error;
+  EXPECT_FALSE(ParseMetricsSchema("{\"metrics\": [", &out, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseMetricsSchema(
+      "{\"metrics\": [{\"name\": \"x\", \"type\": \"timer\", "
+      "\"labels\": [], \"subsystem\": \"s\", \"doc\": \"d\"}]}",
+      &out, &error));
+  EXPECT_NE(error.find("counter, gauge or histogram"), std::string::npos);
+}
+
+TEST(R8Test, DumpRoundTripsThroughParse) {
+  FileInput in;
+  in.path = "src/storage/fixture.cc";
+  in.content =
+      "void f(obs::MetricsRegistry& m, const std::string& c) {\n"
+      "  m.GetCounter(\"disk.read_bytes\", {{\"class\", c}})->Add(1);\n"
+      "  m.GetHistogram(\"disk.await_ms\", {{\"class\", c}}, b_)->O(1);\n"
+      "}\n";
+  in.in_src = true;
+  const auto sites = CollectMetricCalls(in);
+  const std::string dump = DumpMetricsSchema(nullptr, sites);
+  MetricsSchema parsed;
+  std::string error;
+  ASSERT_TRUE(ParseMetricsSchema(dump, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].name, "disk.await_ms");  // sorted by name
+  EXPECT_EQ(parsed.entries[1].name, "disk.read_bytes");
+  // Docs carry over by name, so re-dumping against the parse is stable.
+  EXPECT_EQ(DumpMetricsSchema(&parsed, sites), dump);
+}
+
+// ---- Diagnostic format: columns, ordering, JSON ------------------------
+
+TEST(OutputTest, ColumnsAreOneBasedAndSortedWithinALine) {
+  const auto diags = Lint(
+      "std::map<Node*, int> a; std::set<Task*> b;\n");
+  ASSERT_EQ(CountRule(diags, "R3"), 2u);
+  EXPECT_EQ(diags[0].line, 1u);
+  EXPECT_GE(diags[0].col, 1u);
+  EXPECT_LT(diags[0].col, diags[1].col);
+}
+
+TEST(OutputTest, DiagnosticsToJsonEscapesAndStructures) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cc", 3, 7, "R2", "uses \"wall\" clock"},
+  };
+  const std::string json = DiagnosticsToJson(diags);
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"col\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"R2\""), std::string::npos);
+  EXPECT_NE(json.find("uses \\\"wall\\\" clock"), std::string::npos);
+  EXPECT_EQ(DiagnosticsToJson({}), "[]\n");
+}
+
 }  // namespace
 }  // namespace bdio::lint

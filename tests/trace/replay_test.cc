@@ -15,8 +15,8 @@ std::vector<TraceEvent> RecordRandomLoad(uint64_t seed, int n) {
   rec.Attach(&dev);
   Rng rng(seed);
   for (int i = 0; i < n; ++i) {
-    sim.ScheduleAt(Millis(10 * i), [&dev, &rng] {
-      dev.Submit(storage::IoType::kRead, rng.Uniform(100000) * 8, 16,
+    sim.ScheduleAt(TimeAt(Millis(10 * i)), [&dev, &rng] {
+      dev.Submit(storage::IoType::kRead, Sectors(rng.Uniform(100000) * 8), Sectors(16),
                  nullptr);
     });
   }

@@ -15,8 +15,8 @@ TEST(RecorderTest, CapturesCompletions) {
   storage::BlockDevice dev(&sim, "sda", storage::DiskParameters{}, Rng(1));
   Recorder rec;
   rec.Attach(&dev);
-  dev.Submit(storage::IoType::kRead, 100, 8, nullptr);
-  dev.Submit(storage::IoType::kWrite, 5000, 16, nullptr);
+  dev.Submit(storage::IoType::kRead, Sectors(100), Sectors(8), nullptr);
+  dev.Submit(storage::IoType::kWrite, Sectors(5000), Sectors(16), nullptr);
   sim.Run();
   ASSERT_EQ(rec.size(), 2u);
   EXPECT_EQ(rec.events()[0].device, "sda");
@@ -33,9 +33,9 @@ TEST(TraceIoTest, RoundTrip) {
     e.sector = i * 1000;
     e.sectors = 8 + i;
     e.bio_count = 1 + i % 4;
-    e.submit_time = i * 100;
-    e.dispatch_time = i * 100 + 10;
-    e.complete_time = i * 100 + 50;
+    e.submit_time = SimTime(i * 100);
+    e.dispatch_time = SimTime(i * 100 + 10);
+    e.complete_time = SimTime(i * 100 + 50);
     events.push_back(e);
   }
   std::ostringstream os;
@@ -67,8 +67,8 @@ TEST(AnalyzerTest, SequentialVersusRandom) {
     e.device = "sda";
     e.sector = i * 8;
     e.sectors = 8;
-    e.submit_time = i * 1000;
-    e.complete_time = i * 1000 + 100;
+    e.submit_time = SimTime(i * 1000);
+    e.complete_time = SimTime(i * 1000 + 100);
     seq.push_back(e);
   }
   Analyzer seq_an(seq);
@@ -81,8 +81,8 @@ TEST(AnalyzerTest, SequentialVersusRandom) {
     e.device = "sda";
     e.sector = rng.Uniform(1000000) * 8;
     e.sectors = 8;
-    e.submit_time = i * 1000;
-    e.complete_time = i * 1000 + 100;
+    e.submit_time = SimTime(i * 1000);
+    e.complete_time = SimTime(i * 1000 + 100);
     rnd.push_back(e);
   }
   Analyzer rnd_an(rnd);
@@ -97,9 +97,9 @@ TEST(AnalyzerTest, AggregatesSizesAndLatencies) {
     e.type = storage::IoType::kRead;
     e.sector = i * 100;
     e.sectors = 64;
-    e.submit_time = i * 1000000;
-    e.dispatch_time = e.submit_time + 500000;
-    e.complete_time = e.submit_time + 2000000;  // 2 ms
+    e.submit_time = SimTime(i * 1000000);
+    e.dispatch_time = e.submit_time + Nanos(500000);
+    e.complete_time = e.submit_time + Nanos(2000000);  // 2 ms
     events.push_back(e);
   }
   Analyzer an(events);

@@ -23,12 +23,24 @@ size_t LineOf(const std::vector<size_t>& line_starts, size_t pos) {
   return static_cast<size_t>(it - line_starts.begin());
 }
 
+/// 1-based column of byte offset `pos`.
+size_t ColOf(const std::vector<size_t>& line_starts, size_t pos) {
+  return pos - line_starts[LineOf(line_starts, pos) - 1] + 1;
+}
+
 std::vector<size_t> LineStarts(const std::string& s) {
   std::vector<size_t> starts{0};
   for (size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '\n') starts.push_back(i + 1);
   }
   return starts;
+}
+
+Diagnostic MakeDiag(const std::string& path,
+                    const std::vector<size_t>& lines, size_t pos,
+                    const char* rule, std::string msg) {
+  return {path, LineOf(lines, pos), ColOf(lines, pos), rule,
+          std::move(msg)};
 }
 
 /// True when the `len` bytes at `pos` form a whole token (no identifier
@@ -45,6 +57,35 @@ size_t SkipSpace(const std::string& s, size_t pos) {
     ++pos;
   }
   return pos;
+}
+
+/// Last non-space character before `pos`, or '\0'.
+char PrevNonSpace(const std::string& s, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return s[pos];
+  }
+  return '\0';
+}
+
+/// First non-space character at or after `pos`, or '\0'.
+char NextNonSpace(const std::string& s, size_t pos) {
+  pos = SkipSpace(s, pos);
+  return pos < s.size() ? s[pos] : '\0';
+}
+
+/// The identifier token whose last character precedes `end` (skipping
+/// trailing spaces). Empty when none. `start_out` receives its offset.
+std::string IdentEndingBefore(const std::string& s, size_t end,
+                              size_t* start_out) {
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  size_t b = end;
+  while (b > 0 && IsIdentChar(s[b - 1])) --b;
+  if (start_out != nullptr) *start_out = b;
+  return s.substr(b, end - b);
 }
 
 /// With s[pos] == '<', returns the offset just past the matching '>', or
@@ -80,46 +121,210 @@ size_t SkipParens(const std::string& s, size_t pos) {
   return std::string::npos;
 }
 
+/// Shared stripper: `strip_comments` blanks comments, `strip_strings`
+/// blanks string/char literals; both preserve line structure. Annotation
+/// parsing keeps comments (an annotation is only valid inside a real
+/// comment); the R8 call-site scan keeps strings (metric names live in
+/// them).
+std::string Strip(const std::string& content, bool strip_comments,
+                  bool strip_strings) {
+  std::string out = content;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator of a raw string
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (strip_comments) out[i] = ' ';
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when R directly abuts the quote and
+          // is not the tail of an identifier.
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(content[i - 2]))) {
+            size_t d = i + 1;
+            while (d < content.size() && content[d] != '(') ++d;
+            raw_delim = ")" + content.substr(i + 1, d - i - 1) + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (strip_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n' && strip_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
+          }
+          if (next != '\n') ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n' && strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (strip_strings) {
+            out[i] = ' ';
+            if (i + 1 < content.size()) out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          if (strip_strings) {
+            for (size_t k = 0; k + 1 < raw_delim.size(); ++k) {
+              out[i + k] = ' ';
+            }
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n' && strip_strings) {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Annotations
 // ---------------------------------------------------------------------------
 
 struct Annotation {
-  int rule = 0;  ///< 1..5; 1 for order-insensitive.
+  int rule = 0;  ///< 1..8; 1 for order-insensitive.
   bool has_justification = false;
+  size_t line = 0;
+  size_t col = 0;
+  bool used = false;  ///< Suppressed at least one finding.
 };
 
-/// Parses "// bdio-lint: ..." annotations from the ORIGINAL source (they
-/// live in comments, so they must be read before stripping). Key: line.
-std::map<size_t, Annotation> ParseAnnotations(
-    const std::string& content, const std::string& path,
-    std::vector<Diagnostic>* diags) {
-  std::map<size_t, Annotation> out;
-  std::istringstream in(content);
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const size_t at = line.find("bdio-lint:");
-    if (at == std::string::npos) continue;
-    std::string rest = line.substr(at + std::string("bdio-lint:").size());
+/// Per-file annotation table. Several annotations may share one line
+/// (each parsed independently, each with its own justification); an
+/// annotation allows findings on its own line and on the following line.
+class AnnotationSet {
+ public:
+  /// Parses "// bdio-lint: ..." annotations from comment-preserving text
+  /// (strings blanked: the linter's own fixtures quote annotation text in
+  /// string literals). Malformed annotations append A0 diagnostics.
+  void Parse(const std::string& content, const std::string& path,
+             std::vector<Diagnostic>* diags) {
+    std::istringstream in(content);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t at = line.find("bdio-lint:");
+      while (at != std::string::npos) {
+        const size_t next = line.find("bdio-lint:", at + 10);
+        ParseOne(line, at, next == std::string::npos ? line.size() : next,
+                 lineno, path, diags);
+        at = next;
+      }
+    }
+  }
+
+  /// True when an annotation for `rule` covers `line`; marks it used.
+  bool Allow(int rule, size_t line) {
+    bool allowed = false;
+    for (const size_t l : {line, line - 1}) {
+      const auto it = by_line_.find(l);
+      if (it == by_line_.end()) continue;
+      for (Annotation& a : it->second) {
+        if (a.rule == rule) {
+          a.used = true;
+          allowed = true;
+        }
+      }
+    }
+    return allowed;
+  }
+
+  /// A1 for every annotation that suppressed nothing. allow(R8) is exempt:
+  /// the metrics-schema audit runs at tree level, where per-file usage is
+  /// not visible.
+  void AppendStale(const std::string& path,
+                   std::vector<Diagnostic>* diags) const {
+    for (const auto& [line, anns] : by_line_) {
+      for (const Annotation& a : anns) {
+        if (a.used || a.rule == 8) continue;
+        diags->push_back(
+            {path, a.line, a.col, "A1",
+             "stale annotation: no R" + std::to_string(a.rule) +
+                 " finding on this or the next line (remove the "
+                 "annotation, or fix its rule id)"});
+      }
+    }
+  }
+
+ private:
+  void ParseOne(const std::string& line, size_t at, size_t seg_end,
+                size_t lineno, const std::string& path,
+                std::vector<Diagnostic>* diags) {
+    std::string rest = line.substr(at + 10, seg_end - (at + 10));
     const size_t first = rest.find_first_not_of(" \t");
-    if (first == std::string::npos) continue;
+    if (first == std::string::npos) return;
     rest = rest.substr(first);
     Annotation ann;
+    ann.line = lineno;
+    ann.col = at + 1;
     if (rest.rfind("order-insensitive", 0) == 0) {
       ann.rule = 1;
-      rest = rest.substr(std::string("order-insensitive").size());
+      rest = rest.substr(17);
     } else if (rest.rfind("allow(R", 0) == 0 && rest.size() > 8 &&
-               rest[7] >= '1' && rest[7] <= '5' && rest[8] == ')') {
+               rest[7] >= '1' && rest[7] <= '8' && rest[8] == ')') {
       ann.rule = rest[7] - '0';
       rest = rest.substr(9);
     } else {
-      diags->push_back({path, lineno, "A0",
+      diags->push_back({path, lineno, at + 1, "A0",
                         "unrecognized bdio-lint annotation (expected "
-                        "'order-insensitive' or 'allow(R<1-5>)')"});
-      continue;
+                        "'order-insensitive' or 'allow(R<1-8>)')"});
+      return;
     }
+    // Everything after the first "--" is the justification, verbatim —
+    // including any further "--" it happens to contain.
     const size_t dash = rest.find("--");
     std::string justification;
     if (dash != std::string::npos) {
@@ -127,27 +332,23 @@ std::map<size_t, Annotation> ParseAnnotations(
       const size_t b = justification.find_first_not_of(" \t");
       justification =
           b == std::string::npos ? std::string() : justification.substr(b);
+      while (!justification.empty() &&
+             std::isspace(static_cast<unsigned char>(
+                 justification.back())) != 0) {
+        justification.pop_back();
+      }
     }
     ann.has_justification = !justification.empty();
     if (!ann.has_justification) {
-      diags->push_back({path, lineno, "A0",
+      diags->push_back({path, lineno, at + 1, "A0",
                         "bdio-lint annotation without a justification "
                         "(write '-- <why this is safe>')"});
     }
-    out[lineno] = ann;
+    by_line_[lineno].push_back(ann);
   }
-  return out;
-}
 
-/// An annotation allows findings on its own line and on the next line.
-bool Allowed(const std::map<size_t, Annotation>& anns, int rule,
-             size_t line) {
-  for (const size_t l : {line, line - 1}) {
-    const auto it = anns.find(l);
-    if (it != anns.end() && it->second.rule == rule) return true;
-  }
-  return false;
-}
+  std::map<size_t, std::vector<Annotation>> by_line_;
+};
 
 // ---------------------------------------------------------------------------
 // Declarations harvesting
@@ -198,13 +399,12 @@ void CollectFloatNames(const std::string& code,
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Rules R1-R5
 // ---------------------------------------------------------------------------
 
 void CheckR1(const std::string& code, const std::set<std::string>& unordered,
              const std::vector<size_t>& lines, const std::string& path,
-             const std::map<size_t, Annotation>& anns,
-             std::vector<Diagnostic>* diags) {
+             AnnotationSet* anns, std::vector<Diagnostic>* diags) {
   if (unordered.empty()) return;
   // Range-for whose sequence expression names an unordered container.
   size_t pos = 0;
@@ -242,13 +442,13 @@ void CheckR1(const std::string& code, const std::set<std::string>& unordered,
       i = end;
       if (unordered.contains(ident)) {
         const size_t line = LineOf(lines, kw);
-        if (!Allowed(anns, 1, line)) {
-          diags->push_back(
-              {path, line, "R1",
-               "range-for over unordered container '" + ident +
-                   "': iteration order is hash order, which is not "
-                   "deterministic across stdlib implementations (use an "
-                   "ordered container or annotate order-insensitive)"});
+        if (!anns->Allow(1, line)) {
+          diags->push_back(MakeDiag(
+              path, lines, kw, "R1",
+              "range-for over unordered container '" + ident +
+                  "': iteration order is hash order, which is not "
+                  "deterministic across stdlib implementations (use an "
+                  "ordered container or annotate order-insensitive)"));
         }
         break;
       }
@@ -268,20 +468,19 @@ void CheckR1(const std::string& code, const std::set<std::string>& unordered,
       const std::string ident = code.substr(b, at - b);
       if (!unordered.contains(ident)) continue;
       const size_t line = LineOf(lines, at);
-      if (!Allowed(anns, 1, line)) {
-        diags->push_back(
-            {path, line, "R1",
-             "iterator over unordered container '" + ident +
-                 "': traversal order is hash order (use an ordered "
-                 "container or annotate order-insensitive)"});
+      if (!anns->Allow(1, line)) {
+        diags->push_back(MakeDiag(
+            path, lines, at, "R1",
+            "iterator over unordered container '" + ident +
+                "': traversal order is hash order (use an ordered "
+                "container or annotate order-insensitive)"));
       }
     }
   }
 }
 
 void CheckR2(const std::string& code, const std::vector<size_t>& lines,
-             const std::string& path,
-             const std::map<size_t, Annotation>& anns,
+             const std::string& path, AnnotationSet* anns,
              std::vector<Diagnostic>* diags) {
   struct Banned {
     const char* token;
@@ -313,17 +512,17 @@ void CheckR2(const std::string& code, const std::vector<size_t>& lines,
         if (after >= code.size() || code[after] != '(') continue;
       }
       const size_t line = LineOf(lines, at);
-      if (!Allowed(anns, 2, line)) {
-        diags->push_back({path, line, "R2",
-                          "non-deterministic source '" + t + "': " + b.why});
+      if (!anns->Allow(2, line)) {
+        diags->push_back(
+            MakeDiag(path, lines, at, "R2",
+                     "non-deterministic source '" + t + "': " + b.why));
       }
     }
   }
 }
 
 void CheckR3(const std::string& code, const std::vector<size_t>& lines,
-             const std::string& path,
-             const std::map<size_t, Annotation>& anns,
+             const std::string& path, AnnotationSet* anns,
              std::vector<Diagnostic>* diags) {
   static const char* kKeyed[] = {
       "std::map",           "std::set",
@@ -370,12 +569,12 @@ void CheckR3(const std::string& code, const std::vector<size_t>& lines,
       }
       if (key.empty() || key.back() != '*') continue;
       const size_t line = LineOf(lines, at);
-      if (!Allowed(anns, 3, line)) {
-        diags->push_back(
-            {path, line, "R3",
-             t + " keyed by pointer '" + key +
-                 "': pointer order/hash depends on allocation addresses, "
-                 "which vary run to run (key by a stable id instead)"});
+      if (!anns->Allow(3, line)) {
+        diags->push_back(MakeDiag(
+            path, lines, at, "R3",
+            t + " keyed by pointer '" + key +
+                "': pointer order/hash depends on allocation addresses, "
+                "which vary run to run (key by a stable id instead)"));
       }
     }
   }
@@ -383,8 +582,7 @@ void CheckR3(const std::string& code, const std::vector<size_t>& lines,
 
 void CheckR4(const std::string& code, const std::set<std::string>& floats,
              const std::vector<size_t>& lines, const std::string& path,
-             const std::map<size_t, Annotation>& anns,
-             std::vector<Diagnostic>* diags) {
+             AnnotationSet* anns, std::vector<Diagnostic>* diags) {
   if (floats.empty()) return;
   // Receiver-qualified thread-pool entry points: anything .Async(/->Async(,
   // and .Submit(/->Submit( whose receiver names a pool. BlockDevice::Submit
@@ -434,13 +632,13 @@ void CheckR4(const std::string& code, const std::set<std::string>& floats,
       if (after + 1 < code.size() && code[after] == '+' &&
           code[after + 1] == '=' && floats.contains(ident)) {
         const size_t line = LineOf(lines, i);
-        if (!Allowed(anns, 4, line)) {
-          diags->push_back(
-              {path, line, "R4",
-               "floating-point accumulation '" + ident +
-                   " +=' inside a thread-pool callback: summation order "
-                   "depends on task interleaving (accumulate per task and "
-                   "reduce in a deterministic order)"});
+        if (!anns->Allow(4, line)) {
+          diags->push_back(MakeDiag(
+              path, lines, i, "R4",
+              "floating-point accumulation '" + ident +
+                  " +=' inside a thread-pool callback: summation order "
+                  "depends on task interleaving (accumulate per task and "
+                  "reduce in a deterministic order)"));
         }
       }
       i = end;
@@ -457,14 +655,15 @@ bool StartsWithToken(const std::string& s, const std::string& tok) {
 void CheckR5Struct(const std::string& code, size_t body_start,
                    size_t body_end, const std::string& struct_name,
                    const std::vector<size_t>& lines, const std::string& path,
-                   const std::map<size_t, Annotation>& anns,
-                   std::vector<Diagnostic>* diags) {
+                   AnnotationSet* anns, std::vector<Diagnostic>* diags) {
+  // SimTime/SimDuration/Bytes/Sectors are deliberately absent: since the
+  // strong-type migration they are classes with zero-initializing default
+  // constructors, so an uninitialized member cannot read garbage.
   static const std::set<std::string> kScalar = {
       "bool",    "char",    "wchar_t",  "short",    "int",      "long",
       "unsigned", "signed", "float",    "double",   "size_t",   "ptrdiff_t",
       "int8_t",  "int16_t", "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
-      "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "SimTime",
-      "SimDuration"};
+      "uint32_t", "uint64_t", "intptr_t", "uintptr_t"};
   size_t i = body_start;
   size_t stmt_start = body_start;
   std::string stmt;
@@ -566,14 +765,14 @@ void CheckR5Struct(const std::string& code, size_t body_start,
           const bool pod = stars > 0 || kScalar.contains(base_name);
           if (pod && tokens.size() > type_end) {
             const size_t line = LineOf(lines, stmt_start);
-            if (!Allowed(anns, 5, line)) {
+            if (!anns->Allow(5, line)) {
               for (size_t m = type_end; m < tokens.size(); ++m) {
-                diags->push_back(
-                    {path, line, "R5",
-                     "member '" + tokens[m] + "' of struct '" + struct_name +
-                         "' has no default initializer: an instance left "
-                         "partially uninitialized reads indeterminate "
-                         "values (add '= ...' or '{}')"});
+                diags->push_back(MakeDiag(
+                    path, lines, stmt_start, "R5",
+                    "member '" + tokens[m] + "' of struct '" + struct_name +
+                        "' has no default initializer: an instance left "
+                        "partially uninitialized reads indeterminate "
+                        "values (add '= ...' or '{}')"));
               }
             }
           }
@@ -590,8 +789,7 @@ void CheckR5Struct(const std::string& code, size_t body_start,
 }
 
 void CheckR5(const std::string& code, const std::vector<size_t>& lines,
-             const std::string& path,
-             const std::map<size_t, Annotation>& anns,
+             const std::string& path, AnnotationSet* anns,
              std::vector<Diagnostic>* diags) {
   size_t pos = 0;
   while ((pos = code.find("struct", pos)) != std::string::npos) {
@@ -632,116 +830,707 @@ void CheckR5(const std::string& code, const std::vector<size_t>& lines,
   }
 }
 
-std::string ReadFile(const std::filesystem::path& p) {
+// ---------------------------------------------------------------------------
+// R6: pooled-object lifetime
+// ---------------------------------------------------------------------------
+
+/// Intra-function tracking of pointers allocated from an object pool
+/// (receiver whose name contains "pool", method Alloc). Flags:
+///  - use after an unconditional Release/Free on the same pointer,
+///  - a second unconditional Release/Free,
+///  - going out of scope still allocated without ever being released or
+///    handed off (pool blocks are never reclaimed, so this is a permanent
+///    leak — docs/PERFORMANCE.md, allocator invariants).
+/// Conservative by design: a release in a nested scope is treated as
+/// conditional (no later-use flag), and any hand-off (argument, store,
+/// return) ends tracking.
+void CheckR6(const std::string& code, const std::vector<size_t>& lines,
+             const std::string& path, AnnotationSet* anns,
+             std::vector<Diagnostic>* diags) {
+  struct Tracked {
+    size_t alloc_pos = 0;
+    int depth = 0;
+    enum State { kAllocated, kCondReleased, kReleased, kDone };
+    State state = kAllocated;
+  };
+  std::map<std::string, Tracked> vars;
+  int depth = 0;
+
+  auto emit = [&](size_t pos, const std::string& msg) {
+    const size_t line = LineOf(lines, pos);
+    if (!anns->Allow(6, line)) {
+      diags->push_back(MakeDiag(path, lines, pos, "R6", msg));
+    }
+  };
+
+  size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      for (auto it = vars.begin(); it != vars.end();) {
+        if (it->second.depth >= depth) {
+          if (it->second.state == Tracked::kAllocated) {
+            emit(it->second.alloc_pos,
+                 "pooled object '" + it->first +
+                     "' goes out of scope neither released nor handed "
+                     "off: pool blocks are never returned to the OS, so "
+                     "the node leaks for the rest of the run "
+                     "(docs/PERFORMANCE.md, allocator invariants)");
+          }
+          it = vars.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      --depth;
+      ++i;
+      continue;
+    }
+    if (!IsIdentChar(c) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    const std::string tok = code.substr(i, end - i);
+    const char prev = i > 0 ? code[i - 1] : '\0';
+    const bool member_access =
+        prev == '.' || (prev == '>' && i > 1 && code[i - 2] == '-');
+
+    if (tok == "Alloc" && member_access) {
+      // <target> = <receiver-containing-pool>.Alloc(...)
+      const size_t open = SkipSpace(code, end);
+      if (open < code.size() && code[open] == '(') {
+        size_t recv_start = 0;
+        std::string recv = IdentEndingBefore(
+            code, i - (prev == '.' ? 1 : 2), &recv_start);
+        std::string lower = recv;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        if (lower.find("pool") != std::string::npos) {
+          // Walk back over the '=' to the assignment target.
+          size_t eq = recv_start;
+          while (eq > 0 && std::isspace(static_cast<unsigned char>(
+                               code[eq - 1])) != 0) {
+            --eq;
+          }
+          if (eq > 0 && code[eq - 1] == '=' &&
+              (eq < 2 || std::string("=!<>+-*/%&|^").find(code[eq - 2]) ==
+                             std::string::npos)) {
+            size_t tgt_start = 0;
+            const std::string target =
+                IdentEndingBefore(code, eq - 1, &tgt_start);
+            const char before_tgt =
+                tgt_start > 0 ? PrevNonSpace(code, tgt_start) : '\0';
+            if (!target.empty() && before_tgt != '.' && before_tgt != '>') {
+              vars[target] = {tgt_start, depth, Tracked::kAllocated};
+            }
+          }
+        }
+        i = end;
+        continue;
+      }
+    }
+
+    if ((tok == "Release" || tok == "Free") && member_access) {
+      const size_t open = SkipSpace(code, end);
+      if (open < code.size() && code[open] == '(') {
+        const size_t close = SkipParens(code, open);
+        if (close != std::string::npos) {
+          std::string arg = code.substr(open + 1, close - open - 2);
+          const size_t ab = arg.find_first_not_of(" \t\n");
+          arg = ab == std::string::npos ? std::string() : arg.substr(ab);
+          while (!arg.empty() && std::isspace(static_cast<unsigned char>(
+                                     arg.back())) != 0) {
+            arg.pop_back();
+          }
+          auto it = vars.find(arg);
+          if (it != vars.end()) {
+            Tracked& v = it->second;
+            if (v.state == Tracked::kReleased) {
+              emit(i, "pooled object '" + arg + "' released twice: the "
+                          "second " + tok + " corrupts the freelist (the "
+                          "node may already carry an unrelated object)");
+            } else if (v.state == Tracked::kAllocated ||
+                       v.state == Tracked::kCondReleased) {
+              v.state = depth == v.depth ? Tracked::kReleased
+                                         : Tracked::kCondReleased;
+            }
+            i = close;
+            continue;
+          }
+        }
+      }
+    }
+
+    auto it = vars.find(tok);
+    if (it != vars.end() && !member_access) {
+      Tracked& v = it->second;
+      const char next = NextNonSpace(code, end);
+      const char next2 =
+          SkipSpace(code, end) + 1 < code.size()
+              ? code[SkipSpace(code, end) + 1]
+              : '\0';
+      if (next == '=' && next2 != '=') {
+        // Reassignment: the old pointer value is gone; a following
+        // pool.Alloc() restarts tracking via the Alloc handler.
+        vars.erase(it);
+        i = end;
+        continue;
+      }
+      if (v.state == Tracked::kReleased) {
+        emit(i, "pooled object '" + tok + "' used after Release: the node "
+                    "may already carry an unrelated object "
+                    "(docs/PERFORMANCE.md, allocator invariants)");
+        v.state = Tracked::kDone;  // report once per pointer
+      } else if (v.state == Tracked::kAllocated ||
+                 v.state == Tracked::kCondReleased) {
+        // Hand-off: the bare pointer as a call argument, stored, or
+        // returned. Ownership moved; stop tracking.
+        const std::string before_tok = IdentEndingBefore(code, i, nullptr);
+        const bool arg_like =
+            (prev == '(' || PrevNonSpace(code, i) == '(' ||
+             PrevNonSpace(code, i) == ',' || PrevNonSpace(code, i) == '=' ||
+             PrevNonSpace(code, i) == '{' || before_tok == "return") &&
+            (next == ',' || next == ')' || next == ';' || next == '}');
+        if (arg_like) vars.erase(it);
+      }
+    }
+    i = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7: unit-suffix safety
+// ---------------------------------------------------------------------------
+
+/// Unit family of an identifier by suffix (trailing underscores stripped
+/// first, so members like total_bytes_ classify too). Distinct time
+/// granularities are distinct families: adding _ms to _ns without a typed
+/// conversion is exactly the bug this rule exists for.
+std::string UnitFamily(std::string ident) {
+  while (!ident.empty() && ident.back() == '_') ident.pop_back();
+  static const char* kSuffixes[] = {"_ns", "_us", "_ms", "_bytes",
+                                    "_sectors"};
+  for (const char* suf : kSuffixes) {
+    const std::string s(suf);
+    if (ident.size() > s.size() &&
+        ident.compare(ident.size() - s.size(), s.size(), s) == 0) {
+      return s.substr(1);
+    }
+  }
+  return "";
+}
+
+void CheckR7(const std::string& code, const std::string& path,
+             AnnotationSet* anns, std::vector<Diagnostic>* diags) {
+  // units.h is the one place allowed to spell conversions out.
+  if (path.size() >= 14 &&
+      path.compare(path.size() - 14, 14, "common/units.h") == 0) {
+    return;
+  }
+  static const std::set<std::string> kMixOps = {
+      "+", "-", "<", ">", "<=", ">=", "==", "!=", "=", "+=", "-="};
+  static const std::set<std::string> kConvLits = {
+      "1000", "1000000", "1000000000", "1e3", "1e6", "1e9", "512"};
+
+  std::istringstream in(code);
+  std::string text;
+  size_t lineno = 0;
+  while (std::getline(in, text)) {
+    ++lineno;
+    // Tokenize the line into identifier/number tokens with positions.
+    struct Tok {
+      std::string text;
+      size_t pos;
+    };
+    std::vector<Tok> toks;
+    for (size_t i = 0; i < text.size();) {
+      if (!IsIdentChar(text[i])) {
+        ++i;
+        continue;
+      }
+      size_t end = i;
+      while (end < text.size() && IsIdentChar(text[end])) ++end;
+      toks.push_back({text.substr(i, end - i), i});
+      i = end;
+    }
+    for (size_t t = 0; t + 1 < toks.size(); ++t) {
+      const Tok& a = toks[t];
+      const Tok& b = toks[t + 1];
+      // Operator between the two tokens, taken verbatim: anything other
+      // than a bare operator (parens, ->, <<, commas) disqualifies.
+      std::string between =
+          text.substr(a.pos + a.text.size(),
+                      b.pos - (a.pos + a.text.size()));
+      between.erase(std::remove_if(between.begin(), between.end(),
+                                   [](unsigned char ch) {
+                                     return std::isspace(ch) != 0;
+                                   }),
+                    between.end());
+      const std::string fam_a = UnitFamily(a.text);
+      const std::string fam_b = UnitFamily(b.text);
+      if (!fam_a.empty() && !fam_b.empty() && fam_a != fam_b &&
+          kMixOps.contains(between)) {
+        if (!anns->Allow(7, lineno)) {
+          diags->push_back(
+              {path, lineno, b.pos + 1, "R7",
+               "unit mismatch: '" + a.text + "' (" + fam_a + ") " +
+                   between + " '" + b.text + "' (" + fam_b +
+                   ") mixes suffix families without a typed conversion "
+                   "(use SimDuration/Bytes/Sectors from common/units.h)"});
+        }
+        continue;
+      }
+      // Literal unit conversion: <suffixed> * 1000 (or / 512, etc.).
+      const bool a_fam = !fam_a.empty() && kConvLits.contains(b.text);
+      const bool b_fam = !fam_b.empty() && kConvLits.contains(a.text);
+      if ((a_fam || b_fam) && (between == "*" || between == "/")) {
+        const std::string ident = a_fam ? a.text : b.text;
+        const std::string lit = a_fam ? b.text : a.text;
+        if (!anns->Allow(7, lineno)) {
+          diags->push_back(
+              {path, lineno, a.pos + 1, "R7",
+               "manual unit conversion: '" + ident + "' " + between + " " +
+                   lit + " spells out a scale factor by hand (use the "
+                   "typed helpers in common/units.h — Millis()/Micros()/"
+                   "ToMillis()/ToSectors()/ToBytes())"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8: metrics schema (call-site harvesting; validation is tree-level)
+// ---------------------------------------------------------------------------
+
+/// Parses label keys out of a braced initializer: the first string literal
+/// inside each top-level {..} group is a key. `text` starts at the outer
+/// '{'. Returns sorted unique keys.
+std::vector<std::string> ParseLabelKeys(const std::string& text) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  size_t i = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      if (depth == 2) {
+        // First string literal inside this group is the key.
+        size_t j = i + 1;
+        int d = 1;
+        while (j < text.size() && d > 0) {
+          if (text[j] == '{') ++d;
+          if (text[j] == '}') --d;
+          if (text[j] == '"' && d == 1) {
+            const size_t close = text.find('"', j + 1);
+            if (close == std::string::npos) break;
+            keys.push_back(text.substr(j + 1, close - j - 1));
+            break;
+          }
+          ++j;
+        }
+      }
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) break;
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+/// Resolves a `labels` variable used at `call_pos` to its declaration's
+/// initializer keys: the nearest preceding "Labels <ident> [=] {...}".
+bool ResolveLabelsVar(const std::string& code, size_t call_pos,
+                      const std::string& ident,
+                      std::vector<std::string>* keys) {
+  size_t best = std::string::npos;
+  size_t pos = 0;
+  while ((pos = code.find("Labels", pos)) != std::string::npos &&
+         pos < call_pos) {
+    const size_t at = pos;
+    pos += 6;
+    if (!TokenAt(code, at, 6)) continue;
+    size_t p = SkipSpace(code, at + 6);
+    size_t end = p;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    if (code.substr(p, end - p) != ident) continue;
+    best = end;
+  }
+  if (best == std::string::npos) return false;
+  size_t p = SkipSpace(code, best);
+  if (p < code.size() && code[p] == '=') p = SkipSpace(code, p + 1);
+  if (p >= code.size() || code[p] != '{') return false;
+  *keys = ParseLabelKeys(code.substr(p));
+  return true;
+}
+
+std::vector<MetricCallSite> CollectMetricCallsImpl(const FileInput& input) {
+  std::vector<MetricCallSite> sites;
+  // Comments stripped, strings KEPT: the metric name is a string literal.
+  const std::string code =
+      Strip(input.content, /*strip_comments=*/true, /*strip_strings=*/false);
+  const std::vector<size_t> lines = LineStarts(code);
+  AnnotationSet anns;
+  std::vector<Diagnostic> scratch;
+  anns.Parse(Strip(input.content, false, true), input.path, &scratch);
+
+  static const std::pair<const char*, const char*> kGetters[] = {
+      {"GetCounter", "counter"},
+      {"GetGauge", "gauge"},
+      {"GetHistogram", "histogram"},
+  };
+  for (const auto& [getter, kind] : kGetters) {
+    const std::string g(getter);
+    size_t pos = 0;
+    while ((pos = code.find(g, pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += g.size();
+      if (!TokenAt(code, at, g.size())) continue;
+      const char prev = at > 0 ? code[at - 1] : '\0';
+      const bool member_access =
+          prev == '.' || (prev == '>' && at > 1 && code[at - 2] == '-');
+      if (!member_access) continue;  // declaration/definition, not a call
+      const size_t open = SkipSpace(code, at + g.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const size_t close = SkipParens(code, open);
+      if (close == std::string::npos) continue;
+      // Split the argument span on top-level commas.
+      std::vector<std::string> args;
+      {
+        int paren = 0;
+        int brace = 0;
+        size_t start = open + 1;
+        for (size_t i = open + 1; i + 1 < close; ++i) {
+          const char c = code[i];
+          if (c == '(') ++paren;
+          if (c == ')') --paren;
+          if (c == '{') ++brace;
+          if (c == '}') --brace;
+          if (c == ',' && paren == 0 && brace == 0) {
+            args.push_back(code.substr(start, i - start));
+            start = i + 1;
+          }
+        }
+        args.push_back(code.substr(start, close - 1 - start));
+      }
+      MetricCallSite site;
+      site.file = input.path;
+      site.line = LineOf(lines, at);
+      site.col = ColOf(lines, at);
+      site.kind = kind;
+      site.allowed = anns.Allow(8, site.line);
+      // Name: first argument, when it is a string literal.
+      if (!args.empty()) {
+        std::string a0 = args[0];
+        const size_t b = a0.find_first_not_of(" \t\n");
+        a0 = b == std::string::npos ? std::string() : a0.substr(b);
+        if (!a0.empty() && a0[0] == '"') {
+          const size_t q = a0.find('"', 1);
+          if (q != std::string::npos) site.name = a0.substr(1, q - 1);
+        }
+      }
+      // Labels: second argument (counters/gauges may omit it).
+      if (args.size() < 2) {
+        site.labels_known = true;
+      } else {
+        std::string a1 = args[1];
+        const size_t b = a1.find_first_not_of(" \t\n");
+        a1 = b == std::string::npos ? std::string() : a1.substr(b);
+        while (!a1.empty() &&
+               std::isspace(static_cast<unsigned char>(a1.back())) != 0) {
+          a1.pop_back();
+        }
+        if (a1.empty() || a1 == "{}") {
+          site.labels_known = true;
+        } else if (a1[0] == '{') {
+          site.label_keys = ParseLabelKeys(a1);
+        } else {
+          // A plain identifier: resolve its Labels declaration backwards.
+          bool is_ident = true;
+          for (const char ch : a1) {
+            if (!IsIdentChar(ch)) is_ident = false;
+          }
+          if (is_ident &&
+              ResolveLabelsVar(code, at, a1, &site.label_keys)) {
+            site.labels_known = true;
+          } else {
+            site.labels_known = false;
+          }
+        }
+      }
+      sites.push_back(std::move(site));
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const MetricCallSite& a, const MetricCallSite& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.col < b.col;
+            });
+  return sites;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (the subset DumpMetricsSchema emits)
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+  size_t line = 0;
+
+  const JsonValue* Field(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out)) {
+      *error = err_ + " (line " + std::to_string(line_) + ")";
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      *error = "trailing characters (line " + std::to_string(line_) + ")";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      if (s_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    std::string r;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: return Fail("unsupported escape");
+        }
+      }
+      r.push_back(c);
+    }
+    if (pos_ >= s_.size()) return Fail("unterminated string");
+    ++pos_;
+    *out = std::move(r);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    out->line = line_;
+    const char c = s_[pos_];
+    if (c == '{') {
+      out->type = JsonValue::Type::kObject;
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return Fail("expected ':'");
+        ++pos_;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->fields.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out->type = JsonValue::Type::kArray;
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->items.push_back(std::move(v));
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return Fail("unexpected character");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::string err_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JoinKeys(const std::vector<std::string>& keys) {
+  std::string out = "{";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i];
+  }
+  return out + "}";
+}
+
+/// Owning subsystem of a call site: the directory under src/, or "bench"
+/// for bench-side readers; "tools" otherwise.
+std::string SubsystemOf(const std::string& path) {
+  for (const char* anchor : {"src/", "bench/", "tools/"}) {
+    const std::string a(anchor);
+    size_t p = path.rfind(a);
+    if (p != std::string::npos && (p == 0 || path[p - 1] == '/')) {
+      if (a == "src/") {
+        const std::string rest = path.substr(p + a.size());
+        const size_t slash = rest.find('/');
+        return slash == std::string::npos ? "src" : rest.substr(0, slash);
+      }
+      return a.substr(0, a.size() - 1);
+    }
+  }
+  return "unknown";
+}
+
+std::string ReadFileAt(const std::filesystem::path& p) {
   std::ifstream in(p, std::ios::binary);
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
 }
 
-/// Shared stripper: string/char literals always blank to spaces; comments
-/// blank only when `strip_comments` (annotation parsing keeps them — an
-/// annotation is only valid inside a real comment, never inside a string).
-std::string Strip(const std::string& content, bool strip_comments) {
-  std::string out = content;
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_delim;  // )delim" terminator of a raw string
-  for (size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          if (strip_comments) out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          if (strip_comments) out[i] = ' ';
-        } else if (c == '"') {
-          // R"delim( ... )delim" — only when R directly abuts the quote and
-          // is not the tail of an identifier.
-          if (i > 0 && content[i - 1] == 'R' &&
-              (i < 2 || !IsIdentChar(content[i - 2]))) {
-            size_t d = i + 1;
-            while (d < content.size() && content[d] != '(') ++d;
-            raw_delim = ")" + content.substr(i + 1, d - i - 1) + "\"";
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else if (strip_comments) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          if (strip_comments) {
-            out[i] = ' ';
-            out[i + 1] = ' ';
-          }
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n' && strip_comments) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < content.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < content.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t k = 0; k + 1 < raw_delim.size(); ++k) out[i + k] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+/// All lintable files under the roots, sorted for deterministic order.
+std::vector<std::filesystem::path> ListFiles(
+    const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    if (!fs::exists(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
     }
   }
-  return out;
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool UnderTests(const std::string& path) {
+  return path.rfind("tests/", 0) == 0 ||
+         path.find("/tests/") != std::string::npos;
 }
 
 }  // namespace
 
 std::string StripCommentsAndStrings(const std::string& content) {
-  return Strip(content, /*strip_comments=*/true);
+  return Strip(content, /*strip_comments=*/true, /*strip_strings=*/true);
 }
 
 std::vector<Diagnostic> LintFile(const FileInput& input) {
@@ -749,8 +1538,10 @@ std::vector<Diagnostic> LintFile(const FileInput& input) {
   // Annotations are read with strings blanked but comments intact: only a
   // real comment can carry one (the linter's own test fixtures quote
   // annotation text inside string literals).
-  const std::map<size_t, Annotation> anns = ParseAnnotations(
-      Strip(input.content, /*strip_comments=*/false), input.path, &diags);
+  AnnotationSet anns;
+  anns.Parse(Strip(input.content, /*strip_comments=*/false,
+                   /*strip_strings=*/true),
+             input.path, &diags);
   const std::string code = StripCommentsAndStrings(input.content);
   const std::vector<size_t> lines = LineStarts(code);
 
@@ -765,51 +1556,278 @@ std::vector<Diagnostic> LintFile(const FileInput& input) {
     CollectFloatNames(StripCommentsAndStrings(input.sibling), &floats);
   }
 
-  CheckR1(code, unordered, lines, input.path, anns, &diags);
-  CheckR2(code, lines, input.path, anns, &diags);
-  CheckR3(code, lines, input.path, anns, &diags);
-  CheckR4(code, floats, lines, input.path, anns, &diags);
-  if (input.in_src) CheckR5(code, lines, input.path, anns, &diags);
+  CheckR1(code, unordered, lines, input.path, &anns, &diags);
+  CheckR2(code, lines, input.path, &anns, &diags);
+  CheckR3(code, lines, input.path, &anns, &diags);
+  CheckR4(code, floats, lines, input.path, &anns, &diags);
+  if (input.in_src) CheckR5(code, lines, input.path, &anns, &diags);
+  CheckR6(code, lines, input.path, &anns, &diags);
+  CheckR7(code, input.path, &anns, &diags);
+  anns.AppendStale(input.path, &diags);
 
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
               return a.rule < b.rule;
             });
   return diags;
 }
 
-std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
-                                 size_t* files_scanned) {
-  namespace fs = std::filesystem;
-  std::vector<fs::path> files;
-  for (const std::string& root : roots) {
-    if (!fs::exists(root)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+std::vector<MetricCallSite> CollectMetricCalls(const FileInput& input) {
+  return CollectMetricCallsImpl(input);
+}
+
+bool ParseMetricsSchema(const std::string& text, MetricsSchema* out,
+                        std::string* error) {
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root, error)) return false;
+  if (root.type != JsonValue::Type::kObject) {
+    *error = "schema root must be an object";
+    return false;
+  }
+  const JsonValue* metrics = root.Field("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kArray) {
+    *error = "schema needs a \"metrics\" array";
+    return false;
+  }
+  out->entries.clear();
+  for (const JsonValue& e : metrics->items) {
+    if (e.type != JsonValue::Type::kObject) {
+      *error = "every metrics entry must be an object";
+      return false;
+    }
+    MetricSchemaEntry entry;
+    entry.line = e.line;
+    const JsonValue* name = e.Field("name");
+    const JsonValue* type = e.Field("type");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        type == nullptr || type->type != JsonValue::Type::kString) {
+      *error = "every metrics entry needs string \"name\" and \"type\"";
+      return false;
+    }
+    entry.name = name->str;
+    entry.type = type->str;
+    if (entry.type != "counter" && entry.type != "gauge" &&
+        entry.type != "histogram") {
+      *error = "metric '" + entry.name +
+               "': type must be counter, gauge or histogram";
+      return false;
+    }
+    if (const JsonValue* labels = e.Field("labels")) {
+      for (const JsonValue& l : labels->items) {
+        entry.labels.push_back(l.str);
+      }
+      std::sort(entry.labels.begin(), entry.labels.end());
+    }
+    if (const JsonValue* sub = e.Field("subsystem")) entry.subsystem = sub->str;
+    if (const JsonValue* doc = e.Field("doc")) entry.doc = doc->str;
+    out->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool LoadMetricsSchema(const std::string& path, MetricsSchema* out,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  out->path = path;
+  return ParseMetricsSchema(text.str(), out, error);
+}
+
+std::vector<Diagnostic> CheckMetricsSchema(
+    const MetricsSchema& schema, const std::vector<MetricCallSite>& sites) {
+  std::vector<Diagnostic> diags;
+  std::map<std::string, const MetricSchemaEntry*> by_name;
+  for (const MetricSchemaEntry& e : schema.entries) {
+    by_name[e.name] = &e;
+  }
+  std::set<std::string> seen;
+  for (const MetricCallSite& s : sites) {
+    if (!s.name.empty()) {
+      if (by_name.contains(s.name)) seen.insert(s.name);
+    }
+    if (s.allowed) continue;
+    if (s.name.empty()) {
+      diags.push_back(
+          {s.file, s.line, s.col, "R8",
+           "metric name is not a string literal: the schema audit cannot "
+           "see it (use a literal, or annotate allow(R8) with why the "
+           "name is validated elsewhere)"});
+      continue;
+    }
+    const auto it = by_name.find(s.name);
+    if (it == by_name.end()) {
+      diags.push_back(
+          {s.file, s.line, s.col, "R8",
+           "unknown metric '" + s.name + "': not in " +
+               (schema.path.empty() ? std::string("the metrics schema")
+                                    : schema.path) +
+               " (add a schema entry — bdio-lint --schema-dump regenerates "
+               "it — or fix the name)"});
+      continue;
+    }
+    const MetricSchemaEntry& e = *it->second;
+    if (e.type != s.kind) {
+      diags.push_back(
+          {s.file, s.line, s.col, "R8",
+           "metric '" + s.name + "' is a " + e.type +
+               " in the schema but fetched as a " + s.kind +
+               " here (one of the two is wrong)"});
+    }
+    if (s.labels_known && s.label_keys != e.labels) {
+      diags.push_back(
+          {s.file, s.line, s.col, "R8",
+           "metric '" + s.name + "' label keys " + JoinKeys(s.label_keys) +
+               " do not match the schema's " + JoinKeys(e.labels) +
+               " (a renamed or missing label silently splits the series)"});
     }
   }
-  std::sort(files.begin(), files.end());
+  for (const MetricSchemaEntry& e : schema.entries) {
+    if (!seen.contains(e.name)) {
+      diags.push_back(
+          {schema.path.empty() ? std::string("<schema>") : schema.path,
+           e.line, 1, "R8",
+           "schema entry '" + e.name + "' has no call site left in the "
+           "tree (remove the entry — bdio-lint --schema-dump regenerates "
+           "the file — or restore the metric)"});
+    }
+  }
+  return diags;
+}
+
+std::string DumpMetricsSchema(const MetricsSchema* old_schema,
+                              const std::vector<MetricCallSite>& sites) {
+  std::map<std::string, std::string> old_docs;
+  if (old_schema != nullptr) {
+    for (const MetricSchemaEntry& e : old_schema->entries) {
+      old_docs[e.name] = e.doc;
+    }
+  }
+  struct Agg {
+    std::string kind;
+    std::vector<std::string> labels;
+    bool labels_known = false;
+    std::string subsystem;
+    bool src_owned = false;
+  };
+  std::map<std::string, Agg> by_name;  // sorted by name
+  for (const MetricCallSite& s : sites) {
+    if (s.name.empty()) continue;
+    Agg& a = by_name[s.name];
+    if (a.kind.empty()) a.kind = s.kind;
+    if (!a.labels_known && s.labels_known) {
+      a.labels = s.label_keys;
+      a.labels_known = true;
+    }
+    // src/ owns the metric; bench/tools sites are readers.
+    const std::string sub = SubsystemOf(s.file);
+    const bool is_src = sub != "bench" && sub != "tools" && sub != "unknown";
+    if (a.subsystem.empty() || (is_src && !a.src_owned)) {
+      a.subsystem = sub;
+      a.src_owned = is_src;
+    }
+  }
+  std::ostringstream out;
+  out << "{\n  \"metrics\": [\n";
+  size_t i = 0;
+  for (const auto& [name, a] : by_name) {
+    out << "    {\n";
+    out << "      \"name\": \"" << JsonEscape(name) << "\",\n";
+    out << "      \"type\": \"" << a.kind << "\",\n";
+    out << "      \"labels\": [";
+    for (size_t k = 0; k < a.labels.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << "\"" << JsonEscape(a.labels[k]) << "\"";
+    }
+    out << "],\n";
+    out << "      \"subsystem\": \"" << JsonEscape(a.subsystem) << "\",\n";
+    const auto doc = old_docs.find(name);
+    out << "      \"doc\": \""
+        << JsonEscape(doc != old_docs.end() && !doc->second.empty()
+                          ? doc->second
+                          : "TODO: document this metric.")
+        << "\"\n";
+    out << "    }" << (++i < by_name.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::vector<MetricCallSite> CollectTreeMetricCalls(
+    const std::vector<std::string>& roots) {
+  std::vector<MetricCallSite> sites;
+  for (const std::filesystem::path& p : ListFiles(roots)) {
+    FileInput in;
+    in.path = p.generic_string();
+    if (UnderTests(in.path)) continue;
+    in.content = ReadFileAt(p);
+    std::vector<MetricCallSite> file_sites = CollectMetricCalls(in);
+    sites.insert(sites.end(), file_sites.begin(), file_sites.end());
+  }
+  return sites;
+}
+
+std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
+                                 size_t* files_scanned,
+                                 const LintOptions& options) {
+  namespace fs = std::filesystem;
+  const std::vector<fs::path> files = ListFiles(roots);
   if (files_scanned != nullptr) *files_scanned = files.size();
 
   std::vector<Diagnostic> diags;
+  std::vector<MetricCallSite> sites;
   for (const fs::path& p : files) {
     FileInput in;
     in.path = p.generic_string();
-    in.content = ReadFile(p);
+    in.content = ReadFileAt(p);
     in.in_src = in.path.rfind("src/", 0) == 0 ||
                 in.path.find("/src/") != std::string::npos;
     if (p.extension() == ".cc") {
       fs::path sib = p;
       sib.replace_extension(".h");
-      if (fs::exists(sib)) in.sibling = ReadFile(sib);
+      if (fs::exists(sib)) in.sibling = ReadFileAt(sib);
     }
     std::vector<Diagnostic> file_diags = LintFile(in);
     diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+    if (options.schema != nullptr && !UnderTests(in.path)) {
+      std::vector<MetricCallSite> file_sites = CollectMetricCalls(in);
+      sites.insert(sites.end(), file_sites.begin(), file_sites.end());
+    }
   }
+  if (options.schema != nullptr) {
+    std::vector<Diagnostic> schema_diags =
+        CheckMetricsSchema(*options.schema, sites);
+    diags.insert(diags.end(), schema_diags.begin(), schema_diags.end());
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
   return diags;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"file\": \"" << JsonEscape(d.file) << "\", \"line\": "
+        << d.line << ", \"col\": " << d.col << ", \"rule\": \"" << d.rule
+        << "\", \"message\": \"" << JsonEscape(d.message) << "\"}";
+  }
+  out << (diags.empty() ? "]\n" : "\n]\n");
+  return out.str();
 }
 
 }  // namespace bdio::lint

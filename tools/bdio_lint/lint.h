@@ -7,10 +7,14 @@
 
 namespace bdio::lint {
 
-/// One finding. `rule` is "R1".."R5" (or "A0" for a malformed annotation).
+/// One finding. `rule` is "R1".."R8", "A0" for a malformed annotation, or
+/// "A1" for a stale annotation that suppressed nothing. `line`/`col` are
+/// 1-based; diagnostics sort by (file, line, col, rule) so output order is
+/// deterministic across platforms and directory-walk orders.
 struct Diagnostic {
   std::string file;
   size_t line = 0;
+  size_t col = 0;
   std::string rule;
   std::string message;
 };
@@ -32,19 +36,103 @@ struct FileInput {
 /// Exposed for tests.
 std::string StripCommentsAndStrings(const std::string& content);
 
-/// Runs every rule over one file. See docs/STATIC_ANALYSIS.md for the rule
-/// catalogue and the annotation grammar:
+/// Runs every per-file rule (R1-R7 plus the annotation grammar) over one
+/// file. See docs/STATIC_ANALYSIS.md for the rule catalogue and the
+/// annotation grammar:
 ///   // bdio-lint: order-insensitive -- <justification>   (allows R1)
 ///   // bdio-lint: allow(R<k>) -- <justification>         (allows rule k)
 /// An annotation allows findings on its own line and on the following
-/// line; an annotation with no justification is itself a diagnostic.
+/// line; an annotation with no justification is itself a diagnostic (A0),
+/// and one that suppresses nothing is a stale-annotation diagnostic (A1).
+/// Several annotations may share one line; each needs its own
+/// justification.
 std::vector<Diagnostic> LintFile(const FileInput& input);
 
+// ---------------------------------------------------------------------------
+// R8: metrics schema audit
+// ---------------------------------------------------------------------------
+
+/// One GetCounter/GetGauge/GetHistogram call site, as recovered from the
+/// token stream. `label_keys` holds the sorted label keys when the label
+/// argument was an inline initializer or a local `obs::Labels` variable
+/// whose initializer is visible in the same file; `labels_known` is false
+/// otherwise (the name is still validated, the labels are not).
+struct MetricCallSite {
+  std::string file;
+  size_t line = 0;
+  size_t col = 0;
+  std::string kind;  ///< "counter", "gauge" or "histogram".
+  std::string name;  ///< Empty when the name was not a string literal.
+  std::vector<std::string> label_keys;
+  bool labels_known = true;
+  bool allowed = false;  ///< An allow(R8) annotation covers this site.
+};
+
+/// Extracts every metric-registry call site from one file. Exposed for
+/// tests; LintTree uses it internally when a schema is supplied.
+std::vector<MetricCallSite> CollectMetricCalls(const FileInput& input);
+
+/// One entry of docs/metrics_schema.json.
+struct MetricSchemaEntry {
+  std::string name;
+  std::string type;  ///< "counter", "gauge" or "histogram".
+  std::vector<std::string> labels;  ///< Sorted label keys.
+  std::string subsystem;
+  std::string doc;
+  size_t line = 0;  ///< Line of the entry in the schema file.
+};
+
+struct MetricsSchema {
+  std::string path;
+  std::vector<MetricSchemaEntry> entries;
+};
+
+/// Parses the schema JSON (the subset DumpMetricsSchema emits). Returns
+/// false and fills `error` on malformed input.
+bool ParseMetricsSchema(const std::string& text, MetricsSchema* out,
+                        std::string* error);
+
+/// Reads and parses `path`. Returns false on read or parse failure.
+bool LoadMetricsSchema(const std::string& path, MetricsSchema* out,
+                       std::string* error);
+
+/// Validates call sites against the schema: unknown metric names, kind
+/// mismatches, label-set mismatches, non-literal names, and schema entries
+/// with no remaining call site all produce R8 diagnostics.
+std::vector<Diagnostic> CheckMetricsSchema(
+    const MetricsSchema& schema, const std::vector<MetricCallSite>& sites);
+
+/// Regenerates the schema from observed call sites, carrying doc strings
+/// over from `old_schema` (may be null) by metric name. Output is
+/// byte-stable: entries sort by name, labels by key.
+std::string DumpMetricsSchema(const MetricsSchema* old_schema,
+                              const std::vector<MetricCallSite>& sites);
+
+/// Collects metric call sites from every .h/.cc under `roots`, in sorted
+/// file order. Files under tests/ are skipped: tests construct throwaway
+/// registries whose names deliberately live outside the schema.
+std::vector<MetricCallSite> CollectTreeMetricCalls(
+    const std::vector<std::string>& roots);
+
+// ---------------------------------------------------------------------------
+// Tree entry point
+// ---------------------------------------------------------------------------
+
+struct LintOptions {
+  /// When non-null, the R8 metrics-schema audit runs over the tree.
+  const MetricsSchema* schema = nullptr;
+};
+
 /// Lints every .h/.cc file under `roots` (recursively, sorted order).
-/// Returns all diagnostics; `files_scanned`, if non-null, receives the
-/// file count.
+/// Returns all diagnostics sorted by (file, line, col, rule);
+/// `files_scanned`, if non-null, receives the file count.
 std::vector<Diagnostic> LintTree(const std::vector<std::string>& roots,
-                                 size_t* files_scanned = nullptr);
+                                 size_t* files_scanned = nullptr,
+                                 const LintOptions& options = {});
+
+/// Renders diagnostics as a JSON array of {file, line, col, rule, message}
+/// objects (sorted input order preserved), for --json and CI annotation.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags);
 
 }  // namespace bdio::lint
 

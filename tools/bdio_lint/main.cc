@@ -1,9 +1,17 @@
 // bdio-lint: determinism static analysis over the bdio tree.
 //
-// Usage: bdio-lint [root...]
-//   With no arguments, lints src/ bench/ tests/ relative to the current
-//   directory. Prints one "file:line: R<k>: message" per finding and exits
-//   non-zero when any finding survives annotation filtering.
+// Usage: bdio-lint [--json] [--schema=PATH] [--schema-dump] [root...]
+//   With no roots, lints src/ bench/ tests/ relative to the current
+//   directory. Findings print as "file:line:col: R<k>: message" (or as a
+//   JSON array with --json) and the exit code is non-zero when any finding
+//   survives annotation filtering.
+//
+//   --schema=PATH   also run the R8 metrics-schema audit against PATH
+//                   (normally docs/metrics_schema.json).
+//   --schema-dump   regenerate the schema from observed call sites and
+//                   print it to stdout (doc strings carry over from
+//                   --schema when given); CI diffs this against the
+//                   checked-in file to catch drift.
 
 #include <cstdio>
 #include <string>
@@ -13,16 +21,67 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  bool json = false;
+  bool schema_dump = false;
+  std::string schema_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--schema-dump") {
+      schema_dump = true;
+    } else if (arg.rfind("--schema=", 0) == 0) {
+      schema_path = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: bdio-lint [--json] [--schema=PATH] "
+                   "[--schema-dump] [root...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bdio-lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
   if (roots.empty()) roots = {"src", "bench", "tests"};
+
+  bdio::lint::MetricsSchema schema;
+  bool have_schema = false;
+  if (!schema_path.empty()) {
+    std::string error;
+    if (!bdio::lint::LoadMetricsSchema(schema_path, &schema, &error)) {
+      std::fprintf(stderr, "bdio-lint: %s: %s\n", schema_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    have_schema = true;
+  }
+
+  if (schema_dump) {
+    const std::vector<bdio::lint::MetricCallSite> sites =
+        bdio::lint::CollectTreeMetricCalls(roots);
+    const std::string dump = bdio::lint::DumpMetricsSchema(
+        have_schema ? &schema : nullptr, sites);
+    std::fwrite(dump.data(), 1, dump.size(), stdout);
+    return 0;
+  }
+
+  bdio::lint::LintOptions options;
+  if (have_schema) options.schema = &schema;
 
   size_t files_scanned = 0;
   const std::vector<bdio::lint::Diagnostic> diags =
-      bdio::lint::LintTree(roots, &files_scanned);
+      bdio::lint::LintTree(roots, &files_scanned, options);
 
+  if (json) {
+    const std::string out = bdio::lint::DiagnosticsToJson(diags);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return diags.empty() ? 0 : 1;
+  }
   for (const bdio::lint::Diagnostic& d : diags) {
-    std::fprintf(stderr, "%s:%zu: %s: %s\n", d.file.c_str(), d.line,
-                 d.rule.c_str(), d.message.c_str());
+    std::fprintf(stderr, "%s:%zu:%zu: %s: %s\n", d.file.c_str(), d.line,
+                 d.col, d.rule.c_str(), d.message.c_str());
   }
   if (diags.empty()) {
     std::fprintf(stdout, "bdio-lint: %zu files clean\n", files_scanned);
